@@ -1,0 +1,249 @@
+//! AES-128 encryption: byte-level reference and T-table fast path.
+
+use crate::key::ExpandedKey;
+use crate::sbox::{gf_mul, SBOX};
+use crate::tables::{TE0, TE1, TE2, TE3, TE4};
+use core::fmt;
+
+/// An AES-128 cipher instance (encryption only — the paper's workload
+/// is encryption timing).
+///
+/// # Examples
+///
+/// ```
+/// use tscache_aes::cipher::Aes128;
+///
+/// let key = [0u8; 16];
+/// let cipher = Aes128::new(&key);
+/// let pt = [0u8; 16];
+/// // Reference and T-table paths agree.
+/// assert_eq!(cipher.encrypt_block(&pt), cipher.encrypt_block_ref(&pt));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Aes128 {
+    key: ExpandedKey,
+}
+
+impl fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Aes128({:?})", self.key)
+    }
+}
+
+impl Aes128 {
+    /// Creates a cipher from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Aes128 { key: ExpandedKey::expand(key) }
+    }
+
+    /// The expanded key (used by the simulator-instrumented cipher).
+    pub fn expanded_key(&self) -> &ExpandedKey {
+        &self.key
+    }
+
+    /// Encrypts one block using the four-table T-table formulation —
+    /// the classic fast software AES whose lookups leak through the
+    /// cache.
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let rk = self.key.words();
+        let mut s0 = get_u32(plaintext, 0) ^ rk[0];
+        let mut s1 = get_u32(plaintext, 4) ^ rk[1];
+        let mut s2 = get_u32(plaintext, 8) ^ rk[2];
+        let mut s3 = get_u32(plaintext, 12) ^ rk[3];
+
+        for round in 1..10 {
+            let base = 4 * round;
+            let t0 = TE0[(s0 >> 24) as usize]
+                ^ TE1[((s1 >> 16) & 0xff) as usize]
+                ^ TE2[((s2 >> 8) & 0xff) as usize]
+                ^ TE3[(s3 & 0xff) as usize]
+                ^ rk[base];
+            let t1 = TE0[(s1 >> 24) as usize]
+                ^ TE1[((s2 >> 16) & 0xff) as usize]
+                ^ TE2[((s3 >> 8) & 0xff) as usize]
+                ^ TE3[(s0 & 0xff) as usize]
+                ^ rk[base + 1];
+            let t2 = TE0[(s2 >> 24) as usize]
+                ^ TE1[((s3 >> 16) & 0xff) as usize]
+                ^ TE2[((s0 >> 8) & 0xff) as usize]
+                ^ TE3[(s1 & 0xff) as usize]
+                ^ rk[base + 2];
+            let t3 = TE0[(s3 >> 24) as usize]
+                ^ TE1[((s0 >> 16) & 0xff) as usize]
+                ^ TE2[((s1 >> 8) & 0xff) as usize]
+                ^ TE3[(s2 & 0xff) as usize]
+                ^ rk[base + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+        }
+
+        // Final round: TE4 byte lanes masked (no MixColumns).
+        let t0 = (TE4[(s0 >> 24) as usize] & 0xff00_0000)
+            ^ (TE4[((s1 >> 16) & 0xff) as usize] & 0x00ff_0000)
+            ^ (TE4[((s2 >> 8) & 0xff) as usize] & 0x0000_ff00)
+            ^ (TE4[(s3 & 0xff) as usize] & 0x0000_00ff)
+            ^ rk[40];
+        let t1 = (TE4[(s1 >> 24) as usize] & 0xff00_0000)
+            ^ (TE4[((s2 >> 16) & 0xff) as usize] & 0x00ff_0000)
+            ^ (TE4[((s3 >> 8) & 0xff) as usize] & 0x0000_ff00)
+            ^ (TE4[(s0 & 0xff) as usize] & 0x0000_00ff)
+            ^ rk[41];
+        let t2 = (TE4[(s2 >> 24) as usize] & 0xff00_0000)
+            ^ (TE4[((s3 >> 16) & 0xff) as usize] & 0x00ff_0000)
+            ^ (TE4[((s0 >> 8) & 0xff) as usize] & 0x0000_ff00)
+            ^ (TE4[(s1 & 0xff) as usize] & 0x0000_00ff)
+            ^ rk[42];
+        let t3 = (TE4[(s3 >> 24) as usize] & 0xff00_0000)
+            ^ (TE4[((s0 >> 16) & 0xff) as usize] & 0x00ff_0000)
+            ^ (TE4[((s1 >> 8) & 0xff) as usize] & 0x0000_ff00)
+            ^ (TE4[(s2 & 0xff) as usize] & 0x0000_00ff)
+            ^ rk[43];
+
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&t0.to_be_bytes());
+        out[4..8].copy_from_slice(&t1.to_be_bytes());
+        out[8..12].copy_from_slice(&t2.to_be_bytes());
+        out[12..16].copy_from_slice(&t3.to_be_bytes());
+        out
+    }
+
+    /// Encrypts one block with the byte-level FIPS-197 reference
+    /// transformations (SubBytes / ShiftRows / MixColumns).
+    pub fn encrypt_block_ref(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut state = *plaintext;
+        add_round_key(&mut state, &self.key, 0);
+        for round in 1..10 {
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            mix_columns(&mut state);
+            add_round_key(&mut state, &self.key, round);
+        }
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        add_round_key(&mut state, &self.key, 10);
+        state
+    }
+}
+
+#[inline]
+fn get_u32(bytes: &[u8; 16], at: usize) -> u32 {
+    u32::from_be_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+fn add_round_key(state: &mut [u8; 16], key: &ExpandedKey, round: usize) {
+    let rk = key.round_key(round);
+    for col in 0..4 {
+        let word = rk[col].to_be_bytes();
+        for row in 0..4 {
+            state[4 * col + row] ^= word[row];
+        }
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // State is column-major: state[4*col + row]. Row r rotates left by r.
+    let copy = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[4 * col + row] = copy[4 * ((col + row) % 4) + row];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let a: [u8; 4] = [
+            state[4 * col],
+            state[4 * col + 1],
+            state[4 * col + 2],
+            state[4 * col + 3],
+        ];
+        state[4 * col] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3];
+        state[4 * col + 1] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3];
+        state[4 * col + 2] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3);
+        state[4 * col + 3] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// FIPS-197 Appendix B.
+    #[test]
+    fn fips_appendix_b() {
+        let cipher = Aes128::new(&hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let ct = cipher.encrypt_block(&hex16("3243f6a8885a308d313198a2e0370734"));
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    /// FIPS-197 Appendix C.1.
+    #[test]
+    fn fips_appendix_c1() {
+        let cipher = Aes128::new(&hex16("000102030405060708090a0b0c0d0e0f"));
+        let ct = cipher.encrypt_block(&hex16("00112233445566778899aabbccddeeff"));
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn reference_matches_fips_vectors_too() {
+        let cipher = Aes128::new(&hex16("000102030405060708090a0b0c0d0e0f"));
+        let ct = cipher.encrypt_block_ref(&hex16("00112233445566778899aabbccddeeff"));
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn ttable_and_reference_agree_on_many_inputs() {
+        let cipher = Aes128::new(&hex16("8899aabbccddeeff0011223344556677"));
+        let mut pt = [0u8; 16];
+        for trial in 0..200u32 {
+            for (i, b) in pt.iter_mut().enumerate() {
+                *b = (trial.wrapping_mul(31).wrapping_add(i as u32 * 17) & 0xff) as u8;
+            }
+            pt[0] = trial as u8;
+            assert_eq!(cipher.encrypt_block(&pt), cipher.encrypt_block_ref(&pt));
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let pt = [42u8; 16];
+        let a = Aes128::new(&[0u8; 16]).encrypt_block(&pt);
+        let b = Aes128::new(&[1u8; 16]).encrypt_block(&pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shift_rows_reference_pattern() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        shift_rows(&mut s);
+        // Row 0 (bytes 0,4,8,12) unchanged.
+        assert_eq!([s[0], s[4], s[8], s[12]], [0, 4, 8, 12]);
+        // Row 1 rotated by one column.
+        assert_eq!([s[1], s[5], s[9], s[13]], [5, 9, 13, 1]);
+        // Row 3 rotated by three.
+        assert_eq!([s[3], s[7], s[11], s[15]], [15, 3, 7, 11]);
+    }
+
+    #[test]
+    fn mix_columns_fips_example() {
+        // FIPS-197 §5.1.3 example column: db 13 53 45 → 8e 4d a1 bc.
+        let mut s = [0u8; 16];
+        s[0..4].copy_from_slice(&[0xdb, 0x13, 0x53, 0x45]);
+        mix_columns(&mut s);
+        assert_eq!(&s[0..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+}

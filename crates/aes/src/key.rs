@@ -1,0 +1,128 @@
+//! AES-128 key schedule (FIPS-197 §5.2).
+
+use crate::sbox::SBOX;
+use core::fmt;
+
+/// Round constants for AES-128 key expansion.
+const RCON: [u32; 10] = [
+    0x0100_0000,
+    0x0200_0000,
+    0x0400_0000,
+    0x0800_0000,
+    0x1000_0000,
+    0x2000_0000,
+    0x4000_0000,
+    0x8000_0000,
+    0x1b00_0000,
+    0x3600_0000,
+];
+
+fn sub_word(w: u32) -> u32 {
+    ((SBOX[(w >> 24) as usize] as u32) << 24)
+        | ((SBOX[((w >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((w >> 8) & 0xff) as usize] as u32) << 8)
+        | SBOX[(w & 0xff) as usize] as u32
+}
+
+/// An expanded AES-128 key: 11 round keys of four big-endian words.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_aes::key::ExpandedKey;
+///
+/// let key = ExpandedKey::expand(&[0u8; 16]);
+/// assert_eq!(key.round_key(0), [0, 0, 0, 0]);
+/// assert_ne!(key.round_key(1), [0, 0, 0, 0]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct ExpandedKey {
+    words: [u32; 44],
+}
+
+impl ExpandedKey {
+    /// Expands a 16-byte key.
+    pub fn expand(key: &[u8; 16]) -> Self {
+        let mut w = [0u32; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp = sub_word(temp.rotate_left(8)) ^ RCON[i / 4 - 1];
+            }
+            w[i] = w[i - 4] ^ temp;
+        }
+        ExpandedKey { words: w }
+    }
+
+    /// The four words of round key `round` (0..=10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round > 10`.
+    #[inline]
+    pub fn round_key(&self, round: usize) -> [u32; 4] {
+        assert!(round <= 10, "AES-128 has 11 round keys");
+        let base = 4 * round;
+        [self.words[base], self.words[base + 1], self.words[base + 2], self.words[base + 3]]
+    }
+
+    /// All 44 expanded words.
+    pub fn words(&self) -> &[u32; 44] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for ExpandedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately terse: never print key material in full.
+        write!(f, "ExpandedKey(w0={:08x}, ..)", self.words[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix A.1 key expansion vector.
+    #[test]
+    fn fips_appendix_a1() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let ek = ExpandedKey::expand(&key);
+        let w = ek.words();
+        assert_eq!(w[0], 0x2b7e1516);
+        assert_eq!(w[3], 0x09cf4f3c);
+        assert_eq!(w[4], 0xa0fafe17);
+        assert_eq!(w[9], 0x7a96b943);
+        assert_eq!(w[10], 0x5935807a);
+        assert_eq!(w[43], 0xb6630ca6);
+    }
+
+    #[test]
+    fn round_keys_partition_words() {
+        let ek = ExpandedKey::expand(&[7u8; 16]);
+        for r in 0..=10 {
+            let rk = ek.round_key(r);
+            assert_eq!(rk[0], ek.words()[4 * r]);
+            assert_eq!(rk[3], ek.words()[4 * r + 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "11 round keys")]
+    fn round_key_bounds() {
+        ExpandedKey::expand(&[0u8; 16]).round_key(11);
+    }
+
+    #[test]
+    fn debug_does_not_leak_whole_key() {
+        let ek = ExpandedKey::expand(&[0xaa; 16]);
+        let s = format!("{ek:?}");
+        assert!(s.len() < 40, "debug output suspiciously long: {s}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # tscache-aes — AES-128 with T-tables, native and simulated
+//!
+//! The paper's victim/attacker workload: 128-bit AES encryption with
+//! the classic four-T-table software formulation, whose input-dependent
+//! table lookups are the cache side channel (§2.2, §6.1.1).
+//!
+//! * [`sbox`] — S-box generated from GF(2⁸) first principles.
+//! * [`tables`] — the TE0..TE4 lookup tables.
+//! * [`key`] — FIPS-197 key expansion.
+//! * [`cipher`] — byte-level reference and T-table encryption
+//!   (cross-checked against FIPS-197 vectors).
+//! * [`sim_cipher`] — the same cipher issuing every memory access
+//!   through the timing simulator.
+//!
+//! ```
+//! use tscache_aes::cipher::Aes128;
+//!
+//! let cipher = Aes128::new(b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c");
+//! let ct = cipher.encrypt_block(b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34");
+//! assert_eq!(ct[0], 0x39);
+//! ```
+
+pub mod cipher;
+pub mod key;
+pub mod sbox;
+pub mod sim_cipher;
+pub mod tables;
+
+pub use cipher::Aes128;
+pub use key::ExpandedKey;
+pub use sim_cipher::{AesLayout, SimAes128};

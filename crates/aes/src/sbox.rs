@@ -1,0 +1,141 @@
+//! The AES S-box, generated from first principles at compile time.
+//!
+//! The S-box is the multiplicative inverse in GF(2⁸) (modulo the AES
+//! polynomial x⁸+x⁴+x³+x+1) followed by the FIPS-197 affine transform.
+//! Generating it (rather than embedding a literal table) doubles as a
+//! correctness argument: the unit tests pin a handful of published
+//! values and the cipher tests pin full FIPS-197 vectors.
+
+/// GF(2⁸) multiplication modulo the AES polynomial 0x11b.
+pub const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Doubling in GF(2⁸) (`xtime` in FIPS-197).
+#[inline]
+pub const fn xtime(x: u8) -> u8 {
+    gf_mul(x, 2)
+}
+
+const fn gf_inv(x: u8) -> u8 {
+    if x == 0 {
+        return 0;
+    }
+    // x^254 = x^-1 in GF(2^8)*: square-and-multiply with exponent 254.
+    let mut result = 1u8;
+    let mut base = x;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn affine(x: u8) -> u8 {
+    // b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i,
+    // c = 0x63.
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+const fn generate_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[i] = affine(gf_inv(i as u8));
+        i += 1;
+    }
+    table
+}
+
+const fn invert(table: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        inv[table[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+/// The AES forward S-box.
+pub const SBOX: [u8; 256] = generate_sbox();
+
+/// The AES inverse S-box.
+pub const INV_SBOX: [u8; 256] = invert(&SBOX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_corner_values() {
+        // FIPS-197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x10], 0xca);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(SBOX[0xc9], 0xdd);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for i in 0..=255u8 {
+            assert_eq!(INV_SBOX[SBOX[i as usize] as usize], i);
+        }
+        // FIPS-197 Figure 14 spot value.
+        assert_eq!(INV_SBOX[0x00], 0x52);
+    }
+
+    #[test]
+    fn gf_mul_matches_known_products() {
+        // FIPS-197 §4.2: {57} · {83} = {c1}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        // {57} · {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x01, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0x7f), 0);
+    }
+
+    #[test]
+    fn xtime_doubles() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x47), 0x8e);
+        assert_eq!(xtime(0x8e), 0x07);
+    }
+
+    #[test]
+    fn gf_inverse_is_inverse() {
+        for x in 1..=255u8 {
+            assert_eq!(gf_mul(x, gf_inv(x)), 1, "x = {x}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The AES encryption T-tables.
+//!
+//! T-table implementations fuse SubBytes, ShiftRows and MixColumns into
+//! four 256-entry u32 lookup tables indexed by state bytes. These
+//! *input-dependent* lookups are precisely the side channel Bernstein's
+//! attack exploits (paper §2.2): which table lines are touched depends
+//! on `plaintext ⊕ key`.
+
+use crate::sbox::{gf_mul, SBOX};
+
+const fn generate_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = gf_mul(s, 2);
+        let s3 = gf_mul(s, 3);
+        // Column (2·s, s, s, 3·s) packed big-endian.
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | s3 as u32;
+        i += 1;
+    }
+    t
+}
+
+const fn rotate_table(src: &[u32; 256], by: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        t[i] = src[i].rotate_right(8 * by);
+        i += 1;
+    }
+    t
+}
+
+const fn generate_te4() -> [u32; 256] {
+    // Final round: S-box replicated across all four bytes (no
+    // MixColumns in the last round).
+    let mut t = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = SBOX[i] as u32;
+        t[i] = (s << 24) | (s << 16) | (s << 8) | s;
+        i += 1;
+    }
+    t
+}
+
+/// Main-round table 0: `(2s, s, s, 3s)`.
+pub const TE0: [u32; 256] = generate_te0();
+/// Main-round table 1: `TE0` rotated right by one byte.
+pub const TE1: [u32; 256] = rotate_table(&TE0, 1);
+/// Main-round table 2: `TE0` rotated right by two bytes.
+pub const TE2: [u32; 256] = rotate_table(&TE0, 2);
+/// Main-round table 3: `TE0` rotated right by three bytes.
+pub const TE3: [u32; 256] = rotate_table(&TE0, 3);
+/// Final-round table: the S-box replicated into all four byte lanes.
+pub const TE4: [u32; 256] = generate_te4();
+
+/// All five tables in lookup order, for address-space installation.
+pub const ALL_TABLES: [&[u32; 256]; 5] = [&TE0, &TE1, &TE2, &TE3, &TE4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn te0_spot_values() {
+        // Derived from SBOX[0x00] = 0x63: 2·63=c6, 3·63=a5.
+        assert_eq!(TE0[0x00], 0xc663_63a5);
+        // SBOX[0x01] = 0x7c: 2·7c=f8, 3·7c=84.
+        assert_eq!(TE0[0x01], 0xf87c_7c84);
+    }
+
+    #[test]
+    fn rotations_are_consistent() {
+        for i in 0..256 {
+            assert_eq!(TE1[i], TE0[i].rotate_right(8));
+            assert_eq!(TE2[i], TE0[i].rotate_right(16));
+            assert_eq!(TE3[i], TE0[i].rotate_right(24));
+        }
+    }
+
+    #[test]
+    fn te4_replicates_sbox() {
+        for i in 0..256 {
+            let s = crate::sbox::SBOX[i] as u32;
+            assert_eq!(TE4[i], s * 0x0101_0101);
+        }
+    }
+
+    #[test]
+    fn te0_byte_lanes_relate_by_gf_arithmetic() {
+        for i in 0..256 {
+            let v = TE0[i];
+            let (a, b, c, d) =
+                ((v >> 24) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8);
+            assert_eq!(b, c, "middle lanes are s");
+            assert_eq!(a, gf_mul(b, 2));
+            assert_eq!(d, a ^ b, "3s = 2s ^ s");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the AES implementations.
+
+use proptest::prelude::*;
+use tscache_aes::cipher::Aes128;
+use tscache_aes::key::ExpandedKey;
+
+proptest! {
+    /// The T-table fast path and the byte-level reference agree on
+    /// arbitrary keys and plaintexts.
+    #[test]
+    fn ttable_equals_reference(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+        let cipher = Aes128::new(&key);
+        prop_assert_eq!(cipher.encrypt_block(&pt), cipher.encrypt_block_ref(&pt));
+    }
+
+    /// Encryption is injective per key: distinct plaintexts give
+    /// distinct ciphertexts.
+    #[test]
+    fn injective_per_key(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>(), flip in 0usize..128) {
+        let cipher = Aes128::new(&key);
+        let mut pt2 = pt;
+        pt2[flip / 8] ^= 1 << (flip % 8);
+        prop_assert_ne!(cipher.encrypt_block(&pt), cipher.encrypt_block(&pt2));
+    }
+
+    /// Avalanche: flipping one plaintext bit flips a substantial number
+    /// of ciphertext bits.
+    #[test]
+    fn plaintext_avalanche(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>(), flip in 0usize..128) {
+        let cipher = Aes128::new(&key);
+        let mut pt2 = pt;
+        pt2[flip / 8] ^= 1 << (flip % 8);
+        let a = cipher.encrypt_block(&pt);
+        let b = cipher.encrypt_block(&pt2);
+        let flipped: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        prop_assert!(flipped >= 30, "only {flipped} bits flipped");
+    }
+
+    /// Key avalanche: flipping one key bit changes the ciphertext
+    /// substantially.
+    #[test]
+    fn key_avalanche(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>(), flip in 0usize..128) {
+        let mut key2 = key;
+        key2[flip / 8] ^= 1 << (flip % 8);
+        let a = Aes128::new(&key).encrypt_block(&pt);
+        let b = Aes128::new(&key2).encrypt_block(&pt);
+        let flipped: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        prop_assert!(flipped >= 30, "only {flipped} bits flipped");
+    }
+
+    /// The key schedule's first round key is the key itself, and all 44
+    /// words are reproducible.
+    #[test]
+    fn key_schedule_shape(key in any::<[u8; 16]>()) {
+        let ek = ExpandedKey::expand(&key);
+        let rk0 = ek.round_key(0);
+        for (i, w) in rk0.iter().enumerate() {
+            let expected = u32::from_be_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]);
+            prop_assert_eq!(*w, expected);
+        }
+        let again = ExpandedKey::expand(&key);
+        prop_assert_eq!(ek.words(), again.words());
+    }
+}

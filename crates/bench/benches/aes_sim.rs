@@ -1,0 +1,45 @@
+//! Simulated AES-128 encryption throughput per cache setup, plus the
+//! native (non-simulated) cipher as the baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tscache_aes::cipher::Aes128;
+use tscache_aes::sim_cipher::{AesLayout, SimAes128};
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+use tscache_sim::layout::Layout;
+use tscache_sim::machine::Machine;
+
+fn bench_native(c: &mut Criterion) {
+    let cipher = Aes128::new(&[7u8; 16]);
+    let mut pt = [0u8; 16];
+    c.bench_function("aes-native", |b| {
+        b.iter(|| {
+            pt[0] = pt[0].wrapping_add(1);
+            black_box(cipher.encrypt_block(black_box(&pt)))
+        })
+    });
+}
+
+fn bench_simulated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes-simulated");
+    for setup in SetupKind::ALL {
+        let mut layout = Layout::new(0x40_0000);
+        let aes_layout = AesLayout::install(&mut layout, "bench");
+        let sim = SimAes128::new(&[7u8; 16], aes_layout);
+        let mut machine = Machine::from_setup(setup, 11);
+        let pid = ProcessId::new(1);
+        machine.set_process(pid);
+        machine.set_process_seed(pid, Seed::new(99));
+        let mut pt = [0u8; 16];
+        group.bench_function(setup.label(), |b| {
+            b.iter(|| {
+                pt[0] = pt[0].wrapping_add(1);
+                black_box(sim.encrypt(&mut machine, black_box(&pt)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_native, bench_simulated);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bernstein analysis throughput: profile building over sample streams
+//! and the 16×256-hypothesis correlation sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use tscache_sca::bernstein::analyze;
+use tscache_sca::profile::TimingProfile;
+use tscache_sca::sampling::TimingSample;
+
+fn synthetic_stream(n: usize, seed: u64) -> Vec<TimingSample> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            let mut pt = [0u8; 16];
+            for b in pt.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 33) as u8;
+            }
+            TimingSample { plaintext: pt, cycles: 10_000 + (state >> 56) }
+        })
+        .collect()
+}
+
+fn bench_profile_build(c: &mut Criterion) {
+    let stream = synthetic_stream(100_000, 3);
+    c.bench_function("profile-build-100k", |b| {
+        b.iter(|| black_box(TimingProfile::from_samples(black_box(&stream))))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let a = synthetic_stream(50_000, 5);
+    let v = synthetic_stream(50_000, 7);
+    let key = [0u8; 16];
+    c.bench_function("bernstein-analyze-50k", |b| {
+        b.iter_batched(
+            || (a.clone(), v.clone()),
+            |(a, v)| black_box(analyze(&a, &key, &v, &key)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_profile_build, bench_analysis);
+criterion_main!(benches);

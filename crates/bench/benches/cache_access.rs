@@ -1,0 +1,37 @@
+//! End-to-end hierarchy access throughput for each of the paper's four
+//! setups (simulator speed is what bounds attack sample counts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tscache_core::addr::Addr;
+use tscache_core::hierarchy::AccessKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy-access");
+    for setup in SetupKind::ALL {
+        let mut h = setup.build(7);
+        let pid = ProcessId::new(1);
+        h.set_process_seed(pid, Seed::new(42));
+        let mut i = 0u64;
+        group.bench_function(setup.label(), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                // A 24 KiB working set: mixture of hits and misses.
+                let addr = Addr::new(0x10_0000 + (i * 32) % (24 * 1024));
+                black_box(h.access(pid, AccessKind::Read, black_box(addr)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy-flush");
+    let mut h = SetupKind::TsCache.build(9);
+    group.bench_function("flush_all", |b| b.iter(|| h.flush_all()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_flush);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Placement-policy throughput: cost of the set-index function per
+//! design (the §6.2.3 "no operating-frequency degradation" claim
+//! translates to placement being cheap combinational logic; here we
+//! check the software models are cheap too).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tscache_core::addr::LineAddr;
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::placement::PlacementKind;
+use tscache_core::seed::Seed;
+
+fn bench_placement(c: &mut Criterion) {
+    let geom = CacheGeometry::paper_l1();
+    let mut group = c.benchmark_group("placement");
+    for kind in PlacementKind::ALL {
+        let mut policy = kind.build(&geom);
+        let seed = Seed::new(0xdead_beef);
+        let mut line = 0u64;
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                line = line.wrapping_add(97);
+                black_box(policy.place(LineAddr::new(black_box(line)), seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_l2(c: &mut Criterion) {
+    let geom = CacheGeometry::paper_l2();
+    let mut group = c.benchmark_group("placement-l2");
+    for kind in [PlacementKind::Modulo, PlacementKind::HashRp] {
+        let mut policy = kind.build(&geom);
+        let seed = Seed::new(0x1234_5678);
+        let mut line = 0u64;
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| {
+                line = line.wrapping_add(131);
+                black_box(policy.place(LineAddr::new(black_box(line)), seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_placement_l2);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! **Ablation (§7)** — cache partitioning, the alternative the paper
+//! rejects: it blocks *cross-process* contention but (a) cuts the
+//! effective associativity per partition, hurting performance, and
+//! (b) does nothing against Bernstein's attack, whose contention is the
+//! victim's **own** working set inside its own partition.
+//!
+//! ```text
+//! cargo run -p tscache-bench --release --bin abl_partitioning -- \
+//!     --samples 80000 --runs 150 --seed 0xDAC18
+//! ```
+
+use tscache_bench::Args;
+use tscache_core::hierarchy::Hierarchy;
+use tscache_core::placement::PlacementKind;
+use tscache_core::prng::SplitMix64;
+use tscache_core::replacement::ReplacementKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+use tscache_sca::bernstein::run_attack;
+use tscache_sca::sampling::SamplingConfig;
+use tscache_sim::layout::Layout;
+use tscache_sim::machine::Machine;
+use tscache_sim::synthetic::{ArraySweep, PointerChase};
+use tscache_sim::workload::Workload;
+
+/// L1D miss rate of a workload when the task is confined to `ways`
+/// ways (0 = unpartitioned).
+///
+/// The working sets are 12 KiB — comfortable in the full 16 KiB L1,
+/// hopeless in half of it: the §7 "reduced cache associativity per
+/// partition" cost made visible.
+fn miss_rate(workload_id: usize, ways: u32, runs: u32, seed: u64) -> f64 {
+    let mut layout = Layout::new(0x10_0000);
+    let mut workload: Box<dyn Workload> = match workload_id {
+        0 => {
+            let code = layout.alloc("sweep.code", 256, 32);
+            let data = layout.alloc("sweep.data", 12 * 1024, 4096);
+            Box::new(ArraySweep::new(code, data, 32, 6))
+        }
+        _ => {
+            let code = layout.alloc("chase.code", 128, 32);
+            let data = layout.alloc("chase.data", 12 * 1024, 4096);
+            Box::new(PointerChase::new(code, data, 384, 3072, 0xc4a5e))
+        }
+    };
+    let hierarchy = Hierarchy::with_policies(
+        PlacementKind::Modulo,
+        ReplacementKind::Lru,
+        PlacementKind::Modulo,
+        ReplacementKind::Lru,
+        seed,
+    );
+    let mut machine = Machine::new(hierarchy);
+    let pid = ProcessId::new(1);
+    machine.set_process(pid);
+    if ways > 0 {
+        machine.hierarchy_mut().set_l1_way_partition(pid, 0, ways);
+    }
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..runs {
+        machine.set_process_seed(pid, Seed::random(&mut rng));
+        machine.flush_caches();
+        workload.run(&mut machine);
+    }
+    machine.hierarchy().l1d().stats().miss_rate()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let samples = args.get_u64("samples", 80_000) as u32;
+    let runs = args.get_u64("runs", 150) as u32;
+    let seed = args.get_u64("seed", 0xDAC18);
+
+    println!("== §7 ablation (a): associativity cost of way partitioning ==");
+    println!("modulo + LRU, {runs} runs per cell; task confined to k of 4 ways\n");
+    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "workload", "4 ways", "3 ways", "2 ways", "1 way");
+    for (w, name) in ["array-sweep", "pointer-chase"].iter().enumerate() {
+        print!("{name:<14}");
+        for ways in [0u32, 3, 2, 1] {
+            print!(" {:>9.3}%", 100.0 * miss_rate(w, ways, runs, seed));
+        }
+        println!();
+    }
+
+    println!("\n== §7 ablation (b): partitioning vs Bernstein ==");
+    println!("{samples} samples per node; task ways 0..3, OS ways 3..4\n");
+    for setup in [SetupKind::Deterministic, SetupKind::TsCache] {
+        let mut cfg = SamplingConfig::standard(setup, samples, seed);
+        cfg.partition_task_ways = 3;
+        let r = run_attack(cfg);
+        println!(
+            "{:<14} + partition: bits={:6.1} residual=2^{:5.1} vulnerable={:2}/16",
+            setup.label(),
+            r.bits_determined(),
+            r.residual_keyspace_log2(),
+            r.vulnerable_bytes()
+        );
+    }
+    println!("\ntakeaway: partitioning isolates the OS but the victim's own working");
+    println!("set still evicts its own AES tables — the Bernstein channel survives");
+    println!("on the deterministic cache, at a permanent associativity cost (and");
+    println!("shrinking the partition further only trades the leak for thrashing).");
+}

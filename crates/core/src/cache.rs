@@ -1,0 +1,701 @@
+//! Set-associative cache model with pluggable placement and
+//! replacement, per-process seeds, and RPCache-style interference
+//! randomization.
+
+use crate::addr::LineAddr;
+use crate::geometry::CacheGeometry;
+use crate::placement::{Placement, PlacementKind};
+use crate::prng::SplitMix64;
+use crate::replacement::{Replacement, ReplacementKind};
+use crate::seed::{ProcessId, Seed, SeedTable};
+use crate::stats::CacheStats;
+use core::fmt;
+
+/// A line displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The displaced line address.
+    pub line: LineAddr,
+    /// The process that owned the displaced line.
+    pub owner: ProcessId,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was filled.
+    Miss {
+        /// The valid line displaced by the fill, if any.
+        evicted: Option<EvictedLine>,
+        /// Whether an RPCache contention remap redirected the fill to a
+        /// random set.
+        redirected: bool,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+
+    /// Whether the access missed.
+    pub fn is_miss(&self) -> bool {
+        !self.is_hit()
+    }
+}
+
+/// A set-associative cache with seed-parameterized placement.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_core::addr::LineAddr;
+/// use tscache_core::cache::Cache;
+/// use tscache_core::geometry::CacheGeometry;
+/// use tscache_core::placement::PlacementKind;
+/// use tscache_core::replacement::ReplacementKind;
+/// use tscache_core::seed::{ProcessId, Seed};
+///
+/// let mut cache = Cache::new(
+///     "L1D",
+///     CacheGeometry::paper_l1(),
+///     PlacementKind::RandomModulo,
+///     ReplacementKind::Random,
+///     0xc0ffee,
+/// );
+/// let pid = ProcessId::new(1);
+/// cache.set_seed(pid, Seed::new(42));
+/// let line = LineAddr::new(0x100);
+/// assert!(cache.access(pid, line).is_miss()); // cold
+/// assert!(cache.access(pid, line).is_hit());  // warm
+/// ```
+pub struct Cache {
+    label: String,
+    geom: CacheGeometry,
+    placement: Box<dyn Placement>,
+    replacement: Box<dyn Replacement>,
+    /// Flat `sets × ways` arrays.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    owners: Vec<u16>,
+    protected: Vec<bool>,
+    /// Protected line-address ranges (RPCache's P-bit pages holding
+    /// crypto tables): `start..end` in line addresses.
+    protected_ranges: Vec<(u64, u64)>,
+    /// Way partitions: `pid → lo..hi` fill-way range (cache
+    /// partitioning, the §7 alternative). Processes without an entry
+    /// may fill any way.
+    partitions: Vec<(u16, u32, u32)>,
+    seeds: SeedTable,
+    rng: SplitMix64,
+    stats: CacheStats,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("label", &self.label)
+            .field("geometry", &self.geom)
+            .field("placement", &self.placement.name())
+            .field("replacement", &self.replacement.name())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cache {
+    /// Creates a cache. `rng_seed` drives random replacement and
+    /// RPCache remaps; it is independent of placement seeds.
+    pub fn new(
+        label: impl Into<String>,
+        geom: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        rng_seed: u64,
+    ) -> Self {
+        let n = geom.total_lines() as usize;
+        Cache {
+            label: label.into(),
+            geom,
+            placement: placement.build(&geom),
+            replacement: replacement.build(&geom),
+            tags: vec![0; n],
+            valid: vec![false; n],
+            owners: vec![0; n],
+            protected: vec![false; n],
+            protected_ranges: Vec::new(),
+            partitions: Vec::new(),
+            seeds: SeedTable::new(),
+            rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// The cache's report label (e.g. `"L1D"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Name of the placement policy.
+    pub fn placement_name(&self) -> &'static str {
+        self.placement.name()
+    }
+
+    /// Name of the replacement policy.
+    pub fn replacement_name(&self) -> &'static str {
+        self.replacement.name()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears the statistics counters (cache contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Sets the placement seed of `pid`. Contents cached under the old
+    /// seed are *not* flushed: the paper's OS support flushes
+    /// explicitly when consistency requires it (§5).
+    pub fn set_seed(&mut self, pid: ProcessId, seed: Seed) {
+        self.seeds.set(pid, seed);
+    }
+
+    /// Marks the line-address range `start..end` as *protected*
+    /// (RPCache's per-page P bit over crypto tables): interference-
+    /// randomizing policies redirect any fill that would evict a
+    /// protected line to a random set.
+    pub fn add_protected_range(&mut self, start: LineAddr, end: LineAddr) {
+        self.protected_ranges.push((start.as_u64(), end.as_u64()));
+    }
+
+    #[inline]
+    fn is_protected_addr(&self, line: u64) -> bool {
+        self.protected_ranges.iter().any(|&(s, e)| line >= s && line < e)
+    }
+
+    /// Restricts `pid` to fill ways `lo..hi` in every set (strict way
+    /// partitioning, the cache-partitioning alternative of §7). Hits on
+    /// lines outside the partition are still served — partitioning
+    /// constrains placement of *new* data, not lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the associativity.
+    pub fn set_way_partition(&mut self, pid: ProcessId, lo: u32, hi: u32) {
+        assert!(lo < hi && hi <= self.geom.ways(), "invalid way range {lo}..{hi}");
+        if let Some(entry) = self.partitions.iter_mut().find(|(p, _, _)| *p == pid.as_u16()) {
+            *entry = (pid.as_u16(), lo, hi);
+        } else {
+            self.partitions.push((pid.as_u16(), lo, hi));
+        }
+    }
+
+    /// Removes `pid`'s way partition.
+    pub fn clear_way_partition(&mut self, pid: ProcessId) {
+        self.partitions.retain(|(p, _, _)| *p != pid.as_u16());
+    }
+
+    #[inline]
+    fn way_range(&self, pid: ProcessId) -> (u32, u32) {
+        self.partitions
+            .iter()
+            .find(|(p, _, _)| *p == pid.as_u16())
+            .map(|&(_, lo, hi)| (lo, hi))
+            .unwrap_or((0, self.geom.ways()))
+    }
+
+    /// Returns the placement seed of `pid` ([`Seed::ZERO`] if unset).
+    pub fn seed(&self, pid: ProcessId) -> Seed {
+        self.seeds.get(pid)
+    }
+
+    /// Invalidates every line and resets replacement bookkeeping.
+    pub fn flush(&mut self) {
+        self.valid.fill(false);
+        self.replacement.reset();
+        self.stats.record_flush();
+    }
+
+    /// Invalidates every line owned by `pid`.
+    pub fn flush_process(&mut self, pid: ProcessId) {
+        for i in 0..self.valid.len() {
+            if self.valid[i] && self.owners[i] == pid.as_u16() {
+                self.valid[i] = false;
+            }
+        }
+        self.stats.record_flush();
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.geom.ways() + way) as usize
+    }
+
+    /// Looks a line up without changing replacement state or filling.
+    ///
+    /// Needs `&mut self` because table-based placement builds its
+    /// per-seed state lazily.
+    pub fn probe(&mut self, pid: ProcessId, line: LineAddr) -> bool {
+        let seed = self.seeds.get(pid);
+        let set = self.placement.place(line, seed);
+        self.find_way(set, line).is_some()
+    }
+
+    #[inline]
+    fn find_way(&self, set: u32, line: LineAddr) -> Option<u32> {
+        for w in 0..self.geom.ways() {
+            let slot = self.slot(set, w);
+            if self.valid[slot] && self.tags[slot] == line.as_u64() {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn find_invalid_way(&self, set: u32, lo: u32, hi: u32) -> Option<u32> {
+        (lo..hi).find(|&w| !self.valid[self.slot(set, w)])
+    }
+
+    /// Accesses `line` on behalf of `pid`, filling on a miss.
+    pub fn access(&mut self, pid: ProcessId, line: LineAddr) -> AccessOutcome {
+        let seed = self.seeds.get(pid);
+        let mut set = self.placement.place(line, seed);
+
+        if let Some(way) = self.find_way(set, line) {
+            self.replacement.on_hit(set, way);
+            self.stats.record_hit();
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: pick the fill way within the process's way partition;
+        // invalid ways first.
+        let (lo, hi) = self.way_range(pid);
+        let full_width = hi - lo == self.geom.ways();
+        let mut redirected = false;
+        let mut way = match self.find_invalid_way(set, lo, hi) {
+            Some(w) => w,
+            None if full_width => self.replacement.victim(set, &mut self.rng),
+            None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+        };
+
+        // RPCache interference randomization: if the fill would evict
+        // another process's line or a protected (crypto-table) line,
+        // remap this line's index to a random set and fill there
+        // instead (paper §3; Wang & Lee's "contention event that might
+        // leak information").
+        let slot = self.slot(set, way);
+        if self.valid[slot]
+            && (self.owners[slot] != pid.as_u16() || self.protected[slot])
+            && self.placement.randomizes_interference()
+        {
+            if let Some(new_set) =
+                self.placement.remap_on_contention(line, seed, &mut self.rng)
+            {
+                // Drop now-unreachable lines of the remapped index from
+                // the old set (the hardware moves or invalidates them).
+                self.invalidate_line_aliases(set, line, pid);
+                set = new_set;
+                redirected = true;
+                way = match self.find_invalid_way(set, lo, hi) {
+                    Some(w) => w,
+                    None if full_width => self.replacement.victim(set, &mut self.rng),
+                    None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+                };
+            }
+        }
+
+        let slot = self.slot(set, way);
+        let evicted = if self.valid[slot] {
+            let ev = EvictedLine {
+                line: LineAddr::new(self.tags[slot]),
+                owner: ProcessId::new(self.owners[slot]),
+            };
+            if ev.owner != pid {
+                self.stats.record_cross_process_eviction();
+            }
+            Some(ev)
+        } else {
+            None
+        };
+
+        self.tags[slot] = line.as_u64();
+        self.valid[slot] = true;
+        self.owners[slot] = pid.as_u16();
+        self.protected[slot] = self.is_protected_addr(line.as_u64());
+        self.replacement.on_fill(set, way);
+        self.stats.record_miss(evicted.is_some());
+        AccessOutcome::Miss { evicted, redirected }
+    }
+
+    /// After an RPCache remap of `line`'s index, lines of `pid` with the
+    /// same placement-relevant index sitting in the old set would become
+    /// unreachable; invalidate them.
+    fn invalidate_line_aliases(&mut self, old_set: u32, line: LineAddr, pid: ProcessId) {
+        let index_bits = self.geom.index_bits();
+        for w in 0..self.geom.ways() {
+            let slot = self.slot(old_set, w);
+            if self.valid[slot]
+                && self.owners[slot] == pid.as_u16()
+                && LineAddr::new(self.tags[slot]).index_bits(index_bits)
+                    == line.index_bits(index_bits)
+            {
+                self.valid[slot] = false;
+            }
+        }
+    }
+
+    /// Iterates over currently valid lines as `(set, way, line, owner)`.
+    pub fn contents(&self) -> impl Iterator<Item = (u32, u32, LineAddr, ProcessId)> + '_ {
+        let ways = self.geom.ways();
+        (0..self.geom.sets()).flat_map(move |set| {
+            (0..ways).filter_map(move |way| {
+                let slot = (set * ways + way) as usize;
+                if self.valid[slot] {
+                    Some((set, way, LineAddr::new(self.tags[slot]), ProcessId::new(self.owners[slot])))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(placement: PlacementKind, replacement: ReplacementKind) -> Cache {
+        Cache::new(
+            "test",
+            CacheGeometry::new(8, 2, 32).unwrap(),
+            placement,
+            replacement,
+            7,
+        )
+    }
+
+    fn pid(n: u16) -> ProcessId {
+        ProcessId::new(n)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        let line = LineAddr::new(5);
+        assert!(c.access(pid(1), line).is_miss());
+        assert!(c.access(pid(1), line).is_hit());
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().misses(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_with_lru() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        let p = pid(1);
+        // Three lines mapping to set 0 in a 2-way cache.
+        let (a, b, x) = (LineAddr::new(0), LineAddr::new(8), LineAddr::new(16));
+        c.access(p, a);
+        c.access(p, b);
+        let outcome = c.access(p, x);
+        match outcome {
+            AccessOutcome::Miss { evicted: Some(ev), .. } => assert_eq!(ev.line, a),
+            other => panic!("expected eviction of a, got {other:?}"),
+        }
+        assert!(c.access(p, b).is_hit(), "b must survive");
+        assert!(c.access(p, a).is_miss(), "a was evicted");
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        for i in 0..16u64 {
+            c.access(pid(1), LineAddr::new(i));
+        }
+        assert!(c.occupancy() > 0);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.access(pid(1), LineAddr::new(0)).is_miss());
+    }
+
+    #[test]
+    fn flush_process_is_selective() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.access(pid(1), LineAddr::new(0));
+        c.access(pid(2), LineAddr::new(1));
+        c.flush_process(pid(1));
+        assert!(c.access(pid(1), LineAddr::new(0)).is_miss());
+        assert!(c.access(pid(2), LineAddr::new(1)).is_hit());
+    }
+
+    #[test]
+    fn per_process_seeds_separate_layouts() {
+        let mut c = small_cache(PlacementKind::RandomModulo, ReplacementKind::Lru);
+        c.set_seed(pid(1), Seed::new(111));
+        c.set_seed(pid(2), Seed::new(222));
+        assert_eq!(c.seed(pid(1)), Seed::new(111));
+        // Both processes can cache their own lines independently.
+        c.access(pid(1), LineAddr::new(0x40));
+        c.access(pid(2), LineAddr::new(0x80));
+        assert!(c.access(pid(1), LineAddr::new(0x40)).is_hit());
+        assert!(c.access(pid(2), LineAddr::new(0x80)).is_hit());
+    }
+
+    #[test]
+    fn seed_change_loses_old_layout_until_refetched() {
+        let mut c = small_cache(PlacementKind::IdealRandom, ReplacementKind::Lru);
+        let p = pid(1);
+        c.set_seed(p, Seed::new(1));
+        let line = LineAddr::new(0x123);
+        c.access(p, line);
+        assert!(c.access(p, line).is_hit());
+        // A new seed (usually) maps the line elsewhere → miss expected.
+        // Use a line/seed pair where the mapping does change.
+        let mut moved = None;
+        for s in 2..50u64 {
+            c.set_seed(p, Seed::new(s));
+            if !c.probe(p, line) {
+                moved = Some(s);
+                break;
+            }
+        }
+        assert!(moved.is_some(), "line never moved across 48 seeds");
+    }
+
+    #[test]
+    fn probe_does_not_fill_or_count() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        assert!(!c.probe(pid(1), LineAddr::new(3)));
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.access(pid(1), LineAddr::new(3)).is_miss());
+        assert!(c.probe(pid(1), LineAddr::new(3)));
+    }
+
+    #[test]
+    fn cross_process_eviction_is_counted() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        // Fill set 0 with pid 1, then overflow it with pid 2.
+        c.access(pid(1), LineAddr::new(0));
+        c.access(pid(1), LineAddr::new(8));
+        c.access(pid(2), LineAddr::new(16));
+        assert_eq!(c.stats().cross_process_evictions(), 1);
+    }
+
+    #[test]
+    fn rpcache_redirects_cross_process_contention() {
+        let mut c = small_cache(PlacementKind::RpCache, ReplacementKind::Lru);
+        c.set_seed(pid(1), Seed::new(1));
+        c.set_seed(pid(2), Seed::new(2));
+        // Occupy every set with pid 1 so any pid-2 fill contends.
+        for i in 0..64u64 {
+            c.access(pid(1), LineAddr::new(i));
+        }
+        let mut redirects = 0;
+        for i in 100..164u64 {
+            if let AccessOutcome::Miss { redirected: true, .. } = c.access(pid(2), LineAddr::new(i)) {
+                redirects += 1;
+            }
+        }
+        assert!(redirects > 0, "rpcache never redirected under full contention");
+    }
+
+    #[test]
+    fn rpcache_remapped_line_remains_cached() {
+        let mut c = small_cache(PlacementKind::RpCache, ReplacementKind::Lru);
+        c.set_seed(pid(1), Seed::new(1));
+        c.set_seed(pid(2), Seed::new(2));
+        for i in 0..64u64 {
+            c.access(pid(1), LineAddr::new(i));
+        }
+        // Whatever happened (redirect or not), the just-filled line must
+        // be findable right after its miss.
+        for i in 100..110u64 {
+            let line = LineAddr::new(i);
+            c.access(pid(2), line);
+            assert!(c.access(pid(2), line).is_hit(), "line {i} lost after fill");
+        }
+    }
+
+    #[test]
+    fn rpcache_protects_marked_lines_within_one_process() {
+        // Wang & Lee's P-bit: even same-process fills that would evict
+        // a protected line are redirected to a random set.
+        let mut c = small_cache(PlacementKind::RpCache, ReplacementKind::Lru);
+        let p = pid(1);
+        c.set_seed(p, Seed::new(4));
+        c.add_protected_range(LineAddr::new(0), LineAddr::new(64));
+        // Fill the cache with protected lines.
+        for i in 0..16u64 {
+            c.access(p, LineAddr::new(i));
+        }
+        // Unprotected fills from elsewhere must trigger redirects.
+        let mut redirects = 0;
+        for i in 1000..1064u64 {
+            if let AccessOutcome::Miss { redirected: true, .. } = c.access(p, LineAddr::new(i)) {
+                redirects += 1;
+            }
+        }
+        assert!(redirects > 0, "no protected-line redirect happened");
+    }
+
+    #[test]
+    fn protected_bit_ignored_by_non_randomizing_policies() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        let p = pid(1);
+        c.add_protected_range(LineAddr::new(0), LineAddr::new(64));
+        for i in 0..16u64 {
+            c.access(p, LineAddr::new(i));
+        }
+        for i in 1000..1016u64 {
+            match c.access(p, LineAddr::new(i)) {
+                AccessOutcome::Miss { redirected, .. } => assert!(!redirected),
+                AccessOutcome::Hit => panic!("unexpected hit"),
+            }
+        }
+    }
+
+    #[test]
+    fn way_partition_confines_fills() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.set_way_partition(pid(1), 0, 1);
+        c.set_way_partition(pid(2), 1, 2);
+        // pid 1 streams many conflicting lines: confined to way 0, its
+        // own lines thrash while pid 2's single line survives.
+        c.access(pid(2), LineAddr::new(8)); // set 0
+        for i in 0..10u64 {
+            c.access(pid(1), LineAddr::new(i * 8)); // all set 0
+        }
+        assert!(c.access(pid(2), LineAddr::new(8)).is_hit(), "partition violated");
+        for (_, way, _, owner) in c.contents() {
+            match owner.as_u16() {
+                1 => assert_eq!(way, 0),
+                2 => assert_eq!(way, 1),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn way_partition_reduces_effective_associativity() {
+        let mut full = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        let mut part = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        part.set_way_partition(pid(1), 0, 1);
+        // Two alternating lines in one set: fit a 2-way cache, thrash a
+        // 1-way partition.
+        for _ in 0..20 {
+            for line in [0u64, 8] {
+                full.access(pid(1), LineAddr::new(line));
+                part.access(pid(1), LineAddr::new(line));
+            }
+        }
+        assert!(part.stats().misses() > full.stats().misses() * 2);
+    }
+
+    #[test]
+    fn clear_way_partition_restores_full_ways() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.set_way_partition(pid(1), 0, 1);
+        c.clear_way_partition(pid(1));
+        c.access(pid(1), LineAddr::new(0));
+        c.access(pid(1), LineAddr::new(8));
+        assert!(c.access(pid(1), LineAddr::new(0)).is_hit());
+        assert!(c.access(pid(1), LineAddr::new(8)).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way range")]
+    fn empty_partition_rejected() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.set_way_partition(pid(1), 1, 1);
+    }
+
+    #[test]
+    fn partitions_work_with_every_replacement_policy() {
+        for repl in ReplacementKind::ALL {
+            let mut c = small_cache(PlacementKind::Modulo, repl);
+            c.set_way_partition(pid(1), 0, 1);
+            c.set_way_partition(pid(2), 1, 2);
+            for i in 0..50u64 {
+                c.access(pid(1), LineAddr::new(i));
+                c.access(pid(2), LineAddr::new(1000 + i));
+            }
+            for (_, way, _, owner) in c.contents() {
+                match owner.as_u16() {
+                    1 => assert_eq!(way, 0, "{repl}"),
+                    2 => assert_eq!(way, 1, "{repl}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        for kind in PlacementKind::ALL {
+            let mut c = small_cache(kind, ReplacementKind::Random);
+            c.set_seed(pid(1), Seed::new(5));
+            for i in 0..1000u64 {
+                c.access(pid(1), LineAddr::new(i % 97));
+            }
+            assert!(c.occupancy() <= 16, "{kind}: occupancy {}", c.occupancy());
+        }
+    }
+
+    #[test]
+    fn contents_reports_valid_lines() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.access(pid(3), LineAddr::new(9));
+        let all: Vec<_> = c.contents().collect();
+        assert_eq!(all.len(), 1);
+        let (set, _way, line, owner) = all[0];
+        assert_eq!(set, 1); // index bits of 9 in an 8-set cache
+        assert_eq!(line, LineAddr::new(9));
+        assert_eq!(owner, pid(3));
+    }
+
+    #[test]
+    fn debug_output_names_policies() {
+        let c = small_cache(PlacementKind::HashRp, ReplacementKind::Random);
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("hash-rp"));
+        assert!(dbg.contains("random"));
+    }
+
+    #[test]
+    fn deterministic_given_same_rng_seed() {
+        let run = |rng_seed: u64| {
+            let mut c = Cache::new(
+                "d",
+                CacheGeometry::new(8, 2, 32).unwrap(),
+                PlacementKind::RandomModulo,
+                ReplacementKind::Random,
+                rng_seed,
+            );
+            c.set_seed(pid(1), Seed::new(9));
+            let mut misses = 0;
+            for i in 0..500u64 {
+                if c.access(pid(1), LineAddr::new((i * 7) % 64)).is_miss() {
+                    misses += 1;
+                }
+            }
+            misses
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

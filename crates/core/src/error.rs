@@ -1,0 +1,65 @@
+//! Error types for cache configuration.
+
+use core::fmt;
+use std::error::Error;
+
+/// An invalid cache or policy configuration.
+///
+/// Returned by constructors that validate their arguments, e.g.
+/// [`CacheGeometry::new`](crate::geometry::CacheGeometry::new).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    kind: ConfigErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ConfigErrorKind {
+    NotPowerOfTwo { field: &'static str, value: u32 },
+    Incompatible { what: String },
+}
+
+impl ConfigError {
+    pub(crate) fn not_power_of_two(field: &'static str, value: u32) -> Self {
+        ConfigError { kind: ConfigErrorKind::NotPowerOfTwo { field, value } }
+    }
+
+    pub(crate) fn incompatible(what: impl Into<String>) -> Self {
+        ConfigError { kind: ConfigErrorKind::Incompatible { what: what.into() } }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ConfigErrorKind::NotPowerOfTwo { field, value } => {
+                write!(f, "{field} must be a non-zero power of two, got {value}")
+            }
+            ConfigErrorKind::Incompatible { what } => write!(f, "{what}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ConfigError::not_power_of_two("ways", 3);
+        assert_eq!(e.to_string(), "ways must be a non-zero power of two, got 3");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn incompatible_passes_message_through() {
+        let e = ConfigError::incompatible("random modulo requires page-aligned ways");
+        assert!(e.to_string().contains("random modulo"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-level memory hierarchy: split L1 (instruction + data) backed
+//! by a unified L2, with configurable hit/miss latencies.
+
+use crate::addr::Addr;
+use crate::cache::Cache;
+use crate::geometry::CacheGeometry;
+use crate::placement::PlacementKind;
+use crate::replacement::ReplacementKind;
+use crate::seed::{ProcessId, Seed};
+use crate::stats::CacheStats;
+use core::fmt;
+
+/// Access latencies in cycles, modelled after an ARM920T-class part
+/// (paper §6.1.2): single-cycle L1 hits, a 10-cycle L2 penalty and an
+/// 80-cycle memory penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// Cycles for an L1 hit.
+    pub l1_hit: u32,
+    /// Additional cycles when the access hits in L2.
+    pub l2_hit: u32,
+    /// Additional cycles when the access goes to memory.
+    pub memory: u32,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies { l1_hit: 1, l2_hit: 10, memory: 80 }
+    }
+}
+
+impl fmt::Display for Latencies {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {}c / +L2 {}c / +mem {}c",
+            self.l1_hit, self.l2_hit, self.memory
+        )
+    }
+}
+
+/// Which first-level cache an access goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I).
+    Fetch,
+    /// Data read (L1D).
+    Read,
+    /// Data write (L1D, write-allocate).
+    Write,
+}
+
+/// A split-L1 + unified-L2 hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_core::hierarchy::{AccessKind, Hierarchy};
+/// use tscache_core::setup::SetupKind;
+/// use tscache_core::seed::{ProcessId, Seed};
+/// use tscache_core::addr::Addr;
+///
+/// let mut h = SetupKind::TsCache.build(1234);
+/// let pid = ProcessId::new(1);
+/// h.set_process_seed(pid, Seed::new(77));
+/// let cold = h.access(pid, AccessKind::Read, Addr::new(0x8000));
+/// let warm = h.access(pid, AccessKind::Read, Addr::new(0x8000));
+/// assert!(cold > warm);
+/// ```
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    latencies: Latencies,
+}
+
+impl Hierarchy {
+    /// Assembles a hierarchy from three caches and a latency model.
+    ///
+    /// The caches are taken in `(l1i, l1d, l2)` order.
+    pub fn new(l1i: Cache, l1d: Cache, l2: Cache, latencies: Latencies) -> Self {
+        Hierarchy { l1i, l1d, l2, latencies }
+    }
+
+    /// Builds the paper's geometry with uniform policies in the L1s and
+    /// a (possibly different) policy in L2.
+    pub fn with_policies(
+        l1_placement: PlacementKind,
+        l1_replacement: ReplacementKind,
+        l2_placement: PlacementKind,
+        l2_replacement: ReplacementKind,
+        rng_seed: u64,
+    ) -> Self {
+        let l1 = CacheGeometry::paper_l1();
+        let l2 = CacheGeometry::paper_l2();
+        Hierarchy::new(
+            Cache::new("L1I", l1, l1_placement, l1_replacement, rng_seed ^ 0x11),
+            Cache::new("L1D", l1, l1_placement, l1_replacement, rng_seed ^ 0x22),
+            Cache::new("L2", l2, l2_placement, l2_replacement, rng_seed ^ 0x33),
+            Latencies::default(),
+        )
+    }
+
+    /// The latency model.
+    pub fn latencies(&self) -> Latencies {
+        self.latencies
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latencies(&mut self, latencies: Latencies) {
+        self.latencies = latencies;
+    }
+
+    /// Performs an access and returns its cost in cycles.
+    pub fn access(&mut self, pid: ProcessId, kind: AccessKind, addr: Addr) -> u32 {
+        let l1 = match kind {
+            AccessKind::Fetch => &mut self.l1i,
+            AccessKind::Read | AccessKind::Write => &mut self.l1d,
+        };
+        let line = l1.geometry().line_of(addr);
+        if l1.access(pid, line).is_hit() {
+            return self.latencies.l1_hit;
+        }
+        // L1 miss: consult the unified L2 (same line size here, so the
+        // line address carries over).
+        let l2_line = self.l2.geometry().line_of(addr);
+        if self.l2.access(pid, l2_line).is_hit() {
+            self.latencies.l1_hit + self.latencies.l2_hit
+        } else {
+            self.latencies.l1_hit + self.latencies.l2_hit + self.latencies.memory
+        }
+    }
+
+    /// Sets the placement seed of `pid` in all three caches, deriving a
+    /// decorrelated sub-seed per level.
+    pub fn set_process_seed(&mut self, pid: ProcessId, seed: Seed) {
+        self.l1i.set_seed(pid, seed.derive(1));
+        self.l1d.set_seed(pid, seed.derive(2));
+        self.l2.set_seed(pid, seed.derive(3));
+    }
+
+    /// Confines `pid` to fill ways `lo..hi` in both L1 caches (strict
+    /// way partitioning, the §7 alternative; the shared L2 is left
+    /// unpartitioned as partitioning it is what cripples data sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the L1 associativity.
+    pub fn set_l1_way_partition(&mut self, pid: ProcessId, lo: u32, hi: u32) {
+        self.l1i.set_way_partition(pid, lo, hi);
+        self.l1d.set_way_partition(pid, lo, hi);
+    }
+
+    /// Marks `size` bytes at `start` as protected data (RPCache P-bit,
+    /// e.g. over the AES tables) in the data-side caches.
+    pub fn add_protected_range(&mut self, start: Addr, size: u64) {
+        let bits = self.l1d.geometry().offset_bits();
+        let first = start.line(bits);
+        let last = start.offset(size.saturating_sub(1)).line(bits).offset(1);
+        self.l1d.add_protected_range(first, last);
+        self.l2.add_protected_range(first, last);
+    }
+
+    /// Flushes all three caches.
+    pub fn flush_all(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+    }
+
+    /// Flushes all lines of `pid` in all three caches.
+    pub fn flush_process(&mut self, pid: ProcessId) {
+        self.l1i.flush_process(pid);
+        self.l1d.flush_process(pid);
+        self.l2.flush_process(pid);
+    }
+
+    /// The instruction L1.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The data L1.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Summed statistics of all levels.
+    pub fn total_stats(&self) -> CacheStats {
+        *self.l1i.stats() + *self.l1d.stats() + *self.l2.stats()
+    }
+
+    /// Clears statistics on all levels.
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::with_policies(
+            PlacementKind::Modulo,
+            ReplacementKind::Lru,
+            PlacementKind::Modulo,
+            ReplacementKind::Lru,
+            99,
+        )
+    }
+
+    fn pid() -> ProcessId {
+        ProcessId::new(1)
+    }
+
+    #[test]
+    fn latency_ladder() {
+        let mut h = hierarchy();
+        let a = Addr::new(0x4_0000);
+        // Cold: L1 miss + L2 miss.
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10 + 80);
+        // Warm: L1 hit.
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = hierarchy();
+        let a = Addr::new(0);
+        h.access(pid(), AccessKind::Read, a);
+        // Evict `a` from L1D (128-set, 4-way): four conflicting lines.
+        for i in 1..=4u64 {
+            h.access(pid(), AccessKind::Read, Addr::new(i * 128 * 32));
+        }
+        // `a` is gone from L1 but still in the 2048-set L2.
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10);
+    }
+
+    #[test]
+    fn fetch_and_read_use_separate_l1s() {
+        let mut h = hierarchy();
+        let a = Addr::new(0x1000);
+        h.access(pid(), AccessKind::Fetch, a);
+        // A read of the same address must still miss L1D (though it
+        // hits L2, warmed by the fetch).
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10);
+        assert_eq!(h.l1i().stats().misses(), 1);
+        assert_eq!(h.l1d().stats().misses(), 1);
+    }
+
+    #[test]
+    fn write_goes_through_l1d() {
+        let mut h = hierarchy();
+        let a = Addr::new(0x2000);
+        h.access(pid(), AccessKind::Write, a);
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1);
+    }
+
+    #[test]
+    fn flush_all_cools_everything() {
+        let mut h = hierarchy();
+        let a = Addr::new(0x3000);
+        h.access(pid(), AccessKind::Read, a);
+        h.flush_all();
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 91);
+    }
+
+    #[test]
+    fn per_level_seeds_are_distinct() {
+        let mut h = Hierarchy::with_policies(
+            PlacementKind::RandomModulo,
+            ReplacementKind::Random,
+            PlacementKind::HashRp,
+            ReplacementKind::Random,
+            1,
+        );
+        h.set_process_seed(pid(), Seed::new(5));
+        let s1 = h.l1i().seed(pid());
+        let s2 = h.l1d().seed(pid());
+        let s3 = h.l2().seed(pid());
+        assert_ne!(s1, s2);
+        assert_ne!(s2, s3);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn total_stats_sums_levels() {
+        let mut h = hierarchy();
+        h.access(pid(), AccessKind::Read, Addr::new(0));
+        h.access(pid(), AccessKind::Fetch, Addr::new(0x100));
+        // 2 L1 misses (one per L1) + 2 L2 misses.
+        assert_eq!(h.total_stats().misses(), 4);
+        h.reset_stats();
+        assert_eq!(h.total_stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,551 @@
+//! Cache replacement policies.
+//!
+//! MBPTA-compliant caches pair random placement with random (or at
+//! least analysable) replacement; deterministic setups use LRU. The
+//! cache asks the policy for a victim way only when every way of the
+//! set holds valid data — invalid ways are always filled first.
+
+use crate::geometry::CacheGeometry;
+use crate::prng::{Prng, SplitMix64};
+use core::fmt;
+
+/// A per-set replacement policy.
+///
+/// Implementations keep per-set bookkeeping indexed as
+/// `set * ways + way` and must tolerate [`reset`](Replacement::reset)
+/// at any time (cache flush).
+pub trait Replacement: fmt::Debug + Send {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Records a hit on `(set, way)`.
+    fn on_hit(&mut self, set: u32, way: u32);
+
+    /// Records a fill of `(set, way)`.
+    fn on_fill(&mut self, set: u32, way: u32);
+
+    /// Chooses the victim way in a full set.
+    fn victim(&mut self, set: u32, rng: &mut SplitMix64) -> u32;
+
+    /// Chooses the victim way within the way range `lo..hi` (way
+    /// partitioning, paper §7). The default picks uniformly at random
+    /// within the partition; stamp-based policies override with an
+    /// exact range scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn victim_in(&mut self, _set: u32, lo: u32, hi: u32, rng: &mut SplitMix64) -> u32 {
+        assert!(lo < hi, "empty way partition");
+        lo + rng.below(hi - lo)
+    }
+
+    /// Clears all bookkeeping (cache flush).
+    fn reset(&mut self);
+
+    /// Whether victim selection consumes randomness.
+    fn is_randomized(&self) -> bool {
+        false
+    }
+}
+
+/// Configuration enum naming each replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementKind {
+    /// Least recently used.
+    Lru,
+    /// First in, first out (fill order).
+    Fifo,
+    /// Uniformly random victim (the paper's optional random replacement).
+    Random,
+    /// Tree pseudo-LRU.
+    PlruTree,
+    /// Not-recently-used (single reference bit per line).
+    Nru,
+}
+
+impl ReplacementKind {
+    /// Builds the policy for the given geometry.
+    pub fn build(self, geom: &CacheGeometry) -> Box<dyn Replacement> {
+        match self {
+            ReplacementKind::Lru => Box::new(Lru::new(geom)),
+            ReplacementKind::Fifo => Box::new(Fifo::new(geom)),
+            ReplacementKind::Random => Box::new(RandomRepl::new(geom)),
+            ReplacementKind::PlruTree => Box::new(PlruTree::new(geom)),
+            ReplacementKind::Nru => Box::new(Nru::new(geom)),
+        }
+    }
+
+    /// All kinds, in presentation order.
+    pub const ALL: [ReplacementKind; 5] = [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::Random,
+        ReplacementKind::PlruTree,
+        ReplacementKind::Nru,
+    ];
+}
+
+impl fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplacementKind::Lru => "lru",
+            ReplacementKind::Fifo => "fifo",
+            ReplacementKind::Random => "random",
+            ReplacementKind::PlruTree => "plru-tree",
+            ReplacementKind::Nru => "nru",
+        };
+        f.write_str(s)
+    }
+}
+
+/// True LRU via monotonically increasing access stamps.
+#[derive(Debug)]
+pub struct Lru {
+    ways: u32,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// Creates LRU bookkeeping for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        Lru {
+            ways: geom.ways(),
+            stamps: vec![0; geom.total_lines() as usize],
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.ways + way) as usize
+    }
+}
+
+impl Replacement for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn on_hit(&mut self, set: u32, way: u32) {
+        self.clock += 1;
+        let slot = self.slot(set, way);
+        self.stamps[slot] = self.clock;
+    }
+
+    fn on_fill(&mut self, set: u32, way: u32) {
+        self.on_hit(set, way);
+    }
+
+    fn victim(&mut self, set: u32, _rng: &mut SplitMix64) -> u32 {
+        let base = self.slot(set, 0);
+        let mut best = 0u32;
+        let mut best_stamp = u64::MAX;
+        for w in 0..self.ways {
+            let s = self.stamps[base + w as usize];
+            if s < best_stamp {
+                best_stamp = s;
+                best = w;
+            }
+        }
+        best
+    }
+
+    fn victim_in(&mut self, set: u32, lo: u32, hi: u32, _rng: &mut SplitMix64) -> u32 {
+        assert!(lo < hi, "empty way partition");
+        let base = self.slot(set, 0);
+        let mut best = lo;
+        let mut best_stamp = u64::MAX;
+        for w in lo..hi {
+            let s = self.stamps[base + w as usize];
+            if s < best_stamp {
+                best_stamp = s;
+                best = w;
+            }
+        }
+        best
+    }
+
+    fn reset(&mut self) {
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+/// FIFO: victim is the oldest fill.
+#[derive(Debug)]
+pub struct Fifo {
+    ways: u32,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Fifo {
+    /// Creates FIFO bookkeeping for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        Fifo {
+            ways: geom.ways(),
+            stamps: vec![0; geom.total_lines() as usize],
+            clock: 0,
+        }
+    }
+}
+
+impl Replacement for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn on_hit(&mut self, _set: u32, _way: u32) {
+        // Hits do not refresh FIFO order.
+    }
+
+    fn on_fill(&mut self, set: u32, way: u32) {
+        self.clock += 1;
+        self.stamps[(set * self.ways + way) as usize] = self.clock;
+    }
+
+    fn victim(&mut self, set: u32, _rng: &mut SplitMix64) -> u32 {
+        let base = (set * self.ways) as usize;
+        let mut best = 0u32;
+        let mut best_stamp = u64::MAX;
+        for w in 0..self.ways {
+            let s = self.stamps[base + w as usize];
+            if s < best_stamp {
+                best_stamp = s;
+                best = w;
+            }
+        }
+        best
+    }
+
+    fn victim_in(&mut self, set: u32, lo: u32, hi: u32, _rng: &mut SplitMix64) -> u32 {
+        assert!(lo < hi, "empty way partition");
+        let base = (set * self.ways) as usize;
+        let mut best = lo;
+        let mut best_stamp = u64::MAX;
+        for w in lo..hi {
+            let s = self.stamps[base + w as usize];
+            if s < best_stamp {
+                best_stamp = s;
+                best = w;
+            }
+        }
+        best
+    }
+
+    fn reset(&mut self) {
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+/// Uniformly random replacement (paper §2.1: the optional randomized
+/// replacement of MBPTA caches).
+#[derive(Debug)]
+pub struct RandomRepl {
+    ways: u32,
+}
+
+impl RandomRepl {
+    /// Creates random replacement for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        RandomRepl { ways: geom.ways() }
+    }
+}
+
+impl Replacement for RandomRepl {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn on_hit(&mut self, _set: u32, _way: u32) {}
+
+    fn on_fill(&mut self, _set: u32, _way: u32) {}
+
+    fn victim(&mut self, _set: u32, rng: &mut SplitMix64) -> u32 {
+        rng.below(self.ways)
+    }
+
+    fn reset(&mut self) {}
+
+    fn is_randomized(&self) -> bool {
+        true
+    }
+}
+
+/// Tree pseudo-LRU (binary decision tree per set).
+///
+/// # Panics
+///
+/// Construction panics if the geometry's way count is not a power of
+/// two (the tree requires it); `CacheGeometry` already guarantees this.
+#[derive(Debug)]
+pub struct PlruTree {
+    ways: u32,
+    /// `ways - 1` tree bits per set, packed one `u32` per set (supports
+    /// up to 32 ways).
+    bits: Vec<u32>,
+}
+
+impl PlruTree {
+    /// Creates tree-PLRU bookkeeping for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        assert!(geom.ways() <= 32, "plru-tree supports at most 32 ways");
+        PlruTree {
+            ways: geom.ways(),
+            bits: vec![0; geom.sets() as usize],
+        }
+    }
+
+    /// Walks the tree towards `way`, setting each node to point *away*
+    /// from it (the touched side becomes "recently used").
+    fn touch(&mut self, set: u32, way: u32) {
+        let levels = self.ways.trailing_zeros();
+        let bits = &mut self.bits[set as usize];
+        let mut node = 0u32; // root at node 0; children of n are 2n+1, 2n+2
+        for level in (0..levels).rev() {
+            let go_right = (way >> level) & 1;
+            // Node bit = 1 means "next victim is on the right"; point
+            // away from the touched side.
+            if go_right == 1 {
+                *bits &= !(1 << node);
+            } else {
+                *bits |= 1 << node;
+            }
+            node = 2 * node + 1 + go_right;
+        }
+    }
+}
+
+impl Replacement for PlruTree {
+    fn name(&self) -> &'static str {
+        "plru-tree"
+    }
+
+    fn on_hit(&mut self, set: u32, way: u32) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: u32, way: u32) {
+        self.touch(set, way);
+    }
+
+    fn victim(&mut self, set: u32, _rng: &mut SplitMix64) -> u32 {
+        let levels = self.ways.trailing_zeros();
+        let bits = self.bits[set as usize];
+        let mut node = 0u32;
+        let mut way = 0u32;
+        for _ in 0..levels {
+            let dir = (bits >> node) & 1;
+            way = (way << 1) | dir;
+            node = 2 * node + 1 + dir;
+        }
+        way
+    }
+
+    fn reset(&mut self) {
+        self.bits.fill(0);
+    }
+}
+
+/// Not-recently-used: one reference bit per line; victim is the first
+/// way with a clear bit, clearing all bits when the set saturates.
+#[derive(Debug)]
+pub struct Nru {
+    ways: u32,
+    refs: Vec<bool>,
+}
+
+impl Nru {
+    /// Creates NRU bookkeeping for `geom`.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        Nru {
+            ways: geom.ways(),
+            refs: vec![false; geom.total_lines() as usize],
+        }
+    }
+}
+
+impl Replacement for Nru {
+    fn name(&self) -> &'static str {
+        "nru"
+    }
+
+    fn on_hit(&mut self, set: u32, way: u32) {
+        self.refs[(set * self.ways + way) as usize] = true;
+    }
+
+    fn on_fill(&mut self, set: u32, way: u32) {
+        self.on_hit(set, way);
+    }
+
+    fn victim(&mut self, set: u32, _rng: &mut SplitMix64) -> u32 {
+        let base = (set * self.ways) as usize;
+        for w in 0..self.ways {
+            if !self.refs[base + w as usize] {
+                return w;
+            }
+        }
+        // Saturated: age the set and evict way 0.
+        for w in 0..self.ways {
+            self.refs[base + w as usize] = false;
+        }
+        0
+    }
+
+    fn victim_in(&mut self, set: u32, lo: u32, hi: u32, _rng: &mut SplitMix64) -> u32 {
+        assert!(lo < hi, "empty way partition");
+        let base = (set * self.ways) as usize;
+        for w in lo..hi {
+            if !self.refs[base + w as usize] {
+                return w;
+            }
+        }
+        for w in lo..hi {
+            self.refs[base + w as usize] = false;
+        }
+        lo
+    }
+
+    fn reset(&mut self) {
+        self.refs.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(4, 4, 32).unwrap()
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        for w in 0..4 {
+            lru.on_fill(0, w);
+        }
+        lru.on_hit(0, 0); // refresh way 0: victim must be way 1
+        assert_eq!(lru.victim(0, &mut rng), 1);
+        lru.on_hit(0, 1);
+        assert_eq!(lru.victim(0, &mut rng), 2);
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut lru = Lru::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        for w in 0..4 {
+            lru.on_fill(0, w);
+            lru.on_fill(1, 3 - w);
+        }
+        assert_eq!(lru.victim(0, &mut rng), 0);
+        assert_eq!(lru.victim(1, &mut rng), 3);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut fifo = Fifo::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        for w in 0..4 {
+            fifo.on_fill(0, w);
+        }
+        fifo.on_hit(0, 0); // must not refresh
+        assert_eq!(fifo.victim(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn random_victim_covers_all_ways_and_is_seeded() {
+        let g = geom();
+        let mut r1 = RandomRepl::new(&g);
+        let mut r2 = RandomRepl::new(&g);
+        let mut rng1 = SplitMix64::new(7);
+        let mut rng2 = SplitMix64::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let v = r1.victim(0, &mut rng1);
+            assert_eq!(v, r2.victim(0, &mut rng2), "same rng stream, same victims");
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn plru_points_away_from_recent() {
+        let mut plru = PlruTree::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        for w in 0..4 {
+            plru.on_fill(0, w);
+        }
+        // After touching 0,1,2,3 in order the victim must be on the
+        // left half (ways 0/1), specifically way 0 for the tree walk.
+        let v = plru.victim(0, &mut rng);
+        assert!(v < 2, "victim {v} should be in the cold half");
+    }
+
+    #[test]
+    fn plru_victim_never_most_recent() {
+        let mut plru = PlruTree::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        for pattern in 0..64u32 {
+            let way = pattern % 4;
+            plru.on_hit(0, way);
+            assert_ne!(plru.victim(0, &mut rng), way);
+        }
+    }
+
+    #[test]
+    fn nru_picks_first_unreferenced_then_ages() {
+        let mut nru = Nru::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        nru.on_fill(0, 0);
+        nru.on_fill(0, 1);
+        assert_eq!(nru.victim(0, &mut rng), 2);
+        nru.on_fill(0, 2);
+        nru.on_fill(0, 3);
+        // All referenced: ages and returns way 0.
+        assert_eq!(nru.victim(0, &mut rng), 0);
+        // After aging, way 0 (still unreferenced) is chosen again.
+        assert_eq!(nru.victim(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut lru = Lru::new(&geom());
+        let mut rng = SplitMix64::new(0);
+        for w in 0..4 {
+            lru.on_fill(0, w);
+        }
+        lru.reset();
+        // After reset all stamps are equal; the scan picks way 0.
+        assert_eq!(lru.victim(0, &mut rng), 0);
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let g = CacheGeometry::paper_l1();
+        for kind in ReplacementKind::ALL {
+            let r = kind.build(&g);
+            assert!(!r.name().is_empty());
+            assert_eq!(r.is_randomized(), kind == ReplacementKind::Random);
+        }
+    }
+
+    #[test]
+    fn victims_always_in_range() {
+        let g = CacheGeometry::paper_l1();
+        let mut rng = SplitMix64::new(1);
+        for kind in ReplacementKind::ALL {
+            let mut r = kind.build(&g);
+            for set in [0u32, 63, 127] {
+                for _ in 0..32 {
+                    assert!(r.victim(set, &mut rng) < g.ways());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The four processor setups evaluated in the paper (§6.1.2) and their
+//! seed-management policies.
+
+use crate::hierarchy::Hierarchy;
+use crate::placement::PlacementKind;
+use crate::replacement::ReplacementKind;
+use crate::seed::{ProcessId, Seed};
+use crate::prng::{Prng, SplitMix64};
+use core::fmt;
+
+/// How placement seeds are assigned to processes, the knob that
+/// separates MBPTACache from TSCache (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeedSharing {
+    /// Placement ignores seeds (deterministic caches).
+    Irrelevant,
+    /// Every process uses the same seed — permitted by plain MBPTA seed
+    /// management and exactly what lets a contention attacker mirror
+    /// the victim's layout (§4).
+    Shared,
+    /// Every process gets an independent random seed (TSCache §5;
+    /// RPCache's per-process permutations behave likewise).
+    PerProcess,
+}
+
+impl fmt::Display for SeedSharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SeedSharing::Irrelevant => "irrelevant",
+            SeedSharing::Shared => "shared",
+            SeedSharing::PerProcess => "per-process",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the paper's four evaluated cache configurations.
+///
+/// | Setup | L1 policy | L2 policy | Seeds |
+/// |---|---|---|---|
+/// | `Deterministic` | modulo + LRU | modulo + LRU | — |
+/// | `RpCache` | RPCache + LRU | modulo + LRU | per-process permutations |
+/// | `Mbpta` | Random Modulo + random | HashRP + random | shared |
+/// | `TsCache` | Random Modulo + random | HashRP + random | per-process |
+///
+/// MBPTACache and TSCache are the *same hardware*; only the OS seed
+/// policy differs — the paper's central observation.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_core::setup::{SeedSharing, SetupKind};
+///
+/// assert_eq!(SetupKind::Mbpta.seed_sharing(), SeedSharing::Shared);
+/// assert_eq!(SetupKind::TsCache.seed_sharing(), SeedSharing::PerProcess);
+/// let h = SetupKind::TsCache.build(42);
+/// assert_eq!(h.l1d().placement_name(), "random-modulo");
+/// assert_eq!(h.l2().placement_name(), "hash-rp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetupKind {
+    /// Baseline vulnerable processor with time-deterministic caches.
+    Deterministic,
+    /// Secure processor implementing the RPCache.
+    RpCache,
+    /// MBPTA-compliant random cache with shared seeds.
+    Mbpta,
+    /// The paper's proposal: MBPTA hardware + per-process seeds.
+    TsCache,
+}
+
+impl SetupKind {
+    /// All setups in the paper's presentation order.
+    pub const ALL: [SetupKind; 4] = [
+        SetupKind::Deterministic,
+        SetupKind::RpCache,
+        SetupKind::Mbpta,
+        SetupKind::TsCache,
+    ];
+
+    /// Builds the hierarchy for this setup.
+    pub fn build(self, rng_seed: u64) -> Hierarchy {
+        match self {
+            SetupKind::Deterministic => Hierarchy::with_policies(
+                PlacementKind::Modulo,
+                ReplacementKind::Lru,
+                PlacementKind::Modulo,
+                ReplacementKind::Lru,
+                rng_seed,
+            ),
+            SetupKind::RpCache => Hierarchy::with_policies(
+                PlacementKind::RpCache,
+                ReplacementKind::Lru,
+                PlacementKind::Modulo,
+                ReplacementKind::Lru,
+                rng_seed,
+            ),
+            SetupKind::Mbpta | SetupKind::TsCache => Hierarchy::with_policies(
+                PlacementKind::RandomModulo,
+                ReplacementKind::Random,
+                PlacementKind::HashRp,
+                ReplacementKind::Random,
+                rng_seed,
+            ),
+        }
+    }
+
+    /// The seed-management policy of this setup.
+    pub fn seed_sharing(self) -> SeedSharing {
+        match self {
+            SetupKind::Deterministic => SeedSharing::Irrelevant,
+            SetupKind::RpCache => SeedSharing::PerProcess,
+            SetupKind::Mbpta => SeedSharing::Shared,
+            SetupKind::TsCache => SeedSharing::PerProcess,
+        }
+    }
+
+    /// Assigns per-run seeds to `pids` in `hierarchy` according to the
+    /// setup's policy, drawing randomness from `rng`.
+    ///
+    /// Call once per run (job) before executing; the paper re-seeds at
+    /// job or hyperperiod granularity (§5).
+    pub fn assign_seeds<R: Prng>(
+        self,
+        hierarchy: &mut Hierarchy,
+        pids: &[ProcessId],
+        rng: &mut R,
+    ) {
+        match self.seed_sharing() {
+            SeedSharing::Irrelevant => {
+                for &pid in pids {
+                    hierarchy.set_process_seed(pid, Seed::ZERO);
+                }
+            }
+            SeedSharing::Shared => {
+                let seed = Seed::random(rng);
+                for &pid in pids {
+                    hierarchy.set_process_seed(pid, seed);
+                }
+            }
+            SeedSharing::PerProcess => {
+                for &pid in pids {
+                    hierarchy.set_process_seed(pid, Seed::random(rng));
+                }
+            }
+        }
+    }
+
+    /// Short label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SetupKind::Deterministic => "deterministic",
+            SetupKind::RpCache => "rpcache",
+            SetupKind::Mbpta => "mbptacache",
+            SetupKind::TsCache => "tscache",
+        }
+    }
+}
+
+impl fmt::Display for SetupKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Convenience: builds a hierarchy and seeds two processes (victim and
+/// attacker) per the setup policy; returns the hierarchy.
+pub fn build_two_process(
+    kind: SetupKind,
+    victim: ProcessId,
+    attacker: ProcessId,
+    run_seed: u64,
+) -> Hierarchy {
+    let mut h = kind.build(run_seed);
+    let mut rng = SplitMix64::new(run_seed ^ 0x5eed);
+    kind.assign_seeds(&mut h, &[victim, attacker], &mut rng);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_build_expected_policies() {
+        let det = SetupKind::Deterministic.build(1);
+        assert_eq!(det.l1d().placement_name(), "modulo");
+        let rp = SetupKind::RpCache.build(1);
+        assert_eq!(rp.l1d().placement_name(), "rpcache");
+        assert_eq!(rp.l2().placement_name(), "modulo");
+        let mb = SetupKind::Mbpta.build(1);
+        assert_eq!(mb.l1d().placement_name(), "random-modulo");
+        assert_eq!(mb.l1d().replacement_name(), "random");
+        assert_eq!(mb.l2().placement_name(), "hash-rp");
+    }
+
+    #[test]
+    fn mbpta_and_tscache_share_hardware() {
+        let a = SetupKind::Mbpta.build(1);
+        let b = SetupKind::TsCache.build(1);
+        assert_eq!(a.l1d().placement_name(), b.l1d().placement_name());
+        assert_eq!(a.l2().placement_name(), b.l2().placement_name());
+        assert_ne!(SetupKind::Mbpta.seed_sharing(), SetupKind::TsCache.seed_sharing());
+    }
+
+    #[test]
+    fn shared_seeds_are_equal_per_process_differ() {
+        let (v, a) = (ProcessId::new(1), ProcessId::new(2));
+        let mut rng = SplitMix64::new(7);
+
+        let mut h = SetupKind::Mbpta.build(1);
+        SetupKind::Mbpta.assign_seeds(&mut h, &[v, a], &mut rng);
+        assert_eq!(h.l1d().seed(v), h.l1d().seed(a));
+
+        let mut h = SetupKind::TsCache.build(1);
+        SetupKind::TsCache.assign_seeds(&mut h, &[v, a], &mut rng);
+        assert_ne!(h.l1d().seed(v), h.l1d().seed(a));
+    }
+
+    #[test]
+    fn deterministic_assigns_zero_seed() {
+        let (v, a) = (ProcessId::new(1), ProcessId::new(2));
+        let mut h = SetupKind::Deterministic.build(1);
+        let mut rng = SplitMix64::new(7);
+        SetupKind::Deterministic.assign_seeds(&mut h, &[v, a], &mut rng);
+        assert_eq!(h.l1d().seed(v), Seed::new(0).derive(2));
+    }
+
+    #[test]
+    fn build_two_process_seeds_both() {
+        let (v, a) = (ProcessId::new(1), ProcessId::new(2));
+        let h = build_two_process(SetupKind::TsCache, v, a, 99);
+        assert_ne!(h.l1d().seed(v), h.l1d().seed(a));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SetupKind::Mbpta.to_string(), "mbptacache");
+        assert_eq!(SetupKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the memory hierarchy: latency algebra, level
+//! isolation and seed handling under arbitrary access sequences.
+
+use proptest::prelude::*;
+use tscache_core::addr::Addr;
+use tscache_core::hierarchy::AccessKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+
+fn kind_of(tag: u8) -> AccessKind {
+    match tag % 3 {
+        0 => AccessKind::Fetch,
+        1 => AccessKind::Read,
+        _ => AccessKind::Write,
+    }
+}
+
+proptest! {
+    /// Every access costs exactly one of the three latency sums
+    /// (L1 hit / L2 hit / memory), for every setup.
+    #[test]
+    fn latency_is_always_on_the_ladder(
+        accesses in prop::collection::vec((0u64..1 << 20, 0u8..3), 1..300),
+        setup_idx in 0usize..4,
+    ) {
+        let setup = SetupKind::ALL[setup_idx];
+        let mut h = setup.build(42);
+        let pid = ProcessId::new(1);
+        h.set_process_seed(pid, Seed::new(7));
+        for &(addr, tag) in &accesses {
+            let cost = h.access(pid, kind_of(tag), Addr::new(addr));
+            prop_assert!(
+                cost == 1 || cost == 11 || cost == 91,
+                "{setup}: cost {cost} not in {{1, 11, 91}}"
+            );
+        }
+    }
+
+    /// Immediately repeating any access hits L1 (cost 1).
+    #[test]
+    fn repeat_access_hits(
+        addr in 0u64..1 << 24,
+        tag in 0u8..3,
+        setup_idx in 0usize..4,
+    ) {
+        let setup = SetupKind::ALL[setup_idx];
+        let mut h = setup.build(3);
+        let pid = ProcessId::new(1);
+        h.set_process_seed(pid, Seed::new(11));
+        let kind = kind_of(tag);
+        h.access(pid, kind, Addr::new(addr));
+        prop_assert_eq!(h.access(pid, kind, Addr::new(addr)), 1);
+    }
+
+    /// Total statistics equal the sum of per-level statistics, and L1D
+    /// never sees fetches (level isolation).
+    #[test]
+    fn stats_decompose_by_level(
+        accesses in prop::collection::vec((0u64..1 << 16, 0u8..3), 1..200),
+    ) {
+        let mut h = SetupKind::Mbpta.build(5);
+        let pid = ProcessId::new(2);
+        h.set_process_seed(pid, Seed::new(13));
+        let mut fetches = 0u64;
+        let mut data = 0u64;
+        for &(addr, tag) in &accesses {
+            match kind_of(tag) {
+                AccessKind::Fetch => fetches += 1,
+                _ => data += 1,
+            }
+            h.access(pid, kind_of(tag), Addr::new(addr));
+        }
+        prop_assert_eq!(h.l1i().stats().accesses(), fetches);
+        prop_assert_eq!(h.l1d().stats().accesses(), data);
+        let total = h.total_stats();
+        prop_assert_eq!(
+            total.accesses(),
+            h.l1i().stats().accesses()
+                + h.l1d().stats().accesses()
+                + h.l2().stats().accesses()
+        );
+    }
+
+    /// After flush_all, the next access to any previously-touched line
+    /// pays the full memory latency.
+    #[test]
+    fn flush_all_is_total(addrs in prop::collection::vec(0u64..1 << 20, 1..100)) {
+        let mut h = SetupKind::TsCache.build(9);
+        let pid = ProcessId::new(1);
+        h.set_process_seed(pid, Seed::new(21));
+        for &a in &addrs {
+            h.access(pid, AccessKind::Read, Addr::new(a));
+        }
+        h.flush_all();
+        prop_assert_eq!(h.access(pid, AccessKind::Read, Addr::new(addrs[0])), 91);
+    }
+
+    /// flush_process removes only the named process's lines.
+    #[test]
+    fn flush_process_is_selective(
+        a_addrs in prop::collection::vec(0u64..1 << 12, 1..30),
+        b_addrs in prop::collection::vec((1u64 << 20)..(1 << 20) + (1 << 12), 1..30),
+    ) {
+        let mut h = SetupKind::Deterministic.build(1);
+        let (pa, pb) = (ProcessId::new(1), ProcessId::new(2));
+        for &a in &a_addrs {
+            h.access(pa, AccessKind::Read, Addr::new(a));
+        }
+        for &b in &b_addrs {
+            h.access(pb, AccessKind::Read, Addr::new(b));
+        }
+        // Re-touch to ensure residency (evictions may have occurred),
+        // then flush pa and check pb's last line survives in L1.
+        let keep = Addr::new(b_addrs[b_addrs.len() - 1]);
+        h.access(pb, AccessKind::Read, keep);
+        h.flush_process(pa);
+        prop_assert_eq!(h.access(pb, AccessKind::Read, keep), 1);
+        prop_assert_eq!(h.access(pa, AccessKind::Read, Addr::new(a_addrs[0])), 91);
+    }
+
+    /// The same seed always reproduces the same cost sequence
+    /// (simulator determinism end to end).
+    #[test]
+    fn cost_sequences_are_reproducible(
+        accesses in prop::collection::vec((0u64..1 << 18, 0u8..3), 1..150),
+        setup_idx in 0usize..4,
+    ) {
+        let setup = SetupKind::ALL[setup_idx];
+        let run = || {
+            let mut h = setup.build(77);
+            let pid = ProcessId::new(1);
+            h.set_process_seed(pid, Seed::new(99));
+            accesses
+                .iter()
+                .map(|&(a, t)| h.access(pid, kind_of(t), Addr::new(a)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

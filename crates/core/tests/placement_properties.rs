@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) for the placement policies and the
+//! Benes-style permutation network.
+
+use proptest::prelude::*;
+use tscache_core::addr::LineAddr;
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::placement::{PlacementKind, PermutationNetwork};
+use tscache_core::seed::Seed;
+
+proptest! {
+    /// The permutation network is a bijection for every control word.
+    #[test]
+    fn benes_bijective_k7(control in any::<u64>()) {
+        let net = PermutationNetwork::new(7);
+        let mut seen = [false; 128];
+        for v in 0..128u32 {
+            let out = net.apply(v, control) as usize;
+            prop_assert!(!seen[out], "collision at {out}");
+            seen[out] = true;
+        }
+    }
+
+    /// Bijectivity also holds at the L2 index width.
+    #[test]
+    fn benes_bijective_k11(control in any::<u64>()) {
+        let net = PermutationNetwork::new(11);
+        let mut seen = vec![false; 2048];
+        for v in 0..2048u32 {
+            let out = net.apply(v, control) as usize;
+            prop_assert!(!seen[out], "collision at {out}");
+            seen[out] = true;
+        }
+    }
+
+    /// Every policy places every (line, seed) pair inside the set range.
+    #[test]
+    fn placement_in_range(line in any::<u64>(), seed in any::<u64>()) {
+        let geom = CacheGeometry::paper_l1();
+        for kind in PlacementKind::ALL {
+            let mut p = kind.build(&geom);
+            let set = p.place(LineAddr::new(line >> 5), Seed::new(seed));
+            prop_assert!(set < geom.sets(), "{kind}: {set}");
+        }
+    }
+
+    /// Placement is a pure function of (line, seed) for every policy
+    /// (absent contention remaps).
+    #[test]
+    fn placement_deterministic(line in any::<u64>(), seed in any::<u64>()) {
+        let geom = CacheGeometry::paper_l1();
+        for kind in PlacementKind::ALL {
+            let mut p = kind.build(&geom);
+            let l = LineAddr::new(line >> 5);
+            let s = Seed::new(seed);
+            prop_assert_eq!(p.place(l, s), p.place(l, s), "{}", kind);
+        }
+    }
+
+    /// Random Modulo: no two lines of the same page ever share a set
+    /// (mbpta-p3), for arbitrary pages and seeds.
+    #[test]
+    fn random_modulo_intra_page_injective(page in 0u64..1_000_000, seed in any::<u64>()) {
+        let geom = CacheGeometry::paper_l1();
+        let mut p = PlacementKind::RandomModulo.build(&geom);
+        let lines_per_page = 128u64; // 4 KiB page / 32 B lines
+        let s = Seed::new(seed);
+        let mut seen = [false; 128];
+        for i in 0..lines_per_page {
+            let set = p.place(LineAddr::new(page * lines_per_page + i), s) as usize;
+            prop_assert!(!seen[set], "intra-page collision at set {set}");
+            seen[set] = true;
+        }
+    }
+
+    /// Modulo ignores the seed entirely.
+    #[test]
+    fn modulo_seed_invariant(line in any::<u64>(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let geom = CacheGeometry::paper_l2();
+        let mut p = PlacementKind::Modulo.build(&geom);
+        let l = LineAddr::new(line >> 5);
+        prop_assert_eq!(p.place(l, Seed::new(s1)), p.place(l, Seed::new(s2)));
+    }
+
+    /// XOR-index preserves the modulo conflict relation for every seed.
+    #[test]
+    fn xor_index_preserves_conflict_relation(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let geom = CacheGeometry::paper_l1();
+        let mut xor = PlacementKind::XorIndex.build(&geom);
+        let mut modulo = PlacementKind::Modulo.build(&geom);
+        let (la, lb) = (LineAddr::new(a >> 5), LineAddr::new(b >> 5));
+        let s = Seed::new(seed);
+        let conflict_mod = modulo.place(la, Seed::ZERO) == modulo.place(lb, Seed::ZERO);
+        let conflict_xor = xor.place(la, s) == xor.place(lb, s);
+        prop_assert_eq!(conflict_mod, conflict_xor);
+    }
+
+    /// RPCache per-seed tables are permutations of the set space.
+    #[test]
+    fn rpcache_tables_bijective(seed in any::<u64>()) {
+        let geom = CacheGeometry::paper_l1();
+        let mut p = PlacementKind::RpCache.build(&geom);
+        let s = Seed::new(seed);
+        let mut seen = [false; 128];
+        for i in 0..128u64 {
+            let set = p.place(LineAddr::new(i), s) as usize;
+            prop_assert!(!seen[set]);
+            seen[set] = true;
+        }
+    }
+
+    /// HashRP single-bit neighbours must *sometimes* collide across a
+    /// seed population (the full-randomness property a purely linear
+    /// hash cannot deliver).
+    #[test]
+    fn hash_rp_single_bit_pairs_collide_sometimes(base in any::<u64>(), bit in 0u32..40) {
+        let geom = CacheGeometry::paper_l1();
+        let mut p = PlacementKind::HashRp.build(&geom);
+        let a = LineAddr::new(base >> 10);
+        let b = LineAddr::new((base >> 10) ^ (1u64 << bit));
+        prop_assume!(a != b);
+        let mut collide = 0u32;
+        for s in 0..4096u64 {
+            if p.place(a, Seed::new(s)) == p.place(b, Seed::new(s)) {
+                collide += 1;
+            }
+        }
+        // Expected ≈ 32; demand at least a handful and not all.
+        prop_assert!(collide > 0, "pair never collides");
+        prop_assert!(collide < 4096, "pair always collides");
+    }
+}

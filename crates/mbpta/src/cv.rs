@@ -1,0 +1,141 @@
+//! Residual coefficient-of-variation (CV) test for tail exponentiality.
+//!
+//! MBPTA practice (the "CV plot" of the EVT literature) checks that the
+//! excesses over a high threshold look exponential — equivalently GPD
+//! with shape ξ = 0, the light-tail case where the Gumbel projection is
+//! sound. For exponential excesses the coefficient of variation
+//! (std/mean) is 1; the sample CV is asymptotically normal around 1
+//! with standard error `1/√n`.
+
+use crate::stats::{quantile, summarize};
+use core::fmt;
+
+/// Result of a residual-CV exponentiality check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvResult {
+    /// Threshold over which excesses were taken.
+    pub threshold: f64,
+    /// Number of excesses.
+    pub n: usize,
+    /// Sample coefficient of variation of the excesses.
+    pub cv: f64,
+    /// Half-width of the 95% acceptance band around 1.
+    pub band: f64,
+}
+
+impl CvResult {
+    /// Whether the CV is consistent with an exponential tail
+    /// (ξ ≈ 0) at the 95% level.
+    pub fn passes(&self) -> bool {
+        (self.cv - 1.0).abs() <= self.band
+    }
+
+    /// Rough tail-shape diagnosis: CV above the band suggests a heavy
+    /// tail (ξ > 0), below a bounded tail (ξ < 0).
+    pub fn diagnosis(&self) -> &'static str {
+        if self.passes() {
+            "exponential tail (Gumbel projection sound)"
+        } else if self.cv > 1.0 {
+            "heavy tail suspected (xi > 0)"
+        } else {
+            "bounded tail suspected (xi < 0)"
+        }
+    }
+}
+
+impl fmt::Display for CvResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "residual CV = {:.3} over {} excesses (band 1±{:.3}): {}",
+            self.cv,
+            self.n,
+            self.band,
+            self.diagnosis()
+        )
+    }
+}
+
+/// Computes the residual CV of the excesses above the empirical
+/// `q`-quantile of `times`.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `(0, 1)` or fewer than 20 observations
+/// exceed the threshold.
+pub fn residual_cv(times: &[f64], q: f64) -> CvResult {
+    assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+    let threshold = quantile(times, q);
+    let excesses: Vec<f64> =
+        times.iter().filter(|&&t| t > threshold).map(|&t| t - threshold).collect();
+    assert!(
+        excesses.len() >= 20,
+        "only {} excesses over the {q}-quantile; need >= 20",
+        excesses.len()
+    );
+    let s = summarize(&excesses);
+    let cv = if s.mean == 0.0 { 0.0 } else { s.std_dev() / s.mean };
+    CvResult {
+        threshold,
+        n: excesses.len(),
+        cv,
+        band: 1.96 / (excesses.len() as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draws(n: usize, seed: u64, f: impl Fn(f64) -> f64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (((state >> 11) as f64) + 0.5) / (1u64 << 53) as f64;
+                f(u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exponential_tail_passes() {
+        // Exponential(1) samples: excesses over any threshold are again
+        // exponential (memorylessness) → CV ≈ 1.
+        let xs = draws(20_000, 3, |u| -u.ln());
+        let r = residual_cv(&xs, 0.9);
+        assert!(r.passes(), "{r}");
+    }
+
+    #[test]
+    fn uniform_tail_is_bounded() {
+        // Uniform[0,1]: excesses over the 0.9-quantile are uniform on a
+        // short interval → CV ≈ 1/√3 ≈ 0.577 → bounded tail.
+        let xs = draws(20_000, 5, |u| u);
+        let r = residual_cv(&xs, 0.9);
+        assert!(!r.passes());
+        assert_eq!(r.diagnosis(), "bounded tail suspected (xi < 0)");
+    }
+
+    #[test]
+    fn pareto_tail_is_heavy() {
+        // Pareto(α=2): heavy tail → CV > 1.
+        let xs = draws(40_000, 7, |u| u.powf(-0.5));
+        let r = residual_cv(&xs, 0.9);
+        assert!(r.cv > 1.0 + r.band, "{r}");
+        assert_eq!(r.diagnosis(), "heavy tail suspected (xi > 0)");
+    }
+
+    #[test]
+    fn band_shrinks_with_sample_size() {
+        let small = residual_cv(&draws(1_000, 9, |u| -u.ln()), 0.9);
+        let large = residual_cv(&draws(50_000, 9, |u| -u.ln()), 0.9);
+        assert!(large.band < small.band);
+    }
+
+    #[test]
+    #[should_panic(expected = "excesses")]
+    fn too_few_excesses_rejected() {
+        residual_cv(&draws(50, 1, |u| u), 0.9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Extreme Value Theory fitting: Gumbel (block maxima) and the
+//! Generalized Pareto Distribution (peaks over threshold).
+//!
+//! MBPTA applies EVT to measured execution times to extrapolate a
+//! pWCET distribution (paper §2.1, reference \[10\]). The customary model for
+//! light-tailed execution times is the Gumbel domain; we fit by the
+//! method of moments and refine with maximum likelihood.
+
+use crate::stats::summarize;
+
+/// Euler-Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// A fitted Gumbel (type-I extreme value) distribution
+/// `F(x) = exp(−exp(−(x−μ)/β))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    /// Location parameter μ.
+    pub location: f64,
+    /// Scale parameter β (> 0).
+    pub scale: f64,
+}
+
+impl Gumbel {
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        (-(-(x - self.location) / self.scale).exp()).exp()
+    }
+
+    /// Survival function `1 − F(x)`, computed stably for the deep tail.
+    pub fn sf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.scale;
+        let t = (-z).exp();
+        // 1 - exp(-t) ≈ t for tiny t (deep tail): use expm1.
+        -(-t).exp_m1()
+    }
+
+    /// Quantile function (inverse CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+        self.location - self.scale * (-p.ln()).ln()
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        self.location + EULER_GAMMA * self.scale
+    }
+}
+
+/// Fits a Gumbel distribution: method-of-moments start, refined by MLE
+/// fixed-point iteration.
+///
+/// # Panics
+///
+/// Panics if the sample has fewer than 2 observations.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::evt::fit_gumbel;
+///
+/// // Synthetic Gumbel(100, 5) draws via inverse transform.
+/// let sample: Vec<f64> = (1..2000)
+///     .map(|i| {
+///         let u = i as f64 / 2000.0;
+///         100.0 - 5.0 * (-u.ln()).ln()
+///     })
+///     .collect();
+/// let g = fit_gumbel(&sample);
+/// assert!((g.location - 100.0).abs() < 1.0);
+/// assert!((g.scale - 5.0).abs() < 0.5);
+/// ```
+pub fn fit_gumbel(sample: &[f64]) -> Gumbel {
+    assert!(sample.len() >= 2, "need at least two observations");
+    let s = summarize(sample);
+    // Method of moments: Var = π²β²/6, E = μ + γβ.
+    let mut beta = (s.variance * 6.0 / (std::f64::consts::PI * std::f64::consts::PI)).sqrt();
+    if beta <= 0.0 || !beta.is_finite() {
+        // Degenerate (constant) sample: a point mass; tiny scale keeps
+        // the API total while the CDF stays a near-step function.
+        return Gumbel { location: s.mean, scale: f64::EPSILON.max(1e-9) };
+    }
+
+    // MLE fixed point (Newton on the profile likelihood for β):
+    // β = mean(x) − Σ x e^{−x/β} / Σ e^{−x/β}.
+    for _ in 0..100 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &x in sample {
+            // Offset by the max for numeric stability.
+            let w = (-(x - s.max) / beta).exp();
+            num += x * w;
+            den += w;
+        }
+        let next = s.mean - num / den;
+        if !(next.is_finite()) || next <= 0.0 {
+            break;
+        }
+        if (next - beta).abs() < 1e-10 * beta {
+            beta = next;
+            break;
+        }
+        beta = next;
+    }
+
+    let mut sum = 0.0;
+    for &x in sample {
+        sum += (-(x - s.max) / beta).exp();
+    }
+    let location = s.max - beta * (sum / sample.len() as f64).ln();
+    Gumbel { location, scale: beta }
+}
+
+/// A fitted Generalized Pareto Distribution over a threshold:
+/// `F(y) = 1 − (1 + ξ y/σ)^{−1/ξ}` for excesses `y = x − u`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gpd {
+    /// The threshold `u` the excesses were measured over.
+    pub threshold: f64,
+    /// Scale σ (> 0).
+    pub scale: f64,
+    /// Shape ξ (0 → exponential tail; < 0 → bounded tail).
+    pub shape: f64,
+}
+
+impl Gpd {
+    /// Survival function of an excess `y ≥ 0` (probability an excess
+    /// exceeds `y`, conditional on exceeding the threshold).
+    pub fn excess_sf(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            return 1.0;
+        }
+        if self.shape.abs() < 1e-9 {
+            (-y / self.scale).exp()
+        } else {
+            let base = 1.0 + self.shape * y / self.scale;
+            if base <= 0.0 {
+                0.0 // beyond the bounded-tail endpoint
+            } else {
+                base.powf(-1.0 / self.shape)
+            }
+        }
+    }
+
+    /// Upper endpoint of the support (finite when ξ < 0).
+    pub fn endpoint(&self) -> Option<f64> {
+        if self.shape < 0.0 {
+            Some(self.threshold - self.scale / self.shape)
+        } else {
+            None
+        }
+    }
+}
+
+/// Fits a GPD to the excesses of `sample` over `threshold` using the
+/// method of moments.
+///
+/// # Panics
+///
+/// Panics if fewer than 10 observations exceed the threshold.
+pub fn fit_gpd(sample: &[f64], threshold: f64) -> Gpd {
+    let excesses: Vec<f64> =
+        sample.iter().filter(|&&x| x > threshold).map(|&x| x - threshold).collect();
+    assert!(
+        excesses.len() >= 10,
+        "only {} exceedances over {threshold}; need ≥ 10",
+        excesses.len()
+    );
+    let s = summarize(&excesses);
+    if s.variance <= 0.0 {
+        return Gpd { threshold, scale: f64::EPSILON.max(1e-9), shape: 0.0 };
+    }
+    let ratio = s.mean * s.mean / s.variance;
+    let shape = 0.5 * (1.0 - ratio);
+    let scale = 0.5 * s.mean * (ratio + 1.0);
+    Gpd { threshold, scale, shape }
+}
+
+/// Reduces a series to block maxima of size `block`.
+///
+/// Trailing observations that do not fill a block are dropped.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or the series holds fewer than `2 * block`
+/// observations (fewer than two maxima).
+pub fn block_maxima(series: &[f64], block: usize) -> Vec<f64> {
+    assert!(block > 0, "block size must be positive");
+    assert!(
+        series.len() >= 2 * block,
+        "series of {} yields fewer than two blocks of {block}",
+        series.len()
+    );
+    series
+        .chunks_exact(block)
+        .map(|c| c.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gumbel_draws(mu: f64, beta: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (((state >> 11) as f64) + 0.5) / (1u64 << 53) as f64;
+                mu - beta * (-u.ln()).ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gumbel_cdf_quantile_roundtrip() {
+        let g = Gumbel { location: 10.0, scale: 2.0 };
+        for p in [0.01, 0.5, 0.99, 0.999_999] {
+            let x = g.quantile(p);
+            assert!((g.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn gumbel_sf_is_stable_in_deep_tail() {
+        let g = Gumbel { location: 0.0, scale: 1.0 };
+        let sf = g.sf(40.0);
+        assert!(sf > 0.0, "deep-tail survival must not underflow to 0 prematurely");
+        assert!(sf < 1e-15);
+        // Tail is asymptotically exp(-z).
+        assert!((sf.ln() - (-40.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let sample = gumbel_draws(50.0, 3.0, 20_000, 77);
+        let g = fit_gumbel(&sample);
+        assert!((g.location - 50.0).abs() < 0.2, "location {}", g.location);
+        assert!((g.scale - 3.0).abs() < 0.2, "scale {}", g.scale);
+    }
+
+    #[test]
+    fn fit_handles_constant_sample() {
+        let g = fit_gumbel(&[5.0; 100]);
+        assert_eq!(g.location, 5.0);
+        assert!(g.scale > 0.0);
+        assert!(g.cdf(5.1) > 0.999);
+    }
+
+    #[test]
+    fn gumbel_mean_formula() {
+        let g = Gumbel { location: 2.0, scale: 4.0 };
+        assert!((g.mean() - (2.0 + 0.5772156649 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpd_exponential_case() {
+        let g = Gpd { threshold: 0.0, scale: 2.0, shape: 0.0 };
+        assert!((g.excess_sf(2.0) - (-1.0f64).exp()).abs() < 1e-9);
+        assert_eq!(g.endpoint(), None);
+    }
+
+    #[test]
+    fn gpd_bounded_tail() {
+        let g = Gpd { threshold: 10.0, scale: 2.0, shape: -0.5 };
+        assert_eq!(g.endpoint(), Some(14.0));
+        assert_eq!(g.excess_sf(100.0), 0.0);
+        assert!(g.excess_sf(1.0) > 0.0);
+    }
+
+    #[test]
+    fn gpd_fit_on_exponential_excesses() {
+        // Exponential(λ=1/3) excesses → ξ ≈ 0, σ ≈ 3.
+        let mut state = 9u64;
+        let sample: Vec<f64> = (0..20_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = (((state >> 11) as f64) + 0.5) / (1u64 << 53) as f64;
+                -3.0 * u.ln()
+            })
+            .collect();
+        let g = fit_gpd(&sample, 0.0);
+        assert!(g.shape.abs() < 0.05, "shape {}", g.shape);
+        assert!((g.scale - 3.0).abs() < 0.2, "scale {}", g.scale);
+    }
+
+    #[test]
+    fn block_maxima_takes_maxima() {
+        let xs = [1.0, 9.0, 2.0, 3.0, 7.0, 4.0, 5.0];
+        assert_eq!(block_maxima(&xs, 3), vec![9.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than two blocks")]
+    fn block_maxima_needs_two_blocks() {
+        block_maxima(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn maxima_of_gumbel_shift_location() {
+        // Max of b Gumbel(μ,β) draws is Gumbel(μ + β ln b, β).
+        let sample = gumbel_draws(0.0, 1.0, 50_000, 5);
+        let maxima = block_maxima(&sample, 50);
+        let g = fit_gumbel(&maxima);
+        assert!((g.location - 50.0f64.ln()).abs() < 0.25, "location {}", g.location);
+        assert!((g.scale - 1.0).abs() < 0.2, "scale {}", g.scale);
+    }
+}

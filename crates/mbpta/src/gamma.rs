@@ -1,0 +1,239 @@
+//! Gamma-family special functions: log-gamma, regularized incomplete
+//! gamma, and the chi-square distribution built on them.
+//!
+//! Implemented from first principles (Lanczos approximation, power
+//! series and continued-fraction expansions) so the crate needs no
+//! external numerics dependency. Accuracy is ~1e-12 over the ranges the
+//! statistical tests use, pinned by unit tests against published
+//! values.
+
+/// Natural log of the gamma function (Lanczos approximation, g=7,
+/// n=9 coefficients).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the tests only evaluate the positive axis).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma defined for positive x, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// Uses the power series for `x < a + 1` and the Lentz continued
+/// fraction for the complement otherwise (Numerical Recipes §6.2).
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "x must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_fraction(a, x)
+    }
+}
+
+/// Series representation of P(a, x).
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of Q(a, x) = 1 − P(a, x).
+fn gamma_cont_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Chi-square cumulative distribution function with `dof` degrees of
+/// freedom.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, dof: u32) -> f64 {
+    assert!(dof > 0, "chi-square needs at least one degree of freedom");
+    reg_lower_gamma(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Chi-square survival function `1 − CDF` (the p-value of an observed
+/// statistic).
+pub fn chi2_sf(x: f64, dof: u32) -> f64 {
+    (1.0 - chi2_cdf(x, dof)).clamp(0.0, 1.0)
+}
+
+/// Chi-square quantile (inverse CDF) via bisection.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)` or `dof == 0`.
+pub fn chi2_quantile(p: f64, dof: u32) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+    assert!(dof > 0);
+    let mut lo = 0.0f64;
+    let mut hi = dof as f64 + 10.0;
+    while chi2_cdf(hi, dof) < p {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(mid, dof) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-10 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!(close(ln_gamma(1.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(5.0), 24.0f64.ln(), 1e-12));
+        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12));
+        assert!(close(ln_gamma(10.5), 13.940_625_219_403_763, 1e-11));
+    }
+
+    #[test]
+    fn reg_gamma_limits() {
+        assert_eq!(reg_lower_gamma(3.0, 0.0), 0.0);
+        assert!(reg_lower_gamma(1.0, 100.0) > 0.999_999);
+        // P(1, x) = 1 - e^-x.
+        for x in [0.1, 1.0, 3.0] {
+            assert!(close(reg_lower_gamma(1.0, x), 1.0 - (-x).exp(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn reg_gamma_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let v = reg_lower_gamma(2.5, i as f64 * 0.2);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn chi2_cdf_known_values() {
+        // χ²(1): CDF(3.841) ≈ 0.95.
+        assert!(close(chi2_cdf(3.841, 1), 0.95, 1e-3));
+        // χ²(2) is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+        for x in [0.5, 2.0, 5.0] {
+            assert!(close(chi2_cdf(x, 2), 1.0 - (-x / 2.0f64).exp(), 1e-12));
+        }
+        // χ²(20): CDF(31.410) ≈ 0.95 (the Ljung-Box critical value the
+        // paper's 20-lag test uses).
+        assert!(close(chi2_cdf(31.410, 20), 0.95, 1e-3));
+    }
+
+    #[test]
+    fn chi2_quantile_inverts_cdf() {
+        for dof in [1u32, 2, 5, 20, 127] {
+            for p in [0.05, 0.5, 0.95, 0.999] {
+                let q = chi2_quantile(p, dof);
+                assert!(close(chi2_cdf(q, dof), p, 1e-8), "dof {dof}, p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_quantile_published_values() {
+        assert!(close(chi2_quantile(0.95, 20), 31.410, 1e-3));
+        assert!(close(chi2_quantile(0.95, 1), 3.841, 1e-3));
+        assert!(close(chi2_quantile(0.99, 10), 23.209, 1e-3));
+    }
+
+    #[test]
+    fn chi2_sf_complements_cdf() {
+        for x in [0.5, 3.0, 10.0, 40.0] {
+            let s = chi2_sf(x, 7) + chi2_cdf(x, 7);
+            assert!(close(s, 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_bad_p() {
+        chi2_quantile(1.0, 3);
+    }
+}

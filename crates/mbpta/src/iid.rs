@@ -1,0 +1,138 @@
+//! The MBPTA i.i.d. validation protocol (paper §6.2.2): Ljung-Box over
+//! 20 lags for independence, two-sample Kolmogorov-Smirnov between the
+//! two halves of the measurement run for identical distribution, both
+//! at α = 0.05.
+
+use crate::ks::{ks_two_sample, KsResult};
+use crate::ljung_box::{ljung_box, LjungBoxResult};
+use core::fmt;
+
+/// Combined i.i.d. validation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IidReport {
+    /// Independence test result.
+    pub ljung_box: LjungBoxResult,
+    /// Identical-distribution test result.
+    pub ks: KsResult,
+    /// Significance level used.
+    pub alpha: f64,
+}
+
+impl IidReport {
+    /// Whether both tests pass at the configured level — the gate for
+    /// applying EVT.
+    pub fn passed(&self) -> bool {
+        self.ljung_box.passes(self.alpha) && self.ks.passes(self.alpha)
+    }
+}
+
+impl fmt::Display for IidReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | alpha={} => {}",
+            self.ljung_box,
+            self.ks,
+            self.alpha,
+            if self.passed() { "i.i.d. OK" } else { "i.i.d. REJECTED" }
+        )
+    }
+}
+
+/// Validates a series of execution times: Ljung-Box with `lags` lags
+/// and first-half/second-half KS, at significance `alpha`.
+///
+/// # Panics
+///
+/// Panics if the series is shorter than `2 * (lags + 2)` observations.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::iid::validate_iid;
+///
+/// // A strongly trending series is not identically distributed.
+/// let trend: Vec<f64> = (0..200).map(|i| i as f64).collect();
+/// assert!(!validate_iid(&trend, 20, 0.05).passed());
+/// ```
+pub fn validate_iid(times: &[f64], lags: usize, alpha: f64) -> IidReport {
+    assert!(
+        times.len() >= 2 * (lags + 2),
+        "series of {} too short for {lags}-lag i.i.d. validation",
+        times.len()
+    );
+    let half = times.len() / 2;
+    IidReport {
+        ljung_box: ljung_box(times, lags),
+        ks: ks_two_sample(&times[..half], &times[half..]),
+        alpha,
+    }
+}
+
+/// The paper's configuration: 20 lags, α = 0.05.
+pub fn validate_iid_paper(times: &[f64]) -> IidReport {
+    validate_iid(times, 20, 0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64) / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn iid_noise_passes() {
+        let mut passes = 0;
+        for s in 0..30u64 {
+            if validate_iid_paper(&noise(s + 100, 400)).passed() {
+                passes += 1;
+            }
+        }
+        assert!(passes >= 24, "only {passes}/30 passed");
+    }
+
+    #[test]
+    fn autocorrelated_series_fails_lb() {
+        let e = noise(7, 400);
+        let mut x = vec![0.0; 400];
+        for i in 1..400 {
+            x[i] = 0.8 * x[i - 1] + e[i];
+        }
+        let r = validate_iid_paper(&x);
+        assert!(!r.ljung_box.passes(0.05));
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn distribution_shift_fails_ks() {
+        let mut x = noise(3, 400);
+        for v in x.iter_mut().skip(200) {
+            *v += 0.5;
+        }
+        let r = validate_iid_paper(&x);
+        assert!(!r.ks.passes(0.05));
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn display_reports_verdict() {
+        let r = validate_iid_paper(&noise(5, 200));
+        let s = r.to_string();
+        assert!(s.contains("alpha=0.05"));
+        assert!(s.contains("i.i.d."));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_series_rejected() {
+        validate_iid_paper(&noise(1, 20));
+    }
+}

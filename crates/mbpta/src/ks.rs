@@ -1,0 +1,186 @@
+//! Two-sample Kolmogorov-Smirnov test.
+//!
+//! MBPTA requires execution times to be identically distributed; the
+//! paper (§6.2.2) checks this with the two-sample KS test at α = 0.05,
+//! typically comparing two halves of the measurement run.
+
+use core::fmt;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The maximum ECDF distance D.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the small-
+    /// sample correction of Numerical Recipes §14.3).
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// Whether the identical-distribution hypothesis survives at level
+    /// `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+impl fmt::Display for KsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KS D = {:.4}, p = {:.4} (n = {}, {})", self.statistic, self.p_value, self.n1, self.n2)
+    }
+}
+
+/// Kolmogorov survival function `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2j²λ²}`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda < 1e-10 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Runs the two-sample KS test.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::ks::ks_two_sample;
+///
+/// let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..200).map(|i| i as f64 + 0.5).collect();
+/// // Nearly identical distributions pass:
+/// assert!(ks_two_sample(&a, &b).passes(0.05));
+/// ```
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaNs"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaNs"));
+
+    let (n1, n2) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = xs[i];
+        let y = ys[j];
+        let t = x.min(y);
+        while i < n1 && xs[i] <= t {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= t {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult { statistic: d, p_value: kolmogorov_sf(lambda), n1, n2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(seed: u64, n: usize, scale: f64, shift: f64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shift + scale * ((state >> 11) as f64) / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_distribution_passes() {
+        let mut passes = 0;
+        for s in 0..40u64 {
+            let a = noise(2 * s + 1, 300, 1.0, 0.0);
+            let b = noise(2 * s + 2, 300, 1.0, 0.0);
+            if ks_two_sample(&a, &b).passes(0.05) {
+                passes += 1;
+            }
+        }
+        assert!(passes >= 34, "only {passes}/40 passed");
+    }
+
+    #[test]
+    fn shifted_distribution_fails() {
+        let a = noise(1, 500, 1.0, 0.0);
+        let b = noise(2, 500, 1.0, 0.35);
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.passes(0.05), "{r}");
+        assert!(r.statistic > 0.2);
+    }
+
+    #[test]
+    fn scaled_distribution_fails() {
+        let a = noise(1, 500, 1.0, 0.0);
+        let b = noise(2, 500, 2.5, 0.0);
+        assert!(!ks_two_sample(&a, &b).passes(0.05));
+    }
+
+    #[test]
+    fn identical_samples_have_zero_d() {
+        let a = noise(7, 100, 1.0, 0.0);
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_samples_have_d_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    fn kolmogorov_sf_limits() {
+        assert!((kolmogorov_sf(0.0) - 1.0).abs() < 1e-12);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+        // Published: Q_KS(1.36) ≈ 0.049 (the 5% critical value).
+        let q = kolmogorov_sf(1.36);
+        assert!((q - 0.049).abs() < 0.003, "Q(1.36) = {q}");
+    }
+
+    #[test]
+    fn unequal_sizes_supported() {
+        let a = noise(1, 100, 1.0, 0.0);
+        let b = noise(2, 400, 1.0, 0.0);
+        let r = ks_two_sample(&a, &b);
+        assert_eq!(r.n1, 100);
+        assert_eq!(r.n2, 400);
+        assert!(r.passes(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        ks_two_sample(&[], &[1.0]);
+    }
+}

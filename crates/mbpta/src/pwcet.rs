@@ -1,0 +1,333 @@
+//! Probabilistic WCET curves (paper Fig. 1 right).
+//!
+//! A pWCET curve maps an execution-time bound to the probability that
+//! one run exceeds it. MBPTA derives it by fitting EVT to block maxima
+//! of measured times and converting the block-level tail back to
+//! per-run exceedance probabilities.
+
+use crate::evt::{block_maxima, fit_gumbel, Gumbel};
+use core::fmt;
+
+/// A pWCET curve backed by a Gumbel fit on block maxima.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::pwcet::PwcetCurve;
+///
+/// // Synthetic execution times with mild variability.
+/// let times: Vec<f64> = (0..1000).map(|i| 1000.0 + (i % 17) as f64).collect();
+/// let curve = PwcetCurve::fit(&times, 20);
+/// // The bound at exceedance 1e-12 is above everything observed.
+/// let bound = curve.quantile(1e-12);
+/// assert!(bound >= 1016.0);
+/// // And the exceedance probability at that bound matches.
+/// let p = curve.exceedance_probability(bound);
+/// assert!((p.log10() - (-12.0)).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PwcetCurve {
+    model: Gumbel,
+    block: usize,
+    observed_max: f64,
+}
+
+impl PwcetCurve {
+    /// Fits a curve to per-run execution times using blocks of size
+    /// `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series yields fewer than two blocks (see
+    /// [`block_maxima`]).
+    pub fn fit(times: &[f64], block: usize) -> Self {
+        let maxima = block_maxima(times, block);
+        let model = fit_gumbel(&maxima);
+        let observed_max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        PwcetCurve { model, block, observed_max }
+    }
+
+    /// The fitted block-maxima Gumbel model.
+    pub fn model(&self) -> Gumbel {
+        self.model
+    }
+
+    /// Block size used for the fit.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Largest observed execution time (the HWM — high-water mark).
+    pub fn observed_max(&self) -> f64 {
+        self.observed_max
+    }
+
+    /// Probability that a single run exceeds `bound`.
+    ///
+    /// The block-maxima survival probability is scaled back to one run:
+    /// `p_run ≈ sf_block(x) / b` (exact to first order for small
+    /// probabilities).
+    pub fn exceedance_probability(&self, bound: f64) -> f64 {
+        (self.model.sf(bound) / self.block as f64).clamp(0.0, 1.0)
+    }
+
+    /// The execution-time bound whose per-run exceedance probability is
+    /// `p` — the pWCET estimate at probability `p` (e.g. `1e-12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "exceedance probability must be in (0,1)");
+        let block_p = (p * self.block as f64).min(0.999_999);
+        self.model.quantile(1.0 - block_p)
+    }
+
+    /// Sample points of the curve: `(bound, exceedance probability)`
+    /// for probabilities `10^-1 .. 10^-max_exp`.
+    pub fn points(&self, max_exp: u32) -> Vec<(f64, f64)> {
+        (1..=max_exp)
+            .map(|e| {
+                let p = 10f64.powi(-(e as i32));
+                (self.quantile(p), p)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PwcetCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pWCET Gumbel(mu={:.1}, beta={:.2}) over {}-blocks; HWM {:.0}",
+            self.model.location, self.model.scale, self.block, self.observed_max
+        )
+    }
+}
+
+/// A pWCET curve from the peaks-over-threshold route: a GPD fitted to
+/// the excesses over a high empirical quantile. The second standard
+/// EVT approach in the MBPTA literature, useful as a cross-check of the
+/// block-maxima fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PotPwcet {
+    model: crate::evt::Gpd,
+    /// Fraction of runs exceeding the threshold.
+    exceed_rate: f64,
+    observed_max: f64,
+}
+
+impl PotPwcet {
+    /// Fits the tail above the `quantile` empirical quantile (e.g.
+    /// 0.9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 10 observations exceed the threshold or
+    /// `quantile` is outside `(0, 1)`.
+    pub fn fit(times: &[f64], quantile: f64) -> Self {
+        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0,1)");
+        let threshold = crate::stats::quantile(times, quantile);
+        let model = crate::evt::fit_gpd(times, threshold);
+        let exceed_rate =
+            times.iter().filter(|&&t| t > threshold).count() as f64 / times.len() as f64;
+        let observed_max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        PotPwcet { model, exceed_rate, observed_max }
+    }
+
+    /// The fitted GPD tail model.
+    pub fn model(&self) -> crate::evt::Gpd {
+        self.model
+    }
+
+    /// Largest observed execution time.
+    pub fn observed_max(&self) -> f64 {
+        self.observed_max
+    }
+
+    /// Probability that one run exceeds `bound`:
+    /// `P(exceed threshold) × SF_gpd(bound − threshold)`.
+    pub fn exceedance_probability(&self, bound: f64) -> f64 {
+        if bound <= self.model.threshold {
+            return self.exceed_rate.max(f64::MIN_POSITIVE);
+        }
+        (self.exceed_rate * self.model.excess_sf(bound - self.model.threshold)).clamp(0.0, 1.0)
+    }
+
+    /// The bound whose per-run exceedance probability is `p`
+    /// (bisection on the monotone survival function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "exceedance probability must be in (0,1)");
+        if p >= self.exceed_rate {
+            return self.model.threshold;
+        }
+        let mut lo = self.model.threshold;
+        let mut hi = match self.model.endpoint() {
+            Some(end) => end,
+            None => {
+                let mut hi = self.observed_max.max(lo + 1.0);
+                while self.exceedance_probability(hi) > p {
+                    hi = lo + (hi - lo) * 2.0;
+                }
+                hi
+            }
+        };
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.exceedance_probability(mid) > p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl fmt::Display for PotPwcet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pWCET GPD(u={:.1}, sigma={:.2}, xi={:+.3}); exceed rate {:.3}",
+            self.model.threshold, self.model.scale, self.model.shape, self.exceed_rate
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_times(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (((state >> 11) as f64) + 0.5) / (1u64 << 53) as f64;
+                // Gumbel-ish execution times around 10k cycles.
+                10_000.0 - 150.0 * (-u.ln()).ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn curve_is_monotone_in_probability() {
+        let curve = PwcetCurve::fit(&noisy_times(2000, 3), 20);
+        let mut prev = f64::NEG_INFINITY;
+        for e in 1..=15u32 {
+            let b = curve.quantile(10f64.powi(-(e as i32)));
+            assert!(b >= prev, "bound decreased at 1e-{e}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn quantile_and_exceedance_invert() {
+        let curve = PwcetCurve::fit(&noisy_times(2000, 5), 25);
+        for e in [3u32, 6, 9, 12] {
+            let p = 10f64.powi(-(e as i32));
+            let bound = curve.quantile(p);
+            let back = curve.exceedance_probability(bound);
+            assert!(
+                (back.log10() - p.log10()).abs() < 0.05,
+                "p = 1e-{e}: round-trip 1e{:.2}",
+                back.log10()
+            );
+        }
+    }
+
+    #[test]
+    fn tail_bound_exceeds_observations() {
+        let times = noisy_times(3000, 9);
+        let curve = PwcetCurve::fit(&times, 30);
+        assert!(curve.quantile(1e-12) > curve.observed_max());
+    }
+
+    #[test]
+    fn empirical_exceedance_matches_curve_in_body() {
+        // At p = 0.01 (within the measured range), the model's bound
+        // should be crossed by roughly 1% of runs.
+        let times = noisy_times(50_000, 11);
+        let curve = PwcetCurve::fit(&times, 50);
+        let bound = curve.quantile(0.01);
+        let crossed = times.iter().filter(|&&t| t > bound).count() as f64 / times.len() as f64;
+        assert!(
+            (crossed - 0.01).abs() < 0.01,
+            "empirical exceedance {crossed} far from 0.01"
+        );
+    }
+
+    #[test]
+    fn points_descend_in_probability() {
+        let curve = PwcetCurve::fit(&noisy_times(1000, 2), 10);
+        let pts = curve.points(15);
+        assert_eq!(pts.len(), 15);
+        assert!(pts.windows(2).all(|w| w[0].1 > w[1].1 && w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn display_reports_model() {
+        let curve = PwcetCurve::fit(&noisy_times(500, 2), 10);
+        assert!(curve.to_string().contains("pWCET Gumbel"));
+    }
+
+    #[test]
+    fn pot_curve_monotone_and_above_threshold() {
+        let times = noisy_times(5000, 21);
+        let pot = PotPwcet::fit(&times, 0.9);
+        let mut prev = f64::NEG_INFINITY;
+        for e in 2..=12u32 {
+            let b = pot.quantile(10f64.powi(-(e as i32)));
+            assert!(b >= prev, "bound decreased at 1e-{e}");
+            assert!(b >= pot.model().threshold);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn pot_quantile_and_exceedance_invert() {
+        let times = noisy_times(20_000, 23);
+        let pot = PotPwcet::fit(&times, 0.9);
+        for e in [4u32, 7, 10] {
+            let p = 10f64.powi(-(e as i32));
+            let bound = pot.quantile(p);
+            let back = pot.exceedance_probability(bound);
+            assert!(
+                (back.log10() - p.log10()).abs() < 0.05,
+                "1e-{e} round-trips to 1e{:.2}",
+                back.log10()
+            );
+        }
+    }
+
+    #[test]
+    fn pot_and_block_maxima_agree_in_the_moderate_tail() {
+        // Both EVT routes fit the same Gumbel-ish data: their 1e-6
+        // bounds should be within a few percent.
+        let times = noisy_times(50_000, 29);
+        let bm = PwcetCurve::fit(&times, 50);
+        let pot = PotPwcet::fit(&times, 0.9);
+        let (a, b) = (bm.quantile(1e-6), pot.quantile(1e-6));
+        let rel = (a - b).abs() / a;
+        assert!(rel < 0.05, "block-maxima {a:.0} vs POT {b:.0} ({rel:.3})");
+    }
+
+    #[test]
+    fn pot_empirical_exceedance_matches_in_body() {
+        let times = noisy_times(50_000, 31);
+        let pot = PotPwcet::fit(&times, 0.9);
+        let bound = pot.quantile(0.01);
+        let crossed = times.iter().filter(|&&t| t > bound).count() as f64 / times.len() as f64;
+        assert!((crossed - 0.01).abs() < 0.01, "empirical {crossed}");
+    }
+
+    #[test]
+    fn pot_display_reports_gpd() {
+        let pot = PotPwcet::fit(&noisy_times(1000, 3), 0.9);
+        assert!(pot.to_string().contains("pWCET GPD"));
+    }
+}

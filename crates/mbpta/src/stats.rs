@@ -1,0 +1,219 @@
+//! Descriptive statistics used throughout the MBPTA pipeline.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Computes summary statistics.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::stats::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.variance, 1.0);
+/// ```
+pub fn summarize(sample: &[f64]) -> Summary {
+    assert!(!sample.is_empty(), "empty sample");
+    let n = sample.len();
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    let variance = if n > 1 {
+        sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary { n, mean, variance, min, max }
+}
+
+/// Sample autocorrelation at `lag`.
+///
+/// Returns 0 for a constant series (zero variance), matching the
+/// convention that such series carry no linear dependence signal.
+///
+/// # Panics
+///
+/// Panics if `lag >= sample.len()` or the sample is empty.
+pub fn autocorrelation(sample: &[f64], lag: usize) -> f64 {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!(lag < sample.len(), "lag {lag} >= sample size {}", sample.len());
+    let n = sample.len();
+    let mean = sample.iter().sum::<f64>() / n as f64;
+    let denom: f64 = sample.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (sample[i] - mean) * (sample[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// The empirical quantile at probability `p` (linear interpolation
+/// between order statistics).
+///
+/// # Panics
+///
+/// Panics on an empty sample or `p` outside `[0, 1]`.
+pub fn quantile(sample: &[f64], p: f64) -> f64 {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sample"));
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// The empirical distribution function of `sample` evaluated at `x`
+/// (proportion of observations ≤ `x`).
+pub fn ecdf(sample: &[f64], x: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    sample.iter().filter(|&&v| v <= x).count() as f64 / sample.len() as f64
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the samples are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(!xs.is_empty(), "empty sample");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Converts a slice of cycle counts to `f64`s (convenience for feeding
+/// machine timings into the statistics).
+pub fn to_f64(cycles: &[u64]) -> Vec<f64> {
+    cycles.iter().map(|&c| c as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.std_dev() - 2.138_089_935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_observation_variance_zero() {
+        let s = summarize(&[3.0]);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_rejects_empty() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        assert!(autocorrelation(&xs, 2) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_constant_series_is_zero() {
+        let xs = [4.0; 50];
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(ecdf(&xs, 0.5), 0.0);
+        assert!((ecdf(&xs, 2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ecdf(&xs, 10.0), 1.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn to_f64_converts() {
+        assert_eq!(to_f64(&[1, 2]), vec![1.0, 2.0]);
+    }
+}

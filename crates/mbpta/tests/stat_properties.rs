@@ -1,0 +1,146 @@
+//! Property tests for the statistical machinery: distribution-function
+//! axioms, inverse relationships and invariances.
+
+use proptest::prelude::*;
+use tscache_mbpta::evt::{fit_gumbel, Gumbel};
+use tscache_mbpta::gamma::{chi2_cdf, chi2_quantile, chi2_sf, reg_lower_gamma};
+use tscache_mbpta::ks::ks_two_sample;
+use tscache_mbpta::ljung_box::ljung_box;
+use tscache_mbpta::pwcet::PwcetCurve;
+use tscache_mbpta::stats::{autocorrelation, pearson, quantile, summarize};
+
+proptest! {
+    /// chi-square CDF is a CDF: within [0,1], monotone, complements SF.
+    #[test]
+    fn chi2_cdf_axioms(x in 0.0f64..200.0, dof in 1u32..60) {
+        let c = chi2_cdf(x, dof);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(chi2_cdf(x + 1.0, dof) >= c - 1e-12);
+        prop_assert!((c + chi2_sf(x, dof) - 1.0).abs() < 1e-9);
+    }
+
+    /// Quantile inverts the CDF over the useful range.
+    #[test]
+    fn chi2_quantile_inverse(p in 0.01f64..0.99, dof in 1u32..40) {
+        let q = chi2_quantile(p, dof);
+        prop_assert!((chi2_cdf(q, dof) - p).abs() < 1e-6);
+    }
+
+    /// Regularized incomplete gamma is monotone in x and bounded.
+    #[test]
+    fn reg_gamma_monotone(a in 0.1f64..20.0, x in 0.0f64..50.0) {
+        let p = reg_lower_gamma(a, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(reg_lower_gamma(a, x + 0.5) >= p - 1e-12);
+    }
+
+    /// KS statistic is symmetric in its arguments and zero against
+    /// itself.
+    #[test]
+    fn ks_symmetry(
+        a in prop::collection::vec(-100.0f64..100.0, 5..80),
+        b in prop::collection::vec(-100.0f64..100.0, 5..80),
+    ) {
+        let ab = ks_two_sample(&a, &b);
+        let ba = ks_two_sample(&b, &a);
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        let self_test = ks_two_sample(&a, &a);
+        prop_assert_eq!(self_test.statistic, 0.0);
+    }
+
+    /// Ljung-Box Q is invariant under affine transforms of the series.
+    #[test]
+    fn ljung_box_affine_invariant(
+        xs in prop::collection::vec(0.0f64..1.0, 60..200),
+        scale in 0.1f64..50.0,
+        shift in -100.0f64..100.0,
+    ) {
+        // Skip (near-)constant series: autocorrelation is degenerate.
+        let s = summarize(&xs);
+        prop_assume!(s.variance > 1e-6);
+        let transformed: Vec<f64> = xs.iter().map(|x| scale * x + shift).collect();
+        let q1 = ljung_box(&xs, 10).statistic;
+        let q2 = ljung_box(&transformed, 10).statistic;
+        prop_assert!((q1 - q2).abs() < 1e-6 * q1.abs().max(1.0), "{q1} vs {q2}");
+    }
+
+    /// Autocorrelation is bounded by 1 in magnitude.
+    #[test]
+    fn autocorrelation_bounded(xs in prop::collection::vec(-50.0f64..50.0, 10..200), lag in 1usize..8) {
+        prop_assume!(lag < xs.len());
+        let r = autocorrelation(&xs, lag);
+        prop_assert!(r.abs() <= 1.0 + 1e-9, "rho = {r}");
+    }
+
+    /// Pearson correlation is symmetric, bounded, and exactly 1 against
+    /// a positive affine image.
+    #[test]
+    fn pearson_properties(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..100),
+        scale in 0.01f64..10.0,
+        shift in -5.0f64..5.0,
+    ) {
+        let s = summarize(&xs);
+        prop_assume!(s.variance > 1e-9);
+        let ys: Vec<f64> = xs.iter().map(|x| scale * x + shift).collect();
+        prop_assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-9);
+        let r = pearson(&xs, &ys);
+        prop_assert!((pearson(&ys, &xs) - r).abs() < 1e-12);
+    }
+
+    /// Empirical quantiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn quantile_monotone(xs in prop::collection::vec(-1000.0f64..1000.0, 1..100), p in 0.0f64..1.0) {
+        let q = quantile(&xs, p);
+        let s = summarize(&xs);
+        prop_assert!(q >= s.min - 1e-9 && q <= s.max + 1e-9);
+        if p < 0.9 {
+            prop_assert!(quantile(&xs, p + 0.1) >= q - 1e-9);
+        }
+    }
+
+    /// Gumbel CDF and quantile are inverse; SF complements CDF.
+    #[test]
+    fn gumbel_inverse(mu in -100.0f64..100.0, beta in 0.1f64..50.0, p in 0.001f64..0.999) {
+        let g = Gumbel { location: mu, scale: beta };
+        let x = g.quantile(p);
+        prop_assert!((g.cdf(x) - p).abs() < 1e-9);
+        prop_assert!((g.cdf(x) + g.sf(x) - 1.0).abs() < 1e-9);
+    }
+
+    /// Fitting a Gumbel to exact Gumbel quantile draws recovers the
+    /// parameters within a tolerance.
+    #[test]
+    fn gumbel_fit_recovers(mu in -50.0f64..50.0, beta in 0.5f64..10.0) {
+        let sample: Vec<f64> = (1..3000)
+            .map(|i| {
+                let u = i as f64 / 3000.0;
+                mu - beta * (-u.ln()).ln()
+            })
+            .collect();
+        let fit = fit_gumbel(&sample);
+        prop_assert!((fit.location - mu).abs() < 0.2 + 0.05 * beta, "mu {} vs {mu}", fit.location);
+        prop_assert!((fit.scale - beta).abs() < 0.1 + 0.05 * beta, "beta {} vs {beta}", fit.scale);
+    }
+
+    /// pWCET curves are monotone in the exceedance probability for
+    /// arbitrary (non-degenerate) inputs.
+    #[test]
+    fn pwcet_monotone(seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let times: Vec<f64> = (0..600)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                10_000.0 + (state >> 52) as f64
+            })
+            .collect();
+        let curve = PwcetCurve::fit(&times, 20);
+        let mut prev = f64::NEG_INFINITY;
+        for e in 1..=15 {
+            let b = curve.quantile(10f64.powi(-e));
+            prop_assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! AUTOSAR-flavoured application model (paper §5, Fig. 3).
+//!
+//! An application is a set of *software components* (SWC), each a set
+//! of *runnables* — the atomic units of execution, each with a period.
+//! Runnables of the same period are grouped into *tasks* by the
+//! integrator; runnables within one SWC may share memory (hence must
+//! share a placement seed), runnables of different SWCs communicate by
+//! message passing (and must *not* share seeds, §5).
+
+use core::fmt;
+use core::time::Duration;
+use tscache_core::seed::ProcessId;
+
+/// Identifier of a software component within an application set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwcId(pub u16);
+
+impl fmt::Display for SwcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWC{}", self.0)
+    }
+}
+
+impl SwcId {
+    /// The process identity used for cache seeds: one seed per SWC
+    /// (paper §5: "all runnables of a given SWC must use the same
+    /// seed").
+    pub fn process_id(self) -> ProcessId {
+        // ProcessId 0 is reserved for the OS.
+        ProcessId::new(self.0 + 1)
+    }
+}
+
+/// One runnable: the atomic schedulable unit.
+#[derive(Debug, Clone)]
+pub struct Runnable {
+    name: String,
+    swc: SwcId,
+    period: Duration,
+    /// Nominal execution budget in cycles (used by the demo scheduler
+    /// as the runnable's workload size).
+    wcet_budget: u64,
+}
+
+impl Runnable {
+    /// Creates a runnable belonging to `swc` with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(name: impl Into<String>, swc: SwcId, period: Duration, wcet_budget: u64) -> Self {
+        assert!(!period.is_zero(), "runnable period must be positive");
+        Runnable { name: name.into(), swc, period, wcet_budget }
+    }
+
+    /// The runnable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owning software component.
+    pub fn swc(&self) -> SwcId {
+        self.swc
+    }
+
+    /// The activation period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// The execution budget in cycles.
+    pub fn wcet_budget(&self) -> u64 {
+        self.wcet_budget
+    }
+}
+
+/// An application set: the runnables of all SWCs deployed on the ECU.
+#[derive(Debug, Clone, Default)]
+pub struct Application {
+    runnables: Vec<Runnable>,
+}
+
+impl Application {
+    /// Creates an empty application set.
+    pub fn new() -> Self {
+        Application { runnables: Vec::new() }
+    }
+
+    /// Adds a runnable.
+    pub fn add(&mut self, runnable: Runnable) -> &mut Self {
+        self.runnables.push(runnable);
+        self
+    }
+
+    /// All runnables, in insertion order.
+    pub fn runnables(&self) -> &[Runnable] {
+        &self.runnables
+    }
+
+    /// The distinct SWCs, sorted.
+    pub fn swcs(&self) -> Vec<SwcId> {
+        let mut ids: Vec<SwcId> = self.runnables.iter().map(|r| r.swc).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// The distinct periods, sorted ascending (each becomes a task, as
+    /// in Fig. 3 where task A holds the 10 ms runnables).
+    pub fn periods(&self) -> Vec<Duration> {
+        let mut ps: Vec<Duration> = self.runnables.iter().map(|r| r.period).collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// The hyperperiod: least common multiple of all periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application is empty.
+    pub fn hyperperiod(&self) -> Duration {
+        assert!(!self.runnables.is_empty(), "empty application");
+        let nanos: Vec<u128> = self.periods().iter().map(|p| p.as_nanos()).collect();
+        let lcm = nanos.iter().copied().fold(1u128, lcm_u128);
+        Duration::new((lcm / 1_000_000_000) as u64, (lcm % 1_000_000_000) as u32)
+    }
+
+    /// The paper's Fig. 3 example: SWC1 {R1 @10ms}, SWC2 {R2 @10ms,
+    /// R3 @20ms}, SWC3 {R4 @20ms, R5 @20ms}.
+    pub fn figure3_example() -> Self {
+        let ms = Duration::from_millis;
+        let mut app = Application::new();
+        app.add(Runnable::new("R1", SwcId(1), ms(10), 40_000))
+            .add(Runnable::new("R2", SwcId(2), ms(10), 55_000))
+            .add(Runnable::new("R3", SwcId(2), ms(20), 30_000))
+            .add(Runnable::new("R4", SwcId(3), ms(20), 45_000))
+            .add(Runnable::new("R5", SwcId(3), ms(20), 25_000));
+        app
+    }
+}
+
+fn gcd_u128(a: u128, b: u128) -> u128 {
+    if b == 0 {
+        a
+    } else {
+        gcd_u128(b, a % b)
+    }
+}
+
+fn lcm_u128(a: u128, b: u128) -> u128 {
+    a / gcd_u128(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_has_expected_shape() {
+        let app = Application::figure3_example();
+        assert_eq!(app.runnables().len(), 5);
+        assert_eq!(app.swcs(), vec![SwcId(1), SwcId(2), SwcId(3)]);
+        assert_eq!(app.periods().len(), 2);
+        assert_eq!(app.hyperperiod(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn swc_process_ids_avoid_the_os() {
+        assert_eq!(SwcId(0).process_id(), ProcessId::new(1));
+        assert_ne!(SwcId(0).process_id(), ProcessId::OS);
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        let ms = Duration::from_millis;
+        let mut app = Application::new();
+        app.add(Runnable::new("a", SwcId(1), ms(6), 1))
+            .add(Runnable::new("b", SwcId(1), ms(10), 1));
+        assert_eq!(app.hyperperiod(), ms(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        Runnable::new("x", SwcId(0), Duration::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty application")]
+    fn empty_hyperperiod_rejected() {
+        Application::new().hyperperiod();
+    }
+
+    #[test]
+    fn gcd_lcm_helpers() {
+        assert_eq!(gcd_u128(12, 18), 6);
+        assert_eq!(lcm_u128(4, 6), 12);
+        assert_eq!(lcm_u128(7, 1), 7);
+    }
+}

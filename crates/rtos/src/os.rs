@@ -1,0 +1,352 @@
+//! The TSCache OS support: seed management across a cyclic schedule
+//! (paper §5 and Fig. 3).
+//!
+//! On every context switch between runnables of *different* SWCs the OS
+//! drains the pipeline, saves the outgoing SWC's seed and restores the
+//! incoming one. Once per hyperperiod it draws fresh random seeds and
+//! flushes the caches, making execution times across hyperperiods
+//! independent (the property §6.2.2 tests).
+
+use crate::model::{Application, SwcId};
+use crate::schedule::Schedule;
+use core::fmt;
+use tscache_core::prng::SplitMix64;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+use tscache_sim::layout::{Layout, Region};
+use tscache_sim::machine::Machine;
+
+/// How the OS assigns placement seeds (paper §5 discusses the spectrum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// One seed per SWC, fresh every hyperperiod — the TSCache rule.
+    PerSwc,
+    /// A single system-wide seed, fresh every hyperperiod — plain
+    /// MBPTA management, attackable (§4).
+    SharedGlobal,
+    /// A fresh seed before every job release — the far end of the
+    /// spectrum; maximal re-randomization, maximal flush cost.
+    PerJob,
+}
+
+impl fmt::Display for SeedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SeedPolicy::PerSwc => "per-swc",
+            SeedPolicy::SharedGlobal => "shared-global",
+            SeedPolicy::PerJob => "per-job",
+        };
+        f.write_str(s)
+    }
+}
+
+/// OS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OsConfig {
+    /// Seed assignment policy.
+    pub seed_policy: SeedPolicy,
+    /// Bookkeeping cycles charged per context switch (on top of the
+    /// pipeline drain).
+    pub context_switch_cycles: u32,
+    /// RNG seed for the OS's seed generator.
+    pub rng_seed: u64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig { seed_policy: SeedPolicy::PerSwc, context_switch_cycles: 30, rng_seed: 0x05 }
+    }
+}
+
+/// Execution-time and overhead accounting for a simulated campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// `times[r]` = execution times of runnable `r`'s jobs, in schedule
+    /// order across all hyperperiods.
+    pub times: Vec<Vec<u64>>,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Seed register swaps performed.
+    pub seed_swaps: u64,
+    /// Whole-cache flushes performed.
+    pub flushes: u64,
+    /// Cycles spent on OS overhead (drains + bookkeeping).
+    pub overhead_cycles: u64,
+    /// Cycles spent executing runnables.
+    pub work_cycles: u64,
+}
+
+impl CampaignReport {
+    /// OS overhead as a fraction of total cycles (the §6.2.3
+    /// "negligible overhead" claim).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.overhead_cycles + self.work_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.overhead_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// The simulated ECU: machine + application + schedule + seed manager.
+#[derive(Debug)]
+pub struct TscacheOs {
+    machine: Machine,
+    app: Application,
+    schedule: Schedule,
+    config: OsConfig,
+    workloads: Vec<RunnableWorkload>,
+    rng: SplitMix64,
+}
+
+/// Per-runnable synthetic working set: a code region plus a data region
+/// sized from the runnable's budget.
+#[derive(Debug, Clone)]
+struct RunnableWorkload {
+    code: Region,
+    data: Region,
+    loads: u32,
+    alu: u32,
+}
+
+impl TscacheOs {
+    /// Builds the OS simulation for `app` on a hierarchy of `setup`.
+    pub fn new(app: Application, setup: SetupKind, config: OsConfig) -> Self {
+        let schedule = Schedule::build(&app);
+        let mut layout = Layout::new(0x20_0000);
+        let workloads = app
+            .runnables()
+            .iter()
+            .map(|r| {
+                // Scale the working set with the budget: one load per
+                // ~25 budgeted cycles, spread over pages.
+                let loads = (r.wcet_budget() / 25).clamp(16, 4096) as u32;
+                let data_bytes = (loads as u64 * 32).next_power_of_two().max(4096);
+                RunnableWorkload {
+                    code: layout.alloc(&format!("{}.code", r.name()), 512, 32),
+                    data: layout.alloc(&format!("{}.data", r.name()), data_bytes, 4096),
+                    loads,
+                    alu: (r.wcet_budget() / 4) as u32,
+                }
+            })
+            .collect();
+        TscacheOs {
+            machine: Machine::from_setup(setup, config.rng_seed ^ 0x05_05),
+            app,
+            schedule,
+            config,
+            workloads,
+            rng: SplitMix64::new(config.rng_seed),
+        }
+    }
+
+    /// The static schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The application.
+    pub fn application(&self) -> &Application {
+        &self.app
+    }
+
+    fn reseed_all(&mut self, report: &mut CampaignReport) {
+        match self.config.seed_policy {
+            SeedPolicy::SharedGlobal => {
+                let seed = Seed::random(&mut self.rng);
+                for swc in self.app.swcs() {
+                    self.machine.set_process_seed(swc.process_id(), seed);
+                    report.seed_swaps += 1;
+                }
+                self.machine.set_process_seed(ProcessId::OS, seed);
+            }
+            SeedPolicy::PerSwc | SeedPolicy::PerJob => {
+                for swc in self.app.swcs() {
+                    let seed = Seed::random(&mut self.rng);
+                    self.machine.set_process_seed(swc.process_id(), seed);
+                    report.seed_swaps += 1;
+                }
+                self.machine.set_process_seed(ProcessId::OS, Seed::random(&mut self.rng));
+            }
+        }
+    }
+
+    fn run_job(&mut self, runnable: usize) -> u64 {
+        let w = self.workloads[runnable].clone();
+        let start = self.machine.cycles();
+        let mut offset = 0u64;
+        for chunk in 0..w.loads {
+            if chunk % 8 == 0 {
+                self.machine.run_block(w.code.base(), 8);
+            }
+            self.machine.load(w.data.at(offset));
+            offset = (offset + 96) % w.data.size();
+        }
+        self.machine.execute(w.alu);
+        self.machine.cycles() - start
+    }
+
+    /// Runs `hyperperiods` full passes of the schedule and returns the
+    /// per-runnable execution times plus overhead accounting.
+    pub fn run(&mut self, hyperperiods: u32) -> CampaignReport {
+        let mut report = CampaignReport {
+            times: vec![Vec::new(); self.app.runnables().len()],
+            context_switches: 0,
+            seed_swaps: 0,
+            flushes: 0,
+            overhead_cycles: 0,
+            work_cycles: 0,
+        };
+        let jobs: Vec<_> = self.schedule.jobs().to_vec();
+        let mut current_swc: Option<SwcId> = None;
+        for _ in 0..hyperperiods {
+            // Hyperperiod boundary: new seeds + flush (§5).
+            let t0 = self.machine.cycles();
+            self.reseed_all(&mut report);
+            self.machine.flush_caches();
+            report.flushes += 1;
+            report.overhead_cycles += self.machine.cycles() - t0;
+
+            for job in &jobs {
+                let swc = self.app.runnables()[job.runnable].swc();
+                if current_swc != Some(swc) {
+                    // Context switch: drain pipeline, save/restore seed.
+                    let t0 = self.machine.cycles();
+                    self.machine
+                        .context_switch(swc.process_id(), self.config.context_switch_cycles);
+                    report.context_switches += 1;
+                    report.seed_swaps += 1;
+                    report.overhead_cycles += self.machine.cycles() - t0;
+                    current_swc = Some(swc);
+                }
+                if self.config.seed_policy == SeedPolicy::PerJob {
+                    let seed = Seed::random(&mut self.rng);
+                    self.machine.set_process_seed(swc.process_id(), seed);
+                    report.seed_swaps += 1;
+                    // Per-job reseed requires flushing that SWC's lines
+                    // for consistency (§5).
+                    self.machine.hierarchy_mut().flush_process(swc.process_id());
+                    report.flushes += 1;
+                }
+                let cycles = self.run_job(job.runnable);
+                report.work_cycles += cycles;
+                report.times[job.runnable].push(cycles);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os(setup: SetupKind, policy: SeedPolicy) -> TscacheOs {
+        let config = OsConfig { seed_policy: policy, ..OsConfig::default() };
+        TscacheOs::new(Application::figure3_example(), setup, config)
+    }
+
+    #[test]
+    fn runs_expected_job_counts() {
+        let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let report = sim.run(10);
+        // R1 and R2: 2 jobs per hyperperiod; R3..R5: 1.
+        assert_eq!(report.times[0].len(), 20);
+        assert_eq!(report.times[1].len(), 20);
+        assert_eq!(report.times[2].len(), 10);
+        assert_eq!(report.flushes, 10);
+    }
+
+    #[test]
+    fn context_switch_and_seed_counts() {
+        let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let report = sim.run(4);
+        // 4 SWC switches per hyperperiod (see schedule tests), plus the
+        // first-ever switch into SWC1 on the very first job; later
+        // hyperperiods start in the SWC the previous one ended in (SWC2
+        // at job R2@10ms) so the boundary switch is counted in the 4.
+        assert!(report.context_switches >= 16, "{}", report.context_switches);
+        // 3 per-SWC seeds per hyperperiod + 1 per context switch.
+        assert!(report.seed_swaps >= 12 + report.context_switches);
+    }
+
+    #[test]
+    fn overhead_is_small_fraction() {
+        let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let report = sim.run(20);
+        assert!(
+            report.overhead_fraction() < 0.01,
+            "overhead {:.4} not negligible",
+            report.overhead_fraction()
+        );
+    }
+
+    #[test]
+    fn per_job_policy_flushes_more() {
+        let mut a = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let mut b = os(SetupKind::TsCache, SeedPolicy::PerJob);
+        let ra = a.run(5);
+        let rb = b.run(5);
+        assert!(rb.flushes > ra.flushes);
+        assert!(rb.seed_swaps > ra.seed_swaps);
+    }
+
+    #[test]
+    fn shared_global_gives_all_swcs_the_same_seed() {
+        let config = OsConfig { seed_policy: SeedPolicy::SharedGlobal, ..OsConfig::default() };
+        let mut sim = TscacheOs::new(Application::figure3_example(), SetupKind::Mbpta, config);
+        let mut report = CampaignReport {
+            times: vec![],
+            context_switches: 0,
+            seed_swaps: 0,
+            flushes: 0,
+            overhead_cycles: 0,
+            work_cycles: 0,
+        };
+        sim.reseed_all(&mut report);
+        let h = sim.machine.hierarchy();
+        let s1 = h.l1d().seed(SwcId(1).process_id());
+        let s2 = h.l1d().seed(SwcId(2).process_id());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn per_swc_gives_distinct_seeds() {
+        let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let mut report = CampaignReport {
+            times: vec![],
+            context_switches: 0,
+            seed_swaps: 0,
+            flushes: 0,
+            overhead_cycles: 0,
+            work_cycles: 0,
+        };
+        sim.reseed_all(&mut report);
+        let h = sim.machine.hierarchy();
+        let s1 = h.l1d().seed(SwcId(1).process_id());
+        let s2 = h.l1d().seed(SwcId(2).process_id());
+        let s3 = h.l1d().seed(SwcId(3).process_id());
+        assert_ne!(s1, s2);
+        assert_ne!(s2, s3);
+    }
+
+    #[test]
+    fn randomized_setup_times_vary_across_hyperperiods() {
+        let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let report = sim.run(30);
+        let r2: std::collections::HashSet<u64> = report.times[1].iter().copied().collect();
+        assert!(r2.len() > 5, "R2 times too uniform: {} distinct", r2.len());
+    }
+
+    #[test]
+    fn deterministic_setup_times_stabilize() {
+        let mut sim = os(SetupKind::Deterministic, SeedPolicy::PerSwc);
+        let report = sim.run(5);
+        // After the first hyperperiod, deterministic caches repeat the
+        // same pattern every hyperperiod.
+        let r1 = &report.times[0];
+        assert_eq!(r1[2], r1[4]);
+        assert_eq!(r1[3], r1[5]);
+    }
+}

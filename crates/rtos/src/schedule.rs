@@ -1,0 +1,134 @@
+//! Static cyclic schedule over one hyperperiod.
+
+use crate::model::Application;
+use core::time::Duration;
+
+/// One job: an activation of a runnable at a release offset within the
+/// hyperperiod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobInstance {
+    /// Index into [`Application::runnables`].
+    pub runnable: usize,
+    /// Release offset from the hyperperiod start.
+    pub release: Duration,
+    /// Which activation of the runnable this is (0-based).
+    pub instance: u32,
+}
+
+/// The job sequence of one hyperperiod, ordered by release offset and,
+/// within an offset, by runnable declaration order (which encodes the
+/// application's data-flow dependencies, as in Fig. 3 where R1 → R2 and
+/// R2 → R3).
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    jobs: Vec<JobInstance>,
+    hyperperiod: Duration,
+}
+
+impl Schedule {
+    /// Builds the cyclic schedule of `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application is empty.
+    pub fn build(app: &Application) -> Self {
+        let hyperperiod = app.hyperperiod();
+        let mut jobs = Vec::new();
+        for (idx, r) in app.runnables().iter().enumerate() {
+            let count = (hyperperiod.as_nanos() / r.period().as_nanos()) as u32;
+            for k in 0..count {
+                jobs.push(JobInstance {
+                    runnable: idx,
+                    release: Duration::from_nanos((r.period().as_nanos() * k as u128) as u64),
+                    instance: k,
+                });
+            }
+        }
+        jobs.sort_by_key(|j| (j.release, j.runnable));
+        Schedule { jobs, hyperperiod }
+    }
+
+    /// The ordered jobs.
+    pub fn jobs(&self) -> &[JobInstance] {
+        &self.jobs
+    }
+
+    /// Total jobs per hyperperiod.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The hyperperiod covered by one pass.
+    pub fn hyperperiod(&self) -> Duration {
+        self.hyperperiod
+    }
+
+    /// Number of SWC changes when executing the jobs in order —
+    /// each costs a seed save/restore under TSCache (paper §5).
+    pub fn swc_switches(&self, app: &Application) -> u32 {
+        let runnables = app.runnables();
+        let mut switches = 0;
+        for pair in self.jobs.windows(2) {
+            if runnables[pair[0].runnable].swc() != runnables[pair[1].runnable].swc() {
+                switches += 1;
+            }
+        }
+        switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Runnable, SwcId};
+
+    #[test]
+    fn figure3_schedule_has_seven_jobs() {
+        // R1, R2 run twice (10 ms in a 20 ms hyperperiod); R3, R4, R5
+        // once: 7 jobs.
+        let app = Application::figure3_example();
+        let s = Schedule::build(&app);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.hyperperiod(), Duration::from_millis(20));
+        // First three jobs at t=0: R1, R2 (then the 20 ms ones follow
+        // in declaration order), then at t=10ms R1, R2 again.
+        assert_eq!(s.jobs()[0].runnable, 0);
+        assert_eq!(s.jobs()[1].runnable, 1);
+        let releases: Vec<u64> =
+            s.jobs().iter().map(|j| j.release.as_millis() as u64).collect();
+        assert_eq!(releases, vec![0, 0, 0, 0, 0, 10, 10]);
+    }
+
+    #[test]
+    fn instances_are_numbered() {
+        let app = Application::figure3_example();
+        let s = Schedule::build(&app);
+        let r1_instances: Vec<u32> =
+            s.jobs().iter().filter(|j| j.runnable == 0).map(|j| j.instance).collect();
+        assert_eq!(r1_instances, vec![0, 1]);
+    }
+
+    #[test]
+    fn swc_switches_counted() {
+        let app = Application::figure3_example();
+        let s = Schedule::build(&app);
+        // Job order: R1(S1) R2(S2) R3(S2) R4(S3) R5(S3) | R1(S1) R2(S2)
+        // → switches: S1→S2, S2→S3, S3→S1, S1→S2 = 4.
+        assert_eq!(s.swc_switches(&app), 4);
+    }
+
+    #[test]
+    fn single_runnable_schedule() {
+        let mut app = Application::new();
+        app.add(Runnable::new("only", SwcId(1), Duration::from_millis(5), 10));
+        let s = Schedule::build(&app);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.swc_switches(&app), 0);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Evict+Time — the second contention attack primitive (paper §2.2).
+//!
+//! The attacker evicts one chosen cache set between two victim runs
+//! and compares the victim's execution time: a slowdown reveals that
+//! the victim uses the targeted set. Under deterministic placement the
+//! attacker can walk all sets and map out the victim's footprint; with
+//! per-process seeds the "targeted" set lands somewhere unrelated in
+//! the victim's layout.
+
+use crate::prime_probe::{assign_seeds, l1_policy};
+use tscache_core::addr::LineAddr;
+use tscache_core::cache::Cache;
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::prng::{Prng, SplitMix64};
+use tscache_core::seed::ProcessId;
+use tscache_core::setup::SetupKind;
+
+/// Outcome of an Evict+Time campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictTimeOutcome {
+    /// Trials run.
+    pub trials: u32,
+    /// Fraction of trials where the slowdown test correctly decided
+    /// whether the victim used the targeted index (0.5 = coin flip).
+    pub detection_rate: f64,
+}
+
+impl EvictTimeOutcome {
+    /// Whether detection beats guessing by a clear margin.
+    pub fn leaks(&self) -> bool {
+        self.detection_rate > 0.7
+    }
+}
+
+/// Runs `trials` Evict+Time rounds against the L1D policy of `setup`.
+///
+/// Per trial: the victim warms its secret line; the attacker evicts the
+/// lines of one target index (four ways deep, at its own addresses);
+/// the victim re-runs and the attacker observes whether the re-run
+/// missed. Half the trials target the victim's true index, half a
+/// different one; the detection rate counts correct decisions.
+pub fn run_evict_time(setup: SetupKind, trials: u32, master_seed: u64) -> EvictTimeOutcome {
+    let geom = CacheGeometry::paper_l1();
+    let (placement, replacement) = l1_policy(setup);
+    let victim = ProcessId::new(1);
+    let attacker = ProcessId::new(2);
+    let mut rng = SplitMix64::new(master_seed ^ 0xe71c7);
+
+    let mut correct = 0u32;
+    for trial in 0..trials {
+        let mut cache = Cache::new("L1D", geom, placement, replacement, master_seed ^ trial as u64);
+        assign_seeds(&mut cache, setup, victim, attacker, master_seed, trial);
+
+        let secret_index = rng.below(128) as u64;
+        let victim_line = LineAddr::new(0x10_000 + secret_index);
+        // Victim warms its line.
+        cache.access(victim, victim_line);
+
+        // Attacker targets either the true index or a decoy.
+        let target_truth = trial % 2 == 0;
+        let target_index = if target_truth {
+            secret_index
+        } else {
+            (secret_index + 1 + rng.below(126) as u64) % 128
+        };
+        // Evict: four attacker lines with those index bits (one per
+        // page, so random modulo spreads them independently).
+        for way in 0..4u64 {
+            cache.access(attacker, LineAddr::new(0x20_000 + way * 128 + target_index));
+        }
+
+        // Victim re-runs; the attacker times it (miss = slowdown).
+        let slowed = cache.access(victim, victim_line).is_miss();
+        // Decision rule: slowdown ⇒ the target was the victim's index.
+        if slowed == target_truth {
+            correct += 1;
+        }
+    }
+    EvictTimeOutcome { trials, detection_rate: correct as f64 / trials as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_cache_is_fully_observable() {
+        let o = run_evict_time(SetupKind::Deterministic, 300, 3);
+        assert!(o.detection_rate > 0.95, "rate {}", o.detection_rate);
+        assert!(o.leaks());
+    }
+
+    #[test]
+    fn tscache_reduces_detection_to_chance() {
+        let o = run_evict_time(SetupKind::TsCache, 600, 3);
+        assert!(
+            (o.detection_rate - 0.5).abs() < 0.1,
+            "rate {} not chance-like",
+            o.detection_rate
+        );
+        assert!(!o.leaks());
+    }
+
+    #[test]
+    fn rpcache_disrupts_targeting() {
+        let o = run_evict_time(SetupKind::RpCache, 600, 5);
+        assert!(o.detection_rate < 0.8, "rate {}", o.detection_rate);
+    }
+
+    #[test]
+    fn trials_counted() {
+        let o = run_evict_time(SetupKind::Deterministic, 10, 1);
+        assert_eq!(o.trials, 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tscache-sca — cache timing side-channel attacks
+//!
+//! The attack half of the reproduction: Bernstein's correlation attack
+//! on AES (the paper's §6 case study) plus the Prime+Probe and
+//! Evict+Time contention primitives used in the generalization
+//! argument (§6.2.1).
+//!
+//! * [`sampling`] — two emulated ECU nodes (attacker with known key,
+//!   victim with secret key) timing AES encryptions amid application
+//!   and OS cache activity, with seed management per cache setup.
+//! * [`profile`] — Bernstein's per-(byte, value) timing profiles
+//!   (Fig. 4's data).
+//! * [`bernstein`] — shift-correlation analysis, stringent-threshold
+//!   candidate reduction, and Fig. 5's effectiveness matrix/metrics.
+//! * [`prime_probe`], [`evict_time`] — contention attack primitives.
+//!
+//! ```no_run
+//! use tscache_core::setup::SetupKind;
+//! use tscache_sca::bernstein::run_attack;
+//! use tscache_sca::sampling::SamplingConfig;
+//!
+//! let cfg = SamplingConfig::standard(SetupKind::Deterministic, 100_000, 42);
+//! let result = run_attack(cfg);
+//! println!("residual keyspace: 2^{:.0}", result.residual_keyspace_log2());
+//! ```
+
+pub mod bernstein;
+pub mod evict_time;
+pub mod prime_probe;
+pub mod profile;
+pub mod sampling;
+
+pub use bernstein::{analyze, run_attack, AttackResult, ByteAttackResult};
+pub use evict_time::{run_evict_time, EvictTimeOutcome};
+pub use prime_probe::{run_prime_probe, PrimeProbeOutcome};
+pub use profile::TimingProfile;
+pub use sampling::{collect_pair, CryptoNode, Role, SamplingConfig, TimingSample};

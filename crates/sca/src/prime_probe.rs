@@ -1,0 +1,155 @@
+//! Prime+Probe — the canonical contention attack primitive (paper
+//! §2.2, generalization argument in §6.2.1).
+//!
+//! The attacker fills the cache with its own lines (*prime*), lets the
+//! victim run, then re-touches its lines (*probe*): a missing line
+//! reveals a set the victim used. Under deterministic placement the
+//! evicted line's index bits identify the victim's accessed address;
+//! under per-process random placement the relationship is destroyed.
+
+use tscache_core::addr::LineAddr;
+use tscache_core::cache::Cache;
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::placement::PlacementKind;
+use tscache_core::prng::{mix64, Prng, SplitMix64};
+use tscache_core::replacement::ReplacementKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::{SeedSharing, SetupKind};
+
+/// Outcome of a Prime+Probe campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimeProbeOutcome {
+    /// Trials run.
+    pub trials: u32,
+    /// Fraction of trials where the attacker's set guess matched the
+    /// victim's true index (1/128 ≈ 0.008 is chance level).
+    pub accuracy: f64,
+    /// Mean number of attacker lines evicted per trial.
+    pub mean_evictions: f64,
+}
+
+impl PrimeProbeOutcome {
+    /// Whether the attacker does meaningfully better than guessing.
+    pub fn leaks(&self) -> bool {
+        self.accuracy > 8.0 / 128.0
+    }
+}
+
+/// Runs `trials` Prime+Probe rounds against the L1D policy of `setup`.
+///
+/// Per trial the victim accesses one secret line (index drawn from the
+/// trial RNG); the attacker primes the full cache, lets the victim run,
+/// probes, and guesses the victim's index from the first evicted prime
+/// line.
+pub fn run_prime_probe(setup: SetupKind, trials: u32, master_seed: u64) -> PrimeProbeOutcome {
+    let geom = CacheGeometry::paper_l1();
+    let (placement, replacement) = l1_policy(setup);
+    let victim = ProcessId::new(1);
+    let attacker = ProcessId::new(2);
+    let mut rng = SplitMix64::new(master_seed ^ 0x9199e);
+
+    let mut hits = 0u32;
+    let mut total_evictions = 0u64;
+    for trial in 0..trials {
+        let mut cache = Cache::new("L1D", geom, placement, replacement, master_seed ^ trial as u64);
+        assign_seeds(&mut cache, setup, victim, attacker, master_seed, trial);
+
+        // Prime: 4 pages of attacker lines fill every set 4-ways under
+        // both modulo and (bijective-per-page) random modulo.
+        let prime_lines: Vec<LineAddr> = (0..512u64).map(LineAddr::new).collect();
+        for &l in &prime_lines {
+            cache.access(attacker, l);
+        }
+
+        // Victim accesses one secret line.
+        let secret_index = rng.below(128) as u64;
+        let victim_line = LineAddr::new(0x10_000 + secret_index);
+        cache.access(victim, victim_line);
+
+        // Probe: find evicted prime lines without disturbing state.
+        let evicted: Vec<LineAddr> =
+            prime_lines.iter().copied().filter(|&l| !cache.probe(attacker, l)).collect();
+        total_evictions += evicted.len() as u64;
+        if let Some(first) = evicted.first() {
+            // The attacker's guess: the index bits of its evicted line.
+            if first.index_bits(7) == secret_index {
+                hits += 1;
+            }
+        }
+    }
+    PrimeProbeOutcome {
+        trials,
+        accuracy: hits as f64 / trials as f64,
+        mean_evictions: total_evictions as f64 / trials as f64,
+    }
+}
+
+/// The L1 policy pair of each setup (mirrors `SetupKind::build`).
+pub(crate) fn l1_policy(setup: SetupKind) -> (PlacementKind, ReplacementKind) {
+    match setup {
+        SetupKind::Deterministic => (PlacementKind::Modulo, ReplacementKind::Lru),
+        SetupKind::RpCache => (PlacementKind::RpCache, ReplacementKind::Lru),
+        SetupKind::Mbpta | SetupKind::TsCache => {
+            (PlacementKind::RandomModulo, ReplacementKind::Random)
+        }
+    }
+}
+
+/// Seeds a two-process cache per the setup's sharing policy.
+pub(crate) fn assign_seeds(
+    cache: &mut Cache,
+    setup: SetupKind,
+    victim: ProcessId,
+    attacker: ProcessId,
+    master_seed: u64,
+    trial: u32,
+) {
+    let base = mix64(master_seed ^ (trial as u64) << 20);
+    match setup.seed_sharing() {
+        SeedSharing::Irrelevant => {
+            cache.set_seed(victim, Seed::ZERO);
+            cache.set_seed(attacker, Seed::ZERO);
+        }
+        SeedSharing::Shared => {
+            cache.set_seed(victim, Seed::new(base));
+            cache.set_seed(attacker, Seed::new(base));
+        }
+        SeedSharing::PerProcess => {
+            cache.set_seed(victim, Seed::new(mix64(base ^ 1)));
+            cache.set_seed(attacker, Seed::new(mix64(base ^ 2)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_cache_leaks_reliably() {
+        let o = run_prime_probe(SetupKind::Deterministic, 200, 7);
+        assert!(o.accuracy > 0.9, "accuracy {}", o.accuracy);
+        assert!(o.leaks());
+    }
+
+    #[test]
+    fn tscache_defeats_prime_probe() {
+        let o = run_prime_probe(SetupKind::TsCache, 400, 7);
+        assert!(o.accuracy < 0.06, "accuracy {}", o.accuracy);
+        assert!(!o.leaks());
+    }
+
+    #[test]
+    fn rpcache_randomizes_the_observed_set() {
+        let o = run_prime_probe(SetupKind::RpCache, 400, 9);
+        assert!(o.accuracy < 0.1, "accuracy {}", o.accuracy);
+    }
+
+    #[test]
+    fn evictions_happen_in_all_setups() {
+        for setup in SetupKind::ALL {
+            let o = run_prime_probe(setup, 50, 3);
+            assert!(o.mean_evictions > 0.4, "{setup}: {}", o.mean_evictions);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-(byte, value) timing profiles — Bernstein's `study` tables.
+//!
+//! For each of the 16 plaintext byte positions and each of the 256 byte
+//! values, the profile accumulates the average encryption time over all
+//! samples where that position held that value. Deviations from the
+//! global mean are the attack's signatures (paper Fig. 4 plots exactly
+//! these for byte 4).
+
+use crate::sampling::TimingSample;
+
+/// Aggregated timing statistics per byte position and value.
+#[derive(Debug, Clone)]
+pub struct TimingProfile {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    total_sum: f64,
+    total_count: u64,
+}
+
+impl Default for TimingProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimingProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        TimingProfile {
+            sums: vec![0.0; 16 * 256],
+            counts: vec![0; 16 * 256],
+            total_sum: 0.0,
+            total_count: 0,
+        }
+    }
+
+    /// Builds a profile from a sample stream.
+    pub fn from_samples(samples: &[TimingSample]) -> Self {
+        let mut p = TimingProfile::new();
+        for s in samples {
+            p.add(&s.plaintext, s.cycles);
+        }
+        p
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, plaintext: &[u8; 16], cycles: u64) {
+        let t = cycles as f64;
+        for (i, &b) in plaintext.iter().enumerate() {
+            let idx = i * 256 + b as usize;
+            self.sums[idx] += t;
+            self.counts[idx] += 1;
+        }
+        self.total_sum += t;
+        self.total_count += 1;
+    }
+
+    /// Number of samples aggregated.
+    pub fn samples(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Global mean encryption time.
+    pub fn global_mean(&self) -> f64 {
+        if self.total_count == 0 {
+            0.0
+        } else {
+            self.total_sum / self.total_count as f64
+        }
+    }
+
+    /// Mean time over samples with `value` at `byte`, or the global
+    /// mean when that cell is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte >= 16`.
+    pub fn mean(&self, byte: usize, value: u8) -> f64 {
+        assert!(byte < 16, "byte position out of range");
+        let idx = byte * 256 + value as usize;
+        if self.counts[idx] == 0 {
+            self.global_mean()
+        } else {
+            self.sums[idx] / self.counts[idx] as f64
+        }
+    }
+
+    /// Deviation of a cell mean from the global mean (the paper's
+    /// Fig. 4 y-axis).
+    pub fn deviation(&self, byte: usize, value: u8) -> f64 {
+        self.mean(byte, value) - self.global_mean()
+    }
+
+    /// The 256-point deviation signature of one byte position.
+    pub fn signature(&self, byte: usize) -> [f64; 256] {
+        core::array::from_fn(|v| self.deviation(byte, v as u8))
+    }
+
+    /// Observation count of one cell.
+    pub fn count(&self, byte: usize, value: u8) -> u64 {
+        assert!(byte < 16, "byte position out of range");
+        self.counts[byte * 256 + value as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pt0: u8, cycles: u64) -> TimingSample {
+        let mut plaintext = [0u8; 16];
+        plaintext[0] = pt0;
+        TimingSample { plaintext, cycles }
+    }
+
+    #[test]
+    fn empty_profile_is_neutral() {
+        let p = TimingProfile::new();
+        assert_eq!(p.samples(), 0);
+        assert_eq!(p.global_mean(), 0.0);
+        assert_eq!(p.deviation(3, 7), 0.0);
+    }
+
+    #[test]
+    fn means_split_by_value() {
+        let mut p = TimingProfile::new();
+        p.add(&sample(1, 100).plaintext, 100);
+        p.add(&sample(1, 200).plaintext, 200);
+        p.add(&sample(2, 400).plaintext, 400);
+        assert!((p.mean(0, 1) - 150.0).abs() < 1e-9);
+        assert!((p.mean(0, 2) - 400.0).abs() < 1e-9);
+        assert!((p.global_mean() - 233.333).abs() < 0.01);
+        // Byte 5 was always 0 → its value-0 mean is the global mean.
+        assert!((p.mean(5, 0) - p.global_mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviations_sum_to_zero_over_observed_values() {
+        let mut p = TimingProfile::new();
+        for v in 0..=255u8 {
+            p.add(&sample(v, 100 + v as u64).plaintext, 100 + v as u64);
+        }
+        let total: f64 = (0..=255u8).map(|v| p.deviation(0, v)).sum();
+        assert!(total.abs() < 1e-6);
+    }
+
+    #[test]
+    fn signature_has_256_points() {
+        let mut p = TimingProfile::new();
+        p.add(&sample(9, 50).plaintext, 50);
+        let sig = p.signature(0);
+        assert_eq!(sig.len(), 256);
+        assert!(sig[9] >= 0.0);
+    }
+
+    #[test]
+    fn from_samples_equals_incremental() {
+        let samples: Vec<TimingSample> = (0..100).map(|i| sample(i as u8, 100 + i)).collect();
+        let a = TimingProfile::from_samples(&samples);
+        let mut b = TimingProfile::new();
+        for s in &samples {
+            b.add(&s.plaintext, s.cycles);
+        }
+        assert_eq!(a.samples(), b.samples());
+        assert!((a.mean(0, 50) - b.mean(0, 50)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn byte_bounds_checked() {
+        TimingProfile::new().mean(16, 0);
+    }
+}

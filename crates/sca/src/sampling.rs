@@ -1,0 +1,389 @@
+//! Timing-sample collection for the Bernstein attack (paper §6.1.1).
+//!
+//! Two independent "processors" (machines) each run AES-128 plus the
+//! surrounding application activity of a real ECU task. The attacker's
+//! node uses a known key; the victim's key is secret. Per sample we
+//! record `(plaintext, encryption cycles)`.
+//!
+//! The cache-relevant structure mirrors a real deployment:
+//!
+//! * the AES tables, key schedule, code and I/O buffers live at fixed
+//!   addresses (same binary on both nodes);
+//! * between encryptions the task touches its *application working
+//!   set*, part of which conflicts with table cache sets — the
+//!   self-interference that makes encryption time input-dependent
+//!   (Bernstein needs no co-located attacker, §2.2);
+//! * periodically the OS runs (its own process and seed), providing
+//!   cross-process contention — the events RPCache randomizes;
+//! * placement seeds are re-drawn every "hyperperiod" of jobs and
+//!   caches flushed, per the paper's §5 seed-management protocol. The
+//!   sharing policy (shared vs per-process) comes from the
+//!   [`SetupKind`].
+
+use tscache_aes::sim_cipher::{AesLayout, SimAes128};
+use tscache_core::addr::Addr;
+use tscache_core::prng::{mix64, Prng, SplitMix64};
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::{SeedSharing, SetupKind};
+use tscache_sim::layout::Layout;
+use tscache_sim::machine::Machine;
+
+/// Which node a sample stream belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The profiled machine with the known key.
+    Attacker,
+    /// The target machine with the secret key.
+    Victim,
+}
+
+impl Role {
+    fn stream(self) -> u64 {
+        match self {
+            Role::Attacker => 0xa77a_c4e5,
+            Role::Victim => 0x71c7_13b5,
+        }
+    }
+}
+
+/// One timing observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSample {
+    /// The (random) plaintext block.
+    pub plaintext: [u8; 16],
+    /// Cycles the encryption took.
+    pub cycles: u64,
+}
+
+/// Parameters of a sampling campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// Cache setup under attack.
+    pub setup: SetupKind,
+    /// Number of encryptions to time per node.
+    pub samples: u32,
+    /// Master seed: everything (keys aside) derives from it.
+    pub master_seed: u64,
+    /// Jobs per seed epoch (hyperperiod); re-seed + flush at each
+    /// boundary. 0 means a single epoch for the whole campaign.
+    pub reseed_every: u32,
+    /// OS activity period in jobs (0 = no OS noise).
+    pub os_noise_every: u32,
+    /// Untimed warm-up jobs run after every epoch flush, so the timed
+    /// samples measure the steady state rather than the compulsory-
+    /// miss transient (which is layout-independent and would mask the
+    /// contention channel on *every* setup).
+    pub warmup_jobs: u32,
+    /// Table lines the application working set aliases under modulo
+    /// (interference intensity; the ablation harness sweeps this).
+    pub app_target_lines: u32,
+    /// If non-zero, way-partition the L1s: the crypto task fills ways
+    /// `0..k`, the OS ways `k..assoc` (the §7 partitioning
+    /// alternative). 0 = no partitioning.
+    pub partition_task_ways: u32,
+}
+
+impl SamplingConfig {
+    /// The defaults used by the figure harnesses: 32768-job seed epochs
+    /// (a handful of epochs per campaign, so genuine shift-correlations
+    /// accumulate across epochs while layout-pair coincidences wash
+    /// out), OS ticks every 16 jobs, 8 warm-up jobs per epoch.
+    pub fn standard(setup: SetupKind, samples: u32, master_seed: u64) -> Self {
+        SamplingConfig {
+            setup,
+            samples,
+            master_seed,
+            reseed_every: 32_768,
+            os_noise_every: 16,
+            warmup_jobs: 8,
+            app_target_lines: 10,
+            partition_task_ways: 0,
+        }
+    }
+}
+
+/// A simulated ECU node running the AES task.
+#[derive(Debug)]
+pub struct CryptoNode {
+    machine: Machine,
+    aes: SimAes128,
+    /// Application lines that (under modulo) alias chosen table sets,
+    /// four ways deep.
+    app_lines: Vec<Addr>,
+    /// The task's broader working set (two full pages): under modulo it
+    /// adds a uniform, harmless two lines per set, but under randomized
+    /// placement its lines clump (Poisson), creating the set congestion
+    /// that makes timing layout-dependent on MBPTA-class caches.
+    background_lines: Vec<Addr>,
+    /// Lines the OS touches on its ticks.
+    os_lines: Vec<Addr>,
+    task: ProcessId,
+    cfg: SamplingConfig,
+    role: Role,
+    pt_rng: SplitMix64,
+}
+
+impl CryptoNode {
+    /// Builds a node for `role` with the given AES `key`.
+    pub fn new(cfg: SamplingConfig, role: Role, key: &[u8; 16]) -> Self {
+        let mut layout = Layout::new(0x10_0000);
+        let aes_layout = AesLayout::install(&mut layout, "aes");
+        let app = layout.alloc("app", 4 * 4096, 4096);
+        let background = layout.alloc("background", 2 * 4096, 4096);
+        let os = layout.alloc("os", 2 * 4096, 4096);
+
+        let mut machine = Machine::from_setup(cfg.setup, cfg.master_seed ^ role.stream());
+        // RPCache protects the crypto tables (P-bit pages).
+        for t in 0..5 {
+            let region = aes_layout.table(t);
+            machine
+                .hierarchy_mut()
+                .add_protected_range(region.base(), region.size());
+        }
+        // Optional §7-style way partitioning: task vs OS.
+        if cfg.partition_task_ways > 0 {
+            let ways = 4;
+            let k = cfg.partition_task_ways.min(ways - 1);
+            machine.hierarchy_mut().set_l1_way_partition(ProcessId::new(1), 0, k);
+            machine.hierarchy_mut().set_l1_way_partition(ProcessId::OS, k, ways);
+        }
+
+        // Application lines aliased (modulo) onto the sets of selected
+        // TE0 and TE2 lines, 4 ways deep — enough to evict a 4-way set.
+        let mut app_lines = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..(cfg.app_target_lines as u64).div_ceil(2).min(10) {
+            targets.push(aes_layout.table(0).at(32 * (3 * i)));
+            targets.push(aes_layout.table(2).at(32 * (3 * i + 1)));
+        }
+        targets.truncate(cfg.app_target_lines as usize);
+        for target in &targets {
+            let set = (target.as_u64() >> 5) & 127;
+            for way in 0..4u64 {
+                app_lines.push(Addr::new(app.base().as_u64() + way * 4096 + set * 32));
+            }
+        }
+
+        // OS lines: eight sets aliasing TE1/TE3 lines, two ways deep.
+        let mut os_lines = Vec::new();
+        for i in 0..4u64 {
+            for (t, l) in [(1u64, 5 * i), (3u64, 5 * i + 2)] {
+                let set = (aes_layout.table(t as usize).at(32 * l).as_u64() >> 5) & 127;
+                for way in 0..2u64 {
+                    os_lines.push(Addr::new(os.base().as_u64() + way * 4096 + set * 32));
+                }
+            }
+        }
+
+        let background_lines: Vec<Addr> =
+            (0..background.size() / 32).map(|i| background.at(i * 32)).collect();
+
+        CryptoNode {
+            machine,
+            aes: SimAes128::new(key, aes_layout),
+            app_lines,
+            background_lines,
+            os_lines,
+            task: ProcessId::new(1),
+            cfg,
+            role,
+            pt_rng: SplitMix64::new(mix64(cfg.master_seed ^ role.stream() ^ 0x9_1e57)),
+        }
+    }
+
+    /// The seed for `pid` in epoch `epoch`, following the setup's
+    /// sharing policy.
+    fn epoch_seed(&self, pid: ProcessId, epoch: u64) -> Seed {
+        let base = mix64(self.cfg.master_seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match self.cfg.setup.seed_sharing() {
+            SeedSharing::Irrelevant => Seed::ZERO,
+            // One system-wide seed per epoch: both nodes, all processes.
+            SeedSharing::Shared => Seed::new(base),
+            // Unique per (node, process): the TSCache rule.
+            SeedSharing::PerProcess => {
+                Seed::new(mix64(base ^ self.role.stream() ^ (pid.as_u16() as u64) << 48))
+            }
+        }
+    }
+
+    fn start_epoch(&mut self, epoch: u64) {
+        let task_seed = self.epoch_seed(self.task, epoch);
+        let os_seed = self.epoch_seed(ProcessId::OS, epoch);
+        self.machine.set_process_seed(self.task, task_seed);
+        self.machine.set_process_seed(ProcessId::OS, os_seed);
+        // §5: the hyperperiod boundary re-seeds and flushes.
+        self.machine.flush_caches();
+        // Untimed warm-up jobs repopulate the working set so that the
+        // timed samples see the steady state.
+        let mut warm_rng = SplitMix64::new(mix64(
+            self.cfg.master_seed ^ self.role.stream() ^ epoch.wrapping_mul(0xd1ce),
+        ));
+        for _ in 0..self.cfg.warmup_jobs {
+            let mut pt = [0u8; 16];
+            for b in pt.iter_mut() {
+                *b = (warm_rng.next_u32() & 0xff) as u8;
+            }
+            self.aes.encrypt(&mut self.machine, &pt);
+            self.app_activity();
+        }
+    }
+
+    fn app_activity(&mut self) {
+        for i in 0..self.background_lines.len() {
+            self.machine.load(self.background_lines[i]);
+        }
+        for i in 0..self.app_lines.len() {
+            self.machine.load(self.app_lines[i]);
+        }
+    }
+
+    fn os_tick(&mut self) {
+        self.machine.context_switch(ProcessId::OS, 20);
+        for i in 0..self.os_lines.len() {
+            self.machine.load(self.os_lines[i]);
+        }
+        self.machine.context_switch(self.task, 20);
+    }
+
+    fn random_plaintext(&mut self) -> [u8; 16] {
+        let a = self.pt_rng.next_u64().to_le_bytes();
+        let b = self.pt_rng.next_u64().to_le_bytes();
+        let mut pt = [0u8; 16];
+        pt[..8].copy_from_slice(&a);
+        pt[8..].copy_from_slice(&b);
+        pt
+    }
+
+    /// Runs the campaign and returns one [`TimingSample`] per job.
+    pub fn collect(&mut self) -> Vec<TimingSample> {
+        let mut out = Vec::with_capacity(self.cfg.samples as usize);
+        self.machine.set_process(self.task);
+        self.start_epoch(0);
+        let mut job = 0u32;
+        while out.len() < self.cfg.samples as usize {
+            if self.cfg.reseed_every > 0 && job > 0 && job % self.cfg.reseed_every == 0 {
+                self.start_epoch((job / self.cfg.reseed_every) as u64);
+            }
+            let os_adjacent =
+                self.cfg.os_noise_every > 0 && job % self.cfg.os_noise_every == 0;
+            if os_adjacent {
+                self.os_tick();
+            }
+            let pt = self.random_plaintext();
+            self.machine.reset_counters();
+            self.aes.encrypt(&mut self.machine, &pt);
+            let cycles = self.machine.cycles();
+            // Jobs right after an OS tick carry OS-eviction noise that a
+            // real attacker trivially filters as outliers; keep them out
+            // of the timed stream (they still ran, disturbing the cache).
+            if !os_adjacent {
+                out.push(TimingSample { plaintext: pt, cycles });
+            }
+            self.app_activity();
+            job += 1;
+        }
+        out
+    }
+
+    /// The node's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Borrows the underlying machine (statistics inspection).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+}
+
+/// Collects attacker and victim sample streams for a setup, as the
+/// paper's experiment does (§6.1.1): the attacker's key is known, the
+/// victim's is secret.
+pub fn collect_pair(
+    cfg: SamplingConfig,
+    attacker_key: &[u8; 16],
+    victim_key: &[u8; 16],
+) -> (Vec<TimingSample>, Vec<TimingSample>) {
+    let mut attacker = CryptoNode::new(cfg, Role::Attacker, attacker_key);
+    let mut victim = CryptoNode::new(cfg, Role::Victim, victim_key);
+    (attacker.collect(), victim.collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(setup: SetupKind, samples: u32) -> SamplingConfig {
+        SamplingConfig::standard(setup, samples, 0xbeef)
+    }
+
+    #[test]
+    fn collects_requested_samples() {
+        let mut node = CryptoNode::new(cfg(SetupKind::Deterministic, 50), Role::Victim, &[1; 16]);
+        let samples = node.collect();
+        assert_eq!(samples.len(), 50);
+        assert!(samples.iter().all(|s| s.cycles > 0));
+    }
+
+    #[test]
+    fn deterministic_timing_varies_with_plaintext() {
+        // The engineered app interference makes encryption time depend
+        // on which table lines each plaintext touches.
+        let mut node =
+            CryptoNode::new(cfg(SetupKind::Deterministic, 300), Role::Victim, &[7; 16]);
+        let samples = node.collect();
+        let distinct: std::collections::HashSet<u64> =
+            samples.iter().skip(10).map(|s| s.cycles).collect();
+        assert!(distinct.len() > 3, "only {} distinct timings", distinct.len());
+    }
+
+    #[test]
+    fn plaintexts_differ_between_roles_and_repeat_per_role() {
+        let mut v1 = CryptoNode::new(cfg(SetupKind::Deterministic, 5), Role::Victim, &[1; 16]);
+        let mut v2 = CryptoNode::new(cfg(SetupKind::Deterministic, 5), Role::Victim, &[2; 16]);
+        let mut a = CryptoNode::new(cfg(SetupKind::Deterministic, 5), Role::Attacker, &[1; 16]);
+        let s1 = v1.collect();
+        let s2 = v2.collect();
+        let s3 = a.collect();
+        // Same role, same master seed → same plaintext stream.
+        assert_eq!(s1[0].plaintext, s2[0].plaintext);
+        // Different role → different stream.
+        assert_ne!(s1[0].plaintext, s3[0].plaintext);
+    }
+
+    #[test]
+    fn shared_seed_setups_agree_across_roles() {
+        let a = CryptoNode::new(cfg(SetupKind::Mbpta, 1), Role::Attacker, &[0; 16]);
+        let v = CryptoNode::new(cfg(SetupKind::Mbpta, 1), Role::Victim, &[1; 16]);
+        let pid = ProcessId::new(1);
+        assert_eq!(a.epoch_seed(pid, 3), v.epoch_seed(pid, 3));
+        assert_ne!(a.epoch_seed(pid, 3), a.epoch_seed(pid, 4));
+    }
+
+    #[test]
+    fn per_process_seed_setups_disagree_across_roles() {
+        let a = CryptoNode::new(cfg(SetupKind::TsCache, 1), Role::Attacker, &[0; 16]);
+        let v = CryptoNode::new(cfg(SetupKind::TsCache, 1), Role::Victim, &[1; 16]);
+        let pid = ProcessId::new(1);
+        assert_ne!(a.epoch_seed(pid, 3), v.epoch_seed(pid, 3));
+        // And the OS seed differs from the task seed.
+        assert_ne!(v.epoch_seed(pid, 3), v.epoch_seed(ProcessId::OS, 3));
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let run = || {
+            let mut node =
+                CryptoNode::new(cfg(SetupKind::TsCache, 40), Role::Victim, &[9; 16]);
+            node.collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn collect_pair_returns_both_streams() {
+        let (a, v) = collect_pair(cfg(SetupKind::Deterministic, 10), &[0; 16], &[1; 16]);
+        assert_eq!(a.len(), 10);
+        assert_eq!(v.len(), 10);
+    }
+}

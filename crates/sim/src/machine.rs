@@ -1,0 +1,322 @@
+//! The execution-driven machine: a cache hierarchy plus a pipeline
+//! cost model and a cycle counter.
+//!
+//! Workloads (the instrumented AES cipher, the synthetic kernels) issue
+//! loads, stores, instruction fetches and ALU batches; the machine
+//! accumulates their cycle cost. This reproduces the timing channel of
+//! the paper's cycle-accurate simulator: *all* input-dependent timing
+//! variability flows through the cache hierarchy.
+
+use crate::pipeline::PipelineModel;
+use tscache_core::addr::Addr;
+use tscache_core::hierarchy::{AccessKind, Hierarchy};
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+
+/// One recorded memory event (when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which port the access used.
+    pub kind: AccessKind,
+    /// The byte address accessed.
+    pub addr: Addr,
+    /// Cycle cost charged for the access.
+    pub cost: u32,
+}
+
+/// An execution-driven machine.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_core::addr::Addr;
+/// use tscache_core::seed::{ProcessId, Seed};
+/// use tscache_core::setup::SetupKind;
+/// use tscache_sim::machine::Machine;
+///
+/// let mut m = Machine::from_setup(SetupKind::TsCache, 42);
+/// let pid = ProcessId::new(1);
+/// m.set_process_seed(pid, Seed::new(7));
+/// m.set_process(pid);
+/// m.load(Addr::new(0x8000));
+/// m.execute(10);
+/// assert!(m.cycles() > 10);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    hierarchy: Hierarchy,
+    pipeline: PipelineModel,
+    pid: ProcessId,
+    cycles: u64,
+    trace: Option<Vec<TraceEvent>>,
+    instret: u64,
+}
+
+impl Machine {
+    /// Creates a machine over an explicit hierarchy.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Machine {
+            hierarchy,
+            pipeline: PipelineModel::default(),
+            pid: ProcessId::new(1),
+            cycles: 0,
+            trace: None,
+            instret: 0,
+        }
+    }
+
+    /// Creates a machine for one of the paper's four setups.
+    pub fn from_setup(setup: SetupKind, rng_seed: u64) -> Self {
+        Machine::new(setup.build(rng_seed))
+    }
+
+    /// Replaces the pipeline cost model.
+    pub fn set_pipeline(&mut self, pipeline: PipelineModel) {
+        self.pipeline = pipeline;
+    }
+
+    /// The pipeline cost model.
+    pub fn pipeline(&self) -> PipelineModel {
+        self.pipeline
+    }
+
+    /// Switches the executing process (does not drain the pipeline; use
+    /// [`context_switch`](Machine::context_switch) for the full cost).
+    pub fn set_process(&mut self, pid: ProcessId) {
+        self.pid = pid;
+    }
+
+    /// The currently executing process.
+    pub fn process(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Performs an OS context switch to `pid`: drains the pipeline
+    /// (the seed-swap cost of §5) and charges `extra_cycles` of OS
+    /// bookkeeping.
+    pub fn context_switch(&mut self, pid: ProcessId, extra_cycles: u32) {
+        self.cycles += self.pipeline.drain_cycles() as u64 + extra_cycles as u64;
+        self.pid = pid;
+    }
+
+    /// Sets the placement seed of `pid` across the hierarchy.
+    pub fn set_process_seed(&mut self, pid: ProcessId, seed: Seed) {
+        self.hierarchy.set_process_seed(pid, seed);
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Retired instruction count (ALU batches + fetched instructions).
+    pub fn instructions(&self) -> u64 {
+        self.instret
+    }
+
+    /// Resets the cycle and instruction counters (cache state remains).
+    pub fn reset_counters(&mut self) {
+        self.cycles = 0;
+        self.instret = 0;
+    }
+
+    /// Flushes all caches (hyperperiod boundary in the TSCache OS).
+    pub fn flush_caches(&mut self) {
+        self.hierarchy.flush_all();
+    }
+
+    /// Borrows the hierarchy (for statistics inspection).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Mutably borrows the hierarchy (for seed management and flushes).
+    pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
+        &mut self.hierarchy
+    }
+
+    /// Starts recording memory events.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the events captured so far.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    #[inline]
+    fn record(&mut self, kind: AccessKind, addr: Addr, cost: u32) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { kind, addr, cost });
+        }
+    }
+
+    /// Issues a data load; returns its cycle cost.
+    #[inline]
+    pub fn load(&mut self, addr: Addr) -> u32 {
+        let cost = self.hierarchy.access(self.pid, AccessKind::Read, addr);
+        self.cycles += cost as u64;
+        self.record(AccessKind::Read, addr, cost);
+        cost
+    }
+
+    /// Issues a data load whose value feeds the next instruction,
+    /// adding the load-use stall.
+    #[inline]
+    pub fn load_use(&mut self, addr: Addr) -> u32 {
+        let cost = self.load(addr) + self.pipeline.load_use_stall;
+        self.cycles += self.pipeline.load_use_stall as u64;
+        cost
+    }
+
+    /// Issues a data store; returns its cycle cost.
+    #[inline]
+    pub fn store(&mut self, addr: Addr) -> u32 {
+        let cost = self.hierarchy.access(self.pid, AccessKind::Write, addr);
+        self.cycles += cost as u64;
+        self.record(AccessKind::Write, addr, cost);
+        cost
+    }
+
+    /// Retires `n` ALU instructions (no memory traffic).
+    #[inline]
+    pub fn execute(&mut self, n: u32) {
+        self.cycles += (n * self.pipeline.cpi) as u64;
+        self.instret += n as u64;
+    }
+
+    /// Takes a branch (refill penalty).
+    #[inline]
+    pub fn branch(&mut self) {
+        self.cycles += self.pipeline.branch_penalty as u64;
+    }
+
+    /// Fetches and retires a straight-line block of `instrs`
+    /// 4-byte instructions starting at `code`.
+    ///
+    /// The fetch unit touches each covered instruction-cache line once
+    /// (sequential fetch within a line does not re-access the cache),
+    /// then the instructions retire at the base CPI.
+    pub fn run_block(&mut self, code: Addr, instrs: u32) {
+        let line_bytes = self.hierarchy.l1i().geometry().line_bytes() as u64;
+        let start = code.as_u64();
+        let end = start + 4 * instrs as u64;
+        let mut line_base = start - (start % line_bytes);
+        while line_base < end {
+            let cost = self.hierarchy.access(self.pid, AccessKind::Fetch, Addr::new(line_base));
+            self.cycles += cost as u64;
+            self.record(AccessKind::Fetch, Addr::new(line_base), cost);
+            line_base += line_bytes;
+        }
+        self.execute(instrs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::from_setup(SetupKind::Deterministic, 5)
+    }
+
+    #[test]
+    fn execute_charges_cpi() {
+        let mut m = machine();
+        m.execute(10);
+        assert_eq!(m.cycles(), 10);
+        assert_eq!(m.instructions(), 10);
+    }
+
+    #[test]
+    fn load_cold_then_warm() {
+        let mut m = machine();
+        let a = Addr::new(0x9000);
+        let cold = m.load(a);
+        let warm = m.load(a);
+        assert_eq!(cold, 91);
+        assert_eq!(warm, 1);
+        assert_eq!(m.cycles(), 92);
+    }
+
+    #[test]
+    fn load_use_adds_stall() {
+        let mut m = machine();
+        let a = Addr::new(0x9000);
+        m.load(a); // warm the line
+        let c = m.load_use(a);
+        assert_eq!(c, 1 + 1);
+    }
+
+    #[test]
+    fn run_block_touches_each_line_once() {
+        let mut m = machine();
+        // 16 instructions = 64 bytes = 2 lines.
+        m.run_block(Addr::new(0x1000), 16);
+        assert_eq!(m.hierarchy().l1i().stats().accesses(), 2);
+        assert_eq!(m.instructions(), 16);
+        // Second run: both lines warm → 2 hits + 16 cycles.
+        let before = m.cycles();
+        m.run_block(Addr::new(0x1000), 16);
+        assert_eq!(m.cycles() - before, 2 + 16);
+    }
+
+    #[test]
+    fn run_block_unaligned_start() {
+        let mut m = machine();
+        // Start mid-line: 4 instructions from 0x101c cross into 0x1020.
+        m.run_block(Addr::new(0x101c), 4);
+        assert_eq!(m.hierarchy().l1i().stats().accesses(), 2);
+    }
+
+    #[test]
+    fn context_switch_drains_pipeline() {
+        let mut m = machine();
+        m.context_switch(ProcessId::new(2), 10);
+        assert_eq!(m.cycles(), 5 + 10);
+        assert_eq!(m.process(), ProcessId::new(2));
+    }
+
+    #[test]
+    fn branch_penalty_applies() {
+        let mut m = machine();
+        m.branch();
+        assert_eq!(m.cycles(), 2);
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let mut m = machine();
+        m.enable_trace();
+        m.load(Addr::new(0x100));
+        m.store(Addr::new(0x200));
+        let t = m.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, AccessKind::Read);
+        assert_eq!(t[1].kind, AccessKind::Write);
+        assert!(t[0].cost >= 1);
+        // Tracing stopped after take_trace.
+        m.load(Addr::new(0x300));
+        assert!(m.take_trace().is_empty());
+    }
+
+    #[test]
+    fn reset_counters_keeps_cache_state() {
+        let mut m = machine();
+        let a = Addr::new(0x5000);
+        m.load(a);
+        m.reset_counters();
+        assert_eq!(m.cycles(), 0);
+        assert_eq!(m.load(a), 1, "cache must still be warm");
+    }
+
+    #[test]
+    fn flush_caches_cools() {
+        let mut m = machine();
+        let a = Addr::new(0x5000);
+        m.load(a);
+        m.flush_caches();
+        assert_eq!(m.load(a), 91);
+    }
+}

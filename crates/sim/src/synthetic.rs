@@ -1,0 +1,305 @@
+//! Synthetic workloads for the pWCET and miss-rate experiments.
+//!
+//! These are the kind of kernels MBPTA case studies measure: array
+//! sweeps (spatial locality), pointer chases (none), a blocked matrix
+//! multiply (mixed), and a multipath control task whose paths touch
+//! different data (execution-time variability under random layouts).
+
+use crate::layout::{Layout, Region};
+use crate::machine::Machine;
+use crate::workload::Workload;
+use tscache_core::addr::Addr;
+use tscache_core::prng::{Prng, SplitMix64};
+
+/// Sequential array sweep: `iters` passes over a region with `stride`.
+#[derive(Debug, Clone)]
+pub struct ArraySweep {
+    code: Region,
+    data: Region,
+    stride: u64,
+    iters: u32,
+}
+
+impl ArraySweep {
+    /// Creates a sweep over `data`, fetching loop code from `code`.
+    pub fn new(code: Region, data: Region, stride: u64, iters: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        ArraySweep { code, data, stride, iters }
+    }
+
+    /// The standard instance used by the benches: 24 KiB of data (1.5×
+    /// the L1 way count), word stride, 4 passes.
+    pub fn standard(layout: &mut Layout) -> Self {
+        let code = layout.alloc("sweep.code", 256, 32);
+        let data = layout.alloc("sweep.data", 24 * 1024, 4096);
+        ArraySweep::new(code, data, 32, 4)
+    }
+}
+
+impl Workload for ArraySweep {
+    fn name(&self) -> &str {
+        "array-sweep"
+    }
+
+    fn run(&mut self, machine: &mut Machine) {
+        for _ in 0..self.iters {
+            let mut off = 0;
+            while off < self.data.size() {
+                machine.run_block(self.code.base(), 4);
+                machine.load(self.data.at(off));
+                off += self.stride;
+            }
+            machine.branch();
+        }
+    }
+}
+
+/// Pointer chase through a pseudo-random permutation of nodes.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    code: Region,
+    data: Region,
+    order: Vec<u64>,
+    steps: u32,
+}
+
+impl PointerChase {
+    /// Creates a chase of `steps` hops over `nodes` nodes laid out in
+    /// `data` (one node per 32-byte line), visiting them in a
+    /// `perm_seed`-shuffled order.
+    pub fn new(code: Region, data: Region, nodes: u32, steps: u32, perm_seed: u64) -> Self {
+        assert!(
+            (nodes as u64) * 32 <= data.size(),
+            "region too small for {nodes} nodes"
+        );
+        let mut order: Vec<u64> = (0..nodes as u64).collect();
+        let mut rng = SplitMix64::new(perm_seed);
+        rng.shuffle(&mut order);
+        PointerChase { code, data, order, steps }
+    }
+
+    /// The standard instance: 768 nodes (24 KiB — 1.5× the L1 capacity,
+    /// so layout decides which nodes conflict), 2048 hops.
+    pub fn standard(layout: &mut Layout) -> Self {
+        let code = layout.alloc("chase.code", 128, 32);
+        let data = layout.alloc("chase.data", 24 * 1024, 4096);
+        PointerChase::new(code, data, 768, 2048, 0xc4a5e)
+    }
+}
+
+impl Workload for PointerChase {
+    fn name(&self) -> &str {
+        "pointer-chase"
+    }
+
+    fn run(&mut self, machine: &mut Machine) {
+        let n = self.order.len() as u32;
+        for step in 0..self.steps {
+            let node = self.order[(step % n) as usize];
+            machine.run_block(self.code.base(), 3);
+            machine.load_use(self.data.at(node * 32));
+        }
+    }
+}
+
+/// Naive `n × n` matrix multiply over three word matrices.
+#[derive(Debug, Clone)]
+pub struct MatrixMult {
+    code: Region,
+    a: Region,
+    b: Region,
+    c: Region,
+    n: u64,
+}
+
+impl MatrixMult {
+    /// Creates an `n × n` multiply; each matrix needs `4n²` bytes.
+    pub fn new(code: Region, a: Region, b: Region, c: Region, n: u64) -> Self {
+        for (name, r) in [("a", &a), ("b", &b), ("c", &c)] {
+            assert!(4 * n * n <= r.size(), "matrix {name} does not fit");
+        }
+        MatrixMult { code, a, b, c, n }
+    }
+
+    /// The standard instance: 40×40 words per matrix (6.4 KiB each, so
+    /// the three matrices overcommit the 16 KiB L1 and the conflict set
+    /// depends on the layout).
+    pub fn standard(layout: &mut Layout) -> Self {
+        let code = layout.alloc("mm.code", 512, 32);
+        let a = layout.alloc("mm.a", 4 * 40 * 40, 4096);
+        let b = layout.alloc("mm.b", 4 * 40 * 40, 4096);
+        let c = layout.alloc("mm.c", 4 * 40 * 40, 4096);
+        MatrixMult::new(code, a, b, c, 40)
+    }
+}
+
+impl Workload for MatrixMult {
+    fn name(&self) -> &str {
+        "matrix-mult"
+    }
+
+    fn run(&mut self, machine: &mut Machine) {
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                machine.run_block(self.code.base(), 6);
+                for k in 0..n {
+                    machine.load(self.a.at(4 * (i * n + k)));
+                    machine.load_use(self.b.at(4 * (k * n + j)));
+                    machine.execute(2); // multiply-accumulate
+                }
+                machine.store(self.c.at(4 * (i * n + j)));
+                machine.branch();
+            }
+        }
+    }
+}
+
+/// A multipath control task: per job, a fixed input vector selects one
+/// of several data-touching paths per step. Its execution-time
+/// variability under random placement is what the pWCET experiment
+/// (Fig. 1) analyses.
+#[derive(Debug, Clone)]
+pub struct MultipathTask {
+    code: Region,
+    data: Region,
+    inputs: Vec<u8>,
+    paths: u32,
+}
+
+impl MultipathTask {
+    /// Creates a task with `steps` decisions over `paths` alternative
+    /// paths; the decision vector is drawn once from `input_seed`
+    /// (inputs stay fixed across runs — only the cache layout varies).
+    pub fn new(code: Region, data: Region, steps: u32, paths: u32, input_seed: u64) -> Self {
+        assert!(paths >= 1 && paths <= 16, "1..=16 paths supported");
+        assert!(data.size() >= paths as u64 * 4096, "need one page per path");
+        let mut rng = SplitMix64::new(input_seed);
+        let inputs = (0..steps).map(|_| (rng.below(paths)) as u8).collect();
+        MultipathTask { code, data, inputs, paths }
+    }
+
+    /// The standard instance: 256 steps over 6 paths (one 4 KiB page
+    /// each — a 24 KiB working set exceeding one L1 way).
+    pub fn standard(layout: &mut Layout) -> Self {
+        let code = layout.alloc("mp.code", 1024, 32);
+        let data = layout.alloc("mp.data", 6 * 4096, 4096);
+        MultipathTask::new(code, data, 256, 6, 0x17bc7)
+    }
+}
+
+impl Workload for MultipathTask {
+    fn name(&self) -> &str {
+        "multipath"
+    }
+
+    fn run(&mut self, machine: &mut Machine) {
+        for (step, &path) in self.inputs.iter().enumerate() {
+            // Each path has its own code block and data page.
+            let code = self.code.at((path as u64) * 128);
+            machine.run_block(code, 8);
+            machine.branch();
+            let page = self.data.at((path as u64) * 4096);
+            // Touch a path-and-step-dependent slice of the page.
+            let base = ((step as u64 * 5) % 32) * 96;
+            for w in 0..12u64 {
+                machine.load(Addr::new(page.as_u64() + base + w * 32));
+            }
+            machine.execute(16);
+        }
+        let _ = self.paths;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{collect_execution_times, MeasurementProtocol};
+    use tscache_core::setup::SetupKind;
+
+    fn layout() -> Layout {
+        Layout::new(0x10_0000)
+    }
+
+    #[test]
+    fn sweep_runs_and_accounts_cycles() {
+        let mut l = layout();
+        let mut w = ArraySweep::standard(&mut l);
+        let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+        w.run(&mut m);
+        assert!(m.cycles() > 0);
+        assert!(m.hierarchy().l1d().stats().accesses() > 0);
+    }
+
+    #[test]
+    fn sweep_second_pass_is_warmer() {
+        let mut l = layout();
+        // One pass over 8 KiB fits L1 entirely.
+        let code = l.alloc("c", 256, 32);
+        let data = l.alloc("d", 8 * 1024, 4096);
+        let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+        let mut first = ArraySweep::new(code, data, 32, 1);
+        first.run(&mut m);
+        let cold = m.cycles();
+        m.reset_counters();
+        first.run(&mut m);
+        assert!(m.cycles() < cold, "warm {} !< cold {cold}", m.cycles());
+    }
+
+    #[test]
+    fn chase_visits_every_node() {
+        let mut l = layout();
+        let code = l.alloc("c", 128, 32);
+        let data = l.alloc("d", 4096, 4096);
+        let mut w = PointerChase::new(code, data, 128, 128, 7);
+        let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+        m.enable_trace();
+        w.run(&mut m);
+        let trace = m.take_trace();
+        let reads: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|e| e.kind == tscache_core::hierarchy::AccessKind::Read)
+            .map(|e| e.addr.as_u64())
+            .collect();
+        assert_eq!(reads.len(), 128, "each node visited once per cycle of 128 steps");
+    }
+
+    #[test]
+    fn matrix_mult_touches_three_matrices() {
+        let mut l = layout();
+        let mut w = MatrixMult::standard(&mut l);
+        let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+        w.run(&mut m);
+        let stats = m.hierarchy().l1d().stats();
+        // n³ loads ×2 + n² stores.
+        assert_eq!(stats.accesses(), 2 * 40 * 40 * 40 + 40 * 40);
+    }
+
+    #[test]
+    fn multipath_time_varies_across_seeds_on_mbpta_cache() {
+        let mut l = layout();
+        let mut w = MultipathTask::standard(&mut l);
+        let protocol = MeasurementProtocol { runs: 40, ..Default::default() };
+        let times = collect_execution_times(SetupKind::Mbpta, &mut w, &protocol);
+        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        assert!(distinct.len() > 10, "only {} distinct times", distinct.len());
+    }
+
+    #[test]
+    fn multipath_time_constant_on_deterministic_cache() {
+        let mut l = layout();
+        let mut w = MultipathTask::standard(&mut l);
+        let protocol = MeasurementProtocol { runs: 10, ..Default::default() };
+        let times = collect_execution_times(SetupKind::Deterministic, &mut w, &protocol);
+        assert!(times.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn workload_names() {
+        let mut l = layout();
+        assert_eq!(ArraySweep::standard(&mut l).name(), "array-sweep");
+        assert_eq!(PointerChase::standard(&mut l).name(), "pointer-chase");
+        assert_eq!(MatrixMult::standard(&mut l).name(), "matrix-mult");
+        assert_eq!(MultipathTask::standard(&mut l).name(), "multipath");
+    }
+}

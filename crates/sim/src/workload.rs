@@ -1,0 +1,149 @@
+//! Workload abstraction and the measurement protocol used by MBPTA.
+
+use crate::machine::Machine;
+use tscache_core::prng::SplitMix64;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+
+/// A program the machine can execute.
+pub trait Workload {
+    /// Human-readable workload name.
+    fn name(&self) -> &str;
+
+    /// Executes one job of the workload on `machine`, issuing fetches,
+    /// loads, stores and ALU batches.
+    fn run(&mut self, machine: &mut Machine);
+}
+
+/// Options for [`collect_execution_times`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasurementProtocol {
+    /// Number of runs (jobs) to measure.
+    pub runs: u32,
+    /// Base seed for the per-run placement-seed stream.
+    pub rng_seed: u64,
+    /// Whether to flush caches before every run (the paper flushes at
+    /// seed-change boundaries for consistency, §5).
+    pub flush_between_runs: bool,
+    /// Whether to draw a fresh placement seed per run (MBPTA's
+    /// "new random cache layout on every program run", §2.1).
+    pub reseed_between_runs: bool,
+}
+
+impl Default for MeasurementProtocol {
+    fn default() -> Self {
+        MeasurementProtocol {
+            runs: 1000,
+            rng_seed: 0x4d42_5054,
+            flush_between_runs: true,
+            reseed_between_runs: true,
+        }
+    }
+}
+
+/// Collects one execution time per run of `workload` on a machine built
+/// for `setup`, following the MBPTA measurement protocol (paper Fig. 1
+/// left: run on the target platform, record end-to-end times).
+///
+/// Returns cycle counts, one per run.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_core::setup::SetupKind;
+/// use tscache_sim::layout::Layout;
+/// use tscache_sim::synthetic::ArraySweep;
+/// use tscache_sim::workload::{collect_execution_times, MeasurementProtocol};
+///
+/// let mut layout = Layout::new(0x10_000);
+/// let mut sweep = ArraySweep::standard(&mut layout);
+/// let protocol = MeasurementProtocol { runs: 10, ..Default::default() };
+/// let times = collect_execution_times(SetupKind::Mbpta, &mut sweep, &protocol);
+/// assert_eq!(times.len(), 10);
+/// ```
+pub fn collect_execution_times(
+    setup: SetupKind,
+    workload: &mut dyn Workload,
+    protocol: &MeasurementProtocol,
+) -> Vec<u64> {
+    let mut machine = Machine::from_setup(setup, protocol.rng_seed);
+    let pid = ProcessId::new(1);
+    machine.set_process(pid);
+    let mut rng = SplitMix64::new(protocol.rng_seed ^ 0x6d65_6173);
+    let mut times = Vec::with_capacity(protocol.runs as usize);
+    for _ in 0..protocol.runs {
+        if protocol.reseed_between_runs {
+            machine.set_process_seed(pid, Seed::random(&mut rng));
+        }
+        if protocol.flush_between_runs {
+            machine.flush_caches();
+        }
+        machine.reset_counters();
+        workload.run(&mut machine);
+        times.push(machine.cycles());
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscache_core::addr::Addr;
+
+    /// A trivial workload touching a fixed set of lines.
+    struct Touch {
+        addrs: Vec<u64>,
+    }
+
+    impl Workload for Touch {
+        fn name(&self) -> &str {
+            "touch"
+        }
+
+        fn run(&mut self, machine: &mut Machine) {
+            // Two passes: the second pass's hits depend on which lines
+            // survived the first, i.e. on the (random) conflict layout.
+            for _ in 0..2 {
+                for &a in &self.addrs {
+                    machine.load(Addr::new(a));
+                }
+            }
+            machine.execute(self.addrs.len() as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic_setup_gives_constant_times() {
+        let mut w = Touch { addrs: (0..64).map(|i| 0x1000 + i * 32).collect() };
+        let protocol = MeasurementProtocol { runs: 20, ..Default::default() };
+        let times = collect_execution_times(SetupKind::Deterministic, &mut w, &protocol);
+        assert!(times.windows(2).all(|w| w[0] == w[1]), "deterministic times vary: {times:?}");
+    }
+
+    #[test]
+    fn randomized_setup_gives_varying_times() {
+        // Working set larger than one way with cross-page strides so
+        // random layouts produce different conflict counts.
+        let mut w = Touch {
+            addrs: (0..256).map(|i| 0x1000 + i * 4096 / 8 * 3).collect(),
+        };
+        let protocol = MeasurementProtocol { runs: 30, ..Default::default() };
+        let times = collect_execution_times(SetupKind::Mbpta, &mut w, &protocol);
+        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        assert!(distinct.len() > 1, "randomized times constant: {times:?}");
+    }
+
+    #[test]
+    fn no_reseed_no_flush_converges_to_warm() {
+        let mut w = Touch { addrs: (0..8).map(|i| 0x1000 + i * 32).collect() };
+        let protocol = MeasurementProtocol {
+            runs: 3,
+            flush_between_runs: false,
+            reseed_between_runs: false,
+            ..Default::default()
+        };
+        let times = collect_execution_times(SetupKind::Deterministic, &mut w, &protocol);
+        assert!(times[1] < times[0], "second run should be warm");
+        assert_eq!(times[1], times[2]);
+    }
+}

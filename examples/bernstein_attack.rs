@@ -1,0 +1,41 @@
+//! Bernstein's cache-timing attack against AES-128, end to end, on the
+//! vulnerable baseline versus TSCache (a compact version of the Fig. 5
+//! experiment).
+//!
+//! ```text
+//! cargo run --release --example bernstein_attack [samples]
+//! ```
+
+use tscache::core::setup::SetupKind;
+use tscache::sca::bernstein::run_attack;
+use tscache::sca::sampling::SamplingConfig;
+
+fn main() {
+    let samples: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    println!("Bernstein attack demo: {samples} timing samples per node\n");
+    println!("Two emulated ECUs run AES-128: the attacker profiles its own node");
+    println!("(known key) and correlates per-byte timing signatures against the");
+    println!("victim's (secret key).\n");
+
+    for setup in [SetupKind::Deterministic, SetupKind::TsCache] {
+        let cfg = SamplingConfig::standard(setup, samples, 0xDAC18);
+        let result = run_attack(cfg);
+        println!("=== {} ===", setup.label());
+        println!(
+            "key bits determined: {:.1}/128; residual keyspace 2^{:.1}; vulnerable bytes {}/16",
+            result.bits_determined(),
+            result.residual_keyspace_log2(),
+            result.vulnerable_bytes()
+        );
+        println!("feasible-value matrix ('.'=discarded, '+'=feasible, '#'=true key):");
+        println!("{}", result.matrix_condensed());
+    }
+
+    println!("The deterministic cache leaks enough structure to shrink brute force");
+    println!("by tens of bits; TSCache's per-process seeds decouple the attacker's");
+    println!("layout from the victim's, and the attack learns nothing.");
+}

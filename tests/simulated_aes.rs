@@ -1,0 +1,81 @@
+//! Cross-crate integration: the simulator-instrumented AES is
+//! functionally exact on every cache setup while its timing behaviour
+//! differs per setup.
+
+use tscache::aes::cipher::Aes128;
+use tscache::aes::sim_cipher::{AesLayout, SimAes128};
+use tscache::core::seed::{ProcessId, Seed};
+use tscache::core::setup::SetupKind;
+use tscache::sim::layout::Layout;
+use tscache::sim::machine::Machine;
+
+fn build(setup: SetupKind, key: &[u8; 16]) -> (SimAes128, Machine) {
+    let mut layout = Layout::new(0x40_0000);
+    let aes_layout = AesLayout::install(&mut layout, "it");
+    let sim = SimAes128::new(key, aes_layout);
+    let mut machine = Machine::from_setup(setup, 0x17);
+    let pid = ProcessId::new(1);
+    machine.set_process(pid);
+    machine.set_process_seed(pid, Seed::new(0x5eed));
+    (sim, machine)
+}
+
+#[test]
+fn ciphertexts_are_correct_on_every_setup() {
+    let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+        0xcf, 0x4f, 0x3c];
+    let native = Aes128::new(&key);
+    for setup in SetupKind::ALL {
+        let (sim, mut machine) = build(setup, &key);
+        for i in 0..10u8 {
+            let pt: [u8; 16] = core::array::from_fn(|j| i.wrapping_mul(31).wrapping_add(j as u8));
+            assert_eq!(
+                sim.encrypt(&mut machine, &pt),
+                native.encrypt_block(&pt),
+                "{setup}: wrong ciphertext"
+            );
+        }
+    }
+}
+
+#[test]
+fn cold_encryption_cost_reflects_the_hierarchy() {
+    for setup in SetupKind::ALL {
+        let (sim, mut machine) = build(setup, &[1; 16]);
+        machine.reset_counters();
+        sim.encrypt(&mut machine, &[0; 16]);
+        let cold = machine.cycles();
+        machine.reset_counters();
+        sim.encrypt(&mut machine, &[0; 16]);
+        let warm = machine.cycles();
+        assert!(cold > 2 * warm, "{setup}: cold {cold} vs warm {warm}");
+        // Warm encryptions on an idle cache cost the same regardless of
+        // placement policy: every access hits.
+        assert!(warm < 1500, "{setup}: warm encryption too slow ({warm})");
+    }
+}
+
+#[test]
+fn seed_change_disturbs_random_setups_only() {
+    for (setup, expect_disturbed) in [
+        (SetupKind::Deterministic, false),
+        (SetupKind::Mbpta, true),
+        (SetupKind::TsCache, true),
+    ] {
+        let (sim, mut machine) = build(setup, &[2; 16]);
+        let pid = ProcessId::new(1);
+        sim.encrypt(&mut machine, &[0; 16]); // warm under seed A
+        machine.reset_counters();
+        sim.encrypt(&mut machine, &[0; 16]);
+        let warm = machine.cycles();
+        machine.set_process_seed(pid, Seed::new(0x07e4));
+        machine.reset_counters();
+        sim.encrypt(&mut machine, &[0; 16]);
+        let after = machine.cycles();
+        if expect_disturbed {
+            assert!(after > warm, "{setup}: reseed should cause misses ({after} vs {warm})");
+        } else {
+            assert_eq!(after, warm, "{setup}: modulo ignores seeds");
+        }
+    }
+}
