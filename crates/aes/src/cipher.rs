@@ -157,12 +157,8 @@ fn shift_rows(state: &mut [u8; 16]) {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for col in 0..4 {
-        let a: [u8; 4] = [
-            state[4 * col],
-            state[4 * col + 1],
-            state[4 * col + 2],
-            state[4 * col + 3],
-        ];
+        let a: [u8; 4] =
+            [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
         state[4 * col] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3];
         state[4 * col + 1] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3];
         state[4 * col + 2] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3);

@@ -6,7 +6,7 @@
 use crate::cipher::Aes128;
 use crate::tables::ALL_TABLES;
 use tscache_sim::layout::{Layout, Region};
-use tscache_sim::machine::Machine;
+use tscache_sim::machine::{Machine, TraceOp};
 
 /// Address-space placement of the cipher's objects (the victim binary's
 /// linker view).
@@ -111,25 +111,40 @@ impl SimAes128 {
         &self.cipher
     }
 
+    /// Records a T-table lookup in the trace and returns the value.
     #[inline]
-    fn lookup(&self, m: &mut Machine, table: usize, index: u32) -> u32 {
-        m.load(self.layout.tables[table].at(4 * index as u64));
+    fn lookup(&self, ops: &mut Vec<TraceOp>, table: usize, index: u32) -> u32 {
+        ops.push(TraceOp::read(self.layout.tables[table].at(4 * index as u64)));
         ALL_TABLES[table][index as usize]
     }
 
+    /// Records a round-key load in the trace and returns the word.
     #[inline]
-    fn load_rk(&self, m: &mut Machine, word: usize) -> u32 {
-        m.load(self.layout.round_keys.at(4 * word as u64));
+    fn load_rk(&self, ops: &mut Vec<TraceOp>, word: usize) -> u32 {
+        ops.push(TraceOp::read(self.layout.round_keys.at(4 * word as u64)));
         self.cipher.expanded_key().words()[word]
     }
 
-    /// Encrypts one block on the machine, charging every memory access
-    /// and instruction, and returns the true ciphertext.
-    pub fn encrypt(&self, m: &mut Machine, plaintext: &[u8; 16]) -> [u8; 16] {
-        // Load the plaintext from the I/O buffer (2 lines at most).
-        m.run_block(self.layout.code.at(0), 12);
-        m.load(self.layout.io.at(0));
-        m.load(self.layout.io.at(12));
+    /// Total instructions retired per encryption (prologue + 9 main
+    /// rounds + final round).
+    const TOTAL_INSTRS: u32 = 12 + 10 * ROUND_INSTRS;
+
+    /// Computes one encryption, appending every memory operation the
+    /// cipher would issue — in exact program order — to `ops`, and
+    /// returns the true ciphertext. Combine with
+    /// [`Machine::run_trace`] to charge the trace;
+    /// [`encrypt`](SimAes128::encrypt) does exactly that.
+    pub fn build_trace(
+        &self,
+        m: &Machine,
+        ops: &mut Vec<TraceOp>,
+        plaintext: &[u8; 16],
+    ) -> [u8; 16] {
+        // Prologue: code fetch plus the plaintext loads from the I/O
+        // buffer (2 lines at most).
+        m.push_block_fetches(ops, self.layout.code.at(0), 12);
+        ops.push(TraceOp::read(self.layout.io.at(0)));
+        ops.push(TraceOp::read(self.layout.io.at(12)));
 
         let mut s = [0u32; 4];
         for (i, word) in s.iter_mut().enumerate() {
@@ -139,44 +154,74 @@ impl SimAes128 {
                 plaintext[4 * i + 2],
                 plaintext[4 * i + 3],
             ]);
-            *word = p ^ self.load_rk(m, i);
+            *word = p ^ self.load_rk(ops, i);
         }
 
         // Rounds 1..9: the same loop body code, fresh table lookups.
         for round in 1..10 {
-            m.run_block(self.layout.code.at(64), ROUND_INSTRS);
+            m.push_block_fetches(ops, self.layout.code.at(64), ROUND_INSTRS);
             let mut t = [0u32; 4];
             for (col, slot) in t.iter_mut().enumerate() {
-                *slot = self.lookup(m, 0, s[col] >> 24)
-                    ^ self.lookup(m, 1, (s[(col + 1) % 4] >> 16) & 0xff)
-                    ^ self.lookup(m, 2, (s[(col + 2) % 4] >> 8) & 0xff)
-                    ^ self.lookup(m, 3, s[(col + 3) % 4] & 0xff)
-                    ^ self.load_rk(m, 4 * round + col);
+                *slot = self.lookup(ops, 0, s[col] >> 24)
+                    ^ self.lookup(ops, 1, (s[(col + 1) % 4] >> 16) & 0xff)
+                    ^ self.lookup(ops, 2, (s[(col + 2) % 4] >> 8) & 0xff)
+                    ^ self.lookup(ops, 3, s[(col + 3) % 4] & 0xff)
+                    ^ self.load_rk(ops, 4 * round + col);
             }
             s = t;
-            m.branch();
         }
 
         // Final round: TE4 with byte-lane masks.
-        m.run_block(self.layout.code.at(64 + 256), ROUND_INSTRS);
+        m.push_block_fetches(ops, self.layout.code.at(64 + 256), ROUND_INSTRS);
         let mut out_words = [0u32; 4];
         for (col, slot) in out_words.iter_mut().enumerate() {
-            *slot = (self.lookup(m, 4, s[col] >> 24) & 0xff00_0000)
-                ^ (self.lookup(m, 4, (s[(col + 1) % 4] >> 16) & 0xff) & 0x00ff_0000)
-                ^ (self.lookup(m, 4, (s[(col + 2) % 4] >> 8) & 0xff) & 0x0000_ff00)
-                ^ (self.lookup(m, 4, s[(col + 3) % 4] & 0xff) & 0x0000_00ff)
-                ^ self.load_rk(m, 40 + col);
+            *slot = (self.lookup(ops, 4, s[col] >> 24) & 0xff00_0000)
+                ^ (self.lookup(ops, 4, (s[(col + 1) % 4] >> 16) & 0xff) & 0x00ff_0000)
+                ^ (self.lookup(ops, 4, (s[(col + 2) % 4] >> 8) & 0xff) & 0x0000_ff00)
+                ^ (self.lookup(ops, 4, s[(col + 3) % 4] & 0xff) & 0x0000_00ff)
+                ^ self.load_rk(ops, 40 + col);
         }
 
         // Store the ciphertext.
-        m.store(self.layout.io.at(32));
-        m.store(self.layout.io.at(44));
+        ops.push(TraceOp::write(self.layout.io.at(32)));
+        ops.push(TraceOp::write(self.layout.io.at(44)));
 
         let mut out = [0u8; 16];
         for (i, w) in out_words.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
         }
         out
+    }
+
+    /// Encrypts one block on the machine reusing `ops` as the trace
+    /// buffer (cleared on entry), charging every memory access and
+    /// instruction, and returns the true ciphertext.
+    ///
+    /// Cycle totals, retired instructions and cache state are
+    /// identical to issuing each access scalar-fashion: the memory
+    /// operations replay in program order through the batch API, and
+    /// the order-independent instruction/branch costs are charged once.
+    pub fn encrypt_with(
+        &self,
+        m: &mut Machine,
+        ops: &mut Vec<TraceOp>,
+        plaintext: &[u8; 16],
+    ) -> [u8; 16] {
+        ops.clear();
+        let ct = self.build_trace(m, ops, plaintext);
+        m.run_trace(ops);
+        m.execute(Self::TOTAL_INSTRS);
+        for _ in 0..9 {
+            m.branch();
+        }
+        ct
+    }
+
+    /// Encrypts one block on the machine, charging every memory access
+    /// and instruction, and returns the true ciphertext.
+    pub fn encrypt(&self, m: &mut Machine, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut ops = Vec::with_capacity(256);
+        self.encrypt_with(m, &mut ops, plaintext)
     }
 }
 

@@ -82,18 +82,16 @@ mod tests {
 
     #[test]
     fn te4_replicates_sbox() {
-        for i in 0..256 {
+        for (i, &te4) in TE4.iter().enumerate() {
             let s = crate::sbox::SBOX[i] as u32;
-            assert_eq!(TE4[i], s * 0x0101_0101);
+            assert_eq!(te4, s * 0x0101_0101);
         }
     }
 
     #[test]
     fn te0_byte_lanes_relate_by_gf_arithmetic() {
-        for i in 0..256 {
-            let v = TE0[i];
-            let (a, b, c, d) =
-                ((v >> 24) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8);
+        for &v in TE0.iter() {
+            let (a, b, c, d) = ((v >> 24) as u8, (v >> 16) as u8, (v >> 8) as u8, v as u8);
             assert_eq!(b, c, "middle lanes are s");
             assert_eq!(a, gf_mul(b, 2));
             assert_eq!(d, a ^ b, "3s = 2s ^ s");

@@ -1,27 +1,28 @@
 //! Simulated AES-128 encryption throughput per cache setup, plus the
 //! native (non-simulated) cipher as the baseline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use tscache_aes::cipher::Aes128;
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
+use tscache_bench::harness::{bench, render_table};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::SetupKind;
 use tscache_sim::layout::Layout;
 use tscache_sim::machine::Machine;
 
-fn bench_native(c: &mut Criterion) {
+fn main() {
+    let mut results = Vec::new();
+
     let cipher = Aes128::new(&[7u8; 16]);
     let mut pt = [0u8; 16];
-    c.bench_function("aes-native", |b| {
-        b.iter(|| {
+    results.push(bench("aes/native", "encryptions", 200, || {
+        for _ in 0..4096u32 {
             pt[0] = pt[0].wrapping_add(1);
-            black_box(cipher.encrypt_block(black_box(&pt)))
-        })
-    });
-}
+            black_box(cipher.encrypt_block(black_box(&pt)));
+        }
+        4096
+    }));
 
-fn bench_simulated(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aes-simulated");
     for setup in SetupKind::ALL {
         let mut layout = Layout::new(0x40_0000);
         let aes_layout = AesLayout::install(&mut layout, "bench");
@@ -30,16 +31,16 @@ fn bench_simulated(c: &mut Criterion) {
         let pid = ProcessId::new(1);
         machine.set_process(pid);
         machine.set_process_seed(pid, Seed::new(99));
+        let mut ops = Vec::with_capacity(256);
         let mut pt = [0u8; 16];
-        group.bench_function(setup.label(), |b| {
-            b.iter(|| {
+        results.push(bench(format!("aes/simulated/{}", setup.label()), "encryptions", 300, || {
+            for _ in 0..256u32 {
                 pt[0] = pt[0].wrapping_add(1);
-                black_box(sim.encrypt(&mut machine, black_box(&pt)))
-            })
-        });
+                black_box(sim.encrypt_with(&mut machine, &mut ops, black_box(&pt)));
+            }
+            256
+        }));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_native, bench_simulated);
-criterion_main!(benches);
+    print!("{}", render_table(&results));
+}

@@ -1,7 +1,8 @@
 //! Bernstein analysis throughput: profile building over sample streams
 //! and the 16×256-hypothesis correlation sweep.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tscache_bench::harness::{bench, render_table};
 use tscache_sca::bernstein::analyze;
 use tscache_sca::profile::TimingProfile;
 use tscache_sca::sampling::TimingSample;
@@ -20,25 +21,22 @@ fn synthetic_stream(n: usize, seed: u64) -> Vec<TimingSample> {
         .collect()
 }
 
-fn bench_profile_build(c: &mut Criterion) {
-    let stream = synthetic_stream(100_000, 3);
-    c.bench_function("profile-build-100k", |b| {
-        b.iter(|| black_box(TimingProfile::from_samples(black_box(&stream))))
-    });
-}
+fn main() {
+    let mut results = Vec::new();
 
-fn bench_analysis(c: &mut Criterion) {
+    let stream = synthetic_stream(100_000, 3);
+    results.push(bench("bernstein/profile-build", "samples", 300, || {
+        black_box(TimingProfile::from_samples(black_box(&stream)));
+        stream.len() as u64
+    }));
+
     let a = synthetic_stream(50_000, 5);
     let v = synthetic_stream(50_000, 7);
     let key = [0u8; 16];
-    c.bench_function("bernstein-analyze-50k", |b| {
-        b.iter_batched(
-            || (a.clone(), v.clone()),
-            |(a, v)| black_box(analyze(&a, &key, &v, &key)),
-            BatchSize::LargeInput,
-        )
-    });
-}
+    results.push(bench("bernstein/analyze-50k", "analyses", 500, || {
+        black_box(analyze(black_box(&a), &key, black_box(&v), &key));
+        1
+    }));
 
-criterion_group!(benches, bench_profile_build, bench_analysis);
-criterion_main!(benches);
+    print!("{}", render_table(&results));
+}

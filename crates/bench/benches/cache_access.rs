@@ -1,37 +1,46 @@
 //! End-to-end hierarchy access throughput for each of the paper's four
-//! setups (simulator speed is what bounds attack sample counts).
+//! setups (simulator speed is what bounds attack sample counts), plus
+//! the raw-cache dispatch comparison: boxed baseline vs enum-dispatch
+//! scalar vs the batch API.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tscache_bench::harness::{bench, render_table};
+use tscache_bench::suites::cache_dispatch_suite;
 use tscache_core::addr::Addr;
 use tscache_core::hierarchy::AccessKind;
+use tscache_core::placement::PlacementKind;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::SetupKind;
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy-access");
+fn main() {
+    let mut results = Vec::new();
+    let pid = ProcessId::new(1);
+
     for setup in SetupKind::ALL {
         let mut h = setup.build(7);
-        let pid = ProcessId::new(1);
         h.set_process_seed(pid, Seed::new(42));
         let mut i = 0u64;
-        group.bench_function(setup.label(), |b| {
-            b.iter(|| {
+        results.push(bench(format!("hierarchy/{}", setup.label()), "accesses", 200, || {
+            for _ in 0..4096u64 {
                 i = i.wrapping_add(1);
-                // A 24 KiB working set: mixture of hits and misses.
                 let addr = Addr::new(0x10_0000 + (i * 32) % (24 * 1024));
-                black_box(h.access(pid, AccessKind::Read, black_box(addr)))
-            })
-        });
+                black_box(h.access(pid, AccessKind::Read, black_box(addr)));
+            }
+            4096
+        }));
     }
-    group.finish();
-}
 
-fn bench_flush(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy-flush");
+    for placement in [PlacementKind::Modulo, PlacementKind::RandomModulo] {
+        results.extend(cache_dispatch_suite(placement, 200));
+    }
+
     let mut h = SetupKind::TsCache.build(9);
-    group.bench_function("flush_all", |b| b.iter(|| h.flush_all()));
-    group.finish();
-}
+    results.push(bench("hierarchy/flush_all", "flushes", 100, || {
+        for _ in 0..64 {
+            h.flush_all();
+        }
+        64
+    }));
 
-criterion_group!(benches, bench_hierarchy, bench_flush);
-criterion_main!(benches);
+    print!("{}", render_table(&results));
+}

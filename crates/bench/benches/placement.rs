@@ -1,47 +1,55 @@
 //! Placement-policy throughput: cost of the set-index function per
 //! design (the §6.2.3 "no operating-frequency degradation" claim
 //! translates to placement being cheap combinational logic; here we
-//! check the software models are cheap too).
+//! check the software models are cheap too), comparing boxed and
+//! enum dispatch.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tscache_bench::harness::{bench, render_table};
 use tscache_core::addr::LineAddr;
 use tscache_core::geometry::CacheGeometry;
 use tscache_core::placement::PlacementKind;
 use tscache_core::seed::Seed;
 
-fn bench_placement(c: &mut Criterion) {
+fn main() {
+    let mut results = Vec::new();
     let geom = CacheGeometry::paper_l1();
-    let mut group = c.benchmark_group("placement");
+    let seed = Seed::new(0xdead_beef);
+
     for kind in PlacementKind::ALL {
-        let mut policy = kind.build(&geom);
-        let seed = Seed::new(0xdead_beef);
+        let mut boxed = kind.build(&geom);
         let mut line = 0u64;
-        group.bench_function(kind.to_string(), |b| {
-            b.iter(|| {
+        results.push(bench(format!("placement/{kind}/boxed"), "placements", 100, || {
+            for _ in 0..8192u64 {
                 line = line.wrapping_add(97);
-                black_box(policy.place(LineAddr::new(black_box(line)), seed))
-            })
-        });
-    }
-    group.finish();
-}
+                black_box(boxed.place(LineAddr::new(black_box(line)), seed));
+            }
+            8192
+        }));
 
-fn bench_placement_l2(c: &mut Criterion) {
-    let geom = CacheGeometry::paper_l2();
-    let mut group = c.benchmark_group("placement-l2");
-    for kind in [PlacementKind::Modulo, PlacementKind::HashRp] {
-        let mut policy = kind.build(&geom);
-        let seed = Seed::new(0x1234_5678);
+        let mut engine = kind.engine(&geom);
         let mut line = 0u64;
-        group.bench_function(kind.to_string(), |b| {
-            b.iter(|| {
-                line = line.wrapping_add(131);
-                black_box(policy.place(LineAddr::new(black_box(line)), seed))
-            })
-        });
+        results.push(bench(format!("placement/{kind}/enum"), "placements", 100, || {
+            for _ in 0..8192u64 {
+                line = line.wrapping_add(97);
+                black_box(engine.place(LineAddr::new(black_box(line)), seed));
+            }
+            8192
+        }));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_placement, bench_placement_l2);
-criterion_main!(benches);
+    let l2 = CacheGeometry::paper_l2();
+    for kind in [PlacementKind::Modulo, PlacementKind::HashRp] {
+        let mut engine = kind.engine(&l2);
+        let mut line = 0u64;
+        results.push(bench(format!("placement-l2/{kind}/enum"), "placements", 100, || {
+            for _ in 0..8192u64 {
+                line = line.wrapping_add(131);
+                black_box(engine.place(LineAddr::new(black_box(line)), Seed::new(0x1234_5678)));
+            }
+            8192
+        }));
+    }
+
+    print!("{}", render_table(&results));
+}

@@ -19,10 +19,7 @@ fn main() {
     let seed = args.get_u64("seed", 0xDAC18);
 
     println!("== ablation: sample count vs key bits determined ==\n");
-    println!(
-        "{:>9}  {:<14} {:>7}  {:<26}  {:<14} {:>7}",
-        "samples", "", "bits", "", "", "bits"
-    );
+    println!("{:>9}  {:<14} {:>7}  {:<26}  {:<14} {:>7}", "samples", "", "bits", "", "", "bits");
     let mut n = max / 16;
     while n <= max {
         let det = run_attack(SamplingConfig::standard(SetupKind::Deterministic, n, seed));

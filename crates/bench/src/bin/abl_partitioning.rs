@@ -73,7 +73,10 @@ fn main() {
 
     println!("== §7 ablation (a): associativity cost of way partitioning ==");
     println!("modulo + LRU, {runs} runs per cell; task confined to k of 4 ways\n");
-    println!("{:<14} {:>10} {:>10} {:>10} {:>10}", "workload", "4 ways", "3 ways", "2 ways", "1 way");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "4 ways", "3 ways", "2 ways", "1 way"
+    );
     for (w, name) in ["array-sweep", "pointer-chase"].iter().enumerate() {
         print!("{name:<14}");
         for ways in [0u32, 3, 2, 1] {

@@ -1,0 +1,102 @@
+//! Perf-trajectory reporter: measures the headline simulator
+//! throughput metrics and writes `BENCH_PR<n>.json` so every PR
+//! records where the hot path stands.
+//!
+//! Metrics:
+//!
+//! * cache accesses/sec — boxed-dispatch baseline vs enum-dispatch
+//!   scalar vs the batch API, measured **in the same run** on the same
+//!   recorded trace (the dispatch-overhaul speedup);
+//! * simulated-AES encryptions/sec per cache setup;
+//! * Bernstein sampling throughput (samples/sec, the quantity that
+//!   bounds attack-campaign scale);
+//! * Prime+Probe trials/sec through the parallel harness.
+//!
+//! Usage: `bench_report [--pr 1] [--out BENCH_PR1.json] [--ms 300]`
+
+use std::hint::black_box;
+use tscache_bench::harness::{bench, render_table, to_json, Measurement};
+use tscache_bench::suites::cache_dispatch_suite;
+use tscache_bench::Args;
+use tscache_core::parallel;
+use tscache_core::placement::PlacementKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::SetupKind;
+use tscache_sca::prime_probe::run_prime_probe;
+use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let pr = args.get_u64("pr", 1);
+    let ms = args.get_u64("ms", 300);
+    let out_path = args.get_str("out", &format!("BENCH_PR{pr}.json"));
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let pid = ProcessId::new(1);
+
+    for placement in [PlacementKind::Modulo, PlacementKind::RandomModulo] {
+        results.extend(cache_dispatch_suite(placement, ms));
+    }
+
+    for setup in SetupKind::ALL {
+        let mut layout = tscache_sim::layout::Layout::new(0x40_0000);
+        let aes_layout = tscache_aes::sim_cipher::AesLayout::install(&mut layout, "bench");
+        let sim = tscache_aes::sim_cipher::SimAes128::new(&[7u8; 16], aes_layout);
+        let mut machine = tscache_sim::machine::Machine::from_setup(setup, 11);
+        machine.set_process(pid);
+        machine.set_process_seed(pid, Seed::new(99));
+        let mut ops = Vec::with_capacity(256);
+        let mut pt = [0u8; 16];
+        results.push(bench(format!("aes/{}", setup.label()), "encryptions", ms, || {
+            for _ in 0..256u32 {
+                pt[0] = pt[0].wrapping_add(1);
+                black_box(sim.encrypt_with(&mut machine, &mut ops, black_box(&pt)));
+            }
+            256
+        }));
+    }
+
+    // Bernstein sampling throughput: one fresh node per timing call so
+    // the epoch warm-up cost is included, as in a real campaign.
+    let mut round = 0u64;
+    results.push(bench("bernstein/sampling", "samples", ms.max(500), || {
+        round += 1;
+        let cfg = SamplingConfig::standard(SetupKind::TsCache, 2000, 0xbeef ^ round);
+        let samples = CryptoNode::new(cfg, Role::Victim, &[7u8; 16]).collect();
+        samples.len() as u64
+    }));
+
+    let mut seed_salt = 0u64;
+    results.push(bench("prime-probe/trials", "trials", ms.max(500), || {
+        seed_salt += 1;
+        black_box(run_prime_probe(SetupKind::TsCache, 512, seed_salt));
+        512
+    }));
+
+    let rate = |name: &str| {
+        results.iter().find(|m| m.name == name).map(|m| m.per_sec()).unwrap_or(f64::NAN)
+    };
+    let speedup_enum_modulo = rate("cache/modulo/enum") / rate("cache/modulo/boxed");
+    let speedup_batch_modulo = rate("cache/modulo/batch") / rate("cache/modulo/boxed");
+    let speedup_enum_rm = rate("cache/random-modulo/enum") / rate("cache/random-modulo/boxed");
+    let speedup_batch_rm = rate("cache/random-modulo/batch") / rate("cache/random-modulo/boxed");
+
+    let extra = [
+        ("pr", pr as f64),
+        ("threads", parallel::thread_count() as f64),
+        ("speedup_enum_vs_boxed_modulo", speedup_enum_modulo),
+        ("speedup_batch_vs_boxed_modulo", speedup_batch_modulo),
+        ("speedup_enum_vs_boxed_random_modulo", speedup_enum_rm),
+        ("speedup_batch_vs_boxed_random_modulo", speedup_batch_rm),
+    ];
+
+    print!("{}", render_table(&results));
+    println!();
+    println!("speedup vs boxed baseline (same run):");
+    println!("  modulo:        enum {speedup_enum_modulo:.2}x, batch {speedup_batch_modulo:.2}x");
+    println!("  random-modulo: enum {speedup_enum_rm:.2}x, batch {speedup_batch_rm:.2}x");
+
+    let json = to_json(&format!("PR{pr}"), &results, &extra);
+    std::fs::write(&out_path, json).expect("write bench report");
+    println!("\nwrote {out_path}");
+}

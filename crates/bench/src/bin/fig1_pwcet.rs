@@ -47,12 +47,7 @@ fn main() {
     let min_bound = points.first().map(|p| p.0).unwrap_or(0.0);
     for (bound, prob) in &points {
         let rel = (bound - min_bound) / (max_bound - min_bound).max(1.0);
-        println!(
-            "{:>6.0}  {:>12.0}  {}",
-            prob.log10(),
-            bound,
-            bar(rel, 1.0, 40)
-        );
+        println!("{:>6.0}  {:>12.0}  {}", prob.log10(), bound, bar(rel, 1.0, 40));
     }
     println!(
         "\npWCET at 10^-10 per run (the paper's example threshold): {:.0} cycles",

@@ -28,7 +28,7 @@ fn main() {
     println!("setup: deterministic caches; samples: {samples}\n");
 
     let cfg = SamplingConfig::standard(SetupKind::Deterministic, samples, seed);
-    let mut rng = SplitMix64::new(seed ^ 0x6b65_79);
+    let mut rng = SplitMix64::new(seed ^ 0x006b_6579);
     let mut victim_key = [0u8; 16];
     for b in victim_key.iter_mut() {
         *b = (rng.next_u32() & 0xff) as u8;
@@ -40,7 +40,7 @@ fn main() {
     let sig = profile.signature(byte);
     let max_abs = sig.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     println!("global mean: {:.1} cycles; deviations in cycles", profile.global_mean());
-    println!("{:>5} {:>9}  {}", "value", "dev", "|dev| (suppressing |dev| < 20% of max)");
+    println!("{:>5} {:>9}  |dev| (suppressing |dev| < 20% of max)", "value", "dev");
     let mut shown = 0;
     for (v, d) in sig.iter().enumerate() {
         if d.abs() >= 0.2 * max_abs {

@@ -33,11 +33,7 @@ fn main() {
         let start = std::time::Instant::now();
         let cfg = SamplingConfig::standard(setup, samples, seed);
         let result = run_attack(cfg);
-        println!(
-            "--- {} ({:.1}s) ---",
-            setup.label(),
-            start.elapsed().as_secs_f64()
-        );
+        println!("--- {} ({:.1}s) ---", setup.label(), start.elapsed().as_secs_f64());
         println!(
             "key bits determined: {:.1} / 128; residual keyspace: 2^{:.1}; vulnerable bytes: {}/16",
             result.bits_determined(),

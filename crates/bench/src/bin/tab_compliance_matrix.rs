@@ -63,6 +63,8 @@ fn main() {
     println!("  xor-index     -> relocates, but conflicts never change: breaks mbpta-p2 (§3)");
     println!("  rpcache       -> per-process permutations keep modulo's conflict structure: not MBPTA (§3)");
     println!("  hash-rp       -> full randomness (mbpta-p2): MBPTA-compliant, SCA-robust with unique seeds");
-    println!("  random-modulo -> partial APOP-fixed randomness (mbpta-p3): same, and page-conflict-free");
+    println!(
+        "  random-modulo -> partial APOP-fixed randomness (mbpta-p3): same, and page-conflict-free"
+    );
     println!("  TSCache       =  random-modulo/hash-rp hardware + per-SWC seeds (§5)");
 }

@@ -32,7 +32,8 @@ fn main() {
         "setup", "workload", "LB p", "KS p", "mean", "range"
     );
 
-    for setup in [SetupKind::Mbpta, SetupKind::TsCache, SetupKind::RpCache, SetupKind::Deterministic]
+    for setup in
+        [SetupKind::Mbpta, SetupKind::TsCache, SetupKind::RpCache, SetupKind::Deterministic]
     {
         for w in 0..4usize {
             let mut layout = Layout::new(0x10_0000);

@@ -1,0 +1,180 @@
+//! A small self-contained throughput-measurement harness.
+//!
+//! Criterion is not available in the offline build environment, so the
+//! `[[bench]] harness = false` targets and the `bench_report` binary
+//! time workloads with this module instead: warm up, run the closure
+//! until a minimum measured duration accumulates, report units/second.
+//! Results are emitted as a fixed-width table for terminals and as
+//! hand-rolled JSON (no serde) for the perf-trajectory files.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark result: `units` items processed in `elapsed_ns`.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `"cache-access/modulo/batch"`.
+    pub name: String,
+    /// What one unit is, e.g. `"accesses"` (used in reports).
+    pub unit: &'static str,
+    /// Total units processed across all timed iterations.
+    pub units: u64,
+    /// Total measured wall time in nanoseconds.
+    pub elapsed_ns: u128,
+}
+
+impl Measurement {
+    /// Units processed per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.units as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Nanoseconds per unit.
+    pub fn ns_per_unit(&self) -> f64 {
+        if self.units == 0 {
+            return 0.0;
+        }
+        self.elapsed_ns as f64 / self.units as f64
+    }
+}
+
+/// Times `f` — a closure that performs work and returns the number of
+/// units it processed — until at least `min_millis` of measured time
+/// accumulates (one untimed warm-up call first). Keep the closure's
+/// unit count large enough that per-call timer overhead vanishes.
+pub fn bench<F: FnMut() -> u64>(
+    name: impl Into<String>,
+    unit: &'static str,
+    min_millis: u64,
+    mut f: F,
+) -> Measurement {
+    black_box(f()); // warm-up: populate caches, touch lazy state
+    let mut units = 0u64;
+    let mut elapsed_ns = 0u128;
+    let budget = (min_millis as u128) * 1_000_000;
+    while elapsed_ns < budget {
+        let start = Instant::now();
+        let n = black_box(f());
+        elapsed_ns += start.elapsed().as_nanos();
+        units += n;
+    }
+    Measurement { name: name.into(), unit, units, elapsed_ns }
+}
+
+/// Renders measurements as an aligned terminal table.
+pub fn render_table(measurements: &[Measurement]) -> String {
+    let name_w = measurements.iter().map(|m| m.name.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_w$}  {:>14}  {:>12}  unit", "name", "rate/s", "ns/unit");
+    for m in measurements {
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>14.0}  {:>12.2}  {}",
+            m.name,
+            m.per_sec(),
+            m.ns_per_unit(),
+            m.unit
+        );
+    }
+    out
+}
+
+/// Serializes measurements (plus scalar metrics) into a JSON document:
+/// `{"label": .., "metrics": {name: per_sec, ..}, "extra": {..}}`.
+pub fn to_json(label: &str, measurements: &[Measurement], extra: &[(&str, f64)]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"label\": {},", json_string(label));
+    out.push_str("  \"metrics\": {\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {}: {{\"per_sec\": {:.3}, \"ns_per_unit\": {:.4}, \"unit\": {}}}{comma}",
+            json_string(&m.name),
+            m.per_sec(),
+            m.ns_per_unit(),
+            json_string(m.unit)
+        );
+    }
+    out.push_str("  },\n  \"extra\": {\n");
+    for (i, (k, v)) in extra.iter().enumerate() {
+        let comma = if i + 1 < extra.len() { "," } else { "" };
+        let _ = writeln!(out, "    {}: {}{comma}", json_string(k), json_number(*v));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_units_and_time() {
+        let mut calls = 0u64;
+        let m = bench("spin", "items", 1, || {
+            calls += 1;
+            (0..1000u64).map(black_box).sum::<u64>().min(1000)
+        });
+        assert!(calls >= 2, "warm-up plus at least one timed call");
+        assert!(m.units >= 1000);
+        assert!(m.elapsed_ns >= 1_000_000);
+        assert!(m.per_sec() > 0.0);
+        assert!(m.ns_per_unit() > 0.0);
+    }
+
+    #[test]
+    fn table_lists_every_row() {
+        let ms = vec![
+            Measurement { name: "a".into(), unit: "x", units: 10, elapsed_ns: 100 },
+            Measurement { name: "long-name".into(), unit: "y", units: 1, elapsed_ns: 1 },
+        ];
+        let t = render_table(&ms);
+        assert!(t.contains("a") && t.contains("long-name") && t.contains("rate/s"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let ms = vec![Measurement {
+            name: "cache\"quote".into(),
+            unit: "accesses",
+            units: 5,
+            elapsed_ns: 50,
+        }];
+        let j = to_json("pr1", &ms, &[("speedup", 3.5), ("nan", f64::NAN)]);
+        assert!(j.contains("\\\"quote"));
+        assert!(j.contains("\"speedup\": 3.5000"));
+        assert!(j.contains("\"nan\": null"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

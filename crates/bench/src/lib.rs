@@ -16,9 +16,17 @@
 //! Ablation harnesses extending the paper (`abl_seed_rotation`,
 //! `abl_attack_convergence`, `abl_interference`, `abl_partitioning`).
 //!
-//! The Criterion benches (`cargo bench`) cover simulator throughput:
-//! placement policies, cache accesses, simulated AES, and attack
-//! analysis.
+//! The throughput benches (`cargo bench`, [`harness`]-based: the
+//! container has no network access, so Criterion is replaced by a
+//! small self-contained timer) cover simulator throughput: placement
+//! policies, cache accesses, simulated AES, and attack analysis. The
+//! `bench_report` binary runs the headline metrics — boxed-dispatch
+//! baseline vs enum-dispatch scalar vs batch, simulated-AES
+//! encryptions/sec, Bernstein samples/sec — and emits a
+//! `BENCH_PR<N>.json` perf-trajectory artifact.
+
+pub mod harness;
+pub mod suites;
 
 use std::env;
 
@@ -68,6 +76,11 @@ impl Args {
     /// Reads a float flag, or `default`.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.lookup(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Reads a string flag, or `default`.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.lookup(key).unwrap_or_else(|| default.to_string())
     }
 
     fn lookup(&self, key: &str) -> Option<String> {

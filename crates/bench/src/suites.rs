@@ -1,0 +1,72 @@
+//! Shared benchmark suites used by both `cargo bench` targets and the
+//! `bench_report` perf-trajectory binary, so the committed
+//! `BENCH_PR<n>.json` numbers and local bench runs always measure the
+//! same workload.
+
+use crate::harness::{bench, Measurement};
+use std::hint::black_box;
+use tscache_core::addr::LineAddr;
+use tscache_core::boxed_ref::BoxedCache;
+use tscache_core::cache::Cache;
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::placement::PlacementKind;
+use tscache_core::replacement::ReplacementKind;
+use tscache_core::seed::{ProcessId, Seed};
+
+/// The standard access trace for the dispatch comparison: a 24 KiB
+/// working set cycled over the paper's 16 KiB L1, mixing hits and
+/// misses.
+pub fn dispatch_trace() -> Vec<LineAddr> {
+    (0..8192u64).map(|i| LineAddr::new((i * 7) % 768)).collect()
+}
+
+/// The dispatch-overhaul comparison, measured in one run: the boxed
+/// seed implementation, the enum-dispatch scalar path, and the batch
+/// API, on the same recorded trace, for `placement` with random
+/// replacement.
+pub fn cache_dispatch_suite(placement: PlacementKind, min_ms: u64) -> Vec<Measurement> {
+    let pid = ProcessId::new(1);
+    let geom = CacheGeometry::paper_l1();
+    let lines = dispatch_trace();
+    let mut results = Vec::with_capacity(3);
+
+    let mut boxed = BoxedCache::new(geom, placement, ReplacementKind::Random, 7);
+    boxed.set_seed(pid, Seed::new(42));
+    results.push(bench(format!("cache/{placement}/boxed"), "accesses", min_ms, || {
+        for &l in &lines {
+            black_box(boxed.access(pid, black_box(l)));
+        }
+        lines.len() as u64
+    }));
+
+    let mut scalar = Cache::new("b", geom, placement, ReplacementKind::Random, 7);
+    scalar.set_seed(pid, Seed::new(42));
+    results.push(bench(format!("cache/{placement}/enum"), "accesses", min_ms, || {
+        for &l in &lines {
+            black_box(scalar.access(pid, black_box(l)));
+        }
+        lines.len() as u64
+    }));
+
+    let mut batched = Cache::new("b", geom, placement, ReplacementKind::Random, 7);
+    batched.set_seed(pid, Seed::new(42));
+    results.push(bench(format!("cache/{placement}/batch"), "accesses", min_ms, || {
+        black_box(batched.access_batch(pid, black_box(&lines)));
+        lines.len() as u64
+    }));
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_reports_three_dispatch_variants() {
+        let results = cache_dispatch_suite(PlacementKind::Modulo, 1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["cache/modulo/boxed", "cache/modulo/enum", "cache/modulo/batch"]);
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! The original boxed-dispatch cache, preserved verbatim as a
+//! reference implementation.
+//!
+//! [`BoxedCache`] is the pre-optimization `Cache`: `Box<dyn Placement>`
+//! / `Box<dyn Replacement>` dispatch, parallel `Vec<u64>`/`Vec<bool>`
+//! metadata arrays, and linear scans for partitions and protected
+//! ranges. It exists for two purposes:
+//!
+//! 1. **differential testing** — the enum-dispatch
+//!    [`Cache`](crate::cache::Cache) must produce identical access
+//!    outcomes on any trace (`tests/engine_equivalence.rs`);
+//! 2. **perf baselining** — `bench_report` measures the boxed and
+//!    enum engines in the same run so every PR records a dispatch-
+//!    overhead trajectory.
+//!
+//! It is not used by any simulator or attack code path.
+
+use crate::addr::LineAddr;
+use crate::cache::{AccessOutcome, EvictedLine};
+use crate::geometry::CacheGeometry;
+use crate::placement::{Placement, PlacementKind};
+use crate::prng::SplitMix64;
+use crate::replacement::{Replacement, ReplacementKind};
+use crate::seed::{ProcessId, Seed, SeedTable};
+use crate::stats::CacheStats;
+
+/// The seed repository's original set-associative cache (boxed trait
+/// objects, scattered metadata, linear configuration scans).
+pub struct BoxedCache {
+    geom: CacheGeometry,
+    placement: Box<dyn Placement>,
+    replacement: Box<dyn Replacement>,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    owners: Vec<u16>,
+    protected: Vec<bool>,
+    protected_ranges: Vec<(u64, u64)>,
+    partitions: Vec<(u16, u32, u32)>,
+    seeds: SeedTable,
+    rng: SplitMix64,
+    stats: CacheStats,
+}
+
+impl BoxedCache {
+    /// Creates a cache; mirrors `Cache::new` including the RNG stream
+    /// derivation, so both implementations draw identical randomness.
+    pub fn new(
+        geom: CacheGeometry,
+        placement: PlacementKind,
+        replacement: ReplacementKind,
+        rng_seed: u64,
+    ) -> Self {
+        let n = geom.total_lines() as usize;
+        BoxedCache {
+            geom,
+            placement: placement.build(&geom),
+            replacement: replacement.build(&geom),
+            tags: vec![0; n],
+            valid: vec![false; n],
+            owners: vec![0; n],
+            protected: vec![false; n],
+            protected_ranges: Vec::new(),
+            partitions: Vec::new(),
+            seeds: SeedTable::new(),
+            rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Sets the placement seed of `pid`.
+    pub fn set_seed(&mut self, pid: ProcessId, seed: Seed) {
+        self.seeds.set(pid, seed);
+    }
+
+    /// Marks `start..end` (line addresses) as protected.
+    pub fn add_protected_range(&mut self, start: LineAddr, end: LineAddr) {
+        self.protected_ranges.push((start.as_u64(), end.as_u64()));
+    }
+
+    #[inline]
+    fn is_protected_addr(&self, line: u64) -> bool {
+        self.protected_ranges.iter().any(|&(s, e)| line >= s && line < e)
+    }
+
+    /// Restricts `pid` to fill ways `lo..hi`.
+    pub fn set_way_partition(&mut self, pid: ProcessId, lo: u32, hi: u32) {
+        assert!(lo < hi && hi <= self.geom.ways(), "invalid way range {lo}..{hi}");
+        if let Some(entry) = self.partitions.iter_mut().find(|(p, _, _)| *p == pid.as_u16()) {
+            *entry = (pid.as_u16(), lo, hi);
+        } else {
+            self.partitions.push((pid.as_u16(), lo, hi));
+        }
+    }
+
+    #[inline]
+    fn way_range(&self, pid: ProcessId) -> (u32, u32) {
+        self.partitions
+            .iter()
+            .find(|(p, _, _)| *p == pid.as_u16())
+            .map(|&(_, lo, hi)| (lo, hi))
+            .unwrap_or((0, self.geom.ways()))
+    }
+
+    /// Invalidates every line.
+    pub fn flush(&mut self) {
+        self.valid.fill(false);
+        self.replacement.reset();
+        self.stats.record_flush();
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.geom.ways() + way) as usize
+    }
+
+    /// Looks a line up without filling.
+    pub fn probe(&mut self, pid: ProcessId, line: LineAddr) -> bool {
+        let seed = self.seeds.get(pid);
+        let set = self.placement.place(line, seed);
+        self.find_way(set, line).is_some()
+    }
+
+    #[inline]
+    fn find_way(&self, set: u32, line: LineAddr) -> Option<u32> {
+        for w in 0..self.geom.ways() {
+            let slot = self.slot(set, w);
+            if self.valid[slot] && self.tags[slot] == line.as_u64() {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn find_invalid_way(&self, set: u32, lo: u32, hi: u32) -> Option<u32> {
+        (lo..hi).find(|&w| !self.valid[self.slot(set, w)])
+    }
+
+    /// Accesses `line` on behalf of `pid`, filling on a miss.
+    pub fn access(&mut self, pid: ProcessId, line: LineAddr) -> AccessOutcome {
+        let seed = self.seeds.get(pid);
+        let mut set = self.placement.place(line, seed);
+
+        if let Some(way) = self.find_way(set, line) {
+            self.replacement.on_hit(set, way);
+            self.stats.record_hit();
+            return AccessOutcome::Hit;
+        }
+
+        let (lo, hi) = self.way_range(pid);
+        let full_width = hi - lo == self.geom.ways();
+        let mut redirected = false;
+        let mut way = match self.find_invalid_way(set, lo, hi) {
+            Some(w) => w,
+            None if full_width => self.replacement.victim(set, &mut self.rng),
+            None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+        };
+
+        let slot = self.slot(set, way);
+        if self.valid[slot]
+            && (self.owners[slot] != pid.as_u16() || self.protected[slot])
+            && self.placement.randomizes_interference()
+        {
+            if let Some(new_set) = self.placement.remap_on_contention(line, seed, &mut self.rng) {
+                self.invalidate_line_aliases(set, line, pid);
+                set = new_set;
+                redirected = true;
+                way = match self.find_invalid_way(set, lo, hi) {
+                    Some(w) => w,
+                    None if full_width => self.replacement.victim(set, &mut self.rng),
+                    None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+                };
+            }
+        }
+
+        let slot = self.slot(set, way);
+        let evicted = if self.valid[slot] {
+            let ev = EvictedLine {
+                line: LineAddr::new(self.tags[slot]),
+                owner: ProcessId::new(self.owners[slot]),
+            };
+            if ev.owner != pid {
+                self.stats.record_cross_process_eviction();
+            }
+            Some(ev)
+        } else {
+            None
+        };
+
+        self.tags[slot] = line.as_u64();
+        self.valid[slot] = true;
+        self.owners[slot] = pid.as_u16();
+        self.protected[slot] = self.is_protected_addr(line.as_u64());
+        self.replacement.on_fill(set, way);
+        self.stats.record_miss(evicted.is_some());
+        AccessOutcome::Miss { evicted, redirected }
+    }
+
+    fn invalidate_line_aliases(&mut self, old_set: u32, line: LineAddr, pid: ProcessId) {
+        let index_bits = self.geom.index_bits();
+        for w in 0..self.geom.ways() {
+            let slot = self.slot(old_set, w);
+            if self.valid[slot]
+                && self.owners[slot] == pid.as_u16()
+                && LineAddr::new(self.tags[slot]).index_bits(index_bits)
+                    == line.index_bits(index_bits)
+            {
+                self.valid[slot] = false;
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Iterates over currently valid lines as `(set, way, line, owner)`.
+    pub fn contents(&self) -> impl Iterator<Item = (u32, u32, LineAddr, ProcessId)> + '_ {
+        let ways = self.geom.ways();
+        (0..self.geom.sets()).flat_map(move |set| {
+            (0..ways).filter_map(move |way| {
+                let slot = (set * ways + way) as usize;
+                if self.valid[slot] {
+                    Some((
+                        set,
+                        way,
+                        LineAddr::new(self.tags[slot]),
+                        ProcessId::new(self.owners[slot]),
+                    ))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}

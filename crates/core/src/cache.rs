@@ -1,15 +1,64 @@
 //! Set-associative cache model with pluggable placement and
 //! replacement, per-process seeds, and RPCache-style interference
 //! randomization.
+//!
+//! # Hot-path layout
+//!
+//! Every experiment in the reproduction funnels through
+//! [`Cache::access`], so the model is organized for throughput:
+//!
+//! * placement and replacement run through enum-dispatch engines
+//!   ([`PlacementEngine`]/[`ReplacementEngine`]) — direct, inlinable
+//!   match arms instead of `Box<dyn …>` virtual calls;
+//! * per-line metadata is packed: one contiguous `tags` array using a
+//!   sentinel value ([`INVALID_TAG`]) for invalid lines, plus one
+//!   `LineMeta` byte-pair array (owner + flag byte), so a set's ways
+//!   are scanned from a single cache-resident region;
+//! * protected ranges are kept sorted and merged (binary search per
+//!   fill instead of a linear scan over possibly overlapping entries);
+//! * way partitions are kept sorted by pid, and a one-entry hot-pid
+//!   context cache memoizes the `(seed, way range)` pair of the
+//!   currently accessing process;
+//! * [`Cache::access_batch`] amortizes context lookup and statistics
+//!   updates across a whole trace.
+//!
+//! The original boxed-dispatch implementation survives as
+//! [`BoxedCache`](crate::boxed_ref::BoxedCache) for differential tests
+//! and dispatch-overhead baselining; both draw identical randomness
+//! streams and produce identical access outcomes.
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
-use crate::placement::{Placement, PlacementKind};
+use crate::placement::{PlacementEngine, PlacementKind};
 use crate::prng::SplitMix64;
-use crate::replacement::{Replacement, ReplacementKind};
+use crate::replacement::{ReplacementEngine, ReplacementKind};
 use crate::seed::{ProcessId, Seed, SeedTable};
 use crate::stats::CacheStats;
 use core::fmt;
+
+/// Sentinel tag marking an invalid line. Line addresses are byte
+/// addresses shifted right by the line-offset bits, so no reachable
+/// line address collides with it.
+pub const INVALID_TAG: u64 = u64::MAX;
+
+/// Packed per-line metadata: the owner process and a flag byte.
+/// Validity is encoded in the tags array via [`INVALID_TAG`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineMeta {
+    owner: u16,
+    flags: u8,
+}
+
+impl LineMeta {
+    const PROTECTED: u8 = 1;
+
+    const EMPTY: LineMeta = LineMeta { owner: 0, flags: 0 };
+
+    #[inline]
+    fn protected(self) -> bool {
+        self.flags & Self::PROTECTED != 0
+    }
+}
 
 /// A line displaced by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +96,58 @@ impl AccessOutcome {
     }
 }
 
+/// Aggregate outcome of [`Cache::access_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and filled).
+    pub misses: u64,
+    /// Misses that displaced a valid line.
+    pub evictions: u64,
+    /// Fills redirected by an RPCache contention remap.
+    pub redirected: u64,
+}
+
+impl BatchOutcome {
+    /// Total accesses in the batch.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// One-entry context cache for the hot process: seed and way range.
+#[derive(Debug, Clone, Copy)]
+struct HotContext {
+    /// `u32::MAX` marks the cache empty; pids are 16-bit.
+    pid: u32,
+    seed: Seed,
+    lo: u32,
+    hi: u32,
+}
+
+impl HotContext {
+    const EMPTY: HotContext = HotContext { pid: u32::MAX, seed: Seed::ZERO, lo: 0, hi: 0 };
+}
+
+/// Entries in the direct-mapped placement memo (must be a power of
+/// two). 1024 entries cover the working sets of the reproduction's
+/// workloads with a near-perfect hit rate at 24 KiB of memo state.
+const PLACE_MEMO_ENTRIES: usize = 1024;
+
+/// One placement-memo slot: the memoized `place(line, seed) = set`.
+/// `line == INVALID_TAG` marks an empty slot.
+#[derive(Debug, Clone, Copy)]
+struct PlaceMemoEntry {
+    line: u64,
+    seed: u64,
+    set: u32,
+}
+
+impl PlaceMemoEntry {
+    const EMPTY: PlaceMemoEntry = PlaceMemoEntry { line: INVALID_TAG, seed: 0, set: 0 };
+}
+
 /// A set-associative cache with seed-parameterized placement.
 ///
 /// # Examples
@@ -75,21 +176,30 @@ impl AccessOutcome {
 pub struct Cache {
     label: String,
     geom: CacheGeometry,
-    placement: Box<dyn Placement>,
-    replacement: Box<dyn Replacement>,
-    /// Flat `sets × ways` arrays.
+    ways: u32,
+    placement: PlacementEngine,
+    replacement: ReplacementEngine,
+    /// Flat `sets × ways` tag array; [`INVALID_TAG`] encodes invalid.
     tags: Vec<u64>,
-    valid: Vec<bool>,
-    owners: Vec<u16>,
-    protected: Vec<bool>,
+    /// Flat `sets × ways` owner/flag array, parallel to `tags`.
+    meta: Vec<LineMeta>,
     /// Protected line-address ranges (RPCache's P-bit pages holding
-    /// crypto tables): `start..end` in line addresses.
+    /// crypto tables): sorted by start, merged, pairwise disjoint.
     protected_ranges: Vec<(u64, u64)>,
-    /// Way partitions: `pid → lo..hi` fill-way range (cache
+    /// Way partitions `(pid, lo, hi)`, sorted by pid (cache
     /// partitioning, the §7 alternative). Processes without an entry
     /// may fill any way.
     partitions: Vec<(u16, u32, u32)>,
     seeds: SeedTable,
+    hot: HotContext,
+    /// Direct-mapped memo for expensive pure placements (the Benes
+    /// network of Random Modulo, the HashRP rotate/XOR/Feistel hash):
+    /// `place(line, seed)` is deterministic for these policies, so the
+    /// per-access network evaluation collapses to a table hit for warm
+    /// working sets. Empty (and bypassed) for policies where
+    /// memoization can't apply or wouldn't pay (RPCache mutates its
+    /// mapping on contention; modulo/XOR are already single-op).
+    place_memo: Vec<PlaceMemoEntry>,
     rng: SplitMix64,
     stats: CacheStats,
 }
@@ -117,18 +227,25 @@ impl Cache {
         rng_seed: u64,
     ) -> Self {
         let n = geom.total_lines() as usize;
+        let placement = placement.engine(&geom);
+        let place_memo = if placement.memoizable() {
+            vec![PlaceMemoEntry::EMPTY; PLACE_MEMO_ENTRIES]
+        } else {
+            Vec::new()
+        };
         Cache {
             label: label.into(),
             geom,
-            placement: placement.build(&geom),
-            replacement: replacement.build(&geom),
-            tags: vec![0; n],
-            valid: vec![false; n],
-            owners: vec![0; n],
-            protected: vec![false; n],
+            ways: geom.ways(),
+            placement,
+            replacement: replacement.engine(&geom),
+            tags: vec![INVALID_TAG; n],
+            meta: vec![LineMeta::EMPTY; n],
             protected_ranges: Vec::new(),
             partitions: Vec::new(),
             seeds: SeedTable::new(),
+            hot: HotContext::EMPTY,
+            place_memo,
             rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
             stats: CacheStats::new(),
         }
@@ -169,19 +286,46 @@ impl Cache {
     /// explicitly when consistency requires it (§5).
     pub fn set_seed(&mut self, pid: ProcessId, seed: Seed) {
         self.seeds.set(pid, seed);
+        self.hot = HotContext::EMPTY;
     }
 
     /// Marks the line-address range `start..end` as *protected*
     /// (RPCache's per-page P bit over crypto tables): interference-
     /// randomizing policies redirect any fill that would evict a
     /// protected line to a random set.
+    ///
+    /// Ranges are kept sorted and merged, so overlapping or adjacent
+    /// registrations collapse into one entry and per-fill lookups are
+    /// a binary search.
     pub fn add_protected_range(&mut self, start: LineAddr, end: LineAddr) {
-        self.protected_ranges.push((start.as_u64(), end.as_u64()));
+        let (start, end) = (start.as_u64(), end.as_u64());
+        if start >= end {
+            return;
+        }
+        let ranges = &mut self.protected_ranges;
+        ranges.push((start, end));
+        ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for &(s, e) in ranges.iter() {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        *ranges = merged;
     }
 
+    /// The registered protected ranges (sorted, merged, disjoint).
+    pub fn protected_ranges(&self) -> &[(u64, u64)] {
+        &self.protected_ranges
+    }
+
+    /// Whether `line` falls in a protected range. Binary search over
+    /// the sorted, disjoint ranges.
     #[inline]
-    fn is_protected_addr(&self, line: u64) -> bool {
-        self.protected_ranges.iter().any(|&(s, e)| line >= s && line < e)
+    pub fn is_protected_addr(&self, line: u64) -> bool {
+        let idx = self.protected_ranges.partition_point(|&(s, _)| s <= line);
+        idx > 0 && line < self.protected_ranges[idx - 1].1
     }
 
     /// Restricts `pid` to fill ways `lo..hi` in every set (strict way
@@ -193,26 +337,37 @@ impl Cache {
     ///
     /// Panics if the range is empty or exceeds the associativity.
     pub fn set_way_partition(&mut self, pid: ProcessId, lo: u32, hi: u32) {
-        assert!(lo < hi && hi <= self.geom.ways(), "invalid way range {lo}..{hi}");
-        if let Some(entry) = self.partitions.iter_mut().find(|(p, _, _)| *p == pid.as_u16()) {
-            *entry = (pid.as_u16(), lo, hi);
-        } else {
-            self.partitions.push((pid.as_u16(), lo, hi));
+        assert!(lo < hi && hi <= self.ways, "invalid way range {lo}..{hi}");
+        let raw = pid.as_u16();
+        match self.partitions.binary_search_by_key(&raw, |&(p, _, _)| p) {
+            Ok(i) => self.partitions[i] = (raw, lo, hi),
+            Err(i) => self.partitions.insert(i, (raw, lo, hi)),
         }
+        self.hot = HotContext::EMPTY;
     }
 
     /// Removes `pid`'s way partition.
     pub fn clear_way_partition(&mut self, pid: ProcessId) {
-        self.partitions.retain(|(p, _, _)| *p != pid.as_u16());
+        if let Ok(i) = self.partitions.binary_search_by_key(&pid.as_u16(), |&(p, _, _)| p) {
+            self.partitions.remove(i);
+        }
+        self.hot = HotContext::EMPTY;
     }
 
+    /// Resolves the `(seed, way range)` context of `pid`, memoized for
+    /// the hot process.
     #[inline]
-    fn way_range(&self, pid: ProcessId) -> (u32, u32) {
-        self.partitions
-            .iter()
-            .find(|(p, _, _)| *p == pid.as_u16())
-            .map(|&(_, lo, hi)| (lo, hi))
-            .unwrap_or((0, self.geom.ways()))
+    fn context(&mut self, pid: ProcessId) -> (Seed, u32, u32) {
+        if self.hot.pid == pid.as_u16() as u32 {
+            return (self.hot.seed, self.hot.lo, self.hot.hi);
+        }
+        let seed = self.seeds.get(pid);
+        let (lo, hi) = match self.partitions.binary_search_by_key(&pid.as_u16(), |&(p, _, _)| p) {
+            Ok(i) => (self.partitions[i].1, self.partitions[i].2),
+            Err(_) => (0, self.ways),
+        };
+        self.hot = HotContext { pid: pid.as_u16() as u32, seed, lo, hi };
+        (seed, lo, hi)
     }
 
     /// Returns the placement seed of `pid` ([`Seed::ZERO`] if unset).
@@ -222,67 +377,176 @@ impl Cache {
 
     /// Invalidates every line and resets replacement bookkeeping.
     pub fn flush(&mut self) {
-        self.valid.fill(false);
+        self.tags.fill(INVALID_TAG);
         self.replacement.reset();
         self.stats.record_flush();
     }
 
     /// Invalidates every line owned by `pid`.
     pub fn flush_process(&mut self, pid: ProcessId) {
-        for i in 0..self.valid.len() {
-            if self.valid[i] && self.owners[i] == pid.as_u16() {
-                self.valid[i] = false;
+        let raw = pid.as_u16();
+        for (tag, meta) in self.tags.iter_mut().zip(&self.meta) {
+            if meta.owner == raw {
+                *tag = INVALID_TAG;
             }
         }
         self.stats.record_flush();
-    }
-
-    #[inline]
-    fn slot(&self, set: u32, way: u32) -> usize {
-        (set * self.geom.ways() + way) as usize
     }
 
     /// Looks a line up without changing replacement state or filling.
     ///
     /// Needs `&mut self` because table-based placement builds its
     /// per-seed state lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is `u64::MAX` (the [`INVALID_TAG`] sentinel),
+    /// which would falsely match invalid ways.
     pub fn probe(&mut self, pid: ProcessId, line: LineAddr) -> bool {
-        let seed = self.seeds.get(pid);
-        let set = self.placement.place(line, seed);
+        assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
+        let (seed, _, _) = self.context(pid);
+        let set = self.place(line, seed);
         self.find_way(set, line).is_some()
     }
 
+    /// Resolves `place(line, seed)` through the direct-mapped memo for
+    /// memoizable policies; falls through to the engine otherwise.
+    /// Exact: the memo is only active for policies whose placement is
+    /// a pure function of `(line, seed)`, and every entry stores the
+    /// full key.
+    #[inline]
+    fn place(&mut self, line: LineAddr, seed: Seed) -> u32 {
+        if self.place_memo.is_empty() {
+            return self.placement.place(line, seed);
+        }
+        let idx = ((line.as_u64() ^ seed.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize)
+            & (PLACE_MEMO_ENTRIES - 1);
+        let entry = self.place_memo[idx];
+        if entry.line == line.as_u64() && entry.seed == seed.as_u64() {
+            return entry.set;
+        }
+        let set = self.placement.place(line, seed);
+        self.place_memo[idx] = PlaceMemoEntry { line: line.as_u64(), seed: seed.as_u64(), set };
+        set
+    }
+
+    /// Scans one set's contiguous tag block for `line`. Invalid ways
+    /// hold [`INVALID_TAG`] and can never match a real line address.
     #[inline]
     fn find_way(&self, set: u32, line: LineAddr) -> Option<u32> {
-        for w in 0..self.geom.ways() {
-            let slot = self.slot(set, w);
-            if self.valid[slot] && self.tags[slot] == line.as_u64() {
-                return Some(w);
-            }
-        }
-        None
+        let base = (set * self.ways) as usize;
+        let raw = line.as_u64();
+        self.tags[base..base + self.ways as usize].iter().position(|&t| t == raw).map(|w| w as u32)
     }
 
     #[inline]
     fn find_invalid_way(&self, set: u32, lo: u32, hi: u32) -> Option<u32> {
-        (lo..hi).find(|&w| !self.valid[self.slot(set, w)])
+        let base = (set * self.ways) as usize;
+        self.tags[base + lo as usize..base + hi as usize]
+            .iter()
+            .position(|&t| t == INVALID_TAG)
+            .map(|w| lo + w as u32)
     }
 
     /// Accesses `line` on behalf of `pid`, filling on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is `u64::MAX` (the [`INVALID_TAG`] sentinel) —
+    /// such a fill would silently read back as an invalid slot.
     pub fn access(&mut self, pid: ProcessId, line: LineAddr) -> AccessOutcome {
-        let seed = self.seeds.get(pid);
-        let mut set = self.placement.place(line, seed);
+        assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
+        let (seed, lo, hi) = self.context(pid);
+        match self.access_inner(pid, line, seed, lo, hi) {
+            InnerOutcome::Hit => {
+                self.stats.record_hit();
+                AccessOutcome::Hit
+            }
+            InnerOutcome::Miss { evicted, redirected, cross_process } => {
+                if cross_process {
+                    self.stats.record_cross_process_eviction();
+                }
+                self.stats.record_miss(evicted.is_some());
+                AccessOutcome::Miss { evicted, redirected }
+            }
+        }
+    }
+
+    /// Accesses a whole trace of lines on behalf of `pid`, amortizing
+    /// the context lookup and statistics updates across the batch.
+    ///
+    /// Outcomes (including RNG draws and replacement state) are
+    /// identical to issuing each line through [`access`](Self::access)
+    /// in order; only the bookkeeping is batched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any line is `u64::MAX` (the [`INVALID_TAG`]
+    /// sentinel), as [`access`](Self::access) does.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tscache_core::addr::LineAddr;
+    /// use tscache_core::cache::Cache;
+    /// use tscache_core::geometry::CacheGeometry;
+    /// use tscache_core::placement::PlacementKind;
+    /// use tscache_core::replacement::ReplacementKind;
+    /// use tscache_core::seed::ProcessId;
+    ///
+    /// let mut cache = Cache::new(
+    ///     "L1D",
+    ///     CacheGeometry::paper_l1(),
+    ///     PlacementKind::Modulo,
+    ///     ReplacementKind::Lru,
+    ///     1,
+    /// );
+    /// let trace: Vec<LineAddr> = (0..64).map(LineAddr::new).collect();
+    /// let cold = cache.access_batch(ProcessId::new(1), &trace);
+    /// assert_eq!(cold.misses, 64);
+    /// let warm = cache.access_batch(ProcessId::new(1), &trace);
+    /// assert_eq!(warm.hits, 64);
+    /// ```
+    pub fn access_batch(&mut self, pid: ProcessId, lines: &[LineAddr]) -> BatchOutcome {
+        let (seed, lo, hi) = self.context(pid);
+        let mut out = BatchOutcome::default();
+        let mut cross = 0u64;
+        for &line in lines {
+            assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
+            match self.access_inner(pid, line, seed, lo, hi) {
+                InnerOutcome::Hit => out.hits += 1,
+                InnerOutcome::Miss { evicted, redirected, cross_process } => {
+                    out.misses += 1;
+                    out.evictions += evicted.is_some() as u64;
+                    out.redirected += redirected as u64;
+                    cross += cross_process as u64;
+                }
+            }
+        }
+        self.stats.record_batch(out.hits, out.misses, out.evictions, cross);
+        out
+    }
+
+    /// The shared access path: everything except statistics.
+    #[inline]
+    fn access_inner(
+        &mut self,
+        pid: ProcessId,
+        line: LineAddr,
+        seed: Seed,
+        lo: u32,
+        hi: u32,
+    ) -> InnerOutcome {
+        let mut set = self.place(line, seed);
 
         if let Some(way) = self.find_way(set, line) {
             self.replacement.on_hit(set, way);
-            self.stats.record_hit();
-            return AccessOutcome::Hit;
+            return InnerOutcome::Hit;
         }
 
         // Miss: pick the fill way within the process's way partition;
         // invalid ways first.
-        let (lo, hi) = self.way_range(pid);
-        let full_width = hi - lo == self.geom.ways();
+        let full_width = hi - lo == self.ways;
         let mut redirected = false;
         let mut way = match self.find_invalid_way(set, lo, hi) {
             Some(w) => w,
@@ -295,14 +559,12 @@ impl Cache {
         // remap this line's index to a random set and fill there
         // instead (paper §3; Wang & Lee's "contention event that might
         // leak information").
-        let slot = self.slot(set, way);
-        if self.valid[slot]
-            && (self.owners[slot] != pid.as_u16() || self.protected[slot])
+        let slot = (set * self.ways + way) as usize;
+        if self.tags[slot] != INVALID_TAG
+            && (self.meta[slot].owner != pid.as_u16() || self.meta[slot].protected())
             && self.placement.randomizes_interference()
         {
-            if let Some(new_set) =
-                self.placement.remap_on_contention(line, seed, &mut self.rng)
-            {
+            if let Some(new_set) = self.placement.remap_on_contention(line, seed, &mut self.rng) {
                 // Drop now-unreachable lines of the remapped index from
                 // the old set (the hardware moves or invalidates them).
                 self.invalidate_line_aliases(set, line, pid);
@@ -316,27 +578,26 @@ impl Cache {
             }
         }
 
-        let slot = self.slot(set, way);
-        let evicted = if self.valid[slot] {
+        let slot = (set * self.ways + way) as usize;
+        let mut cross_process = false;
+        let evicted = if self.tags[slot] != INVALID_TAG {
             let ev = EvictedLine {
                 line: LineAddr::new(self.tags[slot]),
-                owner: ProcessId::new(self.owners[slot]),
+                owner: ProcessId::new(self.meta[slot].owner),
             };
-            if ev.owner != pid {
-                self.stats.record_cross_process_eviction();
-            }
+            cross_process = ev.owner != pid;
             Some(ev)
         } else {
             None
         };
 
         self.tags[slot] = line.as_u64();
-        self.valid[slot] = true;
-        self.owners[slot] = pid.as_u16();
-        self.protected[slot] = self.is_protected_addr(line.as_u64());
+        self.meta[slot] = LineMeta {
+            owner: pid.as_u16(),
+            flags: if self.is_protected_addr(line.as_u64()) { LineMeta::PROTECTED } else { 0 },
+        };
         self.replacement.on_fill(set, way);
-        self.stats.record_miss(evicted.is_some());
-        AccessOutcome::Miss { evicted, redirected }
+        InnerOutcome::Miss { evicted, redirected, cross_process }
     }
 
     /// After an RPCache remap of `line`'s index, lines of `pid` with the
@@ -344,26 +605,32 @@ impl Cache {
     /// unreachable; invalidate them.
     fn invalidate_line_aliases(&mut self, old_set: u32, line: LineAddr, pid: ProcessId) {
         let index_bits = self.geom.index_bits();
-        for w in 0..self.geom.ways() {
-            let slot = self.slot(old_set, w);
-            if self.valid[slot]
-                && self.owners[slot] == pid.as_u16()
+        let base = (old_set * self.ways) as usize;
+        for w in 0..self.ways as usize {
+            let slot = base + w;
+            if self.tags[slot] != INVALID_TAG
+                && self.meta[slot].owner == pid.as_u16()
                 && LineAddr::new(self.tags[slot]).index_bits(index_bits)
                     == line.index_bits(index_bits)
             {
-                self.valid[slot] = false;
+                self.tags[slot] = INVALID_TAG;
             }
         }
     }
 
     /// Iterates over currently valid lines as `(set, way, line, owner)`.
     pub fn contents(&self) -> impl Iterator<Item = (u32, u32, LineAddr, ProcessId)> + '_ {
-        let ways = self.geom.ways();
+        let ways = self.ways;
         (0..self.geom.sets()).flat_map(move |set| {
             (0..ways).filter_map(move |way| {
                 let slot = (set * ways + way) as usize;
-                if self.valid[slot] {
-                    Some((set, way, LineAddr::new(self.tags[slot]), ProcessId::new(self.owners[slot])))
+                if self.tags[slot] != INVALID_TAG {
+                    Some((
+                        set,
+                        way,
+                        LineAddr::new(self.tags[slot]),
+                        ProcessId::new(self.meta[slot].owner),
+                    ))
                 } else {
                     None
                 }
@@ -373,8 +640,14 @@ impl Cache {
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
+}
+
+/// Outcome of the statistics-free inner access path.
+enum InnerOutcome {
+    Hit,
+    Miss { evicted: Option<EvictedLine>, redirected: bool, cross_process: bool },
 }
 
 #[cfg(test)]
@@ -382,13 +655,7 @@ mod tests {
     use super::*;
 
     fn small_cache(placement: PlacementKind, replacement: ReplacementKind) -> Cache {
-        Cache::new(
-            "test",
-            CacheGeometry::new(8, 2, 32).unwrap(),
-            placement,
-            replacement,
-            7,
-        )
+        Cache::new("test", CacheGeometry::new(8, 2, 32).unwrap(), placement, replacement, 7)
     }
 
     fn pid(n: u16) -> ProcessId {
@@ -508,7 +775,8 @@ mod tests {
         }
         let mut redirects = 0;
         for i in 100..164u64 {
-            if let AccessOutcome::Miss { redirected: true, .. } = c.access(pid(2), LineAddr::new(i)) {
+            if let AccessOutcome::Miss { redirected: true, .. } = c.access(pid(2), LineAddr::new(i))
+            {
                 redirects += 1;
             }
         }
@@ -567,6 +835,29 @@ mod tests {
                 AccessOutcome::Miss { redirected, .. } => assert!(!redirected),
                 AccessOutcome::Hit => panic!("unexpected hit"),
             }
+        }
+    }
+
+    #[test]
+    fn protected_ranges_merge_overlaps() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.add_protected_range(LineAddr::new(10), LineAddr::new(20));
+        c.add_protected_range(LineAddr::new(15), LineAddr::new(30)); // overlaps
+        c.add_protected_range(LineAddr::new(30), LineAddr::new(40)); // adjacent
+        c.add_protected_range(LineAddr::new(100), LineAddr::new(110)); // disjoint
+        c.add_protected_range(LineAddr::new(5), LineAddr::new(5)); // empty, dropped
+        assert_eq!(c.protected_ranges(), &[(10, 40), (100, 110)]);
+        for (line, expect) in [
+            (9, false),
+            (10, true),
+            (25, true),
+            (39, true),
+            (40, false),
+            (99, false),
+            (105, true),
+            (110, false),
+        ] {
+            assert_eq!(c.is_protected_addr(line), expect, "line {line}");
         }
     }
 
@@ -646,6 +937,27 @@ mod tests {
     }
 
     #[test]
+    fn hot_context_tracks_partition_and_seed_changes() {
+        let mut c = small_cache(PlacementKind::RandomModulo, ReplacementKind::Lru);
+        c.set_seed(pid(1), Seed::new(1));
+        c.access(pid(1), LineAddr::new(0)); // warm the hot context
+                                            // Changing the seed must invalidate the memoized context.
+        c.set_seed(pid(1), Seed::new(2));
+        assert_eq!(c.seed(pid(1)), Seed::new(2));
+        c.access(pid(1), LineAddr::new(0));
+        // Adding a partition mid-stream must take effect immediately.
+        c.set_way_partition(pid(1), 0, 1);
+        for i in 0..20u64 {
+            c.access(pid(1), LineAddr::new(i));
+        }
+        for (_, way, _, owner) in c.contents() {
+            if owner == pid(1) {
+                assert_eq!(way, 0, "fill escaped the partition");
+            }
+        }
+    }
+
+    #[test]
     fn occupancy_never_exceeds_capacity() {
         for kind in PlacementKind::ALL {
             let mut c = small_cache(kind, ReplacementKind::Random);
@@ -697,5 +1009,42 @@ mod tests {
             misses
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn batch_matches_scalar_accesses_exactly() {
+        for placement in PlacementKind::ALL {
+            let trace: Vec<LineAddr> = (0..600u64).map(|i| LineAddr::new((i * 13) % 97)).collect();
+            let mut scalar = small_cache(placement, ReplacementKind::Random);
+            let mut batched = small_cache(placement, ReplacementKind::Random);
+            for c in [&mut scalar, &mut batched] {
+                c.set_seed(pid(1), Seed::new(11));
+                c.add_protected_range(LineAddr::new(0), LineAddr::new(8));
+            }
+            let mut hits = 0u64;
+            for &l in &trace {
+                hits += scalar.access(pid(1), l).is_hit() as u64;
+            }
+            let out = batched.access_batch(pid(1), &trace);
+            assert_eq!(out.hits, hits, "{placement}");
+            assert_eq!(out.accesses(), trace.len() as u64);
+            assert_eq!(scalar.stats(), batched.stats(), "{placement}");
+            let a: Vec<_> = scalar.contents().collect();
+            let b: Vec<_> = batched.contents().collect();
+            assert_eq!(a, b, "{placement}: final contents diverge");
+        }
+    }
+
+    #[test]
+    fn batch_outcome_counts_redirects() {
+        let mut c = small_cache(PlacementKind::RpCache, ReplacementKind::Lru);
+        c.set_seed(pid(1), Seed::new(1));
+        c.set_seed(pid(2), Seed::new(2));
+        let warm: Vec<LineAddr> = (0..64u64).map(LineAddr::new).collect();
+        c.access_batch(pid(1), &warm);
+        let contend: Vec<LineAddr> = (100..164u64).map(LineAddr::new).collect();
+        let out = c.access_batch(pid(2), &contend);
+        assert!(out.redirected > 0, "no redirects under full contention");
+        assert!(out.redirected <= out.misses);
     }
 }

@@ -137,7 +137,7 @@ impl CacheGeometry {
     pub fn random_modulo_compatible(&self, page_bits: u32) -> bool {
         let page = 1u64 << page_bits;
         let way = self.way_size_bytes();
-        page >= way && page % way == 0
+        page >= way && page.is_multiple_of(way)
     }
 
     /// Validating form of

@@ -31,11 +31,7 @@ impl Default for Latencies {
 
 impl fmt::Display for Latencies {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "L1 {}c / +L2 {}c / +mem {}c",
-            self.l1_hit, self.l2_hit, self.memory
-        )
+        write!(f, "L1 {}c / +L2 {}c / +mem {}c", self.l1_hit, self.l2_hit, self.memory)
     }
 }
 

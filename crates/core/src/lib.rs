@@ -35,10 +35,12 @@
 //! ```
 
 pub mod addr;
+pub mod boxed_ref;
 pub mod cache;
 pub mod error;
 pub mod geometry;
 pub mod hierarchy;
+pub mod parallel;
 pub mod placement;
 pub mod prng;
 pub mod properties;
@@ -48,12 +50,12 @@ pub mod setup;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, PageAddr};
-pub use cache::{AccessOutcome, Cache, EvictedLine};
+pub use cache::{AccessOutcome, BatchOutcome, Cache, EvictedLine};
 pub use error::ConfigError;
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessKind, Hierarchy, Latencies};
-pub use placement::{MbptaClass, Placement, PlacementKind};
-pub use replacement::{Replacement, ReplacementKind};
+pub use placement::{MbptaClass, Placement, PlacementEngine, PlacementKind};
+pub use replacement::{Replacement, ReplacementEngine, ReplacementKind};
 pub use seed::{ProcessId, Seed, SeedTable};
 pub use setup::{SeedSharing, SetupKind};
 pub use stats::CacheStats;

@@ -1,0 +1,135 @@
+//! Deterministic parallel execution of embarrassingly-parallel loops.
+//!
+//! Attack campaigns and MBPTA measurement protocols repeat independent
+//! trials — Prime+Probe rounds, Bernstein sampling nodes, per-key-byte
+//! correlation sweeps, per-run execution-time collection. This module
+//! fans such loops out over OS threads while keeping results
+//! **bit-reproducible regardless of thread count**: work is split by
+//! index, each index computes a pure function (callers derive a
+//! per-index `SplitMix64` stream instead of sharing one RNG), and
+//! results are returned in index order.
+//!
+//! The thread count honours `RAYON_NUM_THREADS` (the convention users
+//! of rayon-based tools expect) and `TSCACHE_THREADS`, falling back to
+//! the machine's available parallelism. With the `rayon` cargo feature
+//! a vendored rayon could take over scheduling; the std::thread
+//! fallback below is always available and has no dependencies.
+
+use std::env;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// The worker-thread count used by [`par_map_indexed`].
+///
+/// Resolution order: `RAYON_NUM_THREADS`, then `TSCACHE_THREADS`, then
+/// [`std::thread::available_parallelism`]. Values of 0 or unparsable
+/// strings fall through to the next source.
+pub fn thread_count() -> usize {
+    for var in ["RAYON_NUM_THREADS", "TSCACHE_THREADS"] {
+        if let Ok(v) = env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` in parallel, returning results in index order.
+///
+/// `f` must be a pure function of its index (derive any randomness
+/// from the index, e.g. `SplitMix64::new(mix64(master ^ i as u64))`);
+/// the output is then identical for every thread count, including 1.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_core::parallel::par_map_indexed;
+///
+/// let squares = par_map_indexed(8, |i| (i * i) as u64);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    thread::scope(|scope| {
+        for (t, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + j));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// Runs two independent closures, in parallel when more than one
+/// worker thread is configured, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if thread_count() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        (ra, handle.join().expect("joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::{mix64, Prng, SplitMix64};
+
+    #[test]
+    fn results_are_in_index_order() {
+        let v = par_map_indexed(100, |i| i);
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn per_index_streams_are_thread_count_independent() {
+        // Not a real test of concurrency (the container may have one
+        // core); asserts the contract: same per-index derivation, same
+        // output vector.
+        let run = || par_map_indexed(64, |i| SplitMix64::new(mix64(0xabc ^ i as u64)).next_u64());
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

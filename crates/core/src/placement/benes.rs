@@ -76,7 +76,11 @@ impl PermutationNetwork {
     /// Panics (debug builds) if `value` has bits above `k`.
     #[inline]
     pub fn apply(&self, value: u32, control: u64) -> u32 {
-        debug_assert!(self.k == 0 || value < (1 << self.k), "value {value} wider than {} bits", self.k);
+        debug_assert!(
+            self.k == 0 || value < (1 << self.k),
+            "value {value} wider than {} bits",
+            self.k
+        );
         let k = self.k;
         if k < 2 {
             return value;

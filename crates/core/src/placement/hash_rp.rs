@@ -104,7 +104,7 @@ impl Placement for HashRp {
         // Fold all 16 hash bits down to the index width.
         let mask = self.sets - 1;
         let folded = h ^ (h >> self.index_bits) ^ (h >> (2 * self.index_bits).min(31));
-        (folded & mask) as u32
+        folded & mask
     }
 
     fn name(&self) -> &'static str {
@@ -141,8 +141,8 @@ mod tests {
         // differing in a single address bit.
         let mut p = HashRp::new(&CacheGeometry::paper_l1());
         let pairs = [
-            (LineAddr::new(0x010), LineAddr::new(0x090)),  // same modulo index
-            (LineAddr::new(0x010), LineAddr::new(0x011)),  // single-bit difference
+            (LineAddr::new(0x010), LineAddr::new(0x090)), // same modulo index
+            (LineAddr::new(0x010), LineAddr::new(0x011)), // single-bit difference
             (LineAddr::new(0x1234), LineAddr::new(0x4321)),
         ];
         for (a, b) in pairs {
@@ -207,9 +207,8 @@ mod tests {
         let mut p = HashRp::new(&geom);
         let (a, b) = (LineAddr::new(0x88), LineAddr::new(0x108));
         let n = 60_000u64;
-        let collisions = (0..n)
-            .filter(|&s| p.place(a, Seed::new(s)) == p.place(b, Seed::new(s)))
-            .count();
+        let collisions =
+            (0..n).filter(|&s| p.place(a, Seed::new(s)) == p.place(b, Seed::new(s))).count();
         let rate = collisions as f64 / n as f64;
         let ideal = 1.0 / geom.sets() as f64;
         assert!((rate - ideal).abs() < ideal * 0.5, "rate {rate} vs ideal {ideal}");

@@ -74,14 +74,10 @@ mod tests {
         let mut p = IdealRandom::new(&geom);
         let (a, b) = (LineAddr::new(100), LineAddr::new(228));
         let n = 50_000u64;
-        let collisions = (0..n)
-            .filter(|&s| p.place(a, Seed::new(s)) == p.place(b, Seed::new(s)))
-            .count();
+        let collisions =
+            (0..n).filter(|&s| p.place(a, Seed::new(s)) == p.place(b, Seed::new(s))).count();
         let rate = collisions as f64 / n as f64;
         let ideal = 1.0 / geom.sets() as f64;
-        assert!(
-            (rate - ideal).abs() < ideal * 0.5,
-            "rate {rate} vs ideal {ideal}"
-        );
+        assert!((rate - ideal).abs() < ideal * 0.5, "rate {rate} vs ideal {ideal}");
     }
 }

@@ -122,6 +122,121 @@ pub trait Placement: fmt::Debug + Send {
     }
 }
 
+/// Enum-dispatch placement engine: the hot-path counterpart of the
+/// boxed [`Placement`] objects.
+///
+/// Set selection runs on every cache access — hundreds of times per
+/// simulated AES encryption and millions of times per attack campaign.
+/// `PlacementEngine` holds the concrete policies in an enum so
+/// [`place`](PlacementEngine::place) compiles to a direct match over
+/// inlinable policy bodies instead of a virtual call through
+/// `Box<dyn Placement>`. The boxed form stays available through
+/// [`PlacementKind::build`] for extension and differential testing.
+#[derive(Debug)]
+pub enum PlacementEngine {
+    /// Conventional modulo indexing.
+    Modulo(Modulo),
+    /// Aciicmez XOR-index.
+    XorIndex(XorIndex),
+    /// RPCache per-process permutations.
+    RpCache(RpCachePerm),
+    /// HashRP parametric hashing.
+    HashRp(HashRp),
+    /// Random Modulo (seed XOR + Benes permutation).
+    RandomModulo(RandomModulo),
+    /// Idealized uniform hash.
+    IdealRandom(IdealRandom),
+}
+
+macro_rules! place_dispatch {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            PlacementEngine::Modulo($inner) => $e,
+            PlacementEngine::XorIndex($inner) => $e,
+            PlacementEngine::RpCache($inner) => $e,
+            PlacementEngine::HashRp($inner) => $e,
+            PlacementEngine::RandomModulo($inner) => $e,
+            PlacementEngine::IdealRandom($inner) => $e,
+        }
+    };
+}
+
+impl PlacementEngine {
+    /// Builds the engine for `kind` and `geom`.
+    pub fn new(kind: PlacementKind, geom: &CacheGeometry) -> Self {
+        match kind {
+            PlacementKind::Modulo => PlacementEngine::Modulo(Modulo::new(geom)),
+            PlacementKind::XorIndex => PlacementEngine::XorIndex(XorIndex::new(geom)),
+            PlacementKind::RpCache => PlacementEngine::RpCache(RpCachePerm::new(geom)),
+            PlacementKind::HashRp => PlacementEngine::HashRp(HashRp::new(geom)),
+            PlacementKind::RandomModulo => PlacementEngine::RandomModulo(RandomModulo::new(geom)),
+            PlacementKind::IdealRandom => PlacementEngine::IdealRandom(IdealRandom::new(geom)),
+        }
+    }
+
+    /// The kind this engine was built from.
+    pub fn kind(&self) -> PlacementKind {
+        match self {
+            PlacementEngine::Modulo(_) => PlacementKind::Modulo,
+            PlacementEngine::XorIndex(_) => PlacementKind::XorIndex,
+            PlacementEngine::RpCache(_) => PlacementKind::RpCache,
+            PlacementEngine::HashRp(_) => PlacementKind::HashRp,
+            PlacementEngine::RandomModulo(_) => PlacementKind::RandomModulo,
+            PlacementEngine::IdealRandom(_) => PlacementKind::IdealRandom,
+        }
+    }
+
+    /// Number of sets this policy maps into.
+    pub fn sets(&self) -> u32 {
+        place_dispatch!(self, p => Placement::sets(p))
+    }
+
+    /// Maps a line address under `seed` to a set index in `0..sets()`.
+    #[inline]
+    pub fn place(&mut self, line: LineAddr, seed: Seed) -> u32 {
+        place_dispatch!(self, p => p.place(line, seed))
+    }
+
+    /// Short policy name for reports.
+    pub fn name(&self) -> &'static str {
+        place_dispatch!(self, p => Placement::name(p))
+    }
+
+    /// The policy's MBPTA-compliance class (paper §2–§4).
+    pub fn mbpta_class(&self) -> MbptaClass {
+        place_dispatch!(self, p => p.mbpta_class())
+    }
+
+    /// Whether the policy randomizes cross-process interference.
+    #[inline]
+    pub fn randomizes_interference(&self) -> bool {
+        matches!(self, PlacementEngine::RpCache(_))
+    }
+
+    /// Whether `place` is a pure function of `(line, seed)` whose
+    /// evaluation is expensive enough that the cache hot path should
+    /// memoize it (the multi-stage network/Feistel hashes). RPCache is
+    /// excluded because contention remaps mutate its mapping;
+    /// modulo, XOR-index and IdealRandom are excluded because their
+    /// placement is already cheaper than a memo probe.
+    #[inline]
+    pub fn memoizable(&self) -> bool {
+        matches!(self, PlacementEngine::RandomModulo(_) | PlacementEngine::HashRp(_))
+    }
+
+    /// Reacts to a cross-process contention event on `line` (RPCache's
+    /// dynamic remap; `None` for every other policy).
+    #[inline]
+    pub fn remap_on_contention(
+        &mut self,
+        line: LineAddr,
+        seed: Seed,
+        rng: &mut SplitMix64,
+    ) -> Option<u32> {
+        place_dispatch!(self, p => p.remap_on_contention(line, seed, rng))
+    }
+}
+
 /// Configuration enum naming each placement policy, used to build
 /// caches from a declarative description.
 ///
@@ -167,6 +282,11 @@ impl PlacementKind {
             PlacementKind::RandomModulo => Box::new(RandomModulo::new(geom)),
             PlacementKind::IdealRandom => Box::new(IdealRandom::new(geom)),
         }
+    }
+
+    /// Builds the enum-dispatch engine used by the cache hot path.
+    pub fn engine(self, geom: &CacheGeometry) -> PlacementEngine {
+        PlacementEngine::new(self, geom)
     }
 
     /// All kinds, in presentation order.
@@ -235,15 +355,9 @@ mod tests {
             PlacementKind::XorIndex.build(&geom).mbpta_class(),
             MbptaClass::AddressDependent
         );
-        assert_eq!(
-            PlacementKind::RpCache.build(&geom).mbpta_class(),
-            MbptaClass::AddressDependent
-        );
+        assert_eq!(PlacementKind::RpCache.build(&geom).mbpta_class(), MbptaClass::AddressDependent);
         assert_eq!(PlacementKind::HashRp.build(&geom).mbpta_class(), MbptaClass::FullRandom);
-        assert_eq!(
-            PlacementKind::RandomModulo.build(&geom).mbpta_class(),
-            MbptaClass::PartialApop
-        );
+        assert_eq!(PlacementKind::RandomModulo.build(&geom).mbpta_class(), MbptaClass::PartialApop);
     }
 
     #[test]
@@ -259,11 +373,36 @@ mod tests {
         let geom = CacheGeometry::paper_l1();
         for kind in PlacementKind::ALL {
             let p = kind.build(&geom);
-            assert_eq!(
-                p.randomizes_interference(),
-                kind == PlacementKind::RpCache,
-                "{kind}"
-            );
+            assert_eq!(p.randomizes_interference(), kind == PlacementKind::RpCache, "{kind}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_boxed_policy_exactly() {
+        use crate::prng::SplitMix64;
+        let geom = CacheGeometry::paper_l1();
+        for kind in PlacementKind::ALL {
+            let mut engine = kind.engine(&geom);
+            let mut boxed = kind.build(&geom);
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.name(), boxed.name());
+            assert_eq!(engine.sets(), boxed.sets());
+            assert_eq!(engine.mbpta_class(), boxed.mbpta_class());
+            assert_eq!(engine.randomizes_interference(), boxed.randomizes_interference());
+            let mut rng_e = SplitMix64::new(3);
+            let mut rng_b = SplitMix64::new(3);
+            for i in 0..2000u64 {
+                let line = LineAddr::new(i.wrapping_mul(0x9e37_79b9));
+                let seed = Seed::new(i / 7);
+                assert_eq!(engine.place(line, seed), boxed.place(line, seed), "{kind}");
+                if i % 37 == 0 {
+                    assert_eq!(
+                        engine.remap_on_contention(line, seed, &mut rng_e),
+                        boxed.remap_on_contention(line, seed, &mut rng_b),
+                        "{kind}"
+                    );
+                }
+            }
         }
     }
 

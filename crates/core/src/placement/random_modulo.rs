@@ -3,7 +3,7 @@
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
-use crate::placement::{MbptaClass, Placement, PermutationNetwork};
+use crate::placement::{MbptaClass, PermutationNetwork, Placement};
 use crate::prng::mix64;
 use crate::seed::Seed;
 
@@ -131,8 +131,7 @@ mod tests {
     fn address_relocates_across_seeds() {
         let mut p = RandomModulo::new(&CacheGeometry::paper_l1());
         let line = LineAddr::new(0x1234);
-        let distinct: HashSet<u32> =
-            (0..300).map(|s| p.place(line, Seed::new(s))).collect();
+        let distinct: HashSet<u32> = (0..300).map(|s| p.place(line, Seed::new(s))).collect();
         assert!(distinct.len() > 64, "{} distinct sets", distinct.len());
     }
 

@@ -59,18 +59,12 @@ impl PermTable {
 impl RpCachePerm {
     /// Creates RPCache placement for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        RpCachePerm {
-            index_bits: geom.index_bits(),
-            sets: geom.sets(),
-            tables: HashMap::new(),
-        }
+        RpCachePerm { index_bits: geom.index_bits(), sets: geom.sets(), tables: HashMap::new() }
     }
 
     fn table(&mut self, seed: Seed) -> &mut PermTable {
         let sets = self.sets;
-        self.tables
-            .entry(seed.as_u64())
-            .or_insert_with(|| PermTable::build(sets, seed.as_u64()))
+        self.tables.entry(seed.as_u64()).or_insert_with(|| PermTable::build(sets, seed.as_u64()))
     }
 
     /// Number of distinct per-seed tables materialized so far.
@@ -146,22 +140,17 @@ mod tests {
         let mut p = RpCachePerm::new(&CacheGeometry::paper_l1());
         for s in 0..20u64 {
             let seed = Seed::new(s);
-            assert_eq!(
-                p.place(LineAddr::new(0x005), seed),
-                p.place(LineAddr::new(0x085), seed)
-            );
-            assert_ne!(
-                p.place(LineAddr::new(0x005), seed),
-                p.place(LineAddr::new(0x006), seed)
-            );
+            assert_eq!(p.place(LineAddr::new(0x005), seed), p.place(LineAddr::new(0x085), seed));
+            assert_ne!(p.place(LineAddr::new(0x005), seed), p.place(LineAddr::new(0x006), seed));
         }
     }
 
     #[test]
     fn different_seeds_give_different_permutations() {
         let mut p = RpCachePerm::new(&CacheGeometry::paper_l1());
-        let differs = (0..128u64)
-            .any(|i| p.place(LineAddr::new(i), Seed::new(1)) != p.place(LineAddr::new(i), Seed::new(2)));
+        let differs = (0..128u64).any(|i| {
+            p.place(LineAddr::new(i), Seed::new(1)) != p.place(LineAddr::new(i), Seed::new(2))
+        });
         assert!(differs);
     }
 
@@ -184,9 +173,7 @@ mod tests {
             seen[set] = true;
         }
         // The displaced index took the old set of `line` (swap).
-        let displaced = (0..128u64)
-            .map(LineAddr::new)
-            .find(|&l| p.place(l, seed) == before);
+        let displaced = (0..128u64).map(LineAddr::new).find(|&l| p.place(l, seed) == before);
         assert!(displaced.is_some());
         let _ = before;
     }

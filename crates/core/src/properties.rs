@@ -81,23 +81,11 @@ impl fmt::Display for PlacementProperties {
         writeln!(f, "  empirical:  {}", self.empirical_class())?;
         writeln!(f, "  relocates across seeds:      {}", self.relocates_across_seeds)?;
         writeln!(f, "  pairwise conflicts random:   {}", self.pairwise_conflicts_randomized)?;
-        writeln!(
-            f,
-            "  conflict structure invariant: {}",
-            self.conflict_structure_seed_invariant
-        )?;
+        writeln!(f, "  conflict structure invariant: {}", self.conflict_structure_seed_invariant)?;
         writeln!(f, "  intra-page conflict free:    {}", self.intra_page_conflict_free)?;
         writeln!(f, "  cross-page conflicts random: {}", self.cross_page_conflicts_randomized)?;
-        writeln!(
-            f,
-            "  cross-seed contention random: {}",
-            self.cross_seed_contention_randomized
-        )?;
-        write!(
-            f,
-            "  uniformity chi2: {:.1} ({} dof)",
-            self.uniformity_chi2, self.uniformity_dof
-        )
+        writeln!(f, "  cross-seed contention random: {}", self.cross_seed_contention_randomized)?;
+        write!(f, "  uniformity chi2: {:.1} ({} dof)", self.uniformity_chi2, self.uniformity_dof)
     }
 }
 

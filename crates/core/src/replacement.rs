@@ -49,6 +49,105 @@ pub trait Replacement: fmt::Debug + Send {
     }
 }
 
+/// Enum-dispatch replacement engine: the hot-path counterpart of the
+/// boxed [`Replacement`] objects.
+///
+/// [`Cache`](crate::cache::Cache) accesses run victim selection and
+/// hit/fill bookkeeping millions of times per experiment; routing them
+/// through a `Box<dyn Replacement>` costs an indirect call each.
+/// `ReplacementEngine` holds the concrete policies in an enum so every
+/// policy method compiles to a direct (and inlinable) match arm. The
+/// boxed trait objects remain available through
+/// [`ReplacementKind::build`] for extension and differential testing.
+#[derive(Debug)]
+pub enum ReplacementEngine {
+    /// True LRU.
+    Lru(Lru),
+    /// FIFO.
+    Fifo(Fifo),
+    /// Uniform random.
+    Random(RandomRepl),
+    /// Tree pseudo-LRU.
+    PlruTree(PlruTree),
+    /// Not-recently-used.
+    Nru(Nru),
+}
+
+macro_rules! repl_dispatch {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            ReplacementEngine::Lru($inner) => $e,
+            ReplacementEngine::Fifo($inner) => $e,
+            ReplacementEngine::Random($inner) => $e,
+            ReplacementEngine::PlruTree($inner) => $e,
+            ReplacementEngine::Nru($inner) => $e,
+        }
+    };
+}
+
+impl ReplacementEngine {
+    /// Builds the engine for `kind` and `geom`.
+    pub fn new(kind: ReplacementKind, geom: &CacheGeometry) -> Self {
+        match kind {
+            ReplacementKind::Lru => ReplacementEngine::Lru(Lru::new(geom)),
+            ReplacementKind::Fifo => ReplacementEngine::Fifo(Fifo::new(geom)),
+            ReplacementKind::Random => ReplacementEngine::Random(RandomRepl::new(geom)),
+            ReplacementKind::PlruTree => ReplacementEngine::PlruTree(PlruTree::new(geom)),
+            ReplacementKind::Nru => ReplacementEngine::Nru(Nru::new(geom)),
+        }
+    }
+
+    /// The kind this engine was built from.
+    pub fn kind(&self) -> ReplacementKind {
+        match self {
+            ReplacementEngine::Lru(_) => ReplacementKind::Lru,
+            ReplacementEngine::Fifo(_) => ReplacementKind::Fifo,
+            ReplacementEngine::Random(_) => ReplacementKind::Random,
+            ReplacementEngine::PlruTree(_) => ReplacementKind::PlruTree,
+            ReplacementEngine::Nru(_) => ReplacementKind::Nru,
+        }
+    }
+
+    /// Short policy name for reports.
+    pub fn name(&self) -> &'static str {
+        repl_dispatch!(self, p => Replacement::name(p))
+    }
+
+    /// Records a hit on `(set, way)`.
+    #[inline]
+    pub fn on_hit(&mut self, set: u32, way: u32) {
+        repl_dispatch!(self, p => p.on_hit(set, way))
+    }
+
+    /// Records a fill of `(set, way)`.
+    #[inline]
+    pub fn on_fill(&mut self, set: u32, way: u32) {
+        repl_dispatch!(self, p => p.on_fill(set, way))
+    }
+
+    /// Chooses the victim way in a full set.
+    #[inline]
+    pub fn victim(&mut self, set: u32, rng: &mut SplitMix64) -> u32 {
+        repl_dispatch!(self, p => p.victim(set, rng))
+    }
+
+    /// Chooses the victim way within `lo..hi` (way partitioning).
+    #[inline]
+    pub fn victim_in(&mut self, set: u32, lo: u32, hi: u32, rng: &mut SplitMix64) -> u32 {
+        repl_dispatch!(self, p => p.victim_in(set, lo, hi, rng))
+    }
+
+    /// Clears all bookkeeping (cache flush).
+    pub fn reset(&mut self) {
+        repl_dispatch!(self, p => p.reset())
+    }
+
+    /// Whether victim selection consumes randomness.
+    pub fn is_randomized(&self) -> bool {
+        repl_dispatch!(self, p => p.is_randomized())
+    }
+}
+
 /// Configuration enum naming each replacement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplacementKind {
@@ -74,6 +173,11 @@ impl ReplacementKind {
             ReplacementKind::PlruTree => Box::new(PlruTree::new(geom)),
             ReplacementKind::Nru => Box::new(Nru::new(geom)),
         }
+    }
+
+    /// Builds the enum-dispatch engine used by the cache hot path.
+    pub fn engine(self, geom: &CacheGeometry) -> ReplacementEngine {
+        ReplacementEngine::new(self, geom)
     }
 
     /// All kinds, in presentation order.
@@ -110,11 +214,7 @@ pub struct Lru {
 impl Lru {
     /// Creates LRU bookkeeping for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        Lru {
-            ways: geom.ways(),
-            stamps: vec![0; geom.total_lines() as usize],
-            clock: 0,
-        }
+        Lru { ways: geom.ways(), stamps: vec![0; geom.total_lines() as usize], clock: 0 }
     }
 
     #[inline]
@@ -184,11 +284,7 @@ pub struct Fifo {
 impl Fifo {
     /// Creates FIFO bookkeeping for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        Fifo {
-            ways: geom.ways(),
-            stamps: vec![0; geom.total_lines() as usize],
-            clock: 0,
-        }
+        Fifo { ways: geom.ways(), stamps: vec![0; geom.total_lines() as usize], clock: 0 }
     }
 }
 
@@ -293,10 +389,7 @@ impl PlruTree {
     /// Creates tree-PLRU bookkeeping for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
         assert!(geom.ways() <= 32, "plru-tree supports at most 32 ways");
-        PlruTree {
-            ways: geom.ways(),
-            bits: vec![0; geom.sets() as usize],
-        }
+        PlruTree { ways: geom.ways(), bits: vec![0; geom.sets() as usize] }
     }
 
     /// Walks the tree towards `way`, setting each node to point *away*
@@ -361,10 +454,7 @@ pub struct Nru {
 impl Nru {
     /// Creates NRU bookkeeping for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        Nru {
-            ways: geom.ways(),
-            refs: vec![false; geom.total_lines() as usize],
-        }
+        Nru { ways: geom.ways(), refs: vec![false; geom.total_lines() as usize] }
     }
 }
 
@@ -532,6 +622,50 @@ mod tests {
             let r = kind.build(&g);
             assert!(!r.name().is_empty());
             assert_eq!(r.is_randomized(), kind == ReplacementKind::Random);
+        }
+    }
+
+    #[test]
+    fn engine_matches_boxed_policy_exactly() {
+        let g = CacheGeometry::paper_l1();
+        for kind in ReplacementKind::ALL {
+            let mut engine = kind.engine(&g);
+            let mut boxed = kind.build(&g);
+            assert_eq!(engine.name(), boxed.name());
+            assert_eq!(engine.kind(), kind);
+            assert_eq!(engine.is_randomized(), boxed.is_randomized());
+            let mut rng_e = SplitMix64::new(77);
+            let mut rng_b = SplitMix64::new(77);
+            let mut drive = SplitMix64::new(5);
+            for _ in 0..2000 {
+                let set = drive.below(128);
+                match drive.below(4) {
+                    0 => {
+                        let way = drive.below(4);
+                        engine.on_hit(set, way);
+                        boxed.on_hit(set, way);
+                    }
+                    1 => {
+                        let way = drive.below(4);
+                        engine.on_fill(set, way);
+                        boxed.on_fill(set, way);
+                    }
+                    2 => {
+                        assert_eq!(
+                            engine.victim(set, &mut rng_e),
+                            boxed.victim(set, &mut rng_b),
+                            "{kind}"
+                        );
+                    }
+                    _ => {
+                        assert_eq!(
+                            engine.victim_in(set, 1, 3, &mut rng_e),
+                            boxed.victim_in(set, 1, 3, &mut rng_b),
+                            "{kind}"
+                        );
+                    }
+                }
+            }
         }
     }
 

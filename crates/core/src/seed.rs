@@ -131,11 +131,7 @@ impl SeedTable {
 
     /// Returns the seed of `pid`, or [`Seed::ZERO`] if never set.
     pub fn get(&self, pid: ProcessId) -> Seed {
-        self.seeds
-            .iter()
-            .find(|(p, _)| *p == pid)
-            .map(|(_, s)| *s)
-            .unwrap_or(Seed::ZERO)
+        self.seeds.iter().find(|(p, _)| *p == pid).map(|(_, s)| *s).unwrap_or(Seed::ZERO)
     }
 
     /// Sets every known process to the same seed (the "shared seed"

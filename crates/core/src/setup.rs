@@ -3,9 +3,9 @@
 
 use crate::hierarchy::Hierarchy;
 use crate::placement::PlacementKind;
+use crate::prng::{Prng, SplitMix64};
 use crate::replacement::ReplacementKind;
 use crate::seed::{ProcessId, Seed};
-use crate::prng::{Prng, SplitMix64};
 use core::fmt;
 
 /// How placement seeds are assigned to processes, the knob that
@@ -71,12 +71,8 @@ pub enum SetupKind {
 
 impl SetupKind {
     /// All setups in the paper's presentation order.
-    pub const ALL: [SetupKind; 4] = [
-        SetupKind::Deterministic,
-        SetupKind::RpCache,
-        SetupKind::Mbpta,
-        SetupKind::TsCache,
-    ];
+    pub const ALL: [SetupKind; 4] =
+        [SetupKind::Deterministic, SetupKind::RpCache, SetupKind::Mbpta, SetupKind::TsCache];
 
     /// Builds the hierarchy for this setup.
     pub fn build(self, rng_seed: u64) -> Hierarchy {
@@ -120,12 +116,7 @@ impl SetupKind {
     ///
     /// Call once per run (job) before executing; the paper re-seeds at
     /// job or hyperperiod granularity (§5).
-    pub fn assign_seeds<R: Prng>(
-        self,
-        hierarchy: &mut Hierarchy,
-        pids: &[ProcessId],
-        rng: &mut R,
-    ) {
+    pub fn assign_seeds<R: Prng>(self, hierarchy: &mut Hierarchy, pids: &[ProcessId], rng: &mut R) {
         match self.seed_sharing() {
             SeedSharing::Irrelevant => {
                 for &pid in pids {

@@ -59,6 +59,22 @@ impl CacheStats {
         self.flushes += 1;
     }
 
+    /// Records an aggregated batch of accesses in one update (the
+    /// amortized bookkeeping path of `Cache::access_batch`).
+    #[inline]
+    pub fn record_batch(
+        &mut self,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        cross_process_evictions: u64,
+    ) {
+        self.hits += hits;
+        self.misses += misses;
+        self.evictions += evictions;
+        self.cross_process_evictions += cross_process_evictions;
+    }
+
     /// Total accesses (hits + misses).
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses

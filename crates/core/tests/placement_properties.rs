@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use tscache_core::addr::LineAddr;
 use tscache_core::geometry::CacheGeometry;
-use tscache_core::placement::{PlacementKind, PermutationNetwork};
+use tscache_core::placement::{PermutationNetwork, PlacementKind};
 use tscache_core::seed::Seed;
 
 proptest! {

@@ -75,12 +75,7 @@ pub fn residual_cv(times: &[f64], q: f64) -> CvResult {
     );
     let s = summarize(&excesses);
     let cv = if s.mean == 0.0 { 0.0 } else { s.std_dev() / s.mean };
-    CvResult {
-        threshold,
-        n: excesses.len(),
-        cv,
-        band: 1.96 / (excesses.len() as f64).sqrt(),
-    }
+    CvResult { threshold, n: excesses.len(), cv, band: 1.96 / (excesses.len() as f64).sqrt() }
 }
 
 #[cfg(test)]

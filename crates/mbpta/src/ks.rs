@@ -30,7 +30,11 @@ impl KsResult {
 
 impl fmt::Display for KsResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KS D = {:.4}, p = {:.4} (n = {}, {})", self.statistic, self.p_value, self.n1, self.n2)
+        write!(
+            f,
+            "KS D = {:.4}, p = {:.4} (n = {}, {})",
+            self.statistic, self.p_value, self.n1, self.n2
+        )
     }
 }
 

@@ -30,11 +30,7 @@ impl LjungBoxResult {
 
 impl fmt::Display for LjungBoxResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Ljung-Box Q({}) = {:.3}, p = {:.4}",
-            self.lags, self.statistic, self.p_value
-        )
+        write!(f, "Ljung-Box Q({}) = {:.3}, p = {:.4}", self.lags, self.statistic, self.p_value)
     }
 }
 
@@ -59,11 +55,7 @@ impl fmt::Display for LjungBoxResult {
 /// ```
 pub fn ljung_box(sample: &[f64], lags: usize) -> LjungBoxResult {
     assert!(lags > 0, "need at least one lag");
-    assert!(
-        sample.len() >= lags + 2,
-        "sample of {} too short for {lags} lags",
-        sample.len()
-    );
+    assert!(sample.len() >= lags + 2, "sample of {} too short for {lags} lags", sample.len());
     let n = sample.len() as f64;
     let mut q = 0.0;
     let mut acs = Vec::with_capacity(lags);
@@ -73,12 +65,7 @@ pub fn ljung_box(sample: &[f64], lags: usize) -> LjungBoxResult {
         q += rho * rho / (n - k as f64);
     }
     q *= n * (n + 2.0);
-    LjungBoxResult {
-        statistic: q,
-        lags,
-        p_value: chi2_sf(q, lags as u32),
-        autocorrelations: acs,
-    }
+    LjungBoxResult { statistic: q, lags, p_value: chi2_sf(q, lags as u32), autocorrelations: acs }
 }
 
 /// The paper's configuration: 20 lags (§6.2.2).

@@ -255,10 +255,7 @@ mod tests {
         let curve = PwcetCurve::fit(&times, 50);
         let bound = curve.quantile(0.01);
         let crossed = times.iter().filter(|&&t| t > bound).count() as f64 / times.len() as f64;
-        assert!(
-            (crossed - 0.01).abs() < 0.01,
-            "empirical exceedance {crossed} far from 0.01"
-        );
+        assert!((crossed - 0.01).abs() < 0.01, "empirical exceedance {crossed} far from 0.01");
     }
 
     #[test]

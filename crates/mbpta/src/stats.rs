@@ -68,9 +68,7 @@ pub fn autocorrelation(sample: &[f64], lag: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 = (0..n - lag)
-        .map(|i| (sample[i] - mean) * (sample[i + lag] - mean))
-        .sum();
+    let num: f64 = (0..n - lag).map(|i| (sample[i] - mean) * (sample[i + lag] - mean)).sum();
     num / denom
 }
 

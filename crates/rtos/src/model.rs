@@ -175,8 +175,12 @@ mod tests {
     fn hyperperiod_is_lcm() {
         let ms = Duration::from_millis;
         let mut app = Application::new();
-        app.add(Runnable::new("a", SwcId(1), ms(6), 1))
-            .add(Runnable::new("b", SwcId(1), ms(10), 1));
+        app.add(Runnable::new("a", SwcId(1), ms(6), 1)).add(Runnable::new(
+            "b",
+            SwcId(1),
+            ms(10),
+            1,
+        ));
         assert_eq!(app.hyperperiod(), ms(30));
     }
 

@@ -99,8 +99,7 @@ mod tests {
         // in declaration order), then at t=10ms R1, R2 again.
         assert_eq!(s.jobs()[0].runnable, 0);
         assert_eq!(s.jobs()[1].runnable, 1);
-        let releases: Vec<u64> =
-            s.jobs().iter().map(|j| j.release.as_millis() as u64).collect();
+        let releases: Vec<u64> = s.jobs().iter().map(|j| j.release.as_millis() as u64).collect();
         assert_eq!(releases, vec![0, 0, 0, 0, 0, 10, 10]);
     }
 

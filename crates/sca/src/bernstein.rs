@@ -11,6 +11,7 @@
 use crate::profile::TimingProfile;
 use crate::sampling::{collect_pair, SamplingConfig, TimingSample};
 use core::fmt;
+use tscache_core::parallel;
 use tscache_core::prng::{Prng, SplitMix64};
 
 /// Pearson correlation of two 256-point signatures.
@@ -181,10 +182,15 @@ pub fn analyze(
     victim_samples: &[TimingSample],
     victim_key: &[u8; 16],
 ) -> AttackResult {
-    let attacker = TimingProfile::from_samples(attacker_samples);
-    let victim = TimingProfile::from_samples(victim_samples);
-    let mut bytes = Vec::with_capacity(16);
-    for j in 0..16 {
+    // The two profiles aggregate independent streams: build them
+    // concurrently, then sweep the 16 key bytes in parallel (each
+    // byte's 256-hypothesis correlation sweep is pure, so the result
+    // is identical for every thread count).
+    let (attacker, victim) = parallel::join(
+        || TimingProfile::from_samples(attacker_samples),
+        || TimingProfile::from_samples(victim_samples),
+    );
+    let bytes = parallel::par_map_indexed(16, |j| {
         let sig_v = victim.signature(j);
         let sig_a = attacker.signature(j);
         let mut scores = Vec::with_capacity(256);
@@ -206,8 +212,8 @@ pub fn analyze(
         } else {
             (0..=255u8).collect()
         };
-        bytes.push(ByteAttackResult { byte: j, true_value, scores, significant, feasible });
-    }
+        ByteAttackResult { byte: j, true_value, scores, significant, feasible }
+    });
     AttackResult { bytes }
 }
 
@@ -215,7 +221,7 @@ pub fn analyze(
 /// key, fixed attacker key, sample collection on both nodes, then the
 /// correlation analysis.
 pub fn run_attack(cfg: SamplingConfig) -> AttackResult {
-    let mut rng = SplitMix64::new(cfg.master_seed ^ 0x6b65_79);
+    let mut rng = SplitMix64::new(cfg.master_seed ^ 0x006b_6579);
     let attacker_key = [0u8; 16];
     let mut victim_key = [0u8; 16];
     for b in victim_key.iter_mut() {
@@ -277,12 +283,7 @@ mod tests {
         // 8 feasible candidates (5 bits determined per byte).
         for b in &result.bytes {
             assert!(b.is_feasible(victim_key[b.byte]));
-            assert!(
-                b.feasible_count() <= 16,
-                "byte {}: {} candidates",
-                b.byte,
-                b.feasible_count()
-            );
+            assert!(b.feasible_count() <= 16, "byte {}: {} candidates", b.byte, b.feasible_count());
         }
         assert!(result.bits_determined() > 60.0, "{result}");
     }
@@ -308,10 +309,7 @@ mod tests {
         let keys = [0u8; 16];
         let result = analyze(&a, &keys, &v, &keys);
         // With pure noise the expected feasible count is ~128 per byte.
-        assert!(
-            result.residual_keyspace_log2() > 90.0,
-            "noise leaked too much: {result}"
-        );
+        assert!(result.residual_keyspace_log2() > 90.0, "noise leaked too much: {result}");
     }
 
     #[test]

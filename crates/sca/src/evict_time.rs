@@ -11,7 +11,8 @@ use crate::prime_probe::{assign_seeds, l1_policy};
 use tscache_core::addr::LineAddr;
 use tscache_core::cache::Cache;
 use tscache_core::geometry::CacheGeometry;
-use tscache_core::prng::{Prng, SplitMix64};
+use tscache_core::parallel::par_map_indexed;
+use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::ProcessId;
 use tscache_core::setup::SetupKind;
 
@@ -39,29 +40,35 @@ impl EvictTimeOutcome {
 /// the victim re-runs and the attacker observes whether the re-run
 /// missed. Half the trials target the victim's true index, half a
 /// different one; the detection rate counts correct decisions.
+/// Trials are independent and fan out over worker threads
+/// ([`tscache_core::parallel`]); every trial derives its randomness
+/// purely from `(master_seed, trial)`, so the outcome is bit-identical
+/// for any thread count.
 pub fn run_evict_time(setup: SetupKind, trials: u32, master_seed: u64) -> EvictTimeOutcome {
     let geom = CacheGeometry::paper_l1();
     let (placement, replacement) = l1_policy(setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
-    let mut rng = SplitMix64::new(master_seed ^ 0xe71c7);
 
-    let mut correct = 0u32;
-    for trial in 0..trials {
+    let decisions = par_map_indexed(trials as usize, |t| {
+        let trial = t as u32;
+        let mut trial_rng = SplitMix64::new(mix64(
+            master_seed ^ 0xe71c7 ^ (trial as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+        ));
         let mut cache = Cache::new("L1D", geom, placement, replacement, master_seed ^ trial as u64);
         assign_seeds(&mut cache, setup, victim, attacker, master_seed, trial);
 
-        let secret_index = rng.below(128) as u64;
+        let secret_index = trial_rng.below(128) as u64;
         let victim_line = LineAddr::new(0x10_000 + secret_index);
         // Victim warms its line.
         cache.access(victim, victim_line);
 
         // Attacker targets either the true index or a decoy.
-        let target_truth = trial % 2 == 0;
+        let target_truth = trial.is_multiple_of(2);
         let target_index = if target_truth {
             secret_index
         } else {
-            (secret_index + 1 + rng.below(126) as u64) % 128
+            (secret_index + 1 + trial_rng.below(126) as u64) % 128
         };
         // Evict: four attacker lines with those index bits (one per
         // page, so random modulo spreads them independently).
@@ -72,10 +79,10 @@ pub fn run_evict_time(setup: SetupKind, trials: u32, master_seed: u64) -> EvictT
         // Victim re-runs; the attacker times it (miss = slowdown).
         let slowed = cache.access(victim, victim_line).is_miss();
         // Decision rule: slowdown ⇒ the target was the victim's index.
-        if slowed == target_truth {
-            correct += 1;
-        }
-    }
+        slowed == target_truth
+    });
+
+    let correct = decisions.iter().filter(|&&c| c).count();
     EvictTimeOutcome { trials, detection_rate: correct as f64 / trials as f64 }
 }
 
@@ -93,11 +100,7 @@ mod tests {
     #[test]
     fn tscache_reduces_detection_to_chance() {
         let o = run_evict_time(SetupKind::TsCache, 600, 3);
-        assert!(
-            (o.detection_rate - 0.5).abs() < 0.1,
-            "rate {} not chance-like",
-            o.detection_rate
-        );
+        assert!((o.detection_rate - 0.5).abs() < 0.1, "rate {} not chance-like", o.detection_rate);
         assert!(!o.leaks());
     }
 

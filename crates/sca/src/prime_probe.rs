@@ -10,6 +10,7 @@
 use tscache_core::addr::LineAddr;
 use tscache_core::cache::Cache;
 use tscache_core::geometry::CacheGeometry;
+use tscache_core::parallel::par_map_indexed;
 use tscache_core::placement::PlacementKind;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::replacement::ReplacementKind;
@@ -38,45 +39,51 @@ impl PrimeProbeOutcome {
 /// Runs `trials` Prime+Probe rounds against the L1D policy of `setup`.
 ///
 /// Per trial the victim accesses one secret line (index drawn from the
-/// trial RNG); the attacker primes the full cache, lets the victim run,
-/// probes, and guesses the victim's index from the first evicted prime
-/// line.
+/// trial's own RNG stream); the attacker primes the full cache, lets
+/// the victim run, probes, and guesses the victim's index from the
+/// first evicted prime line.
+///
+/// Trials are independent and fan out over worker threads
+/// ([`tscache_core::parallel`]); every trial derives its randomness
+/// purely from `(master_seed, trial)`, so the outcome is bit-identical
+/// for any thread count (including `RAYON_NUM_THREADS=1`).
 pub fn run_prime_probe(setup: SetupKind, trials: u32, master_seed: u64) -> PrimeProbeOutcome {
     let geom = CacheGeometry::paper_l1();
     let (placement, replacement) = l1_policy(setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
-    let mut rng = SplitMix64::new(master_seed ^ 0x9199e);
+    // Prime working set: 4 pages of attacker lines fill every set
+    // 4-ways under both modulo and (bijective-per-page) random modulo.
+    // Invariant across trials, so built once and shared.
+    let prime_lines: Vec<LineAddr> = (0..512u64).map(LineAddr::new).collect();
 
-    let mut hits = 0u32;
-    let mut total_evictions = 0u64;
-    for trial in 0..trials {
+    let results = par_map_indexed(trials as usize, |t| {
+        let trial = t as u32;
+        let mut trial_rng = SplitMix64::new(mix64(
+            master_seed ^ 0x9199e ^ (trial as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+        ));
         let mut cache = Cache::new("L1D", geom, placement, replacement, master_seed ^ trial as u64);
         assign_seeds(&mut cache, setup, victim, attacker, master_seed, trial);
 
-        // Prime: 4 pages of attacker lines fill every set 4-ways under
-        // both modulo and (bijective-per-page) random modulo.
-        let prime_lines: Vec<LineAddr> = (0..512u64).map(LineAddr::new).collect();
-        for &l in &prime_lines {
-            cache.access(attacker, l);
-        }
+        cache.access_batch(attacker, &prime_lines);
 
         // Victim accesses one secret line.
-        let secret_index = rng.below(128) as u64;
+        let secret_index = trial_rng.below(128) as u64;
         let victim_line = LineAddr::new(0x10_000 + secret_index);
         cache.access(victim, victim_line);
 
         // Probe: find evicted prime lines without disturbing state.
         let evicted: Vec<LineAddr> =
             prime_lines.iter().copied().filter(|&l| !cache.probe(attacker, l)).collect();
-        total_evictions += evicted.len() as u64;
-        if let Some(first) = evicted.first() {
+        let guessed_right = evicted
+            .first()
             // The attacker's guess: the index bits of its evicted line.
-            if first.index_bits(7) == secret_index {
-                hits += 1;
-            }
-        }
-    }
+            .is_some_and(|first| first.index_bits(7) == secret_index);
+        (guessed_right, evicted.len() as u64)
+    });
+
+    let hits = results.iter().filter(|&&(hit, _)| hit).count();
+    let total_evictions: u64 = results.iter().map(|&(_, e)| e).sum();
     PrimeProbeOutcome {
         trials,
         accuracy: hits as f64 / trials as f64,

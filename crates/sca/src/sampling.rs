@@ -22,11 +22,12 @@
 
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::Addr;
+use tscache_core::parallel;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{SeedSharing, SetupKind};
 use tscache_sim::layout::Layout;
-use tscache_sim::machine::Machine;
+use tscache_sim::machine::{Machine, TraceOp};
 
 /// Which node a sample stream belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,6 +122,10 @@ pub struct CryptoNode {
     cfg: SamplingConfig,
     role: Role,
     pt_rng: SplitMix64,
+    /// Reusable encryption-trace buffer (the batch API's scratch
+    /// space), so the million-encryption campaigns do not allocate per
+    /// job.
+    ops: Vec<TraceOp>,
 }
 
 impl CryptoNode {
@@ -136,9 +141,7 @@ impl CryptoNode {
         // RPCache protects the crypto tables (P-bit pages).
         for t in 0..5 {
             let region = aes_layout.table(t);
-            machine
-                .hierarchy_mut()
-                .add_protected_range(region.base(), region.size());
+            machine.hierarchy_mut().add_protected_range(region.base(), region.size());
         }
         // Optional §7-style way partitioning: task vs OS.
         if cfg.partition_task_ways > 0 {
@@ -188,6 +191,7 @@ impl CryptoNode {
             cfg,
             role,
             pt_rng: SplitMix64::new(mix64(cfg.master_seed ^ role.stream() ^ 0x9_1e57)),
+            ops: Vec::with_capacity(256),
         }
     }
 
@@ -223,7 +227,7 @@ impl CryptoNode {
             for b in pt.iter_mut() {
                 *b = (warm_rng.next_u32() & 0xff) as u8;
             }
-            self.aes.encrypt(&mut self.machine, &pt);
+            self.aes.encrypt_with(&mut self.machine, &mut self.ops, &pt);
             self.app_activity();
         }
     }
@@ -261,17 +265,17 @@ impl CryptoNode {
         self.start_epoch(0);
         let mut job = 0u32;
         while out.len() < self.cfg.samples as usize {
-            if self.cfg.reseed_every > 0 && job > 0 && job % self.cfg.reseed_every == 0 {
+            if self.cfg.reseed_every > 0 && job > 0 && job.is_multiple_of(self.cfg.reseed_every) {
                 self.start_epoch((job / self.cfg.reseed_every) as u64);
             }
             let os_adjacent =
-                self.cfg.os_noise_every > 0 && job % self.cfg.os_noise_every == 0;
+                self.cfg.os_noise_every > 0 && job.is_multiple_of(self.cfg.os_noise_every);
             if os_adjacent {
                 self.os_tick();
             }
             let pt = self.random_plaintext();
             self.machine.reset_counters();
-            self.aes.encrypt(&mut self.machine, &pt);
+            self.aes.encrypt_with(&mut self.machine, &mut self.ops, &pt);
             let cycles = self.machine.cycles();
             // Jobs right after an OS tick carry OS-eviction noise that a
             // real attacker trivially filters as outliers; keep them out
@@ -304,9 +308,14 @@ pub fn collect_pair(
     attacker_key: &[u8; 16],
     victim_key: &[u8; 16],
 ) -> (Vec<TimingSample>, Vec<TimingSample>) {
-    let mut attacker = CryptoNode::new(cfg, Role::Attacker, attacker_key);
-    let mut victim = CryptoNode::new(cfg, Role::Victim, victim_key);
-    (attacker.collect(), victim.collect())
+    // The two nodes are independent machines with independent RNG
+    // streams: run them concurrently (deterministically — each stream
+    // is a pure function of (master seed, role), so the result is
+    // identical for every thread count).
+    parallel::join(
+        || CryptoNode::new(cfg, Role::Attacker, attacker_key).collect(),
+        || CryptoNode::new(cfg, Role::Victim, victim_key).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -329,8 +338,7 @@ mod tests {
     fn deterministic_timing_varies_with_plaintext() {
         // The engineered app interference makes encryption time depend
         // on which table lines each plaintext touches.
-        let mut node =
-            CryptoNode::new(cfg(SetupKind::Deterministic, 300), Role::Victim, &[7; 16]);
+        let mut node = CryptoNode::new(cfg(SetupKind::Deterministic, 300), Role::Victim, &[7; 16]);
         let samples = node.collect();
         let distinct: std::collections::HashSet<u64> =
             samples.iter().skip(10).map(|s| s.cycles).collect();
@@ -373,8 +381,7 @@ mod tests {
     #[test]
     fn campaign_is_reproducible() {
         let run = || {
-            let mut node =
-                CryptoNode::new(cfg(SetupKind::TsCache, 40), Role::Victim, &[9; 16]);
+            let mut node = CryptoNode::new(cfg(SetupKind::TsCache, 40), Role::Victim, &[9; 16]);
             node.collect()
         };
         assert_eq!(run(), run());

@@ -1,0 +1,56 @@
+//! The parallel attack/sampling harness must be bit-reproducible
+//! regardless of worker-thread count: every trial derives its
+//! randomness purely from `(master_seed, trial index)` and results are
+//! collected in index order.
+//!
+//! Kept as a single test in its own binary because it mutates
+//! process-global environment variables.
+
+use tscache_core::parallel::thread_count;
+use tscache_core::setup::SetupKind;
+use tscache_sca::bernstein::analyze;
+use tscache_sca::evict_time::run_evict_time;
+use tscache_sca::prime_probe::run_prime_probe;
+use tscache_sca::sampling::{collect_pair, SamplingConfig, TimingSample};
+
+fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("RAYON_NUM_THREADS", n);
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+#[test]
+fn attack_results_are_bit_identical_across_thread_counts() {
+    assert_eq!(with_threads("1", thread_count), 1);
+    assert_eq!(with_threads("4", thread_count), 4);
+
+    // Prime+Probe / Evict+Time: trial fan-out.
+    let pp1 = with_threads("1", || run_prime_probe(SetupKind::TsCache, 64, 7));
+    let pp4 = with_threads("4", || run_prime_probe(SetupKind::TsCache, 64, 7));
+    assert_eq!(pp1, pp4);
+    let et1 = with_threads("1", || run_evict_time(SetupKind::Deterministic, 64, 3));
+    let et4 = with_threads("4", || run_evict_time(SetupKind::Deterministic, 64, 3));
+    assert_eq!(et1, et4);
+
+    // Bernstein sampling pair + per-byte correlation sweep.
+    let cfg = SamplingConfig::standard(SetupKind::Mbpta, 200, 0xbeef);
+    let (ka, kv) = ([0u8; 16], [9u8; 16]);
+    let (a1, v1) = with_threads("1", || collect_pair(cfg, &ka, &kv));
+    let (a4, v4) = with_threads("4", || collect_pair(cfg, &ka, &kv));
+    assert_eq!(a1, a4, "attacker sample stream depends on thread count");
+    assert_eq!(v1, v4, "victim sample stream depends on thread count");
+
+    let noise: Vec<TimingSample> = (0..500)
+        .map(|i| TimingSample {
+            plaintext: core::array::from_fn(|j| (i * 31 + j as u64 * 7) as u8),
+            cycles: 10_000 + (i * i) % 97,
+        })
+        .collect();
+    let r1 = with_threads("1", || analyze(&noise, &ka, &noise, &kv));
+    let r4 = with_threads("4", || analyze(&noise, &ka, &noise, &kv));
+    for (b1, b4) in r1.bytes.iter().zip(&r4.bytes) {
+        assert_eq!(b1.scores, b4.scores, "byte {} scores diverge", b1.byte);
+        assert_eq!(b1.feasible, b4.feasible);
+    }
+}

@@ -40,6 +40,8 @@ pub mod synthetic;
 pub mod workload;
 
 pub use layout::{Layout, Region};
-pub use machine::{Machine, TraceEvent};
+pub use machine::{Machine, TraceEvent, TraceOp};
 pub use pipeline::PipelineModel;
-pub use workload::{collect_execution_times, MeasurementProtocol, Workload};
+pub use workload::{
+    collect_execution_times, collect_execution_times_par, MeasurementProtocol, Workload,
+};

@@ -24,6 +24,36 @@ pub struct TraceEvent {
     pub cost: u32,
 }
 
+/// One memory operation of a pre-built trace, consumed by
+/// [`Machine::run_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Which port the access uses.
+    pub kind: AccessKind,
+    /// The byte address to access.
+    pub addr: Addr,
+}
+
+impl TraceOp {
+    /// An instruction fetch.
+    #[inline]
+    pub const fn fetch(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Fetch, addr }
+    }
+
+    /// A data read.
+    #[inline]
+    pub const fn read(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Read, addr }
+    }
+
+    /// A data write.
+    #[inline]
+    pub const fn write(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Write, addr }
+    }
+}
+
 /// An execution-driven machine.
 ///
 /// # Examples
@@ -192,6 +222,63 @@ impl Machine {
         self.cycles += self.pipeline.branch_penalty as u64;
     }
 
+    /// Charges `cycles` of raw stall time (no instructions retired, no
+    /// memory traffic) — the batch-port equivalent of the load-use
+    /// stall that [`load_use`](Machine::load_use) folds in.
+    #[inline]
+    pub fn charge_stall(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Executes a pre-built memory trace, charging each access through
+    /// the hierarchy in order, and returns the cycles it cost.
+    ///
+    /// This is the batch interface of the simulator hot path: workloads
+    /// that can precompute their access stream (the simulated AES
+    /// cipher, the synthetic kernels) assemble a `Vec<TraceOp>` once
+    /// and replay it, amortizing per-call bookkeeping while producing
+    /// exactly the same cache state and cycle total as issuing the
+    /// same operations through [`load`](Machine::load) /
+    /// [`store`](Machine::store) / per-line fetches.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tscache_core::addr::Addr;
+    /// use tscache_core::setup::SetupKind;
+    /// use tscache_sim::machine::{Machine, TraceOp};
+    ///
+    /// let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+    /// let ops = [TraceOp::read(Addr::new(0x1000)), TraceOp::read(Addr::new(0x1000))];
+    /// let cycles = m.run_trace(&ops);
+    /// assert_eq!(cycles, 91 + 1); // cold miss then warm hit
+    /// ```
+    pub fn run_trace(&mut self, ops: &[TraceOp]) -> u64 {
+        let before = self.cycles;
+        for op in ops {
+            let cost = self.hierarchy.access(self.pid, op.kind, op.addr);
+            self.cycles += cost as u64;
+            self.record(op.kind, op.addr, cost);
+        }
+        self.cycles - before
+    }
+
+    /// Appends the fetch operations [`run_block`](Machine::run_block)
+    /// would issue for `instrs` instructions at `code` (one access per
+    /// covered instruction-cache line) to `ops`. The caller charges
+    /// the retired instructions separately via
+    /// [`execute`](Machine::execute).
+    pub fn push_block_fetches(&self, ops: &mut Vec<TraceOp>, code: Addr, instrs: u32) {
+        let line_bytes = self.hierarchy.l1i().geometry().line_bytes() as u64;
+        let start = code.as_u64();
+        let end = start + 4 * instrs as u64;
+        let mut line_base = start - (start % line_bytes);
+        while line_base < end {
+            ops.push(TraceOp::fetch(Addr::new(line_base)));
+            line_base += line_bytes;
+        }
+    }
+
     /// Fetches and retires a straight-line block of `instrs`
     /// 4-byte instructions starting at `code`.
     ///
@@ -299,6 +386,74 @@ mod tests {
         // Tracing stopped after take_trace.
         m.load(Addr::new(0x300));
         assert!(m.take_trace().is_empty());
+    }
+
+    #[test]
+    fn run_trace_matches_scalar_issue_exactly() {
+        let ops: Vec<TraceOp> = (0..400u64)
+            .map(|i| {
+                let addr = Addr::new(0x2000 + (i * 7 % 96) * 32);
+                match i % 3 {
+                    0 => TraceOp::read(addr),
+                    1 => TraceOp::write(addr),
+                    _ => TraceOp::fetch(addr),
+                }
+            })
+            .collect();
+        let mut scalar = Machine::from_setup(SetupKind::TsCache, 5);
+        let mut batched = Machine::from_setup(SetupKind::TsCache, 5);
+        for op in &ops {
+            match op.kind {
+                AccessKind::Read => {
+                    scalar.load(op.addr);
+                }
+                AccessKind::Write => {
+                    scalar.store(op.addr);
+                }
+                AccessKind::Fetch => {
+                    let cost = scalar.hierarchy.access(scalar.pid, AccessKind::Fetch, op.addr);
+                    scalar.cycles += cost as u64;
+                }
+            }
+        }
+        let cycles = batched.run_trace(&ops);
+        assert_eq!(cycles, scalar.cycles());
+        assert_eq!(batched.cycles(), scalar.cycles());
+        assert_eq!(batched.hierarchy().total_stats(), scalar.hierarchy().total_stats());
+    }
+
+    #[test]
+    fn run_trace_records_events_when_tracing() {
+        let mut m = machine();
+        m.enable_trace();
+        m.run_trace(&[TraceOp::read(Addr::new(0x100)), TraceOp::write(Addr::new(0x200))]);
+        let t = m.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, AccessKind::Read);
+        assert_eq!(t[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn push_block_fetches_matches_run_block() {
+        let mut scalar = machine();
+        let mut batched = machine();
+        // Unaligned start crossing a line boundary.
+        scalar.run_block(Addr::new(0x101c), 4);
+        let mut ops = Vec::new();
+        batched.push_block_fetches(&mut ops, Addr::new(0x101c), 4);
+        batched.run_trace(&ops);
+        batched.execute(4);
+        assert_eq!(batched.cycles(), scalar.cycles());
+        assert_eq!(batched.instructions(), scalar.instructions());
+        assert_eq!(batched.hierarchy().l1i().stats(), scalar.hierarchy().l1i().stats());
+    }
+
+    #[test]
+    fn charge_stall_adds_raw_cycles() {
+        let mut m = machine();
+        m.charge_stall(17);
+        assert_eq!(m.cycles(), 17);
+        assert_eq!(m.instructions(), 0);
     }
 
     #[test]

@@ -18,13 +18,16 @@ pub struct ArraySweep {
     data: Region,
     stride: u64,
     iters: u32,
+    /// One pass's memory operations, assembled on first run and
+    /// replayed through the batch API afterwards.
+    ops: Vec<crate::machine::TraceOp>,
 }
 
 impl ArraySweep {
     /// Creates a sweep over `data`, fetching loop code from `code`.
     pub fn new(code: Region, data: Region, stride: u64, iters: u32) -> Self {
         assert!(stride > 0, "stride must be positive");
-        ArraySweep { code, data, stride, iters }
+        ArraySweep { code, data, stride, iters, ops: Vec::new() }
     }
 
     /// The standard instance used by the benches: 24 KiB of data (1.5×
@@ -42,13 +45,22 @@ impl Workload for ArraySweep {
     }
 
     fn run(&mut self, machine: &mut Machine) {
-        for _ in 0..self.iters {
+        // Assemble one pass's trace once: the loop body's fetches and
+        // the strided loads, in the exact order the scalar path issued
+        // them; the instruction retire cost is order-independent and
+        // charged per pass.
+        if self.ops.is_empty() {
             let mut off = 0;
             while off < self.data.size() {
-                machine.run_block(self.code.base(), 4);
-                machine.load(self.data.at(off));
+                machine.push_block_fetches(&mut self.ops, self.code.base(), 4);
+                self.ops.push(crate::machine::TraceOp::read(self.data.at(off)));
                 off += self.stride;
             }
+        }
+        let elems = self.data.size().div_ceil(self.stride) as u32;
+        for _ in 0..self.iters {
+            machine.run_trace(&self.ops);
+            machine.execute(4 * elems);
             machine.branch();
         }
     }
@@ -61,6 +73,8 @@ pub struct PointerChase {
     data: Region,
     order: Vec<u64>,
     steps: u32,
+    /// The full chase's memory operations, assembled on first run.
+    ops: Vec<crate::machine::TraceOp>,
 }
 
 impl PointerChase {
@@ -68,14 +82,11 @@ impl PointerChase {
     /// `data` (one node per 32-byte line), visiting them in a
     /// `perm_seed`-shuffled order.
     pub fn new(code: Region, data: Region, nodes: u32, steps: u32, perm_seed: u64) -> Self {
-        assert!(
-            (nodes as u64) * 32 <= data.size(),
-            "region too small for {nodes} nodes"
-        );
+        assert!((nodes as u64) * 32 <= data.size(), "region too small for {nodes} nodes");
         let mut order: Vec<u64> = (0..nodes as u64).collect();
         let mut rng = SplitMix64::new(perm_seed);
         rng.shuffle(&mut order);
-        PointerChase { code, data, order, steps }
+        PointerChase { code, data, order, steps, ops: Vec::new() }
     }
 
     /// The standard instance: 768 nodes (24 KiB — 1.5× the L1 capacity,
@@ -94,11 +105,17 @@ impl Workload for PointerChase {
 
     fn run(&mut self, machine: &mut Machine) {
         let n = self.order.len() as u32;
-        for step in 0..self.steps {
-            let node = self.order[(step % n) as usize];
-            machine.run_block(self.code.base(), 3);
-            machine.load_use(self.data.at(node * 32));
+        if self.ops.is_empty() {
+            for step in 0..self.steps {
+                let node = self.order[(step % n) as usize];
+                machine.push_block_fetches(&mut self.ops, self.code.base(), 3);
+                self.ops.push(crate::machine::TraceOp::read(self.data.at(node * 32)));
+            }
         }
+        machine.run_trace(&self.ops);
+        machine.execute(3 * self.steps);
+        // The load-use stall of every dependent load.
+        machine.charge_stall(self.steps as u64 * machine.pipeline().load_use_stall as u64);
     }
 }
 
@@ -172,7 +189,7 @@ impl MultipathTask {
     /// paths; the decision vector is drawn once from `input_seed`
     /// (inputs stay fixed across runs — only the cache layout varies).
     pub fn new(code: Region, data: Region, steps: u32, paths: u32, input_seed: u64) -> Self {
-        assert!(paths >= 1 && paths <= 16, "1..=16 paths supported");
+        assert!((1..=16).contains(&paths), "1..=16 paths supported");
         assert!(data.size() >= paths as u64 * 4096, "need one page per path");
         let mut rng = SplitMix64::new(input_seed);
         let inputs = (0..steps).map(|_| (rng.below(paths)) as u8).collect();

@@ -1,7 +1,8 @@
 //! Workload abstraction and the measurement protocol used by MBPTA.
 
 use crate::machine::Machine;
-use tscache_core::prng::SplitMix64;
+use tscache_core::parallel::par_map_indexed;
+use tscache_core::prng::{mix64, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::SetupKind;
 
@@ -85,6 +86,60 @@ pub fn collect_execution_times(
     times
 }
 
+/// Parallel variant of [`collect_execution_times`] for the independent-
+/// runs protocol (flush + reseed between runs, the MBPTA default).
+///
+/// Runs fan out over worker threads via
+/// [`tscache_core::parallel::par_map_indexed`]; each run builds its own
+/// machine and workload (`make_workload` is called once per run) and
+/// derives its placement seed purely from `(protocol.rng_seed, run)`,
+/// so the returned times are **bit-identical for every thread count**
+/// — `RAYON_NUM_THREADS=1` and the machine default agree exactly.
+///
+/// Note the per-run seed derivation differs from the sequential
+/// function's single RNG stream, so the two functions return different
+/// (equally valid) samples of the same distribution.
+///
+/// # Panics
+///
+/// Panics unless `protocol.flush_between_runs` and
+/// `protocol.reseed_between_runs` are both set: without them runs are
+/// state-dependent and cannot be reordered across threads.
+pub fn collect_execution_times_par<W, F>(
+    setup: SetupKind,
+    protocol: &MeasurementProtocol,
+    make_workload: F,
+) -> Vec<u64>
+where
+    W: Workload,
+    F: Fn() -> W + Sync,
+{
+    assert!(
+        protocol.flush_between_runs && protocol.reseed_between_runs,
+        "parallel collection requires independent runs (flush + reseed between runs)"
+    );
+    let pid = ProcessId::new(1);
+    par_map_indexed(protocol.runs as usize, |run| {
+        // Derive the machine RNG (random replacement, RPCache remaps)
+        // per run as well: a shared stream would correlate the runs'
+        // victim selections and understate sample variance.
+        let mut machine =
+            Machine::from_setup(setup, mix64(protocol.rng_seed ^ 0x6d61_6368 ^ run as u64));
+        machine.set_process(pid);
+        machine.set_process_seed(
+            pid,
+            Seed::new(mix64(
+                protocol.rng_seed ^ 0x6d65_6173 ^ (run as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )),
+        );
+        let mut workload = make_workload();
+        machine.flush_caches();
+        machine.reset_counters();
+        workload.run(&mut machine);
+        machine.cycles()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,13 +179,35 @@ mod tests {
     fn randomized_setup_gives_varying_times() {
         // Working set larger than one way with cross-page strides so
         // random layouts produce different conflict counts.
-        let mut w = Touch {
-            addrs: (0..256).map(|i| 0x1000 + i * 4096 / 8 * 3).collect(),
-        };
+        let mut w = Touch { addrs: (0..256).map(|i| 0x1000 + i * 4096 / 8 * 3).collect() };
         let protocol = MeasurementProtocol { runs: 30, ..Default::default() };
         let times = collect_execution_times(SetupKind::Mbpta, &mut w, &protocol);
         let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
         assert!(distinct.len() > 1, "randomized times constant: {times:?}");
+    }
+
+    #[test]
+    fn parallel_collection_is_thread_count_invariant() {
+        // The contract is per-run purity: forcing one thread via the
+        // env override must give the same vector as whatever the
+        // machine default is. (On a single-core container both paths
+        // may be sequential — the derivation is what's under test.)
+        let make = || Touch { addrs: (0..64).map(|i| 0x1000 + i * 4096 / 8 * 3).collect() };
+        let protocol = MeasurementProtocol { runs: 16, ..Default::default() };
+        let a = collect_execution_times_par(SetupKind::Mbpta, &protocol, make);
+        let b = collect_execution_times_par(SetupKind::Mbpta, &protocol, make);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        assert!(distinct.len() > 1, "randomized times constant: {a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "independent runs")]
+    fn parallel_collection_rejects_stateful_protocols() {
+        let protocol =
+            MeasurementProtocol { runs: 2, flush_between_runs: false, ..Default::default() };
+        collect_execution_times_par(SetupKind::Mbpta, &protocol, || Touch { addrs: vec![0] });
     }
 
     #[test]

@@ -24,11 +24,7 @@ fn main() {
             r.wcet_budget()
         );
     }
-    println!(
-        "hyperperiod: {} ms; SWCs: {:?}\n",
-        app.hyperperiod().as_millis(),
-        app.swcs()
-    );
+    println!("hyperperiod: {} ms; SWCs: {:?}\n", app.hyperperiod().as_millis(), app.swcs());
 
     let mut os = TscacheOs::new(
         app,

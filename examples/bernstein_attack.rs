@@ -11,10 +11,7 @@ use tscache::sca::bernstein::run_attack;
 use tscache::sca::sampling::SamplingConfig;
 
 fn main() {
-    let samples: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+    let samples: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
 
     println!("Bernstein attack demo: {samples} timing samples per node\n");
     println!("Two emulated ECUs run AES-128: the attacker profiles its own node");

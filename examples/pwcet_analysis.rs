@@ -84,7 +84,9 @@ fn main() {
     // Integration change: the buffers shift relative to each other.
     let moved_times = measure(SetupKind::Mbpta, 0x2520, 0x0C0C, 2000);
     let exceed_moved = moved_times.iter().filter(|&&t| t as f64 > bound).count();
-    println!("after re-linking : {exceed_moved}/2000 runs exceeded (random cache: bound still holds)");
+    println!(
+        "after re-linking : {exceed_moved}/2000 runs exceeded (random cache: bound still holds)"
+    );
 
     // The same exercise on the deterministic cache: timing is constant
     // per layout but jumps when relative alignment changes.

@@ -36,10 +36,7 @@ fn main() {
 
         // Randomized timing: run the MBPTA pipeline.
         let analysis = analyze(&times, &MbptaConfig::default());
-        println!(
-            "  -> i.i.d. tests: {}",
-            if analysis.iid.passed() { "pass" } else { "FAIL" }
-        );
+        println!("  -> i.i.d. tests: {}", if analysis.iid.passed() { "pass" } else { "FAIL" });
         println!(
             "  -> pWCET at 10^-10 per run: {:.0} cycles (observed max {:.0})\n",
             analysis.pwcet(1e-10),

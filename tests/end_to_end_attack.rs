@@ -30,11 +30,7 @@ fn deterministic_cache_leaks_many_bits() {
 #[test]
 fn tscache_defeats_the_attack() {
     let result = run_attack(SamplingConfig::standard(SetupKind::TsCache, SAMPLES, SEED));
-    assert!(
-        result.bits_determined() < 4.0,
-        "TSCache leaked {:.1} bits",
-        result.bits_determined()
-    );
+    assert!(result.bits_determined() < 4.0, "TSCache leaked {:.1} bits", result.bits_determined());
     assert!(result.residual_keyspace_log2() > 124.0);
 }
 

@@ -8,7 +8,11 @@ use tscache::mbpta::stats::to_f64;
 use tscache::rtos::model::{Application, Runnable, SwcId};
 use tscache::rtos::os::{OsConfig, SeedPolicy, TscacheOs};
 
-fn run(setup: SetupKind, policy: SeedPolicy, hyperperiods: u32) -> tscache::rtos::os::CampaignReport {
+fn run(
+    setup: SetupKind,
+    policy: SeedPolicy,
+    hyperperiods: u32,
+) -> tscache::rtos::os::CampaignReport {
     let config = OsConfig { seed_policy: policy, ..OsConfig::default() };
     let mut os = TscacheOs::new(Application::figure3_example(), setup, config);
     os.run(hyperperiods)

@@ -22,8 +22,10 @@ fn build(setup: SetupKind, key: &[u8; 16]) -> (SimAes128, Machine) {
 
 #[test]
 fn ciphertexts_are_correct_on_every_setup() {
-    let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
-        0xcf, 0x4f, 0x3c];
+    let key = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
     let native = Aes128::new(&key);
     for setup in SetupKind::ALL {
         let (sim, mut machine) = build(setup, &key);
@@ -57,11 +59,9 @@ fn cold_encryption_cost_reflects_the_hierarchy() {
 
 #[test]
 fn seed_change_disturbs_random_setups_only() {
-    for (setup, expect_disturbed) in [
-        (SetupKind::Deterministic, false),
-        (SetupKind::Mbpta, true),
-        (SetupKind::TsCache, true),
-    ] {
+    for (setup, expect_disturbed) in
+        [(SetupKind::Deterministic, false), (SetupKind::Mbpta, true), (SetupKind::TsCache, true)]
+    {
         let (sim, mut machine) = build(setup, &[2; 16]);
         let pid = ProcessId::new(1);
         sim.encrypt(&mut machine, &[0; 16]); // warm under seed A
