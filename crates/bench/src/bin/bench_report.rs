@@ -7,27 +7,31 @@
 //! * cache accesses/sec — boxed-dispatch baseline vs enum-dispatch
 //!   scalar vs the batch API, measured **in the same run** on the same
 //!   recorded trace (the dispatch-overhaul speedup);
-//! * simulated-AES encryptions/sec per cache setup;
+//! * hierarchy accesses/sec — the scalar `Hierarchy::access` loop vs
+//!   `Hierarchy::access_batch` on an L2-heavy trace, on two- and
+//!   three-level setups (the PR-2 batch-path speedup);
+//! * simulated-AES encryptions/sec per cache setup, at both hierarchy
+//!   depths;
 //! * Bernstein sampling throughput (samples/sec, the quantity that
 //!   bounds attack-campaign scale);
 //! * Prime+Probe trials/sec through the parallel harness.
 //!
-//! Usage: `bench_report [--pr 1] [--out BENCH_PR1.json] [--ms 300]`
+//! Usage: `bench_report [--pr 2] [--out BENCH_PR2.json] [--ms 300]`
 
 use std::hint::black_box;
 use tscache_bench::harness::{bench, render_table, to_json, Measurement};
-use tscache_bench::suites::cache_dispatch_suite;
+use tscache_bench::suites::{cache_dispatch_suite, hierarchy_batch_suite};
 use tscache_bench::Args;
 use tscache_core::parallel;
 use tscache_core::placement::PlacementKind;
 use tscache_core::seed::{ProcessId, Seed};
-use tscache_core::setup::SetupKind;
+use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
 
 fn main() {
     let args = Args::from_env();
-    let pr = args.get_u64("pr", 1);
+    let pr = args.get_u64("pr", 2);
     let ms = args.get_u64("ms", 300);
     let out_path = args.get_str("out", &format!("BENCH_PR{pr}.json"));
 
@@ -38,22 +42,38 @@ fn main() {
         results.extend(cache_dispatch_suite(placement, ms));
     }
 
-    for setup in SetupKind::ALL {
-        let mut layout = tscache_sim::layout::Layout::new(0x40_0000);
-        let aes_layout = tscache_aes::sim_cipher::AesLayout::install(&mut layout, "bench");
-        let sim = tscache_aes::sim_cipher::SimAes128::new(&[7u8; 16], aes_layout);
-        let mut machine = tscache_sim::machine::Machine::from_setup(setup, 11);
-        machine.set_process(pid);
-        machine.set_process_seed(pid, Seed::new(99));
-        let mut ops = Vec::with_capacity(256);
-        let mut pt = [0u8; 16];
-        results.push(bench(format!("aes/{}", setup.label()), "encryptions", ms, || {
-            for _ in 0..256u32 {
-                pt[0] = pt[0].wrapping_add(1);
-                black_box(sim.encrypt_with(&mut machine, &mut ops, black_box(&pt)));
-            }
-            256
-        }));
+    // The hierarchy batch path on L2-heavy traffic: scalar vs batch,
+    // two- and three-level, on the deterministic and TSCache setups.
+    for setup in [SetupKind::Deterministic, SetupKind::TsCache] {
+        for depth in HierarchyDepth::ALL {
+            results.extend(hierarchy_batch_suite(setup, depth, ms));
+        }
+    }
+
+    // Simulated AES throughput per setup, at both depths (the `aes/*`
+    // names match PR1's two-level numbers for trajectory comparison).
+    for depth in HierarchyDepth::ALL {
+        for setup in SetupKind::ALL {
+            let mut layout = tscache_sim::layout::Layout::new(0x40_0000);
+            let aes_layout = tscache_aes::sim_cipher::AesLayout::install(&mut layout, "bench");
+            let sim = tscache_aes::sim_cipher::SimAes128::new(&[7u8; 16], aes_layout);
+            let mut machine = tscache_sim::machine::Machine::from_setup_depth(setup, depth, 11);
+            machine.set_process(pid);
+            machine.set_process_seed(pid, Seed::new(99));
+            let mut ops = Vec::with_capacity(256);
+            let mut pt = [0u8; 16];
+            let name = match depth {
+                HierarchyDepth::TwoLevel => format!("aes/{}", setup.label()),
+                HierarchyDepth::ThreeLevel => format!("aes-l3/{}", setup.label()),
+            };
+            results.push(bench(name, "encryptions", ms, || {
+                for _ in 0..256u32 {
+                    pt[0] = pt[0].wrapping_add(1);
+                    black_box(sim.encrypt_with(&mut machine, &mut ops, black_box(&pt)));
+                }
+                256
+            }));
+        }
     }
 
     // Bernstein sampling throughput: one fresh node per timing call so
@@ -80,6 +100,10 @@ fn main() {
     let speedup_batch_modulo = rate("cache/modulo/batch") / rate("cache/modulo/boxed");
     let speedup_enum_rm = rate("cache/random-modulo/enum") / rate("cache/random-modulo/boxed");
     let speedup_batch_rm = rate("cache/random-modulo/batch") / rate("cache/random-modulo/boxed");
+    let hier_det_l2 = rate("hier/deterministic-l2/batch") / rate("hier/deterministic-l2/scalar");
+    let hier_det_l3 = rate("hier/deterministic-l3/batch") / rate("hier/deterministic-l3/scalar");
+    let hier_ts_l2 = rate("hier/tscache-l2/batch") / rate("hier/tscache-l2/scalar");
+    let hier_ts_l3 = rate("hier/tscache-l3/batch") / rate("hier/tscache-l3/scalar");
 
     let extra = [
         ("pr", pr as f64),
@@ -88,6 +112,10 @@ fn main() {
         ("speedup_batch_vs_boxed_modulo", speedup_batch_modulo),
         ("speedup_enum_vs_boxed_random_modulo", speedup_enum_rm),
         ("speedup_batch_vs_boxed_random_modulo", speedup_batch_rm),
+        ("speedup_hier_batch_deterministic_l2", hier_det_l2),
+        ("speedup_hier_batch_deterministic_l3", hier_det_l3),
+        ("speedup_hier_batch_tscache_l2", hier_ts_l2),
+        ("speedup_hier_batch_tscache_l3", hier_ts_l3),
     ];
 
     print!("{}", render_table(&results));
@@ -95,6 +123,9 @@ fn main() {
     println!("speedup vs boxed baseline (same run):");
     println!("  modulo:        enum {speedup_enum_modulo:.2}x, batch {speedup_batch_modulo:.2}x");
     println!("  random-modulo: enum {speedup_enum_rm:.2}x, batch {speedup_batch_rm:.2}x");
+    println!("hierarchy batch vs scalar walk (same run, L2-heavy trace):");
+    println!("  deterministic: l2 {hier_det_l2:.2}x, l3 {hier_det_l3:.2}x");
+    println!("  tscache:       l2 {hier_ts_l2:.2}x, l3 {hier_ts_l3:.2}x");
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

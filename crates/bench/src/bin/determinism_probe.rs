@@ -1,0 +1,104 @@
+//! Prints a stable digest of every parallel attack/MBPTA path so CI
+//! can diff runs under different `RAYON_NUM_THREADS` values byte for
+//! byte. Any dependence of results on the worker-thread count shows up
+//! as a digest mismatch.
+//!
+//! Usage (the CI `determinism` job):
+//!
+//! ```sh
+//! RAYON_NUM_THREADS=1 determinism_probe > t1.txt
+//! RAYON_NUM_THREADS=8 determinism_probe > t8.txt
+//! cmp t1.txt t8.txt
+//! ```
+
+use tscache_core::setup::{HierarchyDepth, SetupKind};
+use tscache_sca::bernstein::run_attack;
+use tscache_sca::evict_time::run_evict_time;
+use tscache_sca::prime_probe::run_prime_probe;
+use tscache_sca::sampling::{collect_pair, SamplingConfig};
+use tscache_sim::layout::Layout;
+use tscache_sim::synthetic::{MatrixMult, PointerChase};
+use tscache_sim::workload::{collect_execution_times_par, MeasurementProtocol};
+
+/// FNV-1a over a byte stream; enough to fingerprint result vectors.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+fn main() {
+    // Prime+Probe and Evict+Time trial fan-outs.
+    let pp = run_prime_probe(SetupKind::TsCache, 256, 11);
+    let mut d = Digest::new();
+    d.f64(pp.accuracy);
+    d.f64(pp.mean_evictions);
+    println!("prime_probe {:016x}", d.0);
+
+    let et = run_evict_time(SetupKind::Deterministic, 256, 13);
+    let mut d = Digest::new();
+    d.f64(et.detection_rate);
+    println!("evict_time {:016x}", d.0);
+
+    // Bernstein sampling pair on both hierarchy depths.
+    for depth in HierarchyDepth::ALL {
+        let mut cfg = SamplingConfig::standard(SetupKind::Mbpta, 1500, 0xd1);
+        cfg.depth = depth;
+        let (a, v) = collect_pair(cfg, &[7u8; 16], &[13u8; 16]);
+        let mut d = Digest::new();
+        for s in a.iter().chain(&v) {
+            d.u64(s.cycles);
+            for b in s.plaintext {
+                d.u64(b as u64);
+            }
+        }
+        println!("collect_pair_{depth} {:016x}", d.0);
+    }
+
+    // The full Bernstein analysis pipeline (samples → per-byte sweep).
+    let attack = run_attack(SamplingConfig::standard(SetupKind::Deterministic, 2000, 0xa7));
+    let mut d = Digest::new();
+    for b in &attack.bytes {
+        for &s in &b.scores {
+            d.f64(s);
+        }
+    }
+    println!("bernstein_attack {:016x}", d.0);
+
+    // MBPTA parallel measurement collection over batched-replay
+    // workloads.
+    let protocol = MeasurementProtocol { runs: 64, ..Default::default() };
+    for (name, times) in [
+        (
+            "mbpta_chase",
+            collect_execution_times_par(SetupKind::Mbpta, &protocol, || {
+                PointerChase::standard(&mut Layout::new(0x10_0000))
+            }),
+        ),
+        (
+            "mbpta_matrix",
+            collect_execution_times_par(SetupKind::TsCache, &protocol, || {
+                MatrixMult::standard(&mut Layout::new(0x10_0000))
+            }),
+        ),
+    ] {
+        let mut d = Digest::new();
+        for t in times {
+            d.u64(t);
+        }
+        println!("{name} {:016x}", d.0);
+    }
+}

@@ -5,13 +5,15 @@
 
 use crate::harness::{bench, Measurement};
 use std::hint::black_box;
-use tscache_core::addr::LineAddr;
+use tscache_core::addr::{Addr, LineAddr};
 use tscache_core::boxed_ref::BoxedCache;
 use tscache_core::cache::Cache;
 use tscache_core::geometry::CacheGeometry;
+use tscache_core::hierarchy::TraceOp;
 use tscache_core::placement::PlacementKind;
 use tscache_core::replacement::ReplacementKind;
 use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::{HierarchyDepth, SetupKind};
 
 /// The standard access trace for the dispatch comparison: a 24 KiB
 /// working set cycled over the paper's 16 KiB L1, mixing hits and
@@ -58,9 +60,73 @@ pub fn cache_dispatch_suite(placement: PlacementKind, min_ms: u64) -> Vec<Measur
     results
 }
 
+/// An L2-heavy trace: a 128 KiB data working set (8× the paper's L1,
+/// half its L2) with interleaved code fetches, cycled so L1 misses are
+/// plentiful and the unified levels see sustained traffic — the
+/// workload shape whose fills `Hierarchy::access_batch` amortizes.
+pub fn l2_heavy_trace() -> Vec<TraceOp> {
+    (0..16384u64)
+        .map(|i| {
+            if i % 9 == 0 {
+                TraceOp::fetch(Addr::new(0x10_0000 + (i / 9 % 64) * 32))
+            } else {
+                // Stride by 3 lines over 128 KiB.
+                TraceOp::read(Addr::new((i * 96) % (128 * 1024)))
+            }
+        })
+        .collect()
+}
+
+/// The hierarchy-batch comparison, measured in one run: the scalar
+/// `Hierarchy::access` loop vs `Hierarchy::access_batch` on the same
+/// L2-heavy trace, for `setup` at `depth`.
+pub fn hierarchy_batch_suite(
+    setup: SetupKind,
+    depth: HierarchyDepth,
+    min_ms: u64,
+) -> Vec<Measurement> {
+    let pid = ProcessId::new(1);
+    let ops = l2_heavy_trace();
+    let tag = format!("{}-{}", setup.label(), depth.label());
+    let mut results = Vec::with_capacity(2);
+
+    let mut scalar = setup.build_depth(depth, 21);
+    scalar.set_process_seed(pid, Seed::new(42));
+    results.push(bench(format!("hier/{tag}/scalar"), "accesses", min_ms, || {
+        for op in &ops {
+            black_box(scalar.access(pid, op.kind, op.addr));
+        }
+        ops.len() as u64
+    }));
+
+    let mut batched = setup.build_depth(depth, 21);
+    batched.set_process_seed(pid, Seed::new(42));
+    results.push(bench(format!("hier/{tag}/batch"), "accesses", min_ms, || {
+        black_box(batched.access_batch(pid, black_box(&ops)));
+        ops.len() as u64
+    }));
+
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hierarchy_suite_reports_scalar_and_batch() {
+        let results = hierarchy_batch_suite(SetupKind::TsCache, HierarchyDepth::ThreeLevel, 1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["hier/tscache-l3/scalar", "hier/tscache-l3/batch"]);
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
+
+    #[test]
+    fn l2_heavy_trace_mixes_ports() {
+        let ops = l2_heavy_trace();
+        assert!(ops.iter().any(|o| o.kind == tscache_core::hierarchy::AccessKind::Fetch));
+        assert!(ops.iter().any(|o| o.kind == tscache_core::hierarchy::AccessKind::Read));
+    }
 
     #[test]
     fn suite_reports_three_dispatch_variants() {

@@ -116,6 +116,23 @@ impl BatchOutcome {
     }
 }
 
+impl core::ops::AddAssign for BatchOutcome {
+    fn add_assign(&mut self, rhs: Self) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.redirected += rhs.redirected;
+    }
+}
+
+impl core::ops::Add for BatchOutcome {
+    type Output = BatchOutcome;
+    fn add(mut self, rhs: Self) -> BatchOutcome {
+        self += rhs;
+        self
+    }
+}
+
 /// One-entry context cache for the hot process: seed and way range.
 #[derive(Debug, Clone, Copy)]
 struct HotContext {
@@ -508,6 +525,37 @@ impl Cache {
     /// assert_eq!(warm.hits, 64);
     /// ```
     pub fn access_batch(&mut self, pid: ProcessId, lines: &[LineAddr]) -> BatchOutcome {
+        self.batch_inner(pid, lines, None)
+    }
+
+    /// Like [`access_batch`](Self::access_batch), but additionally
+    /// appends every *missing* line to `misses`, in access order.
+    ///
+    /// This is the level-to-level conduit of
+    /// [`Hierarchy::access_batch`](crate::hierarchy::Hierarchy::access_batch):
+    /// the miss stream of one level is exactly the access stream of the
+    /// next level down, so batching the whole hierarchy is a chain of
+    /// these calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any line is `u64::MAX` (the [`INVALID_TAG`] sentinel),
+    /// as [`access`](Self::access) does.
+    pub fn access_batch_collect(
+        &mut self,
+        pid: ProcessId,
+        lines: &[LineAddr],
+        misses: &mut Vec<LineAddr>,
+    ) -> BatchOutcome {
+        self.batch_inner(pid, lines, Some(misses))
+    }
+
+    fn batch_inner(
+        &mut self,
+        pid: ProcessId,
+        lines: &[LineAddr],
+        mut misses: Option<&mut Vec<LineAddr>>,
+    ) -> BatchOutcome {
         let (seed, lo, hi) = self.context(pid);
         let mut out = BatchOutcome::default();
         let mut cross = 0u64;
@@ -520,6 +568,9 @@ impl Cache {
                     out.evictions += evicted.is_some() as u64;
                     out.redirected += redirected as u64;
                     cross += cross_process as u64;
+                    if let Some(sink) = misses.as_deref_mut() {
+                        sink.push(line);
+                    }
                 }
             }
         }

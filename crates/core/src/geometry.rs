@@ -64,6 +64,14 @@ impl CacheGeometry {
         CacheGeometry { sets: 2048, ways: 4, line_bytes: 32 }
     }
 
+    /// The extended three-level scenario's L3: 1 MiB, 8192 sets,
+    /// 4 ways, 32 B lines — the shared last level the multi-level
+    /// randomized-cache literature evaluates (not in the DAC'18
+    /// platform, which stops at L2).
+    pub fn paper_l3() -> Self {
+        CacheGeometry { sets: 8192, ways: 4, line_bytes: 32 }
+    }
+
     /// Number of sets.
     #[inline]
     pub const fn sets(&self) -> u32 {

@@ -1,8 +1,25 @@
 //! Multi-level memory hierarchy: split L1 (instruction + data) backed
-//! by a unified L2, with configurable hit/miss latencies.
+//! by a configurable stack of unified levels (L2, and optionally an L3
+//! or deeper), with per-level hit latencies and a whole-trace batch
+//! path.
+//!
+//! # Batch execution
+//!
+//! [`Hierarchy::access`] is the scalar reference path: one op, walked
+//! down the levels until it hits. [`Hierarchy::access_batch`] executes
+//! a whole [`TraceOp`] segment with identical outcomes but amortized
+//! bookkeeping: the L1s are driven in maximal same-port runs through
+//! [`Cache::access_batch_collect`], each level's *miss stream* (kept in
+//! op order) becomes the access stream of the next level down, and
+//! statistics are folded in per level instead of per op. Because every
+//! cache draws from its own RNG and upper-level accesses never touch
+//! lower-level state, deferring each level's accesses until its full
+//! input stream is known reproduces the scalar interleaving bit for
+//! bit — the differential test suite pins this across every placement
+//! × replacement combination and both hierarchy depths.
 
-use crate::addr::Addr;
-use crate::cache::Cache;
+use crate::addr::{Addr, LineAddr};
+use crate::cache::{BatchOutcome, Cache};
 use crate::geometry::CacheGeometry;
 use crate::placement::PlacementKind;
 use crate::replacement::ReplacementKind;
@@ -10,9 +27,13 @@ use crate::seed::{ProcessId, Seed};
 use crate::stats::CacheStats;
 use core::fmt;
 
-/// Access latencies in cycles, modelled after an ARM920T-class part
-/// (paper §6.1.2): single-cycle L1 hits, a 10-cycle L2 penalty and an
-/// 80-cycle memory penalty.
+/// Access latencies in cycles for the classic two-level platform,
+/// modelled after an ARM920T-class part (paper §6.1.2): single-cycle
+/// L1 hits, a 10-cycle L2 penalty and an 80-cycle memory penalty.
+///
+/// Deeper hierarchies carry one hit latency per unified level inside
+/// [`Hierarchy`]; this struct remains the convenient two-level view
+/// (see [`Hierarchy::latencies`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// Cycles for an L1 hit.
@@ -22,6 +43,9 @@ pub struct Latencies {
     /// Additional cycles when the access goes to memory.
     pub memory: u32,
 }
+
+/// Additional cycles charged for an L3 hit in the three-level presets.
+pub const L3_HIT_CYCLES: u32 = 30;
 
 impl Default for Latencies {
     fn default() -> Self {
@@ -46,7 +70,73 @@ pub enum AccessKind {
     Write,
 }
 
-/// A split-L1 + unified-L2 hierarchy.
+/// One memory operation of a pre-built trace, consumed by
+/// [`Hierarchy::access_batch`] (and re-exported as the simulator's
+/// `TraceOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Which port the access uses.
+    pub kind: AccessKind,
+    /// The byte address to access.
+    pub addr: Addr,
+}
+
+impl TraceOp {
+    /// An instruction fetch.
+    #[inline]
+    pub const fn fetch(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Fetch, addr }
+    }
+
+    /// A data read.
+    #[inline]
+    pub const fn read(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Read, addr }
+    }
+
+    /// A data write.
+    #[inline]
+    pub const fn write(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Write, addr }
+    }
+}
+
+/// Per-level aggregate of one [`Hierarchy::access_batch`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchyBatchOutcome {
+    /// Operations executed.
+    pub ops: u64,
+    /// Total cycle cost of the batch.
+    pub cycles: u64,
+    /// L1I aggregate (the batch's fetches).
+    pub l1i: BatchOutcome,
+    /// L1D aggregate (the batch's reads and writes).
+    pub l1d: BatchOutcome,
+    /// One aggregate per unified level, L2 outward. The level's
+    /// access count is the miss count of the levels above it.
+    pub unified: Vec<BatchOutcome>,
+}
+
+impl HierarchyBatchOutcome {
+    /// Accesses that left the last cache level and went to memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.unified.last().map_or(self.l1i.misses + self.l1d.misses, |l| l.misses)
+    }
+}
+
+/// One unified cache level below the split L1s.
+#[derive(Debug)]
+struct UnifiedLevel {
+    cache: Cache,
+    /// Additional cycles charged when the lookup reaches this level.
+    hit_cycles: u32,
+}
+
+/// A split-L1 hierarchy over a configurable vector of unified levels.
+///
+/// All levels must share one line size so a line address carries
+/// unchanged down the miss path (asserted at construction; every
+/// preset uses 32-byte lines).
 ///
 /// # Examples
 ///
@@ -67,20 +157,74 @@ pub enum AccessKind {
 pub struct Hierarchy {
     l1i: Cache,
     l1d: Cache,
-    l2: Cache,
-    latencies: Latencies,
+    /// Unified levels in lookup order (L2 first).
+    levels: Vec<UnifiedLevel>,
+    l1_hit: u32,
+    memory: u32,
+    /// Reused batch scratch: per-run line buffer and the ping-pong
+    /// miss buffers threaded between levels.
+    scratch_lines: Vec<LineAddr>,
+    scratch_cur: Vec<LineAddr>,
+    scratch_next: Vec<LineAddr>,
 }
 
 impl Hierarchy {
-    /// Assembles a hierarchy from three caches and a latency model.
-    ///
-    /// The caches are taken in `(l1i, l1d, l2)` order.
+    /// Assembles the classic two-level hierarchy from three caches and
+    /// a latency model. The caches are taken in `(l1i, l1d, l2)` order.
     pub fn new(l1i: Cache, l1d: Cache, l2: Cache, latencies: Latencies) -> Self {
-        Hierarchy { l1i, l1d, l2, latencies }
+        Hierarchy::from_parts(
+            l1i,
+            l1d,
+            vec![(l2, latencies.l2_hit)],
+            latencies.l1_hit,
+            latencies.memory,
+        )
     }
 
-    /// Builds the paper's geometry with uniform policies in the L1s and
-    /// a (possibly different) policy in L2.
+    /// Assembles a hierarchy of arbitrary depth: split L1s plus one
+    /// `(cache, additional hit cycles)` pair per unified level, in
+    /// lookup order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unified` is empty or any level's line size differs
+    /// from the L1s'.
+    pub fn from_parts(
+        l1i: Cache,
+        l1d: Cache,
+        unified: Vec<(Cache, u32)>,
+        l1_hit: u32,
+        memory: u32,
+    ) -> Self {
+        assert!(!unified.is_empty(), "hierarchy needs at least one unified level");
+        let line = l1i.geometry().line_bytes();
+        assert_eq!(l1d.geometry().line_bytes(), line, "L1D line size differs from L1I");
+        for (cache, _) in &unified {
+            assert_eq!(
+                cache.geometry().line_bytes(),
+                line,
+                "{} line size differs from L1 ({}B)",
+                cache.label(),
+                line
+            );
+        }
+        Hierarchy {
+            l1i,
+            l1d,
+            levels: unified
+                .into_iter()
+                .map(|(cache, hit_cycles)| UnifiedLevel { cache, hit_cycles })
+                .collect(),
+            l1_hit,
+            memory,
+            scratch_lines: Vec::new(),
+            scratch_cur: Vec::new(),
+            scratch_next: Vec::new(),
+        }
+    }
+
+    /// Builds the paper's two-level geometry with uniform policies in
+    /// the L1s and a (possibly different) policy in L2.
     pub fn with_policies(
         l1_placement: PlacementKind,
         l1_replacement: ReplacementKind,
@@ -98,47 +242,177 @@ impl Hierarchy {
         )
     }
 
-    /// The latency model.
+    /// The two-level latency view: L1 hit, first-unified-level hit,
+    /// memory. Deeper levels' latencies are read per level via
+    /// [`level_hit_cycles`](Self::level_hit_cycles).
     pub fn latencies(&self) -> Latencies {
-        self.latencies
+        Latencies { l1_hit: self.l1_hit, l2_hit: self.levels[0].hit_cycles, memory: self.memory }
     }
 
-    /// Replaces the latency model.
+    /// Replaces the L1-hit, L2-hit and memory latencies (deeper levels
+    /// keep their configured hit cycles).
     pub fn set_latencies(&mut self, latencies: Latencies) {
-        self.latencies = latencies;
+        self.l1_hit = latencies.l1_hit;
+        self.levels[0].hit_cycles = latencies.l2_hit;
+        self.memory = latencies.memory;
     }
 
-    /// Performs an access and returns its cost in cycles.
+    /// Number of cache levels (the split L1 pair counts as one).
+    pub fn depth(&self) -> usize {
+        1 + self.levels.len()
+    }
+
+    /// Additional hit cycles of unified level `i` (0 = L2).
+    pub fn level_hit_cycles(&self, i: usize) -> u32 {
+        self.levels[i].hit_cycles
+    }
+
+    /// Performs an access and returns its cost in cycles: the L1 hit
+    /// cost, plus each consulted unified level's hit cycles, plus the
+    /// memory penalty when every level misses. Each consulted level
+    /// fills on its miss.
     pub fn access(&mut self, pid: ProcessId, kind: AccessKind, addr: Addr) -> u32 {
         let l1 = match kind {
             AccessKind::Fetch => &mut self.l1i,
             AccessKind::Read | AccessKind::Write => &mut self.l1d,
         };
         let line = l1.geometry().line_of(addr);
+        let mut cost = self.l1_hit;
         if l1.access(pid, line).is_hit() {
-            return self.latencies.l1_hit;
+            return cost;
         }
-        // L1 miss: consult the unified L2 (same line size here, so the
-        // line address carries over).
-        let l2_line = self.l2.geometry().line_of(addr);
-        if self.l2.access(pid, l2_line).is_hit() {
-            self.latencies.l1_hit + self.latencies.l2_hit
-        } else {
-            self.latencies.l1_hit + self.latencies.l2_hit + self.latencies.memory
+        for level in &mut self.levels {
+            cost += level.hit_cycles;
+            let line = level.cache.geometry().line_of(addr);
+            if level.cache.access(pid, line).is_hit() {
+                return cost;
+            }
         }
+        cost + self.memory
     }
 
-    /// Sets the placement seed of `pid` in all three caches, deriving a
+    /// Executes a whole trace segment on behalf of `pid`, returning
+    /// per-level aggregates and the exact cycle total.
+    ///
+    /// Outcomes — hits, misses, evictions, RNG draws, final contents,
+    /// statistics and cycles — are identical to issuing each op through
+    /// [`access`](Self::access) in order; only the bookkeeping is
+    /// batched. The L1s are driven in maximal same-port runs; each
+    /// level's misses (in op order) form the next level's access
+    /// stream, so lower-level fills amortize across the segment
+    /// instead of paying a per-op call chain.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tscache_core::addr::Addr;
+    /// use tscache_core::hierarchy::TraceOp;
+    /// use tscache_core::seed::ProcessId;
+    /// use tscache_core::setup::SetupKind;
+    ///
+    /// let mut h = SetupKind::Deterministic.build(1);
+    /// let ops = [TraceOp::read(Addr::new(0x1000)), TraceOp::read(Addr::new(0x1000))];
+    /// let out = h.access_batch(ProcessId::new(1), &ops);
+    /// assert_eq!(out.cycles, 91 + 1); // cold miss then warm hit
+    /// assert_eq!(out.l1d.hits, 1);
+    /// assert_eq!(out.unified[0].misses, 1);
+    /// ```
+    pub fn access_batch(&mut self, pid: ProcessId, ops: &[TraceOp]) -> HierarchyBatchOutcome {
+        let mut out = HierarchyBatchOutcome {
+            ops: ops.len() as u64,
+            cycles: 0,
+            l1i: BatchOutcome::default(),
+            l1d: BatchOutcome::default(),
+            unified: Vec::with_capacity(self.levels.len()),
+        };
+        out.cycles = self.batch_walk(pid, ops, Some(&mut out));
+        out
+    }
+
+    /// [`access_batch`](Self::access_batch) without the per-level
+    /// outcome report: returns only the cycle total. The allocation-
+    /// free variant the simulator hot path (`Machine::run_trace`)
+    /// calls once per trace segment; cache state, statistics and the
+    /// returned cycles are identical to `access_batch`.
+    pub fn access_batch_cycles(&mut self, pid: ProcessId, ops: &[TraceOp]) -> u64 {
+        self.batch_walk(pid, ops, None)
+    }
+
+    /// The shared batch engine; fills `sink`'s per-level aggregates
+    /// when given one, and returns the batch's cycle total.
+    fn batch_walk(
+        &mut self,
+        pid: ProcessId,
+        ops: &[TraceOp],
+        mut sink: Option<&mut HierarchyBatchOutcome>,
+    ) -> u64 {
+        let mut lines = core::mem::take(&mut self.scratch_lines);
+        let mut cur = core::mem::take(&mut self.scratch_cur);
+        let mut next = core::mem::take(&mut self.scratch_next);
+        cur.clear();
+
+        let mut cycles = ops.len() as u64 * self.l1_hit as u64;
+
+        // Phase 1: the split L1s, in maximal same-port runs. Misses
+        // spill into `cur` in op order — the exact stream the scalar
+        // path would have sent down.
+        let offset_bits = self.l1i.geometry().offset_bits();
+        let mut i = 0usize;
+        while i < ops.len() {
+            let fetch = ops[i].kind == AccessKind::Fetch;
+            let mut j = i + 1;
+            while j < ops.len() && (ops[j].kind == AccessKind::Fetch) == fetch {
+                j += 1;
+            }
+            lines.clear();
+            lines.extend(ops[i..j].iter().map(|op| op.addr.line(offset_bits)));
+            let agg = if fetch {
+                self.l1i.access_batch_collect(pid, &lines, &mut cur)
+            } else {
+                self.l1d.access_batch_collect(pid, &lines, &mut cur)
+            };
+            if let Some(out) = sink.as_deref_mut() {
+                if fetch {
+                    out.l1i += agg;
+                } else {
+                    out.l1d += agg;
+                }
+            }
+            i = j;
+        }
+
+        // Phase 2: thread the miss stream through the unified levels.
+        for level in &mut self.levels {
+            cycles += cur.len() as u64 * level.hit_cycles as u64;
+            next.clear();
+            let agg = level.cache.access_batch_collect(pid, &cur, &mut next);
+            if let Some(out) = sink.as_deref_mut() {
+                out.unified.push(agg);
+            }
+            core::mem::swap(&mut cur, &mut next);
+        }
+        cycles += cur.len() as u64 * self.memory as u64;
+
+        self.scratch_lines = lines;
+        self.scratch_cur = cur;
+        self.scratch_next = next;
+        cycles
+    }
+
+    /// Sets the placement seed of `pid` in every cache, deriving a
     /// decorrelated sub-seed per level.
     pub fn set_process_seed(&mut self, pid: ProcessId, seed: Seed) {
         self.l1i.set_seed(pid, seed.derive(1));
         self.l1d.set_seed(pid, seed.derive(2));
-        self.l2.set_seed(pid, seed.derive(3));
+        for (k, level) in self.levels.iter_mut().enumerate() {
+            level.cache.set_seed(pid, seed.derive(3 + k as u64));
+        }
     }
 
     /// Confines `pid` to fill ways `lo..hi` in both L1 caches (strict
-    /// way partitioning, the §7 alternative; the shared L2 is left
-    /// unpartitioned as partitioning it is what cripples data sharing).
+    /// way partitioning, the §7 alternative; the shared lower levels
+    /// are left unpartitioned as partitioning them is what cripples
+    /// data sharing).
     ///
     /// # Panics
     ///
@@ -148,28 +422,51 @@ impl Hierarchy {
         self.l1d.set_way_partition(pid, lo, hi);
     }
 
+    /// Confines `pid` to fill ways `lo..hi` at *every* level — the
+    /// fully partitioned configuration whose no-cross-process-eviction
+    /// guarantee the property suite checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds any level's
+    /// associativity.
+    pub fn set_way_partition(&mut self, pid: ProcessId, lo: u32, hi: u32) {
+        self.l1i.set_way_partition(pid, lo, hi);
+        self.l1d.set_way_partition(pid, lo, hi);
+        for level in &mut self.levels {
+            level.cache.set_way_partition(pid, lo, hi);
+        }
+    }
+
     /// Marks `size` bytes at `start` as protected data (RPCache P-bit,
-    /// e.g. over the AES tables) in the data-side caches.
+    /// e.g. over the AES tables) in the data-side caches of every
+    /// level.
     pub fn add_protected_range(&mut self, start: Addr, size: u64) {
         let bits = self.l1d.geometry().offset_bits();
         let first = start.line(bits);
         let last = start.offset(size.saturating_sub(1)).line(bits).offset(1);
         self.l1d.add_protected_range(first, last);
-        self.l2.add_protected_range(first, last);
+        for level in &mut self.levels {
+            level.cache.add_protected_range(first, last);
+        }
     }
 
-    /// Flushes all three caches.
+    /// Flushes every cache.
     pub fn flush_all(&mut self) {
         self.l1i.flush();
         self.l1d.flush();
-        self.l2.flush();
+        for level in &mut self.levels {
+            level.cache.flush();
+        }
     }
 
-    /// Flushes all lines of `pid` in all three caches.
+    /// Flushes all lines of `pid` in every cache.
     pub fn flush_process(&mut self, pid: ProcessId) {
         self.l1i.flush_process(pid);
         self.l1d.flush_process(pid);
-        self.l2.flush_process(pid);
+        for level in &mut self.levels {
+            level.cache.flush_process(pid);
+        }
     }
 
     /// The instruction L1.
@@ -182,21 +479,37 @@ impl Hierarchy {
         &self.l1d
     }
 
-    /// The unified L2.
+    /// The unified L2 (the first level below the L1s).
     pub fn l2(&self) -> &Cache {
-        &self.l2
+        &self.levels[0].cache
+    }
+
+    /// The unified L3, when the hierarchy has one.
+    pub fn l3(&self) -> Option<&Cache> {
+        self.levels.get(1).map(|l| &l.cache)
+    }
+
+    /// The unified levels in lookup order (L2 first).
+    pub fn unified_levels(&self) -> impl Iterator<Item = &Cache> {
+        self.levels.iter().map(|l| &l.cache)
     }
 
     /// Summed statistics of all levels.
     pub fn total_stats(&self) -> CacheStats {
-        *self.l1i.stats() + *self.l1d.stats() + *self.l2.stats()
+        let mut total = *self.l1i.stats() + *self.l1d.stats();
+        for level in &self.levels {
+            total += *level.cache.stats();
+        }
+        total
     }
 
     /// Clears statistics on all levels.
     pub fn reset_stats(&mut self) {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
-        self.l2.reset_stats();
+        for level in &mut self.levels {
+            level.cache.reset_stats();
+        }
     }
 }
 
@@ -214,6 +527,11 @@ mod tests {
         )
     }
 
+    fn three_level() -> Hierarchy {
+        use crate::setup::{HierarchyDepth, SetupKind};
+        SetupKind::Deterministic.build_depth(HierarchyDepth::ThreeLevel, 99)
+    }
+
     fn pid() -> ProcessId {
         ProcessId::new(1)
     }
@@ -226,6 +544,27 @@ mod tests {
         assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10 + 80);
         // Warm: L1 hit.
         assert_eq!(h.access(pid(), AccessKind::Read, a), 1);
+    }
+
+    #[test]
+    fn three_level_latency_ladder() {
+        let mut h = three_level();
+        assert_eq!(h.depth(), 3);
+        let a = Addr::new(0x4_0000);
+        // Cold: miss everywhere.
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10 + 30 + 80);
+        // Warm: L1 hit.
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1);
+        // Evict from L1D (128-set, 4-way) and L2 (2048-set, 4-way):
+        // the line must still sit in the 8192-set L3.
+        for i in 1..=4u64 {
+            h.access(pid(), AccessKind::Read, Addr::new(0x4_0000 + i * 128 * 32));
+        }
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10, "L2 still warm");
+        for i in 1..=4u64 {
+            h.access(pid(), AccessKind::Read, Addr::new(0x4_0000 + i * 2048 * 32));
+        }
+        assert_eq!(h.access(pid(), AccessKind::Read, a), 1 + 10 + 30, "L3 catch");
     }
 
     #[test]
@@ -289,6 +628,15 @@ mod tests {
     }
 
     #[test]
+    fn l3_seed_distinct_too() {
+        let mut h = three_level();
+        h.set_process_seed(pid(), Seed::new(5));
+        let s3 = h.l2().seed(pid());
+        let s4 = h.l3().expect("three levels").seed(pid());
+        assert_ne!(s3, s4);
+    }
+
+    #[test]
     fn total_stats_sums_levels() {
         let mut h = hierarchy();
         h.access(pid(), AccessKind::Read, Addr::new(0));
@@ -297,5 +645,114 @@ mod tests {
         assert_eq!(h.total_stats().misses(), 4);
         h.reset_stats();
         assert_eq!(h.total_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_walk() {
+        let ops: Vec<TraceOp> = (0..900u64)
+            .map(|i| {
+                let addr = Addr::new((i * 1117) % (1 << 18));
+                match i % 3 {
+                    0 => TraceOp::read(addr),
+                    1 => TraceOp::write(addr),
+                    _ => TraceOp::fetch(addr),
+                }
+            })
+            .collect();
+        for build in [|| hierarchy(), || three_level()] {
+            let mut scalar = build();
+            let mut batched = build();
+            let mut cycles = 0u64;
+            for op in &ops {
+                cycles += scalar.access(pid(), op.kind, op.addr) as u64;
+            }
+            let out = batched.access_batch(pid(), &ops);
+            assert_eq!(out.cycles, cycles);
+            assert_eq!(out.ops, ops.len() as u64);
+            assert_eq!(batched.total_stats(), scalar.total_stats());
+            assert_eq!(out.l1i.accesses() + out.l1d.accesses(), ops.len() as u64);
+            assert_eq!(out.unified[0].accesses(), out.l1i.misses + out.l1d.misses);
+        }
+    }
+
+    #[test]
+    fn cycles_only_batch_matches_full_outcome() {
+        let ops: Vec<TraceOp> =
+            (0..500u64).map(|i| TraceOp::read(Addr::new((i * 607) % (1 << 16)))).collect();
+        let mut full = three_level();
+        let mut cycles_only = three_level();
+        let out = full.access_batch(pid(), &ops);
+        let cycles = cycles_only.access_batch_cycles(pid(), &ops);
+        assert_eq!(cycles, out.cycles);
+        assert_eq!(full.total_stats(), cycles_only.total_stats());
+    }
+
+    #[test]
+    fn batch_outcome_memory_accesses() {
+        let mut h = hierarchy();
+        let ops = [TraceOp::read(Addr::new(0)), TraceOp::read(Addr::new(0))];
+        let out = h.access_batch(pid(), &ops);
+        assert_eq!(out.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut h = three_level();
+        let out = h.access_batch(pid(), &[]);
+        assert_eq!(out.cycles, 0);
+        assert_eq!(out.ops, 0);
+        assert_eq!(out.unified.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unified level")]
+    fn from_parts_rejects_empty_stack() {
+        let l1 = CacheGeometry::paper_l1();
+        let mk =
+            |label: &str| Cache::new(label, l1, PlacementKind::Modulo, ReplacementKind::Lru, 1);
+        Hierarchy::from_parts(mk("L1I"), mk("L1D"), Vec::new(), 1, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn from_parts_rejects_mixed_line_sizes() {
+        let l1 = CacheGeometry::paper_l1();
+        let odd = CacheGeometry::new(2048, 4, 64).unwrap();
+        let mk =
+            |label: &str| Cache::new(label, l1, PlacementKind::Modulo, ReplacementKind::Lru, 1);
+        let l2 = Cache::new("L2", odd, PlacementKind::Modulo, ReplacementKind::Lru, 1);
+        Hierarchy::from_parts(mk("L1I"), mk("L1D"), vec![(l2, 10)], 1, 80);
+    }
+
+    #[test]
+    fn hierarchy_wide_partition_applies_everywhere() {
+        let mut h = three_level();
+        h.set_way_partition(pid(), 0, 2);
+        h.set_way_partition(ProcessId::new(2), 2, 4);
+        for i in 0..4096u64 {
+            h.access(pid(), AccessKind::Read, Addr::new(i * 32));
+            h.access(ProcessId::new(2), AccessKind::Read, Addr::new((1 << 22) + i * 32));
+        }
+        for cache in [h.l1d(), h.l2(), h.l3().unwrap()] {
+            assert_eq!(cache.stats().cross_process_evictions(), 0, "{}", cache.label());
+            for (_, way, _, owner) in cache.contents() {
+                match owner.as_u16() {
+                    1 => assert!(way < 2, "{}", cache.label()),
+                    2 => assert!(way >= 2, "{}", cache.label()),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protected_range_reaches_every_level() {
+        let mut h = three_level();
+        h.add_protected_range(Addr::new(0x2000), 1024);
+        let line = 0x2000u64 >> 5;
+        assert!(h.l1d().is_protected_addr(line));
+        assert!(h.l2().is_protected_addr(line));
+        assert!(h.l3().unwrap().is_protected_addr(line));
+        assert!(!h.l1i().is_protected_addr(line), "instruction side unprotected");
     }
 }

@@ -53,9 +53,9 @@ pub use addr::{Addr, LineAddr, PageAddr};
 pub use cache::{AccessOutcome, BatchOutcome, Cache, EvictedLine};
 pub use error::ConfigError;
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessKind, Hierarchy, Latencies};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyBatchOutcome, Latencies, TraceOp};
 pub use placement::{MbptaClass, Placement, PlacementEngine, PlacementKind};
 pub use replacement::{Replacement, ReplacementEngine, ReplacementKind};
 pub use seed::{ProcessId, Seed, SeedTable};
-pub use setup::{SeedSharing, SetupKind};
+pub use setup::{HierarchyDepth, SeedSharing, SetupKind};
 pub use stats::CacheStats;

@@ -1,12 +1,54 @@
 //! The four processor setups evaluated in the paper (§6.1.2) and their
 //! seed-management policies.
 
-use crate::hierarchy::Hierarchy;
+use crate::cache::Cache;
+use crate::geometry::CacheGeometry;
+use crate::hierarchy::{Hierarchy, L3_HIT_CYCLES};
 use crate::placement::PlacementKind;
 use crate::prng::{Prng, SplitMix64};
 use crate::replacement::ReplacementKind;
 use crate::seed::{ProcessId, Seed};
 use core::fmt;
+
+/// How many cache levels a built hierarchy has. The paper's platform
+/// is two-level; the three-level variant adds the 1 MiB L3 that the
+/// multi-level randomized-cache literature (ClepsydraCache and
+/// friends) evaluates, reusing each setup's unified-level policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HierarchyDepth {
+    /// Split L1 + unified L2 (the DAC'18 platform).
+    #[default]
+    TwoLevel,
+    /// Split L1 + unified L2 + unified L3.
+    ThreeLevel,
+}
+
+impl HierarchyDepth {
+    /// Both depths, shallow first.
+    pub const ALL: [HierarchyDepth; 2] = [HierarchyDepth::TwoLevel, HierarchyDepth::ThreeLevel];
+
+    /// Number of cache levels (split L1 counted once).
+    pub fn levels(self) -> usize {
+        match self {
+            HierarchyDepth::TwoLevel => 2,
+            HierarchyDepth::ThreeLevel => 3,
+        }
+    }
+
+    /// Short label used in figures and bench names.
+    pub fn label(self) -> &'static str {
+        match self {
+            HierarchyDepth::TwoLevel => "l2",
+            HierarchyDepth::ThreeLevel => "l3",
+        }
+    }
+}
+
+impl fmt::Display for HierarchyDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// How placement seeds are assigned to processes, the knob that
 /// separates MBPTACache from TSCache (paper §5).
@@ -74,31 +116,59 @@ impl SetupKind {
     pub const ALL: [SetupKind; 4] =
         [SetupKind::Deterministic, SetupKind::RpCache, SetupKind::Mbpta, SetupKind::TsCache];
 
-    /// Builds the hierarchy for this setup.
+    /// Builds the paper's two-level hierarchy for this setup.
     pub fn build(self, rng_seed: u64) -> Hierarchy {
+        self.build_depth(HierarchyDepth::TwoLevel, rng_seed)
+    }
+
+    /// The `(placement, replacement)` policy pair of this setup's L1s.
+    pub fn l1_policy(self) -> (PlacementKind, ReplacementKind) {
         match self {
-            SetupKind::Deterministic => Hierarchy::with_policies(
-                PlacementKind::Modulo,
-                ReplacementKind::Lru,
-                PlacementKind::Modulo,
-                ReplacementKind::Lru,
-                rng_seed,
-            ),
-            SetupKind::RpCache => Hierarchy::with_policies(
-                PlacementKind::RpCache,
-                ReplacementKind::Lru,
-                PlacementKind::Modulo,
-                ReplacementKind::Lru,
-                rng_seed,
-            ),
-            SetupKind::Mbpta | SetupKind::TsCache => Hierarchy::with_policies(
-                PlacementKind::RandomModulo,
-                ReplacementKind::Random,
-                PlacementKind::HashRp,
-                ReplacementKind::Random,
-                rng_seed,
-            ),
+            SetupKind::Deterministic => (PlacementKind::Modulo, ReplacementKind::Lru),
+            SetupKind::RpCache => (PlacementKind::RpCache, ReplacementKind::Lru),
+            SetupKind::Mbpta | SetupKind::TsCache => {
+                (PlacementKind::RandomModulo, ReplacementKind::Random)
+            }
         }
+    }
+
+    /// The `(placement, replacement)` policy pair of this setup's
+    /// unified levels (L2, and L3 when built three-level).
+    pub fn unified_policy(self) -> (PlacementKind, ReplacementKind) {
+        match self {
+            SetupKind::Deterministic | SetupKind::RpCache => {
+                (PlacementKind::Modulo, ReplacementKind::Lru)
+            }
+            SetupKind::Mbpta | SetupKind::TsCache => {
+                (PlacementKind::HashRp, ReplacementKind::Random)
+            }
+        }
+    }
+
+    /// Builds the hierarchy for this setup at the requested depth.
+    ///
+    /// Both depths share L1/L2 geometry, policies and RNG streams, so
+    /// a three-level build is the two-level platform with an L3
+    /// appended — upper-level behaviour is unchanged.
+    pub fn build_depth(self, depth: HierarchyDepth, rng_seed: u64) -> Hierarchy {
+        let (l1p, l1r) = self.l1_policy();
+        let (lup, lur) = self.unified_policy();
+        let l1 = CacheGeometry::paper_l1();
+        let mut unified =
+            vec![(Cache::new("L2", CacheGeometry::paper_l2(), lup, lur, rng_seed ^ 0x33), 10)];
+        if depth == HierarchyDepth::ThreeLevel {
+            unified.push((
+                Cache::new("L3", CacheGeometry::paper_l3(), lup, lur, rng_seed ^ 0x44),
+                L3_HIT_CYCLES,
+            ));
+        }
+        Hierarchy::from_parts(
+            Cache::new("L1I", l1, l1p, l1r, rng_seed ^ 0x11),
+            Cache::new("L1D", l1, l1p, l1r, rng_seed ^ 0x22),
+            unified,
+            1,
+            80,
+        )
     }
 
     /// The seed-management policy of this setup.
@@ -228,5 +298,44 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(SetupKind::Mbpta.to_string(), "mbptacache");
         assert_eq!(SetupKind::ALL.len(), 4);
+        assert_eq!(HierarchyDepth::TwoLevel.to_string(), "l2");
+        assert_eq!(HierarchyDepth::ThreeLevel.to_string(), "l3");
+        assert_eq!(HierarchyDepth::ThreeLevel.levels(), 3);
+    }
+
+    #[test]
+    fn three_level_presets_append_an_l3() {
+        for kind in SetupKind::ALL {
+            let two = kind.build_depth(HierarchyDepth::TwoLevel, 7);
+            let three = kind.build_depth(HierarchyDepth::ThreeLevel, 7);
+            assert_eq!(two.depth(), 2);
+            assert_eq!(three.depth(), 3);
+            assert!(two.l3().is_none());
+            let l3 = three.l3().expect("L3 present");
+            // The L3 reuses the setup's unified policy.
+            assert_eq!(l3.placement_name(), three.l2().placement_name(), "{kind}");
+            assert_eq!(l3.geometry().size_bytes(), 1024 * 1024);
+            assert_eq!(three.level_hit_cycles(1), crate::hierarchy::L3_HIT_CYCLES);
+        }
+    }
+
+    #[test]
+    fn depths_share_upper_level_behaviour() {
+        use crate::addr::Addr;
+        use crate::hierarchy::AccessKind;
+        // Same rng seed → identical L1/L2 outcome sequences; only the
+        // L3 catch between L2 miss and memory differs in cost.
+        let pid = ProcessId::new(1);
+        let mut two = SetupKind::TsCache.build_depth(HierarchyDepth::TwoLevel, 9);
+        let mut three = SetupKind::TsCache.build_depth(HierarchyDepth::ThreeLevel, 9);
+        two.set_process_seed(pid, Seed::new(4));
+        three.set_process_seed(pid, Seed::new(4));
+        for i in 0..3000u64 {
+            let a = Addr::new((i * 2083) % (1 << 19));
+            two.access(pid, AccessKind::Read, a);
+            three.access(pid, AccessKind::Read, a);
+        }
+        assert_eq!(two.l1d().stats(), three.l1d().stats());
+        assert_eq!(two.l2().stats(), three.l2().stats());
     }
 }

@@ -1,0 +1,250 @@
+//! Differential tests pinning `Hierarchy::access_batch` access-for-
+//! access against the scalar `Hierarchy::access` loop: hits, misses,
+//! evictions, redirects, cycles and final contents must be identical
+//! on recorded traces, across every placement × replacement
+//! combination and both hierarchy depths. Any divergence in the batch
+//! plumbing (run splitting, miss-stream ordering, per-level RNG use)
+//! shows up here as a counter or contents mismatch.
+
+use tscache_core::addr::Addr;
+use tscache_core::cache::Cache;
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::hierarchy::{AccessKind, Hierarchy, TraceOp};
+use tscache_core::placement::PlacementKind;
+use tscache_core::replacement::ReplacementKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::{HierarchyDepth, SetupKind};
+
+/// Deterministic trace mixing fetches, reads and writes over a working
+/// set large enough to overflow the small L1 below (hits, misses,
+/// evictions and L2/L3 traffic all occur).
+fn recorded_trace(salt: u64, len: usize) -> Vec<TraceOp> {
+    let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = Addr::new((state >> 16) % (1 << 14));
+            match state % 3 {
+                0 => TraceOp::fetch(addr),
+                1 => TraceOp::read(addr),
+                _ => TraceOp::write(addr),
+            }
+        })
+        .collect()
+}
+
+/// A small hierarchy (8×2 L1s, 32×4 L2, optional 64×4 L3) built with
+/// uniform policies, two seeded processes, a protected range and an
+/// L1 way partition for pid 2 — every feature the batch path must
+/// reproduce.
+fn small_hierarchy(
+    placement: PlacementKind,
+    replacement: ReplacementKind,
+    depth: HierarchyDepth,
+) -> Hierarchy {
+    let l1 = CacheGeometry::new(8, 2, 32).unwrap();
+    let l2 = CacheGeometry::new(32, 4, 32).unwrap();
+    let l3 = CacheGeometry::new(64, 4, 32).unwrap();
+    let mut unified = vec![(Cache::new("L2", l2, placement, replacement, 0x33), 10)];
+    if depth == HierarchyDepth::ThreeLevel {
+        unified.push((Cache::new("L3", l3, placement, replacement, 0x44), 30));
+    }
+    let mut h = Hierarchy::from_parts(
+        Cache::new("L1I", l1, placement, replacement, 0x11),
+        Cache::new("L1D", l1, placement, replacement, 0x22),
+        unified,
+        1,
+        80,
+    );
+    h.set_process_seed(ProcessId::new(1), Seed::new(0xaaaa));
+    h.set_process_seed(ProcessId::new(2), Seed::new(0xbbbb));
+    h.add_protected_range(Addr::new(0x200), 256);
+    h.set_l1_way_partition(ProcessId::new(2), 0, 1);
+    h
+}
+
+fn contents_of(c: &Cache) -> Vec<(u32, u32, u64, u16)> {
+    c.contents().map(|(s, w, l, o)| (s, w, l.as_u64(), o.as_u16())).collect()
+}
+
+fn assert_levels_identical(scalar: &Hierarchy, batched: &Hierarchy, label: &str) {
+    let pairs = [(scalar.l1i(), batched.l1i()), (scalar.l1d(), batched.l1d())];
+    for (a, b) in pairs.into_iter().chain(scalar.unified_levels().zip(batched.unified_levels())) {
+        assert_eq!(a.stats(), b.stats(), "{label}: {} stats diverge", a.label());
+        assert_eq!(contents_of(a), contents_of(b), "{label}: {} final contents diverge", a.label());
+    }
+}
+
+/// The scalar reference walk, interleaving the two processes the same
+/// way the batch run below does (pid switches at fixed op indices).
+fn pid_of(i: usize) -> ProcessId {
+    if (i / 97).is_multiple_of(2) {
+        ProcessId::new(1)
+    } else {
+        ProcessId::new(2)
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_across_all_policy_combinations() {
+    for depth in HierarchyDepth::ALL {
+        for placement in PlacementKind::ALL {
+            for replacement in ReplacementKind::ALL {
+                let label = format!("{placement}/{replacement}/{depth}");
+                let trace = recorded_trace(
+                    (placement as usize * 16 + replacement as usize) as u64 + 1,
+                    700,
+                );
+                let mut scalar = small_hierarchy(placement, replacement, depth);
+                let mut batched = small_hierarchy(placement, replacement, depth);
+
+                let mut scalar_cycles = 0u64;
+                for (i, op) in trace.iter().enumerate() {
+                    scalar_cycles += scalar.access(pid_of(i), op.kind, op.addr) as u64;
+                }
+
+                // Batch in pid-homogeneous segments (97 ops each), the
+                // way `Machine::run_trace` drives the hierarchy.
+                let mut batch_cycles = 0u64;
+                let mut hits = 0u64;
+                let mut misses = 0u64;
+                let mut evictions = 0u64;
+                for (seg, chunk) in trace.chunks(97).enumerate() {
+                    let out = batched.access_batch(pid_of(seg * 97), chunk);
+                    batch_cycles += out.cycles;
+                    for agg in [out.l1i, out.l1d].into_iter().chain(out.unified.iter().copied()) {
+                        hits += agg.hits;
+                        misses += agg.misses;
+                        evictions += agg.evictions;
+                    }
+                }
+
+                assert_eq!(batch_cycles, scalar_cycles, "{label}: cycle totals diverge");
+                assert_levels_identical(&scalar, &batched, &label);
+                let total = scalar.total_stats();
+                assert_eq!(hits, total.hits(), "{label}: hit totals diverge");
+                assert_eq!(misses, total.misses(), "{label}: miss totals diverge");
+                assert_eq!(evictions, total.evictions(), "{label}: eviction totals diverge");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_on_paper_presets() {
+    for depth in HierarchyDepth::ALL {
+        for setup in SetupKind::ALL {
+            let label = format!("{setup}/{depth}");
+            let pid = ProcessId::new(1);
+            let trace = recorded_trace(0x5e7 ^ setup as u64, 2500);
+            let mut scalar = setup.build_depth(depth, 42);
+            let mut batched = setup.build_depth(depth, 42);
+            scalar.set_process_seed(pid, Seed::new(7));
+            batched.set_process_seed(pid, Seed::new(7));
+
+            let mut scalar_cycles = 0u64;
+            for op in &trace {
+                scalar_cycles += scalar.access(pid, op.kind, op.addr) as u64;
+            }
+            let out = batched.access_batch(pid, &trace);
+
+            assert_eq!(out.cycles, scalar_cycles, "{label}: cycle totals diverge");
+            assert_eq!(out.ops, trace.len() as u64, "{label}");
+            assert_levels_identical(&scalar, &batched, &label);
+        }
+    }
+}
+
+#[test]
+fn batch_redirect_counts_match_scalar_outcomes() {
+    // RPCache's contention remap is the trickiest path (extra RNG
+    // draws, alias invalidation): count scalar redirects one by one
+    // and compare with the batch aggregate.
+    let trace = recorded_trace(99, 900);
+    let mut scalar =
+        small_hierarchy(PlacementKind::RpCache, ReplacementKind::Lru, HierarchyDepth::ThreeLevel);
+    let mut batched =
+        small_hierarchy(PlacementKind::RpCache, ReplacementKind::Lru, HierarchyDepth::ThreeLevel);
+
+    // Scalar walk via the underlying per-level caches to observe each
+    // op's outcome (Hierarchy::access hides them).
+    let mut scalar_cycles = 0u64;
+    for (i, op) in trace.iter().enumerate() {
+        scalar_cycles += scalar.access(pid_of(i), op.kind, op.addr) as u64;
+    }
+    let mut batch_cycles = 0u64;
+    let mut redirected = 0u64;
+    for (seg, chunk) in trace.chunks(97).enumerate() {
+        let out = batched.access_batch(pid_of(seg * 97), chunk);
+        batch_cycles += out.cycles;
+        redirected += out.l1i.redirected + out.l1d.redirected;
+        redirected += out.unified.iter().map(|u| u.redirected).sum::<u64>();
+    }
+    assert_eq!(batch_cycles, scalar_cycles);
+    assert_levels_identical(&scalar, &batched, "rpcache/lru/l3");
+    assert!(redirected > 0, "contention-heavy RPCache trace never redirected");
+}
+
+#[test]
+fn fetch_heavy_and_data_heavy_run_boundaries() {
+    // Degenerate run shapes: all-fetch, all-data, and strict
+    // alternation (runs of length one) must all match the scalar walk.
+    let pid = ProcessId::new(1);
+    for shape in 0..3u8 {
+        let trace: Vec<TraceOp> = (0..500u64)
+            .map(|i| {
+                let addr = Addr::new((i * 613) % (1 << 13));
+                match (shape, i % 2) {
+                    (0, _) => TraceOp::fetch(addr),
+                    (1, _) => TraceOp::read(addr),
+                    (_, 0) => TraceOp::fetch(addr),
+                    (_, _) => TraceOp::write(addr),
+                }
+            })
+            .collect();
+        let mut scalar = small_hierarchy(
+            PlacementKind::RandomModulo,
+            ReplacementKind::Random,
+            HierarchyDepth::TwoLevel,
+        );
+        let mut batched = small_hierarchy(
+            PlacementKind::RandomModulo,
+            ReplacementKind::Random,
+            HierarchyDepth::TwoLevel,
+        );
+        let mut scalar_cycles = 0u64;
+        for op in &trace {
+            scalar_cycles += scalar.access(pid, op.kind, op.addr) as u64;
+        }
+        let out = batched.access_batch(pid, &trace);
+        assert_eq!(out.cycles, scalar_cycles, "shape {shape}");
+        assert_levels_identical(&scalar, &batched, &format!("shape {shape}"));
+        match shape {
+            0 => assert_eq!(out.l1d.accesses(), 0),
+            1 => assert_eq!(out.l1i.accesses(), 0),
+            _ => {
+                assert_eq!(out.l1i.accesses(), 250);
+                assert_eq!(out.l1d.accesses(), 250);
+            }
+        }
+    }
+}
+
+#[test]
+fn machine_access_kinds_route_to_expected_l1() {
+    // Sanity on AccessKind routing used by the run splitter.
+    let mut h =
+        small_hierarchy(PlacementKind::Modulo, ReplacementKind::Lru, HierarchyDepth::TwoLevel);
+    let pid = ProcessId::new(1);
+    h.access_batch(
+        pid,
+        &[
+            TraceOp::fetch(Addr::new(0)),
+            TraceOp::read(Addr::new(0x40)),
+            TraceOp::write(Addr::new(0x80)),
+        ],
+    );
+    assert_eq!(h.l1i().stats().accesses(), 1);
+    assert_eq!(h.l1d().stats().accesses(), 2);
+    assert_eq!(h.access(pid, AccessKind::Read, Addr::new(0x40)), 1);
+}

@@ -13,8 +13,8 @@ use core::fmt;
 use tscache_core::prng::SplitMix64;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::SetupKind;
-use tscache_sim::layout::{Layout, Region};
-use tscache_sim::machine::Machine;
+use tscache_sim::layout::Layout;
+use tscache_sim::machine::{Machine, TraceOp};
 
 /// How the OS assigns placement seeds (paper §5 discusses the spectrum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,14 +100,15 @@ pub struct TscacheOs {
     rng: SplitMix64,
 }
 
-/// Per-runnable synthetic working set: a code region plus a data region
-/// sized from the runnable's budget.
+/// Per-runnable synthetic working set, pre-assembled as a memory trace
+/// (code-block fetches interleaved with strided loads) so every job
+/// replays through the hierarchy's batch path.
 #[derive(Debug, Clone)]
 struct RunnableWorkload {
-    code: Region,
-    data: Region,
-    loads: u32,
-    alu: u32,
+    /// The job's memory operations in issue order.
+    ops: Vec<TraceOp>,
+    /// Instructions retired per job (code blocks + ALU burst).
+    instrs: u32,
 }
 
 impl TscacheOs {
@@ -115,24 +116,34 @@ impl TscacheOs {
     pub fn new(app: Application, setup: SetupKind, config: OsConfig) -> Self {
         let schedule = Schedule::build(&app);
         let mut layout = Layout::new(0x20_0000);
+        let machine = Machine::from_setup(setup, config.rng_seed ^ 0x05_05);
         let workloads = app
             .runnables()
             .iter()
             .map(|r| {
                 // Scale the working set with the budget: one load per
-                // ~25 budgeted cycles, spread over pages.
+                // ~25 budgeted cycles, spread over pages, with a code
+                // block re-fetched every 8 loads.
                 let loads = (r.wcet_budget() / 25).clamp(16, 4096) as u32;
                 let data_bytes = (loads as u64 * 32).next_power_of_two().max(4096);
-                RunnableWorkload {
-                    code: layout.alloc(&format!("{}.code", r.name()), 512, 32),
-                    data: layout.alloc(&format!("{}.data", r.name()), data_bytes, 4096),
-                    loads,
-                    alu: (r.wcet_budget() / 4) as u32,
+                let code = layout.alloc(&format!("{}.code", r.name()), 512, 32);
+                let data = layout.alloc(&format!("{}.data", r.name()), data_bytes, 4096);
+                let mut ops = Vec::new();
+                let mut blocks = 0u32;
+                let mut offset = 0u64;
+                for chunk in 0..loads {
+                    if chunk % 8 == 0 {
+                        machine.push_block_fetches(&mut ops, code.base(), 8);
+                        blocks += 1;
+                    }
+                    ops.push(TraceOp::read(data.at(offset)));
+                    offset = (offset + 96) % data.size();
                 }
+                RunnableWorkload { ops, instrs: 8 * blocks + (r.wcet_budget() / 4) as u32 }
             })
             .collect();
         TscacheOs {
-            machine: Machine::from_setup(setup, config.rng_seed ^ 0x05_05),
+            machine,
             app,
             schedule,
             config,
@@ -173,17 +184,10 @@ impl TscacheOs {
     }
 
     fn run_job(&mut self, runnable: usize) -> u64 {
-        let w = self.workloads[runnable].clone();
+        let w = &self.workloads[runnable];
         let start = self.machine.cycles();
-        let mut offset = 0u64;
-        for chunk in 0..w.loads {
-            if chunk % 8 == 0 {
-                self.machine.run_block(w.code.base(), 8);
-            }
-            self.machine.load(w.data.at(offset));
-            offset = (offset + 96) % w.data.size();
-        }
-        self.machine.execute(w.alu);
+        self.machine.run_trace(&w.ops);
+        self.machine.execute(w.instrs);
         self.machine.cycles() - start
     }
 

@@ -25,7 +25,7 @@ use tscache_core::addr::Addr;
 use tscache_core::parallel;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
-use tscache_core::setup::{SeedSharing, SetupKind};
+use tscache_core::setup::{HierarchyDepth, SeedSharing, SetupKind};
 use tscache_sim::layout::Layout;
 use tscache_sim::machine::{Machine, TraceOp};
 
@@ -61,6 +61,9 @@ pub struct TimingSample {
 pub struct SamplingConfig {
     /// Cache setup under attack.
     pub setup: SetupKind,
+    /// Hierarchy depth the node runs on (two-level paper platform or
+    /// the extended three-level variant with an L3).
+    pub depth: HierarchyDepth,
     /// Number of encryptions to time per node.
     pub samples: u32,
     /// Master seed: everything (keys aside) derives from it.
@@ -92,6 +95,7 @@ impl SamplingConfig {
     pub fn standard(setup: SetupKind, samples: u32, master_seed: u64) -> Self {
         SamplingConfig {
             setup,
+            depth: HierarchyDepth::TwoLevel,
             samples,
             master_seed,
             reseed_every: 32_768,
@@ -137,7 +141,8 @@ impl CryptoNode {
         let background = layout.alloc("background", 2 * 4096, 4096);
         let os = layout.alloc("os", 2 * 4096, 4096);
 
-        let mut machine = Machine::from_setup(cfg.setup, cfg.master_seed ^ role.stream());
+        let mut machine =
+            Machine::from_setup_depth(cfg.setup, cfg.depth, cfg.master_seed ^ role.stream());
         // RPCache protects the crypto tables (P-bit pages).
         for t in 0..5 {
             let region = aes_layout.table(t);
@@ -376,6 +381,19 @@ mod tests {
         assert_ne!(a.epoch_seed(pid, 3), v.epoch_seed(pid, 3));
         // And the OS seed differs from the task seed.
         assert_ne!(v.epoch_seed(pid, 3), v.epoch_seed(ProcessId::OS, 3));
+    }
+
+    #[test]
+    fn three_level_campaign_runs_and_reproduces() {
+        let mut c = cfg(SetupKind::TsCache, 30);
+        c.depth = HierarchyDepth::ThreeLevel;
+        let run = || CryptoNode::new(c, Role::Victim, &[3; 16]).collect();
+        let a = run();
+        assert_eq!(a.len(), 30);
+        assert_eq!(a, run());
+        // The node really runs on a 3-level hierarchy.
+        let node = CryptoNode::new(c, Role::Victim, &[3; 16]);
+        assert!(node.machine().hierarchy().l3().is_some());
     }
 
     #[test]

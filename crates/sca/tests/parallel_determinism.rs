@@ -3,15 +3,24 @@
 //! randomness purely from `(master_seed, trial index)` and results are
 //! collected in index order.
 //!
-//! Kept as a single test in its own binary because it mutates
-//! process-global environment variables.
+//! Kept in its own binary (tests run sequentially here) because it
+//! mutates process-global environment variables. CI runs this matrix
+//! explicitly as the `determinism` job, alongside the
+//! `determinism_probe` binary diffed under `RAYON_NUM_THREADS=1` vs
+//! `=8`.
 
 use tscache_core::parallel::thread_count;
-use tscache_core::setup::SetupKind;
+use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_sca::bernstein::analyze;
 use tscache_sca::evict_time::run_evict_time;
 use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{collect_pair, SamplingConfig, TimingSample};
+use tscache_sim::layout::Layout;
+use tscache_sim::synthetic::ArraySweep;
+use tscache_sim::workload::{collect_execution_times_par, MeasurementProtocol};
+
+/// The thread counts of the CI determinism matrix.
+const MATRIX: [&str; 3] = ["1", "3", "8"];
 
 fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
     std::env::set_var("RAYON_NUM_THREADS", n);
@@ -20,27 +29,37 @@ fn with_threads<T>(n: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Runs `f` under every thread count in the matrix and asserts all
+/// results are bit-identical to the single-threaded reference.
+fn assert_invariant<T: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> T) {
+    let reference = with_threads(MATRIX[0], &f);
+    for n in &MATRIX[1..] {
+        let got = with_threads(n, &f);
+        assert!(
+            got == reference,
+            "{what}: result under {n} threads diverges from single-threaded reference"
+        );
+    }
+}
+
 #[test]
-fn attack_results_are_bit_identical_across_thread_counts() {
+fn attack_and_mbpta_results_are_bit_identical_across_thread_counts() {
     assert_eq!(with_threads("1", thread_count), 1);
-    assert_eq!(with_threads("4", thread_count), 4);
+    assert_eq!(with_threads("8", thread_count), 8);
 
     // Prime+Probe / Evict+Time: trial fan-out.
-    let pp1 = with_threads("1", || run_prime_probe(SetupKind::TsCache, 64, 7));
-    let pp4 = with_threads("4", || run_prime_probe(SetupKind::TsCache, 64, 7));
-    assert_eq!(pp1, pp4);
-    let et1 = with_threads("1", || run_evict_time(SetupKind::Deterministic, 64, 3));
-    let et4 = with_threads("4", || run_evict_time(SetupKind::Deterministic, 64, 3));
-    assert_eq!(et1, et4);
+    assert_invariant("prime+probe", || run_prime_probe(SetupKind::TsCache, 64, 7));
+    assert_invariant("evict+time", || run_evict_time(SetupKind::Deterministic, 64, 3));
 
-    // Bernstein sampling pair + per-byte correlation sweep.
-    let cfg = SamplingConfig::standard(SetupKind::Mbpta, 200, 0xbeef);
+    // Bernstein sampling pair, on both hierarchy depths.
     let (ka, kv) = ([0u8; 16], [9u8; 16]);
-    let (a1, v1) = with_threads("1", || collect_pair(cfg, &ka, &kv));
-    let (a4, v4) = with_threads("4", || collect_pair(cfg, &ka, &kv));
-    assert_eq!(a1, a4, "attacker sample stream depends on thread count");
-    assert_eq!(v1, v4, "victim sample stream depends on thread count");
+    for depth in HierarchyDepth::ALL {
+        let mut cfg = SamplingConfig::standard(SetupKind::Mbpta, 200, 0xbeef);
+        cfg.depth = depth;
+        assert_invariant(&format!("collect_pair/{depth}"), || collect_pair(cfg, &ka, &kv));
+    }
 
+    // Per-byte correlation sweep.
     let noise: Vec<TimingSample> = (0..500)
         .map(|i| TimingSample {
             plaintext: core::array::from_fn(|j| (i * 31 + j as u64 * 7) as u8),
@@ -48,9 +67,18 @@ fn attack_results_are_bit_identical_across_thread_counts() {
         })
         .collect();
     let r1 = with_threads("1", || analyze(&noise, &ka, &noise, &kv));
-    let r4 = with_threads("4", || analyze(&noise, &ka, &noise, &kv));
-    for (b1, b4) in r1.bytes.iter().zip(&r4.bytes) {
-        assert_eq!(b1.scores, b4.scores, "byte {} scores diverge", b1.byte);
-        assert_eq!(b1.feasible, b4.feasible);
+    let r8 = with_threads("8", || analyze(&noise, &ka, &noise, &kv));
+    for (b1, b8) in r1.bytes.iter().zip(&r8.bytes) {
+        assert_eq!(b1.scores, b8.scores, "byte {} scores diverge", b1.byte);
+        assert_eq!(b1.feasible, b8.feasible);
     }
+
+    // MBPTA measurement collection (the parallel independent-runs
+    // protocol), driven through the batched-replay workloads.
+    let protocol = MeasurementProtocol { runs: 24, ..Default::default() };
+    assert_invariant("mbpta collection", || {
+        collect_execution_times_par(SetupKind::Mbpta, &protocol, || {
+            ArraySweep::standard(&mut Layout::new(0x10_0000))
+        })
+    });
 }

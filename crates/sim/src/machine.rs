@@ -11,7 +11,12 @@ use crate::pipeline::PipelineModel;
 use tscache_core::addr::Addr;
 use tscache_core::hierarchy::{AccessKind, Hierarchy};
 use tscache_core::seed::{ProcessId, Seed};
-use tscache_core::setup::SetupKind;
+use tscache_core::setup::{HierarchyDepth, SetupKind};
+
+/// One memory operation of a pre-built trace, consumed by
+/// [`Machine::run_trace`] (defined in `tscache_core::hierarchy`, where
+/// the batch path executes it).
+pub use tscache_core::hierarchy::TraceOp;
 
 /// One recorded memory event (when tracing is enabled).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,36 +27,6 @@ pub struct TraceEvent {
     pub addr: Addr,
     /// Cycle cost charged for the access.
     pub cost: u32,
-}
-
-/// One memory operation of a pre-built trace, consumed by
-/// [`Machine::run_trace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceOp {
-    /// Which port the access uses.
-    pub kind: AccessKind,
-    /// The byte address to access.
-    pub addr: Addr,
-}
-
-impl TraceOp {
-    /// An instruction fetch.
-    #[inline]
-    pub const fn fetch(addr: Addr) -> Self {
-        TraceOp { kind: AccessKind::Fetch, addr }
-    }
-
-    /// A data read.
-    #[inline]
-    pub const fn read(addr: Addr) -> Self {
-        TraceOp { kind: AccessKind::Read, addr }
-    }
-
-    /// A data write.
-    #[inline]
-    pub const fn write(addr: Addr) -> Self {
-        TraceOp { kind: AccessKind::Write, addr }
-    }
 }
 
 /// An execution-driven machine.
@@ -95,9 +70,16 @@ impl Machine {
         }
     }
 
-    /// Creates a machine for one of the paper's four setups.
+    /// Creates a machine for one of the paper's four setups (the
+    /// classic two-level hierarchy).
     pub fn from_setup(setup: SetupKind, rng_seed: u64) -> Self {
         Machine::new(setup.build(rng_seed))
+    }
+
+    /// Creates a machine for a setup at an explicit hierarchy depth
+    /// (e.g. the three-level presets with an L3).
+    pub fn from_setup_depth(setup: SetupKind, depth: HierarchyDepth, rng_seed: u64) -> Self {
+        Machine::new(setup.build_depth(depth, rng_seed))
     }
 
     /// Replaces the pipeline cost model.
@@ -230,16 +212,24 @@ impl Machine {
         self.cycles += cycles;
     }
 
-    /// Executes a pre-built memory trace, charging each access through
-    /// the hierarchy in order, and returns the cycles it cost.
+    /// Executes a pre-built memory trace through the hierarchy's batch
+    /// path ([`Hierarchy::access_batch`]) and returns the cycles it
+    /// cost.
     ///
     /// This is the batch interface of the simulator hot path: workloads
     /// that can precompute their access stream (the simulated AES
-    /// cipher, the synthetic kernels) assemble a `Vec<TraceOp>` once
-    /// and replay it, amortizing per-call bookkeeping while producing
-    /// exactly the same cache state and cycle total as issuing the
-    /// same operations through [`load`](Machine::load) /
-    /// [`store`](Machine::store) / per-line fetches.
+    /// cipher, the synthetic kernels, the RTOS runnables) assemble a
+    /// `Vec<TraceOp>` once and replay it. Whole segments run through
+    /// each cache level at a time — L2/L3 fills amortize across the
+    /// segment — while producing exactly the same cache state and
+    /// cycle total as issuing the same operations through
+    /// [`load`](Machine::load) / [`store`](Machine::store) / per-line
+    /// fetches.
+    ///
+    /// When event tracing is enabled the trace runs through the scalar
+    /// path instead, so per-op costs can be recorded; outcomes are
+    /// identical either way. With tracing disabled no per-op
+    /// bookkeeping (or allocation) happens at all.
     ///
     /// # Examples
     ///
@@ -254,13 +244,19 @@ impl Machine {
     /// assert_eq!(cycles, 91 + 1); // cold miss then warm hit
     /// ```
     pub fn run_trace(&mut self, ops: &[TraceOp]) -> u64 {
-        let before = self.cycles;
-        for op in ops {
-            let cost = self.hierarchy.access(self.pid, op.kind, op.addr);
-            self.cycles += cost as u64;
-            self.record(op.kind, op.addr, cost);
+        if self.trace.is_some() {
+            // Scalar fallback: per-op costs are observable only here.
+            let before = self.cycles;
+            for op in ops {
+                let cost = self.hierarchy.access(self.pid, op.kind, op.addr);
+                self.cycles += cost as u64;
+                self.record(op.kind, op.addr, cost);
+            }
+            return self.cycles - before;
         }
-        self.cycles - before
+        let cycles = self.hierarchy.access_batch_cycles(self.pid, ops);
+        self.cycles += cycles;
+        cycles
     }
 
     /// Appends the fetch operations [`run_block`](Machine::run_block)
@@ -420,6 +416,52 @@ mod tests {
         assert_eq!(cycles, scalar.cycles());
         assert_eq!(batched.cycles(), scalar.cycles());
         assert_eq!(batched.hierarchy().total_stats(), scalar.hierarchy().total_stats());
+    }
+
+    #[test]
+    fn run_trace_matches_scalar_on_three_level_hierarchy() {
+        let ops: Vec<TraceOp> = (0..600u64)
+            .map(|i| {
+                let addr = Addr::new((i * 2099) % (1 << 19));
+                match i % 4 {
+                    0 => TraceOp::fetch(addr),
+                    1 | 2 => TraceOp::read(addr),
+                    _ => TraceOp::write(addr),
+                }
+            })
+            .collect();
+        let mk = || {
+            Machine::from_setup_depth(
+                SetupKind::TsCache,
+                tscache_core::setup::HierarchyDepth::ThreeLevel,
+                5,
+            )
+        };
+        let mut scalar = mk();
+        let mut batched = mk();
+        for op in &ops {
+            let cost = scalar.hierarchy.access(scalar.pid, op.kind, op.addr);
+            scalar.cycles += cost as u64;
+        }
+        assert_eq!(batched.run_trace(&ops), scalar.cycles());
+        assert_eq!(batched.hierarchy().total_stats(), scalar.hierarchy().total_stats());
+        assert!(batched.hierarchy().l3().is_some());
+    }
+
+    #[test]
+    fn run_trace_records_nothing_when_tracing_disabled() {
+        let mut m = machine();
+        m.run_trace(&[TraceOp::read(Addr::new(0x100)), TraceOp::write(Addr::new(0x200))]);
+        assert!(m.take_trace().is_empty(), "events recorded with tracing off");
+        // And the traced path charges the same cycles as the batch path.
+        let ops: Vec<TraceOp> = (0..200u64).map(|i| TraceOp::read(Addr::new(i * 96))).collect();
+        let mut fast = machine();
+        let mut traced = machine();
+        traced.enable_trace();
+        let a = fast.run_trace(&ops);
+        let b = traced.run_trace(&ops);
+        assert_eq!(a, b);
+        assert_eq!(traced.take_trace().len(), ops.len());
     }
 
     #[test]

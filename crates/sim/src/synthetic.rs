@@ -6,10 +6,40 @@
 //! different data (execution-time variability under random layouts).
 
 use crate::layout::{Layout, Region};
-use crate::machine::Machine;
+use crate::machine::{Machine, TraceOp};
 use crate::workload::Workload;
 use tscache_core::addr::Addr;
 use tscache_core::prng::{Prng, SplitMix64};
+
+/// A workload's pre-assembled memory trace, keyed by the I-cache line
+/// size it was built for: the fetch stream from
+/// [`Machine::push_block_fetches`] depends on that geometry, so
+/// replaying the same workload on a machine with a different line size
+/// must rebuild instead of silently reusing a stale trace.
+#[derive(Debug, Clone, Default)]
+struct CachedTrace {
+    ops: Vec<TraceOp>,
+    /// Line size the ops were built for; 0 = not built yet.
+    line_bytes: u32,
+}
+
+impl CachedTrace {
+    /// Returns the cached ops, rebuilding through `build` when unbuilt
+    /// or built for a different I-cache line size.
+    fn for_machine(
+        &mut self,
+        machine: &Machine,
+        build: impl FnOnce(&Machine, &mut Vec<TraceOp>),
+    ) -> &[TraceOp] {
+        let line_bytes = machine.hierarchy().l1i().geometry().line_bytes();
+        if self.line_bytes != line_bytes {
+            self.ops.clear();
+            build(machine, &mut self.ops);
+            self.line_bytes = line_bytes;
+        }
+        &self.ops
+    }
+}
 
 /// Sequential array sweep: `iters` passes over a region with `stride`.
 #[derive(Debug, Clone)]
@@ -18,16 +48,15 @@ pub struct ArraySweep {
     data: Region,
     stride: u64,
     iters: u32,
-    /// One pass's memory operations, assembled on first run and
-    /// replayed through the batch API afterwards.
-    ops: Vec<crate::machine::TraceOp>,
+    /// One pass's memory operations, replayed through the batch API.
+    trace: CachedTrace,
 }
 
 impl ArraySweep {
     /// Creates a sweep over `data`, fetching loop code from `code`.
     pub fn new(code: Region, data: Region, stride: u64, iters: u32) -> Self {
         assert!(stride > 0, "stride must be positive");
-        ArraySweep { code, data, stride, iters, ops: Vec::new() }
+        ArraySweep { code, data, stride, iters, trace: CachedTrace::default() }
     }
 
     /// The standard instance used by the benches: 24 KiB of data (1.5×
@@ -49,17 +78,18 @@ impl Workload for ArraySweep {
         // the strided loads, in the exact order the scalar path issued
         // them; the instruction retire cost is order-independent and
         // charged per pass.
-        if self.ops.is_empty() {
+        let (code, data, stride) = (self.code, self.data, self.stride);
+        let ops = self.trace.for_machine(machine, |machine, ops| {
             let mut off = 0;
-            while off < self.data.size() {
-                machine.push_block_fetches(&mut self.ops, self.code.base(), 4);
-                self.ops.push(crate::machine::TraceOp::read(self.data.at(off)));
-                off += self.stride;
+            while off < data.size() {
+                machine.push_block_fetches(ops, code.base(), 4);
+                ops.push(TraceOp::read(data.at(off)));
+                off += stride;
             }
-        }
+        });
         let elems = self.data.size().div_ceil(self.stride) as u32;
         for _ in 0..self.iters {
-            machine.run_trace(&self.ops);
+            machine.run_trace(ops);
             machine.execute(4 * elems);
             machine.branch();
         }
@@ -73,8 +103,8 @@ pub struct PointerChase {
     data: Region,
     order: Vec<u64>,
     steps: u32,
-    /// The full chase's memory operations, assembled on first run.
-    ops: Vec<crate::machine::TraceOp>,
+    /// The full chase's memory operations, replayed batched.
+    trace: CachedTrace,
 }
 
 impl PointerChase {
@@ -86,7 +116,7 @@ impl PointerChase {
         let mut order: Vec<u64> = (0..nodes as u64).collect();
         let mut rng = SplitMix64::new(perm_seed);
         rng.shuffle(&mut order);
-        PointerChase { code, data, order, steps, ops: Vec::new() }
+        PointerChase { code, data, order, steps, trace: CachedTrace::default() }
     }
 
     /// The standard instance: 768 nodes (24 KiB — 1.5× the L1 capacity,
@@ -105,14 +135,15 @@ impl Workload for PointerChase {
 
     fn run(&mut self, machine: &mut Machine) {
         let n = self.order.len() as u32;
-        if self.ops.is_empty() {
-            for step in 0..self.steps {
-                let node = self.order[(step % n) as usize];
-                machine.push_block_fetches(&mut self.ops, self.code.base(), 3);
-                self.ops.push(crate::machine::TraceOp::read(self.data.at(node * 32)));
+        let (code, data, steps, order) = (self.code, self.data, self.steps, &self.order);
+        let ops = self.trace.for_machine(machine, |machine, ops| {
+            for step in 0..steps {
+                let node = order[(step % n) as usize];
+                machine.push_block_fetches(ops, code.base(), 3);
+                ops.push(TraceOp::read(data.at(node * 32)));
             }
-        }
-        machine.run_trace(&self.ops);
+        });
+        machine.run_trace(ops);
         machine.execute(3 * self.steps);
         // The load-use stall of every dependent load.
         machine.charge_stall(self.steps as u64 * machine.pipeline().load_use_stall as u64);
@@ -127,6 +158,8 @@ pub struct MatrixMult {
     b: Region,
     c: Region,
     n: u64,
+    /// The full multiply's memory operations, replayed batched.
+    trace: CachedTrace,
 }
 
 impl MatrixMult {
@@ -135,7 +168,7 @@ impl MatrixMult {
         for (name, r) in [("a", &a), ("b", &b), ("c", &c)] {
             assert!(4 * n * n <= r.size(), "matrix {name} does not fit");
         }
-        MatrixMult { code, a, b, c, n }
+        MatrixMult { code, a, b, c, n, trace: CachedTrace::default() }
     }
 
     /// The standard instance: 40×40 words per matrix (6.4 KiB each, so
@@ -157,18 +190,37 @@ impl Workload for MatrixMult {
 
     fn run(&mut self, machine: &mut Machine) {
         let n = self.n;
-        for i in 0..n {
-            for j in 0..n {
-                machine.run_block(self.code.base(), 6);
-                for k in 0..n {
-                    machine.load(self.a.at(4 * (i * n + k)));
-                    machine.load_use(self.b.at(4 * (k * n + j)));
-                    machine.execute(2); // multiply-accumulate
+        // Assemble the whole multiply's memory stream once, in the
+        // exact order the scalar path issued it: per (i, j) the loop
+        // body's fetches, the alternating a/b loads of the k loop,
+        // then the c store. Instruction retire, load-use stalls and
+        // branch penalties are order-independent constants charged in
+        // bulk below.
+        let (code, a, b, c) = (self.code, self.a, self.b, self.c);
+        let ops = self.trace.for_machine(machine, |machine, ops| {
+            for i in 0..n {
+                for j in 0..n {
+                    machine.push_block_fetches(ops, code.base(), 6);
+                    for k in 0..n {
+                        ops.push(TraceOp::read(a.at(4 * (i * n + k))));
+                        ops.push(TraceOp::read(b.at(4 * (k * n + j))));
+                    }
+                    ops.push(TraceOp::write(c.at(4 * (i * n + j))));
                 }
-                machine.store(self.c.at(4 * (i * n + j)));
-                machine.branch();
             }
+        });
+        machine.run_trace(ops);
+        // 6 block instructions per cell plus 2 per multiply-accumulate;
+        // totals exceed u32 for large n, so retire in bounded chunks.
+        let mut instrs = 6 * n * n + 2 * n * n * n;
+        while instrs > 0 {
+            let chunk = instrs.min(1 << 20) as u32;
+            machine.execute(chunk);
+            instrs -= chunk as u64;
         }
+        let pipeline = machine.pipeline();
+        machine.charge_stall((n * n * n) * pipeline.load_use_stall as u64);
+        machine.charge_stall((n * n) * pipeline.branch_penalty as u64);
     }
 }
 
@@ -182,6 +234,9 @@ pub struct MultipathTask {
     data: Region,
     inputs: Vec<u8>,
     paths: u32,
+    /// The job's memory operations (fixed, since the input vector is
+    /// fixed), replayed batched.
+    trace: CachedTrace,
 }
 
 impl MultipathTask {
@@ -193,7 +248,7 @@ impl MultipathTask {
         assert!(data.size() >= paths as u64 * 4096, "need one page per path");
         let mut rng = SplitMix64::new(input_seed);
         let inputs = (0..steps).map(|_| (rng.below(paths)) as u8).collect();
-        MultipathTask { code, data, inputs, paths }
+        MultipathTask { code, data, inputs, paths, trace: CachedTrace::default() }
     }
 
     /// The standard instance: 256 steps over 6 paths (one 4 KiB page
@@ -211,19 +266,25 @@ impl Workload for MultipathTask {
     }
 
     fn run(&mut self, machine: &mut Machine) {
-        for (step, &path) in self.inputs.iter().enumerate() {
-            // Each path has its own code block and data page.
-            let code = self.code.at((path as u64) * 128);
-            machine.run_block(code, 8);
-            machine.branch();
-            let page = self.data.at((path as u64) * 4096);
-            // Touch a path-and-step-dependent slice of the page.
-            let base = ((step as u64 * 5) % 32) * 96;
-            for w in 0..12u64 {
-                machine.load(Addr::new(page.as_u64() + base + w * 32));
+        // The decision vector is fixed, so the whole job's memory
+        // stream is too: assemble it once (each path has its own code
+        // block and data page; each step touches a path-and-step-
+        // dependent slice of the page) and replay it batched.
+        let (code, data, inputs) = (self.code, self.data, &self.inputs);
+        let ops = self.trace.for_machine(machine, |machine, ops| {
+            for (step, &path) in inputs.iter().enumerate() {
+                machine.push_block_fetches(ops, code.at((path as u64) * 128), 8);
+                let page = data.at((path as u64) * 4096);
+                let base = ((step as u64 * 5) % 32) * 96;
+                for w in 0..12u64 {
+                    ops.push(TraceOp::read(Addr::new(page.as_u64() + base + w * 32)));
+                }
             }
-            machine.execute(16);
-        }
+        });
+        machine.run_trace(ops);
+        let steps = self.inputs.len() as u32;
+        machine.execute((8 + 16) * steps);
+        machine.charge_stall(steps as u64 * machine.pipeline().branch_penalty as u64);
         let _ = self.paths;
     }
 }
@@ -309,6 +370,54 @@ mod tests {
         let protocol = MeasurementProtocol { runs: 10, ..Default::default() };
         let times = collect_execution_times(SetupKind::Deterministic, &mut w, &protocol);
         assert!(times.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn cached_trace_rebuilds_on_different_line_size() {
+        use tscache_core::cache::Cache;
+        use tscache_core::geometry::CacheGeometry;
+        use tscache_core::hierarchy::{Hierarchy, Latencies};
+        use tscache_core::placement::PlacementKind;
+        use tscache_core::replacement::ReplacementKind;
+
+        let wide_lines = |label: &str, sets: u32| {
+            Cache::new(
+                label,
+                CacheGeometry::new(sets, 4, 64).unwrap(),
+                PlacementKind::Modulo,
+                ReplacementKind::Lru,
+                1,
+            )
+        };
+        let mut l = layout();
+        let mut w = ArraySweep::standard(&mut l);
+        // First run on the standard 32 B-line machine, then on a
+        // 64 B-line machine: the cached fetch stream must be rebuilt,
+        // matching a fresh workload's accounting exactly.
+        let mut narrow = Machine::from_setup(SetupKind::Deterministic, 1);
+        w.run(&mut narrow);
+        let mut wide = Machine::new(Hierarchy::new(
+            wide_lines("L1I", 64),
+            wide_lines("L1D", 64),
+            wide_lines("L2", 1024),
+            Latencies::default(),
+        ));
+        w.run(&mut wide);
+        let mut l2 = layout();
+        let mut fresh = ArraySweep::standard(&mut l2);
+        let mut wide_fresh = Machine::new(Hierarchy::new(
+            wide_lines("L1I", 64),
+            wide_lines("L1D", 64),
+            wide_lines("L2", 1024),
+            Latencies::default(),
+        ));
+        fresh.run(&mut wide_fresh);
+        assert_eq!(wide.cycles(), wide_fresh.cycles(), "stale trace replayed");
+        assert_eq!(
+            wide.hierarchy().l1i().stats(),
+            wide_fresh.hierarchy().l1i().stats(),
+            "fetch stream not rebuilt for 64 B lines"
+        );
     }
 
     #[test]
