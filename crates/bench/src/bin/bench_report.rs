@@ -13,25 +13,28 @@
 //! * simulated-AES encryptions/sec per cache setup, at both hierarchy
 //!   depths;
 //! * Bernstein sampling throughput (samples/sec, the quantity that
-//!   bounds attack-campaign scale);
+//!   bounds attack-campaign scale), solo and with an active co-runner;
+//! * contended-vs-solo `Machine::run_trace` throughput per arbitration
+//!   policy (what the interference layer costs the hot path);
 //! * Prime+Probe trials/sec through the parallel harness.
 //!
-//! Usage: `bench_report [--pr 2] [--out BENCH_PR2.json] [--ms 300]`
+//! Usage: `bench_report [--pr 3] [--out BENCH_PR3.json] [--ms 300]`
 
 use std::hint::black_box;
 use tscache_bench::harness::{bench, render_table, to_json, Measurement};
-use tscache_bench::suites::{cache_dispatch_suite, hierarchy_batch_suite};
+use tscache_bench::suites::{cache_dispatch_suite, contended_machine_suite, hierarchy_batch_suite};
 use tscache_bench::Args;
 use tscache_core::parallel;
 use tscache_core::placement::PlacementKind;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
+use tscache_interference::{Arbitration, ContentionConfig};
 use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
 
 fn main() {
     let args = Args::from_env();
-    let pr = args.get_u64("pr", 2);
+    let pr = args.get_u64("pr", 3);
     let ms = args.get_u64("ms", 300);
     let out_path = args.get_str("out", &format!("BENCH_PR{pr}.json"));
 
@@ -76,12 +79,33 @@ fn main() {
         }
     }
 
+    // The contended machine path per arbitration policy: solo vs
+    // co-runner run_trace throughput on the L2-heavy trace.
+    for arbitration in Arbitration::ALL {
+        results.extend(contended_machine_suite(
+            SetupKind::TsCache,
+            HierarchyDepth::TwoLevel,
+            arbitration,
+            ms,
+        ));
+    }
+
     // Bernstein sampling throughput: one fresh node per timing call so
     // the epoch warm-up cost is included, as in a real campaign.
     let mut round = 0u64;
     results.push(bench("bernstein/sampling", "samples", ms.max(500), || {
         round += 1;
         let cfg = SamplingConfig::standard(SetupKind::TsCache, 2000, 0xbeef ^ round);
+        let samples = CryptoNode::new(cfg, Role::Victim, &[7u8; 16]).collect();
+        samples.len() as u64
+    }));
+
+    // The same campaign with an active co-runner on the shared bus.
+    let mut contended_round = 0u64;
+    results.push(bench("bernstein/sampling-contended", "samples", ms.max(500), || {
+        contended_round += 1;
+        let mut cfg = SamplingConfig::standard(SetupKind::TsCache, 2000, 0xbeef ^ contended_round);
+        cfg.contention = Some(ContentionConfig::default());
         let samples = CryptoNode::new(cfg, Role::Victim, &[7u8; 16]).collect();
         samples.len() as u64
     }));
@@ -104,6 +128,12 @@ fn main() {
     let hier_det_l3 = rate("hier/deterministic-l3/batch") / rate("hier/deterministic-l3/scalar");
     let hier_ts_l2 = rate("hier/tscache-l2/batch") / rate("hier/tscache-l2/scalar");
     let hier_ts_l3 = rate("hier/tscache-l3/batch") / rate("hier/tscache-l3/scalar");
+    let contention_rr = rate("machine/tscache-l2-round-robin/contended")
+        / rate("machine/tscache-l2-round-robin/solo");
+    let contention_tdma =
+        rate("machine/tscache-l2-tdma/contended") / rate("machine/tscache-l2-tdma/solo");
+    let bernstein_contended_ratio =
+        rate("bernstein/sampling-contended") / rate("bernstein/sampling");
 
     let extra = [
         ("pr", pr as f64),
@@ -116,6 +146,9 @@ fn main() {
         ("speedup_hier_batch_deterministic_l3", hier_det_l3),
         ("speedup_hier_batch_tscache_l2", hier_ts_l2),
         ("speedup_hier_batch_tscache_l3", hier_ts_l3),
+        ("throughput_ratio_contended_round_robin", contention_rr),
+        ("throughput_ratio_contended_tdma", contention_tdma),
+        ("throughput_ratio_bernstein_contended", bernstein_contended_ratio),
     ];
 
     print!("{}", render_table(&results));
@@ -126,6 +159,9 @@ fn main() {
     println!("hierarchy batch vs scalar walk (same run, L2-heavy trace):");
     println!("  deterministic: l2 {hier_det_l2:.2}x, l3 {hier_det_l3:.2}x");
     println!("  tscache:       l2 {hier_ts_l2:.2}x, l3 {hier_ts_l3:.2}x");
+    println!("contended vs solo throughput (same run):");
+    println!("  machine run_trace: round-robin {contention_rr:.2}x, tdma {contention_tdma:.2}x");
+    println!("  bernstein sampling: {bernstein_contended_ratio:.2}x");
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

@@ -14,6 +14,8 @@ use tscache_core::placement::PlacementKind;
 use tscache_core::replacement::ReplacementKind;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
+use tscache_interference::{Arbitration, BusConfig, ContentionConfig, SystemConfig};
+use tscache_sim::machine::Machine;
 
 /// The standard access trace for the dispatch comparison: a 24 KiB
 /// working set cycled over the paper's 16 KiB L1, mixing hits and
@@ -109,6 +111,53 @@ pub fn hierarchy_batch_suite(
     results
 }
 
+/// The contended-vs-solo machine comparison, measured in one run: the
+/// same L2-heavy trace replayed through `Machine::run_trace` on a solo
+/// machine and on one with an active FIR co-runner under `arbitration`
+/// — the per-PR record of what the interference layer costs the hot
+/// path and how much timing the contention model injects.
+pub fn contended_machine_suite(
+    setup: SetupKind,
+    depth: HierarchyDepth,
+    arbitration: Arbitration,
+    min_ms: u64,
+) -> Vec<Measurement> {
+    let pid = ProcessId::new(1);
+    let ops = l2_heavy_trace();
+    let tag = format!("{}-{}-{}", setup.label(), depth.label(), arbitration.label());
+    let mut results = Vec::with_capacity(2);
+
+    let mut solo = Machine::from_setup_depth(setup, depth, 21);
+    solo.set_process(pid);
+    solo.set_process_seed(pid, Seed::new(42));
+    results.push(bench(format!("machine/{tag}/solo"), "accesses", min_ms, || {
+        black_box(solo.run_trace(black_box(&ops)));
+        ops.len() as u64
+    }));
+
+    let mut contended = Machine::from_setup_depth(setup, depth, 21);
+    contended.set_process(pid);
+    contended.set_process_seed(pid, Seed::new(42));
+    contended.attach_standard_enemies(
+        setup,
+        depth,
+        &ContentionConfig {
+            system: SystemConfig {
+                bus: BusConfig { arbitration, ..BusConfig::default() },
+                ..SystemConfig::default()
+            },
+            ..ContentionConfig::default()
+        },
+        77,
+    );
+    results.push(bench(format!("machine/{tag}/contended"), "accesses", min_ms, || {
+        black_box(contended.run_trace(black_box(&ops)));
+        ops.len() as u64
+    }));
+
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +175,22 @@ mod tests {
         let ops = l2_heavy_trace();
         assert!(ops.iter().any(|o| o.kind == tscache_core::hierarchy::AccessKind::Fetch));
         assert!(ops.iter().any(|o| o.kind == tscache_core::hierarchy::AccessKind::Read));
+    }
+
+    #[test]
+    fn contended_suite_reports_solo_and_contended() {
+        let results = contended_machine_suite(
+            SetupKind::TsCache,
+            HierarchyDepth::TwoLevel,
+            Arbitration::RoundRobin,
+            1,
+        );
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["machine/tscache-l2-round-robin/solo", "machine/tscache-l2-round-robin/contended"]
+        );
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
     }
 
     #[test]

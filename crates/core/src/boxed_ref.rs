@@ -178,6 +178,9 @@ impl BoxedCache {
             let ev = EvictedLine {
                 line: LineAddr::new(self.tags[slot]),
                 owner: ProcessId::new(self.owners[slot]),
+                // The boxed reference models the seed's read-only
+                // write-through world: lines are never dirty.
+                dirty: false,
             };
             if ev.owner != pid {
                 self.stats.record_cross_process_eviction();

@@ -41,6 +41,21 @@ use core::fmt;
 /// line address collides with it.
 pub const INVALID_TAG: u64 = u64::MAX;
 
+/// How the cache propagates stores (the policy knob of the
+/// interference model: write-back caches turn dirty evictions into
+/// bus traffic, write-through caches drain stores through a write
+/// buffer that this model treats as free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Stores propagate immediately; lines are never dirty and
+    /// evictions never write back (the seed model's behaviour).
+    #[default]
+    WriteThrough,
+    /// Stores mark the line dirty; evicting a dirty line emits a
+    /// writeback toward the next level.
+    WriteBack,
+}
+
 /// Packed per-line metadata: the owner process and a flag byte.
 /// Validity is encoded in the tags array via [`INVALID_TAG`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,12 +66,20 @@ struct LineMeta {
 
 impl LineMeta {
     const PROTECTED: u8 = 1;
+    /// The line holds data newer than the next level (write-back
+    /// caches only; never set under [`WritePolicy::WriteThrough`]).
+    const DIRTY: u8 = 2;
 
     const EMPTY: LineMeta = LineMeta { owner: 0, flags: 0 };
 
     #[inline]
     fn protected(self) -> bool {
         self.flags & Self::PROTECTED != 0
+    }
+
+    #[inline]
+    fn dirty(self) -> bool {
+        self.flags & Self::DIRTY != 0
     }
 }
 
@@ -67,6 +90,23 @@ pub struct EvictedLine {
     pub line: LineAddr,
     /// The process that owned the displaced line.
     pub owner: ProcessId,
+    /// Whether the displaced line was dirty (its eviction emitted a
+    /// writeback; always `false` on write-through caches).
+    pub dirty: bool,
+}
+
+/// One dirty-eviction writeback emitted while draining a batch, in
+/// access order: the victim line, its owner, and the index of the
+/// originating access in the batch's input (or the caller-provided
+/// op index, see [`BatchIo::idx`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// The dirty line written back.
+    pub line: LineAddr,
+    /// The process that owned (and dirtied) the line.
+    pub owner: ProcessId,
+    /// Originating op index.
+    pub op_idx: u32,
 }
 
 /// Result of a cache access.
@@ -107,6 +147,8 @@ pub struct BatchOutcome {
     pub evictions: u64,
     /// Fills redirected by an RPCache contention remap.
     pub redirected: u64,
+    /// Evictions of dirty lines that emitted a writeback.
+    pub writebacks: u64,
 }
 
 impl BatchOutcome {
@@ -122,6 +164,7 @@ impl core::ops::AddAssign for BatchOutcome {
         self.misses += rhs.misses;
         self.evictions += rhs.evictions;
         self.redirected += rhs.redirected;
+        self.writebacks += rhs.writebacks;
     }
 }
 
@@ -131,6 +174,27 @@ impl core::ops::Add for BatchOutcome {
         self += rhs;
         self
     }
+}
+
+/// Optional inputs and sinks of [`Cache::access_batch_io`], the batch
+/// engine behind every hierarchy-level pass. All fields default to
+/// `None`, collapsing to the plain read-only batch walk.
+#[derive(Default)]
+pub struct BatchIo<'a, 'b> {
+    /// Per-line write flags (`None` = every access is a read). Must
+    /// match `lines` in length.
+    pub writes: Option<&'a [bool]>,
+    /// Original op index per line (`None` = positions `0..len`). Must
+    /// match `lines` in length. Lets a hierarchy level report misses
+    /// and writebacks in terms of the *originating trace op* even
+    /// though its input stream is already a filtered miss stream.
+    pub idx: Option<&'a [u32]>,
+    /// Sink for missing lines, in access order.
+    pub misses: Option<&'b mut Vec<LineAddr>>,
+    /// Sink for the missing lines' op indices, parallel to `misses`.
+    pub miss_idx: Option<&'b mut Vec<u32>>,
+    /// Sink for dirty-eviction writebacks, in access order.
+    pub writebacks: Option<&'b mut Vec<Writeback>>,
 }
 
 /// One-entry context cache for the hot process: seed and way range.
@@ -147,10 +211,14 @@ impl HotContext {
     const EMPTY: HotContext = HotContext { pid: u32::MAX, seed: Seed::ZERO, lo: 0, hi: 0 };
 }
 
-/// Entries in the direct-mapped placement memo (must be a power of
-/// two). 1024 entries cover the working sets of the reproduction's
-/// workloads with a near-perfect hit rate at 24 KiB of memo state.
-const PLACE_MEMO_ENTRIES: usize = 1024;
+/// Bounds on the direct-mapped placement memo (always a power of two).
+/// The memo is sized to the cache's own line count: 1024 entries cover
+/// the L1 working sets, while L2/L3-sized caches get proportionally
+/// larger memos so the *batched miss stream* — whose footprint scales
+/// with the lower level, not the L1 — still hits the memo instead of
+/// re-running the Benes network / Feistel hash per miss.
+const PLACE_MEMO_MIN_ENTRIES: usize = 1024;
+const PLACE_MEMO_MAX_ENTRIES: usize = 8192;
 
 /// One placement-memo slot: the memoized `place(line, seed) = set`.
 /// `line == INVALID_TAG` marks an empty slot.
@@ -208,6 +276,7 @@ pub struct Cache {
     /// may fill any way.
     partitions: Vec<(u16, u32, u32)>,
     seeds: SeedTable,
+    write_policy: WritePolicy,
     hot: HotContext,
     /// Direct-mapped memo for expensive pure placements (the Benes
     /// network of Random Modulo, the HashRP rotate/XOR/Feistel hash):
@@ -246,7 +315,9 @@ impl Cache {
         let n = geom.total_lines() as usize;
         let placement = placement.engine(&geom);
         let place_memo = if placement.memoizable() {
-            vec![PlaceMemoEntry::EMPTY; PLACE_MEMO_ENTRIES]
+            let entries =
+                n.next_power_of_two().clamp(PLACE_MEMO_MIN_ENTRIES, PLACE_MEMO_MAX_ENTRIES);
+            vec![PlaceMemoEntry::EMPTY; entries]
         } else {
             Vec::new()
         };
@@ -261,6 +332,7 @@ impl Cache {
             protected_ranges: Vec::new(),
             partitions: Vec::new(),
             seeds: SeedTable::new(),
+            write_policy: WritePolicy::WriteThrough,
             hot: HotContext::EMPTY,
             place_memo,
             rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
@@ -304,6 +376,45 @@ impl Cache {
     pub fn set_seed(&mut self, pid: ProcessId, seed: Seed) {
         self.seeds.set(pid, seed);
         self.hot = HotContext::EMPTY;
+    }
+
+    /// Sets the write policy. Switching an already-populated cache to
+    /// write-through does not clean existing dirty lines; switch before
+    /// issuing traffic (or flush first).
+    pub fn set_write_policy(&mut self, policy: WritePolicy) {
+        self.write_policy = policy;
+    }
+
+    /// The cache's write policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// Number of currently dirty lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.tags.iter().zip(&self.meta).filter(|(&t, m)| t != INVALID_TAG && m.dirty()).count()
+    }
+
+    /// Delivers a writeback of `line` (owned and dirtied by `owner` in
+    /// the level above) to this cache. If the line is present and this
+    /// cache is write-back, its copy is marked dirty and the writeback
+    /// is absorbed (returns `true`); otherwise it must continue toward
+    /// the next level (returns `false`). The delivery is *silent*: no
+    /// fill, no replacement update, no hit/miss accounting — dirty
+    /// state is the only side effect, so batch and scalar executions
+    /// stay bit-identical as long as deliveries happen in the same
+    /// order.
+    pub fn receive_writeback(&mut self, owner: ProcessId, line: LineAddr) -> bool {
+        let (seed, _, _) = self.context(owner);
+        let set = self.place(line, seed);
+        match self.find_way(set, line) {
+            Some(way) if self.write_policy == WritePolicy::WriteBack => {
+                let slot = (set * self.ways + way) as usize;
+                self.meta[slot].flags |= LineMeta::DIRTY;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Marks the line-address range `start..end` as *protected*
@@ -437,7 +548,7 @@ impl Cache {
             return self.placement.place(line, seed);
         }
         let idx = ((line.as_u64() ^ seed.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize)
-            & (PLACE_MEMO_ENTRIES - 1);
+            & (self.place_memo.len() - 1);
         let entry = self.place_memo[idx];
         if entry.line == line.as_u64() && entry.seed == seed.as_u64() {
             return entry.set;
@@ -465,16 +576,36 @@ impl Cache {
             .map(|w| lo + w as u32)
     }
 
-    /// Accesses `line` on behalf of `pid`, filling on a miss.
+    /// Accesses `line` on behalf of `pid` as a *read*, filling on a
+    /// miss.
     ///
     /// # Panics
     ///
     /// Panics if `line` is `u64::MAX` (the [`INVALID_TAG`] sentinel) —
     /// such a fill would silently read back as an invalid slot.
     pub fn access(&mut self, pid: ProcessId, line: LineAddr) -> AccessOutcome {
+        self.access_rw(pid, line, false)
+    }
+
+    /// Accesses `line` on behalf of `pid` as a *write* (write-allocate:
+    /// a miss fills the line first). Under [`WritePolicy::WriteBack`]
+    /// the line is marked dirty; under write-through the access is
+    /// indistinguishable from a read (the store drains through a write
+    /// buffer this model treats as free).
+    ///
+    /// # Panics
+    ///
+    /// As [`access`](Self::access).
+    pub fn access_write(&mut self, pid: ProcessId, line: LineAddr) -> AccessOutcome {
+        self.access_rw(pid, line, true)
+    }
+
+    /// The read/write access entry point; see [`access`](Self::access)
+    /// and [`access_write`](Self::access_write).
+    pub fn access_rw(&mut self, pid: ProcessId, line: LineAddr, write: bool) -> AccessOutcome {
         assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
         let (seed, lo, hi) = self.context(pid);
-        match self.access_inner(pid, line, seed, lo, hi) {
+        match self.access_inner(pid, line, seed, lo, hi, write) {
             InnerOutcome::Hit => {
                 self.stats.record_hit();
                 AccessOutcome::Hit
@@ -482,6 +613,9 @@ impl Cache {
             InnerOutcome::Miss { evicted, redirected, cross_process } => {
                 if cross_process {
                     self.stats.record_cross_process_eviction();
+                }
+                if evicted.is_some_and(|ev| ev.dirty) {
+                    self.stats.record_writeback();
                 }
                 self.stats.record_miss(evicted.is_some());
                 AccessOutcome::Miss { evicted, redirected }
@@ -525,7 +659,7 @@ impl Cache {
     /// assert_eq!(warm.hits, 64);
     /// ```
     pub fn access_batch(&mut self, pid: ProcessId, lines: &[LineAddr]) -> BatchOutcome {
-        self.batch_inner(pid, lines, None)
+        self.batch_inner(pid, lines, BatchIo::default())
     }
 
     /// Like [`access_batch`](Self::access_batch), but additionally
@@ -547,10 +681,91 @@ impl Cache {
         lines: &[LineAddr],
         misses: &mut Vec<LineAddr>,
     ) -> BatchOutcome {
-        self.batch_inner(pid, lines, Some(misses))
+        self.batch_inner(pid, lines, BatchIo { misses: Some(misses), ..BatchIo::default() })
+    }
+
+    /// The fully-featured batch entry point: reads and writes mixed
+    /// (per-line write flags), caller-supplied op indices, and sinks
+    /// for the miss stream, the misses' op indices and the dirty-
+    /// eviction writebacks. [`Hierarchy::access_batch`] drives every
+    /// level through this method; the simpler batch calls are wrappers
+    /// passing an empty [`BatchIo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any line is `u64::MAX` (the [`INVALID_TAG`] sentinel)
+    /// or if a provided `writes`/`idx` slice disagrees with `lines` in
+    /// length.
+    pub fn access_batch_io(
+        &mut self,
+        pid: ProcessId,
+        lines: &[LineAddr],
+        io: BatchIo<'_, '_>,
+    ) -> BatchOutcome {
+        self.batch_inner(pid, lines, io)
     }
 
     fn batch_inner(
+        &mut self,
+        pid: ProcessId,
+        lines: &[LineAddr],
+        io: BatchIo<'_, '_>,
+    ) -> BatchOutcome {
+        // The read-only miss-collect shape (the write-through hot path)
+        // skips all per-op event plumbing.
+        if io.writes.is_none()
+            && io.idx.is_none()
+            && io.miss_idx.is_none()
+            && io.writebacks.is_none()
+        {
+            return self.batch_reads(pid, lines, io.misses);
+        }
+        if let Some(writes) = io.writes {
+            assert_eq!(writes.len(), lines.len(), "write flags length mismatch");
+        }
+        if let Some(idx) = io.idx {
+            assert_eq!(idx.len(), lines.len(), "op index length mismatch");
+        }
+        let BatchIo { writes, idx, mut misses, mut miss_idx, mut writebacks } = io;
+        let (seed, lo, hi) = self.context(pid);
+        let mut out = BatchOutcome::default();
+        let mut cross = 0u64;
+        for (i, &line) in lines.iter().enumerate() {
+            assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
+            let write = writes.is_some_and(|w| w[i]);
+            match self.access_inner(pid, line, seed, lo, hi, write) {
+                InnerOutcome::Hit => out.hits += 1,
+                InnerOutcome::Miss { evicted, redirected, cross_process } => {
+                    let op_idx = idx.map_or(i as u32, |v| v[i]);
+                    out.misses += 1;
+                    out.evictions += evicted.is_some() as u64;
+                    out.redirected += redirected as u64;
+                    cross += cross_process as u64;
+                    if let Some(ev) = evicted.filter(|ev| ev.dirty) {
+                        out.writebacks += 1;
+                        if let Some(sink) = writebacks.as_deref_mut() {
+                            sink.push(Writeback { line: ev.line, owner: ev.owner, op_idx });
+                        }
+                    }
+                    if let Some(sink) = misses.as_deref_mut() {
+                        sink.push(line);
+                    }
+                    if let Some(sink) = miss_idx.as_deref_mut() {
+                        sink.push(op_idx);
+                    }
+                }
+            }
+        }
+        self.stats.record_batch(out.hits, out.misses, out.evictions, cross);
+        self.stats.record_writebacks(out.writebacks);
+        out
+    }
+
+    /// The lean all-reads batch loop (`access`'s batched twin): no
+    /// write flags, no op-index bookkeeping, no writeback sink. Dirty
+    /// evictions are still *counted* (a read can displace a line some
+    /// earlier write dirtied), they just aren't materialized.
+    fn batch_reads(
         &mut self,
         pid: ProcessId,
         lines: &[LineAddr],
@@ -561,12 +776,13 @@ impl Cache {
         let mut cross = 0u64;
         for &line in lines {
             assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
-            match self.access_inner(pid, line, seed, lo, hi) {
+            match self.access_inner(pid, line, seed, lo, hi, false) {
                 InnerOutcome::Hit => out.hits += 1,
                 InnerOutcome::Miss { evicted, redirected, cross_process } => {
                     out.misses += 1;
                     out.evictions += evicted.is_some() as u64;
                     out.redirected += redirected as u64;
+                    out.writebacks += evicted.is_some_and(|ev| ev.dirty) as u64;
                     cross += cross_process as u64;
                     if let Some(sink) = misses.as_deref_mut() {
                         sink.push(line);
@@ -575,6 +791,7 @@ impl Cache {
             }
         }
         self.stats.record_batch(out.hits, out.misses, out.evictions, cross);
+        self.stats.record_writebacks(out.writebacks);
         out
     }
 
@@ -587,11 +804,16 @@ impl Cache {
         seed: Seed,
         lo: u32,
         hi: u32,
+        write: bool,
     ) -> InnerOutcome {
         let mut set = self.place(line, seed);
+        let dirty_fill = write && self.write_policy == WritePolicy::WriteBack;
 
         if let Some(way) = self.find_way(set, line) {
             self.replacement.on_hit(set, way);
+            if dirty_fill {
+                self.meta[(set * self.ways + way) as usize].flags |= LineMeta::DIRTY;
+            }
             return InnerOutcome::Hit;
         }
 
@@ -635,6 +857,7 @@ impl Cache {
             let ev = EvictedLine {
                 line: LineAddr::new(self.tags[slot]),
                 owner: ProcessId::new(self.meta[slot].owner),
+                dirty: self.meta[slot].dirty(),
             };
             cross_process = ev.owner != pid;
             Some(ev)
@@ -643,10 +866,11 @@ impl Cache {
         };
 
         self.tags[slot] = line.as_u64();
-        self.meta[slot] = LineMeta {
-            owner: pid.as_u16(),
-            flags: if self.is_protected_addr(line.as_u64()) { LineMeta::PROTECTED } else { 0 },
-        };
+        let mut flags = if self.is_protected_addr(line.as_u64()) { LineMeta::PROTECTED } else { 0 };
+        if dirty_fill {
+            flags |= LineMeta::DIRTY;
+        }
+        self.meta[slot] = LineMeta { owner: pid.as_u16(), flags };
         self.replacement.on_fill(set, way);
         InnerOutcome::Miss { evicted, redirected, cross_process }
     }
@@ -1080,6 +1304,114 @@ mod tests {
             assert_eq!(out.hits, hits, "{placement}");
             assert_eq!(out.accesses(), trace.len() as u64);
             assert_eq!(scalar.stats(), batched.stats(), "{placement}");
+            let a: Vec<_> = scalar.contents().collect();
+            let b: Vec<_> = batched.contents().collect();
+            assert_eq!(a, b, "{placement}: final contents diverge");
+        }
+    }
+
+    #[test]
+    fn write_through_never_dirties_or_writes_back() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        let p = pid(1);
+        for i in 0..64u64 {
+            c.access_write(p, LineAddr::new(i));
+        }
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.stats().writebacks(), 0);
+    }
+
+    #[test]
+    fn writeback_counts_dirty_evictions() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.set_write_policy(WritePolicy::WriteBack);
+        assert_eq!(c.write_policy(), WritePolicy::WriteBack);
+        let p = pid(1);
+        // Fill set 0 of the 8-set, 2-way cache with two dirty lines,
+        // then displace both with clean reads.
+        c.access_write(p, LineAddr::new(0));
+        c.access_write(p, LineAddr::new(8));
+        assert_eq!(c.dirty_lines(), 2);
+        match c.access(p, LineAddr::new(16)) {
+            AccessOutcome::Miss { evicted: Some(ev), .. } => {
+                assert!(ev.dirty, "evicted line should be dirty");
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        c.access(p, LineAddr::new(24));
+        assert_eq!(c.stats().writebacks(), 2);
+        // The clean fills themselves are not dirty.
+        assert_eq!(c.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn write_hit_dirties_clean_line() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.set_write_policy(WritePolicy::WriteBack);
+        let p = pid(1);
+        c.access(p, LineAddr::new(0)); // clean fill
+        assert_eq!(c.dirty_lines(), 0);
+        c.access_write(p, LineAddr::new(0)); // write hit
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn receive_writeback_dirties_present_line_only() {
+        let mut c = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        c.set_write_policy(WritePolicy::WriteBack);
+        let p = pid(1);
+        c.access(p, LineAddr::new(5));
+        assert!(c.receive_writeback(p, LineAddr::new(5)), "present line must absorb");
+        assert_eq!(c.dirty_lines(), 1);
+        assert!(!c.receive_writeback(p, LineAddr::new(6)), "absent line must forward");
+        // A write-through cache never absorbs (the write goes through).
+        let mut wt = small_cache(PlacementKind::Modulo, ReplacementKind::Lru);
+        wt.access(p, LineAddr::new(5));
+        assert!(!wt.receive_writeback(p, LineAddr::new(5)));
+        assert_eq!(wt.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn batch_rw_matches_scalar_rw_with_writebacks() {
+        for placement in PlacementKind::ALL {
+            let trace: Vec<(LineAddr, bool)> =
+                (0..600u64).map(|i| (LineAddr::new((i * 13) % 97), i % 3 == 0)).collect();
+            let mut scalar = small_cache(placement, ReplacementKind::Random);
+            let mut batched = small_cache(placement, ReplacementKind::Random);
+            for c in [&mut scalar, &mut batched] {
+                c.set_write_policy(WritePolicy::WriteBack);
+                c.set_seed(pid(1), Seed::new(11));
+            }
+            let mut scalar_wbs = Vec::new();
+            for (i, &(l, w)) in trace.iter().enumerate() {
+                if let AccessOutcome::Miss { evicted: Some(ev), .. } =
+                    scalar.access_rw(pid(1), l, w)
+                {
+                    if ev.dirty {
+                        scalar_wbs.push(Writeback {
+                            line: ev.line,
+                            owner: ev.owner,
+                            op_idx: i as u32,
+                        });
+                    }
+                }
+            }
+            let lines: Vec<LineAddr> = trace.iter().map(|&(l, _)| l).collect();
+            let writes: Vec<bool> = trace.iter().map(|&(_, w)| w).collect();
+            let mut batch_wbs = Vec::new();
+            let out = batched.access_batch_io(
+                pid(1),
+                &lines,
+                BatchIo {
+                    writes: Some(&writes),
+                    writebacks: Some(&mut batch_wbs),
+                    ..BatchIo::default()
+                },
+            );
+            assert_eq!(batch_wbs, scalar_wbs, "{placement}: writeback streams diverge");
+            assert_eq!(out.writebacks, scalar_wbs.len() as u64, "{placement}");
+            assert_eq!(scalar.stats(), batched.stats(), "{placement}");
+            assert_eq!(scalar.dirty_lines(), batched.dirty_lines(), "{placement}");
             let a: Vec<_> = scalar.contents().collect();
             let b: Vec<_> = batched.contents().collect();
             assert_eq!(a, b, "{placement}: final contents diverge");

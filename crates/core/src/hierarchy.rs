@@ -19,7 +19,7 @@
 //! × replacement combination and both hierarchy depths.
 
 use crate::addr::{Addr, LineAddr};
-use crate::cache::{BatchOutcome, Cache};
+use crate::cache::{AccessOutcome, BatchIo, BatchOutcome, Cache, WritePolicy, Writeback};
 use crate::geometry::CacheGeometry;
 use crate::placement::PlacementKind;
 use crate::replacement::ReplacementKind;
@@ -99,6 +99,55 @@ impl TraceOp {
     pub const fn write(addr: Addr) -> Self {
         TraceOp { kind: AccessKind::Write, addr }
     }
+
+    /// A deterministic mixed fetch/read/write trace derived from
+    /// `salt`, with addresses spread over `footprint` bytes and
+    /// roughly one third of the ops per kind — the shared traffic
+    /// generator of the differential/property suites, also handy as a
+    /// synthetic enemy workload.
+    pub fn mixed_trace(salt: u64, len: usize, footprint: u64) -> Vec<TraceOp> {
+        let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let addr = Addr::new((state >> 16) % footprint);
+                match state % 3 {
+                    0 => TraceOp::fetch(addr),
+                    1 => TraceOp::read(addr),
+                    _ => TraceOp::write(addr),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-op timing event produced by
+/// [`Hierarchy::access_detailed`] and
+/// [`Hierarchy::access_batch_timed`]: everything the multi-core
+/// interference engine needs to replay the op against a shared bus —
+/// its solo cycle cost, which levels it missed, and how many dirty
+/// writebacks it pushed all the way to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Cycle cost of the op with no contention (exactly what
+    /// [`Hierarchy::access`] returns).
+    pub cycles: u32,
+    /// Bit `0` = the op missed its L1; bit `k` = it missed unified
+    /// level `k-1` (L2 = bit 1, L3 = bit 2, …).
+    pub miss_mask: u8,
+    /// Dirty-eviction writebacks that cascaded past every cache level
+    /// and reached memory during this op (bus write transactions).
+    pub mem_writebacks: u8,
+}
+
+impl OpTiming {
+    /// Whether the op went all the way to memory (a bus read
+    /// transaction), for a hierarchy of `depth` levels (split L1
+    /// counted once, as [`Hierarchy::depth`] reports).
+    #[inline]
+    pub fn memory_read(&self, depth: usize) -> bool {
+        self.miss_mask >> (depth - 1) & 1 == 1
+    }
 }
 
 /// Per-level aggregate of one [`Hierarchy::access_batch`] call.
@@ -115,6 +164,8 @@ pub struct HierarchyBatchOutcome {
     /// One aggregate per unified level, L2 outward. The level's
     /// access count is the miss count of the levels above it.
     pub unified: Vec<BatchOutcome>,
+    /// Dirty writebacks that cascaded past every level to memory.
+    pub mem_writebacks: u64,
 }
 
 impl HierarchyBatchOutcome {
@@ -161,11 +212,24 @@ pub struct Hierarchy {
     levels: Vec<UnifiedLevel>,
     l1_hit: u32,
     memory: u32,
+    /// Cached `any level is write-back` flag (kept fresh by
+    /// [`set_write_policy`](Self::set_write_policy)); selects between
+    /// the lean write-through walks and the event-conduit walks.
+    has_writeback: bool,
     /// Reused batch scratch: per-run line buffer and the ping-pong
     /// miss buffers threaded between levels.
     scratch_lines: Vec<LineAddr>,
     scratch_cur: Vec<LineAddr>,
     scratch_next: Vec<LineAddr>,
+    /// Extra scratch of the event-conduit walk (write-back configs and
+    /// timed batches): per-run write flags and op indices, the miss
+    /// streams' op indices, and the ping-pong writeback buffers.
+    scratch_writes: Vec<bool>,
+    scratch_run_idx: Vec<u32>,
+    scratch_cur_idx: Vec<u32>,
+    scratch_next_idx: Vec<u32>,
+    scratch_wb_cur: Vec<Writeback>,
+    scratch_wb_next: Vec<Writeback>,
 }
 
 impl Hierarchy {
@@ -208,7 +272,7 @@ impl Hierarchy {
                 line
             );
         }
-        Hierarchy {
+        let mut h = Hierarchy {
             l1i,
             l1d,
             levels: unified
@@ -217,10 +281,19 @@ impl Hierarchy {
                 .collect(),
             l1_hit,
             memory,
+            has_writeback: false,
             scratch_lines: Vec::new(),
             scratch_cur: Vec::new(),
             scratch_next: Vec::new(),
-        }
+            scratch_writes: Vec::new(),
+            scratch_run_idx: Vec::new(),
+            scratch_cur_idx: Vec::new(),
+            scratch_next_idx: Vec::new(),
+            scratch_wb_cur: Vec::new(),
+            scratch_wb_next: Vec::new(),
+        };
+        h.refresh_has_writeback();
+        h
     }
 
     /// Builds the paper's two-level geometry with uniform policies in
@@ -272,6 +345,11 @@ impl Hierarchy {
     /// memory penalty when every level misses. Each consulted level
     /// fills on its miss.
     pub fn access(&mut self, pid: ProcessId, kind: AccessKind, addr: Addr) -> u32 {
+        // Write-through everywhere: no dirty lines can exist, so skip
+        // the event/writeback bookkeeping of the detailed walk.
+        if self.has_writeback {
+            return self.access_detailed(pid, kind, addr).cycles;
+        }
         let l1 = match kind {
             AccessKind::Fetch => &mut self.l1i,
             AccessKind::Read | AccessKind::Write => &mut self.l1d,
@@ -283,12 +361,74 @@ impl Hierarchy {
         }
         for level in &mut self.levels {
             cost += level.hit_cycles;
-            let line = level.cache.geometry().line_of(addr);
             if level.cache.access(pid, line).is_hit() {
                 return cost;
             }
         }
         cost + self.memory
+    }
+
+    /// [`access`](Self::access) with the per-op event detail the
+    /// interference engine consumes: which levels missed and how many
+    /// writebacks reached memory. Writes mark L1D lines dirty under
+    /// [`WritePolicy::WriteBack`]; evicting a dirty line delivers its
+    /// writeback down the stack (the victim buffer drains *before* the
+    /// fill proceeds to the next level), where it silently re-dirties a
+    /// present copy or cascades further, ultimately to memory.
+    pub fn access_detailed(&mut self, pid: ProcessId, kind: AccessKind, addr: Addr) -> OpTiming {
+        let write = kind == AccessKind::Write;
+        let l1 = match kind {
+            AccessKind::Fetch => &mut self.l1i,
+            AccessKind::Read | AccessKind::Write => &mut self.l1d,
+        };
+        let line = l1.geometry().line_of(addr);
+        let mut timing = OpTiming { cycles: self.l1_hit, miss_mask: 0, mem_writebacks: 0 };
+        let out = l1.access_rw(pid, line, write);
+        if let AccessOutcome::Miss { evicted: Some(ev), .. } = out {
+            if ev.dirty {
+                timing.mem_writebacks += self.cascade_writeback(0, ev.owner, ev.line);
+            }
+        }
+        if out.is_hit() {
+            return timing;
+        }
+        timing.miss_mask |= 1;
+        for k in 0..self.levels.len() {
+            timing.cycles += self.levels[k].hit_cycles;
+            let out = self.levels[k].cache.access(pid, line);
+            if let AccessOutcome::Miss { evicted: Some(ev), .. } = out {
+                if ev.dirty {
+                    timing.mem_writebacks += self.cascade_writeback(k + 1, ev.owner, ev.line);
+                }
+            }
+            if out.is_hit() {
+                return timing;
+            }
+            timing.miss_mask |= 1 << (k + 1);
+        }
+        timing.cycles += self.memory;
+        timing
+    }
+
+    /// Delivers a writeback emitted above unified level `start` down
+    /// the stack; returns 1 if no level absorbed it (it reached
+    /// memory), 0 otherwise.
+    fn cascade_writeback(&mut self, start: usize, owner: ProcessId, line: LineAddr) -> u8 {
+        for k in start..self.levels.len() {
+            if self.levels[k].cache.receive_writeback(owner, line) {
+                return 0;
+            }
+        }
+        1
+    }
+
+    /// Recomputes the cached write-back flag (selects the event-
+    /// conduit walks that thread writebacks between levels). Policies
+    /// only change through [`set_write_policy`](Self::set_write_policy)
+    /// or construction, so the flag cannot go stale.
+    fn refresh_has_writeback(&mut self) {
+        self.has_writeback = self.l1d.write_policy() == WritePolicy::WriteBack
+            || self.levels.iter().any(|l| l.cache.write_policy() == WritePolicy::WriteBack);
     }
 
     /// Executes a whole trace segment on behalf of `pid`, returning
@@ -320,10 +460,8 @@ impl Hierarchy {
     pub fn access_batch(&mut self, pid: ProcessId, ops: &[TraceOp]) -> HierarchyBatchOutcome {
         let mut out = HierarchyBatchOutcome {
             ops: ops.len() as u64,
-            cycles: 0,
-            l1i: BatchOutcome::default(),
-            l1d: BatchOutcome::default(),
             unified: Vec::with_capacity(self.levels.len()),
+            ..HierarchyBatchOutcome::default()
         };
         out.cycles = self.batch_walk(pid, ops, Some(&mut out));
         out
@@ -338,9 +476,49 @@ impl Hierarchy {
         self.batch_walk(pid, ops, None)
     }
 
+    /// [`access_batch`](Self::access_batch) plus a per-op
+    /// [`OpTiming`] event vector (cleared and refilled): the batch-side
+    /// twin of [`access_detailed`](Self::access_detailed), pinned
+    /// bit-identical to a scalar walk by the multi-core differential
+    /// suite. `events[i]` describes `ops[i]`.
+    pub fn access_batch_timed(
+        &mut self,
+        pid: ProcessId,
+        ops: &[TraceOp],
+        events: &mut Vec<OpTiming>,
+    ) -> HierarchyBatchOutcome {
+        let mut out = HierarchyBatchOutcome {
+            ops: ops.len() as u64,
+            unified: Vec::with_capacity(self.levels.len()),
+            ..HierarchyBatchOutcome::default()
+        };
+        events.clear();
+        events.resize(ops.len(), OpTiming { cycles: self.l1_hit, miss_mask: 0, mem_writebacks: 0 });
+        out.cycles = self.batch_walk_events(pid, ops, Some(&mut out), Some(events));
+        out
+    }
+
     /// The shared batch engine; fills `sink`'s per-level aggregates
-    /// when given one, and returns the batch's cycle total.
+    /// when given one, and returns the batch's cycle total. Write-back
+    /// configurations route through the event-conduit walk so dirty
+    /// evictions thread between levels exactly as the scalar walk
+    /// delivers them.
     fn batch_walk(
+        &mut self,
+        pid: ProcessId,
+        ops: &[TraceOp],
+        sink: Option<&mut HierarchyBatchOutcome>,
+    ) -> u64 {
+        if self.has_writeback {
+            self.batch_walk_events(pid, ops, sink, None)
+        } else {
+            self.batch_walk_fast(pid, ops, sink)
+        }
+    }
+
+    /// The allocation-free fast walk for write-through configurations
+    /// (no writebacks can occur, so the conduit carries lines only).
+    fn batch_walk_fast(
         &mut self,
         pid: ProcessId,
         ops: &[TraceOp],
@@ -397,6 +575,175 @@ impl Hierarchy {
         self.scratch_cur = cur;
         self.scratch_next = next;
         cycles
+    }
+
+    /// The event-conduit walk: like the fast walk, but each level's
+    /// input is a merged stream of *fills* (the upper level's misses)
+    /// and *writebacks* (dirty evictions from the levels above),
+    /// processed in op order with a writeback of op `i` delivered
+    /// before op `i`'s fill — the exact order the scalar walk's victim
+    /// buffer drains. Optionally fills a per-op [`OpTiming`] vector
+    /// (pre-sized by the caller to `ops.len()`, cycles initialized to
+    /// the L1 hit cost).
+    fn batch_walk_events(
+        &mut self,
+        pid: ProcessId,
+        ops: &[TraceOp],
+        mut sink: Option<&mut HierarchyBatchOutcome>,
+        mut timing: Option<&mut Vec<OpTiming>>,
+    ) -> u64 {
+        assert!(ops.len() <= u32::MAX as usize, "trace segment too long for 32-bit op indices");
+        let mut lines = core::mem::take(&mut self.scratch_lines);
+        let mut writes = core::mem::take(&mut self.scratch_writes);
+        let mut run_idx = core::mem::take(&mut self.scratch_run_idx);
+        let mut cur = core::mem::take(&mut self.scratch_cur);
+        let mut next = core::mem::take(&mut self.scratch_next);
+        let mut cur_idx = core::mem::take(&mut self.scratch_cur_idx);
+        let mut next_idx = core::mem::take(&mut self.scratch_next_idx);
+        let mut wb_cur = core::mem::take(&mut self.scratch_wb_cur);
+        let mut wb_next = core::mem::take(&mut self.scratch_wb_next);
+        cur.clear();
+        cur_idx.clear();
+        wb_cur.clear();
+
+        let mut cycles = ops.len() as u64 * self.l1_hit as u64;
+
+        // Phase 1: the split L1s in maximal same-port runs, spilling
+        // misses (with op indices) and dirty-eviction writebacks in op
+        // order.
+        let offset_bits = self.l1i.geometry().offset_bits();
+        let mut i = 0usize;
+        while i < ops.len() {
+            let fetch = ops[i].kind == AccessKind::Fetch;
+            let mut j = i + 1;
+            while j < ops.len() && (ops[j].kind == AccessKind::Fetch) == fetch {
+                j += 1;
+            }
+            lines.clear();
+            lines.extend(ops[i..j].iter().map(|op| op.addr.line(offset_bits)));
+            run_idx.clear();
+            run_idx.extend(i as u32..j as u32);
+            writes.clear();
+            if !fetch {
+                writes.extend(ops[i..j].iter().map(|op| op.kind == AccessKind::Write));
+            }
+            let cache = if fetch { &mut self.l1i } else { &mut self.l1d };
+            let agg = cache.access_batch_io(
+                pid,
+                &lines,
+                BatchIo {
+                    writes: if fetch { None } else { Some(&writes) },
+                    idx: Some(&run_idx),
+                    misses: Some(&mut cur),
+                    miss_idx: Some(&mut cur_idx),
+                    writebacks: Some(&mut wb_cur),
+                },
+            );
+            if let Some(out) = sink.as_deref_mut() {
+                if fetch {
+                    out.l1i += agg;
+                } else {
+                    out.l1d += agg;
+                }
+            }
+            i = j;
+        }
+        if let Some(events) = timing.as_deref_mut() {
+            for &i in &cur_idx {
+                events[i as usize].miss_mask |= 1;
+            }
+        }
+
+        // Phase 2: thread the merged fill + writeback stream through
+        // the unified levels.
+        for k in 0..self.levels.len() {
+            let level = &mut self.levels[k];
+            cycles += cur.len() as u64 * level.hit_cycles as u64;
+            if let Some(events) = timing.as_deref_mut() {
+                for &i in &cur_idx {
+                    events[i as usize].cycles += level.hit_cycles;
+                }
+            }
+            next.clear();
+            next_idx.clear();
+            wb_next.clear();
+            let mut agg = BatchOutcome::default();
+            let mut w = 0usize;
+            let mut start = 0usize;
+            while start < cur.len() || w < wb_cur.len() {
+                if w < wb_cur.len() && (start >= cur.len() || wb_cur[w].op_idx <= cur_idx[start]) {
+                    let wb = wb_cur[w];
+                    if !level.cache.receive_writeback(wb.owner, wb.line) {
+                        wb_next.push(wb);
+                    }
+                    w += 1;
+                    continue;
+                }
+                // Maximal fill run strictly before the next writeback.
+                let lim = wb_cur.get(w).map_or(u32::MAX, |wb| wb.op_idx);
+                let mut end = start;
+                while end < cur.len() && cur_idx[end] < lim {
+                    end += 1;
+                }
+                agg += level.cache.access_batch_io(
+                    pid,
+                    &cur[start..end],
+                    BatchIo {
+                        writes: None,
+                        idx: Some(&cur_idx[start..end]),
+                        misses: Some(&mut next),
+                        miss_idx: Some(&mut next_idx),
+                        writebacks: Some(&mut wb_next),
+                    },
+                );
+                start = end;
+            }
+            if let Some(events) = timing.as_deref_mut() {
+                for &i in &next_idx {
+                    events[i as usize].miss_mask |= 1 << (k + 1);
+                }
+            }
+            if let Some(out) = sink.as_deref_mut() {
+                out.unified.push(agg);
+            }
+            core::mem::swap(&mut cur, &mut next);
+            core::mem::swap(&mut cur_idx, &mut next_idx);
+            core::mem::swap(&mut wb_cur, &mut wb_next);
+        }
+        cycles += cur.len() as u64 * self.memory as u64;
+        if let Some(events) = timing {
+            for &i in &cur_idx {
+                events[i as usize].cycles += self.memory;
+            }
+            for wb in &wb_cur {
+                events[wb.op_idx as usize].mem_writebacks += 1;
+            }
+        }
+        if let Some(out) = sink {
+            out.mem_writebacks = wb_cur.len() as u64;
+        }
+
+        self.scratch_lines = lines;
+        self.scratch_writes = writes;
+        self.scratch_run_idx = run_idx;
+        self.scratch_cur = cur;
+        self.scratch_next = next;
+        self.scratch_cur_idx = cur_idx;
+        self.scratch_next_idx = next_idx;
+        self.scratch_wb_cur = wb_cur;
+        self.scratch_wb_next = wb_next;
+        cycles
+    }
+
+    /// Sets the write policy of every cache level (the L1I never sees
+    /// stores, so its setting is inert but kept consistent).
+    pub fn set_write_policy(&mut self, policy: WritePolicy) {
+        self.l1i.set_write_policy(policy);
+        self.l1d.set_write_policy(policy);
+        for level in &mut self.levels {
+            level.cache.set_write_policy(policy);
+        }
+        self.refresh_has_writeback();
     }
 
     /// Sets the placement seed of `pid` in every cache, deriving a
@@ -743,6 +1090,97 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn writeback_cascades_down_the_stack() {
+        let mut h = hierarchy();
+        h.set_write_policy(WritePolicy::WriteBack);
+        let a = Addr::new(0);
+        h.access(pid(), AccessKind::Write, a);
+        assert_eq!(h.l1d().dirty_lines(), 1);
+        // Evict `a` from L1D (128-set, 4-way): its writeback must be
+        // absorbed by the L2 copy, which turns dirty.
+        for i in 1..=4u64 {
+            h.access(pid(), AccessKind::Read, Addr::new(i * 128 * 32));
+        }
+        assert_eq!(h.l1d().stats().writebacks(), 1);
+        assert_eq!(h.l2().dirty_lines(), 1);
+        assert_eq!(h.l1d().dirty_lines(), 0);
+    }
+
+    #[test]
+    fn writeback_reaches_memory_when_no_level_holds_the_line() {
+        let mut h = hierarchy();
+        h.set_write_policy(WritePolicy::WriteBack);
+        h.access(pid(), AccessKind::Write, Addr::new(0));
+        let hit = h.access_detailed(pid(), AccessKind::Write, Addr::new(0));
+        assert_eq!(hit.mem_writebacks, 0, "write hit emits nothing");
+        // Thrash set 0 of both levels (addresses i·64 KiB alias set 0
+        // in the 128-set L1D and the 2048-set L2): the dirty line is
+        // evicted from L1 (writeback absorbed by the L2 copy, which
+        // turns dirty), then the dirty L2 copy is evicted — that
+        // writeback finds no lower level and must reach memory.
+        let mut reached_memory = 0u64;
+        for i in 1..=16u64 {
+            reached_memory += h
+                .access_detailed(pid(), AccessKind::Read, Addr::new(i * 2048 * 32))
+                .mem_writebacks as u64;
+        }
+        assert_eq!(h.l1d().stats().writebacks(), 1, "one dirty L1 eviction");
+        // The dirty line counts once per level it cascades through.
+        assert_eq!(h.l2().stats().writebacks(), 1, "one dirty L2 eviction");
+        assert_eq!(reached_memory, 1, "exactly one writeback hit the bus");
+        assert_eq!(h.l2().dirty_lines(), 0);
+    }
+
+    #[test]
+    fn timed_batch_matches_detailed_scalar_walk() {
+        let ops: Vec<TraceOp> = (0..900u64)
+            .map(|i| {
+                let addr = Addr::new((i * 1117) % (1 << 18));
+                match i % 3 {
+                    0 => TraceOp::read(addr),
+                    1 => TraceOp::write(addr),
+                    _ => TraceOp::fetch(addr),
+                }
+            })
+            .collect();
+        for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+            for build in [|| hierarchy(), || three_level()] {
+                let mut scalar = build();
+                let mut batched = build();
+                scalar.set_write_policy(policy);
+                batched.set_write_policy(policy);
+                let expected: Vec<OpTiming> =
+                    ops.iter().map(|op| scalar.access_detailed(pid(), op.kind, op.addr)).collect();
+                let mut events = Vec::new();
+                let out = batched.access_batch_timed(pid(), &ops, &mut events);
+                assert_eq!(events, expected, "{policy:?}: per-op timing diverges");
+                assert_eq!(
+                    out.cycles,
+                    expected.iter().map(|e| e.cycles as u64).sum::<u64>(),
+                    "{policy:?}"
+                );
+                assert_eq!(
+                    out.mem_writebacks,
+                    expected.iter().map(|e| e.mem_writebacks as u64).sum::<u64>(),
+                    "{policy:?}"
+                );
+                assert_eq!(batched.total_stats(), scalar.total_stats(), "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn op_timing_memory_read_uses_depth() {
+        let mut h = three_level();
+        let t = h.access_detailed(pid(), AccessKind::Read, Addr::new(0x4_0000));
+        assert_eq!(t.miss_mask, 0b111, "cold miss at every level");
+        assert!(t.memory_read(3));
+        let t = h.access_detailed(pid(), AccessKind::Read, Addr::new(0x4_0000));
+        assert_eq!(t.miss_mask, 0, "warm hit");
+        assert!(!t.memory_read(3));
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub mod setup;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, PageAddr};
-pub use cache::{AccessOutcome, BatchOutcome, Cache, EvictedLine};
+pub use cache::{AccessOutcome, BatchOutcome, Cache, EvictedLine, WritePolicy, Writeback};
 pub use error::ConfigError;
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessKind, Hierarchy, HierarchyBatchOutcome, Latencies, TraceOp};
+pub use hierarchy::{AccessKind, Hierarchy, HierarchyBatchOutcome, Latencies, OpTiming, TraceOp};
 pub use placement::{MbptaClass, Placement, PlacementEngine, PlacementKind};
 pub use replacement::{Replacement, ReplacementEngine, ReplacementKind};
 pub use seed::{ProcessId, Seed, SeedTable};

@@ -22,6 +22,7 @@ pub struct CacheStats {
     misses: u64,
     evictions: u64,
     cross_process_evictions: u64,
+    writebacks: u64,
     flushes: u64,
 }
 
@@ -53,6 +54,14 @@ impl CacheStats {
         self.cross_process_evictions += 1;
     }
 
+    /// Records a dirty-line eviction that produced a writeback (only
+    /// write-back caches generate these; write-through caches never
+    /// hold dirty lines).
+    #[inline]
+    pub fn record_writeback(&mut self) {
+        self.writebacks += 1;
+    }
+
     /// Records a whole-cache flush.
     #[inline]
     pub fn record_flush(&mut self) {
@@ -73,6 +82,13 @@ impl CacheStats {
         self.misses += misses;
         self.evictions += evictions;
         self.cross_process_evictions += cross_process_evictions;
+    }
+
+    /// Records `n` writebacks in one update (the batch path's amortized
+    /// counterpart of [`record_writeback`](Self::record_writeback)).
+    #[inline]
+    pub fn record_writebacks(&mut self, n: u64) {
+        self.writebacks += n;
     }
 
     /// Total accesses (hits + misses).
@@ -99,6 +115,12 @@ impl CacheStats {
     /// contention events RPCache randomizes).
     pub fn cross_process_evictions(&self) -> u64 {
         self.cross_process_evictions
+    }
+
+    /// Dirty-line evictions that produced a writeback toward the next
+    /// level (zero on write-through caches).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
     }
 
     /// Number of flushes.
@@ -141,6 +163,7 @@ impl Add for CacheStats {
             misses: self.misses + rhs.misses,
             evictions: self.evictions + rhs.evictions,
             cross_process_evictions: self.cross_process_evictions + rhs.cross_process_evictions,
+            writebacks: self.writebacks + rhs.writebacks,
             flushes: self.flushes + rhs.flushes,
         }
     }
@@ -184,11 +207,14 @@ mod tests {
         s.record_miss(true);
         s.record_miss(false);
         s.record_cross_process_eviction();
+        s.record_writeback();
+        s.record_writebacks(2);
         s.record_flush();
         assert_eq!(s.hits(), 2);
         assert_eq!(s.misses(), 2);
         assert_eq!(s.evictions(), 1);
         assert_eq!(s.cross_process_evictions(), 1);
+        assert_eq!(s.writebacks(), 3);
         assert_eq!(s.flushes(), 1);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }

@@ -7,7 +7,7 @@
 //! shows up here as a counter or contents mismatch.
 
 use tscache_core::addr::Addr;
-use tscache_core::cache::Cache;
+use tscache_core::cache::{Cache, WritePolicy};
 use tscache_core::geometry::CacheGeometry;
 use tscache_core::hierarchy::{AccessKind, Hierarchy, TraceOp};
 use tscache_core::placement::PlacementKind;
@@ -19,18 +19,7 @@ use tscache_core::setup::{HierarchyDepth, SetupKind};
 /// set large enough to overflow the small L1 below (hits, misses,
 /// evictions and L2/L3 traffic all occur).
 fn recorded_trace(salt: u64, len: usize) -> Vec<TraceOp> {
-    let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
-    (0..len)
-        .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let addr = Addr::new((state >> 16) % (1 << 14));
-            match state % 3 {
-                0 => TraceOp::fetch(addr),
-                1 => TraceOp::read(addr),
-                _ => TraceOp::write(addr),
-            }
-        })
-        .collect()
+    TraceOp::mixed_trace(salt, len, 1 << 14)
 }
 
 /// A small hierarchy (8×2 L1s, 32×4 L2, optional 64×4 L3) built with
@@ -70,8 +59,11 @@ fn contents_of(c: &Cache) -> Vec<(u32, u32, u64, u16)> {
 fn assert_levels_identical(scalar: &Hierarchy, batched: &Hierarchy, label: &str) {
     let pairs = [(scalar.l1i(), batched.l1i()), (scalar.l1d(), batched.l1d())];
     for (a, b) in pairs.into_iter().chain(scalar.unified_levels().zip(batched.unified_levels())) {
+        // CacheStats equality covers hit/miss/eviction/cross-process
+        // *and* writeback counters.
         assert_eq!(a.stats(), b.stats(), "{label}: {} stats diverge", a.label());
         assert_eq!(contents_of(a), contents_of(b), "{label}: {} final contents diverge", a.label());
+        assert_eq!(a.dirty_lines(), b.dirty_lines(), "{label}: {} dirty sets diverge", a.label());
     }
 }
 
@@ -90,41 +82,46 @@ fn batch_is_bit_identical_across_all_policy_combinations() {
     for depth in HierarchyDepth::ALL {
         for placement in PlacementKind::ALL {
             for replacement in ReplacementKind::ALL {
-                let label = format!("{placement}/{replacement}/{depth}");
-                let trace = recorded_trace(
-                    (placement as usize * 16 + replacement as usize) as u64 + 1,
-                    700,
-                );
-                let mut scalar = small_hierarchy(placement, replacement, depth);
-                let mut batched = small_hierarchy(placement, replacement, depth);
+                for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+                    let label = format!("{placement}/{replacement}/{depth}/{policy:?}");
+                    let trace = recorded_trace(
+                        (placement as usize * 16 + replacement as usize) as u64 + 1,
+                        700,
+                    );
+                    let mut scalar = small_hierarchy(placement, replacement, depth);
+                    let mut batched = small_hierarchy(placement, replacement, depth);
+                    scalar.set_write_policy(policy);
+                    batched.set_write_policy(policy);
 
-                let mut scalar_cycles = 0u64;
-                for (i, op) in trace.iter().enumerate() {
-                    scalar_cycles += scalar.access(pid_of(i), op.kind, op.addr) as u64;
-                }
-
-                // Batch in pid-homogeneous segments (97 ops each), the
-                // way `Machine::run_trace` drives the hierarchy.
-                let mut batch_cycles = 0u64;
-                let mut hits = 0u64;
-                let mut misses = 0u64;
-                let mut evictions = 0u64;
-                for (seg, chunk) in trace.chunks(97).enumerate() {
-                    let out = batched.access_batch(pid_of(seg * 97), chunk);
-                    batch_cycles += out.cycles;
-                    for agg in [out.l1i, out.l1d].into_iter().chain(out.unified.iter().copied()) {
-                        hits += agg.hits;
-                        misses += agg.misses;
-                        evictions += agg.evictions;
+                    let mut scalar_cycles = 0u64;
+                    for (i, op) in trace.iter().enumerate() {
+                        scalar_cycles += scalar.access(pid_of(i), op.kind, op.addr) as u64;
                     }
-                }
 
-                assert_eq!(batch_cycles, scalar_cycles, "{label}: cycle totals diverge");
-                assert_levels_identical(&scalar, &batched, &label);
-                let total = scalar.total_stats();
-                assert_eq!(hits, total.hits(), "{label}: hit totals diverge");
-                assert_eq!(misses, total.misses(), "{label}: miss totals diverge");
-                assert_eq!(evictions, total.evictions(), "{label}: eviction totals diverge");
+                    // Batch in pid-homogeneous segments (97 ops each), the
+                    // way `Machine::run_trace` drives the hierarchy.
+                    let mut batch_cycles = 0u64;
+                    let mut hits = 0u64;
+                    let mut misses = 0u64;
+                    let mut evictions = 0u64;
+                    for (seg, chunk) in trace.chunks(97).enumerate() {
+                        let out = batched.access_batch(pid_of(seg * 97), chunk);
+                        batch_cycles += out.cycles;
+                        for agg in [out.l1i, out.l1d].into_iter().chain(out.unified.iter().copied())
+                        {
+                            hits += agg.hits;
+                            misses += agg.misses;
+                            evictions += agg.evictions;
+                        }
+                    }
+
+                    assert_eq!(batch_cycles, scalar_cycles, "{label}: cycle totals diverge");
+                    assert_levels_identical(&scalar, &batched, &label);
+                    let total = scalar.total_stats();
+                    assert_eq!(hits, total.hits(), "{label}: hit totals diverge");
+                    assert_eq!(misses, total.misses(), "{label}: miss totals diverge");
+                    assert_eq!(evictions, total.evictions(), "{label}: eviction totals diverge");
+                }
             }
         }
     }

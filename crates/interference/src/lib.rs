@@ -1,0 +1,34 @@
+//! # tscache-interference — multi-core contention modelling
+//!
+//! The shared-resource interference layer of the reproduction: in a
+//! high-performance multicore, time-predictability is threatened by
+//! *contention* on shared hardware as much as by cache layout. This
+//! crate models the three mechanisms the paper's setting cares about:
+//!
+//! * a **shared memory bus** ([`bus`]) serializing every off-chip
+//!   transaction under round-robin, fixed-priority or TDMA
+//!   arbitration;
+//! * **MSHR files** ([`mshr`]) bounding miss-level parallelism per
+//!   cache level and coalescing overlapping misses to one fill;
+//! * **multi-core execution** ([`multicore`]): N cores with private
+//!   [`Hierarchy`](tscache_core::hierarchy::Hierarchy) instances whose
+//!   last-level misses and memory-bound writebacks contend for the
+//!   bus, with a batched engine pinned bit-identical to the scalar
+//!   multi-core interleaving.
+//!
+//! Contention is timing-only by construction: per-core cache contents,
+//! statistics and RNG streams are exactly those of a solo run, so
+//! every existing differential/property suite keeps its meaning and a
+//! contended pWCET curve can never undercut the solo curve of the same
+//! workload.
+
+pub mod bus;
+pub mod mshr;
+pub mod multicore;
+
+pub use bus::{Arbitration, Bus, BusConfig, BusReport};
+pub use mshr::{MshrConfig, MshrFile, MshrOutcome};
+pub use multicore::{
+    execute_batch, execute_scalar, run_contended_segment, CoRunner, ContentionConfig, CoreReport,
+    CoreRun, InterferenceOutcome, SegmentOutcome, SystemConfig,
+};

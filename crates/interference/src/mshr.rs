@@ -1,0 +1,132 @@
+//! Miss-status holding registers: the per-level structure bounding
+//! miss-level parallelism and coalescing overlapping misses to the
+//! same line.
+//!
+//! The simulator executes ops sequentially, so "outstanding" is
+//! modelled on an *op window*: an MSHR entry allocated by the miss of
+//! op `i` stays live until op `i + window_ops` of the same core. Within
+//! that window
+//!
+//! * a second miss to the same line **coalesces** — it rides the
+//!   pending fill, and at the last level its bus transaction is
+//!   suppressed (no second off-chip fetch);
+//! * a miss arriving with every entry live is a **structural stall** —
+//!   the core waits `stall_cycles` for an entry to free before the
+//!   miss can issue.
+//!
+//! Both effects are pure timing/traffic: cache contents, hit/miss
+//! outcomes and RNG draws are untouched, which is what lets the
+//! contended batch path stay bit-identical to the scalar interleaving.
+
+/// MSHR configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrConfig {
+    /// Entries in the file (in-flight misses tracked per level).
+    pub entries: usize,
+    /// Ops an entry stays live after its allocating miss.
+    pub window_ops: u32,
+    /// Cycles a structural stall costs.
+    pub stall_cycles: u32,
+}
+
+impl Default for MshrConfig {
+    fn default() -> Self {
+        MshrConfig { entries: 8, window_ops: 8, stall_cycles: 6 }
+    }
+}
+
+/// Outcome of presenting a miss to the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// The line already has a live entry: the miss rides that fill.
+    Coalesced,
+    /// A free (or expired) entry was allocated.
+    Allocated,
+    /// Every entry was live: the oldest was recycled after a
+    /// structural stall.
+    Stalled,
+}
+
+/// One level's MSHR file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    cfg: MshrConfig,
+    /// `(line, expire_seq)` per entry; `expire_seq <= seq` = free.
+    slots: Vec<(u64, u64)>,
+}
+
+impl MshrFile {
+    /// Creates an empty file.
+    pub fn new(cfg: MshrConfig) -> Self {
+        assert!(cfg.entries > 0, "MSHR file needs at least one entry");
+        MshrFile { cfg, slots: vec![(u64::MAX, 0); cfg.entries] }
+    }
+
+    /// Presents the miss of op `seq` (the core's op index) to `line`.
+    pub fn on_miss(&mut self, line: u64, seq: u64) -> MshrOutcome {
+        let expire = seq + self.cfg.window_ops as u64;
+        let mut free = None;
+        let mut oldest = 0usize;
+        for (i, &(l, e)) in self.slots.iter().enumerate() {
+            if e > seq && l == line {
+                return MshrOutcome::Coalesced;
+            }
+            if e <= seq {
+                free.get_or_insert(i);
+            }
+            if self.slots[i].1 < self.slots[oldest].1 {
+                oldest = i;
+            }
+        }
+        match free {
+            Some(i) => {
+                self.slots[i] = (line, expire);
+                MshrOutcome::Allocated
+            }
+            None => {
+                self.slots[oldest] = (line, expire);
+                MshrOutcome::Stalled
+            }
+        }
+    }
+
+    /// The configured stall penalty.
+    pub fn stall_cycles(&self) -> u32 {
+        self.cfg.stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_in_window_coalesces() {
+        let mut f = MshrFile::new(MshrConfig::default());
+        assert_eq!(f.on_miss(7, 0), MshrOutcome::Allocated);
+        assert_eq!(f.on_miss(7, 3), MshrOutcome::Coalesced);
+        // Past the window: a fresh allocation.
+        assert_eq!(f.on_miss(7, 9), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let cfg = MshrConfig { entries: 2, window_ops: 100, stall_cycles: 6 };
+        let mut f = MshrFile::new(cfg);
+        assert_eq!(f.on_miss(1, 0), MshrOutcome::Allocated);
+        assert_eq!(f.on_miss(2, 1), MshrOutcome::Allocated);
+        assert_eq!(f.on_miss(3, 2), MshrOutcome::Stalled);
+        // The stall recycled the oldest entry (line 1).
+        assert_eq!(f.on_miss(3, 3), MshrOutcome::Coalesced);
+        assert_eq!(f.on_miss(1, 4), MshrOutcome::Stalled);
+    }
+
+    #[test]
+    fn entries_expire_with_the_op_window() {
+        let cfg = MshrConfig { entries: 1, window_ops: 4, stall_cycles: 6 };
+        let mut f = MshrFile::new(cfg);
+        assert_eq!(f.on_miss(1, 0), MshrOutcome::Allocated);
+        assert_eq!(f.on_miss(2, 2), MshrOutcome::Stalled, "entry still live");
+        assert_eq!(f.on_miss(3, 10), MshrOutcome::Allocated, "entry expired");
+    }
+}

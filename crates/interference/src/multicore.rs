@@ -1,0 +1,656 @@
+//! Contended multi-core execution: N cores with private hierarchies
+//! share one memory bus; last-level miss fills and memory-bound
+//! writebacks arbitrate for it, MSHR files bound per-level miss
+//! parallelism.
+//!
+//! # Execution model
+//!
+//! Cores are advanced by a deterministic discrete-event loop: at every
+//! step the core with the smallest clock (ties: lowest core index)
+//! executes its next op to completion. An op's cost is its solo
+//! hierarchy cost ([`OpTiming::cycles`]) plus any MSHR structural
+//! stall plus the queuing delay of its bus transactions. Contention is
+//! *timing-only*: cache contents, hit/miss outcomes, statistics and
+//! RNG draws per core are exactly those of the same trace run solo —
+//! which is what makes the batched engine possible at all.
+//!
+//! Clock ties between cores resolve by core index (lowest first), so
+//! permuting *distinct* cores may legitimately shift individual
+//! queuing waits; everything the caches and MSHRs decide — per-core
+//! base cycles, transaction, stall and coalesce counts — is invariant
+//! under core reordering (for [`run_contended_segment`], whose loop
+//! stops with the measured core, this holds for the measured core;
+//! enemy *progress* is interleaving-dependent by construction), and
+//! the unit/probe suites pin exactly that split.
+//!
+//! [`execute_scalar`] is the reference: it interleaves per-op scalar
+//! hierarchy walks ([`Hierarchy::access_detailed`]) in event order.
+//! [`execute_batch`] first replays each core's whole trace through the
+//! hierarchy batch path ([`Hierarchy::access_batch_timed`]) — private
+//! caches make the per-core cache work independent of the interleaving
+//! — then runs the identical event loop over the recorded per-op
+//! events. The differential suite pins the two bit-identical across
+//! placement × replacement × depth × arbitration.
+
+use crate::bus::{Bus, BusReport};
+use crate::mshr::{MshrConfig, MshrFile, MshrOutcome};
+use tscache_core::hierarchy::{Hierarchy, OpTiming, TraceOp};
+use tscache_core::seed::ProcessId;
+
+pub use crate::bus::{Arbitration, BusConfig};
+
+/// The contention model of a platform: one shared bus plus (optional)
+/// MSHR files at every cache level of every core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Shared-bus model.
+    pub bus: BusConfig,
+    /// MSHR files (`None` = unbounded miss parallelism, no
+    /// coalescing).
+    pub mshr: Option<MshrConfig>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig { bus: BusConfig::default(), mshr: Some(MshrConfig::default()) }
+    }
+}
+
+/// One-knob description of a contended campaign, consumed by the
+/// attack-sampling and measurement layers: how many co-runner cores,
+/// which bus/MSHR model, and whether caches run write-back (so dirty
+/// evictions join the bus traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionConfig {
+    /// Enemy cores running alongside the measured core.
+    pub co_runners: u32,
+    /// Bus + MSHR model.
+    pub system: SystemConfig,
+    /// Run every core's caches write-back.
+    pub write_back: bool,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig { co_runners: 1, system: SystemConfig::default(), write_back: true }
+    }
+}
+
+/// One core's workload for a differential engine run.
+#[derive(Debug)]
+pub struct CoreRun<'a> {
+    /// The core's private hierarchy.
+    pub hierarchy: &'a mut Hierarchy,
+    /// The process executing on this core.
+    pub pid: ProcessId,
+    /// The core's trace.
+    pub ops: &'a [TraceOp],
+}
+
+/// Per-core accounting of one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreReport {
+    /// Ops executed.
+    pub ops: u64,
+    /// Total cycles including stalls and bus waits (the core's final
+    /// clock).
+    pub cycles: u64,
+    /// Solo cycles (what the trace costs with no contention).
+    pub base_cycles: u64,
+    /// Queuing cycles spent waiting for the bus.
+    pub bus_wait: u64,
+    /// Cycles lost to MSHR structural stalls.
+    pub mshr_stall_cycles: u64,
+    /// Misses that coalesced into a pending MSHR entry.
+    pub mshr_coalesced: u64,
+    /// Bus read transactions (last-level misses that went off-chip).
+    pub mem_reads: u64,
+    /// Bus write transactions (writebacks that reached memory).
+    pub mem_writebacks: u64,
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceOutcome {
+    /// Per-core accounting, in core order.
+    pub cores: Vec<CoreReport>,
+    /// Shared-bus accounting.
+    pub bus: BusReport,
+}
+
+/// The deterministic event-merge state shared by both engines.
+struct Merger {
+    bus: Bus,
+    /// MSHR files per core per level (empty when disabled).
+    mshr: Vec<Vec<MshrFile>>,
+    clocks: Vec<u64>,
+    reports: Vec<CoreReport>,
+    depths: Vec<usize>,
+}
+
+impl Merger {
+    fn new(cfg: &SystemConfig, depths: Vec<usize>) -> Self {
+        let n = depths.len();
+        let mshr = match cfg.mshr {
+            Some(m) => depths.iter().map(|&d| (0..d).map(|_| MshrFile::new(m)).collect()).collect(),
+            None => vec![Vec::new(); n],
+        };
+        Merger {
+            bus: Bus::new(cfg.bus, n),
+            mshr,
+            clocks: vec![0; n],
+            reports: vec![CoreReport::default(); n],
+            depths,
+        }
+    }
+
+    /// Executes op `seq` of `core` (touching `line`) with solo timing
+    /// `t`: MSHR checks, then bus arbitration for its transactions.
+    fn step(&mut self, core: usize, seq: u64, line: u64, t: OpTiming) {
+        let depth = self.depths[core];
+        let report = &mut self.reports[core];
+        let mut stall = 0u64;
+        let mut mem_read = t.memory_read(depth);
+        for (level, file) in self.mshr[core].iter_mut().enumerate() {
+            if t.miss_mask >> level & 1 == 1 {
+                match file.on_miss(line, seq) {
+                    MshrOutcome::Coalesced => {
+                        report.mshr_coalesced += 1;
+                        if level == depth - 1 {
+                            // Rides the pending fill: no second
+                            // off-chip read.
+                            mem_read = false;
+                        }
+                    }
+                    MshrOutcome::Allocated => {}
+                    MshrOutcome::Stalled => stall += file.stall_cycles() as u64,
+                }
+            }
+        }
+        let mut at = self.clocks[core] + stall + t.cycles as u64;
+        let mut wait = 0u64;
+        if mem_read {
+            let g = self.bus.grant(core, at);
+            wait += g - at;
+            at = g;
+            report.mem_reads += 1;
+        }
+        for _ in 0..t.mem_writebacks {
+            let g = self.bus.grant(core, at);
+            wait += g - at;
+            at = g;
+            report.mem_writebacks += 1;
+        }
+        report.ops += 1;
+        report.cycles += stall + t.cycles as u64 + wait;
+        report.base_cycles += t.cycles as u64;
+        report.bus_wait += wait;
+        report.mshr_stall_cycles += stall;
+        self.clocks[core] = at;
+    }
+
+    fn finish(self) -> InterferenceOutcome {
+        InterferenceOutcome { cores: self.reports, bus: self.bus.report() }
+    }
+
+    /// The core to advance next: smallest clock among cores with work
+    /// remaining, lowest index on ties.
+    fn next_core(&self, remaining: impl Fn(usize) -> bool) -> Option<usize> {
+        let mut best = None;
+        for c in 0..self.clocks.len() {
+            if remaining(c) && best.is_none_or(|b: usize| self.clocks[c] < self.clocks[b]) {
+                best = Some(c);
+            }
+        }
+        best
+    }
+}
+
+/// The reference engine: a scalar multi-core interleaving, walking one
+/// op at a time on the event-ordered core through the scalar hierarchy
+/// path.
+pub fn execute_scalar(cores: &mut [CoreRun<'_>], cfg: &SystemConfig) -> InterferenceOutcome {
+    let depths: Vec<usize> = cores.iter().map(|c| c.hierarchy.depth()).collect();
+    let offsets: Vec<u32> =
+        cores.iter().map(|c| c.hierarchy.l1i().geometry().offset_bits()).collect();
+    let mut merger = Merger::new(cfg, depths);
+    let mut pos = vec![0usize; cores.len()];
+    while let Some(c) = merger.next_core(|c| pos[c] < cores[c].ops.len()) {
+        let op = cores[c].ops[pos[c]];
+        let t = cores[c].hierarchy.access_detailed(cores[c].pid, op.kind, op.addr);
+        merger.step(c, pos[c] as u64, op.addr.line(offsets[c]).as_u64(), t);
+        pos[c] += 1;
+    }
+    merger.finish()
+}
+
+/// The production engine: each core's trace runs through the hierarchy
+/// batch path first (private caches make per-core outcomes independent
+/// of the interleaving), then the identical event merge replays the
+/// recorded per-op timings against the bus and MSHRs. Bit-identical to
+/// [`execute_scalar`] — stats, cycles, writeback counts and final
+/// contents — as the differential suite pins.
+pub fn execute_batch(cores: &mut [CoreRun<'_>], cfg: &SystemConfig) -> InterferenceOutcome {
+    let depths: Vec<usize> = cores.iter().map(|c| c.hierarchy.depth()).collect();
+    let offsets: Vec<u32> =
+        cores.iter().map(|c| c.hierarchy.l1i().geometry().offset_bits()).collect();
+    let events: Vec<Vec<OpTiming>> = cores
+        .iter_mut()
+        .map(|core| {
+            let mut ev = Vec::new();
+            core.hierarchy.access_batch_timed(core.pid, core.ops, &mut ev);
+            ev
+        })
+        .collect();
+    let mut merger = Merger::new(cfg, depths);
+    let mut pos = vec![0usize; cores.len()];
+    while let Some(c) = merger.next_core(|c| pos[c] < cores[c].ops.len()) {
+        let op = cores[c].ops[pos[c]];
+        merger.step(c, pos[c] as u64, op.addr.line(offsets[c]).as_u64(), events[c][pos[c]]);
+        pos[c] += 1;
+    }
+    merger.finish()
+}
+
+/// Ops a co-runner pre-executes per hierarchy batch call.
+const CO_CHUNK: usize = 128;
+
+/// A persistent enemy core: a private hierarchy cyclically replaying
+/// an enemy trace alongside the measured core. Trace position and
+/// cache state persist across segments, so a long campaign sees the
+/// enemy's steady-state working set rather than a cold cache per job.
+#[derive(Debug)]
+pub struct CoRunner {
+    hierarchy: Hierarchy,
+    pid: ProcessId,
+    ops: Vec<TraceOp>,
+    offset_bits: u32,
+    /// Next unexecuted op of the cyclic trace.
+    pos: usize,
+    /// Pre-executed events not yet consumed by the merge.
+    events: Vec<OpTiming>,
+    evt_pos: usize,
+    /// Trace index of `events[0]`.
+    chunk_start: usize,
+    /// Total ops executed over the core's lifetime — the monotone
+    /// sequence number the MSHR op-window expiry is measured against.
+    seq: u64,
+}
+
+impl CoRunner {
+    /// Creates an enemy core replaying `ops` (cyclically) as `pid` on
+    /// its own `hierarchy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(hierarchy: Hierarchy, pid: ProcessId, ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "co-runner needs a non-empty trace");
+        let offset_bits = hierarchy.l1i().geometry().offset_bits();
+        CoRunner {
+            hierarchy,
+            pid,
+            ops,
+            offset_bits,
+            pos: 0,
+            events: Vec::new(),
+            evt_pos: 0,
+            chunk_start: 0,
+            seq: 0,
+        }
+    }
+
+    /// The enemy core's hierarchy (statistics inspection).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Mutably borrows the hierarchy (seed management between epochs).
+    pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
+        &mut self.hierarchy
+    }
+
+    /// The enemy process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Pre-executes the next trace chunk through the batch path.
+    fn refill(&mut self) {
+        if self.pos >= self.ops.len() {
+            self.pos = 0;
+        }
+        let end = (self.pos + CO_CHUNK).min(self.ops.len());
+        self.chunk_start = self.pos;
+        self.hierarchy.access_batch_timed(self.pid, &self.ops[self.pos..end], &mut self.events);
+        self.evt_pos = 0;
+        self.pos = end;
+    }
+
+    /// The next op's `(line, timing)`, pre-executing a chunk when the
+    /// buffer is drained.
+    fn next_event(&mut self) -> (u64, u64, OpTiming) {
+        if self.evt_pos >= self.events.len() {
+            self.refill();
+        }
+        let op = self.ops[self.chunk_start + self.evt_pos];
+        let t = self.events[self.evt_pos];
+        self.evt_pos += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        (seq, op.addr.line(self.offset_bits).as_u64(), t)
+    }
+}
+
+/// Outcome of one contended segment ([`run_contended_segment`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentOutcome {
+    /// The measured core's accounting (its `cycles` is what the
+    /// machine charges for the segment).
+    pub primary: CoreReport,
+    /// Per-co-runner accounting for the segment.
+    pub co: Vec<CoreReport>,
+    /// Shared-bus accounting for the segment.
+    pub bus: BusReport,
+}
+
+/// Executes one trace segment of the measured core (core 0) against
+/// the persistent co-runners. Bus and MSHR state start fresh per
+/// segment (jobs re-align at release boundaries); co-runner trace
+/// position and cache state carry over. The loop stops when the
+/// primary trace is exhausted: a co-runner only advances while its
+/// clock trails the primary's, so every transaction that could delay
+/// the primary is arbitrated.
+pub fn run_contended_segment(
+    hierarchy: &mut Hierarchy,
+    pid: ProcessId,
+    ops: &[TraceOp],
+    co: &mut [CoRunner],
+    cfg: &SystemConfig,
+    events: &mut Vec<OpTiming>,
+) -> SegmentOutcome {
+    let mut depths = vec![hierarchy.depth()];
+    depths.extend(co.iter().map(|c| c.hierarchy.depth()));
+    let mut merger = Merger::new(cfg, depths);
+    hierarchy.access_batch_timed(pid, ops, events);
+    let offset_bits = hierarchy.l1i().geometry().offset_bits();
+    let mut pos = 0usize;
+    while pos < ops.len() {
+        // Primary = core 0 wins ties, so a quiet system degenerates to
+        // the solo walk.
+        match merger.next_core(|_| true).expect("at least the primary runs") {
+            0 => {
+                let op = ops[pos];
+                merger.step(0, pos as u64, op.addr.line(offset_bits).as_u64(), events[pos]);
+                pos += 1;
+            }
+            c => {
+                let (seq, line, t) = co[c - 1].next_event();
+                merger.step(c, seq, line, t);
+            }
+        }
+    }
+    let out = merger.finish();
+    let mut cores = out.cores.into_iter();
+    SegmentOutcome {
+        primary: cores.next().expect("core 0 present"),
+        co: cores.collect(),
+        bus: out.bus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscache_core::addr::Addr;
+    use tscache_core::seed::Seed;
+    use tscache_core::setup::SetupKind;
+
+    fn trace(salt: u64, len: usize) -> Vec<TraceOp> {
+        TraceOp::mixed_trace(salt, len, 1 << 17)
+    }
+
+    fn pair() -> (Hierarchy, Hierarchy) {
+        let mk = |salt| {
+            let mut h = SetupKind::TsCache.build(salt);
+            h.set_process_seed(ProcessId::new(1), Seed::new(salt ^ 5));
+            h
+        };
+        (mk(1), mk(2))
+    }
+
+    #[test]
+    fn batch_engine_matches_scalar_engine() {
+        for arbitration in Arbitration::ALL {
+            let cfg = SystemConfig {
+                bus: BusConfig { arbitration, ..BusConfig::default() },
+                ..SystemConfig::default()
+            };
+            let (t0, t1) = (trace(3, 900), trace(4, 700));
+            let (mut a0, mut a1) = pair();
+            let (mut b0, mut b1) = pair();
+            for h in [&mut a0, &mut a1, &mut b0, &mut b1] {
+                h.set_write_policy(tscache_core::cache::WritePolicy::WriteBack);
+            }
+            let pid = ProcessId::new(1);
+            let scalar = execute_scalar(
+                &mut [
+                    CoreRun { hierarchy: &mut a0, pid, ops: &t0 },
+                    CoreRun { hierarchy: &mut a1, pid, ops: &t1 },
+                ],
+                &cfg,
+            );
+            let batch = execute_batch(
+                &mut [
+                    CoreRun { hierarchy: &mut b0, pid, ops: &t0 },
+                    CoreRun { hierarchy: &mut b1, pid, ops: &t1 },
+                ],
+                &cfg,
+            );
+            assert_eq!(scalar, batch, "{arbitration}");
+            assert_eq!(a0.total_stats(), b0.total_stats(), "{arbitration}");
+            assert_eq!(a1.total_stats(), b1.total_stats(), "{arbitration}");
+        }
+    }
+
+    #[test]
+    fn contention_only_adds_cycles() {
+        let (mut solo, _) = pair();
+        let (mut c0, mut c1) = pair();
+        let pid = ProcessId::new(1);
+        let t0 = trace(7, 800);
+        let t1 = trace(8, 800);
+        let solo_out = execute_batch(
+            &mut [CoreRun { hierarchy: &mut solo, pid, ops: &t0 }],
+            &SystemConfig::default(),
+        );
+        let contended = execute_batch(
+            &mut [
+                CoreRun { hierarchy: &mut c0, pid, ops: &t0 },
+                CoreRun { hierarchy: &mut c1, pid, ops: &t1 },
+            ],
+            &SystemConfig::default(),
+        );
+        assert_eq!(solo_out.cores[0].base_cycles, contended.cores[0].base_cycles);
+        assert!(contended.cores[0].cycles >= solo_out.cores[0].cycles);
+        assert!(contended.cores[0].bus_wait > 0, "two miss-heavy cores never collided");
+        // Private caches: contention must not change cache outcomes.
+        assert_eq!(solo.total_stats(), c0.total_stats());
+    }
+
+    #[test]
+    fn contended_segment_is_deterministic_and_no_cheaper_than_solo() {
+        let run = || {
+            let (mut h, enemy) = pair();
+            let mut co = vec![CoRunner::new(enemy, ProcessId::new(9), trace(11, 300))];
+            let mut events = Vec::new();
+            let t = trace(12, 500);
+            run_contended_segment(
+                &mut h,
+                ProcessId::new(1),
+                &t,
+                &mut co,
+                &SystemConfig::default(),
+                &mut events,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.primary.cycles >= a.primary.base_cycles);
+        assert_eq!(
+            a.primary.cycles,
+            a.primary.base_cycles + a.primary.bus_wait + a.primary.mshr_stall_cycles
+        );
+    }
+
+    #[test]
+    fn core_order_only_moves_queuing_waits() {
+        // Three *distinct* cores with fixed traces, permuted: clock
+        // ties resolve by core index, so individual queuing waits may
+        // shift — but everything the caches and MSHRs decide is
+        // ordering-invariant per core (ops, base cycles, transaction
+        // and stall/coalesce counts), and so is the bus's transaction
+        // total. An engine bug that let the interleaving leak into
+        // cache or MSHR outcomes would trip this (the CI determinism
+        // probe pins the same property for the segment API's measured
+        // core).
+        let traces: Vec<Vec<TraceOp>> =
+            (0..3u64).map(|c| trace(60 + c, 400 + 50 * c as usize)).collect();
+        let build = |c: u64| {
+            let mut h = SetupKind::TsCache.build(80 + c);
+            h.set_process_seed(ProcessId::new(1), Seed::new(17 + c));
+            h
+        };
+        let order_invariant = |r: &CoreReport| {
+            (
+                r.ops,
+                r.base_cycles,
+                r.mem_reads,
+                r.mem_writebacks,
+                r.mshr_stall_cycles,
+                r.mshr_coalesced,
+            )
+        };
+        let run = |perm: [usize; 3]| {
+            let mut hs: Vec<Hierarchy> = perm.iter().map(|&c| build(c as u64)).collect();
+            let mut cores: Vec<CoreRun<'_>> = hs
+                .iter_mut()
+                .zip(perm.iter())
+                .map(|(h, &c)| CoreRun { hierarchy: h, pid: ProcessId::new(1), ops: &traces[c] })
+                .collect();
+            let out = execute_batch(&mut cores, &SystemConfig::default());
+            // Report per original core id, independent of position.
+            let mut by_core = [CoreReport::default(); 3];
+            for (pos, &c) in perm.iter().enumerate() {
+                by_core[c] = out.cores[pos];
+            }
+            (by_core, out.bus)
+        };
+        let (plain, plain_bus) = run([0, 1, 2]);
+        let (permuted, permuted_bus) = run([2, 0, 1]);
+        for c in 0..3 {
+            assert_eq!(
+                order_invariant(&plain[c]),
+                order_invariant(&permuted[c]),
+                "core {c}: ordering leaked into cache/MSHR outcomes"
+            );
+        }
+        assert_eq!(plain_bus.transactions, permuted_bus.transactions);
+        assert_eq!(plain_bus.busy_cycles, permuted_bus.busy_cycles);
+        assert_ne!(
+            order_invariant(&plain[0]),
+            order_invariant(&plain[1]),
+            "cores must be genuinely distinct"
+        );
+    }
+
+    #[test]
+    fn tdma_bounds_per_transaction_wait() {
+        let slot_cycles = 16u32;
+        let cfg = SystemConfig {
+            bus: BusConfig { arbitration: Arbitration::Tdma { slot_cycles }, service_cycles: 8 },
+            mshr: None,
+        };
+        let (mut c0, mut c1) = pair();
+        let pid = ProcessId::new(1);
+        let (t0, t1) = (trace(31, 600), trace(32, 600));
+        let out = execute_batch(
+            &mut [
+                CoreRun { hierarchy: &mut c0, pid, ops: &t0 },
+                CoreRun { hierarchy: &mut c1, pid, ops: &t1 },
+            ],
+            &cfg,
+        );
+        // Every transaction waits at most one full TDMA round.
+        let round = (slot_cycles as u64) * 2;
+        for (i, core) in out.cores.iter().enumerate() {
+            let txns = core.mem_reads + core.mem_writebacks;
+            assert!(core.bus_wait <= txns * round, "core {i} waited beyond the TDMA bound");
+        }
+    }
+
+    #[test]
+    fn mshr_disabled_never_stalls_or_coalesces() {
+        let cfg = SystemConfig { mshr: None, ..SystemConfig::default() };
+        let (mut c0, mut c1) = pair();
+        let pid = ProcessId::new(1);
+        let (t0, t1) = (trace(41, 400), trace(42, 400));
+        let out = execute_batch(
+            &mut [
+                CoreRun { hierarchy: &mut c0, pid, ops: &t0 },
+                CoreRun { hierarchy: &mut c1, pid, ops: &t1 },
+            ],
+            &cfg,
+        );
+        for core in &out.cores {
+            assert_eq!(core.mshr_stall_cycles, 0);
+            assert_eq!(core.mshr_coalesced, 0);
+        }
+    }
+
+    #[test]
+    fn co_runner_mshr_windows_expire_with_its_op_sequence() {
+        // A cyclic enemy trace of 16 lines all aliasing one L1 set:
+        // every access misses L1, and the revisit distance (16 ops)
+        // exceeds the MSHR op window (8), so entries must have expired
+        // by the time a line comes around again — zero coalescing. A
+        // frozen sequence number would instead pin the first 8 lines
+        // in the file forever and falsely coalesce every revisit.
+        let enemy_ops: Vec<TraceOp> =
+            (0..16u64).map(|i| TraceOp::read(Addr::new(i * 128 * 32))).collect();
+        let mut enemy = SetupKind::Deterministic.build(3);
+        enemy.access_batch(ProcessId::new(9), &enemy_ops); // warm L2
+        let mut co = vec![CoRunner::new(enemy, ProcessId::new(9), enemy_ops)];
+        let mut h = SetupKind::Deterministic.build(1);
+        let t = trace(5, 2000);
+        let mut events = Vec::new();
+        let seg = run_contended_segment(
+            &mut h,
+            ProcessId::new(1),
+            &t,
+            &mut co,
+            &SystemConfig::default(),
+            &mut events,
+        );
+        assert!(seg.co[0].ops > 32, "enemy barely ran; test needs several trace cycles");
+        assert_eq!(
+            seg.co[0].mshr_coalesced, 0,
+            "revisit distance exceeds the MSHR window — nothing may coalesce"
+        );
+    }
+
+    #[test]
+    fn tiny_mshr_file_stalls_a_miss_streak() {
+        let cfg = SystemConfig {
+            mshr: Some(MshrConfig { entries: 1, window_ops: 16, stall_cycles: 6 }),
+            ..SystemConfig::default()
+        };
+        let mut h = SetupKind::Deterministic.build(1);
+        // A pure miss streak: distinct lines, no reuse.
+        let t: Vec<TraceOp> = (0..400u64).map(|i| TraceOp::read(Addr::new(i * 4096))).collect();
+        let pid = ProcessId::new(1);
+        let out = execute_batch(&mut [CoreRun { hierarchy: &mut h, pid, ops: &t }], &cfg);
+        assert!(out.cores[0].mshr_stall_cycles > 0, "1-entry MSHR never stalled a miss streak");
+    }
+}

@@ -1,0 +1,206 @@
+//! The multi-core differential suite (the PR's acceptance criterion):
+//! contention-aware batch execution must be bit-identical to the
+//! scalar multi-core interleaving — per-core cycles, bus waits, MSHR
+//! accounting, per-level statistics (including writeback counters) and
+//! final cache contents — across every placement × replacement ×
+//! depth × arbitration combination, with write-back caches on.
+
+use tscache_core::cache::{Cache, WritePolicy};
+use tscache_core::geometry::CacheGeometry;
+use tscache_core::hierarchy::{Hierarchy, TraceOp};
+use tscache_core::placement::PlacementKind;
+use tscache_core::replacement::ReplacementKind;
+use tscache_core::seed::{ProcessId, Seed};
+use tscache_core::setup::{HierarchyDepth, SetupKind};
+use tscache_interference::{
+    execute_batch, execute_scalar, Arbitration, BusConfig, CoreRun, MshrConfig, SystemConfig,
+};
+
+/// Deterministic mixed trace whose footprint overflows the small
+/// hierarchies below at every level.
+fn recorded_trace(salt: u64, len: usize) -> Vec<TraceOp> {
+    TraceOp::mixed_trace(salt, len, 1 << 14)
+}
+
+/// A small per-core hierarchy (8×2 L1s, 32×4 L2, optional 64×4 L3)
+/// with uniform policies, a seeded process and write-back caches.
+fn small_hierarchy(
+    placement: PlacementKind,
+    replacement: ReplacementKind,
+    depth: HierarchyDepth,
+    core: u64,
+) -> Hierarchy {
+    let l1 = CacheGeometry::new(8, 2, 32).unwrap();
+    let l2 = CacheGeometry::new(32, 4, 32).unwrap();
+    let l3 = CacheGeometry::new(64, 4, 32).unwrap();
+    let mut unified = vec![(Cache::new("L2", l2, placement, replacement, core ^ 0x33), 10)];
+    if depth == HierarchyDepth::ThreeLevel {
+        unified.push((Cache::new("L3", l3, placement, replacement, core ^ 0x44), 30));
+    }
+    let mut h = Hierarchy::from_parts(
+        Cache::new("L1I", l1, placement, replacement, core ^ 0x11),
+        Cache::new("L1D", l1, placement, replacement, core ^ 0x22),
+        unified,
+        1,
+        80,
+    );
+    h.set_process_seed(ProcessId::new(1), Seed::new(core.wrapping_mul(0xabcd) | 1));
+    h.set_write_policy(WritePolicy::WriteBack);
+    h
+}
+
+fn contents_of(c: &Cache) -> Vec<(u32, u32, u64, u16)> {
+    c.contents().map(|(s, w, l, o)| (s, w, l.as_u64(), o.as_u16())).collect()
+}
+
+fn assert_hierarchies_identical(a: &Hierarchy, b: &Hierarchy, label: &str) {
+    let pairs = [(a.l1i(), b.l1i()), (a.l1d(), b.l1d())];
+    for (x, y) in pairs.into_iter().chain(a.unified_levels().zip(b.unified_levels())) {
+        assert_eq!(x.stats(), y.stats(), "{label}: {} stats diverge", x.label());
+        assert_eq!(contents_of(x), contents_of(y), "{label}: {} contents diverge", x.label());
+        assert_eq!(x.dirty_lines(), y.dirty_lines(), "{label}: {} dirty lines diverge", x.label());
+    }
+}
+
+#[test]
+fn contended_batch_is_bit_identical_to_scalar_interleaving() {
+    let pid = ProcessId::new(1);
+    for depth in HierarchyDepth::ALL {
+        for placement in PlacementKind::ALL {
+            for replacement in ReplacementKind::ALL {
+                for arbitration in Arbitration::ALL {
+                    let label = format!("{placement}/{replacement}/{depth}/{arbitration}");
+                    let cfg = SystemConfig {
+                        bus: BusConfig { arbitration, ..BusConfig::default() },
+                        mshr: Some(MshrConfig { entries: 2, window_ops: 6, stall_cycles: 5 }),
+                    };
+                    let salt = (placement as usize * 64 + replacement as usize * 8 + depth as usize)
+                        as u64
+                        + 1;
+                    let traces: Vec<Vec<TraceOp>> = (0..3)
+                        .map(|c| recorded_trace(salt ^ (c as u64) << 8, 420 + 60 * c))
+                        .collect();
+                    let mut scalar_h: Vec<Hierarchy> = (0..3)
+                        .map(|c| small_hierarchy(placement, replacement, depth, c as u64))
+                        .collect();
+                    let mut batch_h: Vec<Hierarchy> = (0..3)
+                        .map(|c| small_hierarchy(placement, replacement, depth, c as u64))
+                        .collect();
+                    let scalar = {
+                        let mut cores: Vec<CoreRun<'_>> = scalar_h
+                            .iter_mut()
+                            .zip(&traces)
+                            .map(|(h, t)| CoreRun { hierarchy: h, pid, ops: t })
+                            .collect();
+                        execute_scalar(&mut cores, &cfg)
+                    };
+                    let batch = {
+                        let mut cores: Vec<CoreRun<'_>> = batch_h
+                            .iter_mut()
+                            .zip(&traces)
+                            .map(|(h, t)| CoreRun { hierarchy: h, pid, ops: t })
+                            .collect();
+                        execute_batch(&mut cores, &cfg)
+                    };
+                    assert_eq!(scalar, batch, "{label}: engine outcomes diverge");
+                    for (i, (a, b)) in scalar_h.iter().zip(&batch_h).enumerate() {
+                        assert_hierarchies_identical(a, b, &format!("{label}/core{i}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_presets_match_across_engines_with_active_writebacks() {
+    // The four DAC'18 setups at both depths, three cores, write-back
+    // caches: the production path the campaign layers drive.
+    let pid = ProcessId::new(1);
+    for setup in SetupKind::ALL {
+        for depth in HierarchyDepth::ALL {
+            let label = format!("{setup}/{depth}");
+            let cfg = SystemConfig::default();
+            // A footprint well past the 16 KiB paper L1, so dirty
+            // lines really get evicted.
+            let traces: Vec<Vec<TraceOp>> = (0..3)
+                .map(|c| TraceOp::mixed_trace(0xd5e ^ setup as u64 ^ (c as u64) << 9, 900, 1 << 17))
+                .collect();
+            let build = |c: u64| {
+                let mut h = setup.build_depth(depth, 40 + c);
+                h.set_process_seed(pid, Seed::new(0x77 + c));
+                h.set_write_policy(WritePolicy::WriteBack);
+                h
+            };
+            let mut scalar_h: Vec<Hierarchy> = (0..3).map(|c| build(c as u64)).collect();
+            let mut batch_h: Vec<Hierarchy> = (0..3).map(|c| build(c as u64)).collect();
+            let scalar = {
+                let mut cores: Vec<CoreRun<'_>> = scalar_h
+                    .iter_mut()
+                    .zip(&traces)
+                    .map(|(h, t)| CoreRun { hierarchy: h, pid, ops: t })
+                    .collect();
+                execute_scalar(&mut cores, &cfg)
+            };
+            let batch = {
+                let mut cores: Vec<CoreRun<'_>> = batch_h
+                    .iter_mut()
+                    .zip(&traces)
+                    .map(|(h, t)| CoreRun { hierarchy: h, pid, ops: t })
+                    .collect();
+                execute_batch(&mut cores, &cfg)
+            };
+            assert_eq!(scalar, batch, "{label}");
+            for (i, (a, b)) in scalar_h.iter().zip(&batch_h).enumerate() {
+                assert_hierarchies_identical(a, b, &format!("{label}/core{i}"));
+            }
+            // The mixed write trace on write-back caches must really
+            // exercise the writeback plumbing.
+            let wbs: u64 = scalar_h
+                .iter()
+                .map(|h| {
+                    h.l1d().stats().writebacks()
+                        + h.unified_levels().map(|l| l.stats().writebacks()).sum::<u64>()
+                })
+                .sum();
+            assert!(wbs > 0, "{label}: no writeback traffic generated");
+        }
+    }
+}
+
+#[test]
+fn arbitration_policies_differ_and_order_sensibly() {
+    // Same workload under the three policies: the contended core's
+    // wait should be zero only when it never collides, and TDMA (a
+    // bandwidth-partitioned bus) should generally cost the most.
+    let pid = ProcessId::new(1);
+    let mut waits = Vec::new();
+    for arbitration in Arbitration::ALL {
+        let cfg =
+            SystemConfig { bus: BusConfig { arbitration, ..BusConfig::default() }, mshr: None };
+        let traces: Vec<Vec<TraceOp>> =
+            (0..2).map(|c| recorded_trace(0xaa ^ c as u64, 800)).collect();
+        let mut hs: Vec<Hierarchy> = (0..2)
+            .map(|c| {
+                small_hierarchy(
+                    PlacementKind::Modulo,
+                    ReplacementKind::Lru,
+                    HierarchyDepth::TwoLevel,
+                    c as u64,
+                )
+            })
+            .collect();
+        let mut cores: Vec<CoreRun<'_>> = hs
+            .iter_mut()
+            .zip(&traces)
+            .map(|(h, t)| CoreRun { hierarchy: h, pid, ops: t })
+            .collect();
+        let out = execute_batch(&mut cores, &cfg);
+        let wait: u64 = out.cores.iter().map(|c| c.bus_wait).sum();
+        assert!(wait > 0, "{arbitration}: two miss-heavy cores never collided");
+        waits.push((arbitration, wait));
+    }
+    let tdma = waits.iter().find(|(a, _)| matches!(a, Arbitration::Tdma { .. })).unwrap().1;
+    let rr = waits.iter().find(|(a, _)| matches!(a, Arbitration::RoundRobin)).unwrap().1;
+    assert!(tdma > rr, "TDMA should pay more queuing than round-robin (tdma {tdma}, rr {rr})");
+}

@@ -40,17 +40,35 @@ pub struct Runnable {
     /// Nominal execution budget in cycles (used by the demo scheduler
     /// as the runnable's workload size).
     wcet_budget: u64,
+    /// The logical core the integrator pins the runnable to. Core 0 is
+    /// the measured (scheduled) core; runnables pinned elsewhere run
+    /// as free-running co-runner cores contending on the shared bus.
+    core: u32,
 }
 
 impl Runnable {
-    /// Creates a runnable belonging to `swc` with the given period.
+    /// Creates a runnable belonging to `swc` with the given period,
+    /// pinned to core 0.
     ///
     /// # Panics
     ///
     /// Panics if `period` is zero.
     pub fn new(name: impl Into<String>, swc: SwcId, period: Duration, wcet_budget: u64) -> Self {
         assert!(!period.is_zero(), "runnable period must be positive");
-        Runnable { name: name.into(), swc, period, wcet_budget }
+        Runnable { name: name.into(), swc, period, wcet_budget, core: 0 }
+    }
+
+    /// Pins the runnable to `core` (builder style). Core 0 is the
+    /// scheduled core; any other core turns the runnable into a
+    /// co-runner interference source.
+    pub fn on_core(mut self, core: u32) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// The core the runnable is pinned to.
+    pub fn core(&self) -> u32 {
+        self.core
     }
 
     /// The runnable's name.

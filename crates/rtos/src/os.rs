@@ -13,6 +13,7 @@ use core::fmt;
 use tscache_core::prng::SplitMix64;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::SetupKind;
+use tscache_interference::{CoRunner, SystemConfig};
 use tscache_sim::layout::Layout;
 use tscache_sim::machine::{Machine, TraceOp};
 
@@ -50,11 +51,19 @@ pub struct OsConfig {
     pub context_switch_cycles: u32,
     /// RNG seed for the OS's seed generator.
     pub rng_seed: u64,
+    /// Bus/MSHR model used when the application pins runnables to
+    /// cores other than 0 (`None` = the default contention model).
+    pub interference: Option<SystemConfig>,
 }
 
 impl Default for OsConfig {
     fn default() -> Self {
-        OsConfig { seed_policy: SeedPolicy::PerSwc, context_switch_cycles: 30, rng_seed: 0x05 }
+        OsConfig {
+            seed_policy: SeedPolicy::PerSwc,
+            context_switch_cycles: 30,
+            rng_seed: 0x05,
+            interference: None,
+        }
     }
 }
 
@@ -74,6 +83,9 @@ pub struct CampaignReport {
     pub overhead_cycles: u64,
     /// Cycles spent executing runnables.
     pub work_cycles: u64,
+    /// Cycles core 0 lost to shared-bus queuing and MSHR stalls
+    /// (non-zero only when runnables are pinned to other cores).
+    pub bus_wait_cycles: u64,
 }
 
 impl CampaignReport {
@@ -113,11 +125,17 @@ struct RunnableWorkload {
 
 impl TscacheOs {
     /// Builds the OS simulation for `app` on a hierarchy of `setup`.
+    /// Runnables pinned to cores other than 0 (see
+    /// [`Runnable::on_core`](crate::model::Runnable::on_core)) are not
+    /// scheduled on the measured core: each becomes a free-running
+    /// co-runner replaying its workload trace on its own hierarchy,
+    /// contending for the shared bus under `config.interference` —
+    /// their slots in [`CampaignReport::times`] stay empty.
     pub fn new(app: Application, setup: SetupKind, config: OsConfig) -> Self {
         let schedule = Schedule::build(&app);
         let mut layout = Layout::new(0x20_0000);
-        let machine = Machine::from_setup(setup, config.rng_seed ^ 0x05_05);
-        let workloads = app
+        let mut machine = Machine::from_setup(setup, config.rng_seed ^ 0x05_05);
+        let workloads: Vec<RunnableWorkload> = app
             .runnables()
             .iter()
             .map(|r| {
@@ -142,6 +160,23 @@ impl TscacheOs {
                 RunnableWorkload { ops, instrs: 8 * blocks + (r.wcet_budget() / 4) as u32 }
             })
             .collect();
+        // Pinned runnables become co-runner cores replaying their
+        // workload trace against the shared bus.
+        let pinned: Vec<usize> =
+            (0..app.runnables().len()).filter(|&i| app.runnables()[i].core() != 0).collect();
+        if !pinned.is_empty() {
+            machine.set_interference(config.interference.unwrap_or_default());
+            for &i in &pinned {
+                let r = &app.runnables()[i];
+                let enemy =
+                    setup.build(config.rng_seed ^ 0xc0de ^ ((r.core() as u64) << 16) ^ i as u64);
+                machine.add_co_runner(CoRunner::new(
+                    enemy,
+                    r.swc().process_id(),
+                    workloads[i].ops.clone(),
+                ));
+            }
+        }
         TscacheOs {
             machine,
             app,
@@ -163,22 +198,30 @@ impl TscacheOs {
     }
 
     fn reseed_all(&mut self, report: &mut CampaignReport) {
+        let mut assignments: Vec<(ProcessId, Seed)> = Vec::new();
         match self.config.seed_policy {
             SeedPolicy::SharedGlobal => {
                 let seed = Seed::random(&mut self.rng);
                 for swc in self.app.swcs() {
-                    self.machine.set_process_seed(swc.process_id(), seed);
+                    assignments.push((swc.process_id(), seed));
                     report.seed_swaps += 1;
                 }
-                self.machine.set_process_seed(ProcessId::OS, seed);
+                assignments.push((ProcessId::OS, seed));
             }
             SeedPolicy::PerSwc | SeedPolicy::PerJob => {
                 for swc in self.app.swcs() {
-                    let seed = Seed::random(&mut self.rng);
-                    self.machine.set_process_seed(swc.process_id(), seed);
+                    assignments.push((swc.process_id(), Seed::random(&mut self.rng)));
                     report.seed_swaps += 1;
                 }
-                self.machine.set_process_seed(ProcessId::OS, Seed::random(&mut self.rng));
+                assignments.push((ProcessId::OS, Seed::random(&mut self.rng)));
+            }
+        }
+        for &(pid, seed) in &assignments {
+            self.machine.set_process_seed(pid, seed);
+            // Pinned cores follow the same SWC seed schedule: a
+            // runnable keeps one seed wherever it executes (§5).
+            for co in self.machine.co_runners_mut() {
+                co.hierarchy_mut().set_process_seed(pid, seed);
             }
         }
     }
@@ -201,7 +244,9 @@ impl TscacheOs {
             flushes: 0,
             overhead_cycles: 0,
             work_cycles: 0,
+            bus_wait_cycles: 0,
         };
+        let contention_before = self.machine.contention_cycles();
         let jobs: Vec<_> = self.schedule.jobs().to_vec();
         let mut current_swc: Option<SwcId> = None;
         for _ in 0..hyperperiods {
@@ -213,6 +258,11 @@ impl TscacheOs {
             report.overhead_cycles += self.machine.cycles() - t0;
 
             for job in &jobs {
+                if self.app.runnables()[job.runnable].core() != 0 {
+                    // Pinned elsewhere: runs as a co-runner, not on
+                    // the measured core's schedule.
+                    continue;
+                }
                 let swc = self.app.runnables()[job.runnable].swc();
                 if current_swc != Some(swc) {
                     // Context switch: drain pipeline, save/restore seed.
@@ -238,6 +288,7 @@ impl TscacheOs {
                 report.times[job.runnable].push(cycles);
             }
         }
+        report.bus_wait_cycles = self.machine.contention_cycles() - contention_before;
         report
     }
 }
@@ -307,6 +358,7 @@ mod tests {
             flushes: 0,
             overhead_cycles: 0,
             work_cycles: 0,
+            bus_wait_cycles: 0,
         };
         sim.reseed_all(&mut report);
         let h = sim.machine.hierarchy();
@@ -325,6 +377,7 @@ mod tests {
             flushes: 0,
             overhead_cycles: 0,
             work_cycles: 0,
+            bus_wait_cycles: 0,
         };
         sim.reseed_all(&mut report);
         let h = sim.machine.hierarchy();
@@ -333,6 +386,58 @@ mod tests {
         let s3 = h.l1d().seed(SwcId(3).process_id());
         assert_ne!(s1, s2);
         assert_ne!(s2, s3);
+    }
+
+    #[test]
+    fn pinned_runnables_become_co_runners() {
+        use crate::model::{Runnable, SwcId};
+        use core::time::Duration;
+        let mut app = Application::figure3_example();
+        app.add(Runnable::new("enemy", SwcId(9), Duration::from_millis(20), 60_000).on_core(1));
+        let mut sim = TscacheOs::new(app, SetupKind::TsCache, OsConfig::default());
+        let report = sim.run(6);
+        // The pinned runnable is never scheduled on core 0…
+        assert!(report.times[5].is_empty(), "pinned runnable ran on the measured core");
+        // …but its co-runner traffic delays the scheduled jobs.
+        assert!(report.bus_wait_cycles > 0, "co-runner never contended on the bus");
+        // Scheduled runnables still execute their full job counts.
+        assert_eq!(report.times[0].len(), 12);
+        assert_eq!(report.times[2].len(), 6);
+    }
+
+    #[test]
+    fn contended_campaign_dominates_solo_and_reproduces() {
+        use crate::model::{Runnable, SwcId};
+        use core::time::Duration;
+        let contended_app = || {
+            let mut app = Application::figure3_example();
+            app.add(Runnable::new("enemy", SwcId(9), Duration::from_millis(20), 60_000).on_core(1));
+            app
+        };
+        // Deterministic caches: placement ignores seeds, so the solo
+        // and contended campaigns execute identical core-0 schedules
+        // and contention can only add cycles, job by job. (On
+        // randomized setups the extra SWC shifts the seed stream and
+        // the comparison is only distributional.)
+        let run = |app: Application| {
+            TscacheOs::new(app, SetupKind::Deterministic, OsConfig::default()).run(4)
+        };
+        let solo = run(Application::figure3_example());
+        let contended = run(contended_app());
+        let again = run(contended_app());
+        assert_eq!(contended.times, again.times, "contended campaign must be reproducible");
+        assert_eq!(contended.bus_wait_cycles, again.bus_wait_cycles);
+        // Same seeds, same schedule on core 0: contention only adds.
+        for (r, (s, c)) in solo.times.iter().zip(&contended.times).enumerate() {
+            for (a, b) in s.iter().zip(c) {
+                assert!(b >= a, "runnable {r}: contended job cheaper than solo ({b} < {a})");
+            }
+        }
+        assert_eq!(
+            contended.work_cycles,
+            solo.work_cycles + contended.bus_wait_cycles,
+            "contention delta must be exactly the bus/MSHR cycles"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use tscache_core::parallel;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SeedSharing, SetupKind};
+use tscache_interference::ContentionConfig;
 use tscache_sim::layout::Layout;
 use tscache_sim::machine::{Machine, TraceOp};
 
@@ -85,6 +86,10 @@ pub struct SamplingConfig {
     /// `0..k`, the OS ways `k..assoc` (the §7 partitioning
     /// alternative). 0 = no partitioning.
     pub partition_task_ways: u32,
+    /// When set, each node runs with active co-runner cores (FIR enemy
+    /// kernels on their own hierarchies) contending for the shared
+    /// bus, so the timed encryptions carry multicore interference.
+    pub contention: Option<ContentionConfig>,
 }
 
 impl SamplingConfig {
@@ -103,6 +108,7 @@ impl SamplingConfig {
             warmup_jobs: 8,
             app_target_lines: 10,
             partition_task_ways: 0,
+            contention: None,
         }
     }
 }
@@ -143,6 +149,15 @@ impl CryptoNode {
 
         let mut machine =
             Machine::from_setup_depth(cfg.setup, cfg.depth, cfg.master_seed ^ role.stream());
+        // Multicore deployment: enemy co-runners on the shared bus.
+        if let Some(con) = &cfg.contention {
+            machine.attach_standard_enemies(
+                cfg.setup,
+                cfg.depth,
+                con,
+                mix64(cfg.master_seed ^ role.stream() ^ 0xb05_u64),
+            );
+        }
         // RPCache protects the crypto tables (P-bit pages).
         for t in 0..5 {
             let region = aes_layout.table(t);
@@ -394,6 +409,35 @@ mod tests {
         // The node really runs on a 3-level hierarchy.
         let node = CryptoNode::new(c, Role::Victim, &[3; 16]);
         assert!(node.machine().hierarchy().l3().is_some());
+    }
+
+    #[test]
+    fn contended_campaign_runs_and_reproduces() {
+        let mut c = cfg(SetupKind::TsCache, 30);
+        c.contention = Some(ContentionConfig { write_back: false, ..ContentionConfig::default() });
+        // Tight epochs with no warm-up: timed encryptions run against
+        // a cold cache, so they genuinely fetch over the shared bus.
+        c.reseed_every = 4;
+        c.warmup_jobs = 0;
+        let run = || CryptoNode::new(c, Role::Victim, &[3; 16]).collect();
+        let contended = run();
+        assert_eq!(contended.len(), 30);
+        assert_eq!(contended, run());
+        // The enemy cores really contend: with cache behaviour pinned
+        // (write-through everywhere), every timed encryption costs at
+        // least its solo counterpart and some pay real bus waits.
+        let mut solo_cfg = c;
+        solo_cfg.contention = None;
+        let solo = CryptoNode::new(solo_cfg, Role::Victim, &[3; 16]).collect();
+        assert!(solo
+            .iter()
+            .zip(&contended)
+            .all(|(s, c)| c.cycles >= s.cycles && c.plaintext == s.plaintext));
+        assert!(solo.iter().zip(&contended).any(|(s, c)| c.cycles > s.cycles));
+        let mut node = CryptoNode::new(c, Role::Victim, &[3; 16]);
+        assert!(node.machine().is_contended());
+        node.collect();
+        assert!(node.machine().contention_cycles() > 0);
     }
 
     #[test]

@@ -81,4 +81,22 @@ fn attack_and_mbpta_results_are_bit_identical_across_thread_counts() {
             ArraySweep::standard(&mut Layout::new(0x10_0000))
         })
     });
+
+    // Contended campaigns: co-runner cores, shared-bus arbitration and
+    // MSHR stalls must not break thread-count invariance anywhere.
+    let mut contended = SamplingConfig::standard(SetupKind::TsCache, 150, 0xd00d);
+    contended.contention = Some(tscache_interference::ContentionConfig::default());
+    contended.reseed_every = 32;
+    contended.warmup_jobs = 2;
+    assert_invariant("contended collect_pair", || collect_pair(contended, &ka, &kv));
+    let contended_protocol = MeasurementProtocol {
+        runs: 16,
+        contention: Some(tscache_interference::ContentionConfig::default()),
+        ..Default::default()
+    };
+    assert_invariant("contended mbpta collection", || {
+        collect_execution_times_par(SetupKind::TsCache, &contended_protocol, || {
+            ArraySweep::standard(&mut Layout::new(0x10_0000))
+        })
+    });
 }

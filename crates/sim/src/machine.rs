@@ -9,9 +9,12 @@
 
 use crate::pipeline::PipelineModel;
 use tscache_core::addr::Addr;
-use tscache_core::hierarchy::{AccessKind, Hierarchy};
+use tscache_core::cache::WritePolicy;
+use tscache_core::hierarchy::{AccessKind, Hierarchy, OpTiming};
+use tscache_core::prng::mix64;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
+use tscache_interference::{run_contended_segment, CoRunner, ContentionConfig, SystemConfig};
 
 /// One memory operation of a pre-built trace, consumed by
 /// [`Machine::run_trace`] (defined in `tscache_core::hierarchy`, where
@@ -55,6 +58,15 @@ pub struct Machine {
     cycles: u64,
     trace: Option<Vec<TraceEvent>>,
     instret: u64,
+    /// Enemy cores contending for the shared bus (empty = solo).
+    co_runners: Vec<CoRunner>,
+    /// Bus/MSHR model; armed by [`set_interference`](Self::set_interference).
+    interference: Option<SystemConfig>,
+    /// Lifetime cycles lost to bus queuing + MSHR stalls (survives
+    /// `reset_counters`; see [`contention_cycles`](Self::contention_cycles)).
+    contention_cycles: u64,
+    /// Reused per-segment timing scratch of the contended batch path.
+    timing_scratch: Vec<OpTiming>,
 }
 
 impl Machine {
@@ -67,6 +79,10 @@ impl Machine {
             cycles: 0,
             trace: None,
             instret: 0,
+            co_runners: Vec::new(),
+            interference: None,
+            contention_cycles: 0,
+            timing_scratch: Vec::new(),
         }
     }
 
@@ -145,6 +161,95 @@ impl Machine {
     /// Mutably borrows the hierarchy (for seed management and flushes).
     pub fn hierarchy_mut(&mut self) -> &mut Hierarchy {
         &mut self.hierarchy
+    }
+
+    /// Arms the multi-core interference model: once at least one
+    /// co-runner is attached, every [`run_trace`](Self::run_trace)
+    /// segment contends with the enemies for the shared bus (and pays
+    /// MSHR structural stalls). The scalar convenience ops
+    /// ([`load`](Self::load), [`store`](Self::store),
+    /// [`run_block`](Self::run_block)) stay uncontended — they model
+    /// background activity, not the measured trace replay.
+    pub fn set_interference(&mut self, cfg: SystemConfig) {
+        self.interference = Some(cfg);
+    }
+
+    /// Attaches an enemy core. Its cache state and trace position
+    /// persist across segments (steady-state interference).
+    pub fn add_co_runner(&mut self, co: CoRunner) {
+        self.co_runners.push(co);
+    }
+
+    /// Attaches `con.co_runners` enemy cores, each a fresh hierarchy
+    /// of `setup` at `depth` cyclically replaying the FIR enemy kernel
+    /// (`crate::synthetic::FirFilter`), arms the bus/MSHR model, and —
+    /// when `con.write_back` is set — switches every core (including
+    /// this machine) to write-back caches so dirty evictions join the
+    /// bus traffic. Everything derives from `seed`, so campaigns stay
+    /// reproducible.
+    pub fn attach_standard_enemies(
+        &mut self,
+        setup: SetupKind,
+        depth: HierarchyDepth,
+        con: &ContentionConfig,
+        seed: u64,
+    ) {
+        if con.write_back {
+            self.hierarchy.set_write_policy(WritePolicy::WriteBack);
+        }
+        self.set_interference(con.system);
+        let mut layout = crate::layout::Layout::new(0x10_0000);
+        let mut fir = crate::synthetic::FirFilter::standard(&mut layout);
+        let fir_ops = fir.trace_ops(self);
+        // Interleave a 512 KiB cyclic read stream (one read per eight
+        // compute ops) through the FIR kernel: the buffer exceeds
+        // every cache level, so the enemy sustains real memory traffic
+        // even once the FIR working set is L2-resident — the DMA-like
+        // bus pressure a compute-only kernel lacks.
+        let mut ops = Vec::with_capacity(fir_ops.len() + fir_ops.len() / 8 + 1);
+        let mut stream = 0u64;
+        for (i, op) in fir_ops.iter().enumerate() {
+            ops.push(*op);
+            if i % 8 == 7 {
+                ops.push(TraceOp::read(Addr::new(0x80_0000 + (stream % 16384) * 32)));
+                stream += 1;
+            }
+        }
+        for k in 0..con.co_runners {
+            let mut enemy = setup.build_depth(depth, mix64(seed ^ 0xc0de ^ k as u64));
+            if con.write_back {
+                enemy.set_write_policy(WritePolicy::WriteBack);
+            }
+            let pid = ProcessId::new(200 + k as u16);
+            enemy.set_process_seed(pid, Seed::new(mix64(seed ^ 0xe11e0 ^ (k as u64) << 32)));
+            self.add_co_runner(CoRunner::new(enemy, pid, ops.clone()));
+        }
+    }
+
+    /// The attached enemy cores.
+    pub fn co_runners(&self) -> &[CoRunner] {
+        &self.co_runners
+    }
+
+    /// Mutably borrows the enemy cores (seed management at epoch
+    /// boundaries).
+    pub fn co_runners_mut(&mut self) -> &mut [CoRunner] {
+        &mut self.co_runners
+    }
+
+    /// Whether trace replay currently contends with enemy cores.
+    pub fn is_contended(&self) -> bool {
+        self.interference.is_some() && !self.co_runners.is_empty()
+    }
+
+    /// Cycles this machine has lost to shared-bus queuing and MSHR
+    /// structural stalls over its whole lifetime. Unlike
+    /// [`cycles`](Self::cycles) this counter is *not* cleared by
+    /// [`reset_counters`](Self::reset_counters), so campaign layers
+    /// that reset per job can still difference it across epochs (the
+    /// RTOS report does exactly that).
+    pub fn contention_cycles(&self) -> u64 {
+        self.contention_cycles
     }
 
     /// Starts recording memory events.
@@ -246,6 +351,8 @@ impl Machine {
     pub fn run_trace(&mut self, ops: &[TraceOp]) -> u64 {
         if self.trace.is_some() {
             // Scalar fallback: per-op costs are observable only here.
+            // Event tracing is a debugging view, so it runs solo even
+            // on a contended machine.
             let before = self.cycles;
             for op in ops {
                 let cost = self.hierarchy.access(self.pid, op.kind, op.addr);
@@ -253,6 +360,19 @@ impl Machine {
                 self.record(op.kind, op.addr, cost);
             }
             return self.cycles - before;
+        }
+        if let Some(cfg) = self.interference.filter(|_| !self.co_runners.is_empty()) {
+            let seg = run_contended_segment(
+                &mut self.hierarchy,
+                self.pid,
+                ops,
+                &mut self.co_runners,
+                &cfg,
+                &mut self.timing_scratch,
+            );
+            self.cycles += seg.primary.cycles;
+            self.contention_cycles += seg.primary.bus_wait + seg.primary.mshr_stall_cycles;
+            return seg.primary.cycles;
         }
         let cycles = self.hierarchy.access_batch_cycles(self.pid, ops);
         self.cycles += cycles;
@@ -496,6 +616,73 @@ mod tests {
         m.charge_stall(17);
         assert_eq!(m.cycles(), 17);
         assert_eq!(m.instructions(), 0);
+    }
+
+    #[test]
+    fn contended_run_trace_is_deterministic_and_dominates_solo() {
+        // Mixed hit/miss costs: a perfectly periodic all-miss loop can
+        // phase-lock with an equally periodic enemy into zero bus
+        // overlap (op-granular request times are lattice-quantized);
+        // the interleaved hot-line reads shift the phase op by op, as
+        // any real workload's cost mix does.
+        let ops: Vec<TraceOp> = (0..700u64)
+            .map(|i| {
+                if i % 5 == 0 {
+                    TraceOp::read(Addr::new(0x540))
+                } else {
+                    TraceOp::read(Addr::new((i * 4099) % (1 << 18)))
+                }
+            })
+            .collect();
+        let run = |contended: bool| {
+            let mut m = Machine::from_setup(SetupKind::TsCache, 5);
+            m.set_process_seed(ProcessId::new(1), Seed::new(3));
+            if contended {
+                m.attach_standard_enemies(
+                    SetupKind::TsCache,
+                    HierarchyDepth::TwoLevel,
+                    &ContentionConfig { write_back: false, ..ContentionConfig::default() },
+                    99,
+                );
+                assert!(m.is_contended());
+            }
+            let mut cycles = Vec::new();
+            for _ in 0..4 {
+                cycles.push(m.run_trace(&ops));
+            }
+            (cycles, m.contention_cycles())
+        };
+        let (solo, solo_wait) = run(false);
+        let (contended, wait) = run(true);
+        assert_eq!(solo, run(false).0, "solo runs must be reproducible");
+        assert_eq!(contended, run(true).0, "contended runs must be reproducible");
+        assert_eq!(solo_wait, 0);
+        assert!(wait > 0, "enemy core never delayed the trace");
+        for (s, c) in solo.iter().zip(&contended) {
+            assert!(c >= s, "contended segment cheaper than solo ({c} < {s})");
+        }
+        // write_back=false leaves cache behaviour untouched, so the
+        // contended cycle count is exactly solo + contention.
+        assert_eq!(contended.iter().sum::<u64>(), solo.iter().sum::<u64>() + wait);
+    }
+
+    #[test]
+    fn enemy_cores_do_not_perturb_primary_cache_state() {
+        let ops: Vec<TraceOp> =
+            (0..500u64).map(|i| TraceOp::read(Addr::new((i * 1031) % (1 << 16)))).collect();
+        let mut solo = Machine::from_setup(SetupKind::TsCache, 5);
+        let mut contended = Machine::from_setup(SetupKind::TsCache, 5);
+        contended.attach_standard_enemies(
+            SetupKind::TsCache,
+            HierarchyDepth::TwoLevel,
+            &ContentionConfig { write_back: false, ..ContentionConfig::default() },
+            7,
+        );
+        solo.run_trace(&ops);
+        contended.run_trace(&ops);
+        assert_eq!(solo.hierarchy().total_stats(), contended.hierarchy().total_stats());
+        // The enemy really executed something meanwhile.
+        assert!(contended.co_runners()[0].hierarchy().total_stats().accesses() > 0);
     }
 
     #[test]

@@ -289,6 +289,111 @@ impl Workload for MultipathTask {
     }
 }
 
+/// EEMBC-like FIR filter: convolves an `n`-sample signal with a
+/// `taps`-coefficient kernel, writing one output word per sample. The
+/// sliding signal window has strong spatial locality, the coefficient
+/// array is hot, and the output stream is write-only — the classic
+/// automotive-suite profile, and (via [`trace_ops`](FirFilter::trace_ops))
+/// the standard *enemy workload* replayed by co-runner cores in
+/// contended campaigns: its steady read+write mix keeps the shared bus
+/// busy with both fills and dirty writebacks.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    code: Region,
+    signal: Region,
+    coeffs: Region,
+    output: Region,
+    samples: u32,
+    taps: u32,
+    /// The full convolution's memory operations, replayed batched.
+    trace: CachedTrace,
+}
+
+impl FirFilter {
+    /// Creates a FIR filter over `samples` input words and `taps`
+    /// coefficients (the signal region needs `4·(samples + taps)`
+    /// bytes so the final windows stay in bounds).
+    pub fn new(
+        code: Region,
+        signal: Region,
+        coeffs: Region,
+        output: Region,
+        samples: u32,
+        taps: u32,
+    ) -> Self {
+        assert!(taps > 0, "FIR needs at least one tap");
+        assert!(4 * (samples as u64 + taps as u64) <= signal.size(), "signal region too small");
+        assert!(4 * taps as u64 <= coeffs.size(), "coefficient region too small");
+        assert!(4 * samples as u64 <= output.size(), "output region too small");
+        FirFilter { code, signal, coeffs, output, samples, taps, trace: CachedTrace::default() }
+    }
+
+    /// The standard instance: 4096 samples, 16 taps — a 16 KiB signal
+    /// stream plus a 16 KiB output stream over the 16 KiB L1, so the
+    /// convolution continuously evicts (dirty) lines: exactly the
+    /// fill + writeback bus pressure an enemy core should generate.
+    pub fn standard(layout: &mut Layout) -> Self {
+        let code = layout.alloc("fir.code", 256, 32);
+        let signal = layout.alloc("fir.signal", 4 * (4096 + 16), 4096);
+        let coeffs = layout.alloc("fir.coeffs", 4 * 16, 32);
+        let output = layout.alloc("fir.out", 4 * 4096, 4096);
+        FirFilter::new(code, signal, coeffs, output, 4096, 16)
+    }
+
+    /// Appends the convolution's ops: per sample the loop body's
+    /// fetches, the alternating signal/coefficient loads of the tap
+    /// loop, then the output store.
+    fn build(
+        machine: &Machine,
+        ops: &mut Vec<TraceOp>,
+        (code, signal, coeffs, output): (Region, Region, Region, Region),
+        samples: u32,
+        taps: u32,
+    ) {
+        for i in 0..samples as u64 {
+            machine.push_block_fetches(ops, code.base(), 6);
+            for t in 0..taps as u64 {
+                ops.push(TraceOp::read(signal.at(4 * (i + t))));
+                ops.push(TraceOp::read(coeffs.at(4 * t)));
+            }
+            ops.push(TraceOp::write(output.at(4 * i)));
+        }
+    }
+
+    /// The kernel's pre-assembled memory trace for `machine`'s
+    /// geometry — the co-runner enemy-workload hook
+    /// ([`CoRunner`](tscache_interference::CoRunner) replays it
+    /// cyclically on its own hierarchy).
+    pub fn trace_ops(&mut self, machine: &Machine) -> Vec<TraceOp> {
+        let regions = (self.code, self.signal, self.coeffs, self.output);
+        let (samples, taps) = (self.samples, self.taps);
+        self.trace
+            .for_machine(machine, |m, ops| Self::build(m, ops, regions, samples, taps))
+            .to_vec()
+    }
+}
+
+impl Workload for FirFilter {
+    fn name(&self) -> &str {
+        "fir-filter"
+    }
+
+    fn run(&mut self, machine: &mut Machine) {
+        let regions = (self.code, self.signal, self.coeffs, self.output);
+        let (samples, taps) = (self.samples, self.taps);
+        let ops =
+            self.trace.for_machine(machine, |m, ops| Self::build(m, ops, regions, samples, taps));
+        machine.run_trace(ops);
+        // 6 block instructions plus 2 per multiply-accumulate per
+        // sample; each MAC's signal load feeds the multiplier.
+        machine.execute((6 + 2 * self.taps) * self.samples);
+        let pipeline = machine.pipeline();
+        machine
+            .charge_stall(self.samples as u64 * self.taps as u64 * pipeline.load_use_stall as u64);
+        machine.charge_stall(self.samples as u64 * pipeline.branch_penalty as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,5 +532,52 @@ mod tests {
         assert_eq!(PointerChase::standard(&mut l).name(), "pointer-chase");
         assert_eq!(MatrixMult::standard(&mut l).name(), "matrix-mult");
         assert_eq!(MultipathTask::standard(&mut l).name(), "multipath");
+        assert_eq!(FirFilter::standard(&mut l).name(), "fir-filter");
+    }
+
+    #[test]
+    fn fir_touches_signal_coeffs_and_output() {
+        let mut l = layout();
+        let mut w = FirFilter::standard(&mut l);
+        let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+        w.run(&mut m);
+        let stats = m.hierarchy().l1d().stats();
+        // 2 loads per MAC + 1 store per sample.
+        assert_eq!(stats.accesses(), 2 * 4096 * 16 + 4096);
+        assert!(m.cycles() > 0);
+    }
+
+    #[test]
+    fn fir_trace_ops_matches_workload_accounting() {
+        let mut l = layout();
+        let mut w = FirFilter::standard(&mut l);
+        let m = Machine::from_setup(SetupKind::Deterministic, 1);
+        let ops = w.trace_ops(&m);
+        let mut replay = Machine::from_setup(SetupKind::Deterministic, 1);
+        replay.run_trace(&ops);
+        let mut l2 = layout();
+        let mut fresh = FirFilter::standard(&mut l2);
+        let mut direct = Machine::from_setup(SetupKind::Deterministic, 1);
+        fresh.run(&mut direct);
+        assert_eq!(
+            replay.hierarchy().l1d().stats(),
+            direct.hierarchy().l1d().stats(),
+            "trace replay and workload run must issue identical memory traffic"
+        );
+    }
+
+    #[test]
+    fn fir_generates_writebacks_under_writeback_policy() {
+        use tscache_core::cache::WritePolicy;
+        let mut l = layout();
+        let mut w = FirFilter::standard(&mut l);
+        let mut m = Machine::from_setup(SetupKind::Deterministic, 1);
+        m.hierarchy_mut().set_write_policy(WritePolicy::WriteBack);
+        w.run(&mut m);
+        w.run(&mut m);
+        assert!(
+            m.hierarchy().l1d().stats().writebacks() > 0,
+            "output stream never wrote back a dirty line"
+        );
     }
 }

@@ -4,7 +4,8 @@ use crate::machine::Machine;
 use tscache_core::parallel::par_map_indexed;
 use tscache_core::prng::{mix64, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
-use tscache_core::setup::SetupKind;
+use tscache_core::setup::{HierarchyDepth, SetupKind};
+use tscache_interference::ContentionConfig;
 
 /// A program the machine can execute.
 pub trait Workload {
@@ -29,6 +30,13 @@ pub struct MeasurementProtocol {
     /// Whether to draw a fresh placement seed per run (MBPTA's
     /// "new random cache layout on every program run", §2.1).
     pub reseed_between_runs: bool,
+    /// Hierarchy depth of the measured platform.
+    pub depth: HierarchyDepth,
+    /// When set, the machine runs with enemy co-runner cores on a
+    /// shared bus (`Machine::attach_standard_enemies`), so the
+    /// collected times carry contention — the solo-vs-contended pWCET
+    /// experiment's knob.
+    pub contention: Option<ContentionConfig>,
 }
 
 impl Default for MeasurementProtocol {
@@ -38,8 +46,27 @@ impl Default for MeasurementProtocol {
             rng_seed: 0x4d42_5054,
             flush_between_runs: true,
             reseed_between_runs: true,
+            depth: HierarchyDepth::TwoLevel,
+            contention: None,
         }
     }
+}
+
+/// Builds the per-run machine of the measurement protocol: setup at
+/// the protocol's depth, with enemy cores attached when the protocol
+/// is contended. `machine_seed` drives the hierarchy RNG; the enemy
+/// derivation mixes it further, so solo and contended runs share per-
+/// run placement seeds (contention can only *add* cycles run by run).
+fn protocol_machine(
+    setup: SetupKind,
+    protocol: &MeasurementProtocol,
+    machine_seed: u64,
+) -> Machine {
+    let mut machine = Machine::from_setup_depth(setup, protocol.depth, machine_seed);
+    if let Some(con) = &protocol.contention {
+        machine.attach_standard_enemies(setup, protocol.depth, con, mix64(machine_seed ^ 0xe8e));
+    }
+    machine
 }
 
 /// Collects one execution time per run of `workload` on a machine built
@@ -67,7 +94,7 @@ pub fn collect_execution_times(
     workload: &mut dyn Workload,
     protocol: &MeasurementProtocol,
 ) -> Vec<u64> {
-    let mut machine = Machine::from_setup(setup, protocol.rng_seed);
+    let mut machine = protocol_machine(setup, protocol, protocol.rng_seed);
     let pid = ProcessId::new(1);
     machine.set_process(pid);
     let mut rng = SplitMix64::new(protocol.rng_seed ^ 0x6d65_6173);
@@ -124,7 +151,7 @@ where
         // per run as well: a shared stream would correlate the runs'
         // victim selections and understate sample variance.
         let mut machine =
-            Machine::from_setup(setup, mix64(protocol.rng_seed ^ 0x6d61_6368 ^ run as u64));
+            protocol_machine(setup, protocol, mix64(protocol.rng_seed ^ 0x6d61_6368 ^ run as u64));
         machine.set_process(pid);
         machine.set_process_seed(
             pid,
@@ -208,6 +235,41 @@ mod tests {
         let protocol =
             MeasurementProtocol { runs: 2, flush_between_runs: false, ..Default::default() };
         collect_execution_times_par(SetupKind::Mbpta, &protocol, || Touch { addrs: vec![0] });
+    }
+
+    #[test]
+    fn contended_times_dominate_solo_run_by_run() {
+        use crate::layout::Layout;
+        use crate::synthetic::ArraySweep;
+        // write_back=false keeps cache outcomes identical, so every
+        // contended run is the matching solo run plus bus waits.
+        let solo = MeasurementProtocol { runs: 12, ..Default::default() };
+        let contended = MeasurementProtocol {
+            runs: 12,
+            contention: Some(ContentionConfig { write_back: false, ..ContentionConfig::default() }),
+            ..Default::default()
+        };
+        let mut a = ArraySweep::standard(&mut Layout::new(0x10_0000));
+        let t_solo = collect_execution_times(SetupKind::Mbpta, &mut a, &solo);
+        let mut b = ArraySweep::standard(&mut Layout::new(0x10_0000));
+        let t_cont = collect_execution_times(SetupKind::Mbpta, &mut b, &contended);
+        assert!(t_solo.iter().zip(&t_cont).all(|(s, c)| c >= s), "contention removed cycles");
+        assert!(t_solo.iter().zip(&t_cont).any(|(s, c)| c > s), "contention never added cycles");
+    }
+
+    #[test]
+    fn contended_parallel_collection_is_reproducible() {
+        use crate::layout::Layout;
+        use crate::synthetic::FirFilter;
+        let protocol = MeasurementProtocol {
+            runs: 8,
+            contention: Some(ContentionConfig::default()),
+            ..Default::default()
+        };
+        let make = || FirFilter::standard(&mut Layout::new(0x10_0000));
+        let a = collect_execution_times_par(SetupKind::TsCache, &protocol, make);
+        let b = collect_execution_times_par(SetupKind::TsCache, &protocol, make);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   (HashRP, Random Modulo, RPCache, XOR-index), replacement policies,
 //!   per-process seeds, the ARM920T-class hierarchy and the paper's
 //!   four experimental setups.
+//! * [`interference`] — multi-core contention: the shared
+//!   memory bus (round-robin / fixed-priority / TDMA), MSHR files,
+//!   and the contended multi-core execution engines.
 //! * [`sim`] — the execution-driven timing simulator.
 //! * [`aes`] — AES-128 (reference + T-tables + simulator-
 //!   instrumented).
@@ -36,6 +39,7 @@
 
 pub use tscache_aes as aes;
 pub use tscache_core as core;
+pub use tscache_interference as interference;
 pub use tscache_mbpta as mbpta;
 pub use tscache_rtos as rtos;
 pub use tscache_sca as sca;

@@ -3,11 +3,12 @@
 //! the paper requires on random vs deterministic caches.
 
 use tscache::core::setup::SetupKind;
+use tscache::interference::ContentionConfig;
 use tscache::mbpta::analysis::{analyze, MbptaConfig};
 use tscache::mbpta::iid::validate_iid_paper;
 use tscache::mbpta::stats::to_f64;
 use tscache::sim::layout::Layout;
-use tscache::sim::synthetic::{MultipathTask, PointerChase};
+use tscache::sim::synthetic::{ArraySweep, MultipathTask, PointerChase};
 use tscache::sim::workload::{collect_execution_times, MeasurementProtocol};
 
 fn measure(setup: SetupKind, runs: u32, seed: u64) -> Vec<u64> {
@@ -43,6 +44,38 @@ fn tscache_times_pass_both_tests_on_two_workloads() {
     let protocol = MeasurementProtocol { runs: 400, rng_seed: 0xD4, ..Default::default() };
     let chase_times = collect_execution_times(SetupKind::TsCache, &mut chase, &protocol);
     assert!(validate_iid_paper(&to_f64(&chase_times)).passed());
+}
+
+#[test]
+fn contended_pwcet_curve_dominates_solo_curve() {
+    // The multicore acceptance criterion: for the same workload and
+    // per-run seeds, the pWCET curve measured with an active co-runner
+    // must be no tighter than the solo curve at any exceedance level —
+    // contention is timing-only and can only add cycles.
+    let collect = |contention: Option<ContentionConfig>| {
+        let mut layout = Layout::new(0x10_0000);
+        let mut sweep = ArraySweep::standard(&mut layout);
+        let protocol =
+            MeasurementProtocol { runs: 500, rng_seed: 0xC0, contention, ..Default::default() };
+        collect_execution_times(SetupKind::Mbpta, &mut sweep, &protocol)
+    };
+    let solo = collect(None);
+    let contended = collect(Some(ContentionConfig {
+        // Pin cache behaviour (write-through): run-by-run dominance is
+        // then exact, not just distributional.
+        write_back: false,
+        ..ContentionConfig::default()
+    }));
+    assert!(
+        solo.iter().zip(&contended).all(|(s, c)| c >= s),
+        "a contended run was cheaper than its solo twin"
+    );
+    let solo_curve = analyze(&solo, &MbptaConfig::default());
+    let contended_curve = analyze(&contended, &MbptaConfig::default());
+    for exceedance in [1e-3, 1e-6, 1e-9, 1e-12] {
+        let (s, c) = (solo_curve.pwcet(exceedance), contended_curve.pwcet(exceedance));
+        assert!(c >= s, "contended pWCET tighter than solo at {exceedance:e}: {c:.0} < {s:.0}");
+    }
 }
 
 #[test]
