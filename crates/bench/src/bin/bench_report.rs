@@ -22,7 +22,9 @@
 
 use std::hint::black_box;
 use tscache_bench::harness::{bench, render_table, to_json, Measurement};
-use tscache_bench::suites::{cache_dispatch_suite, contended_machine_suite, hierarchy_batch_suite};
+use tscache_bench::suites::{
+    cache_dispatch_suite, contended_machine_suite, hierarchy_batch_suite, shared_llc_machine_suite,
+};
 use tscache_bench::Args;
 use tscache_core::parallel;
 use tscache_core::placement::PlacementKind;
@@ -90,6 +92,13 @@ fn main() {
         ));
     }
 
+    // The shared-LLC platform on the same trace: solo and contended,
+    // at both depths (what the shared-level merge loop costs relative
+    // to the private batch path above).
+    for depth in HierarchyDepth::ALL {
+        results.extend(shared_llc_machine_suite(SetupKind::TsCache, depth, ms));
+    }
+
     // Bernstein sampling throughput: one fresh node per timing call so
     // the epoch warm-up cost is included, as in a real campaign.
     let mut round = 0u64;
@@ -134,6 +143,10 @@ fn main() {
         rate("machine/tscache-l2-tdma/contended") / rate("machine/tscache-l2-tdma/solo");
     let bernstein_contended_ratio =
         rate("bernstein/sampling-contended") / rate("bernstein/sampling");
+    let shared_vs_private_solo =
+        rate("machine/tscache-l2-shared/solo") / rate("machine/tscache-l2-round-robin/solo");
+    let shared_contended_ratio =
+        rate("machine/tscache-l2-shared/contended") / rate("machine/tscache-l2-shared/solo");
 
     let extra = [
         ("pr", pr as f64),
@@ -149,6 +162,8 @@ fn main() {
         ("throughput_ratio_contended_round_robin", contention_rr),
         ("throughput_ratio_contended_tdma", contention_tdma),
         ("throughput_ratio_bernstein_contended", bernstein_contended_ratio),
+        ("throughput_ratio_shared_vs_private_llc_solo", shared_vs_private_solo),
+        ("throughput_ratio_shared_llc_contended", shared_contended_ratio),
     ];
 
     print!("{}", render_table(&results));
@@ -162,6 +177,9 @@ fn main() {
     println!("contended vs solo throughput (same run):");
     println!("  machine run_trace: round-robin {contention_rr:.2}x, tdma {contention_tdma:.2}x");
     println!("  bernstein sampling: {bernstein_contended_ratio:.2}x");
+    println!("shared-LLC platform (same run):");
+    println!("  solo vs private-LLC solo: {shared_vs_private_solo:.2}x");
+    println!("  contended vs solo: {shared_contended_ratio:.2}x");
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

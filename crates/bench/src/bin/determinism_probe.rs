@@ -147,6 +147,102 @@ fn main() {
     d.u64(plain.bus.transactions);
     println!("contended_core_order {:016x}", d.0);
 
+    // Shared-LLC contended campaigns (enemy cores inside the shared
+    // cache, not just on the bus), unpartitioned and per-core
+    // partitioned: both must stay bit-identical across worker-thread
+    // counts.
+    for partition_llc_ways in [0u32, 2] {
+        let mut shared = SamplingConfig::standard(SetupKind::TsCache, 800, 0x5c0);
+        shared.shared_llc = true;
+        shared.partition_llc_ways = partition_llc_ways;
+        shared.contention = Some(ContentionConfig::default());
+        shared.reseed_every = 64;
+        shared.warmup_jobs = 2;
+        let (a, v) = collect_pair(shared, &[7u8; 16], &[13u8; 16]);
+        let mut d = Digest::new();
+        for s in a.iter().chain(&v) {
+            d.u64(s.cycles);
+        }
+        let tag = if partition_llc_ways == 0 { "open" } else { "partitioned" };
+        println!("shared_llc_collect_pair_{tag} {:016x}", d.0);
+    }
+
+    // Core-order sensitivity on the shared level: with a *full
+    // per-core partition* (and disjoint address spaces), permuting the
+    // enemy cores must not reach the measured core's cache outcomes —
+    // asserted here, like the private-hierarchy property above. On an
+    // unpartitioned shared LLC the interleaving legitimately shifts
+    // shared-level contents, so only determinism (the digest) is
+    // pinned there.
+    let shared_segment = |swap: bool, partitioned: bool| {
+        use tscache_core::addr::Addr;
+        use tscache_core::hierarchy::LlcRequests;
+        use tscache_core::setup::HierarchyDepth;
+        let mk_enemy = |salt: u64| {
+            let mut h = SetupKind::TsCache.build_private(HierarchyDepth::TwoLevel, 77 + salt);
+            h.set_process_seed(ProcessId::new(9 + salt as u16), Seed::new(13 + salt));
+            let ops: Vec<TraceOp> =
+                TraceOp::mixed_trace(0x11 + salt, 400 + 32 * salt as usize, 1 << 17)
+                    .into_iter()
+                    .map(|op| TraceOp {
+                        kind: op.kind,
+                        addr: Addr::new(op.addr.as_u64() + ((1 + salt) << 25)),
+                    })
+                    .collect();
+            tscache_interference::CoRunner::new(h, ProcessId::new(9 + salt as u16), ops)
+        };
+        let mut h = SetupKind::TsCache.build_private(HierarchyDepth::TwoLevel, 1);
+        h.set_process_seed(ProcessId::new(1), Seed::new(6));
+        let mut llc = SetupKind::TsCache.build_shared_llc(HierarchyDepth::TwoLevel, 1);
+        llc.set_process_seed(ProcessId::new(1), Seed::new(21));
+        llc.set_process_seed(ProcessId::new(9), Seed::new(22));
+        llc.set_process_seed(ProcessId::new(10), Seed::new(23));
+        if partitioned {
+            llc.set_way_partition(ProcessId::new(1), 0, 2);
+            llc.set_way_partition(ProcessId::new(9), 2, 3);
+            llc.set_way_partition(ProcessId::new(10), 3, 4);
+        }
+        let mut co = vec![mk_enemy(0), mk_enemy(1)];
+        if swap {
+            co.swap(0, 1);
+        }
+        let trace = TraceOp::mixed_trace(0x22, 600, 1 << 18);
+        let mut events = Vec::new();
+        let mut requests = LlcRequests::default();
+        tscache_interference::run_contended_segment_shared(
+            &mut h,
+            ProcessId::new(1),
+            &trace,
+            &mut co,
+            &mut llc,
+            &SystemConfig::default(),
+            &mut events,
+            &mut requests,
+        )
+    };
+    for partitioned in [false, true] {
+        let (plain, swapped) =
+            (shared_segment(false, partitioned), shared_segment(true, partitioned));
+        if partitioned {
+            let iso = |r: &tscache_interference::CoreReport| {
+                (r.ops, r.base_cycles, r.mem_reads, r.mem_writebacks)
+            };
+            assert_eq!(
+                iso(&plain.primary),
+                iso(&swapped.primary),
+                "core ordering reached a fully partitioned core's shared-level outcomes"
+            );
+        }
+        let mut d = Digest::new();
+        d.u64(plain.primary.cycles);
+        d.u64(plain.primary.base_cycles);
+        d.u64(swapped.primary.cycles);
+        d.u64(swapped.primary.base_cycles);
+        d.u64(plain.bus.transactions);
+        let tag = if partitioned { "partitioned" } else { "open" };
+        println!("shared_llc_core_order_{tag} {:016x}", d.0);
+    }
+
     // MBPTA parallel measurement collection over batched-replay
     // workloads.
     let protocol = MeasurementProtocol { runs: 64, ..Default::default() };

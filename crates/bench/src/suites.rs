@@ -158,6 +158,42 @@ pub fn contended_machine_suite(
     results
 }
 
+/// The shared-vs-private LLC comparison, measured in one run: the same
+/// L2-heavy trace through `Machine::run_trace` on a shared-LLC
+/// platform (`Machine::from_setup_shared`), solo and with an active
+/// FIR co-runner *inside* the shared cache — the per-PR record of what
+/// threading one shared cache through the merge loop costs relative
+/// to the private batch path (`contended_machine_suite`'s numbers).
+pub fn shared_llc_machine_suite(
+    setup: SetupKind,
+    depth: HierarchyDepth,
+    min_ms: u64,
+) -> Vec<Measurement> {
+    let pid = ProcessId::new(1);
+    let ops = l2_heavy_trace();
+    let tag = format!("{}-{}-shared", setup.label(), depth.label());
+    let mut results = Vec::with_capacity(2);
+
+    let mut solo = Machine::from_setup_shared(setup, depth, SystemConfig::default(), 21);
+    solo.set_process(pid);
+    solo.set_process_seed(pid, Seed::new(42));
+    results.push(bench(format!("machine/{tag}/solo"), "accesses", min_ms, || {
+        black_box(solo.run_trace(black_box(&ops)));
+        ops.len() as u64
+    }));
+
+    let mut contended = Machine::from_setup_shared(setup, depth, SystemConfig::default(), 21);
+    contended.set_process(pid);
+    contended.set_process_seed(pid, Seed::new(42));
+    contended.attach_standard_enemies(setup, depth, &ContentionConfig::default(), 77);
+    results.push(bench(format!("machine/{tag}/contended"), "accesses", min_ms, || {
+        black_box(contended.run_trace(black_box(&ops)));
+        ops.len() as u64
+    }));
+
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +225,17 @@ mod tests {
         assert_eq!(
             names,
             ["machine/tscache-l2-round-robin/solo", "machine/tscache-l2-round-robin/contended"]
+        );
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
+
+    #[test]
+    fn shared_llc_suite_reports_solo_and_contended() {
+        let results = shared_llc_machine_suite(SetupKind::TsCache, HierarchyDepth::TwoLevel, 1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["machine/tscache-l2-shared/solo", "machine/tscache-l2-shared/contended"]
         );
         assert!(results.iter().all(|m| m.per_sec() > 0.0));
     }

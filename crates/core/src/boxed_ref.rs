@@ -19,7 +19,7 @@ use crate::addr::LineAddr;
 use crate::cache::{AccessOutcome, EvictedLine};
 use crate::geometry::CacheGeometry;
 use crate::placement::{Placement, PlacementKind};
-use crate::prng::SplitMix64;
+use crate::prng::{mix64, SplitMix64};
 use crate::replacement::{Replacement, ReplacementKind};
 use crate::seed::{ProcessId, Seed, SeedTable};
 use crate::stats::CacheStats;
@@ -38,6 +38,11 @@ pub struct BoxedCache {
     partitions: Vec<(u16, u32, u32)>,
     seeds: SeedTable,
     rng: SplitMix64,
+    rng_seed: u64,
+    /// Per-process partition-replacement streams (mirrors
+    /// `Cache::part_rngs`): victims chosen *inside* a way partition
+    /// draw from the owning process's own stream, not the shared one.
+    part_rngs: Vec<(u16, SplitMix64)>,
     stats: CacheStats,
 }
 
@@ -63,7 +68,24 @@ impl BoxedCache {
             partitions: Vec::new(),
             seeds: SeedTable::new(),
             rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
+            rng_seed,
+            part_rngs: Vec::new(),
             stats: CacheStats::new(),
+        }
+    }
+
+    /// Index of `pid`'s partition-replacement stream, creating it on
+    /// first use with the same derivation as `Cache::part_rng_index`.
+    fn part_rng_index(&mut self, pid: ProcessId) -> usize {
+        match self.part_rngs.binary_search_by_key(&pid.as_u16(), |&(p, _)| p) {
+            Ok(i) => i,
+            Err(i) => {
+                let stream = SplitMix64::new(mix64(
+                    self.rng_seed ^ 0x7061_7274 ^ ((pid.as_u16() as u64) << 40),
+                ));
+                self.part_rngs.insert(i, (pid.as_u16(), stream));
+                i
+            }
         }
     }
 
@@ -153,7 +175,10 @@ impl BoxedCache {
         let mut way = match self.find_invalid_way(set, lo, hi) {
             Some(w) => w,
             None if full_width => self.replacement.victim(set, &mut self.rng),
-            None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+            None => {
+                let i = self.part_rng_index(pid);
+                self.replacement.victim_in(set, lo, hi, &mut self.part_rngs[i].1)
+            }
         };
 
         let slot = self.slot(set, way);
@@ -168,7 +193,10 @@ impl BoxedCache {
                 way = match self.find_invalid_way(set, lo, hi) {
                     Some(w) => w,
                     None if full_width => self.replacement.victim(set, &mut self.rng),
-                    None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+                    None => {
+                        let i = self.part_rng_index(pid);
+                        self.replacement.victim_in(set, lo, hi, &mut self.part_rngs[i].1)
+                    }
                 };
             }
         }

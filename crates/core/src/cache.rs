@@ -30,7 +30,7 @@
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
 use crate::placement::{PlacementEngine, PlacementKind};
-use crate::prng::SplitMix64;
+use crate::prng::{mix64, SplitMix64};
 use crate::replacement::{ReplacementEngine, ReplacementKind};
 use crate::seed::{ProcessId, Seed, SeedTable};
 use crate::stats::CacheStats;
@@ -287,6 +287,20 @@ pub struct Cache {
     /// mapping on contention; modulo/XOR are already single-op).
     place_memo: Vec<PlaceMemoEntry>,
     rng: SplitMix64,
+    /// The raw constructor seed, kept to derive per-process partition
+    /// streams lazily.
+    rng_seed: u64,
+    /// Per-process replacement-RNG streams `(pid, stream)`, sorted by
+    /// pid, used for victim selection *inside* a way partition.
+    /// Partitioned replacement metadata is per-partition hardware
+    /// state: drawing partitioned victims from the shared [`rng`]
+    /// stream would let any co-resident process's (random-replacement)
+    /// fills perturb a fully partitioned process's victim choices —
+    /// breaking the exact isolation the §7 partition guarantee (and
+    /// the shared-LLC isolation proptests) require.
+    ///
+    /// [`rng`]: Cache::rng
+    part_rngs: Vec<(u16, SplitMix64)>,
     stats: CacheStats,
 }
 
@@ -336,7 +350,26 @@ impl Cache {
             hot: HotContext::EMPTY,
             place_memo,
             rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
+            rng_seed,
+            part_rngs: Vec::new(),
             stats: CacheStats::new(),
+        }
+    }
+
+    /// Index of `pid`'s partition-replacement stream, creating it on
+    /// first use (derived purely from the constructor seed and the
+    /// pid, so it is reproducible and independent of access history).
+    #[inline]
+    fn part_rng_index(&mut self, pid: ProcessId) -> usize {
+        match self.part_rngs.binary_search_by_key(&pid.as_u16(), |&(p, _)| p) {
+            Ok(i) => i,
+            Err(i) => {
+                let stream = SplitMix64::new(mix64(
+                    self.rng_seed ^ 0x7061_7274 ^ ((pid.as_u16() as u64) << 40),
+                ));
+                self.part_rngs.insert(i, (pid.as_u16(), stream));
+                i
+            }
         }
     }
 
@@ -824,7 +857,10 @@ impl Cache {
         let mut way = match self.find_invalid_way(set, lo, hi) {
             Some(w) => w,
             None if full_width => self.replacement.victim(set, &mut self.rng),
-            None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+            None => {
+                let i = self.part_rng_index(pid);
+                self.replacement.victim_in(set, lo, hi, &mut self.part_rngs[i].1)
+            }
         };
 
         // RPCache interference randomization: if the fill would evict
@@ -846,7 +882,10 @@ impl Cache {
                 way = match self.find_invalid_way(set, lo, hi) {
                     Some(w) => w,
                     None if full_width => self.replacement.victim(set, &mut self.rng),
-                    None => self.replacement.victim_in(set, lo, hi, &mut self.rng),
+                    None => {
+                        let i = self.part_rng_index(pid);
+                        self.replacement.victim_in(set, lo, hi, &mut self.part_rngs[i].1)
+                    }
                 };
             }
         }

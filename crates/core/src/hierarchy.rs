@@ -150,6 +150,250 @@ impl OpTiming {
     }
 }
 
+/// Timing of one op through the *private* levels of a hierarchy whose
+/// last unified level lives elsewhere (a shared LLC): produced by
+/// [`Hierarchy::access_upper_detailed`]. The shared-level cost is
+/// composed by the caller once it resolves [`fill`](Self::fill)
+/// against the shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpperOutcome {
+    /// Cycle cost through the private levels (L1 hit plus each
+    /// consulted private unified level's hit cycles).
+    pub cycles: u32,
+    /// Bit `0` = missed the L1; bit `k` = missed private unified level
+    /// `k-1`. The shared level's bit is composed by the caller.
+    pub miss_mask: u8,
+    /// The line to request from the shared level (every private level
+    /// missed), or `None` on a private hit.
+    pub fill: Option<LineAddr>,
+}
+
+/// The request stream one core sends its shared last-level cache for a
+/// trace segment, exported by [`Hierarchy::access_batch_upper_timed`]:
+/// the last private level's miss stream (fill requests, with
+/// originating op indices) and the dirty-eviction writebacks no
+/// private level absorbed, both in op order. `writebacks` carry
+/// nondecreasing `op_idx`, and a writeback of op `i` precedes op `i`'s
+/// fill — the order the scalar walk's victim buffer drains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LlcRequests {
+    /// Fill requests (lines that missed every private level).
+    pub fills: Vec<LineAddr>,
+    /// Originating op index per fill, parallel to `fills`.
+    pub fill_idx: Vec<u32>,
+    /// Writebacks bound for the shared level, in delivery order.
+    pub writebacks: Vec<Writeback>,
+}
+
+impl LlcRequests {
+    /// Empties all three streams.
+    pub fn clear(&mut self) {
+        self.fills.clear();
+        self.fill_idx.clear();
+        self.writebacks.clear();
+    }
+
+    /// Consumes op `op_idx`'s requests off the front of the streams,
+    /// advancing the caller's cursors: the writebacks the op escaped
+    /// (to deliver *before* its fill) and the fill request, if any.
+    /// The one consumption order every shared-LLC engine must share —
+    /// having a single implementation is what keeps the scalar and
+    /// batch engines structurally incapable of diverging here.
+    pub fn take_for_op(
+        &self,
+        op_idx: u32,
+        fill_pos: &mut usize,
+        wb_pos: &mut usize,
+    ) -> (Option<LineAddr>, &[Writeback]) {
+        let wb_start = *wb_pos;
+        while *wb_pos < self.writebacks.len() && self.writebacks[*wb_pos].op_idx == op_idx {
+            *wb_pos += 1;
+        }
+        let fill = if *fill_pos < self.fills.len() && self.fill_idx[*fill_pos] == op_idx {
+            *fill_pos += 1;
+            Some(self.fills[*fill_pos - 1])
+        } else {
+            None
+        };
+        (fill, &self.writebacks[wb_start..*wb_pos])
+    }
+}
+
+/// A last-level cache shared by every core of a multicore platform:
+/// one [`Cache`] instance plus the hit and memory latencies the levels
+/// above it compose with. Per-core traffic enters under each core's
+/// own [`ProcessId`], so per-core way partitions (the §7 partitioning
+/// alternative, applied at the shared level) and cross-core eviction
+/// accounting fall out of the existing cache model.
+///
+/// The shared level sits *behind* the per-core private hierarchies
+/// ([`Hierarchy::access_upper_detailed`] /
+/// [`Hierarchy::access_batch_upper_timed`] produce its request
+/// streams) and *in front of* the memory bus: a shared-LLC hit never
+/// pays a bus transaction, only misses and writebacks that reach
+/// memory do.
+#[derive(Debug)]
+pub struct SharedLlc {
+    cache: Cache,
+    hit_cycles: u32,
+    memory: u32,
+}
+
+/// Outcome of one fill request against a [`SharedLlc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcFill {
+    /// The line was present in the shared level.
+    pub hit: bool,
+    /// The fill displaced a dirty line, which must be written to
+    /// memory (one bus write transaction).
+    pub mem_writeback: bool,
+}
+
+impl SharedLlc {
+    /// Wraps `cache` as a shared last level with the given additional
+    /// hit cycles and memory penalty.
+    pub fn new(cache: Cache, hit_cycles: u32, memory: u32) -> Self {
+        SharedLlc { cache, hit_cycles, memory }
+    }
+
+    /// The underlying cache (statistics, contents, policy inspection).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Mutably borrows the underlying cache (partition and seed
+    /// management, probes).
+    pub fn cache_mut(&mut self) -> &mut Cache {
+        &mut self.cache
+    }
+
+    /// Additional cycles charged when a lookup reaches this level.
+    pub fn hit_cycles(&self) -> u32 {
+        self.hit_cycles
+    }
+
+    /// Additional cycles charged when this level misses.
+    pub fn memory_cycles(&self) -> u32 {
+        self.memory
+    }
+
+    /// Sets the placement seed of `pid`, on a derivation stream
+    /// distinct from every private level's
+    /// (cf. [`Hierarchy::set_process_seed`]).
+    pub fn set_process_seed(&mut self, pid: ProcessId, seed: Seed) {
+        self.cache.set_seed(pid, seed.derive(0x11c));
+    }
+
+    /// Confines `pid` to fill ways `lo..hi` of the shared level — the
+    /// per-core partition of the §7 ablation (give each core's
+    /// processes a disjoint range and cross-core evictions vanish).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the associativity.
+    pub fn set_way_partition(&mut self, pid: ProcessId, lo: u32, hi: u32) {
+        self.cache.set_way_partition(pid, lo, hi);
+    }
+
+    /// Removes `pid`'s way partition on the shared level.
+    pub fn clear_way_partition(&mut self, pid: ProcessId) {
+        self.cache.clear_way_partition(pid);
+    }
+
+    /// Sets the shared level's write policy.
+    pub fn set_write_policy(&mut self, policy: WritePolicy) {
+        self.cache.set_write_policy(policy);
+    }
+
+    /// Invalidates every line of the shared level.
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Invalidates every line of `pid` in the shared level (the §5
+    /// consistency flush that must accompany a reseed of `pid`).
+    pub fn flush_process(&mut self, pid: ProcessId) {
+        self.cache.flush_process(pid);
+    }
+
+    /// Marks `size` bytes at `start` as protected (RPCache P-bit,
+    /// e.g. over the AES tables) in the shared level, mirroring
+    /// [`Hierarchy::add_protected_range`].
+    pub fn add_protected_range(&mut self, start: Addr, size: u64) {
+        let bits = self.cache.geometry().offset_bits();
+        let first = start.line(bits);
+        let last = start.offset(size.saturating_sub(1)).line(bits).offset(1);
+        self.cache.add_protected_range(first, last);
+    }
+
+    /// One fill request on behalf of `pid`: fills on a miss, reporting
+    /// whether a dirty victim must travel to memory. Latency is
+    /// composed by the caller from [`hit_cycles`](Self::hit_cycles)
+    /// and [`memory_cycles`](Self::memory_cycles).
+    pub fn access(&mut self, pid: ProcessId, line: LineAddr) -> LlcFill {
+        match self.cache.access(pid, line) {
+            AccessOutcome::Hit => LlcFill { hit: true, mem_writeback: false },
+            AccessOutcome::Miss { evicted, .. } => {
+                LlcFill { hit: false, mem_writeback: evicted.is_some_and(|ev| ev.dirty) }
+            }
+        }
+    }
+
+    /// Delivers a writeback emitted by a core's private levels; returns
+    /// `true` when the shared level absorbed it (present copy,
+    /// write-back policy), `false` when it must continue to memory.
+    pub fn receive_writeback(&mut self, owner: ProcessId, line: LineAddr) -> bool {
+        self.cache.receive_writeback(owner, line)
+    }
+
+    /// Resolves one op's complete shared-level traffic on behalf of
+    /// `pid`: the op's escaped private-level writebacks are delivered
+    /// first (victim-drain order), then the fill request, if any. This
+    /// is THE shared-level resolution — every consumer (the multicore
+    /// engines' per-op composition and the machine's scalar ops)
+    /// funnels through it, so the latency/traffic contract cannot
+    /// silently diverge between paths.
+    pub fn resolve(
+        &mut self,
+        pid: ProcessId,
+        fill: Option<LineAddr>,
+        writebacks: &[Writeback],
+    ) -> LlcResolution {
+        let mut r = LlcResolution { cycles: 0, miss: false, mem_writebacks: 0 };
+        for wb in writebacks {
+            if !self.receive_writeback(wb.owner, wb.line) {
+                r.mem_writebacks += 1;
+            }
+        }
+        if let Some(line) = fill {
+            r.cycles += self.hit_cycles;
+            let f = self.access(pid, line);
+            if !f.hit {
+                r.miss = true;
+                r.cycles += self.memory;
+                r.mem_writebacks += f.mem_writeback as u8;
+            }
+        }
+        r
+    }
+}
+
+/// Outcome of [`SharedLlc::resolve`]: what one op's shared-level
+/// traffic costs and sends to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcResolution {
+    /// Additional cycles the shared level charges (hit cycles, plus
+    /// the memory penalty on a miss; zero without a fill request).
+    pub cycles: u32,
+    /// The fill missed the shared level (an off-chip read — one bus
+    /// read transaction).
+    pub miss: bool,
+    /// Writebacks that passed the shared level to memory (unabsorbed
+    /// private writebacks plus a dirty shared-level victim) — bus
+    /// write transactions.
+    pub mem_writebacks: u8,
+}
+
 /// Per-level aggregate of one [`Hierarchy::access_batch`] call.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HierarchyBatchOutcome {
@@ -261,6 +505,32 @@ impl Hierarchy {
         memory: u32,
     ) -> Self {
         assert!(!unified.is_empty(), "hierarchy needs at least one unified level");
+        Hierarchy::from_private_parts(l1i, l1d, unified, l1_hit, memory)
+    }
+
+    /// Assembles the *private* portion of a core on a shared-LLC
+    /// platform: split L1s plus zero or more private unified levels
+    /// (the shared last level lives in a [`SharedLlc`] owned by the
+    /// platform, not here). Unlike [`from_parts`](Self::from_parts),
+    /// `unified` may be empty — a two-level platform with a shared L2
+    /// keeps only the L1s per core.
+    ///
+    /// Drive such a hierarchy through
+    /// [`access_upper_detailed`](Self::access_upper_detailed) /
+    /// [`access_batch_upper_timed`](Self::access_batch_upper_timed);
+    /// the full-walk entry points would charge the memory penalty on a
+    /// last-*private*-level miss, ignoring the shared level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level's line size differs from the L1s'.
+    pub fn from_private_parts(
+        l1i: Cache,
+        l1d: Cache,
+        unified: Vec<(Cache, u32)>,
+        l1_hit: u32,
+        memory: u32,
+    ) -> Self {
         let line = l1i.geometry().line_bytes();
         assert_eq!(l1d.geometry().line_bytes(), line, "L1D line size differs from L1I");
         for (cache, _) in &unified {
@@ -420,6 +690,111 @@ impl Hierarchy {
             }
         }
         1
+    }
+
+    /// [`access_detailed`](Self::access_detailed) for a core whose last
+    /// unified level is a [`SharedLlc`] owned elsewhere: walks only the
+    /// private levels, and instead of charging the memory penalty
+    /// reports the shared-level fill request (if every private level
+    /// missed). Writebacks no private level absorbs are appended to
+    /// `writebacks`, tagged `op_idx`, in the exact order the victim
+    /// buffer drains them — all before the op's fill would reach the
+    /// shared level.
+    ///
+    /// The caller (the multicore interference engine) resolves the
+    /// request stream against the shared cache and composes the final
+    /// [`OpTiming`].
+    pub fn access_upper_detailed(
+        &mut self,
+        pid: ProcessId,
+        kind: AccessKind,
+        addr: Addr,
+        op_idx: u32,
+        writebacks: &mut Vec<Writeback>,
+    ) -> UpperOutcome {
+        let write = kind == AccessKind::Write;
+        let l1 = match kind {
+            AccessKind::Fetch => &mut self.l1i,
+            AccessKind::Read | AccessKind::Write => &mut self.l1d,
+        };
+        let line = l1.geometry().line_of(addr);
+        let mut out = UpperOutcome { cycles: self.l1_hit, miss_mask: 0, fill: None };
+        let res = l1.access_rw(pid, line, write);
+        if let AccessOutcome::Miss { evicted: Some(ev), .. } = res {
+            if ev.dirty {
+                self.cascade_writeback_upper(0, ev.owner, ev.line, op_idx, writebacks);
+            }
+        }
+        if res.is_hit() {
+            return out;
+        }
+        out.miss_mask |= 1;
+        for k in 0..self.levels.len() {
+            out.cycles += self.levels[k].hit_cycles;
+            let res = self.levels[k].cache.access(pid, line);
+            if let AccessOutcome::Miss { evicted: Some(ev), .. } = res {
+                if ev.dirty {
+                    self.cascade_writeback_upper(k + 1, ev.owner, ev.line, op_idx, writebacks);
+                }
+            }
+            if res.is_hit() {
+                return out;
+            }
+            out.miss_mask |= 1 << (k + 1);
+        }
+        out.fill = Some(line);
+        out
+    }
+
+    /// Delivers a writeback down the *private* stack from level
+    /// `start`; if no private level absorbs it, exports it (bound for
+    /// the shared level) instead of sending it to memory.
+    fn cascade_writeback_upper(
+        &mut self,
+        start: usize,
+        owner: ProcessId,
+        line: LineAddr,
+        op_idx: u32,
+        sink: &mut Vec<Writeback>,
+    ) {
+        for k in start..self.levels.len() {
+            if self.levels[k].cache.receive_writeback(owner, line) {
+                return;
+            }
+        }
+        sink.push(Writeback { line, owner, op_idx });
+    }
+
+    /// [`access_batch_timed`](Self::access_batch_timed) for a core
+    /// whose last unified level is a [`SharedLlc`]: executes the whole
+    /// segment through the private levels and exports the shared-level
+    /// request stream into `llc` (cleared and refilled) instead of
+    /// charging the memory penalty. `events[i]` carries op `i`'s
+    /// private-level cycles and miss bits; the shared level's bit,
+    /// latency and memory traffic are composed by the engine that
+    /// resolves `llc` against the shared cache.
+    ///
+    /// Private-level outcomes are a pure function of this core's own
+    /// trace — no shared state is touched — which is what lets the
+    /// multicore batch engine pre-execute every core's private walk
+    /// and still replay the shared level in exact global op order.
+    pub fn access_batch_upper_timed(
+        &mut self,
+        pid: ProcessId,
+        ops: &[TraceOp],
+        events: &mut Vec<OpTiming>,
+        llc: &mut LlcRequests,
+    ) -> HierarchyBatchOutcome {
+        let mut out = HierarchyBatchOutcome {
+            ops: ops.len() as u64,
+            unified: Vec::with_capacity(self.levels.len()),
+            ..HierarchyBatchOutcome::default()
+        };
+        events.clear();
+        events.resize(ops.len(), OpTiming { cycles: self.l1_hit, miss_mask: 0, mem_writebacks: 0 });
+        out.cycles =
+            self.batch_walk_events_export(pid, ops, Some(&mut out), Some(events), Some(llc));
+        out
     }
 
     /// Recomputes the cached write-back flag (selects the event-
@@ -589,8 +964,25 @@ impl Hierarchy {
         &mut self,
         pid: ProcessId,
         ops: &[TraceOp],
+        sink: Option<&mut HierarchyBatchOutcome>,
+        timing: Option<&mut Vec<OpTiming>>,
+    ) -> u64 {
+        self.batch_walk_events_export(pid, ops, sink, timing, None)
+    }
+
+    /// [`batch_walk_events`](Self::batch_walk_events) with an optional
+    /// shared-level export: when `llc` is given, the final conduit
+    /// state (last-level misses and surviving writebacks) is exported
+    /// as the shared-LLC request stream instead of being charged the
+    /// memory penalty, and `sink.mem_writebacks` stays 0 (nothing
+    /// reached memory *here* — the shared level decides).
+    fn batch_walk_events_export(
+        &mut self,
+        pid: ProcessId,
+        ops: &[TraceOp],
         mut sink: Option<&mut HierarchyBatchOutcome>,
         mut timing: Option<&mut Vec<OpTiming>>,
+        llc: Option<&mut LlcRequests>,
     ) -> u64 {
         assert!(ops.len() <= u32::MAX as usize, "trace segment too long for 32-bit op indices");
         let mut lines = core::mem::take(&mut self.scratch_lines);
@@ -710,17 +1102,26 @@ impl Hierarchy {
             core::mem::swap(&mut cur_idx, &mut next_idx);
             core::mem::swap(&mut wb_cur, &mut wb_next);
         }
-        cycles += cur.len() as u64 * self.memory as u64;
-        if let Some(events) = timing {
-            for &i in &cur_idx {
-                events[i as usize].cycles += self.memory;
+        if let Some(requests) = llc {
+            // Shared-LLC mode: the conduit's final state *is* the
+            // shared level's input — nothing reaches memory here.
+            requests.clear();
+            requests.fills.extend_from_slice(&cur);
+            requests.fill_idx.extend_from_slice(&cur_idx);
+            requests.writebacks.extend_from_slice(&wb_cur);
+        } else {
+            cycles += cur.len() as u64 * self.memory as u64;
+            if let Some(events) = timing {
+                for &i in &cur_idx {
+                    events[i as usize].cycles += self.memory;
+                }
+                for wb in &wb_cur {
+                    events[wb.op_idx as usize].mem_writebacks += 1;
+                }
             }
-            for wb in &wb_cur {
-                events[wb.op_idx as usize].mem_writebacks += 1;
+            if let Some(out) = sink {
+                out.mem_writebacks = wb_cur.len() as u64;
             }
-        }
-        if let Some(out) = sink {
-            out.mem_writebacks = wb_cur.len() as u64;
         }
 
         self.scratch_lines = lines;
@@ -1181,6 +1582,135 @@ mod tests {
         let t = h.access_detailed(pid(), AccessKind::Read, Addr::new(0x4_0000));
         assert_eq!(t.miss_mask, 0, "warm hit");
         assert!(!t.memory_read(3));
+    }
+
+    /// A small private hierarchy for the shared-LLC walks: split L1s
+    /// plus `private_unified` unified levels (0 = L1-only).
+    fn private_hierarchy(private_unified: usize, policy: WritePolicy) -> Hierarchy {
+        let l1 = CacheGeometry::new(8, 2, 32).unwrap();
+        let l2 = CacheGeometry::new(32, 4, 32).unwrap();
+        let mk = |label: &str, geom, salt| {
+            Cache::new(label, geom, PlacementKind::RandomModulo, ReplacementKind::Random, salt)
+        };
+        let unified =
+            (0..private_unified).map(|k| (mk("L2", l2, 0x33 + k as u64), 10)).collect::<Vec<_>>();
+        let mut h =
+            Hierarchy::from_private_parts(mk("L1I", l1, 0x11), mk("L1D", l1, 0x22), unified, 1, 80);
+        h.set_process_seed(pid(), Seed::new(0x5eed));
+        h.set_write_policy(policy);
+        h
+    }
+
+    #[test]
+    fn l1_only_private_hierarchy_is_allowed() {
+        let h = private_hierarchy(0, WritePolicy::WriteThrough);
+        assert_eq!(h.depth(), 1);
+        assert_eq!(h.unified_levels().count(), 0);
+    }
+
+    #[test]
+    fn upper_batch_matches_upper_scalar_walk() {
+        let ops = TraceOp::mixed_trace(0xabc, 900, 1 << 14);
+        for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+            for private_unified in [0usize, 1] {
+                let label = format!("{policy:?}/{private_unified} private unified");
+                let mut scalar = private_hierarchy(private_unified, policy);
+                let mut batched = private_hierarchy(private_unified, policy);
+                let mut scalar_llc = LlcRequests::default();
+                let mut scalar_events = Vec::new();
+                for (i, op) in ops.iter().enumerate() {
+                    let up = scalar.access_upper_detailed(
+                        pid(),
+                        op.kind,
+                        op.addr,
+                        i as u32,
+                        &mut scalar_llc.writebacks,
+                    );
+                    scalar_events.push(OpTiming {
+                        cycles: up.cycles,
+                        miss_mask: up.miss_mask,
+                        mem_writebacks: 0,
+                    });
+                    if let Some(line) = up.fill {
+                        scalar_llc.fills.push(line);
+                        scalar_llc.fill_idx.push(i as u32);
+                    }
+                }
+                let mut events = Vec::new();
+                let mut llc = LlcRequests::default();
+                let out = batched.access_batch_upper_timed(pid(), &ops, &mut events, &mut llc);
+                assert_eq!(events, scalar_events, "{label}: per-op events diverge");
+                assert_eq!(llc, scalar_llc, "{label}: LLC request streams diverge");
+                assert_eq!(batched.total_stats(), scalar.total_stats(), "{label}");
+                assert_eq!(
+                    out.cycles,
+                    scalar_events.iter().map(|e| e.cycles as u64).sum::<u64>(),
+                    "{label}"
+                );
+                assert_eq!(out.mem_writebacks, 0, "{label}: upper walk reached memory");
+                // The request stream respects the delivery contract the
+                // shared engine relies on.
+                assert!(llc.fill_idx.windows(2).all(|w| w[0] < w[1]), "{label}");
+                assert!(
+                    llc.writebacks.windows(2).all(|w| w[0].op_idx <= w[1].op_idx),
+                    "{label}: writebacks out of op order"
+                );
+                assert!(!llc.fills.is_empty(), "{label}: trace never reached the shared level");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_llc_fills_hits_and_writes_back() {
+        let geom = CacheGeometry::new(8, 2, 32).unwrap();
+        let mut llc = SharedLlc::new(
+            Cache::new("SL2", geom, PlacementKind::Modulo, ReplacementKind::Lru, 1),
+            10,
+            80,
+        );
+        llc.set_write_policy(WritePolicy::WriteBack);
+        let p = pid();
+        assert_eq!(llc.hit_cycles(), 10);
+        assert_eq!(llc.memory_cycles(), 80);
+        let line = LineAddr::new(5);
+        assert!(!llc.access(p, line).hit, "cold fill");
+        assert!(llc.access(p, line).hit, "warm hit");
+        // An absorbed writeback dirties the copy; evicting it later
+        // must report a memory-bound writeback.
+        assert!(llc.receive_writeback(p, line));
+        assert_eq!(llc.cache().dirty_lines(), 1);
+        let evictions =
+            (1..=2u64).map(|i| llc.access(p, LineAddr::new(5 + 8 * i))).collect::<Vec<_>>();
+        assert!(evictions.iter().any(|f| f.mem_writeback), "dirty victim never reached memory");
+        // An absent line forwards the writeback to memory.
+        assert!(!llc.receive_writeback(p, LineAddr::new(99)));
+        llc.flush();
+        assert_eq!(llc.cache().occupancy(), 0);
+    }
+
+    #[test]
+    fn shared_llc_partitions_confine_fills_per_core() {
+        let geom = CacheGeometry::new(8, 2, 32).unwrap();
+        let mut llc = SharedLlc::new(
+            Cache::new("SL2", geom, PlacementKind::Modulo, ReplacementKind::Lru, 1),
+            10,
+            80,
+        );
+        let (core0, core1) = (ProcessId::new(1), ProcessId::new(2));
+        llc.set_way_partition(core0, 0, 1);
+        llc.set_way_partition(core1, 1, 2);
+        for i in 0..64u64 {
+            llc.access(core0, LineAddr::new(i));
+            llc.access(core1, LineAddr::new(1000 + i));
+        }
+        assert_eq!(llc.cache().stats().cross_process_evictions(), 0);
+        for (_, way, _, owner) in llc.cache().contents() {
+            match owner.as_u16() {
+                1 => assert_eq!(way, 0),
+                2 => assert_eq!(way, 1),
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::cache::Cache;
 use crate::geometry::CacheGeometry;
-use crate::hierarchy::{Hierarchy, L3_HIT_CYCLES};
+use crate::hierarchy::{Hierarchy, SharedLlc, L3_HIT_CYCLES};
 use crate::placement::PlacementKind;
 use crate::prng::{Prng, SplitMix64};
 use crate::replacement::ReplacementKind;
@@ -171,6 +171,55 @@ impl SetupKind {
         )
     }
 
+    /// Builds the *private* per-core portion of a shared-LLC platform
+    /// at `depth`: [`build_depth`](Self::build_depth) minus its last
+    /// unified level (which lives in the platform-wide [`SharedLlc`]
+    /// from [`build_shared_llc`](Self::build_shared_llc)). A two-level
+    /// platform keeps only the split L1s per core; a three-level one
+    /// keeps L1s + a private L2.
+    ///
+    /// Upper-level geometry, policies and RNG streams match the
+    /// private-hierarchy build exactly, so per-core behaviour above
+    /// the shared level is unchanged.
+    pub fn build_private(self, depth: HierarchyDepth, rng_seed: u64) -> Hierarchy {
+        let (l1p, l1r) = self.l1_policy();
+        let (lup, lur) = self.unified_policy();
+        let l1 = CacheGeometry::paper_l1();
+        let mut unified = Vec::new();
+        if depth == HierarchyDepth::ThreeLevel {
+            unified
+                .push((Cache::new("L2", CacheGeometry::paper_l2(), lup, lur, rng_seed ^ 0x33), 10));
+        }
+        Hierarchy::from_private_parts(
+            Cache::new("L1I", l1, l1p, l1r, rng_seed ^ 0x11),
+            Cache::new("L1D", l1, l1p, l1r, rng_seed ^ 0x22),
+            unified,
+            1,
+            80,
+        )
+    }
+
+    /// Builds the shared last-level cache of a shared-LLC platform at
+    /// `depth`, reusing the setup's unified policy: the paper L2
+    /// geometry (10-cycle hits) when the platform is two-level, the
+    /// 1 MiB L3 preset ([`L3_HIT_CYCLES`]) when three-level. Per-core
+    /// way partitions go on via [`SharedLlc::set_way_partition`].
+    pub fn build_shared_llc(self, depth: HierarchyDepth, rng_seed: u64) -> SharedLlc {
+        let (lup, lur) = self.unified_policy();
+        match depth {
+            HierarchyDepth::TwoLevel => SharedLlc::new(
+                Cache::new("SL2", CacheGeometry::paper_l2(), lup, lur, rng_seed ^ 0x55),
+                10,
+                80,
+            ),
+            HierarchyDepth::ThreeLevel => SharedLlc::new(
+                Cache::new("SL3", CacheGeometry::paper_l3(), lup, lur, rng_seed ^ 0x55),
+                L3_HIT_CYCLES,
+                80,
+            ),
+        }
+    }
+
     /// The seed-management policy of this setup.
     pub fn seed_sharing(self) -> SeedSharing {
         match self {
@@ -317,6 +366,51 @@ mod tests {
             assert_eq!(l3.geometry().size_bytes(), 1024 * 1024);
             assert_eq!(three.level_hit_cycles(1), crate::hierarchy::L3_HIT_CYCLES);
         }
+    }
+
+    #[test]
+    fn shared_platform_splits_the_last_level_off() {
+        for kind in SetupKind::ALL {
+            // Two-level: L1-only cores + a shared L2-geometry LLC.
+            let private = kind.build_private(HierarchyDepth::TwoLevel, 7);
+            assert_eq!(private.depth(), 1, "{kind}");
+            let llc = kind.build_shared_llc(HierarchyDepth::TwoLevel, 7);
+            assert_eq!(llc.cache().geometry().size_bytes(), 256 * 1024, "{kind}");
+            assert_eq!(llc.hit_cycles(), 10);
+            assert_eq!(
+                llc.cache().placement_name(),
+                kind.build(7).l2().placement_name(),
+                "{kind}: shared L2 must reuse the unified policy"
+            );
+            // Three-level: L1+L2 cores + a shared L3-geometry LLC.
+            let private = kind.build_private(HierarchyDepth::ThreeLevel, 7);
+            assert_eq!(private.depth(), 2, "{kind}");
+            assert_eq!(private.l2().geometry().size_bytes(), 256 * 1024, "{kind}");
+            let llc = kind.build_shared_llc(HierarchyDepth::ThreeLevel, 7);
+            assert_eq!(llc.cache().geometry().size_bytes(), 1024 * 1024, "{kind}");
+            assert_eq!(llc.hit_cycles(), crate::hierarchy::L3_HIT_CYCLES);
+        }
+    }
+
+    #[test]
+    fn private_build_matches_full_build_above_the_shared_level() {
+        use crate::addr::Addr;
+        use crate::hierarchy::AccessKind;
+        // Same rng seed → the private build's L1/L2 behave exactly as
+        // the full build's upper levels on a private-hit workload.
+        let pid = ProcessId::new(1);
+        let mut full = SetupKind::TsCache.build_depth(HierarchyDepth::ThreeLevel, 9);
+        let mut private = SetupKind::TsCache.build_private(HierarchyDepth::ThreeLevel, 9);
+        full.set_process_seed(pid, Seed::new(4));
+        private.set_process_seed(pid, Seed::new(4));
+        let mut wbs = Vec::new();
+        for i in 0..3000u64 {
+            let a = Addr::new((i * 2083) % (1 << 19));
+            full.access(pid, AccessKind::Read, a);
+            private.access_upper_detailed(pid, AccessKind::Read, a, i as u32, &mut wbs);
+        }
+        assert_eq!(full.l1d().stats(), private.l1d().stats());
+        assert_eq!(full.l2().stats(), private.l2().stats());
     }
 
     #[test]

@@ -16,11 +16,20 @@
 //!   bus, with a batched engine pinned bit-identical to the scalar
 //!   multi-core interleaving.
 //!
-//! Contention is timing-only by construction: per-core cache contents,
-//! statistics and RNG streams are exactly those of a solo run, so
-//! every existing differential/property suite keeps its meaning and a
-//! contended pWCET curve can never undercut the solo curve of the same
-//! workload.
+//! With private hierarchies, contention is timing-only by
+//! construction: per-core cache contents, statistics and RNG streams
+//! are exactly those of a solo run, so every existing
+//! differential/property suite keeps its meaning and a contended pWCET
+//! curve can never undercut the solo curve of the same workload.
+//!
+//! With a **shared last level**
+//! ([`SharedLlc`](tscache_core::hierarchy::SharedLlc), the
+//! `*_shared` engines), contention additionally reaches cache *state*:
+//! cores evict each other's shared-level lines — the cross-core
+//! Prime+Probe channel of the §7 partitioning ablation — unless
+//! per-core way partitions on the shared level restore isolation.
+//! Either way both engines stay deterministic and bit-identical to the
+//! scalar interleaving.
 
 pub mod bus;
 pub mod mshr;
@@ -29,6 +38,7 @@ pub mod multicore;
 pub use bus::{Arbitration, Bus, BusConfig, BusReport};
 pub use mshr::{MshrConfig, MshrFile, MshrOutcome};
 pub use multicore::{
-    execute_batch, execute_scalar, run_contended_segment, CoRunner, ContentionConfig, CoreReport,
+    execute_batch, execute_batch_shared, execute_scalar, execute_scalar_shared,
+    run_contended_segment, run_contended_segment_shared, CoRunner, ContentionConfig, CoreReport,
     CoreRun, InterferenceOutcome, SegmentOutcome, SystemConfig,
 };

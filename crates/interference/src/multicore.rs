@@ -31,10 +31,38 @@
 //! — then runs the identical event loop over the recorded per-op
 //! events. The differential suite pins the two bit-identical across
 //! placement × replacement × depth × arbitration.
+//!
+//! # Shared last level
+//!
+//! [`execute_scalar_shared`]/[`execute_batch_shared`] run the same
+//! event merge over cores whose *last* unified level is one
+//! [`SharedLlc`] instance: each core's private levels stay per-core
+//! (and per-core outcomes stay interleaving-independent, which is what
+//! the batch engine pre-executes via
+//! [`Hierarchy::access_batch_upper_timed`]), while every shared-level
+//! fill and writeback is resolved against the one shared cache *at
+//! merge time*, in exact global op order. Unlike the private-hierarchy
+//! engines, contention here is **not** timing-only: cores evict each
+//! other's shared-level lines (the cross-core Prime+Probe channel),
+//! unless per-core way partitions on the shared level restore
+//! isolation. The shared-level order is a deterministic function of
+//! the clocks both engines compute identically, so batch remains
+//! bit-identical to scalar — the shared axis of the differential suite
+//! pins stats, contents and dirty lines of every private level *and*
+//! the shared cache.
+//!
+//! Bus accounting at the shared level: a shared-LLC **hit costs no bus
+//! transaction** — only LLC misses (off-chip reads) and writebacks
+//! that pass the LLC unabsorbed (or dirty LLC victims) arbitrate for
+//! the bus. MSHR files remain per core (a per-core view of miss
+//! parallelism): misses of different cores on the same line never
+//! coalesce with each other.
 
 use crate::bus::{Bus, BusReport};
 use crate::mshr::{MshrConfig, MshrFile, MshrOutcome};
-use tscache_core::hierarchy::{Hierarchy, OpTiming, TraceOp};
+use tscache_core::addr::LineAddr;
+use tscache_core::cache::Writeback;
+use tscache_core::hierarchy::{Hierarchy, LlcRequests, OpTiming, SharedLlc, TraceOp};
 use tscache_core::seed::ProcessId;
 
 pub use crate::bus::{Arbitration, BusConfig};
@@ -252,6 +280,112 @@ pub fn execute_batch(cores: &mut [CoreRun<'_>], cfg: &SystemConfig) -> Interfere
     merger.finish()
 }
 
+/// Composes one op's final timing on a shared-LLC platform: the op's
+/// private-level writebacks are delivered to the shared cache first
+/// (in victim-drain order; unabsorbed ones become memory-bound bus
+/// writes), then the fill request is resolved — a hit costs only the
+/// shared level's hit cycles (no bus transaction), a miss adds the
+/// memory penalty, sets the shared level's miss bit (`shared_bit`) and
+/// may push a dirty shared-level victim to memory.
+fn resolve_llc_op(
+    llc: &mut SharedLlc,
+    pid: ProcessId,
+    mut t: OpTiming,
+    fill: Option<LineAddr>,
+    writebacks: &[Writeback],
+    shared_bit: u8,
+) -> OpTiming {
+    let r = llc.resolve(pid, fill, writebacks);
+    t.cycles += r.cycles;
+    if r.miss {
+        t.miss_mask |= 1 << shared_bit;
+    }
+    t.mem_writebacks += r.mem_writebacks;
+    t
+}
+
+/// The reference engine for shared-LLC platforms: a scalar multi-core
+/// interleaving where the event-ordered core walks its op through its
+/// *private* levels ([`Hierarchy::access_upper_detailed`]) and then
+/// resolves the shared last level in place. Cores access the shared
+/// cache under their own pid, so per-core way partitions and
+/// cross-core eviction accounting apply directly.
+pub fn execute_scalar_shared(
+    cores: &mut [CoreRun<'_>],
+    llc: &mut SharedLlc,
+    cfg: &SystemConfig,
+) -> InterferenceOutcome {
+    let depths: Vec<usize> = cores.iter().map(|c| c.hierarchy.depth() + 1).collect();
+    let offsets: Vec<u32> =
+        cores.iter().map(|c| c.hierarchy.l1i().geometry().offset_bits()).collect();
+    let mut merger = Merger::new(cfg, depths.clone());
+    let mut pos = vec![0usize; cores.len()];
+    let mut wbs = Vec::new();
+    while let Some(c) = merger.next_core(|c| pos[c] < cores[c].ops.len()) {
+        let op = cores[c].ops[pos[c]];
+        wbs.clear();
+        let up = cores[c].hierarchy.access_upper_detailed(
+            cores[c].pid,
+            op.kind,
+            op.addr,
+            pos[c] as u32,
+            &mut wbs,
+        );
+        let t = resolve_llc_op(
+            llc,
+            cores[c].pid,
+            OpTiming { cycles: up.cycles, miss_mask: up.miss_mask, mem_writebacks: 0 },
+            up.fill,
+            &wbs,
+            (depths[c] - 1) as u8,
+        );
+        merger.step(c, pos[c] as u64, op.addr.line(offsets[c]).as_u64(), t);
+        pos[c] += 1;
+    }
+    merger.finish()
+}
+
+/// The production engine for shared-LLC platforms: every core's trace
+/// is pre-executed through its private levels
+/// ([`Hierarchy::access_batch_upper_timed`], valid because private
+/// outcomes are interleaving-independent), exporting the per-core
+/// shared-level request streams; the event merge then replays those
+/// requests against the one shared cache in the exact clock order the
+/// scalar engine produces. Bit-identical to [`execute_scalar_shared`]
+/// — engine outcomes, every private level, and the shared cache — as
+/// the differential suite pins.
+pub fn execute_batch_shared(
+    cores: &mut [CoreRun<'_>],
+    llc: &mut SharedLlc,
+    cfg: &SystemConfig,
+) -> InterferenceOutcome {
+    let depths: Vec<usize> = cores.iter().map(|c| c.hierarchy.depth() + 1).collect();
+    let offsets: Vec<u32> =
+        cores.iter().map(|c| c.hierarchy.l1i().geometry().offset_bits()).collect();
+    let mut events: Vec<Vec<OpTiming>> = Vec::with_capacity(cores.len());
+    let mut streams: Vec<LlcRequests> = Vec::with_capacity(cores.len());
+    for core in cores.iter_mut() {
+        let mut ev = Vec::new();
+        let mut requests = LlcRequests::default();
+        core.hierarchy.access_batch_upper_timed(core.pid, core.ops, &mut ev, &mut requests);
+        events.push(ev);
+        streams.push(requests);
+    }
+    let mut merger = Merger::new(cfg, depths.clone());
+    let mut pos = vec![0usize; cores.len()];
+    let mut fi = vec![0usize; cores.len()];
+    let mut wi = vec![0usize; cores.len()];
+    while let Some(c) = merger.next_core(|c| pos[c] < cores[c].ops.len()) {
+        let i = pos[c];
+        let op = cores[c].ops[i];
+        let (fill, wbs) = streams[c].take_for_op(i as u32, &mut fi[c], &mut wi[c]);
+        let t = resolve_llc_op(llc, cores[c].pid, events[c][i], fill, wbs, (depths[c] - 1) as u8);
+        merger.step(c, i as u64, op.addr.line(offsets[c]).as_u64(), t);
+        pos[c] += 1;
+    }
+    merger.finish()
+}
+
 /// Ops a co-runner pre-executes per hierarchy batch call.
 const CO_CHUNK: usize = 128;
 
@@ -275,6 +409,14 @@ pub struct CoRunner {
     /// Total ops executed over the core's lifetime — the monotone
     /// sequence number the MSHR op-window expiry is measured against.
     seq: u64,
+    /// Shared-LLC mode only: the current chunk's shared-level request
+    /// stream (chunk-relative op indices) and its consumption cursors.
+    llc_requests: LlcRequests,
+    fill_pos: usize,
+    wb_pos: usize,
+    /// Which walk pre-executed the buffered chunk; a co-runner must be
+    /// driven in one mode for its whole lifetime.
+    chunk_shared: bool,
 }
 
 impl CoRunner {
@@ -297,6 +439,10 @@ impl CoRunner {
             evt_pos: 0,
             chunk_start: 0,
             seq: 0,
+            llc_requests: LlcRequests::default(),
+            fill_pos: 0,
+            wb_pos: 0,
+            chunk_shared: false,
         }
     }
 
@@ -324,6 +470,29 @@ impl CoRunner {
         self.chunk_start = self.pos;
         self.hierarchy.access_batch_timed(self.pid, &self.ops[self.pos..end], &mut self.events);
         self.evt_pos = 0;
+        self.chunk_shared = false;
+        self.pos = end;
+    }
+
+    /// Pre-executes the next trace chunk through the *private* levels
+    /// only (shared-LLC mode), exporting the chunk's shared-level
+    /// request stream.
+    fn refill_shared(&mut self) {
+        if self.pos >= self.ops.len() {
+            self.pos = 0;
+        }
+        let end = (self.pos + CO_CHUNK).min(self.ops.len());
+        self.chunk_start = self.pos;
+        self.hierarchy.access_batch_upper_timed(
+            self.pid,
+            &self.ops[self.pos..end],
+            &mut self.events,
+            &mut self.llc_requests,
+        );
+        self.evt_pos = 0;
+        self.fill_pos = 0;
+        self.wb_pos = 0;
+        self.chunk_shared = true;
         self.pos = end;
     }
 
@@ -333,8 +502,33 @@ impl CoRunner {
         if self.evt_pos >= self.events.len() {
             self.refill();
         }
+        assert!(!self.chunk_shared, "co-runner switched from shared to private mode mid-chunk");
         let op = self.ops[self.chunk_start + self.evt_pos];
         let t = self.events[self.evt_pos];
+        self.evt_pos += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        (seq, op.addr.line(self.offset_bits).as_u64(), t)
+    }
+
+    /// The next op's `(seq, line, timing)` on a shared-LLC platform:
+    /// the op's buffered private timing composed with its shared-level
+    /// requests, resolved against `llc` *now* — i.e. in merge order.
+    fn next_event_llc(&mut self, llc: &mut SharedLlc) -> (u64, u64, OpTiming) {
+        if self.evt_pos >= self.events.len() {
+            self.refill_shared();
+        }
+        // A buffered private-mode chunk carries memory penalties in its
+        // timings and no request streams — replaying it here would
+        // silently skip the shared level, so a mode switch is a hard
+        // error (a co-runner lives on one platform for its lifetime).
+        assert!(self.chunk_shared, "co-runner switched from private to shared mode mid-chunk");
+        let i = self.evt_pos;
+        let op = self.ops[self.chunk_start + i];
+        let (fill, wbs) =
+            self.llc_requests.take_for_op(i as u32, &mut self.fill_pos, &mut self.wb_pos);
+        let t =
+            resolve_llc_op(llc, self.pid, self.events[i], fill, wbs, self.hierarchy.depth() as u8);
         self.evt_pos += 1;
         let seq = self.seq;
         self.seq += 1;
@@ -386,6 +580,58 @@ pub fn run_contended_segment(
             }
             c => {
                 let (seq, line, t) = co[c - 1].next_event();
+                merger.step(c, seq, line, t);
+            }
+        }
+    }
+    let out = merger.finish();
+    let mut cores = out.cores.into_iter();
+    SegmentOutcome {
+        primary: cores.next().expect("core 0 present"),
+        co: cores.collect(),
+        bus: out.bus,
+    }
+}
+
+/// [`run_contended_segment`] for a shared-LLC platform: the measured
+/// core (core 0) and the persistent co-runners resolve every
+/// shared-level fill and writeback against the one `llc` instance in
+/// merge order, so the enemies *do* perturb the measured core's
+/// shared-level hits — the contention channel per-core way partitions
+/// on `llc` are there to close. `events` and `requests` are per-call
+/// scratch for the primary's private pre-execution (cleared and
+/// refilled).
+#[allow(clippy::too_many_arguments)]
+pub fn run_contended_segment_shared(
+    hierarchy: &mut Hierarchy,
+    pid: ProcessId,
+    ops: &[TraceOp],
+    co: &mut [CoRunner],
+    llc: &mut SharedLlc,
+    cfg: &SystemConfig,
+    events: &mut Vec<OpTiming>,
+    requests: &mut LlcRequests,
+) -> SegmentOutcome {
+    let mut depths = vec![hierarchy.depth() + 1];
+    depths.extend(co.iter().map(|c| c.hierarchy.depth() + 1));
+    let mut merger = Merger::new(cfg, depths);
+    hierarchy.access_batch_upper_timed(pid, ops, events, requests);
+    let shared_bit = hierarchy.depth() as u8;
+    let offset_bits = hierarchy.l1i().geometry().offset_bits();
+    let (mut pos, mut fill_pos, mut wb_pos) = (0usize, 0usize, 0usize);
+    while pos < ops.len() {
+        // Primary = core 0 wins ties, so a quiet system degenerates to
+        // the solo shared-platform walk.
+        match merger.next_core(|_| true).expect("at least the primary runs") {
+            0 => {
+                let op = ops[pos];
+                let (fill, wbs) = requests.take_for_op(pos as u32, &mut fill_pos, &mut wb_pos);
+                let t = resolve_llc_op(llc, pid, events[pos], fill, wbs, shared_bit);
+                merger.step(0, pos as u64, op.addr.line(offset_bits).as_u64(), t);
+                pos += 1;
+            }
+            c => {
+                let (seq, line, t) = co[c - 1].next_event_llc(llc);
                 merger.step(c, seq, line, t);
             }
         }
@@ -562,6 +808,183 @@ mod tests {
             order_invariant(&plain[0]),
             order_invariant(&plain[1]),
             "cores must be genuinely distinct"
+        );
+    }
+
+    /// A small shared-LLC platform: `n` private L1-only cores (distinct
+    /// pids 1..=n, distinct RNG streams) plus one shared 64×4 LLC.
+    fn shared_platform(n: usize, salt: u64) -> (Vec<Hierarchy>, Vec<ProcessId>, SharedLlc) {
+        use tscache_core::cache::Cache;
+        use tscache_core::geometry::CacheGeometry;
+        use tscache_core::placement::PlacementKind;
+        use tscache_core::replacement::ReplacementKind;
+        let l1 = CacheGeometry::new(8, 2, 32).unwrap();
+        let mk = |label: &str, geom, s| {
+            Cache::new(label, geom, PlacementKind::RandomModulo, ReplacementKind::Random, s)
+        };
+        let mut cores = Vec::new();
+        let mut pids = Vec::new();
+        for c in 0..n as u64 {
+            let mut h = Hierarchy::from_private_parts(
+                mk("L1I", l1, salt ^ c ^ 0x11),
+                mk("L1D", l1, salt ^ c ^ 0x22),
+                Vec::new(),
+                1,
+                80,
+            );
+            let pid = ProcessId::new(1 + c as u16);
+            h.set_process_seed(pid, Seed::new(salt.wrapping_mul(31) ^ c | 1));
+            cores.push(h);
+            pids.push(pid);
+        }
+        let mut llc =
+            SharedLlc::new(mk("SLLC", CacheGeometry::new(64, 4, 32).unwrap(), salt ^ 0x55), 10, 80);
+        for (c, &pid) in pids.iter().enumerate() {
+            llc.set_process_seed(pid, Seed::new(salt.wrapping_mul(77) ^ c as u64 | 1));
+        }
+        (cores, pids, llc)
+    }
+
+    #[test]
+    fn shared_batch_engine_matches_shared_scalar_engine() {
+        for arbitration in Arbitration::ALL {
+            let cfg = SystemConfig {
+                bus: BusConfig { arbitration, ..BusConfig::default() },
+                ..SystemConfig::default()
+            };
+            let traces = [trace(51, 700), trace(52, 600)];
+            let run = |scalar: bool| {
+                let (mut hs, pids, mut llc) = shared_platform(2, 5);
+                for h in &mut hs {
+                    h.set_write_policy(tscache_core::cache::WritePolicy::WriteBack);
+                }
+                llc.set_write_policy(tscache_core::cache::WritePolicy::WriteBack);
+                let mut cores: Vec<CoreRun<'_>> = hs
+                    .iter_mut()
+                    .zip(&pids)
+                    .zip(&traces)
+                    .map(|((h, &pid), t)| CoreRun { hierarchy: h, pid, ops: t })
+                    .collect();
+                let out = if scalar {
+                    execute_scalar_shared(&mut cores, &mut llc, &cfg)
+                } else {
+                    execute_batch_shared(&mut cores, &mut llc, &cfg)
+                };
+                let stats: Vec<_> = hs.iter().map(|h| h.total_stats()).collect();
+                let contents: Vec<_> = llc.cache().contents().collect();
+                (out, stats, *llc.cache().stats(), contents)
+            };
+            assert_eq!(run(true), run(false), "{arbitration}");
+        }
+    }
+
+    #[test]
+    fn shared_llc_hit_pays_no_bus_transaction() {
+        // One core cycling 32 lines: they thrash the tiny L1 but fit
+        // the 256-line LLC, so steady state is all LLC hits — and the
+        // bus must see exactly the LLC misses, not the L1 misses.
+        let ops: Vec<TraceOp> =
+            (0..2000u64).map(|i| TraceOp::read(Addr::new((i % 32) * 4096))).collect();
+        let (mut hs, pids, mut llc) = shared_platform(1, 9);
+        let out = execute_batch_shared(
+            &mut [CoreRun { hierarchy: &mut hs[0], pid: pids[0], ops: &ops }],
+            &mut llc,
+            &SystemConfig::default(),
+        );
+        let llc_stats = llc.cache().stats();
+        assert!(llc_stats.hits() > 0, "no steady-state LLC hits");
+        assert_eq!(out.cores[0].mem_reads, llc_stats.misses(), "bus reads ≠ LLC misses");
+        assert_eq!(out.bus.transactions, out.cores[0].mem_reads + out.cores[0].mem_writebacks);
+        assert!(
+            hs[0].l1d().stats().misses() > llc_stats.misses(),
+            "L1 misses should exceed LLC misses (hits must bypass the bus)"
+        );
+    }
+
+    #[test]
+    fn shared_llc_makes_contention_state_visible_and_partitions_hide_it() {
+        // The victim cycles a working set that is LLC-resident when
+        // alone. An enemy streaming through the same shared LLC evicts
+        // victim lines — unless per-core way partitions isolate them.
+        // The footprints are disjoint: cores sharing *data* would hit
+        // on each other's lines (the Flush+Reload channel), which no
+        // partition closes.
+        let victim_ops: Vec<TraceOp> =
+            (0..3000u64).map(|i| TraceOp::read(Addr::new((i % 48) * 4096))).collect();
+        let enemy_ops: Vec<TraceOp> = trace(83, 3000)
+            .into_iter()
+            .map(|op| TraceOp { kind: op.kind, addr: Addr::new(op.addr.as_u64() + (1 << 24)) })
+            .collect();
+        let run = |with_enemy: bool, partitioned: bool| {
+            let (mut hs, pids, mut llc) = shared_platform(2, 13);
+            if partitioned {
+                llc.set_way_partition(pids[0], 0, 2);
+                llc.set_way_partition(pids[1], 2, 4);
+            }
+            let mut cores = Vec::new();
+            let mut iter = hs.iter_mut();
+            let h0 = iter.next().unwrap();
+            cores.push(CoreRun { hierarchy: h0, pid: pids[0], ops: &victim_ops });
+            if with_enemy {
+                cores.push(CoreRun {
+                    hierarchy: iter.next().unwrap(),
+                    pid: pids[1],
+                    ops: &enemy_ops,
+                });
+            }
+            let out = execute_batch_shared(&mut cores, &mut llc, &SystemConfig::default());
+            (out.cores[0], llc.cache().stats().cross_process_evictions())
+        };
+        let (solo, _) = run(false, false);
+        let (contended, cross) = run(true, false);
+        assert!(cross > 0, "enemy never evicted a victim LLC line");
+        assert!(
+            contended.mem_reads > solo.mem_reads,
+            "shared-LLC contention must cost the victim extra off-chip reads \
+             (solo {}, contended {})",
+            solo.mem_reads,
+            contended.mem_reads
+        );
+        let (partitioned, cross_part) = run(true, true);
+        assert_eq!(cross_part, 0, "partitioned LLC still saw cross-core evictions");
+        // Partitioned victim behaves as if partitioned-solo: the enemy
+        // changes nothing it can observe in its own cache outcomes.
+        let (part_solo, _) = run(false, true);
+        assert_eq!(partitioned.mem_reads, part_solo.mem_reads);
+        assert_eq!(partitioned.base_cycles, part_solo.base_cycles);
+    }
+
+    #[test]
+    fn contended_shared_segment_is_deterministic_and_accounts_cycles() {
+        let run = || {
+            let (mut hs, pids, mut llc) = shared_platform(2, 21);
+            let mut hs = hs.drain(..);
+            let mut h = hs.next().unwrap();
+            let enemy = hs.next().unwrap();
+            let mut co = vec![CoRunner::new(enemy, pids[1], trace(31, 300))];
+            let mut events = Vec::new();
+            let mut requests = LlcRequests::default();
+            let t = trace(32, 500);
+            let seg = run_contended_segment_shared(
+                &mut h,
+                pids[0],
+                &t,
+                &mut co,
+                &mut llc,
+                &SystemConfig::default(),
+                &mut events,
+                &mut requests,
+            );
+            (seg, *llc.cache().stats())
+        };
+        let (a, llc_a) = run();
+        let (b, llc_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(llc_a, llc_b);
+        assert!(a.co[0].ops > 0, "enemy never ran");
+        assert_eq!(
+            a.primary.cycles,
+            a.primary.base_cycles + a.primary.bus_wait + a.primary.mshr_stall_cycles
         );
     }
 

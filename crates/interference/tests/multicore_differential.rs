@@ -7,13 +7,14 @@
 
 use tscache_core::cache::{Cache, WritePolicy};
 use tscache_core::geometry::CacheGeometry;
-use tscache_core::hierarchy::{Hierarchy, TraceOp};
+use tscache_core::hierarchy::{Hierarchy, SharedLlc, TraceOp};
 use tscache_core::placement::PlacementKind;
 use tscache_core::replacement::ReplacementKind;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_interference::{
-    execute_batch, execute_scalar, Arbitration, BusConfig, CoreRun, MshrConfig, SystemConfig,
+    execute_batch, execute_batch_shared, execute_scalar, execute_scalar_shared, Arbitration,
+    BusConfig, CoreRun, MshrConfig, SystemConfig,
 };
 
 /// Deterministic mixed trace whose footprint overflows the small
@@ -164,6 +165,192 @@ fn paper_presets_match_across_engines_with_active_writebacks() {
                 })
                 .sum();
             assert!(wbs > 0, "{label}: no writeback traffic generated");
+        }
+    }
+}
+
+/// The per-core *private* portion of a shared-LLC platform: split L1s
+/// plus an optional private L2, per-core pid and seeds.
+fn small_private(
+    placement: PlacementKind,
+    replacement: ReplacementKind,
+    depth: HierarchyDepth,
+    policy: WritePolicy,
+    core: u64,
+) -> (Hierarchy, ProcessId) {
+    let l1 = CacheGeometry::new(8, 2, 32).unwrap();
+    let l2 = CacheGeometry::new(32, 4, 32).unwrap();
+    let mut unified = Vec::new();
+    if depth == HierarchyDepth::ThreeLevel {
+        unified.push((Cache::new("L2", l2, placement, replacement, core ^ 0x33), 10));
+    }
+    let mut h = Hierarchy::from_private_parts(
+        Cache::new("L1I", l1, placement, replacement, core ^ 0x11),
+        Cache::new("L1D", l1, placement, replacement, core ^ 0x22),
+        unified,
+        1,
+        80,
+    );
+    let pid = ProcessId::new(1 + core as u16);
+    h.set_process_seed(pid, Seed::new(core.wrapping_mul(0xabcd) | 1));
+    h.set_write_policy(policy);
+    (h, pid)
+}
+
+fn small_shared_llc(
+    placement: PlacementKind,
+    replacement: ReplacementKind,
+    policy: WritePolicy,
+    pids: &[ProcessId],
+) -> SharedLlc {
+    let mut llc = SharedLlc::new(
+        Cache::new("SLLC", CacheGeometry::new(64, 4, 32).unwrap(), placement, replacement, 0x55),
+        10,
+        80,
+    );
+    llc.set_write_policy(policy);
+    for (k, &pid) in pids.iter().enumerate() {
+        llc.set_process_seed(pid, Seed::new(0x511c ^ (k as u64) << 8 | 1));
+    }
+    llc
+}
+
+#[test]
+fn shared_llc_batch_is_bit_identical_to_scalar_interleaving() {
+    // The shared axis of the acceptance criterion: three cores funnel
+    // into one shared last level (so cross-core evictions really
+    // happen), across placement × replacement × arbitration × write
+    // policy × private depth. Everything must match: engine outcomes,
+    // every private level, and the shared cache itself — stats,
+    // contents, dirty lines.
+    for depth in HierarchyDepth::ALL {
+        for placement in PlacementKind::ALL {
+            for replacement in ReplacementKind::ALL {
+                for arbitration in Arbitration::ALL {
+                    for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+                        let label = format!(
+                            "shared/{placement}/{replacement}/{depth}/{arbitration}/{policy:?}"
+                        );
+                        let cfg = SystemConfig {
+                            bus: BusConfig { arbitration, ..BusConfig::default() },
+                            mshr: Some(MshrConfig { entries: 2, window_ops: 6, stall_cycles: 5 }),
+                        };
+                        let salt = (placement as usize * 64
+                            + replacement as usize * 8
+                            + depth as usize) as u64
+                            + 0x9000;
+                        let traces: Vec<Vec<TraceOp>> = (0..3)
+                            .map(|c| recorded_trace(salt ^ (c as u64) << 8, 360 + 40 * c))
+                            .collect();
+                        let run = |scalar: bool| {
+                            let mut cores_h: Vec<(Hierarchy, ProcessId)> = (0..3)
+                                .map(|c| {
+                                    small_private(placement, replacement, depth, policy, c as u64)
+                                })
+                                .collect();
+                            let pids: Vec<ProcessId> =
+                                cores_h.iter().map(|&(_, pid)| pid).collect();
+                            let mut llc = small_shared_llc(placement, replacement, policy, &pids);
+                            let out = {
+                                let mut cores: Vec<CoreRun<'_>> = cores_h
+                                    .iter_mut()
+                                    .zip(&traces)
+                                    .map(|((h, pid), t)| CoreRun {
+                                        hierarchy: h,
+                                        pid: *pid,
+                                        ops: t,
+                                    })
+                                    .collect();
+                                if scalar {
+                                    execute_scalar_shared(&mut cores, &mut llc, &cfg)
+                                } else {
+                                    execute_batch_shared(&mut cores, &mut llc, &cfg)
+                                }
+                            };
+                            (out, cores_h.into_iter().map(|(h, _)| h).collect::<Vec<_>>(), llc)
+                        };
+                        let (scalar_out, scalar_h, scalar_llc) = run(true);
+                        let (batch_out, batch_h, batch_llc) = run(false);
+                        assert_eq!(scalar_out, batch_out, "{label}: engine outcomes diverge");
+                        for (i, (a, b)) in scalar_h.iter().zip(&batch_h).enumerate() {
+                            assert_hierarchies_identical(a, b, &format!("{label}/core{i}"));
+                        }
+                        assert_eq!(
+                            scalar_llc.cache().stats(),
+                            batch_llc.cache().stats(),
+                            "{label}: shared-LLC stats diverge"
+                        );
+                        assert_eq!(
+                            contents_of(scalar_llc.cache()),
+                            contents_of(batch_llc.cache()),
+                            "{label}: shared-LLC contents diverge"
+                        );
+                        assert_eq!(
+                            scalar_llc.cache().dirty_lines(),
+                            batch_llc.cache().dirty_lines(),
+                            "{label}: shared-LLC dirty lines diverge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_llc_paper_presets_match_across_engines() {
+    // The four DAC'18 setups on the paper-geometry shared platform
+    // (SetupKind::build_private + build_shared_llc), both depths,
+    // write-back on — the production path Machine::from_setup_shared
+    // drives.
+    for setup in SetupKind::ALL {
+        for depth in HierarchyDepth::ALL {
+            let label = format!("shared-preset/{setup}/{depth}");
+            let cfg = SystemConfig::default();
+            let traces: Vec<Vec<TraceOp>> = (0..3)
+                .map(|c| TraceOp::mixed_trace(0xf00 ^ setup as u64 ^ (c as u64) << 9, 800, 1 << 17))
+                .collect();
+            let run = |scalar: bool| {
+                let mut hs: Vec<Hierarchy> = (0..3u64)
+                    .map(|c| {
+                        let mut h = setup.build_private(depth, 40 + c);
+                        h.set_process_seed(ProcessId::new(1 + c as u16), Seed::new(0x77 + c));
+                        h.set_write_policy(WritePolicy::WriteBack);
+                        h
+                    })
+                    .collect();
+                let mut llc = setup.build_shared_llc(depth, 40);
+                llc.set_write_policy(WritePolicy::WriteBack);
+                for c in 0..3u64 {
+                    llc.set_process_seed(ProcessId::new(1 + c as u16), Seed::new(0x99 + c));
+                }
+                let out = {
+                    let mut cores: Vec<CoreRun<'_>> = hs
+                        .iter_mut()
+                        .enumerate()
+                        .zip(&traces)
+                        .map(|((c, h), t)| CoreRun {
+                            hierarchy: h,
+                            pid: ProcessId::new(1 + c as u16),
+                            ops: t,
+                        })
+                        .collect();
+                    if scalar {
+                        execute_scalar_shared(&mut cores, &mut llc, &cfg)
+                    } else {
+                        execute_batch_shared(&mut cores, &mut llc, &cfg)
+                    }
+                };
+                (out, hs, llc)
+            };
+            let (scalar_out, scalar_h, scalar_llc) = run(true);
+            let (batch_out, batch_h, batch_llc) = run(false);
+            assert_eq!(scalar_out, batch_out, "{label}");
+            for (i, (a, b)) in scalar_h.iter().zip(&batch_h).enumerate() {
+                assert_hierarchies_identical(a, b, &format!("{label}/core{i}"));
+            }
+            assert_eq!(scalar_llc.cache().stats(), batch_llc.cache().stats(), "{label}");
+            assert_eq!(contents_of(scalar_llc.cache()), contents_of(batch_llc.cache()), "{label}");
         }
     }
 }

@@ -54,6 +54,13 @@ pub struct OsConfig {
     /// Bus/MSHR model used when the application pins runnables to
     /// cores other than 0 (`None` = the default contention model).
     pub interference: Option<SystemConfig>,
+    /// Run the platform with a *shared* last-level cache: the measured
+    /// core and every pinned-runnable core resolve their last level
+    /// against one shared L2, so pinned runnables perturb the measured
+    /// core's cache state (not just its bus timing). Pinned runnables
+    /// share the application's address space — the same ECU image —
+    /// so shared-data hits across cores are part of the model here.
+    pub shared_llc: bool,
 }
 
 impl Default for OsConfig {
@@ -63,6 +70,7 @@ impl Default for OsConfig {
             context_switch_cycles: 30,
             rng_seed: 0x05,
             interference: None,
+            shared_llc: false,
         }
     }
 }
@@ -134,7 +142,16 @@ impl TscacheOs {
     pub fn new(app: Application, setup: SetupKind, config: OsConfig) -> Self {
         let schedule = Schedule::build(&app);
         let mut layout = Layout::new(0x20_0000);
-        let mut machine = Machine::from_setup(setup, config.rng_seed ^ 0x05_05);
+        let mut machine = if config.shared_llc {
+            Machine::from_setup_shared(
+                setup,
+                tscache_core::setup::HierarchyDepth::TwoLevel,
+                config.interference.unwrap_or_default(),
+                config.rng_seed ^ 0x05_05,
+            )
+        } else {
+            Machine::from_setup(setup, config.rng_seed ^ 0x05_05)
+        };
         let workloads: Vec<RunnableWorkload> = app
             .runnables()
             .iter()
@@ -168,8 +185,12 @@ impl TscacheOs {
             machine.set_interference(config.interference.unwrap_or_default());
             for &i in &pinned {
                 let r = &app.runnables()[i];
-                let enemy =
-                    setup.build(config.rng_seed ^ 0xc0de ^ ((r.core() as u64) << 16) ^ i as u64);
+                let enemy_seed = config.rng_seed ^ 0xc0de ^ ((r.core() as u64) << 16) ^ i as u64;
+                let enemy = if config.shared_llc {
+                    setup.build_private(tscache_core::setup::HierarchyDepth::TwoLevel, enemy_seed)
+                } else {
+                    setup.build(enemy_seed)
+                };
                 machine.add_co_runner(CoRunner::new(
                     enemy,
                     r.swc().process_id(),
@@ -279,8 +300,12 @@ impl TscacheOs {
                     self.machine.set_process_seed(swc.process_id(), seed);
                     report.seed_swaps += 1;
                     // Per-job reseed requires flushing that SWC's lines
-                    // for consistency (§5).
+                    // for consistency (§5) — at every level it might
+                    // hold them, the shared one included.
                     self.machine.hierarchy_mut().flush_process(swc.process_id());
+                    if let Some(llc) = self.machine.shared_llc_mut() {
+                        llc.flush_process(swc.process_id());
+                    }
                     report.flushes += 1;
                 }
                 let cycles = self.run_job(job.runnable);
@@ -438,6 +463,49 @@ mod tests {
             solo.work_cycles + contended.bus_wait_cycles,
             "contention delta must be exactly the bus/MSHR cycles"
         );
+    }
+
+    #[test]
+    fn shared_llc_campaign_reproduces_and_contends_in_the_shared_level() {
+        use crate::model::{Runnable, SwcId};
+        use core::time::Duration;
+        let contended_app = || {
+            let mut app = Application::figure3_example();
+            app.add(Runnable::new("enemy", SwcId(9), Duration::from_millis(20), 60_000).on_core(1));
+            app
+        };
+        let config = OsConfig { shared_llc: true, ..OsConfig::default() };
+        let run = || {
+            let mut sim = TscacheOs::new(contended_app(), SetupKind::TsCache, config);
+            let report = sim.run(6);
+            let llc = *sim.machine.shared_llc().expect("shared platform").cache().stats();
+            (report.times.clone(), report.bus_wait_cycles, llc)
+        };
+        let (times, wait, llc) = run();
+        assert_eq!(run(), (times.clone(), wait, llc), "shared campaign must reproduce");
+        assert!(wait > 0, "pinned runnable never delayed the measured core");
+        assert!(llc.accesses() > 0, "shared level never engaged");
+        // The pinned runnable is never scheduled on core 0, but the
+        // schedule still runs in full.
+        assert!(times[5].is_empty());
+        assert_eq!(times[0].len(), 12);
+    }
+
+    #[test]
+    fn per_job_reseed_keeps_the_shared_llc_consistent() {
+        // A per-job reseed moves the SWC's lines to new shared-level
+        // sets; without the accompanying LLC flush_process, stale
+        // copies survive at the old placement and a line ends up
+        // resident twice — the §5 consistency violation this pins.
+        let config =
+            OsConfig { shared_llc: true, seed_policy: SeedPolicy::PerJob, ..OsConfig::default() };
+        let mut sim = TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
+        sim.run(3);
+        let llc = sim.machine.shared_llc().expect("shared platform").cache();
+        let mut seen = std::collections::HashSet::new();
+        for (_, _, line, _) in llc.contents() {
+            assert!(seen.insert(line.as_u64()), "line {line:?} resident twice in the shared LLC");
+        }
     }
 
     #[test]

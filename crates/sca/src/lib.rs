@@ -13,6 +13,9 @@
 //! * [`bernstein`] — shift-correlation analysis, stringent-threshold
 //!   candidate reduction, and Fig. 5's effectiveness matrix/metrics.
 //! * [`prime_probe`], [`evict_time`] — contention attack primitives.
+//! * [`cross_core`] — Prime+Probe mounted from an *enemy core*
+//!   through a shared last-level cache, and the §7 per-core
+//!   way-partitioning ablation that shuts it down.
 //!
 //! ```no_run
 //! use tscache_core::setup::SetupKind;
@@ -25,6 +28,7 @@
 //! ```
 
 pub mod bernstein;
+pub mod cross_core;
 pub mod evict_time;
 pub mod prime_probe;
 pub mod profile;

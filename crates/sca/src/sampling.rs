@@ -90,6 +90,16 @@ pub struct SamplingConfig {
     /// kernels on their own hierarchies) contending for the shared
     /// bus, so the timed encryptions carry multicore interference.
     pub contention: Option<ContentionConfig>,
+    /// When set, the node's last cache level is *shared* with its
+    /// co-runner cores (`Machine::from_setup_shared`): enemy traffic
+    /// evicts the crypto task's shared-level lines — the cross-core
+    /// contention channel — unless `partition_llc_ways` isolates it.
+    pub shared_llc: bool,
+    /// If non-zero (shared-LLC nodes only), way-partition the shared
+    /// level per core: the measured core's processes (task + OS) fill
+    /// ways `0..k`, enemy cores ways `k..assoc` — the §7 partitioning
+    /// ablation applied at the shared level. 0 = unpartitioned.
+    pub partition_llc_ways: u32,
 }
 
 impl SamplingConfig {
@@ -109,6 +119,8 @@ impl SamplingConfig {
             app_target_lines: 10,
             partition_task_ways: 0,
             contention: None,
+            shared_llc: false,
+            partition_llc_ways: 0,
         }
     }
 }
@@ -147,9 +159,18 @@ impl CryptoNode {
         let background = layout.alloc("background", 2 * 4096, 4096);
         let os = layout.alloc("os", 2 * 4096, 4096);
 
-        let mut machine =
-            Machine::from_setup_depth(cfg.setup, cfg.depth, cfg.master_seed ^ role.stream());
-        // Multicore deployment: enemy co-runners on the shared bus.
+        let mut machine = if cfg.shared_llc {
+            Machine::from_setup_shared(
+                cfg.setup,
+                cfg.depth,
+                cfg.contention.map(|c| c.system).unwrap_or_default(),
+                cfg.master_seed ^ role.stream(),
+            )
+        } else {
+            Machine::from_setup_depth(cfg.setup, cfg.depth, cfg.master_seed ^ role.stream())
+        };
+        // Multicore deployment: enemy co-runners on the shared bus
+        // (and, on shared-LLC nodes, inside the shared cache).
         if let Some(con) = &cfg.contention {
             machine.attach_standard_enemies(
                 cfg.setup,
@@ -158,10 +179,27 @@ impl CryptoNode {
                 mix64(cfg.master_seed ^ role.stream() ^ 0xb05_u64),
             );
         }
-        // RPCache protects the crypto tables (P-bit pages).
+        // §7 at the shared level: per-core way partitions.
+        if cfg.shared_llc && cfg.partition_llc_ways > 0 {
+            let ways = machine.shared_llc().expect("shared-LLC node").cache().geometry().ways();
+            let k = cfg.partition_llc_ways.min(ways - 1);
+            let enemy_pids: Vec<ProcessId> =
+                machine.co_runners().iter().map(|co| co.pid()).collect();
+            let llc = machine.shared_llc_mut().expect("shared-LLC node");
+            llc.set_way_partition(ProcessId::new(1), 0, k);
+            llc.set_way_partition(ProcessId::OS, 0, k);
+            for pid in enemy_pids {
+                llc.set_way_partition(pid, k, ways);
+            }
+        }
+        // RPCache protects the crypto tables (P-bit pages) — on the
+        // shared level too, where enemy cores contend.
         for t in 0..5 {
             let region = aes_layout.table(t);
             machine.hierarchy_mut().add_protected_range(region.base(), region.size());
+            if let Some(llc) = machine.shared_llc_mut() {
+                llc.add_protected_range(region.base(), region.size());
+            }
         }
         // Optional §7-style way partitioning: task vs OS.
         if cfg.partition_task_ways > 0 {
@@ -438,6 +476,46 @@ mod tests {
         assert!(node.machine().is_contended());
         node.collect();
         assert!(node.machine().contention_cycles() > 0);
+    }
+
+    #[test]
+    fn shared_llc_campaign_reproduces() {
+        let mut c = cfg(SetupKind::TsCache, 30);
+        c.shared_llc = true;
+        c.contention = Some(ContentionConfig { write_back: false, ..ContentionConfig::default() });
+        c.reseed_every = 4;
+        c.warmup_jobs = 0;
+        let run = |cfg: SamplingConfig| CryptoNode::new(cfg, Role::Victim, &[3; 16]).collect();
+        let contended = run(c);
+        assert_eq!(contended.len(), 30);
+        assert_eq!(contended, run(c), "shared-LLC campaign must be reproducible");
+        let node = CryptoNode::new(c, Role::Victim, &[3; 16]);
+        assert!(node.machine().shared_llc().is_some());
+        assert!(node.machine().is_contended());
+    }
+
+    #[test]
+    fn shared_llc_campaign_sees_cross_core_evictions_unless_partitioned() {
+        // A single-epoch campaign long enough for the enemy's stream
+        // to pressure the 256 KiB shared level: the crypto task loses
+        // lines to the enemy core — unless per-core way partitions
+        // isolate it (§7 at the shared level).
+        let mut c = cfg(SetupKind::TsCache, 1500);
+        c.shared_llc = true;
+        c.contention = Some(ContentionConfig { write_back: false, ..ContentionConfig::default() });
+        let run = |cfg: SamplingConfig| {
+            let mut node = CryptoNode::new(cfg, Role::Victim, &[3; 16]);
+            node.collect();
+            let stats = *node.machine().shared_llc().expect("shared platform").cache().stats();
+            (stats.evictions(), stats.cross_process_evictions())
+        };
+        let (evictions, cross) = run(c);
+        assert!(evictions > 0, "shared level never filled");
+        assert!(cross > 0, "enemy never evicted a task line in the shared LLC");
+        let mut part = c;
+        part.partition_llc_ways = 2;
+        let (_, cross_part) = run(part);
+        assert_eq!(cross_part, 0, "partitioned shared LLC still saw cross-core evictions");
     }
 
     #[test]

@@ -99,4 +99,29 @@ fn attack_and_mbpta_results_are_bit_identical_across_thread_counts() {
             ArraySweep::standard(&mut Layout::new(0x10_0000))
         })
     });
+
+    // Shared-LLC contended campaigns: enemy cores now perturb the
+    // measured core's shared-level *contents* — the per-(seed, role)
+    // derivations must still make every worker count agree bit for
+    // bit.
+    let mut shared = SamplingConfig::standard(SetupKind::TsCache, 150, 0x11c);
+    shared.shared_llc = true;
+    shared.contention = Some(tscache_interference::ContentionConfig::default());
+    shared.reseed_every = 32;
+    shared.warmup_jobs = 2;
+    assert_invariant("shared-LLC collect_pair", || collect_pair(shared, &ka, &kv));
+    let mut shared_part = shared;
+    shared_part.partition_llc_ways = 2;
+    assert_invariant("partitioned shared-LLC collect_pair", || collect_pair(shared_part, &ka, &kv));
+    let shared_protocol = MeasurementProtocol {
+        runs: 16,
+        shared_llc: true,
+        contention: Some(tscache_interference::ContentionConfig::default()),
+        ..Default::default()
+    };
+    assert_invariant("shared-LLC mbpta collection", || {
+        collect_execution_times_par(SetupKind::TsCache, &shared_protocol, || {
+            ArraySweep::standard(&mut Layout::new(0x10_0000))
+        })
+    });
 }

@@ -9,12 +9,14 @@
 
 use crate::pipeline::PipelineModel;
 use tscache_core::addr::Addr;
-use tscache_core::cache::WritePolicy;
-use tscache_core::hierarchy::{AccessKind, Hierarchy, OpTiming};
+use tscache_core::cache::{WritePolicy, Writeback};
+use tscache_core::hierarchy::{AccessKind, Hierarchy, LlcRequests, OpTiming, SharedLlc};
 use tscache_core::prng::mix64;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
-use tscache_interference::{run_contended_segment, CoRunner, ContentionConfig, SystemConfig};
+use tscache_interference::{
+    run_contended_segment, run_contended_segment_shared, CoRunner, ContentionConfig, SystemConfig,
+};
 
 /// One memory operation of a pre-built trace, consumed by
 /// [`Machine::run_trace`] (defined in `tscache_core::hierarchy`, where
@@ -67,6 +69,14 @@ pub struct Machine {
     contention_cycles: u64,
     /// Reused per-segment timing scratch of the contended batch path.
     timing_scratch: Vec<OpTiming>,
+    /// The platform's shared last-level cache, when this machine runs
+    /// on a shared-LLC multicore (the per-core `hierarchy` then holds
+    /// only the private levels).
+    shared_llc: Option<SharedLlc>,
+    /// Reused per-segment scratch of the shared-LLC batch path.
+    llc_scratch: LlcRequests,
+    /// Reused writeback scratch of the shared-LLC scalar ops.
+    wb_scratch: Vec<Writeback>,
 }
 
 impl Machine {
@@ -83,7 +93,30 @@ impl Machine {
             interference: None,
             contention_cycles: 0,
             timing_scratch: Vec::new(),
+            shared_llc: None,
+            llc_scratch: LlcRequests::default(),
+            wb_scratch: Vec::new(),
         }
+    }
+
+    /// Creates a machine on a shared-LLC multicore platform: the
+    /// per-core private hierarchy ([`SetupKind::build_private`]) in
+    /// front of the platform's shared last level
+    /// ([`SetupKind::build_shared_llc`]), with the bus/MSHR model
+    /// armed. Co-runner cores attach via
+    /// [`attach_standard_enemies`](Self::attach_standard_enemies) or
+    /// [`add_co_runner`](Self::add_co_runner) and then contend for the
+    /// shared cache *state*, not just the bus.
+    pub fn from_setup_shared(
+        setup: SetupKind,
+        depth: HierarchyDepth,
+        system: SystemConfig,
+        rng_seed: u64,
+    ) -> Self {
+        let mut machine = Machine::new(setup.build_private(depth, rng_seed));
+        machine.shared_llc = Some(setup.build_shared_llc(depth, rng_seed));
+        machine.set_interference(system);
+        machine
     }
 
     /// Creates a machine for one of the paper's four setups (the
@@ -127,9 +160,32 @@ impl Machine {
         self.pid = pid;
     }
 
-    /// Sets the placement seed of `pid` across the hierarchy.
+    /// Sets the placement seed of `pid` across the hierarchy (and the
+    /// shared last level, when this machine runs on one).
     pub fn set_process_seed(&mut self, pid: ProcessId, seed: Seed) {
         self.hierarchy.set_process_seed(pid, seed);
+        if let Some(llc) = self.shared_llc.as_mut() {
+            llc.set_process_seed(pid, seed);
+        }
+    }
+
+    /// Installs a shared last-level cache behind the (private)
+    /// hierarchy; from then on every access resolves its last level
+    /// against it. Prefer [`from_setup_shared`](Self::from_setup_shared)
+    /// unless you need a custom LLC.
+    pub fn set_shared_llc(&mut self, llc: SharedLlc) {
+        self.shared_llc = Some(llc);
+    }
+
+    /// The shared last level, when this machine runs on one.
+    pub fn shared_llc(&self) -> Option<&SharedLlc> {
+        self.shared_llc.as_ref()
+    }
+
+    /// Mutably borrows the shared last level (partition and seed
+    /// management, attacker probes).
+    pub fn shared_llc_mut(&mut self) -> Option<&mut SharedLlc> {
+        self.shared_llc.as_mut()
     }
 
     /// Elapsed cycles.
@@ -148,9 +204,14 @@ impl Machine {
         self.instret = 0;
     }
 
-    /// Flushes all caches (hyperperiod boundary in the TSCache OS).
+    /// Flushes all caches — the private hierarchy and, on a shared-LLC
+    /// platform, the shared level too (hyperperiod boundary in the
+    /// TSCache OS; the OS owns the whole node, shared level included).
     pub fn flush_caches(&mut self) {
         self.hierarchy.flush_all();
+        if let Some(llc) = self.shared_llc.as_mut() {
+            llc.flush();
+        }
     }
 
     /// Borrows the hierarchy (for statistics inspection).
@@ -194,8 +255,12 @@ impl Machine {
         con: &ContentionConfig,
         seed: u64,
     ) {
+        let shared = self.shared_llc.is_some();
         if con.write_back {
             self.hierarchy.set_write_policy(WritePolicy::WriteBack);
+            if let Some(llc) = self.shared_llc.as_mut() {
+                llc.set_write_policy(WritePolicy::WriteBack);
+            }
         }
         self.set_interference(con.system);
         let mut layout = crate::layout::Layout::new(0x10_0000);
@@ -216,13 +281,34 @@ impl Machine {
             }
         }
         for k in 0..con.co_runners {
-            let mut enemy = setup.build_depth(depth, mix64(seed ^ 0xc0de ^ k as u64));
+            let mut enemy = if shared {
+                setup.build_private(depth, mix64(seed ^ 0xc0de ^ k as u64))
+            } else {
+                setup.build_depth(depth, mix64(seed ^ 0xc0de ^ k as u64))
+            };
             if con.write_back {
                 enemy.set_write_policy(WritePolicy::WriteBack);
             }
             let pid = ProcessId::new(200 + k as u16);
-            enemy.set_process_seed(pid, Seed::new(mix64(seed ^ 0xe11e0 ^ (k as u64) << 32)));
-            self.add_co_runner(CoRunner::new(enemy, pid, ops.clone()));
+            let enemy_seed = Seed::new(mix64(seed ^ 0xe11e0 ^ (k as u64) << 32));
+            enemy.set_process_seed(pid, enemy_seed);
+            // On a shared platform the enemies touch per-core disjoint
+            // address spaces (the measured node's objects live below
+            // 16 MiB): co-runner interference flows through shared-LLC
+            // *contention*, not accidental data sharing, and the shared
+            // level sees the enemy under its own pid and seed.
+            let ops = if shared {
+                if let Some(llc) = self.shared_llc.as_mut() {
+                    llc.set_process_seed(pid, enemy_seed);
+                }
+                let base = (1 + k as u64) << 24;
+                ops.iter()
+                    .map(|op| TraceOp { kind: op.kind, addr: Addr::new(op.addr.as_u64() + base) })
+                    .collect()
+            } else {
+                ops.clone()
+            };
+            self.add_co_runner(CoRunner::new(enemy, pid, ops));
         }
     }
 
@@ -269,10 +355,26 @@ impl Machine {
         }
     }
 
+    /// One scalar access through the full platform: the private
+    /// hierarchy, then — on a shared-LLC machine — the shared level
+    /// (writebacks delivered first, fill resolved in place). Like the
+    /// other scalar convenience ops this models solo background
+    /// activity and never arbitrates for the bus.
+    #[inline]
+    fn hier_access(&mut self, kind: AccessKind, addr: Addr) -> u32 {
+        let Some(llc) = self.shared_llc.as_mut() else {
+            return self.hierarchy.access(self.pid, kind, addr);
+        };
+        self.wb_scratch.clear();
+        let up =
+            self.hierarchy.access_upper_detailed(self.pid, kind, addr, 0, &mut self.wb_scratch);
+        up.cycles + llc.resolve(self.pid, up.fill, &self.wb_scratch).cycles
+    }
+
     /// Issues a data load; returns its cycle cost.
     #[inline]
     pub fn load(&mut self, addr: Addr) -> u32 {
-        let cost = self.hierarchy.access(self.pid, AccessKind::Read, addr);
+        let cost = self.hier_access(AccessKind::Read, addr);
         self.cycles += cost as u64;
         self.record(AccessKind::Read, addr, cost);
         cost
@@ -290,7 +392,7 @@ impl Machine {
     /// Issues a data store; returns its cycle cost.
     #[inline]
     pub fn store(&mut self, addr: Addr) -> u32 {
-        let cost = self.hierarchy.access(self.pid, AccessKind::Write, addr);
+        let cost = self.hier_access(AccessKind::Write, addr);
         self.cycles += cost as u64;
         self.record(AccessKind::Write, addr, cost);
         cost
@@ -331,6 +433,18 @@ impl Machine {
     /// [`load`](Machine::load) / [`store`](Machine::store) / per-line
     /// fetches.
     ///
+    /// On a shared-LLC machine the trace runs through the multicore
+    /// segment engine instead: cache state still matches the scalar
+    /// ops exactly, but trace replay additionally arbitrates for the
+    /// memory bus (the scalar convenience ops never do). With no
+    /// co-runners and at most one bus transaction per op
+    /// (write-through) the bus never queues and the cycle totals agree
+    /// too; a write-back op emitting a read *and* writebacks pays the
+    /// bus occupancy between its own back-to-back transactions, so
+    /// solo write-back replay can exceed the scalar-op total by those
+    /// service cycles (booked in
+    /// [`contention_cycles`](Self::contention_cycles)).
+    ///
     /// When event tracing is enabled the trace runs through the scalar
     /// path instead, so per-op costs can be recorded; outcomes are
     /// identical either way. With tracing disabled no per-op
@@ -355,11 +469,34 @@ impl Machine {
             // on a contended machine.
             let before = self.cycles;
             for op in ops {
-                let cost = self.hierarchy.access(self.pid, op.kind, op.addr);
+                let cost = self.hier_access(op.kind, op.addr);
                 self.cycles += cost as u64;
                 self.record(op.kind, op.addr, cost);
             }
             return self.cycles - before;
+        }
+        let cfg = self.interference.unwrap_or_default();
+        if let Some(llc) = self.shared_llc.as_mut() {
+            // Shared-LLC platform: the segment engine resolves every
+            // shared-level fill/writeback in merge order against the
+            // one shared cache. With no co-runners it degenerates to
+            // the solo shared walk — identical cache state; the only
+            // residual cost is bus occupancy between one op's own
+            // back-to-back transactions (write-back only, see the doc
+            // above).
+            let seg = run_contended_segment_shared(
+                &mut self.hierarchy,
+                self.pid,
+                ops,
+                &mut self.co_runners,
+                llc,
+                &cfg,
+                &mut self.timing_scratch,
+                &mut self.llc_scratch,
+            );
+            self.cycles += seg.primary.cycles;
+            self.contention_cycles += seg.primary.bus_wait + seg.primary.mshr_stall_cycles;
+            return seg.primary.cycles;
         }
         if let Some(cfg) = self.interference.filter(|_| !self.co_runners.is_empty()) {
             let seg = run_contended_segment(
@@ -407,7 +544,7 @@ impl Machine {
         let end = start + 4 * instrs as u64;
         let mut line_base = start - (start % line_bytes);
         while line_base < end {
-            let cost = self.hierarchy.access(self.pid, AccessKind::Fetch, Addr::new(line_base));
+            let cost = self.hier_access(AccessKind::Fetch, Addr::new(line_base));
             self.cycles += cost as u64;
             self.record(AccessKind::Fetch, Addr::new(line_base), cost);
             line_base += line_bytes;
@@ -683,6 +820,88 @@ mod tests {
         assert_eq!(solo.hierarchy().total_stats(), contended.hierarchy().total_stats());
         // The enemy really executed something meanwhile.
         assert!(contended.co_runners()[0].hierarchy().total_stats().accesses() > 0);
+    }
+
+    #[test]
+    fn shared_machine_run_trace_matches_scalar_ops() {
+        // Write-through platform: at most one bus transaction per op,
+        // so a solo core never self-queues and the segment engine must
+        // agree with the (bus-free) scalar ops cycle for cycle.
+        let ops: Vec<TraceOp> =
+            (0..600u64).map(|i| TraceOp::read(Addr::new((i * 3091) % (1 << 18)))).collect();
+        let mk = || {
+            let mut m = Machine::from_setup_shared(
+                SetupKind::TsCache,
+                HierarchyDepth::TwoLevel,
+                SystemConfig::default(),
+                5,
+            );
+            m.set_process_seed(ProcessId::new(1), Seed::new(3));
+            m
+        };
+        let mut scalar = mk();
+        let mut batched = mk();
+        for op in &ops {
+            scalar.load(op.addr);
+        }
+        let cycles = batched.run_trace(&ops);
+        assert_eq!(cycles, scalar.cycles());
+        assert_eq!(batched.hierarchy().total_stats(), scalar.hierarchy().total_stats());
+        assert_eq!(
+            batched.shared_llc().unwrap().cache().stats(),
+            scalar.shared_llc().unwrap().cache().stats()
+        );
+        assert_eq!(batched.contention_cycles(), 0, "solo write-through core self-queued");
+        assert!(batched.shared_llc().unwrap().cache().stats().misses() > 0);
+        // Both depths build: three-level keeps a private L2 in front.
+        let m3 = Machine::from_setup_shared(
+            SetupKind::TsCache,
+            HierarchyDepth::ThreeLevel,
+            SystemConfig::default(),
+            5,
+        );
+        assert_eq!(m3.hierarchy().depth(), 2);
+        assert!(m3.shared_llc().is_some());
+    }
+
+    #[test]
+    fn shared_contended_machine_reproduces_and_enemies_reach_the_llc() {
+        let ops: Vec<TraceOp> =
+            (0..800u64).map(|i| TraceOp::read(Addr::new((i * 4099) % (1 << 18)))).collect();
+        let run = || {
+            let mut m = Machine::from_setup_shared(
+                SetupKind::TsCache,
+                HierarchyDepth::TwoLevel,
+                SystemConfig::default(),
+                5,
+            );
+            m.set_process_seed(ProcessId::new(1), Seed::new(3));
+            m.attach_standard_enemies(
+                SetupKind::TsCache,
+                HierarchyDepth::TwoLevel,
+                &ContentionConfig { write_back: false, ..ContentionConfig::default() },
+                99,
+            );
+            let cycles: Vec<u64> = (0..3).map(|_| m.run_trace(&ops)).collect();
+            let llc = *m.shared_llc().unwrap().cache().stats();
+            (cycles, m.contention_cycles(), llc)
+        };
+        let (cycles, wait, llc) = run();
+        assert_eq!(run(), (cycles, wait, llc), "shared contended campaign must reproduce");
+        assert!(wait > 0, "enemy never delayed the measured core");
+        // The enemy's traffic really flows through the shared level
+        // (accesses beyond what the measured core issues alone).
+        let mut solo = Machine::from_setup_shared(
+            SetupKind::TsCache,
+            HierarchyDepth::TwoLevel,
+            SystemConfig::default(),
+            5,
+        );
+        solo.set_process_seed(ProcessId::new(1), Seed::new(3));
+        for _ in 0..3 {
+            solo.run_trace(&ops);
+        }
+        assert!(llc.accesses() > solo.shared_llc().unwrap().cache().stats().accesses());
     }
 
     #[test]

@@ -3,13 +3,15 @@
 //! experiment).
 //!
 //! ```text
-//! cargo run --release --example bernstein_attack [samples] [l2|l3] [contended]
+//! cargo run --release --example bernstein_attack [samples] [l2|l3] [contended] [shared]
 //! ```
 //!
 //! The second argument selects the hierarchy depth (default `l2`, the
 //! paper's two-level platform; `l3` adds the 1 MiB L3 preset). The
 //! third runs the campaign with an active FIR co-runner contending on
-//! the shared bus.
+//! the shared bus; adding `shared` additionally makes the last cache
+//! level a single instance shared with the co-runner, so enemy
+//! traffic perturbs the victim's cache state, not just its timing.
 
 use tscache::core::setup::{HierarchyDepth, SetupKind};
 use tscache::interference::ContentionConfig;
@@ -23,11 +25,16 @@ fn main() {
         Some("l3") => HierarchyDepth::ThreeLevel,
         _ => HierarchyDepth::TwoLevel,
     };
-    let contended = args.iter().any(|a| a == "contended");
+    let shared = args.iter().any(|a| a == "shared");
+    let contended = shared || args.iter().any(|a| a == "contended");
 
     println!(
         "Bernstein attack demo: {samples} timing samples per node ({depth} hierarchy{})\n",
-        if contended { ", contended" } else { "" }
+        match (contended, shared) {
+            (_, true) => ", contended, shared LLC",
+            (true, _) => ", contended",
+            _ => "",
+        }
     );
     println!("Two emulated ECUs run AES-128: the attacker profiles its own node");
     println!("(known key) and correlates per-byte timing signatures against the");
@@ -39,6 +46,7 @@ fn main() {
         if contended {
             cfg.contention = Some(ContentionConfig::default());
         }
+        cfg.shared_llc = shared;
         let result = run_attack(cfg);
         println!("=== {} ===", setup.label());
         println!(

@@ -128,13 +128,14 @@ fn main() {
     // contended curve dominates (is never tighter than) the solo one —
     // the price of multicore integration read straight off the curves.
     println!("\nsolo vs contended pWCET (array sweep, same per-run seeds):");
-    let curve = |contention: Option<ContentionConfig>| {
+    let curve = |contention: Option<ContentionConfig>, shared_llc: bool| {
         let mut sweep = ArraySweep::standard(&mut Layout::new(0x10_0000));
         let protocol = MeasurementProtocol {
             runs: 800,
             rng_seed: 0xC0117,
             depth: depth_arg(),
             contention,
+            shared_llc,
             ..Default::default()
         };
         analyze(
@@ -142,8 +143,8 @@ fn main() {
             &MbptaConfig::default(),
         )
     };
-    let solo = curve(None);
-    let contended = curve(Some(ContentionConfig::default()));
+    let solo = curve(None, false);
+    let contended = curve(Some(ContentionConfig::default()), false);
     println!("{:>12} {:>14} {:>14} {:>9}", "exceedance", "solo", "contended", "cost");
     for exp in [3, 6, 9, 12] {
         let p = 10f64.powi(-exp);
@@ -159,4 +160,34 @@ fn main() {
     println!("\nThe gap is the contention budget a multicore integration must");
     println!("provision on top of the solo pWCET — bounded and composable under");
     println!("TDMA, average-case under round-robin.");
+
+    // The same experiment when the platform's last level is *shared*
+    // between the measured core and the co-runner: enemy traffic now
+    // evicts the workload's shared-level lines, so the contended curve
+    // carries state perturbation on top of queuing — the extra budget
+    // a shared-LLC integration must provision, and what per-core way
+    // partitions (§7) would win back.
+    println!("\nprivate vs shared last level, solo and contended pWCET:");
+    let shared_solo = curve(None, true);
+    let shared_contended = curve(Some(ContentionConfig::default()), true);
+    println!(
+        "{:>12} {:>13} {:>13} {:>13} {:>13}",
+        "exceedance", "priv solo", "priv cont", "shared solo", "shared cont"
+    );
+    for exp in [3, 6, 9, 12] {
+        let p = 10f64.powi(-exp);
+        println!(
+            "{:>12} {:>13.0} {:>13.0} {:>13.0} {:>13.0}",
+            format!("1e-{exp}"),
+            solo.pwcet(p),
+            contended.pwcet(p),
+            shared_solo.pwcet(p),
+            shared_contended.pwcet(p)
+        );
+    }
+    println!("\nOn the shared platform contention reaches cache *state*, not just");
+    println!("the bus: the victim's shared-level lines are evicted by the enemy,");
+    println!("which is exactly the channel the cross-core Prime+Probe example");
+    println!("exploits (see tests/shared_llc_attack.rs) and per-core partitions");
+    println!("eliminate.");
 }
