@@ -23,7 +23,8 @@
 use std::hint::black_box;
 use tscache_bench::harness::{bench, render_table, to_json, Measurement};
 use tscache_bench::suites::{
-    cache_dispatch_suite, contended_machine_suite, hierarchy_batch_suite, shared_llc_machine_suite,
+    cache_dispatch_suite, coherence_suite, contended_machine_suite, hierarchy_batch_suite,
+    shared_llc_machine_suite,
 };
 use tscache_bench::Args;
 use tscache_core::parallel;
@@ -99,6 +100,11 @@ fn main() {
         results.extend(shared_llc_machine_suite(SetupKind::TsCache, depth, ms));
     }
 
+    // The coherence axis: the same shared platform with a coherent
+    // segment in the trace (per-op merge walk + MSI actions), plus the
+    // Flush+Reload campaign throughput.
+    results.extend(coherence_suite(SetupKind::TsCache, ms));
+
     // Bernstein sampling throughput: one fresh node per timing call so
     // the epoch warm-up cost is included, as in a real campaign.
     let mut round = 0u64;
@@ -147,6 +153,8 @@ fn main() {
         rate("machine/tscache-l2-shared/solo") / rate("machine/tscache-l2-round-robin/solo");
     let shared_contended_ratio =
         rate("machine/tscache-l2-shared/contended") / rate("machine/tscache-l2-shared/solo");
+    let coherent_vs_shared_solo =
+        rate("machine/tscache-l2-shared-coherent/solo") / rate("machine/tscache-l2-shared/solo");
 
     let extra = [
         ("pr", pr as f64),
@@ -164,6 +172,7 @@ fn main() {
         ("throughput_ratio_bernstein_contended", bernstein_contended_ratio),
         ("throughput_ratio_shared_vs_private_llc_solo", shared_vs_private_solo),
         ("throughput_ratio_shared_llc_contended", shared_contended_ratio),
+        ("throughput_ratio_coherent_vs_shared_solo", coherent_vs_shared_solo),
     ];
 
     print!("{}", render_table(&results));
@@ -180,6 +189,7 @@ fn main() {
     println!("shared-LLC platform (same run):");
     println!("  solo vs private-LLC solo: {shared_vs_private_solo:.2}x");
     println!("  contended vs solo: {shared_contended_ratio:.2}x");
+    println!("  coherent-trace vs coherence-free solo: {coherent_vs_shared_solo:.2}x");
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

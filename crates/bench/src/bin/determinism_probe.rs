@@ -243,6 +243,27 @@ fn main() {
         println!("shared_llc_core_order_{tag} {:016x}", d.0);
     }
 
+    // The coherent Flush+Reload campaigns: sequential by construction,
+    // but digested so any accidental thread- or run-order dependence
+    // in the coherence machinery (directory, invalidation order, flush
+    // broadcasts) shows up as a CI digest mismatch.
+    for setup in [SetupKind::Deterministic, SetupKind::TsCache] {
+        use tscache_sca::flush_reload::{run_flush_reload, FlushReloadConfig};
+        let out = run_flush_reload(&FlushReloadConfig::standard(setup, 0xf1a5));
+        let mut d = Digest::new();
+        for &s in &out.scores {
+            d.u64(s as u64);
+        }
+        d.u64(out.reload_hits);
+        d.u64(out.victim_invalidations);
+        d.f64(out.correct_rank);
+        let tag = match setup {
+            SetupKind::Deterministic => "deterministic",
+            _ => "tscache",
+        };
+        println!("flush_reload_{tag} {:016x}", d.0);
+    }
+
     // MBPTA parallel measurement collection over batched-replay
     // workloads.
     let protocol = MeasurementProtocol { runs: 64, ..Default::default() };

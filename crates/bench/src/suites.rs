@@ -194,9 +194,81 @@ pub fn shared_llc_machine_suite(
     results
 }
 
+/// The coherence suite, measured in one run: the same L2-heavy trace
+/// through `Machine::run_trace` on the shared platform (the batched
+/// PR-4 path), then with a coherent segment folded into the trace —
+/// reads, upgrade writes and flush broadcasts force the per-op merge
+/// walk and the MSI actions — recording what coherence costs the hot
+/// path; plus the Flush+Reload campaign throughput on the vulnerable
+/// and the randomized setup.
+pub fn coherence_suite(setup: SetupKind, min_ms: u64) -> Vec<Measurement> {
+    use tscache_sca::flush_reload::{run_flush_reload, FlushReloadConfig};
+    let pid = ProcessId::new(1);
+    let tag = format!("{}-l2-shared", setup.label());
+    let mut results = Vec::with_capacity(4);
+
+    // A trace whose every 13th op touches (and occasionally writes or
+    // flushes) a 16-line coherent segment.
+    let coherent_base = 0x60_0000u64;
+    let ops: Vec<TraceOp> = l2_heavy_trace()
+        .into_iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let shared = Addr::new(coherent_base + ((i as u64 * 7) % 16) * 32);
+            match i % 13 {
+                0 => TraceOp::read(shared),
+                6 => TraceOp::write(shared),
+                11 if i % 39 == 11 => TraceOp::flush(shared),
+                _ => op,
+            }
+        })
+        .collect();
+
+    let mut coherent =
+        Machine::from_setup_shared(setup, HierarchyDepth::TwoLevel, SystemConfig::default(), 21);
+    coherent.set_process(pid);
+    coherent.set_process_seed(pid, Seed::new(42));
+    coherent.add_coherent_range(Addr::new(coherent_base), 16 * 32);
+    results.push(bench(format!("machine/{tag}-coherent/solo"), "accesses", min_ms, || {
+        black_box(coherent.run_trace(black_box(&ops)));
+        ops.len() as u64
+    }));
+
+    let mut seed_salt = 0u64;
+    results.push(bench("flush-reload/deterministic", "samples", min_ms.max(500), || {
+        seed_salt += 1;
+        let out =
+            run_flush_reload(&FlushReloadConfig::standard(SetupKind::Deterministic, seed_salt));
+        black_box(out.samples as u64)
+    }));
+    let mut ts_salt = 0u64;
+    results.push(bench("flush-reload/tscache", "samples", min_ms.max(500), || {
+        ts_salt += 1;
+        let out = run_flush_reload(&FlushReloadConfig::standard(SetupKind::TsCache, ts_salt));
+        black_box(out.samples as u64)
+    }));
+
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coherence_suite_reports_coherent_and_campaign_rates() {
+        let results = coherence_suite(SetupKind::TsCache, 1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "machine/tscache-l2-shared-coherent/solo",
+                "flush-reload/deterministic",
+                "flush-reload/tscache"
+            ]
+        );
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
 
     #[test]
     fn hierarchy_suite_reports_scalar_and_batch() {

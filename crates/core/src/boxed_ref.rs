@@ -123,10 +123,15 @@ impl BoxedCache {
             .unwrap_or((0, self.geom.ways()))
     }
 
-    /// Invalidates every line.
+    /// Invalidates every line. Mirrors `Cache::flush`: partition-
+    /// replacement streams reset to their derivation points so a flush
+    /// plus identical replay reproduces bit for bit (the boxed model
+    /// is read-only/write-through, so there is no dirty state to
+    /// drain).
     pub fn flush(&mut self) {
         self.valid.fill(false);
         self.replacement.reset();
+        self.part_rngs.clear();
         self.stats.record_flush();
     }
 

@@ -69,6 +69,11 @@ impl LineMeta {
     /// The line holds data newer than the next level (write-back
     /// caches only; never set under [`WritePolicy::WriteThrough`]).
     const DIRTY: u8 = 2;
+    /// The line falls in a registered coherent range and is tracked by
+    /// the platform's invalidation protocol: a valid coherent line is
+    /// in MSI state S (clean) or M (`DIRTY` also set); invalidation
+    /// moves it to I by dropping the tag.
+    const COHERENT: u8 = 4;
 
     const EMPTY: LineMeta = LineMeta { owner: 0, flags: 0 };
 
@@ -81,6 +86,33 @@ impl LineMeta {
     fn dirty(self) -> bool {
         self.flags & Self::DIRTY != 0
     }
+
+    #[inline]
+    fn coherent(self) -> bool {
+        self.flags & Self::COHERENT != 0
+    }
+}
+
+/// MSI coherence state of a valid line in a coherence-tracked range
+/// (see [`Cache::coherence_state`]). Invalid lines have no state — the
+/// I of MSI is the absence of the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohState {
+    /// Present and clean: other caches may hold copies.
+    Shared,
+    /// Present and dirty: this copy is newer than the level below.
+    Modified,
+}
+
+/// Result of [`Cache::invalidate_line`]: whether a copy was present,
+/// and whether it was dirty (its data must be written back — under
+/// flush/invalidate semantics, forced to memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvalidatedCopy {
+    /// A valid copy existed and was dropped.
+    pub present: bool,
+    /// The dropped copy was dirty.
+    pub dirty: bool,
 }
 
 /// A line displaced by a fill.
@@ -271,6 +303,11 @@ pub struct Cache {
     /// Protected line-address ranges (RPCache's P-bit pages holding
     /// crypto tables): sorted by start, merged, pairwise disjoint.
     protected_ranges: Vec<(u64, u64)>,
+    /// Coherence-tracked line-address ranges (shared read-mostly
+    /// segments, e.g. an AES T-table shared across cores): sorted by
+    /// start, merged, pairwise disjoint. Fills inside a range carry
+    /// the [`LineMeta::COHERENT`] flag.
+    coherent_ranges: Vec<(u64, u64)>,
     /// Way partitions `(pid, lo, hi)`, sorted by pid (cache
     /// partitioning, the §7 alternative). Processes without an entry
     /// may fill any way.
@@ -344,6 +381,7 @@ impl Cache {
             tags: vec![INVALID_TAG; n],
             meta: vec![LineMeta::EMPTY; n],
             protected_ranges: Vec::new(),
+            coherent_ranges: Vec::new(),
             partitions: Vec::new(),
             seeds: SeedTable::new(),
             write_policy: WritePolicy::WriteThrough,
@@ -459,11 +497,15 @@ impl Cache {
     /// registrations collapse into one entry and per-fill lookups are
     /// a binary search.
     pub fn add_protected_range(&mut self, start: LineAddr, end: LineAddr) {
+        Self::insert_range(&mut self.protected_ranges, start, end);
+    }
+
+    /// Inserts `start..end` into a sorted-merged-disjoint range set.
+    fn insert_range(ranges: &mut Vec<(u64, u64)>, start: LineAddr, end: LineAddr) {
         let (start, end) = (start.as_u64(), end.as_u64());
         if start >= end {
             return;
         }
-        let ranges = &mut self.protected_ranges;
         ranges.push((start, end));
         ranges.sort_unstable();
         let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
@@ -476,6 +518,13 @@ impl Cache {
         *ranges = merged;
     }
 
+    /// Binary search over a sorted, disjoint range set.
+    #[inline]
+    fn in_ranges(ranges: &[(u64, u64)], line: u64) -> bool {
+        let idx = ranges.partition_point(|&(s, _)| s <= line);
+        idx > 0 && line < ranges[idx - 1].1
+    }
+
     /// The registered protected ranges (sorted, merged, disjoint).
     pub fn protected_ranges(&self) -> &[(u64, u64)] {
         &self.protected_ranges
@@ -485,8 +534,76 @@ impl Cache {
     /// the sorted, disjoint ranges.
     #[inline]
     pub fn is_protected_addr(&self, line: u64) -> bool {
-        let idx = self.protected_ranges.partition_point(|&(s, _)| s <= line);
-        idx > 0 && line < self.protected_ranges[idx - 1].1
+        Self::in_ranges(&self.protected_ranges, line)
+    }
+
+    /// Marks the line-address range `start..end` as *coherence-tracked*
+    /// (a shared segment kept coherent by the platform's invalidation
+    /// protocol). Fills in the range carry per-line MSI state readable
+    /// via [`coherence_state`](Self::coherence_state); untracked lines
+    /// stay non-coherent (the pre-coherence per-core-private world).
+    pub fn add_coherent_range(&mut self, start: LineAddr, end: LineAddr) {
+        Self::insert_range(&mut self.coherent_ranges, start, end);
+    }
+
+    /// The registered coherent ranges (sorted, merged, disjoint).
+    pub fn coherent_ranges(&self) -> &[(u64, u64)] {
+        &self.coherent_ranges
+    }
+
+    /// Whether this cache tracks any coherent range.
+    #[inline]
+    pub fn has_coherent_ranges(&self) -> bool {
+        !self.coherent_ranges.is_empty()
+    }
+
+    /// Whether `line` falls in a coherent range.
+    #[inline]
+    pub fn is_coherent_addr(&self, line: u64) -> bool {
+        Self::in_ranges(&self.coherent_ranges, line)
+    }
+
+    /// MSI state of `pid`'s view of `line`: `None` when the line is
+    /// absent (state I) or not coherence-tracked, otherwise
+    /// [`CohState::Modified`] for a dirty copy and [`CohState::Shared`]
+    /// for a clean one.
+    pub fn coherence_state(&mut self, pid: ProcessId, line: LineAddr) -> Option<CohState> {
+        let (seed, _, _) = self.context(pid);
+        let set = self.place(line, seed);
+        let way = self.find_way(set, line)?;
+        let meta = self.meta[(set * self.ways + way) as usize];
+        if !meta.coherent() {
+            return None;
+        }
+        Some(if meta.dirty() { CohState::Modified } else { CohState::Shared })
+    }
+
+    /// Invalidates `pid`'s copy of `line` (a coherence action: an
+    /// upgrade by a remote writer, a flush broadcast, or an inclusive-
+    /// LLC back-invalidation). Placement resolves under `pid`'s seed —
+    /// the holder's own view, which is what physically indexes its
+    /// copy. Reports whether a copy existed and whether it was dirty;
+    /// a present copy records one coherence invalidation in the stats.
+    pub fn invalidate_line(&mut self, pid: ProcessId, line: LineAddr) -> InvalidatedCopy {
+        let (seed, _, _) = self.context(pid);
+        let set = self.place(line, seed);
+        match self.find_way(set, line) {
+            Some(way) => {
+                let slot = (set * self.ways + way) as usize;
+                let dirty = self.meta[slot].dirty();
+                self.tags[slot] = INVALID_TAG;
+                self.meta[slot] = LineMeta::EMPTY;
+                self.stats.record_coh_invalidation();
+                if dirty {
+                    // The drained data is forced out (to memory under
+                    // flush/back-invalidate semantics) — counted like
+                    // any other dirty eviction.
+                    self.stats.record_writeback();
+                }
+                InvalidatedCopy { present: true, dirty }
+            }
+            None => InvalidatedCopy::default(),
+        }
     }
 
     /// Restricts `pid` to fill ways `lo..hi` in every set (strict way
@@ -537,21 +654,58 @@ impl Cache {
     }
 
     /// Invalidates every line and resets replacement bookkeeping.
-    pub fn flush(&mut self) {
+    ///
+    /// Dirty lines are *drained*: their data is written to memory (one
+    /// counted writeback each) before invalidation — a flush may not
+    /// silently discard modified data. Per-process partition-
+    /// replacement streams reset to their derivation points, so a
+    /// flush followed by an identical replay is bit-reproducible for
+    /// partitioned victim selection (the shared hardware RNG stream is
+    /// *not* rewound: it models free-running LFSR state that survives
+    /// a flush). Returns the number of dirty lines drained.
+    pub fn flush(&mut self) -> u64 {
+        let drained = self.drain_dirty_all();
         self.tags.fill(INVALID_TAG);
+        self.meta.fill(LineMeta::EMPTY);
         self.replacement.reset();
+        self.part_rngs.clear();
         self.stats.record_flush();
+        drained
     }
 
-    /// Invalidates every line owned by `pid`.
-    pub fn flush_process(&mut self, pid: ProcessId) {
+    /// Invalidates every line owned by `pid`, draining its dirty lines
+    /// to memory (counted) and dropping its partition-replacement
+    /// stream (it re-derives from the constructor seed on next use, so
+    /// the process restarts from a reproducible victim-selection
+    /// state). Returns the number of dirty lines drained.
+    pub fn flush_process(&mut self, pid: ProcessId) -> u64 {
         let raw = pid.as_u16();
-        for (tag, meta) in self.tags.iter_mut().zip(&self.meta) {
-            if meta.owner == raw {
+        let mut drained = 0u64;
+        for (tag, meta) in self.tags.iter_mut().zip(self.meta.iter_mut()) {
+            if meta.owner == raw && *tag != INVALID_TAG {
+                drained += meta.dirty() as u64;
                 *tag = INVALID_TAG;
+                *meta = LineMeta::EMPTY;
             }
         }
+        self.stats.record_writebacks(drained);
+        if let Ok(i) = self.part_rngs.binary_search_by_key(&raw, |&(p, _)| p) {
+            self.part_rngs.remove(i);
+        }
         self.stats.record_flush();
+        drained
+    }
+
+    /// Counts and accounts the dirty lines a whole-cache flush drains.
+    fn drain_dirty_all(&mut self) -> u64 {
+        let drained = self
+            .tags
+            .iter()
+            .zip(&self.meta)
+            .filter(|(&t, m)| t != INVALID_TAG && m.dirty())
+            .count() as u64;
+        self.stats.record_writebacks(drained);
+        drained
     }
 
     /// Looks a line up without changing replacement state or filling.
@@ -906,6 +1060,9 @@ impl Cache {
 
         self.tags[slot] = line.as_u64();
         let mut flags = if self.is_protected_addr(line.as_u64()) { LineMeta::PROTECTED } else { 0 };
+        if self.is_coherent_addr(line.as_u64()) {
+            flags |= LineMeta::COHERENT;
+        }
         if dirty_fill {
             flags |= LineMeta::DIRTY;
         }

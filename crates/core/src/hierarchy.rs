@@ -19,7 +19,9 @@
 //! × replacement combination and both hierarchy depths.
 
 use crate::addr::{Addr, LineAddr};
-use crate::cache::{AccessOutcome, BatchIo, BatchOutcome, Cache, WritePolicy, Writeback};
+use crate::cache::{
+    AccessOutcome, BatchIo, BatchOutcome, Cache, InvalidatedCopy, WritePolicy, Writeback,
+};
 use crate::geometry::CacheGeometry;
 use crate::placement::PlacementKind;
 use crate::replacement::ReplacementKind;
@@ -68,6 +70,13 @@ pub enum AccessKind {
     Read,
     /// Data write (L1D, write-allocate).
     Write,
+    /// Line flush (`clflush`-style): invalidates the line from every
+    /// private level (dirty copies are forced to memory, counted as
+    /// writebacks) without filling anything. On a coherent shared-LLC
+    /// platform the flush additionally drains every coherence-tracked
+    /// copy — the other cores' private copies and the shared-level
+    /// copies — which is the attacker primitive of Flush+Reload.
+    Flush,
 }
 
 /// One memory operation of a pre-built trace, consumed by
@@ -98,6 +107,12 @@ impl TraceOp {
     #[inline]
     pub const fn write(addr: Addr) -> Self {
         TraceOp { kind: AccessKind::Write, addr }
+    }
+
+    /// A line flush (see [`AccessKind::Flush`]).
+    #[inline]
+    pub const fn flush(addr: Addr) -> Self {
+        TraceOp { kind: AccessKind::Flush, addr }
     }
 
     /// A deterministic mixed fetch/read/write trace derived from
@@ -166,6 +181,22 @@ pub struct UpperOutcome {
     /// The line to request from the shared level (every private level
     /// missed), or `None` on a private hit.
     pub fill: Option<LineAddr>,
+    /// Writebacks this op forced straight to memory, bypassing the
+    /// shared level: the dirty private copies a [`AccessKind::Flush`]
+    /// op drains (zero for ordinary accesses, whose escaped writebacks
+    /// travel through the exported request stream instead).
+    pub mem_writebacks: u8,
+}
+
+/// Aggregate of one [`Hierarchy::invalidate_line`] call: how many
+/// copies a coherence action dropped across the hierarchy's levels,
+/// and how many of them were dirty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyInvalidation {
+    /// Valid copies dropped.
+    pub copies: u32,
+    /// Dropped copies that were dirty (data forced out).
+    pub dirty: u32,
 }
 
 /// The request stream one core sends its shared last-level cache for a
@@ -226,6 +257,21 @@ impl LlcRequests {
 /// alternative, applied at the shared level) and cross-core eviction
 /// accounting fall out of the existing cache model.
 ///
+/// # Coherence
+///
+/// Declaring a *coherent range* ([`add_coherent_range`]
+/// [`has_coherence`]) arms the MSI-style invalidation protocol: the
+/// shared level keeps a directory mapping each tracked line to the
+/// bitmap of cores holding private copies, and the multicore engines
+/// drain those copies — on cross-core writes (upgrades), on
+/// [`AccessKind::Flush`] broadcasts, and on shared-level eviction of a
+/// tracked line (inclusive back-invalidation) — in deterministic
+/// global op order. Untracked lines stay per-core private, exactly the
+/// pre-coherence model, and pay none of the bookkeeping.
+///
+/// [`add_coherent_range`]: Self::add_coherent_range
+/// [`has_coherence`]: Self::has_coherence
+///
 /// The shared level sits *behind* the per-core private hierarchies
 /// ([`Hierarchy::access_upper_detailed`] /
 /// [`Hierarchy::access_batch_upper_timed`] produce its request
@@ -237,6 +283,10 @@ pub struct SharedLlc {
     cache: Cache,
     hit_cycles: u32,
     memory: u32,
+    /// Coherence directory: tracked line → bitmap of cores holding
+    /// private copies. Only lines inside a declared coherent range
+    /// ever enter; empty on platforms without coherence.
+    directory: std::collections::HashMap<u64, u32>,
 }
 
 /// Outcome of one fill request against a [`SharedLlc`].
@@ -253,7 +303,7 @@ impl SharedLlc {
     /// Wraps `cache` as a shared last level with the given additional
     /// hit cycles and memory penalty.
     pub fn new(cache: Cache, hit_cycles: u32, memory: u32) -> Self {
-        SharedLlc { cache, hit_cycles, memory }
+        SharedLlc { cache, hit_cycles, memory, directory: std::collections::HashMap::new() }
     }
 
     /// The underlying cache (statistics, contents, policy inspection).
@@ -305,9 +355,13 @@ impl SharedLlc {
         self.cache.set_write_policy(policy);
     }
 
-    /// Invalidates every line of the shared level.
+    /// Invalidates every line of the shared level and forgets the
+    /// coherence directory (a whole-LLC flush accompanies a platform-
+    /// wide flush, after which no private copies survive either — the
+    /// caller is responsible for flushing the private hierarchies).
     pub fn flush(&mut self) {
         self.cache.flush();
+        self.directory.clear();
     }
 
     /// Invalidates every line of `pid` in the shared level (the §5
@@ -324,6 +378,76 @@ impl SharedLlc {
         let first = start.line(bits);
         let last = start.offset(size.saturating_sub(1)).line(bits).offset(1);
         self.cache.add_protected_range(first, last);
+    }
+
+    /// Marks `size` bytes at `start` as coherence-tracked at the
+    /// shared level, arming the invalidation protocol for that range
+    /// (see the type-level *Coherence* section). Mirror the range into
+    /// each core's private hierarchy via
+    /// [`Hierarchy::add_coherent_range`] so private fills carry their
+    /// MSI state too.
+    pub fn add_coherent_range(&mut self, start: Addr, size: u64) {
+        let bits = self.cache.geometry().offset_bits();
+        let first = start.line(bits);
+        let last = start.offset(size.saturating_sub(1)).line(bits).offset(1);
+        self.cache.add_coherent_range(first, last);
+    }
+
+    /// Whether any coherent range is declared (the invalidation
+    /// protocol is armed).
+    pub fn has_coherence(&self) -> bool {
+        self.cache.has_coherent_ranges()
+    }
+
+    /// Whether `line` is coherence-tracked.
+    pub fn is_coherent_line(&self, line: LineAddr) -> bool {
+        self.cache.is_coherent_addr(line.as_u64())
+    }
+
+    /// Records core `core` as holding a private copy of tracked
+    /// `line`. The directory is *imprecise* in the usual way: a silent
+    /// private eviction leaves a stale sharer bit, which later costs a
+    /// no-op invalidation, never a correctness error.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `core` exceeds the 32-core bitmap.
+    pub fn note_sharer(&mut self, line: LineAddr, core: usize) {
+        debug_assert!(core < 32, "directory bitmap holds 32 cores");
+        *self.directory.entry(line.as_u64()).or_insert(0) |= 1u32 << core;
+    }
+
+    /// Bitmap of cores the directory lists as private-copy holders of
+    /// `line` (bit `c` = core `c`).
+    pub fn sharers(&self, line: LineAddr) -> u32 {
+        self.directory.get(&line.as_u64()).copied().unwrap_or(0)
+    }
+
+    /// Drops `line`'s directory entry (flush broadcast), returning the
+    /// sharer bitmap it held.
+    pub fn clear_sharers(&mut self, line: LineAddr) -> u32 {
+        self.directory.remove(&line.as_u64()).unwrap_or(0)
+    }
+
+    /// Restricts `line`'s directory entry to `core` alone (the upgrade
+    /// outcome: after a write, the writer is the only holder),
+    /// returning the bitmap of the *other* cores that held copies —
+    /// the ones the caller must now invalidate.
+    pub fn retain_sharer(&mut self, line: LineAddr, core: usize) -> u32 {
+        debug_assert!(core < 32, "directory bitmap holds 32 cores");
+        let entry = self.directory.entry(line.as_u64()).or_insert(0);
+        let others = *entry & !(1u32 << core);
+        *entry = 1u32 << core;
+        others
+    }
+
+    /// Invalidates the shared-level copy of `line` as placed under
+    /// `pid`'s view (each filler pid's seed indexes its own copy — on
+    /// per-process-seed platforms the same physical line may sit in
+    /// several sets, one per seed, and each is drained under its own
+    /// placement).
+    pub fn invalidate_copy(&mut self, pid: ProcessId, line: LineAddr) -> InvalidatedCopy {
+        self.cache.invalidate_line(pid, line)
     }
 
     /// One fill request on behalf of `pid`: fills on a miss, reporting
@@ -359,7 +483,21 @@ impl SharedLlc {
         fill: Option<LineAddr>,
         writebacks: &[Writeback],
     ) -> LlcResolution {
+        self.resolve_evict(pid, fill, writebacks).0
+    }
+
+    /// [`resolve`](Self::resolve), additionally reporting the line the
+    /// fill displaced from the shared level (if any) so the coherence
+    /// layer can back-invalidate a tracked victim's private copies
+    /// (inclusive-LLC semantics).
+    pub fn resolve_evict(
+        &mut self,
+        pid: ProcessId,
+        fill: Option<LineAddr>,
+        writebacks: &[Writeback],
+    ) -> (LlcResolution, Option<LineAddr>) {
         let mut r = LlcResolution { cycles: 0, miss: false, mem_writebacks: 0 };
+        let mut evicted_line = None;
         for wb in writebacks {
             if !self.receive_writeback(wb.owner, wb.line) {
                 r.mem_writebacks += 1;
@@ -367,14 +505,19 @@ impl SharedLlc {
         }
         if let Some(line) = fill {
             r.cycles += self.hit_cycles;
-            let f = self.access(pid, line);
-            if !f.hit {
-                r.miss = true;
-                r.cycles += self.memory;
-                r.mem_writebacks += f.mem_writeback as u8;
+            match self.cache.access(pid, line) {
+                AccessOutcome::Hit => {}
+                AccessOutcome::Miss { evicted, .. } => {
+                    r.miss = true;
+                    r.cycles += self.memory;
+                    if let Some(ev) = evicted {
+                        r.mem_writebacks += ev.dirty as u8;
+                        evicted_line = Some(ev.line);
+                    }
+                }
             }
         }
-        r
+        (r, evicted_line)
     }
 }
 
@@ -474,6 +617,9 @@ pub struct Hierarchy {
     scratch_next_idx: Vec<u32>,
     scratch_wb_cur: Vec<Writeback>,
     scratch_wb_next: Vec<Writeback>,
+    /// Flush events `(op_idx, line)` of the current batch, threaded
+    /// through every level of the event-conduit walk.
+    scratch_flushes: Vec<(u32, LineAddr)>,
 }
 
 impl Hierarchy {
@@ -561,6 +707,7 @@ impl Hierarchy {
             scratch_next_idx: Vec::new(),
             scratch_wb_cur: Vec::new(),
             scratch_wb_next: Vec::new(),
+            scratch_flushes: Vec::new(),
         };
         h.refresh_has_writeback();
         h
@@ -605,6 +752,12 @@ impl Hierarchy {
         1 + self.levels.len()
     }
 
+    /// Cycles of an L1 hit (safe on L1-only private hierarchies, where
+    /// [`latencies`](Self::latencies) has no unified level to report).
+    pub fn l1_hit_cycles(&self) -> u32 {
+        self.l1_hit
+    }
+
     /// Additional hit cycles of unified level `i` (0 = L2).
     pub fn level_hit_cycles(&self, i: usize) -> u32 {
         self.levels[i].hit_cycles
@@ -617,12 +770,13 @@ impl Hierarchy {
     pub fn access(&mut self, pid: ProcessId, kind: AccessKind, addr: Addr) -> u32 {
         // Write-through everywhere: no dirty lines can exist, so skip
         // the event/writeback bookkeeping of the detailed walk.
-        if self.has_writeback {
+        if self.has_writeback || kind == AccessKind::Flush {
             return self.access_detailed(pid, kind, addr).cycles;
         }
         let l1 = match kind {
             AccessKind::Fetch => &mut self.l1i,
             AccessKind::Read | AccessKind::Write => &mut self.l1d,
+            AccessKind::Flush => unreachable!("flush handled by the detailed walk"),
         };
         let line = l1.geometry().line_of(addr);
         let mut cost = self.l1_hit;
@@ -646,10 +800,22 @@ impl Hierarchy {
     /// fill proceeds to the next level), where it silently re-dirties a
     /// present copy or cascades further, ultimately to memory.
     pub fn access_detailed(&mut self, pid: ProcessId, kind: AccessKind, addr: Addr) -> OpTiming {
+        if kind == AccessKind::Flush {
+            let line = self.l1d.geometry().line_of(addr);
+            let inv = self.invalidate_line(pid, line);
+            // Flush costs its issue slot; drained dirty copies are
+            // forced to memory (bus writes in contended runs).
+            return OpTiming {
+                cycles: self.l1_hit,
+                miss_mask: 0,
+                mem_writebacks: inv.dirty.min(u8::MAX as u32) as u8,
+            };
+        }
         let write = kind == AccessKind::Write;
         let l1 = match kind {
             AccessKind::Fetch => &mut self.l1i,
             AccessKind::Read | AccessKind::Write => &mut self.l1d,
+            AccessKind::Flush => unreachable!(),
         };
         let line = l1.geometry().line_of(addr);
         let mut timing = OpTiming { cycles: self.l1_hit, miss_mask: 0, mem_writebacks: 0 };
@@ -712,13 +878,28 @@ impl Hierarchy {
         op_idx: u32,
         writebacks: &mut Vec<Writeback>,
     ) -> UpperOutcome {
+        if kind == AccessKind::Flush {
+            // Drain the private copies; dirty data bypasses the shared
+            // level (clflush writes to memory — the shared-level copy
+            // is drained separately, by the coherence layer).
+            let line = self.l1d.geometry().line_of(addr);
+            let inv = self.invalidate_line(pid, line);
+            return UpperOutcome {
+                cycles: self.l1_hit,
+                miss_mask: 0,
+                fill: None,
+                mem_writebacks: inv.dirty.min(u8::MAX as u32) as u8,
+            };
+        }
         let write = kind == AccessKind::Write;
         let l1 = match kind {
             AccessKind::Fetch => &mut self.l1i,
             AccessKind::Read | AccessKind::Write => &mut self.l1d,
+            AccessKind::Flush => unreachable!(),
         };
         let line = l1.geometry().line_of(addr);
-        let mut out = UpperOutcome { cycles: self.l1_hit, miss_mask: 0, fill: None };
+        let mut out =
+            UpperOutcome { cycles: self.l1_hit, miss_mask: 0, fill: None, mem_writebacks: 0 };
         let res = l1.access_rw(pid, line, write);
         if let AccessOutcome::Miss { evicted: Some(ev), .. } = res {
             if ev.dirty {
@@ -884,7 +1065,11 @@ impl Hierarchy {
         ops: &[TraceOp],
         sink: Option<&mut HierarchyBatchOutcome>,
     ) -> u64 {
-        if self.has_writeback {
+        // Flush ops invalidate at *every* level in op order, which the
+        // fast walk's deferred lower-level streams cannot express; the
+        // event-conduit walk threads them like writebacks. The scan is
+        // one predictable compare per op — noise next to the walk.
+        if self.has_writeback || ops.iter().any(|op| op.kind == AccessKind::Flush) {
             self.batch_walk_events(pid, ops, sink, None)
         } else {
             self.batch_walk_fast(pid, ops, sink)
@@ -974,8 +1159,9 @@ impl Hierarchy {
     /// shared-level export: when `llc` is given, the final conduit
     /// state (last-level misses and surviving writebacks) is exported
     /// as the shared-LLC request stream instead of being charged the
-    /// memory penalty, and `sink.mem_writebacks` stays 0 (nothing
-    /// reached memory *here* — the shared level decides).
+    /// memory penalty, and `sink.mem_writebacks` counts only the
+    /// flush-forced drains (ordinary writebacks travel through the
+    /// exported stream — the shared level decides their fate).
     fn batch_walk_events_export(
         &mut self,
         pid: ProcessId,
@@ -994,21 +1180,45 @@ impl Hierarchy {
         let mut next_idx = core::mem::take(&mut self.scratch_next_idx);
         let mut wb_cur = core::mem::take(&mut self.scratch_wb_cur);
         let mut wb_next = core::mem::take(&mut self.scratch_wb_next);
+        let mut flushes = core::mem::take(&mut self.scratch_flushes);
         cur.clear();
         cur_idx.clear();
         wb_cur.clear();
+        flushes.clear();
+        // Dirty copies drained by flush ops: forced to memory directly
+        // (they bypass the conduit and, in export mode, the shared
+        // level).
+        let mut flush_mem = 0u64;
 
         let mut cycles = ops.len() as u64 * self.l1_hit as u64;
 
         // Phase 1: the split L1s in maximal same-port runs, spilling
         // misses (with op indices) and dirty-eviction writebacks in op
-        // order.
+        // order. Flush ops are run boundaries: they invalidate both
+        // L1s in place and queue a flush event for the lower levels.
         let offset_bits = self.l1i.geometry().offset_bits();
         let mut i = 0usize;
         while i < ops.len() {
+            if ops[i].kind == AccessKind::Flush {
+                let line = ops[i].addr.line(offset_bits);
+                let dirty = (self.l1i.invalidate_line(pid, line).dirty as u32)
+                    + self.l1d.invalidate_line(pid, line).dirty as u32;
+                if dirty > 0 {
+                    flush_mem += dirty as u64;
+                    if let Some(events) = timing.as_deref_mut() {
+                        events[i].mem_writebacks += dirty as u8;
+                    }
+                }
+                flushes.push((i as u32, line));
+                i += 1;
+                continue;
+            }
             let fetch = ops[i].kind == AccessKind::Fetch;
             let mut j = i + 1;
-            while j < ops.len() && (ops[j].kind == AccessKind::Fetch) == fetch {
+            while j < ops.len()
+                && ops[j].kind != AccessKind::Flush
+                && (ops[j].kind == AccessKind::Fetch) == fetch
+            {
                 j += 1;
             }
             lines.clear();
@@ -1061,9 +1271,13 @@ impl Hierarchy {
             wb_next.clear();
             let mut agg = BatchOutcome::default();
             let mut w = 0usize;
+            let mut f = 0usize;
             let mut start = 0usize;
-            while start < cur.len() || w < wb_cur.len() {
-                if w < wb_cur.len() && (start >= cur.len() || wb_cur[w].op_idx <= cur_idx[start]) {
+            while start < cur.len() || w < wb_cur.len() || f < flushes.len() {
+                let wb_idx = wb_cur.get(w).map_or(u32::MAX, |wb| wb.op_idx);
+                let fl_idx = flushes.get(f).map_or(u32::MAX, |&(idx, _)| idx);
+                let fill_idx = cur_idx.get(start).copied().unwrap_or(u32::MAX);
+                if w < wb_cur.len() && wb_idx <= fill_idx && wb_idx < fl_idx {
                     let wb = wb_cur[w];
                     if !level.cache.receive_writeback(wb.owner, wb.line) {
                         wb_next.push(wb);
@@ -1071,8 +1285,26 @@ impl Hierarchy {
                     w += 1;
                     continue;
                 }
-                // Maximal fill run strictly before the next writeback.
-                let lim = wb_cur.get(w).map_or(u32::MAX, |wb| wb.op_idx);
+                if fl_idx < fill_idx {
+                    // The flush applies at this level at its op
+                    // position (a flush op never shares an op index
+                    // with a fill or a writeback, so no tie rule is
+                    // needed). A drained dirty copy is forced to
+                    // memory, bypassing the conduit.
+                    let (idx, line) = flushes[f];
+                    let inv = level.cache.invalidate_line(pid, line);
+                    if inv.dirty {
+                        flush_mem += 1;
+                        if let Some(events) = timing.as_deref_mut() {
+                            events[idx as usize].mem_writebacks += 1;
+                        }
+                    }
+                    f += 1;
+                    continue;
+                }
+                // Maximal fill run strictly before the next writeback
+                // or flush.
+                let lim = wb_idx.min(fl_idx);
                 let mut end = start;
                 while end < cur.len() && cur_idx[end] < lim {
                     end += 1;
@@ -1104,11 +1336,16 @@ impl Hierarchy {
         }
         if let Some(requests) = llc {
             // Shared-LLC mode: the conduit's final state *is* the
-            // shared level's input — nothing reaches memory here.
+            // shared level's input — nothing reaches memory here
+            // except the flush-forced drains, which bypass the shared
+            // level by definition.
             requests.clear();
             requests.fills.extend_from_slice(&cur);
             requests.fill_idx.extend_from_slice(&cur_idx);
             requests.writebacks.extend_from_slice(&wb_cur);
+            if let Some(out) = sink {
+                out.mem_writebacks = flush_mem;
+            }
         } else {
             cycles += cur.len() as u64 * self.memory as u64;
             if let Some(events) = timing {
@@ -1120,10 +1357,11 @@ impl Hierarchy {
                 }
             }
             if let Some(out) = sink {
-                out.mem_writebacks = wb_cur.len() as u64;
+                out.mem_writebacks = wb_cur.len() as u64 + flush_mem;
             }
         }
 
+        self.scratch_flushes = flushes;
         self.scratch_lines = lines;
         self.scratch_writes = writes;
         self.scratch_run_idx = run_idx;
@@ -1197,6 +1435,42 @@ impl Hierarchy {
         for level in &mut self.levels {
             level.cache.add_protected_range(first, last);
         }
+    }
+
+    /// Marks `size` bytes at `start` as coherence-tracked in every
+    /// level (both L1s and the unified levels): fills of the range
+    /// carry per-line MSI state, and the platform's invalidation
+    /// protocol may drain copies via
+    /// [`invalidate_line`](Self::invalidate_line).
+    pub fn add_coherent_range(&mut self, start: Addr, size: u64) {
+        let bits = self.l1d.geometry().offset_bits();
+        let first = start.line(bits);
+        let last = start.offset(size.saturating_sub(1)).line(bits).offset(1);
+        self.l1i.add_coherent_range(first, last);
+        self.l1d.add_coherent_range(first, last);
+        for level in &mut self.levels {
+            level.cache.add_coherent_range(first, last);
+        }
+    }
+
+    /// Invalidates `pid`'s copies of `line` in every level (both L1s
+    /// and the unified levels) — the receiving side of a coherence
+    /// action (remote upgrade, flush broadcast, or shared-level
+    /// back-invalidation). Returns how many copies were dropped and
+    /// how many of them were dirty (their data is forced out to
+    /// memory; the caller accounts the resulting bus writes).
+    pub fn invalidate_line(&mut self, pid: ProcessId, line: LineAddr) -> HierarchyInvalidation {
+        let mut out = HierarchyInvalidation::default();
+        let mut absorb = |c: crate::cache::InvalidatedCopy| {
+            out.copies += c.present as u32;
+            out.dirty += c.dirty as u32;
+        };
+        absorb(self.l1i.invalidate_line(pid, line));
+        absorb(self.l1d.invalidate_line(pid, line));
+        for level in &mut self.levels {
+            absorb(level.cache.invalidate_line(pid, line));
+        }
+        out
     }
 
     /// Flushes every cache.
@@ -1711,6 +1985,128 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    /// A mixed trace sprinkled with flush ops over a reused segment,
+    /// so flushes regularly hit resident (and, under write-back,
+    /// dirty) lines.
+    fn flushing_trace(salt: u64, len: usize) -> Vec<TraceOp> {
+        let mut ops = TraceOp::mixed_trace(salt, len, 1 << 14);
+        let mut state = salt | 1;
+        for i in (0..ops.len()).step_by(11) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ops[i] = TraceOp::flush(Addr::new((state >> 20) % (1 << 14)));
+        }
+        ops
+    }
+
+    #[test]
+    fn flush_ops_match_across_scalar_and_batch_walks() {
+        for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+            for build in [|| hierarchy(), || three_level()] {
+                let ops = flushing_trace(0xf1a5, 900);
+                let mut scalar = build();
+                let mut batched = build();
+                scalar.set_write_policy(policy);
+                batched.set_write_policy(policy);
+                let expected: Vec<OpTiming> =
+                    ops.iter().map(|op| scalar.access_detailed(pid(), op.kind, op.addr)).collect();
+                let mut events = Vec::new();
+                let out = batched.access_batch_timed(pid(), &ops, &mut events);
+                assert_eq!(events, expected, "{policy:?}: per-op timing diverges on flush ops");
+                assert_eq!(
+                    out.cycles,
+                    expected.iter().map(|e| e.cycles as u64).sum::<u64>(),
+                    "{policy:?}"
+                );
+                assert_eq!(batched.total_stats(), scalar.total_stats(), "{policy:?}");
+                let a: Vec<_> = scalar.l1d().contents().collect();
+                let b: Vec<_> = batched.l1d().contents().collect();
+                assert_eq!(a, b, "{policy:?}: L1D contents diverge");
+                assert!(
+                    scalar.l1d().stats().coh_invalidations() > 0,
+                    "{policy:?}: no flush ever found a resident line — the trace is vacuous"
+                );
+                if policy == WritePolicy::WriteBack {
+                    assert!(
+                        out.mem_writebacks
+                            >= expected.iter().map(|e| e.mem_writebacks as u64).sum::<u64>(),
+                        "flush-forced drains unaccounted"
+                    );
+                }
+                // The plain (untimed) batch walk routes through the
+                // event conduit when flushes are present and must
+                // agree too.
+                let mut plain = build();
+                plain.set_write_policy(policy);
+                let plain_out = plain.access_batch(pid(), &ops);
+                assert_eq!(plain_out.cycles, out.cycles, "{policy:?}: plain batch diverges");
+                assert_eq!(plain.total_stats(), batched.total_stats(), "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_ops_match_across_upper_walks() {
+        let ops = flushing_trace(0xfee1, 800);
+        for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+            for private_unified in [0usize, 1] {
+                let label = format!("{policy:?}/{private_unified} private unified");
+                let mut scalar = private_hierarchy(private_unified, policy);
+                let mut batched = private_hierarchy(private_unified, policy);
+                let mut scalar_llc = LlcRequests::default();
+                let mut scalar_events = Vec::new();
+                for (i, op) in ops.iter().enumerate() {
+                    let up = scalar.access_upper_detailed(
+                        pid(),
+                        op.kind,
+                        op.addr,
+                        i as u32,
+                        &mut scalar_llc.writebacks,
+                    );
+                    scalar_events.push(OpTiming {
+                        cycles: up.cycles,
+                        miss_mask: up.miss_mask,
+                        mem_writebacks: up.mem_writebacks,
+                    });
+                    if let Some(line) = up.fill {
+                        scalar_llc.fills.push(line);
+                        scalar_llc.fill_idx.push(i as u32);
+                    }
+                }
+                let mut events = Vec::new();
+                let mut llc = LlcRequests::default();
+                batched.access_batch_upper_timed(pid(), &ops, &mut events, &mut llc);
+                assert_eq!(events, scalar_events, "{label}: per-op events diverge");
+                assert_eq!(llc, scalar_llc, "{label}: LLC request streams diverge");
+                assert_eq!(batched.total_stats(), scalar.total_stats(), "{label}");
+                if policy == WritePolicy::WriteBack {
+                    assert!(
+                        scalar_events.iter().any(|e| e.mem_writebacks > 0),
+                        "{label}: no flush ever drained a dirty private copy"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_range_tags_line_state() {
+        use crate::cache::CohState;
+        let mut h = hierarchy();
+        h.set_write_policy(WritePolicy::WriteBack);
+        h.add_coherent_range(Addr::new(0x2000), 1024);
+        h.access(pid(), AccessKind::Read, Addr::new(0x2000));
+        let line = LineAddr::new(0x2000 >> 5);
+        assert_eq!(h.l1d.coherence_state(pid(), line), Some(CohState::Shared));
+        h.access(pid(), AccessKind::Write, Addr::new(0x2000));
+        assert_eq!(h.l1d.coherence_state(pid(), line), Some(CohState::Modified));
+        let inv = h.invalidate_line(pid(), line);
+        assert!(inv.copies >= 1 && inv.dirty >= 1);
+        assert_eq!(h.l1d.coherence_state(pid(), line), None, "state I = absent");
+        // Untracked lines carry no coherence state even when present.
+        h.access(pid(), AccessKind::Read, Addr::new(0x8000));
+        assert_eq!(h.l1d.coherence_state(pid(), LineAddr::new(0x8000 >> 5)), None);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub struct CacheStats {
     cross_process_evictions: u64,
     writebacks: u64,
     flushes: u64,
+    coh_invalidations: u64,
 }
 
 impl CacheStats {
@@ -66,6 +67,14 @@ impl CacheStats {
     #[inline]
     pub fn record_flush(&mut self) {
         self.flushes += 1;
+    }
+
+    /// Records one line copy invalidated by a coherence action (a
+    /// cross-core upgrade, a flush broadcast, or an inclusive-LLC
+    /// back-invalidation) in this cache.
+    #[inline]
+    pub fn record_coh_invalidation(&mut self) {
+        self.coh_invalidations += 1;
     }
 
     /// Records an aggregated batch of accesses in one update (the
@@ -128,6 +137,12 @@ impl CacheStats {
         self.flushes
     }
 
+    /// Line copies invalidated in this cache by coherence actions
+    /// (zero on platforms without coherence-tracked lines).
+    pub fn coh_invalidations(&self) -> u64 {
+        self.coh_invalidations
+    }
+
     /// Miss rate in `[0, 1]`; 0 when no accesses were recorded.
     pub fn miss_rate(&self) -> f64 {
         let total = self.accesses();
@@ -165,6 +180,7 @@ impl Add for CacheStats {
             cross_process_evictions: self.cross_process_evictions + rhs.cross_process_evictions,
             writebacks: self.writebacks + rhs.writebacks,
             flushes: self.flushes + rhs.flushes,
+            coh_invalidations: self.coh_invalidations + rhs.coh_invalidations,
         }
     }
 }

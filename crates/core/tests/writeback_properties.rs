@@ -122,4 +122,75 @@ proptest! {
         h.access_batch(pid, &reads);
         prop_assert_eq!(h.l1d().stats().writebacks(), before);
     }
+
+    /// A flush may not silently discard modified data: every dirty
+    /// line resident at flush time is *drained* — one counted
+    /// writeback per dirty line, at the level it leaves. This pins the
+    /// PR-5 fix (flush previously dropped dirty lines with no
+    /// accounting at all).
+    #[test]
+    fn flush_drains_and_counts_every_dirty_line(salt in any::<u64>()) {
+        for depth in HierarchyDepth::ALL {
+            let mut h = small_hierarchy(depth, WritePolicy::WriteBack);
+            let pid = ProcessId::new(1);
+            h.access_batch(pid, &trace(salt, 900));
+            let before: Vec<(u64, u64)> = std::iter::once(h.l1d())
+                .chain(h.unified_levels())
+                .map(|c| (c.dirty_lines() as u64, c.stats().writebacks()))
+                .collect();
+            h.flush_all();
+            let after: Vec<(u64, u64)> = std::iter::once(h.l1d())
+                .chain(h.unified_levels())
+                .map(|c| (c.dirty_lines() as u64, c.stats().writebacks()))
+                .collect();
+            for (i, (&(dirty, wbs), &(dirty_after, wbs_after))) in
+                before.iter().zip(&after).enumerate()
+            {
+                prop_assert_eq!(dirty_after, 0, "level {} kept dirty lines across a flush", i);
+                prop_assert_eq!(
+                    wbs_after,
+                    wbs + dirty,
+                    "level {}: {} dirty lines flushed but writebacks went {} -> {}",
+                    i, dirty, wbs, wbs_after
+                );
+            }
+        }
+    }
+
+    /// `flush_process` drains exactly the flushed pid's dirty lines,
+    /// leaving other processes' dirty state (and accounting) intact.
+    #[test]
+    fn flush_process_drains_only_the_named_pid(salt in any::<u64>()) {
+        use tscache_core::cache::Cache;
+        use tscache_core::geometry::CacheGeometry;
+        use tscache_core::placement::PlacementKind;
+        use tscache_core::replacement::ReplacementKind;
+        let mut c = Cache::new(
+            "fp",
+            CacheGeometry::new(16, 4, 32).unwrap(),
+            PlacementKind::Modulo,
+            ReplacementKind::Lru,
+            salt,
+        );
+        c.set_write_policy(WritePolicy::WriteBack);
+        let (p1, p2) = (ProcessId::new(1), ProcessId::new(2));
+        c.set_way_partition(p1, 0, 2);
+        c.set_way_partition(p2, 2, 4);
+        let mut state = salt | 1;
+        for _ in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let line = LineAddr::new((state >> 22) % 127);
+            c.access_rw(p1, line, state & 1 == 0);
+            c.access_rw(p2, LineAddr::new(512 + ((state >> 13) % 127)), state & 2 == 0);
+        }
+        let total_dirty = c.dirty_lines() as u64;
+        let wbs_before = c.stats().writebacks();
+        let drained = c.flush_process(p1);
+        prop_assert_eq!(c.stats().writebacks(), wbs_before + drained);
+        // Only p2's lines (and dirty state) survive.
+        for (_, _, _, owner) in c.contents() {
+            prop_assert_eq!(owner, p2);
+        }
+        prop_assert_eq!(c.dirty_lines() as u64, total_dirty - drained);
+    }
 }

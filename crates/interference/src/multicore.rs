@@ -62,7 +62,9 @@ use crate::bus::{Bus, BusReport};
 use crate::mshr::{MshrConfig, MshrFile, MshrOutcome};
 use tscache_core::addr::LineAddr;
 use tscache_core::cache::Writeback;
-use tscache_core::hierarchy::{Hierarchy, LlcRequests, OpTiming, SharedLlc, TraceOp};
+use tscache_core::hierarchy::{
+    AccessKind, Hierarchy, LlcRequests, OpTiming, SharedLlc, TraceOp, UpperOutcome,
+};
 use tscache_core::seed::ProcessId;
 
 pub use crate::bus::{Arbitration, BusConfig};
@@ -135,6 +137,14 @@ pub struct CoreReport {
     pub mem_reads: u64,
     /// Bus write transactions (writebacks that reached memory).
     pub mem_writebacks: u64,
+    /// Coherence transactions this core's ops issued on the bus
+    /// (upgrade invalidations, flush broadcasts, inclusive
+    /// back-invalidations).
+    pub coh_txns: u64,
+    /// Line copies coherence actions drained from this core's private
+    /// levels (the *receiving* side: remote upgrades, flush
+    /// broadcasts, shared-level back-invalidations).
+    pub coh_invalidations: u64,
 }
 
 /// Result of one engine run.
@@ -175,6 +185,14 @@ impl Merger {
     /// Executes op `seq` of `core` (touching `line`) with solo timing
     /// `t`: MSHR checks, then bus arbitration for its transactions.
     fn step(&mut self, core: usize, seq: u64, line: u64, t: OpTiming) {
+        self.step_coh(core, seq, line, t, 0);
+    }
+
+    /// [`step`](Self::step) with `coh_txns` additional coherence
+    /// transactions (upgrade invalidations, flush broadcasts,
+    /// back-invalidations) arbitrating on the bus after the op's read
+    /// and writeback transactions.
+    fn step_coh(&mut self, core: usize, seq: u64, line: u64, t: OpTiming, coh_txns: u8) {
         let depth = self.depths[core];
         let report = &mut self.reports[core];
         let mut stall = 0u64;
@@ -208,6 +226,12 @@ impl Merger {
             wait += g - at;
             at = g;
             report.mem_writebacks += 1;
+        }
+        for _ in 0..coh_txns {
+            let g = self.bus.grant(core, at);
+            wait += g - at;
+            at = g;
+            report.coh_txns += 1;
         }
         report.ops += 1;
         report.cycles += stall + t.cycles as u64 + wait;
@@ -280,22 +304,16 @@ pub fn execute_batch(cores: &mut [CoreRun<'_>], cfg: &SystemConfig) -> Interfere
     merger.finish()
 }
 
-/// Composes one op's final timing on a shared-LLC platform: the op's
-/// private-level writebacks are delivered to the shared cache first
-/// (in victim-drain order; unabsorbed ones become memory-bound bus
-/// writes), then the fill request is resolved — a hit costs only the
-/// shared level's hit cycles (no bus transaction), a miss adds the
-/// memory penalty, sets the shared level's miss bit (`shared_bit`) and
-/// may push a dirty shared-level victim to memory.
-fn resolve_llc_op(
-    llc: &mut SharedLlc,
-    pid: ProcessId,
+/// Composes one op's private-level timing with its shared-level
+/// resolution: a hit costs only the shared level's hit cycles (no bus
+/// transaction), a miss adds the memory penalty and sets the shared
+/// level's miss bit (`shared_bit`), and unabsorbed writebacks plus a
+/// dirty shared-level victim become memory-bound bus writes.
+fn compose_llc(
     mut t: OpTiming,
-    fill: Option<LineAddr>,
-    writebacks: &[Writeback],
+    r: tscache_core::hierarchy::LlcResolution,
     shared_bit: u8,
 ) -> OpTiming {
-    let r = llc.resolve(pid, fill, writebacks);
     t.cycles += r.cycles;
     if r.miss {
         t.miss_mask |= 1 << shared_bit;
@@ -304,86 +322,208 @@ fn resolve_llc_op(
     t
 }
 
-/// The reference engine for shared-LLC platforms: a scalar multi-core
-/// interleaving where the event-ordered core walks its op through its
-/// *private* levels ([`Hierarchy::access_upper_detailed`]) and then
-/// resolves the shared last level in place. Cores access the shared
-/// cache under their own pid, so per-core way partitions and
-/// cross-core eviction accounting apply directly.
-pub fn execute_scalar_shared(
+/// Lifts a private-levels-only [`UpperOutcome`] into an [`OpTiming`]
+/// awaiting its shared-level composition.
+fn upper_timing(up: &UpperOutcome) -> OpTiming {
+    OpTiming { cycles: up.cycles, miss_mask: up.miss_mask, mem_writebacks: up.mem_writebacks }
+}
+
+/// Whether a core's trace may be pre-executed through its private
+/// levels on a shared platform: it must contain no
+/// [`AccessKind::Flush`] ops (their shared-level and coherence side
+/// runs at merge time) and — once coherence is armed — touch no
+/// coherence-tracked line (other cores' invalidations may then reach
+/// into this core's private levels mid-trace, so its private outcomes
+/// are no longer a pure function of its own trace). A core that fails
+/// the test walks op by op at merge time instead; a core that passes
+/// can never hold a tracked line, so no invalidation ever reaches it —
+/// which is exactly what keeps its pre-execution sound.
+fn prebatchable(ops: &[TraceOp], llc: &SharedLlc, offset_bits: u32) -> bool {
+    let coherent = llc.has_coherence();
+    ops.iter().all(|op| {
+        op.kind != AccessKind::Flush
+            && !(coherent && llc.is_coherent_line(op.addr.line(offset_bits)))
+    })
+}
+
+/// Drains the private copies of `line` from every core whose bit is
+/// set in `targets` (a directory bitmap), crediting each drained
+/// core's report with the copies it lost. Returns the number of dirty
+/// copies drained — memory-bound bus writes charged to the issuing op.
+fn invalidate_cores(
+    cores: &mut [CoreRun<'_>],
+    pids: &[ProcessId],
+    reports: &mut [CoreReport],
+    targets: u32,
+    line: LineAddr,
+) -> u8 {
+    let mut dirty = 0u32;
+    let mut bits = targets;
+    while bits != 0 {
+        let j = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if j >= cores.len() {
+            continue;
+        }
+        let inv = cores[j].hierarchy.invalidate_line(pids[j], line);
+        reports[j].coh_invalidations += inv.copies as u64;
+        dirty += inv.dirty;
+    }
+    dirty.min(u8::MAX as u32) as u8
+}
+
+/// The unified shared-LLC engine behind [`execute_scalar_shared`] and
+/// [`execute_batch_shared`]: per-core private walks (pre-executed for
+/// cores [`prebatchable`] allows, per-op at merge time otherwise),
+/// shared-level resolution in exact global clock order, and — when the
+/// LLC has coherence armed — the MSI actions in a canonical per-op
+/// sequence: (1) private walk, (2) the op's writebacks then fill
+/// against the LLC, (3) inclusive back-invalidation when the fill
+/// evicted a tracked line, (4) sharer recording for a tracked fill,
+/// (5) upgrade invalidations for a write to a tracked line, (6) the
+/// flush broadcast. Both engines run this identical sequence, so they
+/// are structurally incapable of diverging on coherence order.
+fn run_shared_engine(
     cores: &mut [CoreRun<'_>],
     llc: &mut SharedLlc,
     cfg: &SystemConfig,
+    batch: bool,
 ) -> InterferenceOutcome {
+    /// Per-core execution mode.
+    enum CoreMode {
+        /// Pre-executed private walk + exported request stream.
+        Batched { events: Vec<OpTiming>, stream: LlcRequests, fill_pos: usize, wb_pos: usize },
+        /// Per-op private walk at merge time.
+        PerOp,
+    }
+
     let depths: Vec<usize> = cores.iter().map(|c| c.hierarchy.depth() + 1).collect();
     let offsets: Vec<u32> =
         cores.iter().map(|c| c.hierarchy.l1i().geometry().offset_bits()).collect();
+    let pids: Vec<ProcessId> = cores.iter().map(|c| c.pid).collect();
+    let mut modes: Vec<CoreMode> = Vec::with_capacity(cores.len());
+    for (c, core) in cores.iter_mut().enumerate() {
+        if batch && prebatchable(core.ops, llc, offsets[c]) {
+            let mut events = Vec::new();
+            let mut stream = LlcRequests::default();
+            core.hierarchy.access_batch_upper_timed(core.pid, core.ops, &mut events, &mut stream);
+            modes.push(CoreMode::Batched { events, stream, fill_pos: 0, wb_pos: 0 });
+        } else {
+            modes.push(CoreMode::PerOp);
+        }
+    }
+    let coherent = llc.has_coherence();
     let mut merger = Merger::new(cfg, depths.clone());
     let mut pos = vec![0usize; cores.len()];
-    let mut wbs = Vec::new();
+    let mut wb_scratch: Vec<Writeback> = Vec::new();
     while let Some(c) = merger.next_core(|c| pos[c] < cores[c].ops.len()) {
-        let op = cores[c].ops[pos[c]];
-        wbs.clear();
-        let up = cores[c].hierarchy.access_upper_detailed(
-            cores[c].pid,
-            op.kind,
-            op.addr,
-            pos[c] as u32,
-            &mut wbs,
-        );
-        let t = resolve_llc_op(
-            llc,
-            cores[c].pid,
-            OpTiming { cycles: up.cycles, miss_mask: up.miss_mask, mem_writebacks: 0 },
-            up.fill,
-            &wbs,
-            (depths[c] - 1) as u8,
-        );
-        merger.step(c, pos[c] as u64, op.addr.line(offsets[c]).as_u64(), t);
+        let i = pos[c];
+        let op = cores[c].ops[i];
+        let line = op.addr.line(offsets[c]);
+        let shared_bit = (depths[c] - 1) as u8;
+        // (1)+(2): private levels, then writebacks and fill against
+        // the shared cache.
+        let (mut t, fill, evicted) = match &mut modes[c] {
+            CoreMode::Batched { events, stream, fill_pos, wb_pos } => {
+                let (fill, wbs) = stream.take_for_op(i as u32, fill_pos, wb_pos);
+                let (r, ev) = llc.resolve_evict(pids[c], fill, wbs);
+                (compose_llc(events[i], r, shared_bit), fill, ev)
+            }
+            CoreMode::PerOp => {
+                wb_scratch.clear();
+                let up = cores[c].hierarchy.access_upper_detailed(
+                    pids[c],
+                    op.kind,
+                    op.addr,
+                    i as u32,
+                    &mut wb_scratch,
+                );
+                let (r, ev) = llc.resolve_evict(pids[c], up.fill, &wb_scratch);
+                (compose_llc(upper_timing(&up), r, shared_bit), up.fill, ev)
+            }
+        };
+        let mut coh_txns = 0u8;
+        if coherent {
+            // (3) Inclusive back-invalidation: the fill displaced a
+            // tracked line from the shared level, so no private copy
+            // may survive it.
+            if let Some(victim) = evicted.filter(|&v| llc.is_coherent_line(v)) {
+                let sharers = llc.clear_sharers(victim);
+                if sharers != 0 {
+                    coh_txns += 1;
+                    t.mem_writebacks +=
+                        invalidate_cores(cores, &pids, &mut merger.reports, sharers, victim);
+                }
+            }
+            // (4) A tracked fill records this core as a holder.
+            if fill.is_some_and(|l| llc.is_coherent_line(l)) {
+                llc.note_sharer(line, c);
+            }
+            // (5) Upgrade: a write to a tracked line drains every
+            // other holder's copies.
+            if op.kind == AccessKind::Write && llc.is_coherent_line(line) {
+                let others = llc.retain_sharer(line, c);
+                if others != 0 {
+                    coh_txns += 1;
+                    t.mem_writebacks +=
+                        invalidate_cores(cores, &pids, &mut merger.reports, others, line);
+                }
+            }
+            // (6) Flush broadcast: drain every tracked copy — the
+            // other cores' private copies (the issuer already drained
+            // its own in the private walk) and the shared-level copies
+            // under every core's placement view.
+            if op.kind == AccessKind::Flush && llc.is_coherent_line(line) {
+                coh_txns += 1;
+                let sharers = llc.clear_sharers(line) & !(1u32 << c);
+                t.mem_writebacks +=
+                    invalidate_cores(cores, &pids, &mut merger.reports, sharers, line);
+                for &pid in &pids {
+                    if llc.invalidate_copy(pid, line).dirty {
+                        t.mem_writebacks += 1;
+                    }
+                }
+            }
+        }
+        merger.step_coh(c, i as u64, line.as_u64(), t, coh_txns);
         pos[c] += 1;
     }
     merger.finish()
 }
 
-/// The production engine for shared-LLC platforms: every core's trace
-/// is pre-executed through its private levels
-/// ([`Hierarchy::access_batch_upper_timed`], valid because private
-/// outcomes are interleaving-independent), exporting the per-core
-/// shared-level request streams; the event merge then replays those
-/// requests against the one shared cache in the exact clock order the
-/// scalar engine produces. Bit-identical to [`execute_scalar_shared`]
-/// — engine outcomes, every private level, and the shared cache — as
-/// the differential suite pins.
+/// The reference engine for shared-LLC platforms: a scalar multi-core
+/// interleaving where the event-ordered core walks its op through its
+/// *private* levels ([`Hierarchy::access_upper_detailed`]) and then
+/// resolves the shared last level — and any coherence actions — in
+/// place. Cores access the shared cache under their own pid, so
+/// per-core way partitions and cross-core eviction accounting apply
+/// directly.
+pub fn execute_scalar_shared(
+    cores: &mut [CoreRun<'_>],
+    llc: &mut SharedLlc,
+    cfg: &SystemConfig,
+) -> InterferenceOutcome {
+    run_shared_engine(cores, llc, cfg, false)
+}
+
+/// The production engine for shared-LLC platforms: every core whose
+/// trace is coherence-free is pre-executed through its private levels
+/// ([`Hierarchy::access_batch_upper_timed`], valid because such a
+/// core's private outcomes are interleaving-independent — it can never
+/// hold a coherence-tracked line, so no invalidation reaches it),
+/// exporting the per-core shared-level request streams; cores that
+/// flush or touch tracked lines walk op by op at merge time. The event
+/// merge then replays everything against the one shared cache in the
+/// exact clock order the scalar engine produces. Bit-identical to
+/// [`execute_scalar_shared`] — engine outcomes (including coherence
+/// counters), every private level, and the shared cache — as the
+/// differential suite pins.
 pub fn execute_batch_shared(
     cores: &mut [CoreRun<'_>],
     llc: &mut SharedLlc,
     cfg: &SystemConfig,
 ) -> InterferenceOutcome {
-    let depths: Vec<usize> = cores.iter().map(|c| c.hierarchy.depth() + 1).collect();
-    let offsets: Vec<u32> =
-        cores.iter().map(|c| c.hierarchy.l1i().geometry().offset_bits()).collect();
-    let mut events: Vec<Vec<OpTiming>> = Vec::with_capacity(cores.len());
-    let mut streams: Vec<LlcRequests> = Vec::with_capacity(cores.len());
-    for core in cores.iter_mut() {
-        let mut ev = Vec::new();
-        let mut requests = LlcRequests::default();
-        core.hierarchy.access_batch_upper_timed(core.pid, core.ops, &mut ev, &mut requests);
-        events.push(ev);
-        streams.push(requests);
-    }
-    let mut merger = Merger::new(cfg, depths.clone());
-    let mut pos = vec![0usize; cores.len()];
-    let mut fi = vec![0usize; cores.len()];
-    let mut wi = vec![0usize; cores.len()];
-    while let Some(c) = merger.next_core(|c| pos[c] < cores[c].ops.len()) {
-        let i = pos[c];
-        let op = cores[c].ops[i];
-        let (fill, wbs) = streams[c].take_for_op(i as u32, &mut fi[c], &mut wi[c]);
-        let t = resolve_llc_op(llc, cores[c].pid, events[c][i], fill, wbs, (depths[c] - 1) as u8);
-        merger.step(c, i as u64, op.addr.line(offsets[c]).as_u64(), t);
-        pos[c] += 1;
-    }
-    merger.finish()
+    run_shared_engine(cores, llc, cfg, true)
 }
 
 /// Ops a co-runner pre-executes per hierarchy batch call.
@@ -417,6 +557,9 @@ pub struct CoRunner {
     /// Which walk pre-executed the buffered chunk; a co-runner must be
     /// driven in one mode for its whole lifetime.
     chunk_shared: bool,
+    /// Memoized [`prebatchable`] verdict for this co-runner's (fixed)
+    /// trace on the platform's LLC, computed on first shared-mode use.
+    prebatch: Option<bool>,
 }
 
 impl CoRunner {
@@ -443,6 +586,7 @@ impl CoRunner {
             fill_pos: 0,
             wb_pos: 0,
             chunk_shared: false,
+            prebatch: None,
         }
     }
 
@@ -459,6 +603,53 @@ impl CoRunner {
     /// The enemy process id.
     pub fn pid(&self) -> ProcessId {
         self.pid
+    }
+
+    /// Discards the pre-executed lookahead, rewinding the trace
+    /// cursor to the first position the merge has not yet consumed
+    /// (a per-op-mode co-runner has no lookahead and keeps its cursor),
+    /// and forgets the memoized pre-batchability verdict. Required
+    /// whenever the platform's coherence configuration changes after
+    /// this co-runner already ran: the buffered chunk was pre-executed
+    /// under the old classification.
+    pub fn reclassify(&mut self) {
+        if self.evt_pos < self.events.len() {
+            // Chunked mode with unconsumed lookahead: rewind to the
+            // first unmerged op. In per-op mode (or with the buffer
+            // fully drained) `pos` is already the next op.
+            self.pos = self.chunk_start + self.evt_pos;
+        }
+        self.chunk_start = self.pos;
+        self.events.clear();
+        self.evt_pos = 0;
+        self.llc_requests.clear();
+        self.fill_pos = 0;
+        self.wb_pos = 0;
+        self.prebatch = None;
+    }
+
+    /// Flushes the enemy core's caches and discards its pre-executed
+    /// lookahead: the next merged op re-executes from the cold cache
+    /// at the first position the merge has not yet consumed. A
+    /// hyperperiod flush lands between segments, where the buffered
+    /// lookahead is model speculation (pre-executed against the
+    /// pre-flush state), not architected history — so it is dropped
+    /// rather than replayed; the trace *position* survives. Dirty
+    /// lines drain to memory, counted by the caches they leave.
+    pub fn flush(&mut self) {
+        self.reclassify();
+        self.hierarchy.flush_all();
+    }
+
+    /// Drains this enemy core's private copies of `line` — the
+    /// receiving side of a coherence action issued elsewhere on the
+    /// platform (the machine's scalar flush primitive uses this; the
+    /// engines reach the hierarchy directly).
+    pub fn invalidate_line(
+        &mut self,
+        line: LineAddr,
+    ) -> tscache_core::hierarchy::HierarchyInvalidation {
+        self.hierarchy.invalidate_line(self.pid, line)
     }
 
     /// Pre-executes the next trace chunk through the batch path.
@@ -511,10 +702,39 @@ impl CoRunner {
         (seq, op.addr.line(self.offset_bits).as_u64(), t)
     }
 
-    /// The next op's `(seq, line, timing)` on a shared-LLC platform:
-    /// the op's buffered private timing composed with its shared-level
-    /// requests, resolved against `llc` *now* — i.e. in merge order.
-    fn next_event_llc(&mut self, llc: &mut SharedLlc) -> (u64, u64, OpTiming) {
+    /// Whether this co-runner's trace may be pre-executed in chunks on
+    /// `llc` (memoized — the trace and the LLC's coherent ranges are
+    /// fixed for the co-runner's lifetime).
+    fn prebatchable_on(&mut self, llc: &SharedLlc) -> bool {
+        *self.prebatch.get_or_insert_with(|| prebatchable(&self.ops, llc, self.offset_bits))
+    }
+
+    /// The next op's private-level outcome in *per-op* shared mode
+    /// (coherence-affected co-runners): the scalar upper walk, run at
+    /// merge time so invalidations from other cores are visible.
+    /// Returns the op's sequence number, the op itself, its private
+    /// outcome, and fills `wbs` with the escaped writebacks. The
+    /// caller resolves the shared level and the coherence actions.
+    fn next_op_per_op(&mut self, wbs: &mut Vec<Writeback>) -> (u64, TraceOp, UpperOutcome) {
+        assert!(self.evt_pos >= self.events.len(), "co-runner switched to per-op mode mid-chunk");
+        if self.pos >= self.ops.len() {
+            self.pos = 0;
+        }
+        let op = self.ops[self.pos];
+        wbs.clear();
+        let up = self.hierarchy.access_upper_detailed(self.pid, op.kind, op.addr, 0, wbs);
+        self.pos += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        (seq, op, up)
+    }
+
+    /// The next op's `(seq, line, timing, evicted shared-level line)`
+    /// on a shared-LLC platform: the op's buffered private timing
+    /// composed with its shared-level requests, resolved against `llc`
+    /// *now* — i.e. in merge order. The evicted line lets the caller
+    /// back-invalidate a coherence-tracked shared-level victim.
+    fn next_event_llc(&mut self, llc: &mut SharedLlc) -> (u64, u64, OpTiming, Option<LineAddr>) {
         if self.evt_pos >= self.events.len() {
             self.refill_shared();
         }
@@ -527,12 +747,12 @@ impl CoRunner {
         let op = self.ops[self.chunk_start + i];
         let (fill, wbs) =
             self.llc_requests.take_for_op(i as u32, &mut self.fill_pos, &mut self.wb_pos);
-        let t =
-            resolve_llc_op(llc, self.pid, self.events[i], fill, wbs, self.hierarchy.depth() as u8);
+        let (r, evicted) = llc.resolve_evict(self.pid, fill, wbs);
+        let t = compose_llc(self.events[i], r, self.hierarchy.depth() as u8);
         self.evt_pos += 1;
         let seq = self.seq;
         self.seq += 1;
-        (seq, op.addr.line(self.offset_bits).as_u64(), t)
+        (seq, op.addr.line(self.offset_bits).as_u64(), t, evicted)
     }
 }
 
@@ -593,14 +813,102 @@ pub fn run_contended_segment(
     }
 }
 
+/// [`invalidate_cores`] for the segment engine's core layout: core 0
+/// is the measured hierarchy, core `j` is co-runner `j-1`.
+fn invalidate_segment_cores(
+    hierarchy: &mut Hierarchy,
+    pid: ProcessId,
+    co: &mut [CoRunner],
+    reports: &mut [CoreReport],
+    targets: u32,
+    line: LineAddr,
+) -> u8 {
+    let mut dirty = 0u32;
+    let mut bits = targets;
+    while bits != 0 {
+        let j = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if j > co.len() {
+            continue;
+        }
+        let inv = if j == 0 {
+            hierarchy.invalidate_line(pid, line)
+        } else {
+            let runner = &mut co[j - 1];
+            runner.hierarchy.invalidate_line(runner.pid, line)
+        };
+        reports[j].coh_invalidations += inv.copies as u64;
+        dirty += inv.dirty;
+    }
+    dirty.min(u8::MAX as u32) as u8
+}
+
+/// The canonical post-resolution coherence sequence of one segment op
+/// (mirrors steps (3)–(6) of the engine documentation on
+/// [`run_shared_engine`]): inclusive back-invalidation of a tracked
+/// shared-level victim, sharer recording for a tracked fill, upgrade
+/// invalidations for a write, and the flush broadcast. Returns the
+/// coherence bus transactions the op issued; drained dirty copies are
+/// added to `t.mem_writebacks`.
+#[allow(clippy::too_many_arguments)]
+fn segment_coherence_post(
+    llc: &mut SharedLlc,
+    hierarchy: &mut Hierarchy,
+    pid: ProcessId,
+    co: &mut [CoRunner],
+    reports: &mut [CoreReport],
+    pids: &[ProcessId],
+    c: usize,
+    kind: AccessKind,
+    line: LineAddr,
+    fill: Option<LineAddr>,
+    evicted: Option<LineAddr>,
+    t: &mut OpTiming,
+) -> u8 {
+    let mut coh_txns = 0u8;
+    if let Some(victim) = evicted.filter(|&v| llc.is_coherent_line(v)) {
+        let sharers = llc.clear_sharers(victim);
+        if sharers != 0 {
+            coh_txns += 1;
+            t.mem_writebacks +=
+                invalidate_segment_cores(hierarchy, pid, co, reports, sharers, victim);
+        }
+    }
+    if fill.is_some_and(|l| llc.is_coherent_line(l)) {
+        llc.note_sharer(line, c);
+    }
+    if kind == AccessKind::Write && llc.is_coherent_line(line) {
+        let others = llc.retain_sharer(line, c);
+        if others != 0 {
+            coh_txns += 1;
+            t.mem_writebacks += invalidate_segment_cores(hierarchy, pid, co, reports, others, line);
+        }
+    }
+    if kind == AccessKind::Flush && llc.is_coherent_line(line) {
+        coh_txns += 1;
+        let sharers = llc.clear_sharers(line) & !(1u32 << c);
+        t.mem_writebacks += invalidate_segment_cores(hierarchy, pid, co, reports, sharers, line);
+        for &p in pids {
+            if llc.invalidate_copy(p, line).dirty {
+                t.mem_writebacks += 1;
+            }
+        }
+    }
+    coh_txns
+}
+
 /// [`run_contended_segment`] for a shared-LLC platform: the measured
 /// core (core 0) and the persistent co-runners resolve every
 /// shared-level fill and writeback against the one `llc` instance in
 /// merge order, so the enemies *do* perturb the measured core's
 /// shared-level hits — the contention channel per-core way partitions
-/// on `llc` are there to close. `events` and `requests` are per-call
-/// scratch for the primary's private pre-execution (cleared and
-/// refilled).
+/// on `llc` are there to close. When the LLC has coherence armed, the
+/// segment additionally runs the MSI actions in global op order:
+/// coherence-affected participants (traces with flush ops or accesses
+/// to tracked lines) walk their private levels per op at merge time,
+/// everyone else keeps the pre-executed batch path. `events` and
+/// `requests` are per-call scratch for the primary's private
+/// pre-execution (cleared and refilled).
 #[allow(clippy::too_many_arguments)]
 pub fn run_contended_segment_shared(
     hierarchy: &mut Hierarchy,
@@ -614,25 +922,120 @@ pub fn run_contended_segment_shared(
 ) -> SegmentOutcome {
     let mut depths = vec![hierarchy.depth() + 1];
     depths.extend(co.iter().map(|c| c.hierarchy.depth() + 1));
+    let co_bits: Vec<u8> = co.iter().map(|c| c.hierarchy.depth() as u8).collect();
+    let co_offsets: Vec<u32> = co.iter().map(|c| c.offset_bits).collect();
     let mut merger = Merger::new(cfg, depths);
-    hierarchy.access_batch_upper_timed(pid, ops, events, requests);
     let shared_bit = hierarchy.depth() as u8;
     let offset_bits = hierarchy.l1i().geometry().offset_bits();
+    let coherent = llc.has_coherence();
+    let primary_batched = prebatchable(ops, llc, offset_bits);
+    if primary_batched {
+        hierarchy.access_batch_upper_timed(pid, ops, events, requests);
+    } else {
+        events.clear();
+        requests.clear();
+    }
+    let pids: Vec<ProcessId> = core::iter::once(pid).chain(co.iter().map(|c| c.pid)).collect();
     let (mut pos, mut fill_pos, mut wb_pos) = (0usize, 0usize, 0usize);
+    let mut wb_scratch: Vec<Writeback> = Vec::new();
     while pos < ops.len() {
         // Primary = core 0 wins ties, so a quiet system degenerates to
         // the solo shared-platform walk.
         match merger.next_core(|_| true).expect("at least the primary runs") {
             0 => {
                 let op = ops[pos];
-                let (fill, wbs) = requests.take_for_op(pos as u32, &mut fill_pos, &mut wb_pos);
-                let t = resolve_llc_op(llc, pid, events[pos], fill, wbs, shared_bit);
-                merger.step(0, pos as u64, op.addr.line(offset_bits).as_u64(), t);
+                let line = op.addr.line(offset_bits);
+                let (mut t, fill, evicted) = if primary_batched {
+                    let (fill, wbs) = requests.take_for_op(pos as u32, &mut fill_pos, &mut wb_pos);
+                    let (r, ev) = llc.resolve_evict(pid, fill, wbs);
+                    (compose_llc(events[pos], r, shared_bit), fill, ev)
+                } else {
+                    wb_scratch.clear();
+                    let up = hierarchy.access_upper_detailed(
+                        pid,
+                        op.kind,
+                        op.addr,
+                        pos as u32,
+                        &mut wb_scratch,
+                    );
+                    let (r, ev) = llc.resolve_evict(pid, up.fill, &wb_scratch);
+                    (compose_llc(upper_timing(&up), r, shared_bit), up.fill, ev)
+                };
+                let coh = if coherent {
+                    segment_coherence_post(
+                        llc,
+                        hierarchy,
+                        pid,
+                        co,
+                        &mut merger.reports,
+                        &pids,
+                        0,
+                        op.kind,
+                        line,
+                        fill,
+                        evicted,
+                        &mut t,
+                    )
+                } else {
+                    0
+                };
+                merger.step_coh(0, pos as u64, line.as_u64(), t, coh);
                 pos += 1;
             }
             c => {
-                let (seq, line, t) = co[c - 1].next_event_llc(llc);
-                merger.step(c, seq, line, t);
+                if co[c - 1].prebatchable_on(llc) {
+                    let (seq, line, mut t, evicted) = co[c - 1].next_event_llc(llc);
+                    let coh = if coherent {
+                        // A batched co-runner can still displace a
+                        // tracked line from the shared level; its
+                        // coherence-free trace makes every other
+                        // action a no-op (its fills are never tracked
+                        // and it never writes or flushes tracked
+                        // lines), so the canonical sequence runs with
+                        // a synthetic read and no fill.
+                        segment_coherence_post(
+                            llc,
+                            hierarchy,
+                            pid,
+                            co,
+                            &mut merger.reports,
+                            &pids,
+                            c,
+                            AccessKind::Read,
+                            LineAddr::new(line),
+                            None,
+                            evicted,
+                            &mut t,
+                        )
+                    } else {
+                        0
+                    };
+                    merger.step_coh(c, seq, line, t, coh);
+                } else {
+                    let (seq, op, up) = co[c - 1].next_op_per_op(&mut wb_scratch);
+                    let line = op.addr.line(co_offsets[c - 1]);
+                    let (r, ev) = llc.resolve_evict(pids[c], up.fill, &wb_scratch);
+                    let mut t = compose_llc(upper_timing(&up), r, co_bits[c - 1]);
+                    let coh = if coherent {
+                        segment_coherence_post(
+                            llc,
+                            hierarchy,
+                            pid,
+                            co,
+                            &mut merger.reports,
+                            &pids,
+                            c,
+                            op.kind,
+                            line,
+                            up.fill,
+                            ev,
+                            &mut t,
+                        )
+                    } else {
+                        0
+                    };
+                    merger.step_coh(c, seq, line.as_u64(), t, coh);
+                }
             }
         }
     }
@@ -986,6 +1389,59 @@ mod tests {
             a.primary.cycles,
             a.primary.base_cycles + a.primary.bus_wait + a.primary.mshr_stall_cycles
         );
+    }
+
+    #[test]
+    fn co_runner_flush_keeps_per_op_position_and_rewinds_lookahead() {
+        let ops: Vec<TraceOp> = (0..10u64).map(|i| TraceOp::read(Addr::new(i * 4096))).collect();
+        // Per-op mode: the cursor IS the next op — a flush must not
+        // move it (chunk_start/evt_pos stay 0 in this mode, so the
+        // naive rewind would restart the trace from op 0).
+        let (mut hs, pids, _) = shared_platform(1, 3);
+        let mut co = CoRunner::new(hs.remove(0), pids[0], ops.clone());
+        let mut wbs = Vec::new();
+        for _ in 0..5 {
+            co.next_op_per_op(&mut wbs);
+        }
+        co.flush();
+        let (_, op, _) = co.next_op_per_op(&mut wbs);
+        assert_eq!(op, ops[5], "flush rewound a per-op co-runner's trace position");
+        // Chunked mode: unconsumed lookahead is discarded, resuming at
+        // the first unmerged op (which re-executes on the cold cache).
+        let (mut hs, pids, mut llc) = shared_platform(1, 4);
+        let mut co = CoRunner::new(hs.remove(0), pids[0], ops.clone());
+        for _ in 0..3 {
+            co.next_event_llc(&mut llc);
+        }
+        co.flush();
+        let offset_bits = co.offset_bits;
+        let (_, line, _, _) = co.next_event_llc(&mut llc);
+        assert_eq!(
+            line,
+            ops[3].addr.line(offset_bits).as_u64(),
+            "flush did not resume at the first unconsumed op"
+        );
+    }
+
+    #[test]
+    fn reclassify_reacts_to_late_coherent_ranges() {
+        use tscache_core::addr::Addr;
+        let ops: Vec<TraceOp> = (0..12u64).map(|i| TraceOp::read(Addr::new(i * 4096))).collect();
+        let (mut hs, pids, mut llc) = shared_platform(1, 5);
+        let mut co = CoRunner::new(hs.remove(0), pids[0], ops.clone());
+        assert!(co.prebatchable_on(&llc), "coherence-free trace must be batchable");
+        for _ in 0..4 {
+            co.next_event_llc(&mut llc);
+        }
+        // The platform declares a coherent range covering the trace
+        // *after* the co-runner already ran: the memoized verdict and
+        // the buffered lookahead are both stale.
+        llc.add_coherent_range(Addr::new(0), 12 * 4096);
+        co.reclassify();
+        assert!(!co.prebatchable_on(&llc), "stale pre-batchability verdict survived");
+        let mut wbs = Vec::new();
+        let (_, op, _) = co.next_op_per_op(&mut wbs);
+        assert_eq!(op, ops[4], "reclassify lost the first unconsumed op");
     }
 
     #[test]

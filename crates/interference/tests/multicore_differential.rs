@@ -355,6 +355,122 @@ fn shared_llc_paper_presets_match_across_engines() {
     }
 }
 
+/// A trace interleaving private traffic with reads, writes and
+/// flushes of a shared coherent segment at `shared_base`: the
+/// coherence-affected workload shape (upgrade invalidations, flush
+/// broadcasts, back-invalidations all fire).
+fn coherent_trace(salt: u64, len: usize, shared_base: u64) -> Vec<TraceOp> {
+    use tscache_core::addr::Addr;
+    let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let shared_line = Addr::new(shared_base + ((state >> 18) % 16) * 32);
+            match i % 13 {
+                0 | 5 | 9 => TraceOp::read(shared_line),
+                3 => TraceOp::write(shared_line),
+                7 => TraceOp::flush(shared_line),
+                _ => {
+                    let addr = Addr::new((state >> 16) % (1 << 14));
+                    if state & 2 == 0 {
+                        TraceOp::read(addr)
+                    } else {
+                        TraceOp::write(addr)
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn coherence_axis_batch_is_bit_identical_to_scalar_interleaving() {
+    // The coherence axis of the acceptance criterion: two cores share
+    // (and write, and flush) a coherent read-mostly segment while a
+    // third runs pure private traffic — so the batch engine really
+    // mixes pre-executed and per-op cores — across placement ×
+    // replacement × write policy × private depth. Everything must
+    // match bit for bit: engine outcomes *including the coherence
+    // counters*, every private level (stats carry per-cache
+    // invalidation counts), and the shared cache.
+    const SHARED_BASE: u64 = 1 << 20;
+    for depth in HierarchyDepth::ALL {
+        for placement in PlacementKind::ALL {
+            for replacement in ReplacementKind::ALL {
+                for policy in [WritePolicy::WriteThrough, WritePolicy::WriteBack] {
+                    let label = format!("coherent/{placement}/{replacement}/{depth}/{policy:?}");
+                    let cfg = SystemConfig {
+                        bus: BusConfig::default(),
+                        mshr: Some(MshrConfig { entries: 2, window_ops: 6, stall_cycles: 5 }),
+                    };
+                    let salt = (placement as usize * 64 + replacement as usize * 8 + depth as usize)
+                        as u64
+                        + 0xc0;
+                    let traces: Vec<Vec<TraceOp>> = vec![
+                        coherent_trace(salt ^ 0x1, 420, SHARED_BASE),
+                        coherent_trace(salt ^ 0x2, 380, SHARED_BASE),
+                        // Core 2 never touches the shared segment: it
+                        // stays pre-batchable in the batch engine.
+                        recorded_trace(salt ^ 0x3, 400),
+                    ];
+                    let run = |scalar: bool| {
+                        let mut cores_h: Vec<(Hierarchy, ProcessId)> = (0..3)
+                            .map(|c| small_private(placement, replacement, depth, policy, c as u64))
+                            .collect();
+                        let pids: Vec<ProcessId> = cores_h.iter().map(|&(_, pid)| pid).collect();
+                        let mut llc = small_shared_llc(placement, replacement, policy, &pids);
+                        llc.add_coherent_range(tscache_core::addr::Addr::new(SHARED_BASE), 512);
+                        for (h, _) in cores_h.iter_mut() {
+                            h.add_coherent_range(tscache_core::addr::Addr::new(SHARED_BASE), 512);
+                        }
+                        let out = {
+                            let mut cores: Vec<CoreRun<'_>> = cores_h
+                                .iter_mut()
+                                .zip(&traces)
+                                .map(|((h, pid), t)| CoreRun { hierarchy: h, pid: *pid, ops: t })
+                                .collect();
+                            if scalar {
+                                execute_scalar_shared(&mut cores, &mut llc, &cfg)
+                            } else {
+                                execute_batch_shared(&mut cores, &mut llc, &cfg)
+                            }
+                        };
+                        (out, cores_h.into_iter().map(|(h, _)| h).collect::<Vec<_>>(), llc)
+                    };
+                    let (scalar_out, scalar_h, scalar_llc) = run(true);
+                    let (batch_out, batch_h, batch_llc) = run(false);
+                    assert_eq!(scalar_out, batch_out, "{label}: engine outcomes diverge");
+                    for (i, (a, b)) in scalar_h.iter().zip(&batch_h).enumerate() {
+                        assert_hierarchies_identical(a, b, &format!("{label}/core{i}"));
+                    }
+                    assert_eq!(
+                        scalar_llc.cache().stats(),
+                        batch_llc.cache().stats(),
+                        "{label}: shared-LLC stats diverge"
+                    );
+                    assert_eq!(
+                        contents_of(scalar_llc.cache()),
+                        contents_of(batch_llc.cache()),
+                        "{label}: shared-LLC contents diverge"
+                    );
+                    // The axis must actually exercise coherence: the
+                    // sharing cores invalidate each other, the private
+                    // core is never touched.
+                    let invalidations: u64 =
+                        scalar_out.cores.iter().map(|c| c.coh_invalidations).sum();
+                    let txns: u64 = scalar_out.cores.iter().map(|c| c.coh_txns).sum();
+                    assert!(invalidations > 0, "{label}: no invalidation ever landed");
+                    assert!(txns > 0, "{label}: no coherence bus transaction issued");
+                    assert_eq!(
+                        scalar_out.cores[2].coh_invalidations, 0,
+                        "{label}: coherence traffic reached the private core"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn arbitration_policies_differ_and_order_sensibly() {
     // Same workload under the three policies: the contended core's

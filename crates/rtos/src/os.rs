@@ -61,6 +61,17 @@ pub struct OsConfig {
     /// share the application's address space — the same ECU image —
     /// so shared-data hits across cores are part of the model here.
     pub shared_llc: bool,
+    /// Keep the shared ECU image *coherent* (shared-LLC platforms
+    /// only): the whole application image is declared a coherent
+    /// region — cross-core writes invalidate remote copies, flushes
+    /// drain platform-wide, and the shared level enforces *inclusion*
+    /// over the image (evicting a tracked line back-invalidates every
+    /// private copy). The synthetic workloads are read-only over their
+    /// data, so the upgrade path stays silent, but inclusion itself is
+    /// not free: shared-level capacity evictions now reach into the
+    /// private levels, a real time-predictability cost the OS test
+    /// suite pins as deterministic.
+    pub coherent_image: bool,
 }
 
 impl Default for OsConfig {
@@ -71,6 +82,7 @@ impl Default for OsConfig {
             rng_seed: 0x05,
             interference: None,
             shared_llc: false,
+            coherent_image: false,
         }
     }
 }
@@ -94,6 +106,11 @@ pub struct CampaignReport {
     /// Cycles core 0 lost to shared-bus queuing and MSHR stalls
     /// (non-zero only when runnables are pinned to other cores).
     pub bus_wait_cycles: u64,
+    /// Line copies coherence actions drained from the measured core's
+    /// private levels over the campaign (zero unless the platform has
+    /// a coherent region *and* something actually writes or flushes
+    /// shared lines — read-only sharing stays in S state for free).
+    pub coh_invalidations: u64,
 }
 
 impl CampaignReport {
@@ -177,6 +194,15 @@ impl TscacheOs {
                 RunnableWorkload { ops, instrs: 8 * blocks + (r.wcet_budget() / 4) as u32 }
             })
             .collect();
+        if config.shared_llc && config.coherent_image {
+            // The whole ECU image is one coherent region; co-runners
+            // attached below inherit it through the machine.
+            let base = 0x20_0000u64;
+            machine.add_coherent_range(
+                tscache_core::addr::Addr::new(base),
+                layout.cursor().saturating_sub(base),
+            );
+        }
         // Pinned runnables become co-runner cores replaying their
         // workload trace against the shared bus.
         let pinned: Vec<usize> =
@@ -266,7 +292,10 @@ impl TscacheOs {
             overhead_cycles: 0,
             work_cycles: 0,
             bus_wait_cycles: 0,
+            coh_invalidations: 0,
         };
+        let coh_of = |m: &Machine| m.hierarchy().total_stats().coh_invalidations();
+        let coh_before = coh_of(&self.machine);
         let contention_before = self.machine.contention_cycles();
         let jobs: Vec<_> = self.schedule.jobs().to_vec();
         let mut current_swc: Option<SwcId> = None;
@@ -314,6 +343,7 @@ impl TscacheOs {
             }
         }
         report.bus_wait_cycles = self.machine.contention_cycles() - contention_before;
+        report.coh_invalidations = coh_of(&self.machine) - coh_before;
         report
     }
 }
@@ -384,6 +414,7 @@ mod tests {
             overhead_cycles: 0,
             work_cycles: 0,
             bus_wait_cycles: 0,
+            coh_invalidations: 0,
         };
         sim.reseed_all(&mut report);
         let h = sim.machine.hierarchy();
@@ -403,6 +434,7 @@ mod tests {
             overhead_cycles: 0,
             work_cycles: 0,
             bus_wait_cycles: 0,
+            coh_invalidations: 0,
         };
         sim.reseed_all(&mut report);
         let h = sim.machine.hierarchy();
@@ -506,6 +538,37 @@ mod tests {
         for (_, _, line, _) in llc.contents() {
             assert!(seen.insert(line.as_u64()), "line {line:?} resident twice in the shared LLC");
         }
+    }
+
+    #[test]
+    fn coherent_image_campaign_is_inclusive_and_deterministic() {
+        use crate::model::{Runnable, SwcId};
+        use core::time::Duration;
+        // Arming MSI coherence over the whole ECU image makes the
+        // shared level *inclusive* over it: its capacity evictions
+        // back-invalidate private copies — a genuine cost even for
+        // read-only sharing (the upgrade path stays silent, since the
+        // workloads never write shared lines). The campaign must see
+        // that cost, account it, and stay bit-reproducible.
+        let contended_app = || {
+            let mut app = Application::figure3_example();
+            app.add(Runnable::new("enemy", SwcId(9), Duration::from_millis(20), 60_000).on_core(1));
+            app
+        };
+        let run = |coherent_image: bool| {
+            let config = OsConfig { shared_llc: true, coherent_image, ..OsConfig::default() };
+            let mut sim = TscacheOs::new(contended_app(), SetupKind::TsCache, config);
+            let report = sim.run(4);
+            (report.times.clone(), report.bus_wait_cycles, report.coh_invalidations)
+        };
+        let (_, _, coh_off) = run(false);
+        assert_eq!(coh_off, 0, "invalidations with no coherent region declared");
+        let (times_on, wait_on, coh_on) = run(true);
+        assert!(
+            coh_on > 0,
+            "inclusion never back-invalidated a private copy — the region is inert"
+        );
+        assert_eq!(run(true), (times_on, wait_on, coh_on), "coherent campaign must reproduce");
     }
 
     #[test]

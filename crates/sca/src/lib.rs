@@ -16,6 +16,11 @@
 //! * [`cross_core`] — Prime+Probe mounted from an *enemy core*
 //!   through a shared last-level cache, and the §7 per-core
 //!   way-partitioning ablation that shuts it down.
+//! * [`flush_reload`] — Flush+Reload against a *shared, coherent*
+//!   table segment via the MSI invalidation model: the shared-line
+//!   channel way partitions alone cannot close (the partitioned
+//!   configuration must also un-share the tables), while per-process
+//!   randomized placement blinds the reload outright.
 //!
 //! ```no_run
 //! use tscache_core::setup::SetupKind;
@@ -30,12 +35,14 @@
 pub mod bernstein;
 pub mod cross_core;
 pub mod evict_time;
+pub mod flush_reload;
 pub mod prime_probe;
 pub mod profile;
 pub mod sampling;
 
 pub use bernstein::{analyze, run_attack, AttackResult, ByteAttackResult};
 pub use evict_time::{run_evict_time, EvictTimeOutcome};
+pub use flush_reload::{run_flush_reload, FlushReloadConfig, FlushReloadOutcome};
 pub use prime_probe::{run_prime_probe, PrimeProbeOutcome};
 pub use profile::TimingProfile;
 pub use sampling::{collect_pair, CryptoNode, Role, SamplingConfig, TimingSample};

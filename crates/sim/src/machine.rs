@@ -8,7 +8,7 @@
 //! variability flows through the cache hierarchy.
 
 use crate::pipeline::PipelineModel;
-use tscache_core::addr::Addr;
+use tscache_core::addr::{Addr, LineAddr};
 use tscache_core::cache::{WritePolicy, Writeback};
 use tscache_core::hierarchy::{AccessKind, Hierarchy, LlcRequests, OpTiming, SharedLlc};
 use tscache_core::prng::mix64;
@@ -73,6 +73,9 @@ pub struct Machine {
     /// on a shared-LLC multicore (the per-core `hierarchy` then holds
     /// only the private levels).
     shared_llc: Option<SharedLlc>,
+    /// Declared coherent regions `(start, size)`, kept so co-runner
+    /// cores attached later inherit them.
+    coherent_regions: Vec<(Addr, u64)>,
     /// Reused per-segment scratch of the shared-LLC batch path.
     llc_scratch: LlcRequests,
     /// Reused writeback scratch of the shared-LLC scalar ops.
@@ -94,6 +97,7 @@ impl Machine {
             contention_cycles: 0,
             timing_scratch: Vec::new(),
             shared_llc: None,
+            coherent_regions: Vec::new(),
             llc_scratch: LlcRequests::default(),
             wb_scratch: Vec::new(),
         }
@@ -204,13 +208,45 @@ impl Machine {
         self.instret = 0;
     }
 
-    /// Flushes all caches — the private hierarchy and, on a shared-LLC
-    /// platform, the shared level too (hyperperiod boundary in the
-    /// TSCache OS; the OS owns the whole node, shared level included).
+    /// Flushes all caches — the private hierarchy, every co-runner
+    /// enemy's private hierarchy, and, on a shared-LLC platform, the
+    /// shared level (hyperperiod boundary in the TSCache OS; the OS
+    /// owns the whole *node*, enemy cores and shared level included —
+    /// leaving enemy caches warm would carry state, and stale copies
+    /// of invalidated shared lines, across the flush boundary).
     pub fn flush_caches(&mut self) {
         self.hierarchy.flush_all();
+        for co in &mut self.co_runners {
+            co.flush();
+        }
         if let Some(llc) = self.shared_llc.as_mut() {
             llc.flush();
+        }
+    }
+
+    /// Declares `size` bytes at `start` as a *coherent region*: a
+    /// shared read-mostly segment (e.g. an AES T-table every core
+    /// maps) kept coherent by the platform's MSI-style invalidation
+    /// protocol. Wired into the private hierarchy, every attached
+    /// co-runner (current and future), and the shared level, which
+    /// arms its directory. Only meaningful on shared-LLC machines;
+    /// on a private-hierarchy machine the region only tags line state.
+    ///
+    /// Declare coherent regions *before* issuing traffic to them:
+    /// copies cached before the declaration are not directory-tracked
+    /// (they drain only on flush/eviction, like any untracked line).
+    /// Already-attached co-runners are re-classified — their buffered
+    /// lookahead is discarded so the next segment re-evaluates whether
+    /// their traces are still pre-batchable under the new ranges.
+    pub fn add_coherent_range(&mut self, start: Addr, size: u64) {
+        self.coherent_regions.push((start, size));
+        self.hierarchy.add_coherent_range(start, size);
+        for co in &mut self.co_runners {
+            co.hierarchy_mut().add_coherent_range(start, size);
+            co.reclassify();
+        }
+        if let Some(llc) = self.shared_llc.as_mut() {
+            llc.add_coherent_range(start, size);
         }
     }
 
@@ -236,8 +272,13 @@ impl Machine {
     }
 
     /// Attaches an enemy core. Its cache state and trace position
-    /// persist across segments (steady-state interference).
-    pub fn add_co_runner(&mut self, co: CoRunner) {
+    /// persist across segments (steady-state interference). The
+    /// machine's declared coherent regions are mirrored into the
+    /// enemy's hierarchy so its fills carry line state too.
+    pub fn add_co_runner(&mut self, mut co: CoRunner) {
+        for &(start, size) in &self.coherent_regions {
+            co.hierarchy_mut().add_coherent_range(start, size);
+        }
         self.co_runners.push(co);
     }
 
@@ -362,13 +403,119 @@ impl Machine {
     /// activity and never arbitrates for the bus.
     #[inline]
     fn hier_access(&mut self, kind: AccessKind, addr: Addr) -> u32 {
+        if kind == AccessKind::Flush {
+            return self.flush_op(addr);
+        }
         let Some(llc) = self.shared_llc.as_mut() else {
             return self.hierarchy.access(self.pid, kind, addr);
         };
         self.wb_scratch.clear();
         let up =
             self.hierarchy.access_upper_detailed(self.pid, kind, addr, 0, &mut self.wb_scratch);
-        up.cycles + llc.resolve(self.pid, up.fill, &self.wb_scratch).cycles
+        let (r, evicted) = llc.resolve_evict(self.pid, up.fill, &self.wb_scratch);
+        let cycles = up.cycles + r.cycles;
+        if up.fill.is_some_and(|l| llc.is_coherent_line(l)) {
+            // This machine is core 0 of its platform: a tracked fill
+            // records it in the directory, exactly as trace replay
+            // through the segment engine would.
+            llc.note_sharer(up.fill.expect("checked above"), 0);
+        }
+        if let Some(victim) = evicted {
+            // Inclusive back-invalidation, exactly as the engines
+            // apply it: a tracked line leaving the shared level takes
+            // every private copy with it.
+            self.scalar_back_invalidate(victim);
+        }
+        if kind == AccessKind::Write {
+            self.coherence_upgrade(addr);
+        }
+        cycles
+    }
+
+    /// The scalar form of the engines' inclusive back-invalidation:
+    /// `victim` was displaced from the shared level, so — when it is
+    /// coherence-tracked — every directory-listed private copy is
+    /// drained (core 0 = this machine's hierarchy under the current
+    /// process, core `j` = co-runner `j-1` under its own pid).
+    fn scalar_back_invalidate(&mut self, victim: LineAddr) {
+        let Some(llc) = self.shared_llc.as_mut() else { return };
+        if !llc.is_coherent_line(victim) {
+            return;
+        }
+        let mut bits = llc.clear_sharers(victim);
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if j == 0 {
+                self.hierarchy.invalidate_line(self.pid, victim);
+            } else if j - 1 < self.co_runners.len() {
+                self.co_runners[j - 1].invalidate_line(victim);
+            }
+        }
+    }
+
+    /// The scalar upgrade: a write to a coherence-tracked line drains
+    /// every other holder's private copies and leaves this machine
+    /// (core 0) as the sole directory entry. Mirrors the segment
+    /// engine's upgrade step, minus the bus transaction (scalar
+    /// convenience ops never arbitrate).
+    fn coherence_upgrade(&mut self, addr: Addr) {
+        let line = addr.line(self.hierarchy.l1i().geometry().offset_bits());
+        let Some(llc) = self.shared_llc.as_mut() else { return };
+        if !llc.is_coherent_line(line) {
+            return;
+        }
+        let others = llc.retain_sharer(line, 0);
+        let mut bits = others;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if j >= 1 && j - 1 < self.co_runners.len() {
+                self.co_runners[j - 1].invalidate_line(line);
+            }
+        }
+    }
+
+    /// The scalar line-flush op (`TraceOp::flush` issued outside trace
+    /// replay): drains the current process's copies from the private
+    /// hierarchy, and — when the line is coherence-tracked on the
+    /// shared level — every coherent copy platform-wide: the co-runner
+    /// cores' private copies (via the directory), the shared-level
+    /// copies under every core's placement view, and the directory
+    /// entry itself. Untracked lines never reach the shared level:
+    /// outside the coherence protocol a flush is core-local, exactly
+    /// like trace replay through the engines. Returns the flush's
+    /// issue cost (one L1 slot).
+    fn flush_op(&mut self, addr: Addr) -> u32 {
+        let line = addr.line(self.hierarchy.l1i().geometry().offset_bits());
+        self.hierarchy.invalidate_line(self.pid, line);
+        if let Some(llc) = self.shared_llc.as_mut() {
+            if llc.is_coherent_line(line) {
+                let mut bits = llc.clear_sharers(line) & !1u32;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if j - 1 < self.co_runners.len() {
+                        self.co_runners[j - 1].invalidate_line(line);
+                    }
+                }
+                llc.invalidate_copy(self.pid, line);
+                for co in &mut self.co_runners {
+                    llc.invalidate_copy(co.pid(), line);
+                }
+            }
+        }
+        self.hierarchy.l1_hit_cycles()
+    }
+
+    /// Issues a line flush (the Flush+Reload attacker primitive, the
+    /// scalar form of [`TraceOp::flush`]); returns its cycle cost. See
+    /// [`AccessKind::Flush`] for the semantics.
+    pub fn flush_line(&mut self, addr: Addr) -> u32 {
+        let cost = self.hier_access(AccessKind::Flush, addr);
+        self.cycles += cost as u64;
+        self.record(AccessKind::Flush, addr, cost);
+        cost
     }
 
     /// Issues a data load; returns its cycle cost.
@@ -663,8 +810,8 @@ mod tests {
                 AccessKind::Write => {
                     scalar.store(op.addr);
                 }
-                AccessKind::Fetch => {
-                    let cost = scalar.hierarchy.access(scalar.pid, AccessKind::Fetch, op.addr);
+                AccessKind::Fetch | AccessKind::Flush => {
+                    let cost = scalar.hierarchy.access(scalar.pid, op.kind, op.addr);
                     scalar.cycles += cost as u64;
                 }
             }
@@ -921,5 +1068,152 @@ mod tests {
         m.load(a);
         m.flush_caches();
         assert_eq!(m.load(a), 91);
+    }
+
+    #[test]
+    fn flush_caches_cools_co_runner_enemies_too() {
+        // The PR-5 hyperperiod-flush fix: the OS owns the whole node,
+        // so a flush may not leave enemy cores' private caches warm.
+        let ops: Vec<TraceOp> =
+            (0..600u64).map(|i| TraceOp::read(Addr::new((i * 4099) % (1 << 18)))).collect();
+        let mut m = Machine::from_setup(SetupKind::TsCache, 5);
+        m.attach_standard_enemies(
+            SetupKind::TsCache,
+            HierarchyDepth::TwoLevel,
+            &ContentionConfig::default(),
+            7,
+        );
+        m.run_trace(&ops);
+        let warm: usize = m
+            .co_runners()
+            .iter()
+            .map(|co| co.hierarchy().l1d().occupancy() + co.hierarchy().l2().occupancy())
+            .sum();
+        assert!(warm > 0, "enemies never warmed up — the pin is vacuous");
+        m.flush_caches();
+        for (k, co) in m.co_runners().iter().enumerate() {
+            let h = co.hierarchy();
+            let left: usize = h.l1i().occupancy()
+                + h.l1d().occupancy()
+                + h.unified_levels().map(|c| c.occupancy()).sum::<usize>();
+            assert_eq!(left, 0, "enemy {k} kept {left} warm lines across flush_caches");
+        }
+        // The enemy's trace *position* deliberately survives the flush
+        // (only its cache state cools), so replay within one machine
+        // phases differently; whole-lifecycle reproducibility is what
+        // must hold: two identical machines running the identical
+        // run→flush→run sequence agree cycle for cycle.
+        let lifecycle = || {
+            let mut m = Machine::from_setup(SetupKind::TsCache, 5);
+            m.attach_standard_enemies(
+                SetupKind::TsCache,
+                HierarchyDepth::TwoLevel,
+                &ContentionConfig::default(),
+                7,
+            );
+            let a = m.run_trace(&ops);
+            m.flush_caches();
+            let b = m.run_trace(&ops);
+            (a, b, m.contention_cycles())
+        };
+        assert_eq!(lifecycle(), lifecycle(), "contended flush lifecycle not reproducible");
+    }
+
+    #[test]
+    fn scalar_ops_back_invalidate_on_tracked_llc_eviction() {
+        // Inclusive back-invalidation must also fire on the scalar
+        // convenience path: displacing a tracked line from the shared
+        // level through plain loads takes the private copies with it.
+        let mut m = Machine::from_setup_shared(
+            SetupKind::Deterministic,
+            HierarchyDepth::TwoLevel,
+            SystemConfig::default(),
+            5,
+        );
+        let tracked = Addr::new(0x8000);
+        m.add_coherent_range(tracked, 32);
+        m.load(tracked); // private + shared fill, sharer recorded
+        assert_eq!(m.load(tracked), 1, "tracked line must be L1-resident");
+        // Evict it from the 2048-set 4-way shared L2 with conflicting
+        // (untracked) lines 64 KiB apart, re-touching the tracked line
+        // between conflicts so its *L1* copy stays MRU-protected: only
+        // the back-invalidation can remove it from the private level
+        // (L1 hits never refresh the shared level's LRU, so the LLC
+        // still picks the tracked line as its victim).
+        for k in 1..=4u64 {
+            m.load(Addr::new(0x8000 + k * 2048 * 32));
+            if k < 4 {
+                assert_eq!(m.load(tracked), 1, "L1 copy lost before the LLC eviction");
+            }
+        }
+        assert!(
+            m.hierarchy().total_stats().coh_invalidations() > 0,
+            "LLC eviction of the tracked line never reached the private levels"
+        );
+        // The private copy is gone: the reload misses end to end.
+        assert_eq!(m.load(tracked), 91, "private copy survived the back-invalidation");
+    }
+
+    #[test]
+    fn flush_line_drains_the_coherent_platform_and_matches_trace_replay() {
+        // A shared segment on a coherent shared-LLC machine: the
+        // scalar flush primitive and trace-replay flush ops must agree
+        // cycle for cycle and state for state. Flushes are spaced
+        // behind expensive misses so the solo bus never queues (the
+        // same condition the existing write-through equality pin uses).
+        let base = Addr::new(0x8000);
+        let mk = || {
+            let mut m = Machine::from_setup_shared(
+                SetupKind::Deterministic,
+                HierarchyDepth::TwoLevel,
+                SystemConfig::default(),
+                5,
+            );
+            m.add_coherent_range(base, 512);
+            m
+        };
+        let mut ops = Vec::new();
+        for i in 0..200u64 {
+            ops.push(TraceOp::read(Addr::new(0x8000 + (i % 16) * 32)));
+            ops.push(TraceOp::read(Addr::new(0x40_0000 + i * 4096)));
+            if i % 4 == 3 {
+                ops.push(TraceOp::flush(Addr::new(0x8000 + (i % 16) * 32)));
+                ops.push(TraceOp::read(Addr::new(0x50_0000 + i * 4096)));
+            }
+        }
+        let mut scalar = mk();
+        let mut batched = mk();
+        for op in &ops {
+            match op.kind {
+                AccessKind::Read => {
+                    scalar.load(op.addr);
+                }
+                AccessKind::Flush => {
+                    scalar.flush_line(op.addr);
+                }
+                _ => unreachable!(),
+            }
+        }
+        let cycles = batched.run_trace(&ops);
+        // Trace replay arbitrates the bus (a flush broadcast one cycle
+        // behind a miss queues for the tail of its service window);
+        // the scalar convenience ops never do. The queuing is exactly
+        // the contention_cycles book entry — net of it, the two paths
+        // must agree cycle for cycle, and state must match outright.
+        assert_eq!(
+            cycles,
+            scalar.cycles() + batched.contention_cycles(),
+            "flush trace replay diverged from scalar ops beyond bus occupancy"
+        );
+        assert_eq!(batched.hierarchy().total_stats(), scalar.hierarchy().total_stats());
+        assert_eq!(
+            batched.shared_llc().unwrap().cache().stats(),
+            scalar.shared_llc().unwrap().cache().stats()
+        );
+        // The flushes really drained private copies along the way.
+        assert!(
+            scalar.hierarchy().l1d().stats().coh_invalidations() > 0,
+            "no flush ever found a private copy"
+        );
     }
 }
