@@ -23,8 +23,8 @@
 use std::hint::black_box;
 use tscache_bench::harness::{bench, render_table, to_json, Measurement};
 use tscache_bench::suites::{
-    cache_dispatch_suite, coherence_suite, contended_machine_suite, hierarchy_batch_suite,
-    shared_llc_machine_suite,
+    cache_dispatch_suite, coherence_suite, contended_machine_suite, fleet_suite,
+    hierarchy_batch_suite, shared_llc_machine_suite,
 };
 use tscache_bench::Args;
 use tscache_core::parallel;
@@ -132,6 +132,11 @@ fn main() {
         512
     }));
 
+    // The fleet executor: raw shard throughput vs the fully
+    // checkpointed campaign on the same spec (what crash-safety costs;
+    // the bar is ≤10% overhead).
+    results.extend(fleet_suite(ms.max(500)));
+
     let rate = |name: &str| {
         results.iter().find(|m| m.name == name).map(|m| m.per_sec()).unwrap_or(f64::NAN)
     };
@@ -155,6 +160,7 @@ fn main() {
         rate("machine/tscache-l2-shared/contended") / rate("machine/tscache-l2-shared/solo");
     let coherent_vs_shared_solo =
         rate("machine/tscache-l2-shared-coherent/solo") / rate("machine/tscache-l2-shared/solo");
+    let fleet_checkpoint_ratio = rate("fleet/shards/checkpointed") / rate("fleet/shards/raw");
 
     let extra = [
         ("pr", pr as f64),
@@ -173,6 +179,7 @@ fn main() {
         ("throughput_ratio_shared_vs_private_llc_solo", shared_vs_private_solo),
         ("throughput_ratio_shared_llc_contended", shared_contended_ratio),
         ("throughput_ratio_coherent_vs_shared_solo", coherent_vs_shared_solo),
+        ("throughput_ratio_fleet_checkpointed_vs_raw", fleet_checkpoint_ratio),
     ];
 
     print!("{}", render_table(&results));
@@ -190,6 +197,8 @@ fn main() {
     println!("  solo vs private-LLC solo: {shared_vs_private_solo:.2}x");
     println!("  contended vs solo: {shared_contended_ratio:.2}x");
     println!("  coherent-trace vs coherence-free solo: {coherent_vs_shared_solo:.2}x");
+    println!("fleet executor (same run):");
+    println!("  checkpointed campaign vs raw shards: {fleet_checkpoint_ratio:.2}x");
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

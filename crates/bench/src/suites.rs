@@ -251,6 +251,95 @@ pub fn coherence_suite(setup: SetupKind, min_ms: u64) -> Vec<Measurement> {
     results
 }
 
+/// The fleet-runner spec the suite benchmarks: Prime+Probe over every
+/// setup, eight shards each (32 shards total) — small enough to run a
+/// whole campaign per bench iteration, big enough that per-campaign
+/// setup (directory, spec write, final artifacts) amortizes the way it
+/// does in real sweeps (the smoke sweep is 96 shards), so the measured
+/// overhead is the steady-state checkpoint cost, not launch fixed
+/// cost.
+pub fn fleet_bench_spec() -> tscache_fleet::SweepSpec {
+    use tscache_fleet::spec::{AttackKind, PlatformKind, SweepSpec};
+    SweepSpec {
+        campaign_seed: 0xbe9c4,
+        samples_per_shard: 96,
+        shards_per_scenario: 8,
+        setups: SetupKind::ALL.to_vec(),
+        depths: vec![HierarchyDepth::TwoLevel],
+        platforms: vec![PlatformKind::Private],
+        contention: vec![false],
+        attacks: vec![AttackKind::PrimeProbe],
+    }
+}
+
+/// The fleet-executor suite: shard throughput of the raw shard runner
+/// (no persistence, no executor) vs the full checkpointed campaign
+/// (spec expansion, worker dispatch, group-committed JSONL appends,
+/// fsync'd manifest renames, merged report) on the same spec — the
+/// per-PR record of what crash-safety costs. The acceptance bar is
+/// checkpointed ≥ 0.9× raw.
+///
+/// The two sides are *interleaved*, one campaign each per round in the
+/// same timed window — the checkpoint overhead (a couple of fsyncs per
+/// campaign) is the same order as run-to-run compute drift, so timing
+/// the sides back-to-back would let drift masquerade as overhead.
+/// Campaign directories accumulate under one parent removed after the
+/// timed region, so cleanup I/O doesn't bill to the checkpoint path.
+pub fn fleet_suite(min_ms: u64) -> Vec<Measurement> {
+    use std::time::Instant;
+    use tscache_fleet::executor::{launch, ExecutorConfig, RunOutcome};
+    use tscache_fleet::fault::FaultPlan;
+    use tscache_fleet::job::run_shard;
+
+    let spec = fleet_bench_spec();
+    let jobs = spec.jobs().expect("bench spec expands");
+    let shards = jobs.len() as u64;
+
+    let cfg = ExecutorConfig { workers: 1, keep_times: false, ..ExecutorConfig::default() };
+    let parent = std::env::temp_dir().join(format!("tscache-fleet-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&parent);
+    std::fs::create_dir_all(&parent).expect("create bench campaign parent");
+
+    // Warm up both paths (caches, lazy state, directory metadata).
+    for job in &jobs {
+        black_box(run_shard(job, false).expect("bench shard runs"));
+    }
+    launch(&spec, parent.join("warmup"), &cfg, &FaultPlan::none())
+        .expect("bench warmup campaign runs");
+
+    let mut raw =
+        Measurement { name: "fleet/shards/raw".into(), unit: "shards", units: 0, elapsed_ns: 0 };
+    let mut ckpt = Measurement {
+        name: "fleet/shards/checkpointed".into(),
+        unit: "shards",
+        units: 0,
+        elapsed_ns: 0,
+    };
+    let budget = (min_ms as u128) * 1_000_000;
+    let mut round = 0u64;
+    while raw.elapsed_ns < budget || ckpt.elapsed_ns < budget {
+        round += 1;
+
+        let start = Instant::now();
+        for job in &jobs {
+            black_box(run_shard(job, false).expect("bench shard runs"));
+        }
+        raw.elapsed_ns += start.elapsed().as_nanos();
+        raw.units += shards;
+
+        let dir = parent.join(format!("round-{round}"));
+        let start = Instant::now();
+        let outcome = launch(&spec, &dir, &cfg, &FaultPlan::none()).expect("bench campaign runs");
+        ckpt.elapsed_ns += start.elapsed().as_nanos();
+        ckpt.units += shards;
+        let RunOutcome::Finished(result) = outcome else { panic!("bench campaign killed") };
+        assert!(result.is_complete());
+    }
+    let _ = std::fs::remove_dir_all(&parent);
+
+    vec![raw, ckpt]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +398,14 @@ mod tests {
             names,
             ["machine/tscache-l2-shared/solo", "machine/tscache-l2-shared/contended"]
         );
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
+
+    #[test]
+    fn fleet_suite_reports_raw_and_checkpointed() {
+        let results = fleet_suite(1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["fleet/shards/raw", "fleet/shards/checkpointed"]);
         assert!(results.iter().all(|m| m.per_sec() > 0.0));
     }
 

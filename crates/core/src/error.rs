@@ -19,11 +19,19 @@ enum ConfigErrorKind {
 }
 
 impl ConfigError {
-    pub(crate) fn not_power_of_two(field: &'static str, value: u32) -> Self {
+    /// A field that must be a non-zero power of two is not.
+    pub fn not_power_of_two(field: &'static str, value: u32) -> Self {
         ConfigError { kind: ConfigErrorKind::NotPowerOfTwo { field, value } }
     }
 
-    pub(crate) fn incompatible(what: impl Into<String>) -> Self {
+    /// A combination of otherwise-valid settings that cannot work
+    /// together (or a value outside its domain). Public so the
+    /// downstream crates' configuration types (`SamplingConfig`,
+    /// `MeasurementProtocol`, sweep specs) validate into the same
+    /// error type — campaign executors rely on one "bad spec" type to
+    /// tell misconfiguration (never retried) apart from a worker crash
+    /// (retried with backoff).
+    pub fn incompatible(what: impl Into<String>) -> Self {
         ConfigError { kind: ConfigErrorKind::Incompatible { what: what.into() } }
     }
 }

@@ -1,0 +1,666 @@
+//! The sharded campaign executor: panic-isolated workers, streaming
+//! checkpoints, retry/quarantine policy, and the deterministic merge.
+//!
+//! ## Determinism contract
+//!
+//! Shard results are pure functions of `(spec, shard_index)` (see
+//! [`crate::job`]), and the merge sorts by shard index — so the merged
+//! report and campaign digest are **bit-identical** across worker
+//! counts, execution orders, kills, resumes, and retries. The executor
+//! only decides *when* shards run, never *what* they compute.
+//!
+//! ## Failure taxonomy
+//!
+//! * **Bad spec** ([`ConfigError`] from a shard): deterministic — the
+//!   same spec fails the same way forever, so the shard quarantines
+//!   immediately, no retry.
+//! * **Worker crash** (panic, caught per-shard with `catch_unwind`):
+//!   retried up to [`ExecutorConfig::max_retries`] with deterministic
+//!   backoff *accounting* (`1 << attempt` units, recorded rather than
+//!   slept — the simulation has no wall clock worth burning), then
+//!   quarantined. The campaign completes around quarantined shards
+//!   with explicit per-scenario coverage, and a resume re-attempts
+//!   them fresh (the fault may have been environmental).
+//! * **I/O error** persisting a record: the campaign halts with the
+//!   error; every already-durable record survives and `resume`
+//!   finishes the job.
+//! * **Kill / torn write** (injected or real): the run stops dead —
+//!   no final manifest, no report — and `resume` recovers from the
+//!   append log, dropping at most the one torn line.
+
+use crate::checkpoint::{campaign_digest, AppendOutcome, CampaignDir, Manifest};
+use crate::digest::{fnv64, Fnv64};
+use crate::fault::FaultPlan;
+use crate::job::run_shard;
+use crate::jsonl::ShardRecord;
+use crate::spec::{AttackKind, FleetError, ShardJob, SweepSpec};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+use tscache_core::error::ConfigError;
+use tscache_core::parallel::{payload_message, scrambled_indices, thread_count};
+use tscache_mbpta::stats::Summary;
+use tscache_mbpta::{analyze, merge_shard_times, pooled_summary, MbptaConfig};
+
+/// Minimum merged sample count before the executor attempts an EVT
+/// fit (below this `analyze` has nothing statistical to say).
+const MIN_PWCET_SAMPLES: usize = 64;
+
+/// Executor knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads; 0 = [`thread_count`] (honors
+    /// `RAYON_NUM_THREADS`).
+    pub workers: usize,
+    /// Crash retries per shard before quarantine (bad specs never
+    /// retry).
+    pub max_retries: u32,
+    /// Manifest checkpoint cadence, in records.
+    pub checkpoint_every: u64,
+    /// When set, the pending-job queue is deterministically shuffled
+    /// with this seed — the tests' tool for proving completion-order
+    /// invariance.
+    pub scramble_seed: Option<u64>,
+    /// Retain raw execution times in records (needed for merged pWCET
+    /// analysis; costs checkpoint bytes).
+    pub keep_times: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 0,
+            max_retries: 2,
+            checkpoint_every: 8,
+            scramble_seed: None,
+            keep_times: true,
+        }
+    }
+}
+
+/// Why a shard ended up quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The shard's configuration is invalid — deterministic, never
+    /// retried.
+    BadSpec(String),
+    /// The shard crashed on every attempt; the message is the final
+    /// panic payload.
+    Crashed {
+        /// Attempts consumed (initial try + retries).
+        attempts: u32,
+        /// Final panic message.
+        message: String,
+    },
+}
+
+/// One quarantined shard in the coverage report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Global shard index.
+    pub shard: usize,
+    /// Owning scenario key.
+    pub scenario: String,
+    /// Why it was given up on.
+    pub reason: QuarantineReason,
+}
+
+/// Per-scenario slice of the merged report, in spec expansion order.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario key.
+    pub key: String,
+    /// Shards expected for this scenario.
+    pub shards_expected: u32,
+    /// Shards that completed.
+    pub shards_completed: u32,
+    /// FNV-1a over the per-shard result digests in shard order.
+    pub digest: u64,
+    /// Pooled summary over completed shards (None when none
+    /// completed).
+    pub summary: Option<Summary>,
+    /// Merged pWCET at 1e-12, for fully-covered pWCET scenarios whose
+    /// records retained raw times.
+    pub pwcet: Option<f64>,
+}
+
+/// Retry/fault accounting — bookkeeping, deliberately excluded from
+/// every digest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Shard attempts that panicked and were retried.
+    pub retries: u64,
+    /// Deterministic backoff units accrued (`1 << (attempt-1)` per
+    /// retry).
+    pub backoff_units: u64,
+}
+
+/// The merged campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Per-scenario reports, in spec expansion order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Total shards the spec expands to.
+    pub shards_expected: usize,
+    /// Shards completed (over this run and any resumed-from runs).
+    pub shards_completed: usize,
+    /// Shards quarantined, with reasons.
+    pub quarantined: Vec<Quarantined>,
+    /// Retry accounting for this process (not carried across resumes).
+    pub accounting: Accounting,
+    /// FNV-1a digest over all completed shard records in shard order —
+    /// the bit-identity fingerprint.
+    pub campaign_digest: u64,
+}
+
+impl CampaignResult {
+    /// Whether every expected shard completed.
+    pub fn is_complete(&self) -> bool {
+        self.shards_completed == self.shards_expected
+    }
+}
+
+/// How a campaign run ended.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// All pending work finished (possibly with quarantined shards);
+    /// the merged report and campaign digest are on disk.
+    Finished(CampaignResult),
+    /// An injected kill or torn write stopped the run mid-flight.
+    /// `results.jsonl` holds everything durable; resume to continue.
+    Killed {
+        /// Records durable on disk when the run stopped.
+        records_durable: u64,
+    },
+}
+
+/// Starts a fresh campaign in `dir`. Fails if the directory already
+/// holds one (use [`resume`]).
+pub fn launch(
+    spec: &SweepSpec,
+    dir: impl AsRef<Path>,
+    cfg: &ExecutorConfig,
+    faults: &FaultPlan,
+) -> Result<RunOutcome, FleetError> {
+    spec.validate()?;
+    let cd = CampaignDir::create(dir.as_ref())?;
+    if cd.spec_path().exists() {
+        return Err(FleetError::Corrupt(format!(
+            "{} already holds a campaign — resume it or pick a fresh directory",
+            dir.as_ref().display()
+        )));
+    }
+    cd.write_spec(&spec.canonical())?;
+    drive(spec, cd, cfg, faults, Vec::new())
+}
+
+/// Resumes a campaign directory: verifies the spec matches, loads
+/// every durable record (dropping a torn tail), and runs only the
+/// shards not yet completed — including previously quarantined ones,
+/// which get a fresh set of attempts.
+pub fn resume(
+    spec: &SweepSpec,
+    dir: impl AsRef<Path>,
+    cfg: &ExecutorConfig,
+    faults: &FaultPlan,
+) -> Result<RunOutcome, FleetError> {
+    spec.validate()?;
+    let cd = CampaignDir::create(dir.as_ref())?;
+    let loaded = cd.load()?;
+    let found = fnv64(loaded.spec_text.as_bytes());
+    let expected = spec.digest();
+    if found != expected {
+        return Err(FleetError::SpecMismatch { expected, found });
+    }
+    if let Some(manifest) = &loaded.manifest {
+        if manifest.spec_digest != expected {
+            return Err(FleetError::SpecMismatch { expected, found: manifest.spec_digest });
+        }
+    }
+    drive(spec, cd, cfg, faults, loaded.records)
+}
+
+/// What a worker hands back per attempt.
+enum AttemptResult {
+    Done(ShardRecord),
+    Crashed { message: String },
+    BadSpec(ConfigError),
+}
+
+/// The shared work queue plus liveness flags.
+struct Dispatch {
+    queue: Mutex<std::collections::VecDeque<(ShardJob, u32)>>,
+    /// Set when the run must stop (kill fault, fatal error, or all
+    /// work finalized).
+    stop: AtomicBool,
+}
+
+/// What [`Progress::absorb`] decided about one attempt outcome.
+enum Step {
+    /// Keep going.
+    Continue,
+    /// Requeue the shard for another attempt.
+    Retry(ShardJob, u32),
+    /// Stop the run now with this outcome.
+    Halt(Result<RunOutcome, FleetError>),
+}
+
+/// The main thread's single-owner campaign state: persistence handle,
+/// accumulated records, quarantine list, and checkpoint bookkeeping.
+/// Both execution paths (serial and threaded) funnel every attempt
+/// outcome through [`Progress::absorb`], so the retry/quarantine/
+/// checkpoint policy cannot diverge between them.
+struct Progress<'a> {
+    cd: CampaignDir,
+    spec: &'a SweepSpec,
+    total_shards: usize,
+    cfg: &'a ExecutorConfig,
+    faults: &'a FaultPlan,
+    records: Vec<ShardRecord>,
+    quarantined: Vec<Quarantined>,
+    accounting: Accounting,
+    durable_appends: u64,
+    /// Records already on disk before this run (count toward the kill
+    /// threshold so "kill after N records" means N records total).
+    prior_durable: u64,
+    finalized: usize,
+    /// `(records, quarantined)` counts at the last manifest write this
+    /// run — lets the finish path skip a manifest that would be
+    /// byte-identical to the one already on disk.
+    last_manifest: Option<(usize, usize)>,
+}
+
+impl Progress<'_> {
+    fn checkpoint(&mut self) -> Result<(), FleetError> {
+        let manifest =
+            build_manifest(self.spec, self.total_shards, &self.records, &self.quarantined);
+        self.cd.write_manifest(&manifest, self.faults)?;
+        self.last_manifest = Some((self.records.len(), self.quarantined.len()));
+        Ok(())
+    }
+
+    fn absorb(&mut self, job: ShardJob, attempt: u32, result: AttemptResult) -> Step {
+        match result {
+            AttemptResult::Done(record) => {
+                match self.cd.append_record(&record, self.faults) {
+                    Ok(AppendOutcome::Durable) => {}
+                    Ok(AppendOutcome::TornWrite) => {
+                        // Half a line is on disk; halt as if killed.
+                        return Step::Halt(Ok(RunOutcome::Killed {
+                            records_durable: self.prior_durable + self.durable_appends,
+                        }));
+                    }
+                    Err(e) => return Step::Halt(Err(e)),
+                }
+                self.durable_appends += 1;
+                self.records.push(record);
+                self.finalized += 1;
+                if self.faults.should_kill(self.prior_durable + self.durable_appends) {
+                    // Make the appends durable so `records_durable` is
+                    // honest even against an OS crash.
+                    return Step::Halt(self.cd.sync_results().map(|()| RunOutcome::Killed {
+                        records_durable: self.prior_durable + self.durable_appends,
+                    }));
+                }
+                if self.durable_appends.is_multiple_of(self.cfg.checkpoint_every.max(1)) {
+                    if let Err(e) = self.checkpoint() {
+                        return Step::Halt(Err(e));
+                    }
+                }
+                Step::Continue
+            }
+            AttemptResult::BadSpec(config_err) => {
+                // Deterministic misconfiguration: retrying cannot
+                // help, quarantine immediately.
+                self.quarantined.push(Quarantined {
+                    shard: job.shard,
+                    scenario: job.scenario.key.clone(),
+                    reason: QuarantineReason::BadSpec(config_err.to_string()),
+                });
+                self.finalized += 1;
+                Step::Continue
+            }
+            AttemptResult::Crashed { message } => {
+                if attempt <= self.cfg.max_retries {
+                    self.accounting.retries += 1;
+                    self.accounting.backoff_units += 1u64 << (attempt - 1);
+                    Step::Retry(job, attempt + 1)
+                } else {
+                    self.quarantined.push(Quarantined {
+                        shard: job.shard,
+                        scenario: job.scenario.key.clone(),
+                        reason: QuarantineReason::Crashed { attempts: attempt, message },
+                    });
+                    self.finalized += 1;
+                    Step::Continue
+                }
+            }
+        }
+    }
+}
+
+/// Runs one shard attempt with fault injection and panic isolation.
+fn run_attempt(
+    job: &ShardJob,
+    attempt: u32,
+    faults: &FaultPlan,
+    keep_times: bool,
+) -> AttemptResult {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if faults.should_panic(job.shard, attempt) {
+            panic!("injected fault: shard {} attempt {attempt}", job.shard);
+        }
+        if faults.should_bad_spec(job.shard) {
+            return Err(ConfigError::incompatible(format!(
+                "injected bad spec on shard {}",
+                job.shard
+            )));
+        }
+        run_shard(job, keep_times)
+    }));
+    match outcome {
+        Ok(Ok(output)) => AttemptResult::Done(ShardRecord {
+            shard: job.shard,
+            scenario: job.scenario.key.clone(),
+            seed: job.seed,
+            attempt,
+            digest: output.digest,
+            n: output.n,
+            mean: output.mean,
+            variance: output.variance,
+            min: output.min,
+            max: output.max,
+            times: output.times,
+        }),
+        Ok(Err(config_err)) => AttemptResult::BadSpec(config_err),
+        Err(payload) => AttemptResult::Crashed { message: payload_message(payload.as_ref()) },
+    }
+}
+
+/// The single-worker path: run shards inline on this thread, no
+/// thread scope, channel, or idle polling — a lone worker gains
+/// nothing from them, and campaigns of small shards would pay the
+/// fixed cost on every launch.
+fn drive_serial(pending: Vec<ShardJob>, progress: &mut Progress<'_>) -> Option<Step> {
+    let mut queue: std::collections::VecDeque<(ShardJob, u32)> =
+        pending.into_iter().map(|j| (j, 1)).collect();
+    while let Some((job, attempt)) = queue.pop_front() {
+        let result = run_attempt(&job, attempt, progress.faults, progress.cfg.keep_times);
+        match progress.absorb(job, attempt, result) {
+            Step::Continue => {}
+            Step::Retry(job, next_attempt) => queue.push_back((job, next_attempt)),
+            halt @ Step::Halt(_) => return Some(halt),
+        }
+    }
+    None
+}
+
+/// The threaded path: panic-isolated workers pull from a shared queue
+/// and stream outcomes to this thread, which owns all persistence.
+fn drive_parallel(
+    pending: Vec<ShardJob>,
+    workers: usize,
+    progress: &mut Progress<'_>,
+) -> Option<Step> {
+    let to_finalize = pending.len();
+    let dispatch = Dispatch {
+        queue: Mutex::new(pending.into_iter().map(|j| (j, 1)).collect()),
+        stop: AtomicBool::new(false),
+    };
+    let (tx, rx) = mpsc::channel::<(ShardJob, u32, AttemptResult)>();
+    let faults = progress.faults;
+    let keep_times = progress.cfg.keep_times;
+
+    let mut halt: Option<Step> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let dispatch = &dispatch;
+            scope.spawn(move || {
+                loop {
+                    if dispatch.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let next = dispatch.queue.lock().unwrap().pop_front();
+                    let Some((job, attempt)) = next else {
+                        // Queue may refill with retries; idle briefly.
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    };
+                    let result = run_attempt(&job, attempt, faults, keep_times);
+                    if tx.send((job, attempt, result)).is_err() {
+                        return; // main thread is gone
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        while progress.finalized < to_finalize {
+            let Ok((job, attempt, result)) = rx.recv() else {
+                break; // all workers exited (stop flag)
+            };
+            match progress.absorb(job, attempt, result) {
+                Step::Continue => {}
+                Step::Retry(job, next_attempt) => {
+                    dispatch.queue.lock().unwrap().push_back((job, next_attempt));
+                }
+                step @ Step::Halt(_) => {
+                    dispatch.stop.store(true, Ordering::Release);
+                    halt = Some(step);
+                    break;
+                }
+            }
+        }
+        dispatch.stop.store(true, Ordering::Release);
+    });
+    halt
+}
+
+fn drive(
+    spec: &SweepSpec,
+    cd: CampaignDir,
+    cfg: &ExecutorConfig,
+    faults: &FaultPlan,
+    prior_records: Vec<ShardRecord>,
+) -> Result<RunOutcome, FleetError> {
+    let jobs = spec.jobs()?;
+    let done_shards: HashSet<usize> = prior_records.iter().map(|r| r.shard).collect();
+    let mut pending: Vec<ShardJob> =
+        jobs.iter().filter(|j| !done_shards.contains(&j.shard)).cloned().collect();
+    if let Some(seed) = cfg.scramble_seed {
+        let order = scrambled_indices(pending.len(), seed);
+        pending = order.into_iter().map(|i| pending[i].clone()).collect();
+    }
+
+    let workers = if cfg.workers == 0 { thread_count() } else { cfg.workers };
+    let prior_durable = prior_records.len() as u64;
+    let mut progress = Progress {
+        cd,
+        spec,
+        total_shards: jobs.len(),
+        cfg,
+        faults,
+        records: prior_records,
+        quarantined: Vec::new(),
+        accounting: Accounting::default(),
+        durable_appends: 0,
+        prior_durable,
+        finalized: 0,
+        last_manifest: None,
+    };
+
+    let halt = if workers <= 1 {
+        drive_serial(pending, &mut progress)
+    } else {
+        drive_parallel(pending, workers, &mut progress)
+    };
+    if let Some(Step::Halt(outcome)) = halt {
+        return outcome;
+    }
+
+    // All pending work finalized: checkpoint (unless the last one
+    // already covers every record), merge, report.
+    if progress.last_manifest != Some((progress.records.len(), progress.quarantined.len())) {
+        progress.checkpoint()?;
+    }
+    let Progress { cd, records, quarantined, accounting, .. } = progress;
+    let result = merge(spec, &jobs, records, quarantined, accounting)?;
+    cd.write_report(&render_report(&result), result.campaign_digest)?;
+    Ok(RunOutcome::Finished(result))
+}
+
+fn build_manifest(
+    spec: &SweepSpec,
+    total_shards: usize,
+    records: &[ShardRecord],
+    quarantined: &[Quarantined],
+) -> Manifest {
+    let mut completed = BTreeMap::new();
+    for r in records {
+        completed.insert(r.shard as u64, r.result_digest());
+    }
+    Manifest {
+        spec_digest: spec.digest(),
+        total_shards: total_shards as u64,
+        completed,
+        quarantined: quarantined.iter().map(|q| q.shard as u64).collect(),
+    }
+}
+
+fn merge(
+    spec: &SweepSpec,
+    jobs: &[ShardJob],
+    mut records: Vec<ShardRecord>,
+    quarantined: Vec<Quarantined>,
+    accounting: Accounting,
+) -> Result<CampaignResult, FleetError> {
+    records.sort_by_key(|r| r.shard);
+    let scenarios = spec.expand()?;
+    let by_shard: BTreeMap<usize, &ShardRecord> = records.iter().map(|r| (r.shard, r)).collect();
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for (scenario_index, scenario) in scenarios.iter().enumerate() {
+        let shard_jobs: Vec<&ShardJob> =
+            jobs.iter().filter(|j| j.scenario_index == scenario_index).collect();
+        let mut h = Fnv64::new();
+        let mut summaries = Vec::new();
+        let mut times: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut completed = 0u32;
+        let mut all_have_times = true;
+        for (local, job) in shard_jobs.iter().enumerate() {
+            let Some(rec) = by_shard.get(&job.shard) else {
+                all_have_times = false;
+                continue;
+            };
+            completed += 1;
+            h.write_u64(rec.result_digest());
+            summaries.push(Summary {
+                n: rec.n as usize,
+                mean: rec.mean,
+                variance: rec.variance,
+                min: rec.min,
+                max: rec.max,
+            });
+            match &rec.times {
+                Some(t) => times.push((local, t.clone())),
+                None => all_have_times = false,
+            }
+        }
+        let pwcet = if scenario.attack == AttackKind::Pwcet
+            && all_have_times
+            && completed == shard_jobs.len() as u32
+        {
+            let merged = merge_shard_times(times);
+            (merged.len() >= MIN_PWCET_SAMPLES)
+                .then(|| analyze(&merged, &MbptaConfig::default()).pwcet(1e-12))
+        } else {
+            None
+        };
+        reports.push(ScenarioReport {
+            key: scenario.key.clone(),
+            shards_expected: shard_jobs.len() as u32,
+            shards_completed: completed,
+            digest: h.finish(),
+            summary: pooled_summary(summaries),
+            pwcet,
+        });
+    }
+    let digest = campaign_digest(&records);
+    Ok(CampaignResult {
+        scenarios: reports,
+        shards_expected: jobs.len(),
+        shards_completed: records.len(),
+        quarantined,
+        accounting,
+        campaign_digest: digest,
+    })
+}
+
+/// Renders the merged report as JSON. Scenario entries are in spec
+/// expansion order; the accounting block is bookkeeping and excluded
+/// from the campaign digest.
+pub fn render_report(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"campaign_digest\": \"{:#018x}\",\n  \"shards_expected\": {},\n  \
+         \"shards_completed\": {},\n  \"complete\": {},\n  \"scenarios\": [\n",
+        result.campaign_digest,
+        result.shards_expected,
+        result.shards_completed,
+        result.is_complete()
+    );
+    for (i, s) in result.scenarios.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"shards\": \"{}/{}\", \"digest\": \"{:#018x}\"",
+            s.key, s.shards_completed, s.shards_expected, s.digest
+        );
+        if let Some(sum) = &s.summary {
+            let _ = write!(
+                out,
+                ", \"n\": {}, \"mean\": {}, \"variance\": {}, \"min\": {}, \"max\": {}",
+                sum.n, sum.mean, sum.variance, sum.min, sum.max
+            );
+        }
+        if let Some(p) = s.pwcet {
+            let _ = write!(out, ", \"pwcet_1e12\": {p}");
+        }
+        out.push('}');
+        if i + 1 < result.scenarios.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"quarantined\": [\n");
+    for (i, q) in result.quarantined.iter().enumerate() {
+        let reason = match &q.reason {
+            QuarantineReason::BadSpec(msg) => format!("bad-spec: {msg}"),
+            QuarantineReason::Crashed { attempts, message } => {
+                format!("crashed after {attempts} attempts: {message}")
+            }
+        };
+        let _ = write!(
+            out,
+            "    {{\"shard\": {}, \"scenario\": \"{}\", \"reason\": \"{}\"}}",
+            q.shard,
+            q.scenario,
+            reason.replace('"', "'")
+        );
+        if i + 1 < result.quarantined.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"accounting\": {{\"retries\": {}, \"backoff_units\": {}}}\n}}\n",
+        result.accounting.retries, result.accounting.backoff_units
+    );
+    out
+}

@@ -1,0 +1,116 @@
+//! Deterministic fault injection for exercising the crash-safety
+//! machinery.
+//!
+//! A [`FaultPlan`] scripts failures at exact points of a campaign so
+//! tests (and the CI fault-injection job) can prove the recovery
+//! paths instead of trusting them: worker panics at a chosen shard,
+//! I/O errors on chosen checkpoint writes, a torn (half-written)
+//! record, or a hard kill after N records — the moral equivalent of
+//! `kill -9` without needing a subprocess.
+//!
+//! Faults are **scripted, not random**: a plan says *which* shard
+//! panics and *through which attempt*, so a test can assert both the
+//! failure and the exact retry accounting it produces. An empty plan
+//! (the default) injects nothing and costs a few branch predictions.
+
+/// A scripted set of faults to inject into one campaign run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(shard, through_attempt)`: worker panics when running `shard`
+    /// while `attempt <= through_attempt`. `through_attempt = 1` means
+    /// "fail once, succeed on retry"; a large value means "always
+    /// fails" (drives the quarantine path).
+    pub panic_on: Vec<(usize, u32)>,
+    /// Checkpoint-write ordinals (0-based, counted across the run)
+    /// that fail with an injected I/O error.
+    pub io_error_on_writes: Vec<u64>,
+    /// After this many records have been appended, the next append
+    /// writes only half its bytes and the run halts — a torn write.
+    pub torn_write_after: Option<u64>,
+    /// Hard-stop the run (no cleanup, no final manifest) after this
+    /// many records — simulates SIGKILL at a record boundary.
+    pub kill_after_records: Option<u64>,
+    /// Shards that report a configuration error instead of running —
+    /// simulates spec rot so tests can pin the executor's bad-spec
+    /// path (quarantine immediately, never retry).
+    pub bad_spec_on: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether running `shard` at `attempt` (1-based) should panic.
+    pub fn should_panic(&self, shard: usize, attempt: u32) -> bool {
+        self.panic_on.iter().any(|&(s, through)| s == shard && attempt <= through)
+    }
+
+    /// Whether `shard` should report an injected configuration error.
+    pub fn should_bad_spec(&self, shard: usize) -> bool {
+        self.bad_spec_on.contains(&shard)
+    }
+
+    /// Whether checkpoint write number `ordinal` (0-based) should fail
+    /// with an injected I/O error.
+    pub fn should_fail_write(&self, ordinal: u64) -> bool {
+        self.io_error_on_writes.contains(&ordinal)
+    }
+
+    /// Whether the append after `records_written` records should be
+    /// torn (half-written, then halt).
+    pub fn should_tear(&self, records_written: u64) -> bool {
+        self.torn_write_after == Some(records_written)
+    }
+
+    /// Whether the run should hard-stop once `records_written` records
+    /// are durable.
+    pub fn should_kill(&self, records_written: u64) -> bool {
+        self.kill_after_records.is_some_and(|k| records_written >= k)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self == &FaultPlan::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_window_covers_attempts_through_bound() {
+        let plan = FaultPlan { panic_on: vec![(3, 2)], ..FaultPlan::default() };
+        assert!(plan.should_panic(3, 1));
+        assert!(plan.should_panic(3, 2));
+        assert!(!plan.should_panic(3, 3)); // recovers on third attempt
+        assert!(!plan.should_panic(4, 1)); // other shards untouched
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(!plan.should_panic(0, 1));
+        assert!(!plan.should_fail_write(0));
+        assert!(!plan.should_tear(0));
+        assert!(!plan.should_kill(u64::MAX));
+    }
+
+    #[test]
+    fn kill_and_tear_trigger_at_exact_counts() {
+        let plan = FaultPlan {
+            kill_after_records: Some(5),
+            torn_write_after: Some(2),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.should_kill(4));
+        assert!(plan.should_kill(5));
+        assert!(plan.should_kill(6));
+        assert!(!plan.should_tear(1));
+        assert!(plan.should_tear(2));
+        assert!(!plan.should_tear(3));
+    }
+}

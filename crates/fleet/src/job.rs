@@ -1,0 +1,321 @@
+//! Running one shard: the bridge from a [`ShardJob`] to the repo's
+//! attack and measurement subsystems.
+//!
+//! [`run_shard`] is a **pure function of the job** — every stream of
+//! randomness derives from `job.seed` (itself `mix64(campaign_seed ^
+//! shard)`), so a shard re-run after a crash, on a different worker,
+//! or in a resumed process produces the byte-identical record.
+//!
+//! Configuration errors surface as [`ConfigError`] — the executor
+//! never retries those. Anything the subsystems panic on is a worker
+//! crash and is the executor's `catch_unwind` business, not ours.
+
+use crate::digest::Fnv64;
+use crate::spec::{AttackKind, PlatformKind, ShardJob};
+use tscache_core::error::ConfigError;
+use tscache_interference::ContentionConfig;
+use tscache_rtos::{Application, OsConfig, TscacheOs};
+use tscache_sca::flush_reload::{run_flush_reload, FlushReloadConfig, FlushReloadIsolation};
+use tscache_sca::prime_probe::run_prime_probe;
+use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
+use tscache_sim::layout::Layout;
+use tscache_sim::synthetic::ArraySweep;
+use tscache_sim::workload::{collect_execution_times, MeasurementProtocol};
+
+/// The FIPS-197 example key every deterministic campaign uses.
+const VICTIM_KEY: [u8; 16] = [
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+];
+
+/// Ways reserved for the measured core when a platform partitions the
+/// shared LLC (matches the §7 ablation configuration used across the
+/// test suites).
+const LLC_PARTITION_WAYS: u32 = 2;
+
+/// One shard's result, pre-persistence.
+///
+/// The summary fields are per-attack headline metrics: for time-series
+/// attacks (Bernstein, pWCET, RTOS) they are the moments of the cycle
+/// samples; Prime+Probe reports `mean = accuracy`, `min = max = mean
+/// evictions`; Flush+Reload reports `mean = correct-key rank`, `min =
+/// reload hits`, `max = victim invalidations`. The `digest` always
+/// covers the full raw output, so bit-identity never rests on the
+/// summary alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutput {
+    /// FNV-1a digest of the shard's complete raw output.
+    pub digest: u64,
+    /// Sample count.
+    pub n: u64,
+    /// Headline mean (see type docs).
+    pub mean: f64,
+    /// Unbiased variance of the samples (0 for score-style attacks).
+    pub variance: f64,
+    /// Headline minimum.
+    pub min: f64,
+    /// Headline maximum.
+    pub max: f64,
+    /// Raw execution times when the attack produces them and the
+    /// caller asked to keep them (pWCET merging needs them).
+    pub times: Option<Vec<u64>>,
+}
+
+/// Deterministic moments of a cycle-count sample.
+fn moments(times: &[u64]) -> (u64, f64, f64, f64, f64) {
+    if times.is_empty() {
+        return (0, 0.0, 0.0, 0.0, 0.0);
+    }
+    let n = times.len() as f64;
+    let mean = times.iter().map(|&t| t as f64).sum::<f64>() / n;
+    let m2 = times.iter().map(|&t| (t as f64 - mean).powi(2)).sum::<f64>();
+    let variance = if times.len() > 1 { m2 / (n - 1.0) } else { 0.0 };
+    let min = *times.iter().min().unwrap() as f64;
+    let max = *times.iter().max().unwrap() as f64;
+    (times.len() as u64, mean, variance, min, max)
+}
+
+fn times_output(times: Vec<u64>, keep_times: bool) -> ShardOutput {
+    let mut h = Fnv64::new();
+    for &t in &times {
+        h.write_u64(t);
+    }
+    let (n, mean, variance, min, max) = moments(&times);
+    ShardOutput {
+        digest: h.finish(),
+        n,
+        mean,
+        variance,
+        min,
+        max,
+        times: keep_times.then_some(times),
+    }
+}
+
+fn run_bernstein(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
+    let scenario = &job.scenario;
+    let mut cfg = SamplingConfig::standard(scenario.setup, job.samples, job.seed);
+    cfg.depth = scenario.depth;
+    if scenario.contended {
+        cfg.contention = Some(ContentionConfig::default());
+    }
+    match scenario.platform {
+        PlatformKind::Private => {}
+        PlatformKind::Shared => cfg.shared_llc = true,
+        PlatformKind::SharedPartitioned => {
+            cfg.shared_llc = true;
+            cfg.partition_llc_ways = LLC_PARTITION_WAYS;
+        }
+        PlatformKind::Coherent => {
+            return Err(ConfigError::incompatible(
+                "bernstein sampling has no coherent-platform variant",
+            ));
+        }
+    }
+    let mut node = CryptoNode::try_new(cfg, Role::Victim, &VICTIM_KEY)?;
+    let samples = node.collect();
+    // Digest covers plaintexts too: two campaigns agree iff they ran
+    // the same encryptions, not merely equally fast ones.
+    let mut h = Fnv64::new();
+    for s in &samples {
+        h.write(&s.plaintext);
+        h.write_u64(s.cycles);
+    }
+    let times: Vec<u64> = samples.iter().map(|s| s.cycles).collect();
+    let (n, mean, variance, min, max) = moments(&times);
+    Ok(ShardOutput { digest: h.finish(), n, mean, variance, min, max, times: None })
+}
+
+fn run_pwcet(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
+    let scenario = &job.scenario;
+    let protocol = MeasurementProtocol {
+        runs: job.samples,
+        rng_seed: job.seed,
+        depth: scenario.depth,
+        contention: scenario.contended.then(ContentionConfig::default),
+        shared_llc: scenario.platform == PlatformKind::Shared,
+        ..MeasurementProtocol::default()
+    };
+    protocol.validate()?;
+    let mut workload = ArraySweep::standard(&mut Layout::new(0x10_0000));
+    let times = collect_execution_times(scenario.setup, &mut workload, &protocol);
+    Ok(times_output(times, keep_times))
+}
+
+fn run_prime_probe_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
+    if job.samples == 0 {
+        return Err(ConfigError::incompatible("prime+probe needs trials > 0"));
+    }
+    let outcome = run_prime_probe(job.scenario.setup, job.samples, job.seed);
+    let mut h = Fnv64::new();
+    h.write_u64(outcome.trials as u64);
+    h.write_f64(outcome.accuracy);
+    h.write_f64(outcome.mean_evictions);
+    Ok(ShardOutput {
+        digest: h.finish(),
+        n: outcome.trials as u64,
+        mean: outcome.accuracy,
+        variance: 0.0,
+        min: outcome.mean_evictions,
+        max: outcome.mean_evictions,
+        times: None,
+    })
+}
+
+fn run_flush_reload_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
+    let mut cfg = FlushReloadConfig::standard(job.scenario.setup, job.seed);
+    cfg.samples = job.samples;
+    cfg.isolation = match job.scenario.platform {
+        PlatformKind::Coherent => FlushReloadIsolation::SharedOpen,
+        PlatformKind::SharedPartitioned => FlushReloadIsolation::PartitionedReplicated,
+        other => {
+            return Err(ConfigError::incompatible(format!(
+                "flush+reload needs a coherent or partitioned platform, got {}",
+                other.label()
+            )));
+        }
+    };
+    cfg.validate()?;
+    let outcome = run_flush_reload(&cfg);
+    let mut h = Fnv64::new();
+    h.write_u64(outcome.samples as u64);
+    for &s in &outcome.scores {
+        h.write_u64(s as u64);
+    }
+    h.write_f64(outcome.correct_rank);
+    h.write_u64(outcome.reload_hits);
+    h.write_u64(outcome.victim_invalidations);
+    Ok(ShardOutput {
+        digest: h.finish(),
+        n: outcome.samples as u64,
+        mean: outcome.correct_rank,
+        variance: 0.0,
+        min: outcome.reload_hits as f64,
+        max: outcome.victim_invalidations as f64,
+        times: None,
+    })
+}
+
+fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
+    let scenario = &job.scenario;
+    let (shared_llc, coherent_image) = match scenario.platform {
+        PlatformKind::Private => (false, false),
+        PlatformKind::Shared => (true, false),
+        PlatformKind::Coherent => (true, true),
+        PlatformKind::SharedPartitioned => {
+            return Err(ConfigError::incompatible(
+                "the RTOS campaign has no partitioned-LLC variant",
+            ));
+        }
+    };
+    let config = OsConfig { rng_seed: job.seed, shared_llc, coherent_image, ..OsConfig::default() };
+    let hyperperiods = (job.samples / 8).clamp(1, 128);
+    let mut os = TscacheOs::new(Application::figure3_example(), scenario.setup, config);
+    let report = os.run(hyperperiods);
+    let mut h = Fnv64::new();
+    for runnable_times in &report.times {
+        h.write_u64(runnable_times.len() as u64);
+        for &t in runnable_times {
+            h.write_u64(t);
+        }
+    }
+    h.write_u64(report.context_switches);
+    h.write_u64(report.seed_swaps);
+    h.write_u64(report.flushes);
+    h.write_u64(report.overhead_cycles);
+    h.write_u64(report.work_cycles);
+    h.write_u64(report.bus_wait_cycles);
+    h.write_u64(report.coh_invalidations);
+    let digest = h.finish();
+    let all_times: Vec<u64> = report.times.into_iter().flatten().collect();
+    let (n, mean, variance, min, max) = moments(&all_times);
+    Ok(ShardOutput { digest, n, mean, variance, min, max, times: keep_times.then_some(all_times) })
+}
+
+/// Runs one shard to completion.
+///
+/// `keep_times` controls whether raw execution times ride along in the
+/// output for attacks that produce them (required for merged pWCET
+/// analysis; summaries alone suffice for the rest).
+pub fn run_shard(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
+    match job.scenario.attack {
+        AttackKind::Bernstein => run_bernstein(job),
+        AttackKind::Pwcet => run_pwcet(job, keep_times),
+        AttackKind::PrimeProbe => run_prime_probe_shard(job),
+        AttackKind::FlushReload => run_flush_reload_shard(job),
+        AttackKind::Rtos => run_rtos(job, keep_times),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Scenario, SweepSpec};
+    use tscache_core::prng::mix64;
+    use tscache_core::setup::{HierarchyDepth, SetupKind};
+
+    fn job_for(attack: AttackKind, platform: PlatformKind, samples: u32) -> ShardJob {
+        let scenario = Scenario {
+            key: format!("{}/test", attack.label()),
+            attack,
+            setup: SetupKind::TsCache,
+            depth: HierarchyDepth::TwoLevel,
+            platform,
+            contended: false,
+        };
+        ShardJob { shard: 0, scenario_index: 0, scenario, seed: mix64(42), samples }
+    }
+
+    #[test]
+    fn every_attack_kind_runs_and_is_deterministic() {
+        for (attack, platform, samples) in [
+            (AttackKind::Bernstein, PlatformKind::Private, 40),
+            (AttackKind::Pwcet, PlatformKind::Shared, 30),
+            (AttackKind::PrimeProbe, PlatformKind::Private, 20),
+            (AttackKind::FlushReload, PlatformKind::Coherent, 16),
+            (AttackKind::Rtos, PlatformKind::Coherent, 16),
+        ] {
+            let job = job_for(attack, platform, samples);
+            let a = run_shard(&job, true).unwrap();
+            let b = run_shard(&job, true).unwrap();
+            assert_eq!(a, b, "{attack:?} not deterministic");
+            assert!(a.n > 0, "{attack:?} produced no samples");
+        }
+    }
+
+    #[test]
+    fn different_shards_have_different_seeds_and_outputs() {
+        let spec = SweepSpec::smoke();
+        let jobs = spec.jobs().unwrap();
+        let (a, b) = (&jobs[0], &jobs[1]);
+        assert_eq!(a.scenario.key, b.scenario.key, "first two shards share a scenario");
+        assert_ne!(a.seed, b.seed);
+        let out_a = run_shard(a, false).unwrap();
+        let out_b = run_shard(b, false).unwrap();
+        assert_ne!(out_a.digest, out_b.digest, "independent shards collided");
+    }
+
+    #[test]
+    fn inapplicable_platforms_are_config_errors() {
+        assert!(
+            run_shard(&job_for(AttackKind::Bernstein, PlatformKind::Coherent, 10), false).is_err()
+        );
+        assert!(
+            run_shard(&job_for(AttackKind::FlushReload, PlatformKind::Private, 10), false).is_err()
+        );
+        assert!(run_shard(&job_for(AttackKind::Rtos, PlatformKind::SharedPartitioned, 10), false)
+            .is_err());
+        assert!(
+            run_shard(&job_for(AttackKind::PrimeProbe, PlatformKind::Private, 0), false).is_err()
+        );
+    }
+
+    #[test]
+    fn pwcet_keeps_times_only_on_request() {
+        let job = job_for(AttackKind::Pwcet, PlatformKind::Private, 25);
+        let with = run_shard(&job, true).unwrap();
+        let without = run_shard(&job, false).unwrap();
+        assert_eq!(with.times.as_ref().map(Vec::len), Some(25));
+        assert!(without.times.is_none());
+        assert_eq!(with.digest, without.digest);
+    }
+}

@@ -1,0 +1,326 @@
+//! The streaming JSON-lines record format for shard results.
+//!
+//! Each completed shard appends exactly one line to `results.jsonl` in
+//! the campaign directory. The encoding is hand-rolled (the container
+//! has no serde) but deliberately boring: one flat JSON object per
+//! line, `u64` values as `"0x…"` hex strings (JSON numbers can't carry
+//! 64 bits losslessly), `f64` via Rust's shortest-roundtrip `Display`
+//! so `encode ∘ decode` is exact.
+//!
+//! The `attempt` field is **bookkeeping, not result**: it records how
+//! many tries the shard needed (fault injection, retries) and is
+//! excluded from every digest, so a campaign that limped through
+//! retries merges bit-identically to one that sailed through.
+
+use crate::digest::Fnv64;
+use std::fmt::Write as _;
+
+/// One shard result as persisted to `results.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecord {
+    /// Global shard index.
+    pub shard: usize,
+    /// Scenario key (e.g. `pwcet/tscache/l2/shared/contended`).
+    pub scenario: String,
+    /// The shard's derived seed (provenance; re-derivable from spec).
+    pub seed: u64,
+    /// 1-based attempt number that produced this result (bookkeeping —
+    /// excluded from all digests).
+    pub attempt: u32,
+    /// FNV-1a digest of the shard's raw output.
+    pub digest: u64,
+    /// Sample count.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample variance (unbiased).
+    pub variance: f64,
+    /// Sample minimum.
+    pub min: f64,
+    /// Sample maximum.
+    pub max: f64,
+    /// Raw execution times, for attacks whose merge step needs them
+    /// (pWCET re-analysis); `None` when summaries suffice.
+    pub times: Option<Vec<u64>>,
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ShardRecord {
+    /// Encodes the record as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"shard\":{},\"scenario\":", self.shard);
+        push_json_string(&mut out, &self.scenario);
+        let _ = write!(
+            out,
+            ",\"seed\":\"{:#x}\",\"attempt\":{},\"digest\":\"{:#x}\",\"n\":{},\
+             \"mean\":{},\"variance\":{},\"min\":{},\"max\":{}",
+            self.seed,
+            self.attempt,
+            self.digest,
+            self.n,
+            self.mean,
+            self.variance,
+            self.min,
+            self.max
+        );
+        if let Some(times) = &self.times {
+            out.push_str(",\"times\":[");
+            for (i, t) in times.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{t}");
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line. Returns `None` on any malformation — the
+    /// checkpoint loader treats an unparseable final line as a torn
+    /// write and drops it.
+    pub fn decode(line: &str) -> Option<ShardRecord> {
+        let mut p = Parser { bytes: line.trim().as_bytes(), pos: 0 };
+        p.expect(b'{')?;
+        let mut shard = None;
+        let mut scenario = None;
+        let mut seed = None;
+        let mut attempt = None;
+        let mut digest = None;
+        let mut n = None;
+        let mut mean = None;
+        let mut variance = None;
+        let mut min = None;
+        let mut max = None;
+        let mut times = None;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "shard" => shard = Some(p.number()?.parse::<usize>().ok()?),
+                "scenario" => scenario = Some(p.string()?),
+                "seed" => seed = Some(parse_hex_u64(&p.string()?)?),
+                "attempt" => attempt = Some(p.number()?.parse::<u32>().ok()?),
+                "digest" => digest = Some(parse_hex_u64(&p.string()?)?),
+                "n" => n = Some(p.number()?.parse::<u64>().ok()?),
+                "mean" => mean = Some(p.number()?.parse::<f64>().ok()?),
+                "variance" => variance = Some(p.number()?.parse::<f64>().ok()?),
+                "min" => min = Some(p.number()?.parse::<f64>().ok()?),
+                "max" => max = Some(p.number()?.parse::<f64>().ok()?),
+                "times" => {
+                    p.expect(b'[')?;
+                    let mut v = Vec::new();
+                    if p.peek()? == b']' {
+                        p.pos += 1;
+                    } else {
+                        loop {
+                            v.push(p.number()?.parse::<u64>().ok()?);
+                            match p.next_byte()? {
+                                b',' => continue,
+                                b']' => break,
+                                _ => return None,
+                            }
+                        }
+                    }
+                    times = Some(v);
+                }
+                _ => return None,
+            }
+            match p.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        if p.pos != p.bytes.len() {
+            return None;
+        }
+        Some(ShardRecord {
+            shard: shard?,
+            scenario: scenario?,
+            seed: seed?,
+            attempt: attempt?,
+            digest: digest?,
+            n: n?,
+            mean: mean?,
+            variance: variance?,
+            min: min?,
+            max: max?,
+            times,
+        })
+    }
+
+    /// Digest of the record's **result** content (attempt excluded):
+    /// what the merged campaign digest is built from.
+    pub fn result_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.shard as u64);
+        h.write(self.scenario.as_bytes());
+        h.write_u64(self.seed);
+        h.write_u64(self.digest);
+        h.write_u64(self.n);
+        h.write_f64(self.mean);
+        h.write_f64(self.variance);
+        h.write_f64(self.min);
+        h.write_f64(self.max);
+        if let Some(times) = &self.times {
+            for &t in times {
+                h.write_u64(t);
+            }
+        }
+        h.finish()
+    }
+}
+
+fn parse_hex_u64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Option<()> {
+        (self.next_byte()? == want).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_byte()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next_byte()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'u' => {
+                        let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                        self.pos += 4;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-sync on UTF-8: step back and take the full char.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        self.pos -= 1;
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                        let c = rest.chars().next()?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return None;
+        }
+        Some(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(times: Option<Vec<u64>>) -> ShardRecord {
+        ShardRecord {
+            shard: 17,
+            scenario: "pwcet/tscache/l2/shared/contended".into(),
+            seed: 0xdead_beef_cafe_f00d,
+            attempt: 3,
+            digest: 0x1234_5678_9abc_def0,
+            n: 400,
+            mean: 5123.75,
+            variance: 0.1 + 0.2, // deliberately non-representable exactly
+            min: 5000.0,
+            max: 6001.0,
+            times,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_exactly() {
+        for rec in [sample(None), sample(Some(vec![5000, 5111, 6001])), sample(Some(vec![]))] {
+            let line = rec.encode();
+            assert!(!line.contains('\n'));
+            let back = ShardRecord::decode(&line).unwrap();
+            assert_eq!(rec, back);
+            // Exact f64 roundtrip, bit for bit.
+            assert_eq!(rec.variance.to_bits(), back.variance.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_lines_fail_to_decode() {
+        let line = sample(Some(vec![1, 2, 3])).encode();
+        for cut in 1..line.len() {
+            assert_eq!(ShardRecord::decode(&line[..cut]), None, "cut at {cut} parsed");
+        }
+        assert_eq!(ShardRecord::decode(""), None);
+        assert_eq!(ShardRecord::decode("{\"shard\":1}"), None); // missing fields
+    }
+
+    #[test]
+    fn attempt_is_excluded_from_result_digest() {
+        let a = sample(None);
+        let mut b = sample(None);
+        b.attempt = 9;
+        assert_eq!(a.result_digest(), b.result_digest());
+        let mut c = sample(None);
+        c.mean += 1.0;
+        assert_ne!(a.result_digest(), c.result_digest());
+    }
+
+    #[test]
+    fn scenario_strings_with_escapes_survive() {
+        let mut rec = sample(None);
+        rec.scenario = "weird \"key\" \\ with\nnewline \u{1}".into();
+        let back = ShardRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(rec, back);
+    }
+}

@@ -23,6 +23,7 @@ pub mod gamma;
 pub mod iid;
 pub mod ks;
 pub mod ljung_box;
+pub mod merge;
 pub mod pwcet;
 pub mod stats;
 
@@ -32,4 +33,5 @@ pub use evt::{fit_gumbel, Gumbel};
 pub use iid::{validate_iid, validate_iid_paper, IidReport};
 pub use ks::{ks_two_sample, KsResult};
 pub use ljung_box::{ljung_box, ljung_box_20, LjungBoxResult};
+pub use merge::{merge_shard_times, pooled_summary};
 pub use pwcet::{PotPwcet, PwcetCurve};

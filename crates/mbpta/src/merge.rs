@@ -1,0 +1,152 @@
+//! Merging sharded measurement campaigns back into one analysis.
+//!
+//! Fleet-scale campaigns split a measurement protocol into shards —
+//! each shard collects its runs under its own derived seed stream —
+//! and the shards complete in whatever order the worker pool finds
+//! convenient. This module is the deterministic **merge step**: given
+//! per-shard results *keyed by shard index*, it reassembles the exact
+//! sample sequence an uninterrupted single-process campaign would have
+//! produced, so the merged pWCET analysis is bit-identical no matter
+//! how many workers ran, in what order they finished, or how many
+//! times the campaign was killed and resumed.
+//!
+//! Two granularities:
+//!
+//! * [`merge_shard_times`] — concatenates per-shard time vectors in
+//!   shard-index order (the raw input [`analyze`](crate::analyze)
+//!   expects);
+//! * [`Summary::merge`](crate::stats::Summary)-style pooling via
+//!   [`pooled_summary`] — when shards only report descriptive
+//!   statistics (mean/variance/min/max/n), the pooled summary is the
+//!   exact summary of the concatenated sample (Chan et al.'s parallel
+//!   variance update), so streaming campaigns need not retain raw
+//!   samples to report faithful aggregate statistics.
+
+use crate::stats::Summary;
+
+/// Concatenates per-shard execution-time vectors in shard-index order.
+///
+/// `shards` holds `(shard_index, times)` pairs in **any** order
+/// (completion order, resume order); the output is sorted by shard
+/// index, which is what makes the merge independent of scheduling.
+/// Duplicate shard indices are an error in the caller's bookkeeping
+/// and panic — a merged campaign must contain each shard exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::merge::merge_shard_times;
+///
+/// let merged = merge_shard_times(vec![(1, vec![30, 40]), (0, vec![10, 20])]);
+/// assert_eq!(merged, vec![10, 20, 30, 40]);
+/// ```
+pub fn merge_shard_times(mut shards: Vec<(usize, Vec<u64>)>) -> Vec<u64> {
+    shards.sort_by_key(|(idx, _)| *idx);
+    for pair in shards.windows(2) {
+        assert!(pair[0].0 != pair[1].0, "duplicate shard index {} in merge", pair[0].0);
+    }
+    let mut out = Vec::with_capacity(shards.iter().map(|(_, t)| t.len()).sum());
+    for (_, times) in shards {
+        out.extend(times);
+    }
+    out
+}
+
+/// Pools per-shard summaries into the exact summary of the
+/// concatenated sample.
+///
+/// Order-insensitive (summation is associative over the pooled
+/// moments), so shards can be folded in completion order; empty input
+/// returns `None`.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_mbpta::merge::pooled_summary;
+/// use tscache_mbpta::stats::summarize;
+///
+/// let a = summarize(&[1.0, 2.0, 3.0]);
+/// let b = summarize(&[10.0, 20.0]);
+/// let pooled = pooled_summary([a, b]).unwrap();
+/// let direct = summarize(&[1.0, 2.0, 3.0, 10.0, 20.0]);
+/// assert!((pooled.mean - direct.mean).abs() < 1e-12);
+/// assert!((pooled.variance - direct.variance).abs() < 1e-9);
+/// assert_eq!(pooled.n, 5);
+/// ```
+pub fn pooled_summary(parts: impl IntoIterator<Item = Summary>) -> Option<Summary> {
+    let mut acc: Option<Summary> = None;
+    for s in parts {
+        acc = Some(match acc {
+            None => s,
+            Some(a) => {
+                let n = a.n + s.n;
+                let (na, nb) = (a.n as f64, s.n as f64);
+                let delta = s.mean - a.mean;
+                let mean = a.mean + delta * nb / (na + nb);
+                // Chan et al.: combine the sums of squared deviations,
+                // then unbias by (n - 1).
+                let m2 = a.variance * (na - 1.0).max(0.0)
+                    + s.variance * (nb - 1.0).max(0.0)
+                    + delta * delta * na * nb / (na + nb);
+                let variance = if n > 1 { m2 / (n as f64 - 1.0) } else { 0.0 };
+                Summary { n, mean, variance, min: a.min.min(s.min), max: a.max.max(s.max) }
+            }
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, MbptaConfig};
+    use crate::stats::summarize;
+
+    fn shard_times(shard: usize, n: usize) -> Vec<u64> {
+        (0..n).map(|i| 5_000 + ((shard * n + i) as u64 * 2654435761 % 211)).collect()
+    }
+
+    #[test]
+    fn merge_is_completion_order_invariant() {
+        let in_order: Vec<_> = (0..7).map(|s| (s, shard_times(s, 50))).collect();
+        let mut scrambled = in_order.clone();
+        scrambled.reverse();
+        scrambled.swap(1, 4);
+        assert_eq!(merge_shard_times(in_order), merge_shard_times(scrambled));
+    }
+
+    #[test]
+    fn merged_analysis_matches_unsharded_campaign() {
+        // The whole point: sharded collection + merge ≡ one long run.
+        let full: Vec<u64> = (0..4).flat_map(|s| shard_times(s, 100)).collect();
+        let merged = merge_shard_times((0..4).rev().map(|s| (s, shard_times(s, 100))).collect());
+        assert_eq!(full, merged);
+        let cfg = MbptaConfig::default();
+        let a = analyze(&full, &cfg);
+        let b = analyze(&merged, &cfg);
+        assert_eq!(a.pwcet(1e-9), b.pwcet(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate shard index")]
+    fn duplicate_shards_are_rejected() {
+        merge_shard_times(vec![(0, vec![1]), (0, vec![2])]);
+    }
+
+    #[test]
+    fn pooled_summary_is_exact_and_order_insensitive() {
+        let parts: Vec<Vec<f64>> = vec![vec![1.0, 5.0, 9.0], vec![2.0], vec![100.0, 3.0, 4.0, 8.0]];
+        let all: Vec<f64> = parts.iter().flatten().copied().collect();
+        let direct = summarize(&all);
+        let fwd = pooled_summary(parts.iter().map(|p| summarize(p))).unwrap();
+        let rev = pooled_summary(parts.iter().rev().map(|p| summarize(p))).unwrap();
+        for pooled in [fwd, rev] {
+            assert_eq!(pooled.n, direct.n);
+            assert!((pooled.mean - direct.mean).abs() < 1e-12);
+            assert!((pooled.variance - direct.variance).abs() < 1e-9);
+            assert_eq!(pooled.min, direct.min);
+            assert_eq!(pooled.max, direct.max);
+        }
+        assert!(pooled_summary(std::iter::empty()).is_none());
+    }
+}

@@ -37,6 +37,7 @@
 
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::{Addr, LineAddr};
+use tscache_core::error::ConfigError;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SeedSharing, SetupKind};
@@ -76,6 +77,15 @@ pub struct FlushReloadConfig {
 }
 
 impl FlushReloadConfig {
+    /// Validates the campaign parameters (the "bad spec" check
+    /// executors run before dispatching a worker).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.samples == 0 {
+            return Err(ConfigError::incompatible("flush+reload campaign needs samples > 0"));
+        }
+        Ok(())
+    }
+
     /// The standard campaign: 256 samples against `setup`.
     pub fn standard(setup: SetupKind, master_seed: u64) -> Self {
         FlushReloadConfig {

@@ -22,6 +22,7 @@
 
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::Addr;
+use tscache_core::error::ConfigError;
 use tscache_core::parallel;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
@@ -103,6 +104,45 @@ pub struct SamplingConfig {
 }
 
 impl SamplingConfig {
+    /// Associativity of the paper platform's L1s (what
+    /// `partition_task_ways` partitions).
+    const L1_WAYS: u32 = 4;
+
+    /// Validates the configuration, so campaign executors can reject a
+    /// bad spec up front — as a [`ConfigError`], distinct from a
+    /// worker crash — instead of panicking (or silently clamping)
+    /// inside a worker thread.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tscache_core::setup::SetupKind;
+    /// use tscache_sca::sampling::SamplingConfig;
+    ///
+    /// let mut cfg = SamplingConfig::standard(SetupKind::TsCache, 100, 1);
+    /// assert!(cfg.validate().is_ok());
+    /// cfg.partition_llc_ways = 2; // but no shared LLC to partition
+    /// assert!(cfg.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.samples == 0 {
+            return Err(ConfigError::incompatible("sampling campaign needs samples > 0"));
+        }
+        if self.partition_task_ways >= Self::L1_WAYS {
+            return Err(ConfigError::incompatible(format!(
+                "partition_task_ways {} leaves no way for the OS (L1 has {} ways)",
+                self.partition_task_ways,
+                Self::L1_WAYS
+            )));
+        }
+        if self.partition_llc_ways > 0 && !self.shared_llc {
+            return Err(ConfigError::incompatible(
+                "partition_llc_ways needs shared_llc: there is no shared level to partition",
+            ));
+        }
+        Ok(())
+    }
+
     /// The defaults used by the figure harnesses: 32768-job seed epochs
     /// (a handful of epochs per campaign, so genuine shift-correlations
     /// accumulate across epochs while layout-pair coincidences wash
@@ -151,8 +191,28 @@ pub struct CryptoNode {
 }
 
 impl CryptoNode {
+    /// Builds a node for `role` with the given AES `key`, validating
+    /// the configuration first (the non-panicking constructor campaign
+    /// executors use).
+    pub fn try_new(cfg: SamplingConfig, role: Role, key: &[u8; 16]) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Self::build(cfg, role, key))
+    }
+
     /// Builds a node for `role` with the given AES `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`CryptoNode::try_new`]
+    /// to get the [`ConfigError`] instead.
     pub fn new(cfg: SamplingConfig, role: Role, key: &[u8; 16]) -> Self {
+        match CryptoNode::try_new(cfg, role, key) {
+            Ok(node) => node,
+            Err(e) => panic!("invalid sampling config: {e}"),
+        }
+    }
+
+    fn build(cfg: SamplingConfig, role: Role, key: &[u8; 16]) -> Self {
         let mut layout = Layout::new(0x10_0000);
         let aes_layout = AesLayout::install(&mut layout, "aes");
         let app = layout.alloc("app", 4 * 4096, 4096);
@@ -376,6 +436,17 @@ pub fn collect_pair(
     )
 }
 
+/// Non-panicking [`collect_pair`]: a bad configuration comes back as a
+/// [`ConfigError`] before any node is built.
+pub fn try_collect_pair(
+    cfg: SamplingConfig,
+    attacker_key: &[u8; 16],
+    victim_key: &[u8; 16],
+) -> Result<(Vec<TimingSample>, Vec<TimingSample>), ConfigError> {
+    cfg.validate()?;
+    Ok(collect_pair(cfg, attacker_key, victim_key))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +596,27 @@ mod tests {
             node.collect()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knob_combinations() {
+        let ok = cfg(SetupKind::TsCache, 10);
+        assert!(ok.validate().is_ok());
+        assert!(CryptoNode::try_new(ok, Role::Victim, &[1; 16]).is_ok());
+
+        let mut zero = ok;
+        zero.samples = 0;
+        assert!(zero.validate().is_err());
+
+        let mut all_ways = ok;
+        all_ways.partition_task_ways = 4;
+        assert!(all_ways.validate().unwrap_err().to_string().contains("partition_task_ways"));
+
+        let mut llc_no_shared = ok;
+        llc_no_shared.partition_llc_ways = 2;
+        let err = CryptoNode::try_new(llc_no_shared, Role::Victim, &[1; 16]).unwrap_err();
+        assert!(err.to_string().contains("shared_llc"));
+        assert!(try_collect_pair(llc_no_shared, &[0; 16], &[1; 16]).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Workload abstraction and the measurement protocol used by MBPTA.
 
 use crate::machine::Machine;
+use tscache_core::error::ConfigError;
 use tscache_core::parallel::par_map_indexed;
 use tscache_core::prng::{mix64, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
@@ -43,6 +44,34 @@ pub struct MeasurementProtocol {
     /// the measured core's shared-level contents, not just its bus
     /// timing — the shared-vs-private pWCET experiment's knob.
     pub shared_llc: bool,
+}
+
+impl MeasurementProtocol {
+    /// Validates the protocol, so campaign executors can reject a bad
+    /// spec as a [`ConfigError`] (never retried) instead of a worker
+    /// thread panicking mid-campaign.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tscache_sim::workload::MeasurementProtocol;
+    ///
+    /// assert!(MeasurementProtocol::default().validate().is_ok());
+    /// let bad = MeasurementProtocol { runs: 0, ..Default::default() };
+    /// assert!(bad.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.runs == 0 {
+            return Err(ConfigError::incompatible("measurement protocol needs runs > 0"));
+        }
+        if self.reseed_between_runs && !self.flush_between_runs {
+            return Err(ConfigError::incompatible(
+                "reseed_between_runs without flush_between_runs mixes layouts within one \
+                 cache image (the paper's §5 protocol flushes at every seed change)",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for MeasurementProtocol {

@@ -22,6 +22,10 @@
 //!   Evict+Time.
 //! * [`rtos`] — AUTOSAR-style scheduling and the TSCache
 //!   seed-management OS support.
+//! * [`fleet`] — the crash-safe campaign runner: declarative
+//!   sweep specs sharded into deterministic jobs, panic-isolated
+//!   workers, checkpoint/resume with bit-identical merged output, and
+//!   a fault-injection harness.
 //!
 //! ## The paper in one example
 //!
@@ -39,6 +43,7 @@
 
 pub use tscache_aes as aes;
 pub use tscache_core as core;
+pub use tscache_fleet as fleet;
 pub use tscache_interference as interference;
 pub use tscache_mbpta as mbpta;
 pub use tscache_rtos as rtos;
