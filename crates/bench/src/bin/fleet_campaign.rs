@@ -29,6 +29,30 @@ use tscache_fleet::executor::{launch, resume, ExecutorConfig, RunOutcome};
 use tscache_fleet::fault::FaultPlan;
 use tscache_fleet::spec::SweepSpec;
 
+/// Reads an optional `--key value` flag by presence: absent → `None`,
+/// present → parsed (decimal or 0x-hex), unparseable → exit 1. Unlike
+/// a sentinel default, this keeps every value — including `0` and
+/// `u64::MAX` — meaningful, matching the `FaultPlan` semantics where
+/// e.g. `--kill-after 0` means "kill before the first record".
+fn opt_u64(args: &Args, key: &str) -> Option<u64> {
+    match args.get_str(key, "") {
+        v if v.is_empty() => None,
+        v => {
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            };
+            match parsed {
+                Some(n) => Some(n),
+                None => {
+                    eprintln!("fleet_campaign: --{key} {v}: not an integer");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let dir = args.get_str("dir", "fleet-campaign");
@@ -57,28 +81,16 @@ fn main() {
         workers: args.get_u64("workers", 0) as usize,
         max_retries: args.get_u64("retries", 2) as u32,
         checkpoint_every: args.get_u64("checkpoint-every", 8),
-        scramble_seed: match args.get_u64("scramble", u64::MAX) {
-            u64::MAX => None,
-            seed => Some(seed),
-        },
+        scramble_seed: opt_u64(&args, "scramble"),
         keep_times: true,
     };
 
     let mut faults = FaultPlan::none();
-    match args.get_u64("kill-after", 0) {
-        0 => {}
-        n => faults.kill_after_records = Some(n),
-    }
-    match args.get_u64("torn-after", u64::MAX) {
-        u64::MAX => {}
-        n => faults.torn_write_after = Some(n),
-    }
-    match args.get_u64("panic-shard", u64::MAX) {
-        u64::MAX => {}
-        shard => {
-            let through = args.get_u64("panic-through", 1) as u32;
-            faults.panic_on.push((shard as usize, through));
-        }
+    faults.kill_after_records = opt_u64(&args, "kill-after");
+    faults.torn_write_after = opt_u64(&args, "torn-after");
+    if let Some(shard) = opt_u64(&args, "panic-shard") {
+        let through = args.get_u64("panic-through", 1) as u32;
+        faults.panic_on.push((shard as usize, through));
     }
 
     let shards = spec.jobs().map(|j| j.len()).unwrap_or(0);

@@ -16,8 +16,11 @@
 //! The durability contract: a kill at **any** byte boundary leaves the
 //! directory loadable. `results.jsonl` may end in a torn line (the
 //! append was cut mid-write) — the loader drops any tail that fails to
-//! parse or lacks its newline. `manifest.json` is either the old or
-//! the new version, never a blend, thanks to the rename. Records may
+//! parse or lacks its newline, *and truncates it from the file* so a
+//! resume's appends start on a clean line boundary rather than
+//! concatenating onto the half-written line. `manifest.json` is
+//! either the old or the new version, never a blend, thanks to the
+//! rename. Records may
 //! exist that the manifest hasn't caught up with (manifests are
 //! written every `checkpoint_every` records) — the loader trusts the
 //! records file, using the manifest only for spec verification, so no
@@ -264,7 +267,7 @@ impl CampaignDir {
         self.sync_results()?;
         let ordinal = self.manifest_writes;
         self.manifest_writes += 1;
-        if faults.should_fail_write(u64::MAX - ordinal) {
+        if faults.should_fail_manifest_write(ordinal) {
             return Err(FleetError::Io(std::io::Error::other(format!(
                 "injected I/O error on manifest write #{ordinal}"
             ))));
@@ -298,6 +301,13 @@ impl CampaignDir {
     /// results file (fresh campaign), a torn final line (dropped), a
     /// missing manifest (records file is authoritative). A torn line
     /// *before* the final one is real corruption and errors.
+    ///
+    /// Loading also **heals** a torn tail: `results.jsonl` is truncated
+    /// back to the end of its last parseable line. Without this, the
+    /// next append (the handle is `O_APPEND`) would concatenate a fresh
+    /// record onto the half-written line, turning a recoverable torn
+    /// tail into a mid-file unparseable line that poisons every later
+    /// load.
     pub fn load(&self) -> Result<LoadedCampaign, FleetError> {
         let spec_text = fs::read_to_string(self.spec_path())
             .map_err(|e| FleetError::Corrupt(format!("missing spec.txt: {e}")))?;
@@ -309,13 +319,31 @@ impl CampaignDir {
             Ok(mut f) => {
                 let mut text = String::new();
                 f.read_to_string(&mut text)?;
+                drop(f);
                 let complete_len = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
                 // Anything past the last newline is a torn append.
-                let lines: Vec<&str> =
-                    text[..complete_len].lines().filter(|l| !l.trim().is_empty()).collect();
-                for (i, line) in lines.iter().enumerate() {
+                // Track each line's end offset so the torn tail can be
+                // truncated away below.
+                let mut lines: Vec<(&str, usize)> = Vec::new();
+                let mut pos = 0;
+                while pos < complete_len {
+                    let end = text[pos..complete_len]
+                        .find('\n')
+                        .map(|i| pos + i + 1)
+                        .unwrap_or(complete_len);
+                    let line = text[pos..end].trim_end_matches('\n');
+                    if !line.trim().is_empty() {
+                        lines.push((line, end));
+                    }
+                    pos = end;
+                }
+                // Byte length of the prefix that parsed cleanly — where
+                // the file is truncated to before any further appends.
+                let mut durable_len = 0u64;
+                for (i, (line, end)) in lines.iter().enumerate() {
                     match ShardRecord::decode(line) {
                         Some(rec) => {
+                            durable_len = *end as u64;
                             // First write wins: a record can be duplicated
                             // if a kill landed between append and manifest.
                             if seen.insert(rec.shard) {
@@ -333,6 +361,11 @@ impl CampaignDir {
                             )));
                         }
                     }
+                }
+                if durable_len < text.len() as u64 {
+                    let f = OpenOptions::new().write(true).open(self.results_path())?;
+                    f.set_len(durable_len)?;
+                    f.sync_all()?;
                 }
             }
         }
@@ -422,6 +455,45 @@ mod tests {
         assert_eq!(cd.append_record(&rec(2, 1), &plan).unwrap(), AppendOutcome::TornWrite);
         let loaded = cd.load().unwrap();
         assert_eq!(loaded.records.len(), 2, "torn record must not surface");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_resumed_appends_stay_parseable() {
+        let dir = tmpdir("torn-heal");
+        let mut cd = CampaignDir::create(&dir).unwrap();
+        cd.write_spec("s\n").unwrap();
+        let plan = FaultPlan { torn_write_after: Some(1), ..FaultPlan::default() };
+        cd.append_record(&rec(0, 1), &plan).unwrap();
+        assert_eq!(cd.append_record(&rec(1, 1), &plan).unwrap(), AppendOutcome::TornWrite);
+        // A resume opens a fresh CampaignDir; load() must truncate the
+        // half-written line away...
+        let mut resumed = CampaignDir::create(&dir).unwrap();
+        assert_eq!(resumed.load().unwrap().records.len(), 1);
+        // ...so the re-run shard's append starts on a clean boundary
+        // instead of concatenating onto the torn half-line.
+        resumed.append_record(&rec(1, 2), &FaultPlan::none()).unwrap();
+        let loaded = resumed.load().unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[1], rec(1, 2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_write_faults_use_their_own_ordinals() {
+        let dir = tmpdir("manifest-fault");
+        let mut cd = CampaignDir::create(&dir).unwrap();
+        cd.write_spec("s\n").unwrap();
+        let plan = FaultPlan { io_error_on_manifest_writes: vec![1], ..FaultPlan::default() };
+        let m = Manifest::default();
+        cd.write_manifest(&m, &plan).unwrap();
+        assert!(matches!(cd.write_manifest(&m, &plan), Err(FleetError::Io(_))));
+        // Appends and manifest writes are independent fault namespaces:
+        // record appends are untouched by a manifest-only plan.
+        cd.append_record(&rec(0, 1), &plan).unwrap();
+        cd.append_record(&rec(1, 1), &plan).unwrap();
+        cd.write_manifest(&m, &plan).unwrap();
+        assert_eq!(cd.load().unwrap().records.len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

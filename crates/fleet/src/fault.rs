@@ -21,9 +21,14 @@ pub struct FaultPlan {
     /// "fail once, succeed on retry"; a large value means "always
     /// fails" (drives the quarantine path).
     pub panic_on: Vec<(usize, u32)>,
-    /// Checkpoint-write ordinals (0-based, counted across the run)
-    /// that fail with an injected I/O error.
+    /// Record-append ordinals (0-based, counted across the run) that
+    /// fail with an injected I/O error.
     pub io_error_on_writes: Vec<u64>,
+    /// Manifest-write ordinals (0-based, counted across the run) that
+    /// fail with an injected I/O error. A separate namespace from
+    /// [`FaultPlan::io_error_on_writes`] — appends and manifest writes
+    /// are counted independently.
+    pub io_error_on_manifest_writes: Vec<u64>,
     /// After this many records have been appended, the next append
     /// writes only half its bytes and the run halts — a torn write.
     pub torn_write_after: Option<u64>,
@@ -52,10 +57,16 @@ impl FaultPlan {
         self.bad_spec_on.contains(&shard)
     }
 
-    /// Whether checkpoint write number `ordinal` (0-based) should fail
+    /// Whether record append number `ordinal` (0-based) should fail
     /// with an injected I/O error.
     pub fn should_fail_write(&self, ordinal: u64) -> bool {
         self.io_error_on_writes.contains(&ordinal)
+    }
+
+    /// Whether manifest write number `ordinal` (0-based) should fail
+    /// with an injected I/O error.
+    pub fn should_fail_manifest_write(&self, ordinal: u64) -> bool {
+        self.io_error_on_manifest_writes.contains(&ordinal)
     }
 
     /// Whether the append after `records_written` records should be

@@ -4,8 +4,11 @@
 //! the campaign directory. The encoding is hand-rolled (the container
 //! has no serde) but deliberately boring: one flat JSON object per
 //! line, `u64` values as `"0x…"` hex strings (JSON numbers can't carry
-//! 64 bits losslessly), `f64` via Rust's shortest-roundtrip `Display`
-//! so `encode ∘ decode` is exact.
+//! 64 bits losslessly), finite `f64` via Rust's shortest-roundtrip
+//! `Display` and non-finite `f64` (NaN/±inf, which `Display` would
+//! render as tokens the parser rejects) as `"0x…"` bit-pattern hex
+//! strings — so `encode ∘ decode` is exact and a durable record is
+//! always re-loadable.
 //!
 //! The `attempt` field is **bookkeeping, not result**: it records how
 //! many tries the shard needed (fault injection, retries) and is
@@ -44,6 +47,18 @@ pub struct ShardRecord {
     pub times: Option<Vec<u64>>,
 }
 
+/// Encodes an `f64` losslessly: `Display` for finite values (shortest
+/// roundtrip), `"0x…"` bit-pattern hex for NaN/±inf — `Display` would
+/// emit `NaN`/`inf`, which no number parser accepts, so one non-finite
+/// statistic would otherwise make the whole record unparseable.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        let _ = write!(out, "\"{:#x}\"", v.to_bits());
+    }
+}
+
 fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -68,17 +83,15 @@ impl ShardRecord {
         push_json_string(&mut out, &self.scenario);
         let _ = write!(
             out,
-            ",\"seed\":\"{:#x}\",\"attempt\":{},\"digest\":\"{:#x}\",\"n\":{},\
-             \"mean\":{},\"variance\":{},\"min\":{},\"max\":{}",
-            self.seed,
-            self.attempt,
-            self.digest,
-            self.n,
-            self.mean,
-            self.variance,
-            self.min,
-            self.max
+            ",\"seed\":\"{:#x}\",\"attempt\":{},\"digest\":\"{:#x}\",\"n\":{}",
+            self.seed, self.attempt, self.digest, self.n
         );
+        for (key, v) in
+            [("mean", self.mean), ("variance", self.variance), ("min", self.min), ("max", self.max)]
+        {
+            let _ = write!(out, ",\"{key}\":");
+            push_f64(&mut out, v);
+        }
         if let Some(times) = &self.times {
             out.push_str(",\"times\":[");
             for (i, t) in times.iter().enumerate() {
@@ -120,10 +133,10 @@ impl ShardRecord {
                 "attempt" => attempt = Some(p.number()?.parse::<u32>().ok()?),
                 "digest" => digest = Some(parse_hex_u64(&p.string()?)?),
                 "n" => n = Some(p.number()?.parse::<u64>().ok()?),
-                "mean" => mean = Some(p.number()?.parse::<f64>().ok()?),
-                "variance" => variance = Some(p.number()?.parse::<f64>().ok()?),
-                "min" => min = Some(p.number()?.parse::<f64>().ok()?),
-                "max" => max = Some(p.number()?.parse::<f64>().ok()?),
+                "mean" => mean = Some(p.f64_value()?),
+                "variance" => variance = Some(p.f64_value()?),
+                "min" => min = Some(p.f64_value()?),
+                "max" => max = Some(p.f64_value()?),
                 "times" => {
                     p.expect(b'[')?;
                     let mut v = Vec::new();
@@ -247,6 +260,16 @@ impl Parser<'_> {
         }
     }
 
+    /// An `f64` encoded either as a plain number (finite) or a `"0x…"`
+    /// bit-pattern hex string (non-finite).
+    fn f64_value(&mut self) -> Option<f64> {
+        if self.peek()? == b'"' {
+            Some(f64::from_bits(parse_hex_u64(&self.string()?)?))
+        } else {
+            self.number()?.parse().ok()
+        }
+    }
+
     fn number(&mut self) -> Option<String> {
         let start = self.pos;
         while let Some(b) = self.peek() {
@@ -303,6 +326,20 @@ mod tests {
         }
         assert_eq!(ShardRecord::decode(""), None);
         assert_eq!(ShardRecord::decode("{\"shard\":1}"), None); // missing fields
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_bit_exactly() {
+        let mut rec = sample(Some(vec![1, 2]));
+        rec.mean = f64::NAN;
+        rec.variance = f64::INFINITY;
+        rec.min = f64::NEG_INFINITY;
+        let back = ShardRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(rec.mean.to_bits(), back.mean.to_bits());
+        assert_eq!(rec.variance.to_bits(), back.variance.to_bits());
+        assert_eq!(rec.min.to_bits(), back.min.to_bits());
+        assert_eq!(rec.max.to_bits(), back.max.to_bits());
+        assert_eq!(rec.result_digest(), back.result_digest());
     }
 
     #[test]

@@ -207,6 +207,33 @@ proptest! {
     }
 }
 
+/// The torn-tail regression: a torn write, then a resume that is
+/// itself interrupted, then a final resume. Before `load()` truncated
+/// the torn tail, the interrupted resume's first append concatenated
+/// onto the half-written line, and the final resume died with
+/// `FleetError::Corrupt` on a mid-file unparseable line.
+#[test]
+fn directory_stays_loadable_when_a_resume_after_a_torn_write_is_killed() {
+    let dir = fresh_dir("torn-reload");
+    let torn = FaultPlan { torn_write_after: Some(3), ..FaultPlan::default() };
+    match launch(&tiny_spec(), &dir, &cfg(1), &torn).unwrap() {
+        RunOutcome::Killed { records_durable } => assert_eq!(records_durable, 3),
+        RunOutcome::Finished(_) => panic!("torn-write fault did not fire"),
+    }
+    // Resume appends past the (healed) torn tail, then gets killed.
+    let kill = FaultPlan { kill_after_records: Some(5), ..FaultPlan::default() };
+    match resume(&tiny_spec(), &dir, &cfg(1), &kill).unwrap() {
+        RunOutcome::Killed { records_durable } => assert!(records_durable >= 5),
+        RunOutcome::Finished(_) => panic!("kill fault did not fire"),
+    }
+    // The directory must still be loadable, and the final resume must
+    // land on the reference digest.
+    let result = finish(resume(&tiny_spec(), &dir, &cfg(3), &FaultPlan::none()).unwrap());
+    assert!(result.is_complete());
+    assert_eq!(result.campaign_digest, reference_digest());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn persistent_crash_quarantines_then_resume_recovers() {
     let dir = fresh_dir("quarantine");
