@@ -23,7 +23,7 @@
 use std::hint::black_box;
 use tscache_bench::harness::{bench, render_table, to_json, Measurement};
 use tscache_bench::suites::{
-    cache_dispatch_suite, coherence_suite, contended_machine_suite, fleet_suite,
+    cache_dispatch_suite, coherence_suite, contended_machine_suite, detector_suite, fleet_suite,
     hierarchy_batch_suite, shared_llc_machine_suite,
 };
 use tscache_bench::Args;
@@ -137,6 +137,11 @@ fn main() {
     // the bar is ≤10% overhead).
     results.extend(fleet_suite(ms.max(500)));
 
+    // Online detection: the monitored-vs-unmonitored RTOS schedule
+    // (the ≤5% sampling-cost bar) and the sampled-vs-unsampled
+    // Prime+Probe detection campaign.
+    results.extend(detector_suite(ms.max(500)));
+
     let rate = |name: &str| {
         results.iter().find(|m| m.name == name).map(|m| m.per_sec()).unwrap_or(f64::NAN)
     };
@@ -161,6 +166,9 @@ fn main() {
     let coherent_vs_shared_solo =
         rate("machine/tscache-l2-shared-coherent/solo") / rate("machine/tscache-l2-shared/solo");
     let fleet_checkpoint_ratio = rate("fleet/shards/checkpointed") / rate("fleet/shards/raw");
+    let rtos_detector_ratio = rate("rtos/detector/on") / rate("rtos/detector/off");
+    let detect_sampled_ratio =
+        rate("detect/prime-probe/sampled") / rate("detect/prime-probe/unsampled");
 
     let extra = [
         ("pr", pr as f64),
@@ -180,6 +188,8 @@ fn main() {
         ("throughput_ratio_shared_llc_contended", shared_contended_ratio),
         ("throughput_ratio_coherent_vs_shared_solo", coherent_vs_shared_solo),
         ("throughput_ratio_fleet_checkpointed_vs_raw", fleet_checkpoint_ratio),
+        ("throughput_ratio_rtos_detector_on_vs_off", rtos_detector_ratio),
+        ("throughput_ratio_detector_sampled_vs_unsampled", detect_sampled_ratio),
     ];
 
     print!("{}", render_table(&results));
@@ -199,6 +209,9 @@ fn main() {
     println!("  coherent-trace vs coherence-free solo: {coherent_vs_shared_solo:.2}x");
     println!("fleet executor (same run):");
     println!("  checkpointed campaign vs raw shards: {fleet_checkpoint_ratio:.2}x");
+    println!("online detection (same run):");
+    println!("  monitored vs unmonitored RTOS schedule: {rtos_detector_ratio:.2}x");
+    println!("  sampled vs unsampled detection campaign (rounds/sec): {detect_sampled_ratio:.2}x");
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

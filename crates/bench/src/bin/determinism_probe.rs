@@ -16,6 +16,7 @@ use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_interference::{run_contended_segment, CoRunner, ContentionConfig, SystemConfig};
 use tscache_sca::bernstein::run_attack;
+use tscache_sca::detect::{run_detection_campaign, DetectTarget, DetectionCampaignConfig};
 use tscache_sca::evict_time::run_evict_time;
 use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{collect_pair, SamplingConfig};
@@ -262,6 +263,60 @@ fn main() {
             _ => "tscache",
         };
         println!("flush_reload_{tag} {:016x}", d.0);
+    }
+
+    // Online-detection campaigns: the benign/attack scenario pair fans
+    // out over `parallel::join`, so the full ROC/latency/event outcome
+    // must be worker-count invariant for every target.
+    for target in DetectTarget::ALL {
+        let cfg = DetectionCampaignConfig::standard(target, SetupKind::Deterministic, 17);
+        let out = run_detection_campaign(&cfg);
+        let mut d = Digest::new();
+        d.u64(out.windows);
+        for s in out.attack_scores.iter().chain(&out.benign_scores) {
+            d.f64(*s);
+        }
+        for p in &out.roc.points {
+            d.f64(p.threshold);
+            d.f64(p.fpr);
+            d.f64(p.tpr);
+        }
+        d.f64(out.operating_threshold);
+        for e in &out.events {
+            d.u64(e.window);
+            d.f64(e.score);
+        }
+        d.u64(out.detection_latency.unwrap_or(u64::MAX));
+        println!("detect_{} {:016x}", target.label(), d.0);
+    }
+
+    // The RTOS-resident detector riding a monitored schedule: window
+    // scores and event streams from the in-OS sampler must digest
+    // identically across worker counts too.
+    {
+        use tscache_rtos::detector::DetectorConfig;
+        use tscache_rtos::os::{OsConfig, TscacheOs};
+        use tscache_rtos::Application;
+        let config = OsConfig {
+            rng_seed: 0xd7,
+            detector: Some(DetectorConfig::default()),
+            ..OsConfig::default()
+        };
+        let mut os = TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
+        let report = os.run(12);
+        let detection = report.detection.expect("detector was enabled");
+        let mut d = Digest::new();
+        d.u64(detection.windows);
+        d.u64(detection.masked);
+        for s in &detection.scores {
+            d.f64(*s);
+        }
+        for e in &detection.events {
+            d.u64(e.window);
+            d.f64(e.score);
+        }
+        d.f64(detection.max_score);
+        println!("rtos_detector {:016x}", d.0);
     }
 
     // MBPTA parallel measurement collection over batched-replay

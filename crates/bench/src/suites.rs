@@ -259,7 +259,7 @@ pub fn coherence_suite(setup: SetupKind, min_ms: u64) -> Vec<Measurement> {
 /// overhead is the steady-state checkpoint cost, not launch fixed
 /// cost.
 pub fn fleet_bench_spec() -> tscache_fleet::SweepSpec {
-    use tscache_fleet::spec::{AttackKind, PlatformKind, SweepSpec};
+    use tscache_fleet::spec::{AttackKind, DetectionMode, PlatformKind, SweepSpec};
     SweepSpec {
         campaign_seed: 0xbe9c4,
         samples_per_shard: 96,
@@ -269,6 +269,7 @@ pub fn fleet_bench_spec() -> tscache_fleet::SweepSpec {
         platforms: vec![PlatformKind::Private],
         contention: vec![false],
         attacks: vec![AttackKind::PrimeProbe],
+        detection: vec![DetectionMode::Off],
     }
 }
 
@@ -340,6 +341,93 @@ pub fn fleet_suite(min_ms: u64) -> Vec<Measurement> {
     vec![raw, ckpt]
 }
 
+/// The online-detection suite: what watching for an attack costs.
+///
+/// Two interleaved pairs, each side one run per round in the same
+/// timed window (the fleet-suite drift discipline):
+///
+/// * the RTOS schedule with the in-OS detector off vs on — the
+///   deployment-relevant number; the acceptance bar is the monitored
+///   schedule at ≥ 0.95× the unmonitored one (sampling is a counter
+///   read per op-window, not a simulation);
+/// * the Prime+Probe detection campaign sampled vs unsampled, in
+///   rounds/sec — the sampled side simulates both the benign and the
+///   attack scenario (2× the rounds) through `parallel::join`, so its
+///   per-round rate also records what the campaign pair costs.
+pub fn detector_suite(min_ms: u64) -> Vec<Measurement> {
+    use std::time::Instant;
+    use tscache_rtos::detector::DetectorConfig;
+    use tscache_rtos::os::{OsConfig, TscacheOs};
+    use tscache_rtos::Application;
+    use tscache_sca::detect::{run_detection_campaign, DetectTarget, DetectionCampaignConfig};
+
+    let hyperperiods = 8u32;
+    let jobs = |report: &tscache_rtos::os::CampaignReport| {
+        report.times.iter().map(|t| t.len() as u64).sum::<u64>()
+    };
+
+    let mut off =
+        Measurement { name: "rtos/detector/off".into(), unit: "jobs", units: 0, elapsed_ns: 0 };
+    let mut on =
+        Measurement { name: "rtos/detector/on".into(), unit: "jobs", units: 0, elapsed_ns: 0 };
+    let mut unsampled = Measurement {
+        name: "detect/prime-probe/unsampled".into(),
+        unit: "rounds",
+        units: 0,
+        elapsed_ns: 0,
+    };
+    let mut sampled = Measurement {
+        name: "detect/prime-probe/sampled".into(),
+        unit: "rounds",
+        units: 0,
+        elapsed_ns: 0,
+    };
+
+    let budget = (min_ms as u128) * 1_000_000;
+    let mut salt = 0u64;
+    while off.elapsed_ns < budget
+        || on.elapsed_ns < budget
+        || unsampled.elapsed_ns < budget
+        || sampled.elapsed_ns < budget
+    {
+        salt += 1;
+
+        let config = OsConfig { rng_seed: salt, ..OsConfig::default() };
+        let mut os = TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
+        let start = Instant::now();
+        let report = black_box(os.run(hyperperiods));
+        off.elapsed_ns += start.elapsed().as_nanos();
+        off.units += jobs(&report);
+
+        let config = OsConfig {
+            rng_seed: salt,
+            detector: Some(DetectorConfig::default()),
+            ..OsConfig::default()
+        };
+        let mut os = TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
+        let start = Instant::now();
+        let report = black_box(os.run(hyperperiods));
+        on.elapsed_ns += start.elapsed().as_nanos();
+        on.units += jobs(&report);
+
+        let mut cfg =
+            DetectionCampaignConfig::standard(DetectTarget::PrimeProbe, SetupKind::TsCache, salt);
+        cfg.sample = false;
+        let start = Instant::now();
+        black_box(run_detection_campaign(&cfg));
+        unsampled.elapsed_ns += start.elapsed().as_nanos();
+        unsampled.units += cfg.rounds as u64;
+
+        cfg.sample = true;
+        let start = Instant::now();
+        black_box(run_detection_campaign(&cfg));
+        sampled.elapsed_ns += start.elapsed().as_nanos();
+        sampled.units += 2 * cfg.rounds as u64;
+    }
+
+    vec![off, on, unsampled, sampled]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +494,22 @@ mod tests {
         let results = fleet_suite(1);
         let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, ["fleet/shards/raw", "fleet/shards/checkpointed"]);
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
+
+    #[test]
+    fn detector_suite_reports_both_interleaved_pairs() {
+        let results = detector_suite(1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "rtos/detector/off",
+                "rtos/detector/on",
+                "detect/prime-probe/unsampled",
+                "detect/prime-probe/sampled"
+            ]
+        );
         assert!(results.iter().all(|m| m.per_sec() > 0.0));
     }
 

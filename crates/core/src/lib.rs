@@ -42,6 +42,7 @@ pub mod geometry;
 pub mod hierarchy;
 pub mod parallel;
 pub mod placement;
+pub mod pmu;
 pub mod prng;
 pub mod properties;
 pub mod replacement;
@@ -55,6 +56,7 @@ pub use error::ConfigError;
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessKind, Hierarchy, HierarchyBatchOutcome, Latencies, OpTiming, TraceOp};
 pub use placement::{MbptaClass, Placement, PlacementEngine, PlacementKind};
+pub use pmu::{PmuCounters, PmuDelta, PmuSampler, PmuSnapshot};
 pub use replacement::{Replacement, ReplacementEngine, ReplacementKind};
 pub use seed::{ProcessId, Seed, SeedTable};
 pub use setup::{HierarchyDepth, SeedSharing, SetupKind};

@@ -1,0 +1,130 @@
+//! Property tests for the PMU snapshot/delta machinery: deltas are
+//! always finite, non-negative, and never panic — even when counters
+//! rewind (the underflow bug class the delta-safe path exists for).
+
+use proptest::prelude::*;
+use tscache_core::pmu::{delta_u64, PmuSampler, PmuSnapshot};
+use tscache_core::stats::CacheStats;
+
+fn stats(hits: u64, misses: u64, invals: u64, xev: u64) -> CacheStats {
+    let mut s = CacheStats::new();
+    for _ in 0..hits {
+        s.record_hit();
+    }
+    for _ in 0..misses {
+        s.record_miss(true);
+    }
+    for _ in 0..invals {
+        s.record_coh_invalidation();
+    }
+    for _ in 0..xev {
+        s.record_cross_process_eviction();
+    }
+    s
+}
+
+type Level = (u64, u64, u64, u64);
+
+fn snapshot(levels: &[Level], bus: u64, cycles: u64) -> PmuSnapshot {
+    let stats: Vec<CacheStats> = levels.iter().map(|&(h, m, i, x)| stats(h, m, i, x)).collect();
+    PmuSnapshot::from_level_stats(&stats).with_bus_wait(bus).with_cycles(cycles)
+}
+
+fn level() -> impl Strategy<Value = Level> {
+    (0u64..200, 0u64..200, 0u64..50, 0u64..50)
+}
+
+proptest! {
+    /// Arbitrary before/after snapshot pairs — including rewound
+    /// counters and mismatched level counts — always produce finite,
+    /// non-negative deltas and rates, never a panic or a wrap.
+    #[test]
+    fn deltas_are_finite_and_non_negative(
+        before in prop::collection::vec(level(), 0..4),
+        after in prop::collection::vec(level(), 0..4),
+        bus in (0u64..10_000, 0u64..10_000),
+        cyc in (0u64..10_000, 0u64..10_000),
+    ) {
+        let b = snapshot(&before, bus.0, cyc.0);
+        let a = snapshot(&after, bus.1, cyc.1);
+        let d = a.delta(&b);
+        let t = d.total();
+        // u64 fields cannot be negative; what matters is that the
+        // saturating path never wrapped toward u64::MAX.
+        prop_assert!(t.accesses <= a.levels.iter().map(|l| l.accesses).sum::<u64>());
+        prop_assert!(t.misses <= a.levels.iter().map(|l| l.misses).sum::<u64>());
+        prop_assert!(d.bus_wait_cycles <= bus.1);
+        prop_assert!(d.cycles <= cyc.1);
+        for rate in [d.miss_rate(), d.inval_rate(), d.cross_eviction_rate()] {
+            prop_assert!(rate.is_finite() && rate >= 0.0, "rate {rate} out of range");
+        }
+        prop_assert!(d.miss_rate() <= 1.0);
+    }
+
+    /// The monotone flag is `true` exactly when no counter rewound and
+    /// the level counts matched.
+    #[test]
+    fn monotone_flag_matches_reality(
+        base in prop::collection::vec(level(), 1..4),
+        grow in prop::collection::vec(level(), 1..4),
+    ) {
+        let b = snapshot(&base, 10, 10);
+        if base.len() == grow.len() {
+            // Growing every counter from the same base is monotone by
+            // construction.
+            let grown: Vec<Level> = base
+                .iter()
+                .zip(&grow)
+                .map(|(x, y)| (x.0 + y.0, x.1 + y.1, x.2 + y.2, x.3 + y.3))
+                .collect();
+            let a = snapshot(&grown, 20, 30);
+            prop_assert!(a.delta(&b).monotone);
+        } else {
+            let a = snapshot(&grow, 20, 30);
+            prop_assert!(!a.delta(&b).monotone, "level-count mismatch must clear monotone");
+        }
+    }
+
+    /// A reset (counters rewound to zero) clamps instead of wrapping.
+    #[test]
+    fn reset_mid_window_clamps(
+        lvl in (1u64..100, 1u64..100, 0u64..20, 0u64..20),
+        bus in 1u64..1_000,
+    ) {
+        let b = snapshot(&[lvl], bus, bus);
+        let a = snapshot(&[(0, 0, 0, 0)], 0, 0);
+        let d = a.delta(&b);
+        prop_assert!(!d.monotone);
+        prop_assert_eq!(d.accesses(), 0);
+        prop_assert_eq!(d.bus_wait_cycles, 0);
+        prop_assert_eq!(delta_u64(0, bus), 0);
+    }
+
+    /// Sampler windows partition the run: per-window deltas sum to the
+    /// whole-run delta (nothing double-counted, nothing lost).
+    #[test]
+    fn sampler_windows_partition_the_run(
+        steps in prop::collection::vec((1u64..50, 0u64..50), 1..20),
+        window_ops in 1u64..16,
+    ) {
+        let mut total = (0u64, 0u64);
+        let mut sampler = PmuSampler::new(window_ops, snapshot(&[(0, 0, 0, 0)], 0, 0));
+        let mut seen = (0u64, 0u64);
+        for &(h, m) in &steps {
+            total.0 += h;
+            total.1 += m;
+            if sampler.note_ops(h + m) {
+                let d = sampler.cut(snapshot(&[(total.0, total.1, 0, 0)], 0, 0));
+                prop_assert!(d.monotone);
+                seen.0 += d.accesses();
+                seen.1 += d.misses();
+            }
+        }
+        // Close the final partial window.
+        let d = sampler.cut(snapshot(&[(total.0, total.1, 0, 0)], 0, 0));
+        seen.0 += d.accesses();
+        seen.1 += d.misses();
+        prop_assert_eq!(seen.1, total.1, "windows must partition the miss stream");
+        prop_assert_eq!(seen.0, total.0 + total.1, "windows must partition the access stream");
+    }
+}

@@ -16,8 +16,9 @@
 //!   immediately, no retry.
 //! * **Worker crash** (panic, caught per-shard with `catch_unwind`):
 //!   retried up to [`ExecutorConfig::max_retries`] with deterministic
-//!   backoff *accounting* (`1 << attempt` units, recorded rather than
-//!   slept — the simulation has no wall clock worth burning), then
+//!   backoff *accounting* (exponential `2^(attempt-1)` units,
+//!   saturating at `u64::MAX`, recorded rather than slept — the
+//!   simulation has no wall clock worth burning), then
 //!   quarantined. The campaign completes around quarantined shards
 //!   with explicit per-scenario coverage, and a resume re-attempts
 //!   them fresh (the fault may have been environmental).
@@ -135,9 +136,18 @@ pub struct ScenarioReport {
 pub struct Accounting {
     /// Shard attempts that panicked and were retried.
     pub retries: u64,
-    /// Deterministic backoff units accrued (`1 << (attempt-1)` per
-    /// retry).
+    /// Deterministic backoff units accrued (`2^(attempt-1)` per retry,
+    /// saturating at `u64::MAX` — see [`backoff_units_for`]).
     pub backoff_units: u64,
+}
+
+/// Backoff units charged for retrying a crash at `attempt` (1-based):
+/// exponential `2^(attempt-1)`, saturating at `u64::MAX` once the
+/// exponent leaves the 64-bit range. A plain `1u64 << (attempt - 1)`
+/// panics in debug builds (and wraps to garbage in release) past 64
+/// attempts — reachable via `fleet_campaign --retries`.
+fn backoff_units_for(attempt: u32) -> u64 {
+    attempt.checked_sub(1).and_then(|shift| 1u64.checked_shl(shift)).unwrap_or(u64::MAX)
 }
 
 /// The merged campaign result.
@@ -328,7 +338,8 @@ impl Progress<'_> {
             AttemptResult::Crashed { message } => {
                 if attempt <= self.cfg.max_retries {
                     self.accounting.retries += 1;
-                    self.accounting.backoff_units += 1u64 << (attempt - 1);
+                    self.accounting.backoff_units =
+                        self.accounting.backoff_units.saturating_add(backoff_units_for(attempt));
                     Step::Retry(job, attempt + 1)
                 } else {
                     self.quarantined.push(Quarantined {
@@ -663,4 +674,40 @@ pub fn render_report(result: &CampaignResult) -> String {
         result.accounting.retries, result.accounting.backoff_units
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_units_grow_exponentially_in_range() {
+        assert_eq!(backoff_units_for(1), 1);
+        assert_eq!(backoff_units_for(2), 2);
+        assert_eq!(backoff_units_for(10), 512);
+        assert_eq!(backoff_units_for(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn backoff_units_saturate_past_the_shift_width() {
+        // Attempt 65 would shift by 64 — the exact boundary where the
+        // old `1u64 << (attempt - 1)` panicked in debug builds and
+        // wrapped to 1 in release. It must saturate instead.
+        assert_eq!(backoff_units_for(65), u64::MAX);
+        assert_eq!(backoff_units_for(66), u64::MAX);
+        assert_eq!(backoff_units_for(u32::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn accumulated_backoff_saturates_instead_of_wrapping() {
+        // Sum of 2^0..2^63 is exactly u64::MAX; one more retry at any
+        // attempt must pin there, not wrap back toward zero.
+        let mut acc = 0u64;
+        for attempt in 1..=64 {
+            acc = acc.saturating_add(backoff_units_for(attempt));
+        }
+        assert_eq!(acc, u64::MAX);
+        acc = acc.saturating_add(backoff_units_for(65));
+        assert_eq!(acc, u64::MAX);
+    }
 }

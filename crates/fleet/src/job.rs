@@ -11,10 +11,14 @@
 //! crash and is the executor's `catch_unwind` business, not ours.
 
 use crate::digest::Fnv64;
-use crate::spec::{AttackKind, PlatformKind, ShardJob};
+use crate::spec::{AttackKind, DetectionMode, PlatformKind, ShardJob};
 use tscache_core::error::ConfigError;
 use tscache_interference::ContentionConfig;
+use tscache_rtos::detector::{DetectionKind, DetectorConfig};
 use tscache_rtos::{Application, OsConfig, TscacheOs};
+use tscache_sca::detect::{
+    try_run_detection_campaign, DetectTarget, DetectionCampaignConfig, EvasionMode,
+};
 use tscache_sca::flush_reload::{run_flush_reload, FlushReloadConfig, FlushReloadIsolation};
 use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
@@ -207,9 +211,16 @@ fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError
             ));
         }
     };
-    let config = OsConfig { rng_seed: job.seed, shared_llc, coherent_image, ..OsConfig::default() };
+    let detector = (scenario.detection == DetectionMode::Monitor).then(DetectorConfig::default);
+    let config = OsConfig {
+        rng_seed: job.seed,
+        shared_llc,
+        coherent_image,
+        detector,
+        ..OsConfig::default()
+    };
     let hyperperiods = (job.samples / 8).clamp(1, 128);
-    let mut os = TscacheOs::new(Application::figure3_example(), scenario.setup, config);
+    let mut os = TscacheOs::try_new(Application::figure3_example(), scenario.setup, config)?;
     let report = os.run(hyperperiods);
     let mut h = Fnv64::new();
     for runnable_times in &report.times {
@@ -225,10 +236,78 @@ fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError
     h.write_u64(report.work_cycles);
     h.write_u64(report.bus_wait_cycles);
     h.write_u64(report.coh_invalidations);
+    if let Some(detection) = &report.detection {
+        h.write_u64(detection.windows);
+        h.write_u64(detection.masked);
+        for s in &detection.scores {
+            h.write_f64(*s);
+        }
+        h.write_u64(detection.events.len() as u64);
+        h.write_f64(detection.max_score);
+    }
     let digest = h.finish();
     let all_times: Vec<u64> = report.times.into_iter().flatten().collect();
     let (n, mean, variance, min, max) = moments(&all_times);
     Ok(ShardOutput { digest, n, mean, variance, min, max, times: keep_times.then_some(all_times) })
+}
+
+/// Runs an online-detection campaign shard: the instrumented attack
+/// scored against the sliding-window detector. Headline metrics:
+/// `n` = sampling windows, `mean` = ROC AUC, `min` = detection latency
+/// in windows (−1 when the attack was never caught at the operating
+/// threshold), `max` = peak attack-window suspicion score.
+fn run_detect(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
+    let scenario = &job.scenario;
+    let target = match scenario.attack {
+        AttackKind::PrimeProbe => DetectTarget::PrimeProbe,
+        AttackKind::FlushReload => DetectTarget::FlushReload,
+        AttackKind::Bernstein => DetectTarget::Bernstein,
+        other => {
+            return Err(ConfigError::incompatible(format!(
+                "no detection campaign for the {} attack",
+                other.label()
+            )));
+        }
+    };
+    let evasion = match scenario.detection {
+        DetectionMode::Monitor => EvasionMode::None,
+        DetectionMode::Throttle => EvasionMode::Throttle,
+        DetectionMode::Jitter => EvasionMode::Jitter,
+        DetectionMode::Off => {
+            return Err(ConfigError::incompatible("detection shard dispatched with detection off"));
+        }
+    };
+    let mut cfg = DetectionCampaignConfig::standard(target, scenario.setup, job.seed);
+    cfg.rounds = job.samples;
+    cfg.window_rounds = cfg.window_rounds.min(job.samples.max(1));
+    cfg.evasion = evasion;
+    let out = try_run_detection_campaign(&cfg)?;
+    let mut h = Fnv64::new();
+    h.write_u64(out.windows);
+    for s in out.attack_scores.iter().chain(&out.benign_scores).chain(&out.attack_progress) {
+        h.write_f64(*s);
+    }
+    for p in &out.roc.points {
+        h.write_f64(p.threshold);
+        h.write_f64(p.fpr);
+        h.write_f64(p.tpr);
+    }
+    h.write_f64(out.operating_threshold);
+    for e in &out.events {
+        h.write_u64(e.window);
+        h.write_u64(matches!(e.kind, DetectionKind::Coherence) as u64);
+        h.write_f64(e.score);
+    }
+    h.write_u64(out.detection_latency.unwrap_or(u64::MAX));
+    Ok(ShardOutput {
+        digest: h.finish(),
+        n: out.windows,
+        mean: out.auc(),
+        variance: 0.0,
+        min: out.detection_latency.map_or(-1.0, |w| w as f64),
+        max: out.max_attack_score(),
+        times: None,
+    })
 }
 
 /// Runs one shard to completion.
@@ -237,6 +316,9 @@ fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError
 /// output for attacks that produce them (required for merged pWCET
 /// analysis; summaries alone suffice for the rest).
 pub fn run_shard(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
+    if job.scenario.detection != DetectionMode::Off && job.scenario.attack != AttackKind::Rtos {
+        return run_detect(job);
+    }
     match job.scenario.attack {
         AttackKind::Bernstein => run_bernstein(job),
         AttackKind::Pwcet => run_pwcet(job, keep_times),
@@ -254,6 +336,15 @@ mod tests {
     use tscache_core::setup::{HierarchyDepth, SetupKind};
 
     fn job_for(attack: AttackKind, platform: PlatformKind, samples: u32) -> ShardJob {
+        detect_job_for(attack, platform, samples, DetectionMode::Off)
+    }
+
+    fn detect_job_for(
+        attack: AttackKind,
+        platform: PlatformKind,
+        samples: u32,
+        detection: DetectionMode,
+    ) -> ShardJob {
         let scenario = Scenario {
             key: format!("{}/test", attack.label()),
             attack,
@@ -261,6 +352,7 @@ mod tests {
             depth: HierarchyDepth::TwoLevel,
             platform,
             contended: false,
+            detection,
         };
         ShardJob { shard: 0, scenario_index: 0, scenario, seed: mix64(42), samples }
     }
@@ -307,6 +399,46 @@ mod tests {
         assert!(
             run_shard(&job_for(AttackKind::PrimeProbe, PlatformKind::Private, 0), false).is_err()
         );
+    }
+
+    #[test]
+    fn detection_shards_run_and_are_deterministic() {
+        for (attack, platform) in [
+            (AttackKind::PrimeProbe, PlatformKind::Private),
+            (AttackKind::FlushReload, PlatformKind::Coherent),
+            (AttackKind::Bernstein, PlatformKind::Private),
+        ] {
+            for detection in
+                [DetectionMode::Monitor, DetectionMode::Throttle, DetectionMode::Jitter]
+            {
+                let job = detect_job_for(attack, platform, 48, detection);
+                let a = run_shard(&job, false).unwrap();
+                let b = run_shard(&job, false).unwrap();
+                assert_eq!(a, b, "{attack:?}/{detection:?} not deterministic");
+                assert!(a.n > 0, "{attack:?}/{detection:?} cut no windows");
+                assert!((0.0..=1.0).contains(&a.mean), "AUC out of range: {}", a.mean);
+            }
+        }
+    }
+
+    #[test]
+    fn monitored_rtos_shards_report_the_detector_digest() {
+        let base = job_for(AttackKind::Rtos, PlatformKind::Coherent, 24);
+        let monitored =
+            detect_job_for(AttackKind::Rtos, PlatformKind::Coherent, 24, DetectionMode::Monitor);
+        let plain = run_shard(&base, false).unwrap();
+        let with_detector = run_shard(&monitored, false).unwrap();
+        // The schedule is identical; only the digest surface grows.
+        assert_eq!(plain.n, with_detector.n);
+        assert_ne!(plain.digest, with_detector.digest);
+        assert_eq!(run_shard(&monitored, false).unwrap(), with_detector);
+    }
+
+    #[test]
+    fn detection_shards_reject_inapplicable_attacks() {
+        let job =
+            detect_job_for(AttackKind::Pwcet, PlatformKind::Private, 24, DetectionMode::Monitor);
+        assert!(run_shard(&job, false).is_err());
     }
 
     #[test]

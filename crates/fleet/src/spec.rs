@@ -25,6 +25,7 @@
 //! platforms = private, shared, shared-partitioned, coherent
 //! contention = off, on
 //! attacks   = bernstein, pwcet, prime-probe, flush-reload, rtos
+//! detection = off, monitor, throttle, jitter
 //! ```
 
 use crate::digest::Fnv64;
@@ -105,11 +106,50 @@ impl PlatformKind {
     }
 }
 
+/// Online-detection variants of the scenario lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectionMode {
+    /// No detector: the plain attack campaign (the historical
+    /// scenarios — their keys and digests are unchanged).
+    Off,
+    /// The sliding-window detector watches a full-rate attack. On the
+    /// RTOS campaign this arms [`tscache_rtos::os::OsConfig::detector`]
+    /// over the benign schedule instead (there is no attacker there —
+    /// it pins the zero-false-positive calibration).
+    Monitor,
+    /// Detector on, attacker throttled to every fourth round.
+    Throttle,
+    /// Detector on, attacker jittering its line selection.
+    Jitter,
+}
+
+impl DetectionMode {
+    /// Every detection mode, in spec order.
+    pub const ALL: [DetectionMode; 4] = [
+        DetectionMode::Off,
+        DetectionMode::Monitor,
+        DetectionMode::Throttle,
+        DetectionMode::Jitter,
+    ];
+
+    /// Spec-format label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectionMode::Off => "off",
+            DetectionMode::Monitor => "monitor",
+            DetectionMode::Throttle => "throttle",
+            DetectionMode::Jitter => "jitter",
+        }
+    }
+}
+
 /// One expanded scenario: a point of the lattice with only the axes
 /// that apply to its attack family.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
-    /// Canonical key, e.g. `bernstein/tscache/l3/shared/contended`.
+    /// Canonical key, e.g. `bernstein/tscache/l3/shared/contended`
+    /// (detection scenarios append a sixth segment, e.g.
+    /// `prime-probe/tscache/l2/private/solo/monitor`).
     pub key: String,
     /// Attack family.
     pub attack: AttackKind,
@@ -121,6 +161,8 @@ pub struct Scenario {
     pub platform: PlatformKind,
     /// Whether enemy co-runners contend on the shared bus.
     pub contended: bool,
+    /// Online-detection variant.
+    pub detection: DetectionMode,
 }
 
 /// One unit of work: a scenario shard with its derived seed.
@@ -159,6 +201,8 @@ pub struct SweepSpec {
     pub contention: Vec<bool>,
     /// Attack-family axis.
     pub attacks: Vec<AttackKind>,
+    /// Online-detection axis.
+    pub detection: Vec<DetectionMode>,
 }
 
 /// Everything that can go wrong running a fleet campaign. The variants
@@ -237,6 +281,10 @@ fn parse_attack(s: &str) -> Option<AttackKind> {
     AttackKind::ALL.into_iter().find(|a| a.label() == s)
 }
 
+fn parse_detection(s: &str) -> Option<DetectionMode> {
+    DetectionMode::ALL.into_iter().find(|d| d.label() == s)
+}
+
 fn parse_u64(v: &str) -> Option<u64> {
     if let Some(hex) = v.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).ok()
@@ -258,13 +306,14 @@ impl SweepSpec {
             platforms: PlatformKind::ALL.to_vec(),
             contention: vec![false, true],
             attacks: AttackKind::ALL.to_vec(),
+            detection: DetectionMode::ALL.to_vec(),
         }
     }
 
     /// The CI smoke sweep: small but crossing every subsystem —
     /// two setups, both depths, all platforms, both contention values,
-    /// every attack family; tiny shards so a kill+resume round trip
-    /// stays in seconds.
+    /// every attack family, detection off and monitoring; tiny shards
+    /// so a kill+resume round trip stays in seconds.
     pub fn smoke() -> Self {
         SweepSpec {
             campaign_seed: 0xf1ee7,
@@ -275,6 +324,7 @@ impl SweepSpec {
             platforms: PlatformKind::ALL.to_vec(),
             contention: vec![false, true],
             attacks: AttackKind::ALL.to_vec(),
+            detection: vec![DetectionMode::Off, DetectionMode::Monitor],
         }
     }
 
@@ -289,6 +339,7 @@ impl SweepSpec {
             platforms: vec![PlatformKind::Private],
             contention: vec![false],
             attacks: Vec::new(),
+            detection: vec![DetectionMode::Off],
         };
         let err = |line: usize, msg: String| FleetError::SpecParse { line, msg };
         for (i, raw) in text.lines().enumerate() {
@@ -359,6 +410,14 @@ impl SweepSpec {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "detection" => {
+                    spec.detection = items()
+                        .map(|s| {
+                            parse_detection(s)
+                                .ok_or_else(|| err(line_no, format!("unknown detection `{s}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(err(line_no, format!("unknown key `{other}`"))),
             }
         }
@@ -372,7 +431,8 @@ impl SweepSpec {
         let join = |items: Vec<&str>| items.join(", ");
         format!(
             "campaign_seed = {:#x}\nsamples_per_shard = {}\nshards_per_scenario = {}\n\
-             setups = {}\ndepths = {}\nplatforms = {}\ncontention = {}\nattacks = {}\n",
+             setups = {}\ndepths = {}\nplatforms = {}\ncontention = {}\nattacks = {}\n\
+             detection = {}\n",
             self.campaign_seed,
             self.samples_per_shard,
             self.shards_per_scenario,
@@ -381,6 +441,7 @@ impl SweepSpec {
             join(self.platforms.iter().map(|p| p.label()).collect()),
             join(self.contention.iter().map(|c| if *c { "on" } else { "off" }).collect()),
             join(self.attacks.iter().map(|a| a.label()).collect()),
+            join(self.detection.iter().map(|d| d.label()).collect()),
         )
     }
 
@@ -410,6 +471,9 @@ impl SweepSpec {
         if self.depths.is_empty() || self.platforms.is_empty() || self.contention.is_empty() {
             return bad("depths/platforms/contention axes must each name at least one value");
         }
+        if self.detection.is_empty() {
+            return bad("detection axis must name at least one value (use `off`)");
+        }
         Ok(())
     }
 
@@ -422,7 +486,32 @@ impl SweepSpec {
         depth: HierarchyDepth,
         platform: PlatformKind,
         contended: bool,
+        detection: DetectionMode,
     ) -> Option<(HierarchyDepth, PlatformKind, bool)> {
+        if detection != DetectionMode::Off {
+            // Detection campaigns fix their own platform per target:
+            // the instrumented Prime+Probe/Bernstein harnesses model a
+            // time-shared private hierarchy, Flush+Reload needs the
+            // coherent platform, and the RTOS campaign only supports
+            // passive monitoring (there is no attacker to throttle).
+            return match attack {
+                AttackKind::PrimeProbe | AttackKind::Bernstein => {
+                    Some((HierarchyDepth::TwoLevel, PlatformKind::Private, false))
+                }
+                AttackKind::FlushReload => {
+                    Some((HierarchyDepth::TwoLevel, PlatformKind::Coherent, false))
+                }
+                AttackKind::Rtos if detection == DetectionMode::Monitor => Self::canonicalize(
+                    attack,
+                    _setup,
+                    depth,
+                    platform,
+                    contended,
+                    DetectionMode::Off,
+                ),
+                _ => None,
+            };
+        }
         match attack {
             // The full lattice, minus coherence (Bernstein samples its
             // own process pair; the coherent shared-segment variant is
@@ -477,23 +566,40 @@ impl SweepSpec {
                 for &depth in &self.depths {
                     for &platform in &self.platforms {
                         for &contended in &self.contention {
-                            let Some((depth, platform, contended)) =
-                                Self::canonicalize(attack, setup, depth, platform, contended)
-                            else {
-                                continue;
-                            };
-                            let key = format!(
-                                "{}/{}/{}/{}/{}",
-                                attack.label(),
-                                setup.label(),
-                                depth.label(),
-                                platform.label(),
-                                if contended { "contended" } else { "solo" }
-                            );
-                            if !seen.insert(key.clone()) {
-                                continue;
+                            for &detection in &self.detection {
+                                let Some((depth, platform, contended)) = Self::canonicalize(
+                                    attack, setup, depth, platform, contended, detection,
+                                ) else {
+                                    continue;
+                                };
+                                // Detection-off keys keep the historical
+                                // five-segment form, so pre-axis campaign
+                                // checkpoints and digests stay valid.
+                                let mut key = format!(
+                                    "{}/{}/{}/{}/{}",
+                                    attack.label(),
+                                    setup.label(),
+                                    depth.label(),
+                                    platform.label(),
+                                    if contended { "contended" } else { "solo" }
+                                );
+                                if detection != DetectionMode::Off {
+                                    key.push('/');
+                                    key.push_str(detection.label());
+                                }
+                                if !seen.insert(key.clone()) {
+                                    continue;
+                                }
+                                out.push(Scenario {
+                                    key,
+                                    attack,
+                                    setup,
+                                    depth,
+                                    platform,
+                                    contended,
+                                    detection,
+                                });
                             }
-                            out.push(Scenario { key, attack, setup, depth, platform, contended });
                         }
                     }
                 }
@@ -579,8 +685,10 @@ mod tests {
     #[test]
     fn expansion_dedupes_inapplicable_axes() {
         // Prime+Probe collapses depth/platform/contention: one scenario
-        // per setup no matter how wide those axes are.
+        // per setup no matter how wide those axes are. (Detection
+        // pinned off: the axis multiplies scenarios by design.)
         let mut spec = SweepSpec::full(1, 10, 1);
+        spec.detection = vec![DetectionMode::Off];
         spec.attacks = vec![AttackKind::PrimeProbe];
         let scenarios = spec.expand().unwrap();
         assert_eq!(scenarios.len(), SetupKind::ALL.len());
@@ -599,6 +707,10 @@ mod tests {
         let mut spec = SweepSpec::full(1, 10, 1);
         spec.attacks = vec![AttackKind::FlushReload];
         spec.platforms = vec![PlatformKind::Private];
+        // With the detection axis open, Flush+Reload re-canonicalizes
+        // onto the coherent machine — the private platform only
+        // becomes vacuous once detection is pinned off.
+        spec.detection = vec![DetectionMode::Off];
         assert!(matches!(spec.expand().unwrap_err(), FleetError::BadSpec(_)));
     }
 
@@ -621,5 +733,63 @@ mod tests {
         let scenarios = spec.expand().unwrap();
         let keys: std::collections::HashSet<_> = scenarios.iter().map(|s| &s.key).collect();
         assert_eq!(keys.len(), scenarios.len());
+    }
+
+    #[test]
+    fn detection_off_keys_match_the_historical_format() {
+        let mut spec = SweepSpec::full(7, 10, 1);
+        spec.detection = vec![DetectionMode::Off];
+        let with_axis = spec.expand().unwrap();
+        assert!(with_axis.iter().all(|s| s.key.split('/').count() == 5));
+        assert!(with_axis.iter().all(|s| s.detection == DetectionMode::Off));
+    }
+
+    #[test]
+    fn detection_scenarios_collapse_to_their_canonical_platform() {
+        let mut spec = SweepSpec::full(7, 10, 1);
+        spec.attacks = vec![AttackKind::PrimeProbe, AttackKind::FlushReload, AttackKind::Pwcet];
+        spec.detection = vec![DetectionMode::Monitor, DetectionMode::Jitter];
+        let scenarios = spec.expand().unwrap();
+        // pWCET has no detection campaign; the others get one scenario
+        // per (setup, mode) with a six-segment key.
+        assert!(scenarios.iter().all(|s| s.attack != AttackKind::Pwcet));
+        assert_eq!(scenarios.len(), 2 * 2 * SetupKind::ALL.len());
+        for s in &scenarios {
+            assert_eq!(s.key.split('/').count(), 6, "{}", s.key);
+            assert!(s.key.ends_with("monitor") || s.key.ends_with("jitter"), "{}", s.key);
+            let expected = match s.attack {
+                AttackKind::FlushReload => PlatformKind::Coherent,
+                _ => PlatformKind::Private,
+            };
+            assert_eq!(s.platform, expected, "{}", s.key);
+        }
+    }
+
+    #[test]
+    fn rtos_supports_monitoring_but_not_evasion_modes() {
+        let mut spec = SweepSpec::full(7, 10, 1);
+        spec.attacks = vec![AttackKind::Rtos];
+        spec.detection = DetectionMode::ALL.to_vec();
+        let scenarios = spec.expand().unwrap();
+        assert!(scenarios
+            .iter()
+            .all(|s| matches!(s.detection, DetectionMode::Off | DetectionMode::Monitor)));
+        // Monitoring keeps the full platform sub-lattice of the RTOS
+        // campaign (private/shared/coherent), mirroring the off axis.
+        let monitored = scenarios.iter().filter(|s| s.detection == DetectionMode::Monitor).count();
+        let off = scenarios.iter().filter(|s| s.detection == DetectionMode::Off).count();
+        assert_eq!(monitored, off);
+    }
+
+    #[test]
+    fn detection_axis_roundtrips_and_widens_the_smoke_sweep() {
+        let spec = SweepSpec::smoke();
+        assert_eq!(spec.detection, vec![DetectionMode::Off, DetectionMode::Monitor]);
+        let reparsed = SweepSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(spec, reparsed);
+        // A spec without the key parses to the detection-off default.
+        let legacy = SweepSpec::parse("attacks = prime-probe\nsetups = tscache\n").unwrap();
+        assert_eq!(legacy.detection, vec![DetectionMode::Off]);
+        assert!(SweepSpec::parse("attacks = rtos\nsetups = tscache\ndetection = bogus\n").is_err());
     }
 }

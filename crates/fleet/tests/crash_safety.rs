@@ -14,7 +14,7 @@ use std::sync::OnceLock;
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_fleet::executor::{launch, resume, ExecutorConfig, QuarantineReason, RunOutcome};
 use tscache_fleet::fault::FaultPlan;
-use tscache_fleet::spec::{AttackKind, FleetError, PlatformKind, SweepSpec};
+use tscache_fleet::spec::{AttackKind, DetectionMode, FleetError, PlatformKind, SweepSpec};
 
 /// Worker counts of the determinism matrix (mirrors CI).
 const WORKERS: [usize; 3] = [1, 3, 8];
@@ -31,6 +31,7 @@ fn tiny_spec() -> SweepSpec {
         platforms: vec![PlatformKind::Private],
         contention: vec![false],
         attacks: vec![AttackKind::PrimeProbe],
+        detection: vec![DetectionMode::Off],
     }
 }
 
@@ -292,6 +293,75 @@ fn injected_io_error_halts_cleanly_and_resume_completes() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The detection axis end to end: a sweep mixing detection-off,
+/// monitored and evading scenarios is worker-count invariant, and a
+/// kill-and-resume lands on the same campaign digest bit for bit —
+/// the ROC/latency digests must be as crash-safe as the attack
+/// digests they ride next to.
+#[test]
+fn detection_axis_is_deterministic_and_survives_kill_and_resume() {
+    let spec = SweepSpec {
+        campaign_seed: 0xde7ec7,
+        samples_per_shard: 24,
+        shards_per_scenario: 2,
+        setups: vec![SetupKind::Deterministic],
+        depths: vec![HierarchyDepth::TwoLevel],
+        platforms: vec![PlatformKind::Private],
+        contention: vec![false],
+        attacks: vec![AttackKind::PrimeProbe, AttackKind::FlushReload],
+        detection: vec![DetectionMode::Off, DetectionMode::Monitor, DetectionMode::Jitter],
+    };
+    // Flush+Reload on a private platform only exists once the
+    // detection axis re-canonicalizes it onto the coherent machine:
+    // P+P {off, monitor, jitter} + F+R {monitor, jitter} = 5 scenarios.
+    assert_eq!(spec.jobs().unwrap().len(), 10);
+
+    let clean_dir = fresh_dir("detect-clean");
+    let clean = finish(launch(&spec, &clean_dir, &cfg(1), &FaultPlan::none()).unwrap());
+    assert!(clean.is_complete());
+    for workers in &WORKERS[1..] {
+        let dir = fresh_dir("detect-workers");
+        let result = finish(launch(&spec, &dir, &cfg(*workers), &FaultPlan::none()).unwrap());
+        assert_eq!(
+            result.campaign_digest, clean.campaign_digest,
+            "detection digest diverged under {workers} workers"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    let dir = fresh_dir("detect-kill");
+    let faults = FaultPlan { kill_after_records: Some(4), ..FaultPlan::default() };
+    match launch(&spec, &dir, &cfg(3), &faults).unwrap() {
+        RunOutcome::Killed { records_durable } => assert!(records_durable >= 4),
+        RunOutcome::Finished(_) => panic!("kill fault did not fire"),
+    }
+    let resumed = finish(resume(&spec, &dir, &cfg(8), &FaultPlan::none()).unwrap());
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.campaign_digest, clean.campaign_digest);
+    std::fs::remove_dir_all(&clean_dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The backoff-overflow regression, end to end: a shard that panics 70
+/// times under a deep retry budget drives the accounting past the
+/// 64-bit shift boundary (attempt 65's `1 << 64`). The old arithmetic
+/// panicked right there in debug builds; now the campaign completes
+/// and the accounting pins at `u64::MAX` instead of wrapping.
+#[test]
+fn deep_retry_storms_saturate_backoff_accounting() {
+    let dir = fresh_dir("deep-retry");
+    let faults = FaultPlan { panic_on: vec![(2, 70)], ..FaultPlan::default() };
+    let mut c = cfg(2);
+    c.max_retries = 80;
+    let result = finish(launch(&tiny_spec(), &dir, &c, &faults).unwrap());
+    assert!(result.is_complete());
+    assert_eq!(result.accounting.retries, 70);
+    // Sum of 2^0..2^63 is exactly u64::MAX; attempts 65..=70 saturate.
+    assert_eq!(result.accounting.backoff_units, u64::MAX);
+    assert_eq!(result.campaign_digest, reference_digest());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The pWCET merge path end to end: a killed-and-resumed sharded
 /// campaign reports the exact same merged pWCET (and byte-identical
 /// report file) as an uninterrupted one.
@@ -306,6 +376,7 @@ fn pwcet_merge_survives_kill_and_resume() {
         platforms: vec![PlatformKind::Private, PlatformKind::Shared],
         contention: vec![false],
         attacks: vec![AttackKind::Pwcet],
+        detection: vec![DetectionMode::Off],
     };
     let clean_dir = fresh_dir("pwcet-clean");
     let clean = finish(launch(&spec, &clean_dir, &cfg(1), &FaultPlan::none()).unwrap());

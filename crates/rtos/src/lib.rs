@@ -17,10 +17,14 @@
 //! assert!(report.overhead_fraction() < 0.05);
 //! ```
 
+pub mod detector;
 pub mod model;
 pub mod os;
 pub mod schedule;
 
+pub use detector::{
+    DetectionEvent, DetectionKind, DetectorConfig, DetectorReport, SlidingWindowDetector,
+};
 pub use model::{Application, Runnable, SwcId};
 pub use os::{CampaignReport, OsConfig, SeedPolicy, TscacheOs};
 pub use schedule::{JobInstance, Schedule};

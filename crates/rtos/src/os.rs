@@ -7,12 +7,16 @@
 //! flushes the caches, making execution times across hyperperiods
 //! independent (the property §6.2.2 tests).
 
+use crate::detector::{DetectorConfig, DetectorReport, SlidingWindowDetector};
 use crate::model::{Application, SwcId};
 use crate::schedule::Schedule;
 use core::fmt;
+use tscache_core::error::ConfigError;
+use tscache_core::pmu::{delta_u64, PmuSampler, PmuSnapshot};
 use tscache_core::prng::SplitMix64;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::SetupKind;
+use tscache_core::stats::CacheStats;
 use tscache_interference::{CoRunner, SystemConfig};
 use tscache_sim::layout::Layout;
 use tscache_sim::machine::{Machine, TraceOp};
@@ -72,6 +76,11 @@ pub struct OsConfig {
     /// private levels, a real time-predictability cost the OS test
     /// suite pins as deterministic.
     pub coherent_image: bool,
+    /// Run the online attack detector alongside the schedule: a
+    /// counting-mode PMU sampler cuts counter deltas at op-window
+    /// boundaries and a sliding-window detector scores them (see
+    /// [`crate::detector`]). `None` (the default) costs nothing.
+    pub detector: Option<DetectorConfig>,
 }
 
 impl Default for OsConfig {
@@ -83,6 +92,7 @@ impl Default for OsConfig {
             interference: None,
             shared_llc: false,
             coherent_image: false,
+            detector: None,
         }
     }
 }
@@ -111,9 +121,27 @@ pub struct CampaignReport {
     /// a coherent region *and* something actually writes or flushes
     /// shared lines — read-only sharing stays in S state for free).
     pub coh_invalidations: u64,
+    /// What the online detector observed, when
+    /// [`OsConfig::detector`] enabled one (`None` otherwise).
+    pub detection: Option<DetectorReport>,
 }
 
 impl CampaignReport {
+    /// An empty report for an application with `runnables` runnables.
+    pub fn new(runnables: usize) -> Self {
+        CampaignReport {
+            times: vec![Vec::new(); runnables],
+            context_switches: 0,
+            seed_swaps: 0,
+            flushes: 0,
+            overhead_cycles: 0,
+            work_cycles: 0,
+            bus_wait_cycles: 0,
+            coh_invalidations: 0,
+            detection: None,
+        }
+    }
+
     /// OS overhead as a fraction of total cycles (the §6.2.3
     /// "negligible overhead" claim).
     pub fn overhead_fraction(&self) -> f64 {
@@ -156,7 +184,32 @@ impl TscacheOs {
     /// co-runner replaying its workload trace on its own hierarchy,
     /// contending for the shared bus under `config.interference` —
     /// their slots in [`CampaignReport::times`] stay empty.
+    ///
+    /// Panics on an invalid configuration; campaign code that cannot
+    /// afford an abort should use [`try_new`](Self::try_new).
     pub fn new(app: Application, setup: SetupKind, config: OsConfig) -> Self {
+        Self::try_new(app, setup, config)
+            .unwrap_or_else(|e| panic!("invalid TscacheOs configuration: {e}"))
+    }
+
+    /// Fallible constructor: reports configuration errors (a coherent
+    /// image requested on a private platform, an invalid detector
+    /// config) as typed [`ConfigError`]s instead of aborting, so a
+    /// campaign runner can quarantine the scenario and keep going.
+    pub fn try_new(
+        app: Application,
+        setup: SetupKind,
+        config: OsConfig,
+    ) -> Result<Self, ConfigError> {
+        if config.coherent_image && !config.shared_llc {
+            return Err(ConfigError::incompatible(
+                "coherent_image requires a shared-LLC platform (shared_llc = true): \
+                 a private hierarchy has no shared level to keep the image coherent in",
+            ));
+        }
+        if let Some(detector) = &config.detector {
+            detector.validate()?;
+        }
         let schedule = Schedule::build(&app);
         let mut layout = Layout::new(0x20_0000);
         let mut machine = if config.shared_llc {
@@ -224,14 +277,14 @@ impl TscacheOs {
                 ));
             }
         }
-        TscacheOs {
+        Ok(TscacheOs {
             machine,
             app,
             schedule,
             config,
             workloads,
             rng: SplitMix64::new(config.rng_seed),
-        }
+        })
     }
 
     /// The static schedule.
@@ -242,6 +295,40 @@ impl TscacheOs {
     /// The application.
     pub fn application(&self) -> &Application {
         &self.app
+    }
+
+    /// The shared last-level cache's statistics, when the platform has
+    /// one. `None` on private platforms — callers must treat a missing
+    /// shared level as data, never unwrap it (a campaign sweep mixes
+    /// private and shared scenarios through this same path).
+    pub fn shared_llc_stats(&self) -> Option<CacheStats> {
+        self.machine.shared_llc().map(|llc| *llc.cache().stats())
+    }
+
+    /// The shared last-level cache itself, when the platform has one.
+    pub fn shared_llc_cache(&self) -> Option<&tscache_core::cache::Cache> {
+        self.machine.shared_llc().map(|llc| llc.cache())
+    }
+
+    /// A PMU snapshot of everything the detector monitors: the
+    /// measured core's private levels, the shared LLC when present,
+    /// and the bus-wait / cycle totals.
+    pub fn pmu_snapshot(&self) -> PmuSnapshot {
+        let snap = PmuSnapshot::capture(self.machine.hierarchy())
+            .with_bus_wait(self.machine.contention_cycles())
+            .with_cycles(self.machine.cycles());
+        match self.machine.shared_llc() {
+            Some(llc) => snap.with_level(llc.cache().stats()),
+            None => snap,
+        }
+    }
+
+    /// The report-accounting snapshot: private hierarchy only, so the
+    /// campaign counters keep their historical meaning (the shared
+    /// level's own churn is not the measured core's).
+    fn core_snapshot(&self) -> PmuSnapshot {
+        PmuSnapshot::capture(self.machine.hierarchy())
+            .with_bus_wait(self.machine.contention_cycles())
     }
 
     fn reseed_all(&mut self, report: &mut CampaignReport) {
@@ -278,25 +365,19 @@ impl TscacheOs {
         let start = self.machine.cycles();
         self.machine.run_trace(&w.ops);
         self.machine.execute(w.instrs);
-        self.machine.cycles() - start
+        delta_u64(self.machine.cycles(), start)
     }
 
     /// Runs `hyperperiods` full passes of the schedule and returns the
     /// per-runnable execution times plus overhead accounting.
     pub fn run(&mut self, hyperperiods: u32) -> CampaignReport {
-        let mut report = CampaignReport {
-            times: vec![Vec::new(); self.app.runnables().len()],
-            context_switches: 0,
-            seed_swaps: 0,
-            flushes: 0,
-            overhead_cycles: 0,
-            work_cycles: 0,
-            bus_wait_cycles: 0,
-            coh_invalidations: 0,
-        };
-        let coh_of = |m: &Machine| m.hierarchy().total_stats().coh_invalidations();
-        let coh_before = coh_of(&self.machine);
-        let contention_before = self.machine.contention_cycles();
+        let mut report = CampaignReport::new(self.app.runnables().len());
+        let campaign_before = self.core_snapshot();
+        // Counting-mode monitoring: one integer add per job on the
+        // fast path; snapshots only at window boundaries.
+        let mut monitor = self.config.detector.map(|cfg| {
+            (PmuSampler::new(cfg.window_ops, self.pmu_snapshot()), SlidingWindowDetector::new(cfg))
+        });
         let jobs: Vec<_> = self.schedule.jobs().to_vec();
         let mut current_swc: Option<SwcId> = None;
         for _ in 0..hyperperiods {
@@ -305,7 +386,13 @@ impl TscacheOs {
             self.reseed_all(&mut report);
             self.machine.flush_caches();
             report.flushes += 1;
-            report.overhead_cycles += self.machine.cycles() - t0;
+            report.overhead_cycles += delta_u64(self.machine.cycles(), t0);
+            if let Some((sampler, detector)) = monitor.as_mut() {
+                // The OS owns this flush: swallow its counter churn
+                // and mask the cold-restart window that follows.
+                detector.note_flush();
+                sampler.rebaseline(self.pmu_snapshot());
+            }
 
             for job in &jobs {
                 if self.app.runnables()[job.runnable].core() != 0 {
@@ -321,7 +408,7 @@ impl TscacheOs {
                         .context_switch(swc.process_id(), self.config.context_switch_cycles);
                     report.context_switches += 1;
                     report.seed_swaps += 1;
-                    report.overhead_cycles += self.machine.cycles() - t0;
+                    report.overhead_cycles += delta_u64(self.machine.cycles(), t0);
                     current_swc = Some(swc);
                 }
                 if self.config.seed_policy == SeedPolicy::PerJob {
@@ -336,14 +423,26 @@ impl TscacheOs {
                         llc.flush_process(swc.process_id());
                     }
                     report.flushes += 1;
+                    if let Some((sampler, detector)) = monitor.as_mut() {
+                        detector.note_flush();
+                        sampler.rebaseline(self.pmu_snapshot());
+                    }
                 }
                 let cycles = self.run_job(job.runnable);
                 report.work_cycles += cycles;
                 report.times[job.runnable].push(cycles);
+                if let Some((sampler, detector)) = monitor.as_mut() {
+                    if sampler.note_ops(self.workloads[job.runnable].ops.len() as u64) {
+                        let delta = sampler.cut(self.pmu_snapshot());
+                        detector.ingest(&delta);
+                    }
+                }
             }
         }
-        report.bus_wait_cycles = self.machine.contention_cycles() - contention_before;
-        report.coh_invalidations = coh_of(&self.machine) - coh_before;
+        let campaign_delta = self.core_snapshot().delta(&campaign_before);
+        report.bus_wait_cycles = campaign_delta.bus_wait_cycles;
+        report.coh_invalidations = campaign_delta.total().coh_invalidations;
+        report.detection = monitor.map(|(_, detector)| detector.into_report());
         report
     }
 }
@@ -406,16 +505,7 @@ mod tests {
     fn shared_global_gives_all_swcs_the_same_seed() {
         let config = OsConfig { seed_policy: SeedPolicy::SharedGlobal, ..OsConfig::default() };
         let mut sim = TscacheOs::new(Application::figure3_example(), SetupKind::Mbpta, config);
-        let mut report = CampaignReport {
-            times: vec![],
-            context_switches: 0,
-            seed_swaps: 0,
-            flushes: 0,
-            overhead_cycles: 0,
-            work_cycles: 0,
-            bus_wait_cycles: 0,
-            coh_invalidations: 0,
-        };
+        let mut report = CampaignReport::new(0);
         sim.reseed_all(&mut report);
         let h = sim.machine.hierarchy();
         let s1 = h.l1d().seed(SwcId(1).process_id());
@@ -426,16 +516,7 @@ mod tests {
     #[test]
     fn per_swc_gives_distinct_seeds() {
         let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
-        let mut report = CampaignReport {
-            times: vec![],
-            context_switches: 0,
-            seed_swaps: 0,
-            flushes: 0,
-            overhead_cycles: 0,
-            work_cycles: 0,
-            bus_wait_cycles: 0,
-            coh_invalidations: 0,
-        };
+        let mut report = CampaignReport::new(0);
         sim.reseed_all(&mut report);
         let h = sim.machine.hierarchy();
         let s1 = h.l1d().seed(SwcId(1).process_id());
@@ -510,7 +591,7 @@ mod tests {
         let run = || {
             let mut sim = TscacheOs::new(contended_app(), SetupKind::TsCache, config);
             let report = sim.run(6);
-            let llc = *sim.machine.shared_llc().expect("shared platform").cache().stats();
+            let llc = sim.shared_llc_stats().unwrap_or_default();
             (report.times.clone(), report.bus_wait_cycles, llc)
         };
         let (times, wait, llc) = run();
@@ -533,7 +614,9 @@ mod tests {
             OsConfig { shared_llc: true, seed_policy: SeedPolicy::PerJob, ..OsConfig::default() };
         let mut sim = TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
         sim.run(3);
-        let llc = sim.machine.shared_llc().expect("shared platform").cache();
+        let Some(llc) = sim.shared_llc_cache() else {
+            panic!("shared_llc config must build a shared platform")
+        };
         let mut seen = std::collections::HashSet::new();
         for (_, _, line, _) in llc.contents() {
             assert!(seen.insert(line.as_u64()), "line {line:?} resident twice in the shared LLC");
@@ -569,6 +652,83 @@ mod tests {
             "inclusion never back-invalidated a private copy — the region is inert"
         );
         assert_eq!(run(true), (times_on, wait_on, coh_on), "coherent campaign must reproduce");
+    }
+
+    #[test]
+    fn private_platform_reports_no_shared_level_instead_of_aborting() {
+        // The campaign report path must survive a private platform:
+        // the shared level is simply absent, not a panic. (Pins the
+        // fix for the old `.expect("shared platform")` pattern.)
+        let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
+        let report = sim.run(3);
+        assert!(sim.shared_llc_stats().is_none(), "private platform grew a shared level");
+        assert!(sim.shared_llc_cache().is_none());
+        assert_eq!(report.times[0].len(), 6, "campaign must still complete in full");
+    }
+
+    #[test]
+    fn coherent_image_without_shared_llc_is_a_typed_error() {
+        let config = OsConfig { coherent_image: true, ..OsConfig::default() };
+        let Err(err) =
+            TscacheOs::try_new(Application::figure3_example(), SetupKind::TsCache, config)
+        else {
+            panic!("coherent image on a private platform must be rejected")
+        };
+        assert!(err.to_string().contains("shared"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn invalid_detector_config_is_a_typed_error() {
+        let detector = Some(crate::detector::DetectorConfig {
+            window_ops: 0,
+            ..crate::detector::DetectorConfig::default()
+        });
+        let config = OsConfig { detector, ..OsConfig::default() };
+        assert!(
+            TscacheOs::try_new(Application::figure3_example(), SetupKind::TsCache, config).is_err()
+        );
+    }
+
+    #[test]
+    fn benign_campaign_with_detector_stays_silent_and_reproduces() {
+        let run = || {
+            let config = OsConfig {
+                detector: Some(crate::detector::DetectorConfig::default()),
+                ..OsConfig::default()
+            };
+            let mut sim =
+                TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
+            sim.run(8)
+        };
+        let report = run();
+        let detection = report.detection.as_ref().expect("detector was configured");
+        assert!(detection.windows > 0, "sampler never cut a window");
+        assert!(
+            !detection.detected(),
+            "benign schedule raised {} events (max score {:.3})",
+            detection.events.len(),
+            detection.max_score
+        );
+        assert_eq!(run().detection, report.detection, "detector output must reproduce");
+    }
+
+    #[test]
+    fn detector_events_reach_the_campaign_report() {
+        // With the threshold floored, every scored window fires — the
+        // typed-event plumbing into the report is what this pins; the
+        // calibrated default threshold is exercised by the benign test
+        // above and the campaign suites in `tscache-sca`.
+        let detector = crate::detector::DetectorConfig {
+            threshold: 0.0,
+            ..crate::detector::DetectorConfig::default()
+        };
+        let config = OsConfig { detector: Some(detector), ..OsConfig::default() };
+        let mut sim = TscacheOs::new(Application::figure3_example(), SetupKind::TsCache, config);
+        let report = sim.run(4);
+        let detection = report.detection.expect("detector was configured");
+        assert!(detection.windows > 0);
+        assert_eq!(detection.events.len() as u64, detection.windows);
+        assert!(detection.events.iter().all(|e| e.score > 0.0 && e.threshold == 0.0));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   channel way partitions alone cannot close (the partitioned
 //!   configuration must also un-share the tables), while per-process
 //!   randomized placement blinds the reload outright.
+//! * [`detect`] — the attacks above run against the RTOS crate's
+//!   sliding-window PMU detector: ROC-scored benign-vs-attack
+//!   campaigns with a zero-false-positive operating point, detection
+//!   latency vs key-recovery progress, and an attacker evasion axis.
 //!
 //! ```no_run
 //! use tscache_core::setup::SetupKind;
@@ -34,6 +38,7 @@
 
 pub mod bernstein;
 pub mod cross_core;
+pub mod detect;
 pub mod evict_time;
 pub mod flush_reload;
 pub mod prime_probe;
@@ -41,6 +46,10 @@ pub mod profile;
 pub mod sampling;
 
 pub use bernstein::{analyze, run_attack, AttackResult, ByteAttackResult};
+pub use detect::{
+    run_detection_campaign, try_run_detection_campaign, DetectTarget, DetectionCampaignConfig,
+    DetectionOutcome, EvasionMode, RocCurve, RocPoint,
+};
 pub use evict_time::{run_evict_time, EvictTimeOutcome};
 pub use flush_reload::{run_flush_reload, FlushReloadConfig, FlushReloadOutcome};
 pub use prime_probe::{run_prime_probe, PrimeProbeOutcome};

@@ -12,6 +12,9 @@
 use tscache_core::parallel::thread_count;
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_sca::bernstein::analyze;
+use tscache_sca::detect::{
+    run_detection_campaign, DetectTarget, DetectionCampaignConfig, EvasionMode,
+};
 use tscache_sca::evict_time::run_evict_time;
 use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{collect_pair, SamplingConfig, TimingSample};
@@ -50,6 +53,19 @@ fn attack_and_mbpta_results_are_bit_identical_across_thread_counts() {
     // Prime+Probe / Evict+Time: trial fan-out.
     assert_invariant("prime+probe", || run_prime_probe(SetupKind::TsCache, 64, 7));
     assert_invariant("evict+time", || run_evict_time(SetupKind::Deterministic, 64, 3));
+
+    // Detection campaigns: the benign/attack scenario pair fans out
+    // over `parallel::join`, and the ROC/latency/event outcome must be
+    // bit-identical for every worker count.
+    for target in DetectTarget::ALL {
+        let cfg = DetectionCampaignConfig::standard(target, SetupKind::Deterministic, 7);
+        assert_invariant(&format!("detect/{}", target.label()), || run_detection_campaign(&cfg));
+    }
+    let evading = DetectionCampaignConfig {
+        evasion: EvasionMode::Jitter,
+        ..DetectionCampaignConfig::standard(DetectTarget::PrimeProbe, SetupKind::TsCache, 21)
+    };
+    assert_invariant("detect/jitter", || run_detection_campaign(&evading));
 
     // Bernstein sampling pair, on both hierarchy depths.
     let (ka, kv) = ([0u8; 16], [9u8; 16]);
