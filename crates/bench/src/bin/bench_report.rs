@@ -18,13 +18,19 @@
 //!   policy (what the interference layer costs the hot path);
 //! * Prime+Probe trials/sec through the parallel harness.
 //!
-//! Usage: `bench_report [--pr 3] [--out BENCH_PR3.json] [--ms 300]`
+//! Usage: `bench_report [--pr 3] [--out BENCH_PR3.json] [--ms 300]
+//!                      [--compare BENCH_PR7.json]`
+//!
+//! `--compare` prints a ratio table of the current run against a
+//! previously committed report and flags metrics that regressed by
+//! more than 10% (informational — the exit code stays 0, since
+//! wall-clock noise on shared runners is not a gate).
 
 use std::hint::black_box;
-use tscache_bench::harness::{bench, render_table, to_json, Measurement};
+use tscache_bench::harness::{bench, parse_report_metrics, render_table, to_json, Measurement};
 use tscache_bench::suites::{
     cache_dispatch_suite, coherence_suite, contended_machine_suite, detector_suite, fleet_suite,
-    hierarchy_batch_suite, shared_llc_machine_suite,
+    hierarchy_batch_suite, shared_llc_machine_suite, telemetry_suite,
 };
 use tscache_bench::Args;
 use tscache_core::parallel;
@@ -142,6 +148,10 @@ fn main() {
     // Prime+Probe detection campaign.
     results.extend(detector_suite(ms.max(500)));
 
+    // The telemetry layer: recorder-off machine vs the raw batch floor
+    // (the ≥0.97× zero-cost-when-off bar) and recorder-on vs off.
+    results.extend(telemetry_suite(ms));
+
     let rate = |name: &str| {
         results.iter().find(|m| m.name == name).map(|m| m.per_sec()).unwrap_or(f64::NAN)
     };
@@ -169,6 +179,8 @@ fn main() {
     let rtos_detector_ratio = rate("rtos/detector/on") / rate("rtos/detector/off");
     let detect_sampled_ratio =
         rate("detect/prime-probe/sampled") / rate("detect/prime-probe/unsampled");
+    let telemetry_off_ratio = rate("telemetry/machine/off") / rate("telemetry/hier/batch");
+    let telemetry_on_ratio = rate("telemetry/machine/on") / rate("telemetry/machine/off");
 
     let extra = [
         ("pr", pr as f64),
@@ -190,6 +202,8 @@ fn main() {
         ("throughput_ratio_fleet_checkpointed_vs_raw", fleet_checkpoint_ratio),
         ("throughput_ratio_rtos_detector_on_vs_off", rtos_detector_ratio),
         ("throughput_ratio_detector_sampled_vs_unsampled", detect_sampled_ratio),
+        ("throughput_ratio_telemetry_off_vs_batch", telemetry_off_ratio),
+        ("throughput_ratio_telemetry_on_vs_off", telemetry_on_ratio),
     ];
 
     print!("{}", render_table(&results));
@@ -212,6 +226,52 @@ fn main() {
     println!("online detection (same run):");
     println!("  monitored vs unmonitored RTOS schedule: {rtos_detector_ratio:.2}x");
     println!("  sampled vs unsampled detection campaign (rounds/sec): {detect_sampled_ratio:.2}x");
+    println!("telemetry layer (same run):");
+    println!("  recorder-off machine vs batch floor: {telemetry_off_ratio:.2}x");
+    println!("  recorder-on vs recorder-off: {telemetry_on_ratio:.2}x");
+
+    let compare = args.get_str("compare", "");
+    if !compare.is_empty() {
+        let text = match std::fs::read_to_string(&compare) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_report: cannot read {compare}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = parse_report_metrics(&text);
+        if baseline.is_empty() {
+            eprintln!("bench_report: {compare} holds no parseable metrics");
+            std::process::exit(1);
+        }
+        println!("\ncomparison vs {compare}:");
+        println!("  {:<50} {:>13} {:>13} {:>8}", "name", "baseline/s", "current/s", "ratio");
+        let mut regressions = 0u32;
+        let mut compared = 0u32;
+        for (name, base) in &baseline {
+            let Some(current) = results.iter().find(|m| m.name == *name) else { continue };
+            compared += 1;
+            let ratio = if *base > 0.0 { current.per_sec() / base } else { f64::NAN };
+            let flag = if ratio < 0.9 {
+                regressions += 1;
+                "  << REGRESSION >10%"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<50} {:>13.0} {:>13.0} {:>7.2}x{flag}",
+                name,
+                base,
+                current.per_sec(),
+                ratio
+            );
+        }
+        let new_metrics = results.len() as u32 - compared.min(results.len() as u32);
+        println!(
+            "compared {compared} metrics ({new_metrics} new in this run), \
+             {regressions} regressed >10%"
+        );
+    }
 
     let json = to_json(&format!("PR{pr}"), &results, &extra);
     std::fs::write(&out_path, json).expect("write bench report");

@@ -17,6 +17,11 @@
 //!                [--torn-after N]      fault: tear the append after N records
 //!                [--panic-shard S]     fault: panic shard S (through --panic-through
 //!                                      attempts, default 1)
+//!                [--trace 1]           trace shards (histograms + trace digests in
+//!                                      records, lifecycle.trace.json in the dir)
+//!                [--report 1]          write the report/ directory (curve CSVs,
+//!                                      trace.json, digests.txt) after the run
+//!                [--quiet 1]           suppress the live stderr progress line
 //! ```
 //!
 //! Exit codes: 0 = finished (report + `campaign_digest.txt` written,
@@ -27,6 +32,7 @@
 use tscache_bench::Args;
 use tscache_fleet::executor::{launch, resume, ExecutorConfig, RunOutcome};
 use tscache_fleet::fault::FaultPlan;
+use tscache_fleet::report::write_campaign_report;
 use tscache_fleet::spec::SweepSpec;
 
 /// Reads an optional `--key value` flag by presence: absent → `None`,
@@ -83,6 +89,8 @@ fn main() {
         checkpoint_every: args.get_u64("checkpoint-every", 8),
         scramble_seed: opt_u64(&args, "scramble"),
         keep_times: true,
+        trace: args.get_u64("trace", 0) != 0,
+        progress: args.get_u64("quiet", 0) == 0,
     };
 
     let mut faults = FaultPlan::none();
@@ -131,6 +139,15 @@ fn main() {
             println!("campaign digest: {:#018x}", result.campaign_digest);
             if !result.is_complete() {
                 println!("INCOMPLETE: resume to re-attempt quarantined shards");
+            }
+            if args.get_u64("report", 0) != 0 {
+                match write_campaign_report(&spec, &dir) {
+                    Ok(report_dir) => println!("report written to {}", report_dir.display()),
+                    Err(e) => {
+                        eprintln!("fleet_campaign: report: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         Ok(RunOutcome::Killed { records_durable }) => {

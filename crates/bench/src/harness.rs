@@ -109,6 +109,28 @@ pub fn to_json(label: &str, measurements: &[Measurement], extra: &[(&str, f64)])
     out
 }
 
+/// Parses the `"metrics"` block of a [`to_json`] report back into
+/// `(name, per_sec)` pairs, in file order — the baseline side of
+/// `bench_report --compare`. Tolerant by construction: any line that
+/// is not a `"name": {"per_sec": N, ...}` metric row is skipped, so
+/// reports from older PRs (fewer metrics, different extras) parse
+/// cleanly. Metric names never contain escaped quotes.
+pub fn parse_report_metrics(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, tail)) = rest.split_once('"') else { continue };
+        let Some(idx) = tail.find("\"per_sec\":") else { continue };
+        let num = tail[idx + "\"per_sec\":".len()..].trim_start();
+        let end = num.find([',', '}']).unwrap_or(num.len());
+        if let Ok(v) = num[..end].trim().parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -161,6 +183,21 @@ mod tests {
         ];
         let t = render_table(&ms);
         assert!(t.contains("a") && t.contains("long-name") && t.contains("rate/s"));
+    }
+
+    #[test]
+    fn report_metrics_roundtrip_through_the_parser() {
+        let ms = vec![
+            Measurement { name: "cache/modulo/batch".into(), unit: "x", units: 10, elapsed_ns: 50 },
+            Measurement { name: "fleet/shards/raw".into(), unit: "y", units: 3, elapsed_ns: 9 },
+        ];
+        let j = to_json("PR8", &ms, &[("some_ratio", 1.5)]);
+        let parsed = parse_report_metrics(&j);
+        assert_eq!(parsed.len(), 2, "label and extra rows must not parse as metrics");
+        for (m, (name, per_sec)) in ms.iter().zip(&parsed) {
+            assert_eq!(&m.name, name);
+            assert!((m.per_sec() - per_sec).abs() < 1e-3 * m.per_sec());
+        }
     }
 
     #[test]

@@ -428,6 +428,86 @@ pub fn detector_suite(min_ms: u64) -> Vec<Measurement> {
     vec![off, on, unsampled, sampled]
 }
 
+/// The telemetry suite: what the tracing layer costs the hot path.
+///
+/// Three interleaved measurements per round on the same L2-heavy
+/// trace (the fleet-suite drift discipline):
+///
+/// * the raw hierarchy batch engine — the floor the machine path rides
+///   on;
+/// * a recorder-**off** machine `run_trace` — the absent
+///   `Option<RecorderHandle>` must cost one predicted branch; the
+///   acceptance bar is ≥ 0.97× the batch floor;
+/// * a recorder-**on** machine — the full per-op record cost
+///   (digest fold + histogram + ring write), recorded for trajectory,
+///   not gated.
+pub fn telemetry_suite(min_ms: u64) -> Vec<Measurement> {
+    use std::time::Instant;
+    use tscache_telemetry::handle;
+
+    let pid = ProcessId::new(1);
+    let ops = l2_heavy_trace();
+    let setup = SetupKind::TsCache;
+    let depth = HierarchyDepth::TwoLevel;
+
+    let mut hier = setup.build_depth(depth, 21);
+    hier.set_process_seed(pid, Seed::new(42));
+
+    let mut off = Machine::from_setup_depth(setup, depth, 21);
+    off.set_process(pid);
+    off.set_process_seed(pid, Seed::new(42));
+
+    let mut on = Machine::from_setup_depth(setup, depth, 21);
+    on.set_process(pid);
+    on.set_process_seed(pid, Seed::new(42));
+    // A small ring: eviction is the steady state, as in long campaigns.
+    on.set_recorder(handle(4096));
+
+    let mut batch = Measurement {
+        name: "telemetry/hier/batch".into(),
+        unit: "accesses",
+        units: 0,
+        elapsed_ns: 0,
+    };
+    let mut rec_off = Measurement {
+        name: "telemetry/machine/off".into(),
+        unit: "accesses",
+        units: 0,
+        elapsed_ns: 0,
+    };
+    let mut rec_on = Measurement {
+        name: "telemetry/machine/on".into(),
+        unit: "accesses",
+        units: 0,
+        elapsed_ns: 0,
+    };
+
+    // Warm-up round.
+    black_box(hier.access_batch(pid, &ops));
+    black_box(off.run_trace(&ops));
+    black_box(on.run_trace(&ops));
+
+    let budget = (min_ms as u128) * 1_000_000;
+    while batch.elapsed_ns < budget || rec_off.elapsed_ns < budget || rec_on.elapsed_ns < budget {
+        let start = Instant::now();
+        black_box(hier.access_batch(pid, black_box(&ops)));
+        batch.elapsed_ns += start.elapsed().as_nanos();
+        batch.units += ops.len() as u64;
+
+        let start = Instant::now();
+        black_box(off.run_trace(black_box(&ops)));
+        rec_off.elapsed_ns += start.elapsed().as_nanos();
+        rec_off.units += ops.len() as u64;
+
+        let start = Instant::now();
+        black_box(on.run_trace(black_box(&ops)));
+        rec_on.elapsed_ns += start.elapsed().as_nanos();
+        rec_on.units += ops.len() as u64;
+    }
+
+    vec![batch, rec_off, rec_on]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +589,17 @@ mod tests {
                 "detect/prime-probe/unsampled",
                 "detect/prime-probe/sampled"
             ]
+        );
+        assert!(results.iter().all(|m| m.per_sec() > 0.0));
+    }
+
+    #[test]
+    fn telemetry_suite_reports_floor_off_and_on() {
+        let results = telemetry_suite(1);
+        let names: Vec<&str> = results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["telemetry/hier/batch", "telemetry/machine/off", "telemetry/machine/on"]
         );
         assert!(results.iter().all(|m| m.per_sec() > 0.0));
     }

@@ -418,6 +418,10 @@ mod tests {
             min: 4000.0,
             max: 6000.0,
             times: if shard.is_multiple_of(2) { Some(vec![1, 2, 3]) } else { None },
+            hist: None,
+            pmu: None,
+            roc: None,
+            trace_digest: None,
         }
     }
 

@@ -32,7 +32,7 @@
 use crate::checkpoint::{campaign_digest, AppendOutcome, CampaignDir, Manifest};
 use crate::digest::{fnv64, Fnv64};
 use crate::fault::FaultPlan;
-use crate::job::run_shard;
+use crate::job::{run_shard_with, ShardOptions, TRACE_RING_CAPACITY};
 use crate::jsonl::ShardRecord;
 use crate::spec::{AttackKind, FleetError, ShardJob, SweepSpec};
 use std::collections::{BTreeMap, HashSet};
@@ -42,11 +42,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tscache_core::error::ConfigError;
 use tscache_core::parallel::{payload_message, scrambled_indices, thread_count};
 use tscache_mbpta::stats::Summary;
 use tscache_mbpta::{analyze, merge_shard_times, pooled_summary, MbptaConfig};
+use tscache_telemetry::{chrome_trace, Event, TraceRecorder};
 
 /// Minimum merged sample count before the executor attempts an EVT
 /// fit (below this `analyze` has nothing statistical to say).
@@ -70,6 +71,12 @@ pub struct ExecutorConfig {
     /// Retain raw execution times in records (needed for merged pWCET
     /// analysis; costs checkpoint bytes).
     pub keep_times: bool,
+    /// Trace each shard: instrumented attacks additionally persist a
+    /// latency histogram and trace digest, and the run writes a
+    /// `lifecycle.trace.json` timeline into the campaign directory.
+    pub trace: bool,
+    /// Emit a live progress line on stderr while the campaign runs.
+    pub progress: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -80,6 +87,8 @@ impl Default for ExecutorConfig {
             checkpoint_every: 8,
             scramble_seed: None,
             keep_times: true,
+            trace: false,
+            progress: false,
         }
     }
 }
@@ -283,6 +292,15 @@ struct Progress<'a> {
     /// run — lets the finish path skip a manifest that would be
     /// byte-identical to the one already on disk.
     last_manifest: Option<(usize, usize)>,
+    /// Campaign-lifecycle recorder (`cfg.trace`). Timestamps are a
+    /// completion-order sequence number, so this timeline is
+    /// **excluded from every digest** — it narrates *this* run, while
+    /// the result digests attest what any run computes.
+    lifecycle: Option<TraceRecorder>,
+    /// Sequence counter doubling as the lifecycle timestamp.
+    seq: u64,
+    /// Wall-clock start, for the progress line's records/sec.
+    started: Instant,
 }
 
 impl Progress<'_> {
@@ -291,12 +309,40 @@ impl Progress<'_> {
             build_manifest(self.spec, self.total_shards, &self.records, &self.quarantined);
         self.cd.write_manifest(&manifest, self.faults)?;
         self.last_manifest = Some((self.records.len(), self.quarantined.len()));
+        let records = self.records.len() as u64;
+        self.lifecycle_event(Event::Checkpoint { records });
         Ok(())
+    }
+
+    fn lifecycle_event(&mut self, event: Event) {
+        if let Some(rec) = &mut self.lifecycle {
+            let ts = self.seq;
+            self.seq += 1;
+            rec.record(ts, event);
+        }
+    }
+
+    /// One stderr status line, carriage-return refreshed in place.
+    fn progress_line(&self) {
+        if !self.cfg.progress {
+            return;
+        }
+        let secs = self.started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { self.durable_appends as f64 / secs } else { 0.0 };
+        eprint!(
+            "\r[fleet] shards {}/{} retries {} quarantined {} {:.1} records/sec   ",
+            self.records.len(),
+            self.total_shards,
+            self.accounting.retries,
+            self.quarantined.len(),
+            rate
+        );
     }
 
     fn absorb(&mut self, job: ShardJob, attempt: u32, result: AttemptResult) -> Step {
         match result {
             AttemptResult::Done(record) => {
+                self.lifecycle_event(Event::ShardAttempt { shard: job.shard as u32, attempt });
                 match self.cd.append_record(&record, self.faults) {
                     Ok(AppendOutcome::Durable) => {}
                     Ok(AppendOutcome::TornWrite) => {
@@ -322,32 +368,39 @@ impl Progress<'_> {
                         return Step::Halt(Err(e));
                     }
                 }
+                self.progress_line();
                 Step::Continue
             }
             AttemptResult::BadSpec(config_err) => {
                 // Deterministic misconfiguration: retrying cannot
                 // help, quarantine immediately.
+                self.lifecycle_event(Event::ShardQuarantine { shard: job.shard as u32 });
                 self.quarantined.push(Quarantined {
                     shard: job.shard,
                     scenario: job.scenario.key.clone(),
                     reason: QuarantineReason::BadSpec(config_err.to_string()),
                 });
                 self.finalized += 1;
+                self.progress_line();
                 Step::Continue
             }
             AttemptResult::Crashed { message } => {
                 if attempt <= self.cfg.max_retries {
+                    self.lifecycle_event(Event::ShardRetry { shard: job.shard as u32, attempt });
                     self.accounting.retries += 1;
                     self.accounting.backoff_units =
                         self.accounting.backoff_units.saturating_add(backoff_units_for(attempt));
+                    self.progress_line();
                     Step::Retry(job, attempt + 1)
                 } else {
+                    self.lifecycle_event(Event::ShardQuarantine { shard: job.shard as u32 });
                     self.quarantined.push(Quarantined {
                         shard: job.shard,
                         scenario: job.scenario.key.clone(),
                         reason: QuarantineReason::Crashed { attempts: attempt, message },
                     });
                     self.finalized += 1;
+                    self.progress_line();
                     Step::Continue
                 }
             }
@@ -360,7 +413,7 @@ fn run_attempt(
     job: &ShardJob,
     attempt: u32,
     faults: &FaultPlan,
-    keep_times: bool,
+    opts: ShardOptions,
 ) -> AttemptResult {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if faults.should_panic(job.shard, attempt) {
@@ -372,7 +425,7 @@ fn run_attempt(
                 job.shard
             )));
         }
-        run_shard(job, keep_times)
+        run_shard_with(job, &opts)
     }));
     match outcome {
         Ok(Ok(output)) => AttemptResult::Done(ShardRecord {
@@ -387,6 +440,10 @@ fn run_attempt(
             min: output.min,
             max: output.max,
             times: output.times,
+            hist: output.hist,
+            pmu: output.pmu,
+            roc: output.roc,
+            trace_digest: output.trace_digest,
         }),
         Ok(Err(config_err)) => AttemptResult::BadSpec(config_err),
         Err(payload) => AttemptResult::Crashed { message: payload_message(payload.as_ref()) },
@@ -401,7 +458,8 @@ fn drive_serial(pending: Vec<ShardJob>, progress: &mut Progress<'_>) -> Option<S
     let mut queue: std::collections::VecDeque<(ShardJob, u32)> =
         pending.into_iter().map(|j| (j, 1)).collect();
     while let Some((job, attempt)) = queue.pop_front() {
-        let result = run_attempt(&job, attempt, progress.faults, progress.cfg.keep_times);
+        let opts = ShardOptions { keep_times: progress.cfg.keep_times, trace: progress.cfg.trace };
+        let result = run_attempt(&job, attempt, progress.faults, opts);
         match progress.absorb(job, attempt, result) {
             Step::Continue => {}
             Step::Retry(job, next_attempt) => queue.push_back((job, next_attempt)),
@@ -425,7 +483,7 @@ fn drive_parallel(
     };
     let (tx, rx) = mpsc::channel::<(ShardJob, u32, AttemptResult)>();
     let faults = progress.faults;
-    let keep_times = progress.cfg.keep_times;
+    let opts = ShardOptions { keep_times: progress.cfg.keep_times, trace: progress.cfg.trace };
 
     let mut halt: Option<Step> = None;
     std::thread::scope(|scope| {
@@ -443,7 +501,7 @@ fn drive_parallel(
                         std::thread::sleep(Duration::from_micros(200));
                         continue;
                     };
-                    let result = run_attempt(&job, attempt, faults, keep_times);
+                    let result = run_attempt(&job, attempt, faults, opts);
                     if tx.send((job, attempt, result)).is_err() {
                         return; // main thread is gone
                     }
@@ -504,6 +562,9 @@ fn drive(
         prior_durable,
         finalized: 0,
         last_manifest: None,
+        lifecycle: cfg.trace.then(|| TraceRecorder::new(TRACE_RING_CAPACITY)),
+        seq: 0,
+        started: Instant::now(),
     };
 
     let halt = if workers <= 1 {
@@ -520,7 +581,15 @@ fn drive(
     if progress.last_manifest != Some((progress.records.len(), progress.quarantined.len())) {
         progress.checkpoint()?;
     }
-    let Progress { cd, records, quarantined, accounting, .. } = progress;
+    if cfg.progress {
+        eprintln!();
+    }
+    let Progress { cd, records, quarantined, accounting, lifecycle, .. } = progress;
+    if let Some(rec) = &lifecycle {
+        // Narrates this run's completion order — digest-excluded.
+        let path = cd.root().join("lifecycle.trace.json");
+        std::fs::write(&path, chrome_trace(&rec.records())).map_err(FleetError::Io)?;
+    }
     let result = merge(spec, &jobs, records, quarantined, accounting)?;
     cd.write_report(&render_report(&result), result.campaign_digest)?;
     Ok(RunOutcome::Finished(result))

@@ -13,6 +13,7 @@
 use crate::digest::Fnv64;
 use crate::spec::{AttackKind, DetectionMode, PlatformKind, ShardJob};
 use tscache_core::error::ConfigError;
+use tscache_core::pmu::PmuDelta;
 use tscache_interference::ContentionConfig;
 use tscache_rtos::detector::{DetectionKind, DetectorConfig};
 use tscache_rtos::{Application, OsConfig, TscacheOs};
@@ -24,7 +25,8 @@ use tscache_sca::prime_probe::run_prime_probe;
 use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
 use tscache_sim::layout::Layout;
 use tscache_sim::synthetic::ArraySweep;
-use tscache_sim::workload::{collect_execution_times, MeasurementProtocol};
+use tscache_sim::workload::{collect_execution_times_with, MeasurementProtocol};
+use tscache_telemetry::{handle, RecorderHandle, TraceRecorder};
 
 /// The FIPS-197 example key every deterministic campaign uses.
 const VICTIM_KEY: [u8; 16] = [
@@ -45,7 +47,7 @@ const LLC_PARTITION_WAYS: u32 = 2;
 /// reload hits`, `max = victim invalidations`. The `digest` always
 /// covers the full raw output, so bit-identity never rests on the
 /// summary alone.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardOutput {
     /// FNV-1a digest of the shard's complete raw output.
     pub digest: u64,
@@ -62,6 +64,52 @@ pub struct ShardOutput {
     /// Raw execution times when the attack produces them and the
     /// caller asked to keep them (pWCET merging needs them).
     pub times: Option<Vec<u64>>,
+    /// Sparse latency histogram from the trace recorder (traced shards
+    /// whose attack is instrumented — pWCET and RTOS).
+    pub hist: Option<Vec<(u32, u64)>>,
+    /// Flattened PMU window samples for monitored RTOS shards —
+    /// always carried so offline re-scoring never needs a re-run.
+    pub pmu: Option<Vec<Vec<u64>>>,
+    /// Detector ROC points `(threshold, fpr, tpr)` for detection
+    /// sweeps — always carried so curve exports never need a re-run.
+    pub roc: Option<Vec<(f64, f64, f64)>>,
+    /// Capacity-invariant digest of the shard's trace stream (traced
+    /// instrumented shards only).
+    pub trace_digest: Option<u64>,
+}
+
+/// How to run a shard beyond the job itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOptions {
+    /// Keep raw execution times in the output (pWCET merging).
+    pub keep_times: bool,
+    /// Attach a trace recorder: instrumented attacks additionally
+    /// report a latency histogram and trace digest. The simulated
+    /// outcome (`digest`, moments, times) is bit-identical either way.
+    pub trace: bool,
+}
+
+/// Ring capacity for shard trace recorders. The trace digest is
+/// capacity-invariant, so this bounds only how much tail the exporters
+/// can still see, never what the digest attests.
+pub const TRACE_RING_CAPACITY: usize = 65_536;
+
+/// One PMU window delta flattened to a stable counter row:
+/// `[cycles, bus_wait, monotone, then per level: accesses, misses,
+/// writebacks, cross_process_evictions, coh_invalidations]`.
+fn flatten_pmu_delta(delta: &PmuDelta) -> Vec<u64> {
+    let mut row = Vec::with_capacity(3 + delta.levels.len() * 5);
+    row.push(delta.cycles);
+    row.push(delta.bus_wait_cycles);
+    row.push(delta.monotone as u64);
+    for level in &delta.levels {
+        row.push(level.accesses);
+        row.push(level.misses);
+        row.push(level.writebacks);
+        row.push(level.cross_process_evictions);
+        row.push(level.coh_invalidations);
+    }
+    row
 }
 
 /// Deterministic moments of a cycle-count sample.
@@ -92,6 +140,7 @@ fn times_output(times: Vec<u64>, keep_times: bool) -> ShardOutput {
         min,
         max,
         times: keep_times.then_some(times),
+        ..ShardOutput::default()
     }
 }
 
@@ -126,10 +175,14 @@ fn run_bernstein(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
     }
     let times: Vec<u64> = samples.iter().map(|s| s.cycles).collect();
     let (n, mean, variance, min, max) = moments(&times);
-    Ok(ShardOutput { digest: h.finish(), n, mean, variance, min, max, times: None })
+    Ok(ShardOutput { digest: h.finish(), n, mean, variance, min, max, ..ShardOutput::default() })
 }
 
-fn run_pwcet(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
+fn run_pwcet(
+    job: &ShardJob,
+    keep_times: bool,
+    recorder: Option<&RecorderHandle>,
+) -> Result<ShardOutput, ConfigError> {
     let scenario = &job.scenario;
     let protocol = MeasurementProtocol {
         runs: job.samples,
@@ -141,7 +194,7 @@ fn run_pwcet(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigErro
     };
     protocol.validate()?;
     let mut workload = ArraySweep::standard(&mut Layout::new(0x10_0000));
-    let times = collect_execution_times(scenario.setup, &mut workload, &protocol);
+    let times = collect_execution_times_with(scenario.setup, &mut workload, &protocol, recorder);
     Ok(times_output(times, keep_times))
 }
 
@@ -158,10 +211,9 @@ fn run_prime_probe_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
         digest: h.finish(),
         n: outcome.trials as u64,
         mean: outcome.accuracy,
-        variance: 0.0,
         min: outcome.mean_evictions,
         max: outcome.mean_evictions,
-        times: None,
+        ..ShardOutput::default()
     })
 }
 
@@ -192,14 +244,17 @@ fn run_flush_reload_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
         digest: h.finish(),
         n: outcome.samples as u64,
         mean: outcome.correct_rank,
-        variance: 0.0,
         min: outcome.reload_hits as f64,
         max: outcome.victim_invalidations as f64,
-        times: None,
+        ..ShardOutput::default()
     })
 }
 
-fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
+fn run_rtos(
+    job: &ShardJob,
+    keep_times: bool,
+    recorder: Option<&RecorderHandle>,
+) -> Result<ShardOutput, ConfigError> {
     let scenario = &job.scenario;
     let (shared_llc, coherent_image) = match scenario.platform {
         PlatformKind::Private => (false, false),
@@ -221,6 +276,9 @@ fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError
     };
     let hyperperiods = (job.samples / 8).clamp(1, 128);
     let mut os = TscacheOs::try_new(Application::figure3_example(), scenario.setup, config)?;
+    if let Some(rec) = recorder {
+        os.attach_recorder(rec.clone());
+    }
     let report = os.run(hyperperiods);
     let mut h = Fnv64::new();
     for runnable_times in &report.times {
@@ -246,9 +304,27 @@ fn run_rtos(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError
         h.write_f64(detection.max_score);
     }
     let digest = h.finish();
+    // Monitored shards always carry the raw PMU window rows: the
+    // detector's inputs persist next to its verdicts, so offline
+    // re-scoring never needs a re-run. Excluded from `digest` (which
+    // predates them); covered by the record's result digest.
+    let pmu = report
+        .detection
+        .as_ref()
+        .map(|d| d.deltas.iter().map(flatten_pmu_delta).collect::<Vec<_>>());
     let all_times: Vec<u64> = report.times.into_iter().flatten().collect();
     let (n, mean, variance, min, max) = moments(&all_times);
-    Ok(ShardOutput { digest, n, mean, variance, min, max, times: keep_times.then_some(all_times) })
+    Ok(ShardOutput {
+        digest,
+        n,
+        mean,
+        variance,
+        min,
+        max,
+        times: keep_times.then_some(all_times),
+        pmu,
+        ..ShardOutput::default()
+    })
 }
 
 /// Runs an online-detection campaign shard: the instrumented attack
@@ -299,15 +375,46 @@ fn run_detect(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
         h.write_f64(e.score);
     }
     h.write_u64(out.detection_latency.unwrap_or(u64::MAX));
+    // Detection shards always carry their ROC points so the campaign
+    // report can plot curves straight from the records.
+    let roc = out.roc.points.iter().map(|p| (p.threshold, p.fpr, p.tpr)).collect();
     Ok(ShardOutput {
         digest: h.finish(),
         n: out.windows,
         mean: out.auc(),
-        variance: 0.0,
         min: out.detection_latency.map_or(-1.0, |w| w as f64),
         max: out.max_attack_score(),
-        times: None,
+        roc: Some(roc),
+        ..ShardOutput::default()
     })
+}
+
+fn run_shard_inner(
+    job: &ShardJob,
+    keep_times: bool,
+    recorder: Option<&RecorderHandle>,
+) -> Result<ShardOutput, ConfigError> {
+    if job.scenario.detection != DetectionMode::Off && job.scenario.attack != AttackKind::Rtos {
+        return run_detect(job);
+    }
+    match job.scenario.attack {
+        AttackKind::Bernstein => run_bernstein(job),
+        AttackKind::Pwcet => run_pwcet(job, keep_times, recorder),
+        AttackKind::PrimeProbe => run_prime_probe_shard(job),
+        AttackKind::FlushReload => run_flush_reload_shard(job),
+        AttackKind::Rtos => run_rtos(job, keep_times, recorder),
+    }
+}
+
+/// Folds a finished recorder's surfaces into the output. Only shards
+/// whose attack actually recorded anything gain the fields, so traced
+/// campaigns stay deterministic per scenario rather than sprouting
+/// empty histograms on uninstrumented attacks.
+fn attach_trace(out: &mut ShardOutput, recorder: &TraceRecorder) {
+    if recorder.recorded() > 0 {
+        out.hist = Some(recorder.merged_histogram().to_sparse());
+        out.trace_digest = Some(recorder.digest());
+    }
 }
 
 /// Runs one shard to completion.
@@ -316,16 +423,32 @@ fn run_detect(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
 /// output for attacks that produce them (required for merged pWCET
 /// analysis; summaries alone suffice for the rest).
 pub fn run_shard(job: &ShardJob, keep_times: bool) -> Result<ShardOutput, ConfigError> {
-    if job.scenario.detection != DetectionMode::Off && job.scenario.attack != AttackKind::Rtos {
-        return run_detect(job);
+    run_shard_with(job, &ShardOptions { keep_times, trace: false })
+}
+
+/// Runs one shard with full options. With `trace` set, a fresh
+/// recorder (ring capacity [`TRACE_RING_CAPACITY`]) observes the run
+/// and instrumented attacks report `hist` + `trace_digest`; the
+/// simulated outcome itself is bit-identical to an untraced run.
+pub fn run_shard_with(job: &ShardJob, opts: &ShardOptions) -> Result<ShardOutput, ConfigError> {
+    if !opts.trace {
+        return run_shard_inner(job, opts.keep_times, None);
     }
-    match job.scenario.attack {
-        AttackKind::Bernstein => run_bernstein(job),
-        AttackKind::Pwcet => run_pwcet(job, keep_times),
-        AttackKind::PrimeProbe => run_prime_probe_shard(job),
-        AttackKind::FlushReload => run_flush_reload_shard(job),
-        AttackKind::Rtos => run_rtos(job, keep_times),
-    }
+    let rec = handle(TRACE_RING_CAPACITY);
+    let mut out = run_shard_inner(job, opts.keep_times, Some(&rec))?;
+    attach_trace(&mut out, &rec.borrow());
+    Ok(out)
+}
+
+/// Runs one shard traced and hands back the recorder itself, for
+/// callers that want the event stream (the campaign report's Chrome
+/// trace export), not just its digest.
+pub fn trace_shard(job: &ShardJob) -> Result<(ShardOutput, TraceRecorder), ConfigError> {
+    let rec = handle(TRACE_RING_CAPACITY);
+    let mut out = run_shard_inner(job, false, Some(&rec))?;
+    let recorder = rec.borrow().clone();
+    attach_trace(&mut out, &recorder);
+    Ok((out, recorder))
 }
 
 #[cfg(test)]

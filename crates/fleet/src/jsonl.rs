@@ -45,6 +45,19 @@ pub struct ShardRecord {
     /// Raw execution times, for attacks whose merge step needs them
     /// (pWCET re-analysis); `None` when summaries suffice.
     pub times: Option<Vec<u64>>,
+    /// Sparse latency histogram from the shard's trace recorder, as
+    /// `(bucket index, count)` pairs; present only on traced shards.
+    pub hist: Option<Vec<(u32, u64)>>,
+    /// PMU window samples (one flattened counter row per scored
+    /// detector window) for monitored RTOS shards — exact hex
+    /// roundtrip so offline re-scoring sees the on-line values.
+    pub pmu: Option<Vec<Vec<u64>>>,
+    /// Detector sweep ROC points as `(threshold, fpr, tpr)` triples;
+    /// present on detection-sweep shards.
+    pub roc: Option<Vec<(f64, f64, f64)>>,
+    /// Digest of the shard's full trace stream (capacity-invariant);
+    /// present only on traced shards.
+    pub trace_digest: Option<u64>,
 }
 
 /// Encodes an `f64` losslessly: `Display` for finite values (shortest
@@ -102,6 +115,52 @@ impl ShardRecord {
             }
             out.push(']');
         }
+        if let Some(hist) = &self.hist {
+            out.push_str(",\"hist\":[");
+            for (i, (idx, count)) in hist.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{idx},\"{count:#x}\"]");
+            }
+            out.push(']');
+        }
+        if let Some(pmu) = &self.pmu {
+            out.push_str(",\"pmu\":[");
+            for (i, row) in pmu.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{v:#x}\"");
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+        if let Some(roc) = &self.roc {
+            out.push_str(",\"roc\":[");
+            for (i, (thr, fpr, tpr)) in roc.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_f64(&mut out, *thr);
+                out.push(',');
+                push_f64(&mut out, *fpr);
+                out.push(',');
+                push_f64(&mut out, *tpr);
+                out.push(']');
+            }
+            out.push(']');
+        }
+        if let Some(td) = self.trace_digest {
+            let _ = write!(out, ",\"trace_digest\":\"{td:#x}\"");
+        }
         out.push('}');
         out
     }
@@ -123,6 +182,10 @@ impl ShardRecord {
         let mut min = None;
         let mut max = None;
         let mut times = None;
+        let mut hist = None;
+        let mut pmu = None;
+        let mut roc = None;
+        let mut trace_digest = None;
         loop {
             let key = p.string()?;
             p.expect(b':')?;
@@ -154,6 +217,84 @@ impl ShardRecord {
                     }
                     times = Some(v);
                 }
+                "hist" => {
+                    p.expect(b'[')?;
+                    let mut v = Vec::new();
+                    if p.peek()? == b']' {
+                        p.pos += 1;
+                    } else {
+                        loop {
+                            p.expect(b'[')?;
+                            let idx = p.number()?.parse::<u32>().ok()?;
+                            p.expect(b',')?;
+                            let count = parse_hex_u64(&p.string()?)?;
+                            p.expect(b']')?;
+                            v.push((idx, count));
+                            match p.next_byte()? {
+                                b',' => continue,
+                                b']' => break,
+                                _ => return None,
+                            }
+                        }
+                    }
+                    hist = Some(v);
+                }
+                "pmu" => {
+                    p.expect(b'[')?;
+                    let mut rows = Vec::new();
+                    if p.peek()? == b']' {
+                        p.pos += 1;
+                    } else {
+                        loop {
+                            p.expect(b'[')?;
+                            let mut row = Vec::new();
+                            if p.peek()? == b']' {
+                                p.pos += 1;
+                            } else {
+                                loop {
+                                    row.push(parse_hex_u64(&p.string()?)?);
+                                    match p.next_byte()? {
+                                        b',' => continue,
+                                        b']' => break,
+                                        _ => return None,
+                                    }
+                                }
+                            }
+                            rows.push(row);
+                            match p.next_byte()? {
+                                b',' => continue,
+                                b']' => break,
+                                _ => return None,
+                            }
+                        }
+                    }
+                    pmu = Some(rows);
+                }
+                "roc" => {
+                    p.expect(b'[')?;
+                    let mut v = Vec::new();
+                    if p.peek()? == b']' {
+                        p.pos += 1;
+                    } else {
+                        loop {
+                            p.expect(b'[')?;
+                            let thr = p.f64_value()?;
+                            p.expect(b',')?;
+                            let fpr = p.f64_value()?;
+                            p.expect(b',')?;
+                            let tpr = p.f64_value()?;
+                            p.expect(b']')?;
+                            v.push((thr, fpr, tpr));
+                            match p.next_byte()? {
+                                b',' => continue,
+                                b']' => break,
+                                _ => return None,
+                            }
+                        }
+                    }
+                    roc = Some(v);
+                }
+                "trace_digest" => trace_digest = Some(parse_hex_u64(&p.string()?)?),
                 _ => return None,
             }
             match p.next_byte()? {
@@ -177,6 +318,10 @@ impl ShardRecord {
             min: min?,
             max: max?,
             times,
+            hist,
+            pmu,
+            roc,
+            trace_digest,
         })
     }
 
@@ -196,6 +341,30 @@ impl ShardRecord {
         if let Some(times) = &self.times {
             for &t in times {
                 h.write_u64(t);
+            }
+        }
+        // Simulation-output blocks are domain-tagged so a record with
+        // e.g. an empty `pmu` digests differently from one without it.
+        // `hist` and `trace_digest` exist only when a recorder was
+        // attached, and the recorder is a pure observer — folding them
+        // in would make a traced campaign digest diverge from the
+        // untraced digest of the very same simulation, so they stay
+        // out (CI compares the two verbatim).
+        if let Some(pmu) = &self.pmu {
+            h.write_u64(0x0070_6d75); // "pmu"
+            for row in pmu {
+                h.write_u64(row.len() as u64);
+                for &v in row {
+                    h.write_u64(v);
+                }
+            }
+        }
+        if let Some(roc) = &self.roc {
+            h.write_u64(0x0072_6f63); // "roc"
+            for &(thr, fpr, tpr) in roc {
+                h.write_f64(thr);
+                h.write_f64(fpr);
+                h.write_f64(tpr);
             }
         }
         h.finish()
@@ -303,6 +472,10 @@ mod tests {
             min: 5000.0,
             max: 6001.0,
             times,
+            hist: None,
+            pmu: None,
+            roc: None,
+            trace_digest: None,
         }
     }
 
@@ -351,6 +524,55 @@ mod tests {
         let mut c = sample(None);
         c.mean += 1.0;
         assert_ne!(a.result_digest(), c.result_digest());
+    }
+
+    #[test]
+    fn telemetry_fields_roundtrip_exactly() {
+        let mut rec = sample(Some(vec![9, 8]));
+        rec.hist = Some(vec![(0, 3), (12, u64::MAX), (44, 0x1234_5678_9abc_def0)]);
+        rec.pmu = Some(vec![vec![u64::MAX, 0, 7], vec![], vec![0xdead_beef]]);
+        rec.roc = Some(vec![(1.5, 0.25, f64::INFINITY), (2.0, f64::NAN, 1.0)]);
+        rec.trace_digest = Some(0xfeed_face_dead_beef);
+        let line = rec.encode();
+        let back = ShardRecord::decode(&line).unwrap();
+        assert_eq!(back.hist, rec.hist);
+        assert_eq!(back.pmu, rec.pmu);
+        assert_eq!(back.trace_digest, rec.trace_digest);
+        let roc = back.roc.as_ref().unwrap();
+        assert_eq!(roc[0].2.to_bits(), f64::INFINITY.to_bits());
+        assert!(roc[1].1.is_nan());
+        assert_eq!(rec.result_digest(), back.result_digest());
+        // Torn cuts of the extended record never parse.
+        for cut in 1..line.len() {
+            assert_eq!(ShardRecord::decode(&line[..cut]), None, "cut at {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn telemetry_fields_are_domain_separated_in_the_digest() {
+        // pmu and roc are simulation outputs: present regardless of
+        // tracing, so they are digest-covered and domain-separated.
+        let base = sample(None);
+        let mut with_empty_pmu = sample(None);
+        with_empty_pmu.pmu = Some(vec![]);
+        assert_ne!(base.result_digest(), with_empty_pmu.result_digest());
+        let mut with_empty_roc = sample(None);
+        with_empty_roc.roc = Some(vec![]);
+        assert_ne!(with_empty_pmu.result_digest(), with_empty_roc.result_digest());
+        assert_ne!(base.result_digest(), with_empty_roc.result_digest());
+    }
+
+    #[test]
+    fn observer_fields_do_not_perturb_the_result_digest() {
+        // hist and trace_digest exist only when a recorder observed
+        // the shard; the recorder is observer-only, so a traced record
+        // must digest identically to its untraced twin (CI compares
+        // traced and untraced campaign digests verbatim).
+        let base = sample(None);
+        let mut traced = sample(None);
+        traced.hist = Some(vec![(3, 17), (9, 1)]);
+        traced.trace_digest = Some(0xdead_beef);
+        assert_eq!(base.result_digest(), traced.result_digest());
     }
 
     #[test]

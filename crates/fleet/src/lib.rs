@@ -23,7 +23,10 @@
 //!   torn write, hard kill) so the recovery paths are *tested*, not
 //!   trusted;
 //! * [`digest`] / [`jsonl`] — the FNV-1a fingerprints and the record
-//!   encoding the bit-identity contract is stated in.
+//!   encoding the bit-identity contract is stated in;
+//! * [`report`] — plot-ready campaign exports (exceedance / histogram
+//!   / ROC curves per scenario, a Chrome trace, and a `digests.txt`
+//!   fingerprint), pure functions of the durable records.
 //!
 //! ```
 //! use tscache_fleet::executor::{launch, ExecutorConfig, RunOutcome};
@@ -52,9 +55,12 @@ pub mod executor;
 pub mod fault;
 pub mod job;
 pub mod jsonl;
+pub mod report;
 pub mod spec;
 
 pub use checkpoint::{campaign_digest, CampaignDir, Manifest};
 pub use executor::{launch, resume, CampaignResult, ExecutorConfig, RunOutcome};
 pub use fault::FaultPlan;
+pub use job::{run_shard, run_shard_with, trace_shard, ShardOptions, ShardOutput};
+pub use report::write_campaign_report;
 pub use spec::{AttackKind, FleetError, PlatformKind, Scenario, ShardJob, SweepSpec};

@@ -39,6 +39,7 @@ pub use bus::{Arbitration, Bus, BusConfig, BusReport};
 pub use mshr::{MshrConfig, MshrFile, MshrOutcome};
 pub use multicore::{
     execute_batch, execute_batch_shared, execute_scalar, execute_scalar_shared,
-    run_contended_segment, run_contended_segment_shared, CoRunner, ContentionConfig, CoreReport,
-    CoreRun, InterferenceOutcome, SegmentOutcome, SystemConfig,
+    run_contended_segment, run_contended_segment_shared, run_contended_segment_shared_with,
+    run_contended_segment_with, CoRunner, ContentionConfig, CoreReport, CoreRun,
+    InterferenceOutcome, SegmentOutcome, SystemConfig,
 };

@@ -66,6 +66,7 @@ use tscache_core::hierarchy::{
     AccessKind, Hierarchy, LlcRequests, OpTiming, SharedLlc, TraceOp, UpperOutcome,
 };
 use tscache_core::seed::ProcessId;
+use tscache_telemetry::{Event, RecorderHandle};
 
 pub use crate::bus::{Arbitration, BusConfig};
 
@@ -164,6 +165,12 @@ struct Merger {
     clocks: Vec<u64>,
     reports: Vec<CoreReport>,
     depths: Vec<usize>,
+    /// Bus service cycles, mirrored for trace emission.
+    bus_service: u32,
+    /// Observer-only trace sink. Timing, outcomes and statistics are
+    /// computed identically whether this is attached or not — the
+    /// recorder never feeds back.
+    recorder: Option<RecorderHandle>,
 }
 
 impl Merger {
@@ -179,6 +186,8 @@ impl Merger {
             clocks: vec![0; n],
             reports: vec![CoreReport::default(); n],
             depths,
+            bus_service: cfg.bus.service_cycles,
+            recorder: None,
         }
     }
 
@@ -194,6 +203,25 @@ impl Merger {
     /// and writeback transactions.
     fn step_coh(&mut self, core: usize, seq: u64, line: u64, t: OpTiming, coh_txns: u8) {
         let depth = self.depths[core];
+        let ts0 = self.clocks[core];
+        if let Some(rec) = &self.recorder {
+            // The per-level walk view: level l was consulted iff every
+            // lower level missed; the walk stops at the first hit.
+            let mut r = rec.borrow_mut();
+            for level in 0..depth {
+                let miss = t.miss_mask >> level & 1 == 1;
+                r.record(
+                    ts0,
+                    Event::LevelAccess { core: core as u8, level: level as u8, hit: !miss },
+                );
+                if !miss {
+                    break;
+                }
+            }
+            if t.mem_writebacks > 0 {
+                r.record(ts0, Event::Writeback { core: core as u8, count: t.mem_writebacks });
+            }
+        }
         let report = &mut self.reports[core];
         let mut stall = 0u64;
         let mut mem_read = t.memory_read(depth);
@@ -207,30 +235,57 @@ impl Merger {
                             // off-chip read.
                             mem_read = false;
                         }
+                        if let Some(rec) = &self.recorder {
+                            rec.borrow_mut().record(
+                                ts0,
+                                Event::MshrCoalesce { core: core as u8, level: level as u8 },
+                            );
+                        }
                     }
                     MshrOutcome::Allocated => {}
-                    MshrOutcome::Stalled => stall += file.stall_cycles() as u64,
+                    MshrOutcome::Stalled => {
+                        stall += file.stall_cycles() as u64;
+                        if let Some(rec) = &self.recorder {
+                            rec.borrow_mut().record(
+                                ts0,
+                                Event::MshrStall {
+                                    core: core as u8,
+                                    level: level as u8,
+                                    cycles: file.stall_cycles(),
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
         let mut at = self.clocks[core] + stall + t.cycles as u64;
         let mut wait = 0u64;
+        let bus_txn = |bus: &mut Bus, at: &mut u64, wait: &mut u64| {
+            let g = bus.grant(core, *at);
+            if let Some(rec) = &self.recorder {
+                rec.borrow_mut().record(
+                    g,
+                    Event::BusGrant {
+                        core: core as u8,
+                        wait: (g - *at).min(u32::MAX as u64) as u32,
+                        service: self.bus_service,
+                    },
+                );
+            }
+            *wait += g - *at;
+            *at = g;
+        };
         if mem_read {
-            let g = self.bus.grant(core, at);
-            wait += g - at;
-            at = g;
+            bus_txn(&mut self.bus, &mut at, &mut wait);
             report.mem_reads += 1;
         }
         for _ in 0..t.mem_writebacks {
-            let g = self.bus.grant(core, at);
-            wait += g - at;
-            at = g;
+            bus_txn(&mut self.bus, &mut at, &mut wait);
             report.mem_writebacks += 1;
         }
         for _ in 0..coh_txns {
-            let g = self.bus.grant(core, at);
-            wait += g - at;
-            at = g;
+            bus_txn(&mut self.bus, &mut at, &mut wait);
             report.coh_txns += 1;
         }
         report.ops += 1;
@@ -239,6 +294,16 @@ impl Merger {
         report.bus_wait += wait;
         report.mshr_stall_cycles += stall;
         self.clocks[core] = at;
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut().record(
+                ts0,
+                Event::Op {
+                    core: core as u8,
+                    cycles: (stall + t.cycles as u64 + wait).min(u32::MAX as u64) as u32,
+                    miss_mask: t.miss_mask,
+                },
+            );
+        }
     }
 
     fn finish(self) -> InterferenceOutcome {
@@ -783,9 +848,26 @@ pub fn run_contended_segment(
     cfg: &SystemConfig,
     events: &mut Vec<OpTiming>,
 ) -> SegmentOutcome {
+    run_contended_segment_with(hierarchy, pid, ops, co, cfg, events, None)
+}
+
+/// [`run_contended_segment`] with an optional trace recorder attached
+/// to the merge. The recorder is observer-only: outcomes are
+/// bit-identical with and without it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_contended_segment_with(
+    hierarchy: &mut Hierarchy,
+    pid: ProcessId,
+    ops: &[TraceOp],
+    co: &mut [CoRunner],
+    cfg: &SystemConfig,
+    events: &mut Vec<OpTiming>,
+    recorder: Option<&RecorderHandle>,
+) -> SegmentOutcome {
     let mut depths = vec![hierarchy.depth()];
     depths.extend(co.iter().map(|c| c.hierarchy.depth()));
     let mut merger = Merger::new(cfg, depths);
+    merger.recorder = recorder.cloned();
     hierarchy.access_batch_timed(pid, ops, events);
     let offset_bits = hierarchy.l1i().geometry().offset_bits();
     let mut pos = 0usize;
@@ -864,6 +946,8 @@ fn segment_coherence_post(
     fill: Option<LineAddr>,
     evicted: Option<LineAddr>,
     t: &mut OpTiming,
+    recorder: Option<&RecorderHandle>,
+    ts: u64,
 ) -> u8 {
     let mut coh_txns = 0u8;
     if let Some(victim) = evicted.filter(|&v| llc.is_coherent_line(v)) {
@@ -872,6 +956,9 @@ fn segment_coherence_post(
             coh_txns += 1;
             t.mem_writebacks +=
                 invalidate_segment_cores(hierarchy, pid, co, reports, sharers, victim);
+            if let Some(rec) = recorder {
+                rec.borrow_mut().record(ts, Event::CohBackInvalidate { core: c as u8 });
+            }
         }
     }
     if fill.is_some_and(|l| llc.is_coherent_line(l)) {
@@ -882,6 +969,15 @@ fn segment_coherence_post(
         if others != 0 {
             coh_txns += 1;
             t.mem_writebacks += invalidate_segment_cores(hierarchy, pid, co, reports, others, line);
+            if let Some(rec) = recorder {
+                rec.borrow_mut().record(
+                    ts,
+                    Event::CohUpgrade {
+                        core: c as u8,
+                        invalidated: others.count_ones().min(u8::MAX as u32) as u8,
+                    },
+                );
+            }
         }
     }
     if kind == AccessKind::Flush && llc.is_coherent_line(line) {
@@ -892,6 +988,15 @@ fn segment_coherence_post(
             if llc.invalidate_copy(p, line).dirty {
                 t.mem_writebacks += 1;
             }
+        }
+        if let Some(rec) = recorder {
+            rec.borrow_mut().record(
+                ts,
+                Event::CohFlush {
+                    core: c as u8,
+                    invalidated: sharers.count_ones().min(u8::MAX as u32) as u8,
+                },
+            );
         }
     }
     coh_txns
@@ -920,11 +1025,30 @@ pub fn run_contended_segment_shared(
     events: &mut Vec<OpTiming>,
     requests: &mut LlcRequests,
 ) -> SegmentOutcome {
+    run_contended_segment_shared_with(hierarchy, pid, ops, co, llc, cfg, events, requests, None)
+}
+
+/// [`run_contended_segment_shared`] with an optional trace recorder
+/// attached to the merge. The recorder is observer-only: outcomes are
+/// bit-identical with and without it.
+#[allow(clippy::too_many_arguments)]
+pub fn run_contended_segment_shared_with(
+    hierarchy: &mut Hierarchy,
+    pid: ProcessId,
+    ops: &[TraceOp],
+    co: &mut [CoRunner],
+    llc: &mut SharedLlc,
+    cfg: &SystemConfig,
+    events: &mut Vec<OpTiming>,
+    requests: &mut LlcRequests,
+    recorder: Option<&RecorderHandle>,
+) -> SegmentOutcome {
     let mut depths = vec![hierarchy.depth() + 1];
     depths.extend(co.iter().map(|c| c.hierarchy.depth() + 1));
     let co_bits: Vec<u8> = co.iter().map(|c| c.hierarchy.depth() as u8).collect();
     let co_offsets: Vec<u32> = co.iter().map(|c| c.offset_bits).collect();
     let mut merger = Merger::new(cfg, depths);
+    merger.recorder = recorder.cloned();
     let shared_bit = hierarchy.depth() as u8;
     let offset_bits = hierarchy.l1i().geometry().offset_bits();
     let coherent = llc.has_coherence();
@@ -962,6 +1086,7 @@ pub fn run_contended_segment_shared(
                     (compose_llc(upper_timing(&up), r, shared_bit), up.fill, ev)
                 };
                 let coh = if coherent {
+                    let ts = merger.clocks[0];
                     segment_coherence_post(
                         llc,
                         hierarchy,
@@ -975,6 +1100,8 @@ pub fn run_contended_segment_shared(
                         fill,
                         evicted,
                         &mut t,
+                        recorder,
+                        ts,
                     )
                 } else {
                     0
@@ -993,6 +1120,7 @@ pub fn run_contended_segment_shared(
                         // and it never writes or flushes tracked
                         // lines), so the canonical sequence runs with
                         // a synthetic read and no fill.
+                        let ts = merger.clocks[c];
                         segment_coherence_post(
                             llc,
                             hierarchy,
@@ -1006,6 +1134,8 @@ pub fn run_contended_segment_shared(
                             None,
                             evicted,
                             &mut t,
+                            recorder,
+                            ts,
                         )
                     } else {
                         0
@@ -1017,6 +1147,7 @@ pub fn run_contended_segment_shared(
                     let (r, ev) = llc.resolve_evict(pids[c], up.fill, &wb_scratch);
                     let mut t = compose_llc(upper_timing(&up), r, co_bits[c - 1]);
                     let coh = if coherent {
+                        let ts = merger.clocks[c];
                         segment_coherence_post(
                             llc,
                             hierarchy,
@@ -1030,6 +1161,8 @@ pub fn run_contended_segment_shared(
                             up.fill,
                             ev,
                             &mut t,
+                            recorder,
+                            ts,
                         )
                     } else {
                         0

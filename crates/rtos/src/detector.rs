@@ -122,6 +122,11 @@ pub struct DetectorReport {
     pub masked: u64,
     /// Per-window suspicion scores, in order — the ROC sweep input.
     pub scores: Vec<f64>,
+    /// The raw PMU deltas behind the scores, aligned with `scores`
+    /// (masked windows are not retained). Campaign exporters serialize
+    /// these so threshold/weight sweeps can re-score offline without
+    /// re-running the simulation.
+    pub deltas: Vec<PmuDelta>,
     /// Threshold crossings.
     pub events: Vec<DetectionEvent>,
     /// Highest single-window score seen (0 when no windows scored).
@@ -197,6 +202,7 @@ impl SlidingWindowDetector {
         let window = self.report.windows;
         self.report.windows += 1;
         self.report.scores.push(score);
+        self.report.deltas.push(delta.clone());
         if score > self.report.max_score {
             self.report.max_score = score;
         }
@@ -305,6 +311,7 @@ mod tests {
         assert_eq!(report.masked, 1);
         assert_eq!(report.windows, 1);
         assert_eq!(report.scores.len(), 1);
+        assert_eq!(report.deltas.len(), 1, "masked windows must not retain deltas");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use tscache_core::stats::CacheStats;
 use tscache_interference::{CoRunner, SystemConfig};
 use tscache_sim::layout::Layout;
 use tscache_sim::machine::{Machine, TraceOp};
+use tscache_telemetry::{Event, FlushScope, RecorderHandle};
 
 /// How the OS assigns placement seeds (paper §5 discusses the spectrum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +164,9 @@ pub struct TscacheOs {
     config: OsConfig,
     workloads: Vec<RunnableWorkload>,
     rng: SplitMix64,
+    /// Optional telemetry recorder (see
+    /// [`attach_recorder`](Self::attach_recorder)); observer-only.
+    recorder: Option<RecorderHandle>,
 }
 
 /// Per-runnable synthetic working set, pre-assembled as a memory trace
@@ -284,7 +288,19 @@ impl TscacheOs {
             config,
             workloads,
             rng: SplitMix64::new(config.rng_seed),
+            recorder: None,
         })
+    }
+
+    /// Attaches a telemetry recorder to the campaign: schedule slices,
+    /// detector windows and OS flush boundaries are emitted alongside
+    /// the machine's own cache/bus events (the same handle is shared
+    /// with the machine, so everything lands in one timeline). The
+    /// recorder is strictly an observer — campaign reports are
+    /// bit-identical with and without one.
+    pub fn attach_recorder(&mut self, recorder: RecorderHandle) {
+        self.machine.set_recorder(recorder.clone());
+        self.recorder = Some(recorder);
     }
 
     /// The static schedule.
@@ -386,6 +402,9 @@ impl TscacheOs {
             self.reseed_all(&mut report);
             self.machine.flush_caches();
             report.flushes += 1;
+            if let Some(rec) = &self.recorder {
+                rec.borrow_mut().record(t0, Event::CacheFlush { scope: FlushScope::Hyperperiod });
+            }
             report.overhead_cycles += delta_u64(self.machine.cycles(), t0);
             if let Some((sampler, detector)) = monitor.as_mut() {
                 // The OS owns this flush: swallow its counter churn
@@ -423,18 +442,46 @@ impl TscacheOs {
                         llc.flush_process(swc.process_id());
                     }
                     report.flushes += 1;
+                    if let Some(rec) = &self.recorder {
+                        rec.borrow_mut().record(
+                            self.machine.cycles(),
+                            Event::CacheFlush { scope: FlushScope::ProcessSwitch },
+                        );
+                    }
                     if let Some((sampler, detector)) = monitor.as_mut() {
                         detector.note_flush();
                         sampler.rebaseline(self.pmu_snapshot());
                     }
                 }
+                let t_job = self.machine.cycles();
                 let cycles = self.run_job(job.runnable);
                 report.work_cycles += cycles;
                 report.times[job.runnable].push(cycles);
+                if let Some(rec) = &self.recorder {
+                    rec.borrow_mut().record(
+                        t_job,
+                        Event::ScheduleSlice { runnable: job.runnable as u16, swc: swc.0, cycles },
+                    );
+                }
                 if let Some((sampler, detector)) = monitor.as_mut() {
                     if sampler.note_ops(self.workloads[job.runnable].ops.len() as u64) {
                         let delta = sampler.cut(self.pmu_snapshot());
-                        detector.ingest(&delta);
+                        let scored_before = detector.report().windows;
+                        let fired = detector.ingest(&delta).is_some();
+                        if let Some(rec) = &self.recorder {
+                            let rep = detector.report();
+                            // Masked windows score nothing — no event.
+                            if rep.windows > scored_before {
+                                rec.borrow_mut().record(
+                                    self.machine.cycles(),
+                                    Event::DetectorWindow {
+                                        window: rep.windows - 1,
+                                        score: rep.scores.last().copied().unwrap_or(0.0),
+                                        fired,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
             }

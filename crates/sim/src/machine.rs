@@ -15,8 +15,10 @@ use tscache_core::prng::mix64;
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_interference::{
-    run_contended_segment, run_contended_segment_shared, CoRunner, ContentionConfig, SystemConfig,
+    run_contended_segment_shared_with, run_contended_segment_with, CoRunner, ContentionConfig,
+    SystemConfig,
 };
+use tscache_telemetry::{Event, RecorderHandle};
 
 /// One memory operation of a pre-built trace, consumed by
 /// [`Machine::run_trace`] (defined in `tscache_core::hierarchy`, where
@@ -80,6 +82,10 @@ pub struct Machine {
     llc_scratch: LlcRequests,
     /// Reused writeback scratch of the shared-LLC scalar ops.
     wb_scratch: Vec<Writeback>,
+    /// Optional telemetry recorder; observer-only — outcomes are
+    /// bit-identical with and without it (see
+    /// [`set_recorder`](Self::set_recorder)).
+    recorder: Option<RecorderHandle>,
 }
 
 impl Machine {
@@ -100,7 +106,31 @@ impl Machine {
             coherent_regions: Vec::new(),
             llc_scratch: LlcRequests::default(),
             wb_scratch: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder: [`run_trace`](Self::run_trace)
+    /// then emits per-level hit/miss walks, writebacks, bus grants,
+    /// MSHR events and per-op spans into it. The recorder is strictly
+    /// an observer — cache state, cycle totals and statistics are
+    /// bit-identical with and without one attached (the contended and
+    /// shared engines thread it through as a side channel; the solo
+    /// batch path switches to its timed twin, which the differential
+    /// suites pin to the untimed walk).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches the telemetry recorder, returning the machine to the
+    /// bookkeeping-free hot path.
+    pub fn clear_recorder(&mut self) {
+        self.recorder = None;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<&RecorderHandle> {
+        self.recorder.as_ref()
     }
 
     /// Creates a machine on a shared-LLC multicore platform: the
@@ -631,7 +661,7 @@ impl Machine {
             // residual cost is bus occupancy between one op's own
             // back-to-back transactions (write-back only, see the doc
             // above).
-            let seg = run_contended_segment_shared(
+            let seg = run_contended_segment_shared_with(
                 &mut self.hierarchy,
                 self.pid,
                 ops,
@@ -640,23 +670,51 @@ impl Machine {
                 &cfg,
                 &mut self.timing_scratch,
                 &mut self.llc_scratch,
+                self.recorder.as_ref(),
             );
             self.cycles += seg.primary.cycles;
             self.contention_cycles += seg.primary.bus_wait + seg.primary.mshr_stall_cycles;
             return seg.primary.cycles;
         }
         if let Some(cfg) = self.interference.filter(|_| !self.co_runners.is_empty()) {
-            let seg = run_contended_segment(
+            let seg = run_contended_segment_with(
                 &mut self.hierarchy,
                 self.pid,
                 ops,
                 &mut self.co_runners,
                 &cfg,
                 &mut self.timing_scratch,
+                self.recorder.as_ref(),
             );
             self.cycles += seg.primary.cycles;
             self.contention_cycles += seg.primary.bus_wait + seg.primary.mshr_stall_cycles;
             return seg.primary.cycles;
+        }
+        if let Some(rec) = self.recorder.clone() {
+            // Solo private walk, recorded: the timed batch twin yields
+            // per-op timings from the very same engine, so totals and
+            // cache state cannot diverge from the untimed path.
+            let depth = self.hierarchy.depth();
+            let out = self.hierarchy.access_batch_timed(self.pid, ops, &mut self.timing_scratch);
+            let mut ts = self.cycles;
+            let mut r = rec.borrow_mut();
+            for t in &self.timing_scratch {
+                for level in 0..depth {
+                    let miss = t.miss_mask >> level & 1 == 1;
+                    r.record(ts, Event::LevelAccess { core: 0, level: level as u8, hit: !miss });
+                    if !miss {
+                        break;
+                    }
+                }
+                if t.mem_writebacks > 0 {
+                    r.record(ts, Event::Writeback { core: 0, count: t.mem_writebacks });
+                }
+                r.record(ts, Event::Op { core: 0, cycles: t.cycles, miss_mask: t.miss_mask });
+                ts += t.cycles as u64;
+            }
+            drop(r);
+            self.cycles += out.cycles;
+            return out.cycles;
         }
         let cycles = self.hierarchy.access_batch_cycles(self.pid, ops);
         self.cycles += cycles;

@@ -7,6 +7,7 @@ use tscache_core::prng::{mix64, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_interference::ContentionConfig;
+use tscache_telemetry::{Event, FlushScope, RecorderHandle};
 
 /// A program the machine can execute.
 pub trait Workload {
@@ -139,21 +140,45 @@ pub fn collect_execution_times(
     workload: &mut dyn Workload,
     protocol: &MeasurementProtocol,
 ) -> Vec<u64> {
+    collect_execution_times_with(setup, workload, protocol, None)
+}
+
+/// [`collect_execution_times`] with an optional telemetry recorder
+/// attached to the per-run machine. The recorder is observer-only —
+/// the returned times are bit-identical with and without one — and
+/// additionally receives a [`FlushScope::Measurement`] cache-flush
+/// marker at each run's flush boundary, stamped with the cumulative
+/// cycle total so the runs tile the trace timeline end to end.
+pub fn collect_execution_times_with(
+    setup: SetupKind,
+    workload: &mut dyn Workload,
+    protocol: &MeasurementProtocol,
+    recorder: Option<&RecorderHandle>,
+) -> Vec<u64> {
     let mut machine = protocol_machine(setup, protocol, protocol.rng_seed);
+    if let Some(rec) = recorder {
+        machine.set_recorder(rec.clone());
+    }
     let pid = ProcessId::new(1);
     machine.set_process(pid);
     let mut rng = SplitMix64::new(protocol.rng_seed ^ 0x6d65_6173);
     let mut times = Vec::with_capacity(protocol.runs as usize);
+    let mut elapsed = 0u64;
     for _ in 0..protocol.runs {
         if protocol.reseed_between_runs {
             machine.set_process_seed(pid, Seed::random(&mut rng));
         }
         if protocol.flush_between_runs {
             machine.flush_caches();
+            if let Some(rec) = recorder {
+                rec.borrow_mut()
+                    .record(elapsed, Event::CacheFlush { scope: FlushScope::Measurement });
+            }
         }
         machine.reset_counters();
         workload.run(&mut machine);
         times.push(machine.cycles());
+        elapsed += machine.cycles();
     }
     times
 }

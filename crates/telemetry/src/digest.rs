@@ -1,0 +1,79 @@
+//! FNV-1a digests — the trace layer's bit-identity fingerprints.
+//!
+//! Same algorithm (and same test vectors) as `tscache_fleet::digest`,
+//! duplicated here so the telemetry crate stays a dependency-free leaf
+//! every layer can use: the fleet depends on telemetry, not the other
+//! way around.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `f64` via its IEEE-754 bit pattern (exact, so two
+    /// runs agree iff the floats are bit-identical).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write(&v.to_bits().to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot digest of a byte string.
+///
+/// # Examples
+///
+/// ```
+/// use tscache_telemetry::digest::fnv64;
+///
+/// assert_eq!(fnv64(b"trace"), fnv64(b"trace"));
+/// assert_ne!(fnv64(b"trace"), fnv64(b"trace!"));
+/// ```
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Log-bucketed (HDR-style) latency histograms.
+//!
+//! Buckets are exact below 8 and log₂ with four sub-buckets per octave
+//! above, so the whole `u64` range fits in 252 buckets at ≤ 25%
+//! relative width. Storage is a sparse `BTreeMap`, which makes merge
+//! and digest order-canonical for free — two histograms built from the
+//! same samples in any order digest identically, and shard histograms
+//! merge associatively into scenario histograms.
+
+use crate::digest::Fnv64;
+use std::collections::BTreeMap;
+
+/// The bucket a value lands in: identity below 8, then
+/// `8 + 4·(log₂(v) − 3) + next-two-bits` above.
+pub fn bucket_index(v: u64) -> u32 {
+    if v < 8 {
+        v as u32
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = ((v >> (exp - 2)) & 3) as u32;
+        8 + (exp - 3) * 4 + sub
+    }
+}
+
+/// The inclusive lower and exclusive upper value bound of a bucket.
+pub fn bucket_bounds(index: u32) -> (u64, u64) {
+    if index < 8 {
+        (index as u64, index as u64 + 1)
+    } else {
+        let exp = (index - 8) / 4 + 3;
+        let sub = ((index - 8) % 4) as u64;
+        let step = 1u64 << (exp - 2);
+        let lo = (1u64 << exp) + sub * step;
+        (lo, lo.saturating_add(step))
+    }
+}
+
+/// A sparse log-bucketed histogram of `u64` samples (cycle latencies).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        *self.counts.entry(bucket_index(v)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Adds every bucket of `other` into `self` (shard → scenario
+    /// aggregation). Associative and commutative, so merge order never
+    /// shows in the digest.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (&idx, &count) in &other.counts {
+            *self.counts.entry(idx).or_insert(0) += count;
+        }
+        self.total += other.total;
+    }
+
+    /// Canonical digest: FNV-1a over the sorted `(bucket, count)`
+    /// pairs.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for (&idx, &count) in &self.counts {
+            h.write_u64(idx as u64).write_u64(count);
+        }
+        h.finish()
+    }
+
+    /// The sorted sparse `(bucket, count)` pairs — the JSONL wire
+    /// form.
+    pub fn to_sparse(&self) -> Vec<(u32, u64)> {
+        self.counts.iter().map(|(&i, &c)| (i, c)).collect()
+    }
+
+    /// Rebuilds a histogram from its sparse pairs. Returns `None` on
+    /// unsorted/duplicate buckets (a corrupt record, not a panic).
+    pub fn from_sparse(pairs: &[(u32, u64)]) -> Option<Self> {
+        let mut counts = BTreeMap::new();
+        let mut total = 0u64;
+        let mut last: Option<u32> = None;
+        for &(idx, count) in pairs {
+            if last.is_some_and(|l| idx <= l) {
+                return None;
+            }
+            last = Some(idx);
+            counts.insert(idx, count);
+            total = total.checked_add(count)?;
+        }
+        Some(LatencyHistogram { counts, total })
+    }
+
+    /// Iterates the populated buckets as `(lo, hi, count)` rows — the
+    /// curve-file view.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().map(|(&idx, &count)| {
+            let (lo, hi) = bucket_bounds(idx);
+            (lo, hi, count)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_cover_their_values() {
+        for v in (0..4096u64).chain([1 << 20, u64::MAX - 3, u64::MAX]) {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            // The top bucket's upper bound saturates at u64::MAX and
+            // is inclusive there.
+            assert!(lo <= v && (v < hi || hi == u64::MAX), "v={v} idx={idx} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "v={v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let samples = [0u64, 1, 7, 8, 9, 100, 100, 5000, 1 << 40];
+        let mut whole = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                a.record(s)
+            } else {
+                b.record(s)
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.digest(), whole.digest());
+        assert_eq!(merged.total(), samples.len() as u64);
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_exact_and_rejects_corruption() {
+        let mut h = LatencyHistogram::new();
+        for s in [3u64, 900, 900, 12] {
+            h.record(s);
+        }
+        let pairs = h.to_sparse();
+        assert_eq!(LatencyHistogram::from_sparse(&pairs), Some(h));
+        let unsorted = vec![(5u32, 1u64), (2, 1)];
+        assert_eq!(LatencyHistogram::from_sparse(&unsorted), None);
+    }
+
+    #[test]
+    fn digest_ignores_sample_order() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for s in [10u64, 999, 3] {
+            a.record(s);
+        }
+        for s in [3u64, 10, 999] {
+            b.record(s);
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+}

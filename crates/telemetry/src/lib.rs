@@ -1,0 +1,37 @@
+//! Deterministic, zero-cost-when-off observability for the tscache
+//! stack.
+//!
+//! Three layers, all dependency-free and allocation-free on the hot
+//! path:
+//!
+//! * [`recorder`] — a ring-buffered [`TraceRecorder`] of enum-tagged
+//!   [`Event`]s. Emitters hold an `Option<RecorderHandle>`; when it is
+//!   `None` the instrumentation is one predicted branch per site, and
+//!   the simulation outcome is **bit-identical** whether the recorder
+//!   is attached or not (observer-effect zero — the recorder only
+//!   observes, it never feeds back into timing or placement).
+//! * [`histogram`] — HDR-style log-bucketed latency histograms fed
+//!   from the same event stream at record time (so ring-buffer
+//!   eviction never loses a sample), mergeable across shards with a
+//!   deterministic digest.
+//! * [`export`] — Chrome trace-event JSON (load `trace.json` in
+//!   Perfetto / `chrome://tracing`) and per-scenario curve files
+//!   (pWCET exceedance, ROC points, latency histograms) as plain CSV.
+//!
+//! Everything digestible is a pure function of the recorded stream:
+//! the recorder folds every event into a running FNV-1a digest at
+//! [`TraceRecorder::record`] time, so the digest is invariant to ring
+//! capacity, and campaign-level digests are invariant to worker
+//! counts, shard scrambles, and kill+resume (the same pinning style as
+//! the fleet layer).
+
+pub mod digest;
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod recorder;
+
+pub use event::{Event, FlushScope, TraceRecord};
+pub use export::{chrome_trace, exceedance_csv, hist_csv, roc_csv};
+pub use histogram::LatencyHistogram;
+pub use recorder::{handle, RecorderHandle, TraceRecorder};
