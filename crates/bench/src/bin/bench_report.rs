@@ -29,8 +29,8 @@
 use std::hint::black_box;
 use tscache_bench::harness::{bench, parse_report_metrics, render_table, to_json, Measurement};
 use tscache_bench::suites::{
-    cache_dispatch_suite, coherence_suite, contended_machine_suite, detector_suite, fleet_suite,
-    hierarchy_batch_suite, shared_llc_machine_suite, telemetry_suite,
+    cache_dispatch_suite, coherence_suite, contended_machine_suite, defense_suite, detector_suite,
+    fleet_suite, hierarchy_batch_suite, shared_llc_machine_suite, telemetry_suite,
 };
 use tscache_bench::Args;
 use tscache_core::parallel;
@@ -148,6 +148,10 @@ fn main() {
     // Prime+Probe detection campaign.
     results.extend(detector_suite(ms.max(500)));
 
+    // The defense zoo: each defense policy armed on the shared-LLC
+    // machine vs the same machine undefended (the ≥0.9× bar).
+    results.extend(defense_suite(ms.max(500)));
+
     // The telemetry layer: recorder-off machine vs the raw batch floor
     // (the ≥0.97× zero-cost-when-off bar) and recorder-on vs off.
     results.extend(telemetry_suite(ms));
@@ -181,6 +185,11 @@ fn main() {
         rate("detect/prime-probe/sampled") / rate("detect/prime-probe/unsampled");
     let telemetry_off_ratio = rate("telemetry/machine/off") / rate("telemetry/hier/batch");
     let telemetry_on_ratio = rate("telemetry/machine/on") / rate("telemetry/machine/off");
+    let defense_ttl_ratio = rate("defense/ttl") / rate("defense/off");
+    let defense_normalize_ratio = rate("defense/normalize") / rate("defense/off");
+    let defense_random_safe_ratio = rate("defense/random-safe") / rate("defense/off");
+    let defense_rotate_partition_ratio = rate("defense/rotate-partition") / rate("defense/off");
+    let defense_rotate_core_ratio = rate("defense/rotate-core") / rate("defense/off");
 
     let extra = [
         ("pr", pr as f64),
@@ -204,6 +213,11 @@ fn main() {
         ("throughput_ratio_detector_sampled_vs_unsampled", detect_sampled_ratio),
         ("throughput_ratio_telemetry_off_vs_batch", telemetry_off_ratio),
         ("throughput_ratio_telemetry_on_vs_off", telemetry_on_ratio),
+        ("throughput_ratio_defense_ttl_vs_off", defense_ttl_ratio),
+        ("throughput_ratio_defense_normalize_vs_off", defense_normalize_ratio),
+        ("throughput_ratio_defense_random_safe_vs_off", defense_random_safe_ratio),
+        ("throughput_ratio_defense_rotate_partition_vs_off", defense_rotate_partition_ratio),
+        ("throughput_ratio_defense_rotate_core_vs_off", defense_rotate_core_ratio),
     ];
 
     print!("{}", render_table(&results));
@@ -229,6 +243,13 @@ fn main() {
     println!("telemetry layer (same run):");
     println!("  recorder-off machine vs batch floor: {telemetry_off_ratio:.2}x");
     println!("  recorder-on vs recorder-off: {telemetry_on_ratio:.2}x");
+    println!("defense zoo, each vs undefended shared machine (same run, bar ≥0.90x):");
+    println!(
+        "  ttl {defense_ttl_ratio:.2}x, normalize {defense_normalize_ratio:.2}x, \
+         random-safe {defense_random_safe_ratio:.2}x, \
+         rotate-partition {defense_rotate_partition_ratio:.2}x, \
+         rotate-core {defense_rotate_core_ratio:.2}x"
+    );
 
     let compare = args.get_str("compare", "");
     if !compare.is_empty() {

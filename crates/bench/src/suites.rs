@@ -270,6 +270,7 @@ pub fn fleet_bench_spec() -> tscache_fleet::SweepSpec {
         contention: vec![false],
         attacks: vec![AttackKind::PrimeProbe],
         detection: vec![DetectionMode::Off],
+        defenses: vec![tscache_core::defense::DefenseKind::Off],
     }
 }
 
@@ -426,6 +427,60 @@ pub fn detector_suite(min_ms: u64) -> Vec<Measurement> {
     }
 
     vec![off, on, unsampled, sampled]
+}
+
+/// The defense-zoo suite: what each defense policy costs the hot path.
+///
+/// One measurement per [`DefenseKind`], all interleaved in the same
+/// window (the fleet-suite drift discipline): the L2-heavy trace
+/// through `Machine::run_trace` on the shared-LLC TSCache platform —
+/// shared so the seed-rotation defenses actually rotate — with that
+/// single defense armed via [`Machine::apply_defense`]. The acceptance
+/// bar is every defended run at ≥ 0.9× `defense/off`: TTL adds a
+/// per-set decay sweep on the scalar spill path and a lifetime draw
+/// per fill, normalization a per-hit owner check, rotation a counter
+/// compare per shared fill — none of which may tax the batch fast
+/// path by more than the bar.
+pub fn defense_suite(min_ms: u64) -> Vec<Measurement> {
+    use std::time::Instant;
+    use tscache_core::defense::DefenseKind;
+
+    let pid = ProcessId::new(1);
+    let ops = l2_heavy_trace();
+
+    let mut machines: Vec<(Machine, Measurement)> = DefenseKind::ALL
+        .into_iter()
+        .map(|defense| {
+            let mut machine = Machine::from_setup_shared(
+                SetupKind::TsCache,
+                HierarchyDepth::TwoLevel,
+                SystemConfig::default(),
+                21,
+            );
+            machine.set_process(pid);
+            machine.set_process_seed(pid, Seed::new(42));
+            machine.apply_defense(defense);
+            let m = Measurement {
+                name: format!("defense/{}", defense.label()),
+                unit: "accesses",
+                units: 0,
+                elapsed_ns: 0,
+            };
+            (machine, m)
+        })
+        .collect();
+
+    let budget = (min_ms as u128) * 1_000_000;
+    while machines.iter().any(|(_, m)| m.elapsed_ns < budget) {
+        for (machine, m) in machines.iter_mut() {
+            let start = Instant::now();
+            black_box(machine.run_trace(black_box(&ops)));
+            m.elapsed_ns += start.elapsed().as_nanos();
+            m.units += ops.len() as u64;
+        }
+    }
+
+    machines.into_iter().map(|(_, m)| m).collect()
 }
 
 /// The telemetry suite: what the tracing layer costs the hot path.

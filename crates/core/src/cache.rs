@@ -28,9 +28,10 @@
 //! streams and produce identical access outcomes.
 
 use crate::addr::LineAddr;
+use crate::defense::TtlConfig;
 use crate::geometry::CacheGeometry;
 use crate::placement::{PlacementEngine, PlacementKind};
-use crate::prng::{mix64, SplitMix64};
+use crate::prng::{mix64, Prng, SplitMix64};
 use crate::replacement::{ReplacementEngine, ReplacementKind};
 use crate::seed::{ProcessId, Seed, SeedTable};
 use crate::stats::CacheStats;
@@ -56,12 +57,17 @@ pub enum WritePolicy {
     WriteBack,
 }
 
-/// Packed per-line metadata: the owner process and a flag byte.
+/// Packed per-line metadata: the owner process, a flag byte, and the
+/// remaining TTL (ClepsydraCache-style lifetime; 0 = never expires).
 /// Validity is encoded in the tags array via [`INVALID_TAG`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct LineMeta {
     owner: u16,
     flags: u8,
+    /// Remaining lifetime in set-accesses. 0 means infinite: lines
+    /// filled while the TTL defense is off never expire, even if the
+    /// defense is armed later.
+    ttl: u8,
 }
 
 impl LineMeta {
@@ -75,7 +81,7 @@ impl LineMeta {
     /// moves it to I by dropping the tag.
     const COHERENT: u8 = 4;
 
-    const EMPTY: LineMeta = LineMeta { owner: 0, flags: 0 };
+    const EMPTY: LineMeta = LineMeta { owner: 0, flags: 0, ttl: 0 };
 
     #[inline]
     fn protected(self) -> bool {
@@ -338,6 +344,19 @@ pub struct Cache {
     ///
     /// [`rng`]: Cache::rng
     part_rngs: Vec<(u16, SplitMix64)>,
+    /// Armed ClepsydraCache-style TTL defense; `None` (or an infinite
+    /// config, filtered out by [`set_ttl`](Cache::set_ttl)) leaves the
+    /// access path bit-identical to an undefended cache.
+    ttl: Option<TtlConfig>,
+    /// Dedicated stream for per-fill TTL jitter, derived from the
+    /// constructor seed so arming the defense perturbs no other
+    /// randomness stream. Reset to its derivation point on flush,
+    /// mirroring [`part_rngs`](Cache::part_rngs).
+    ttl_rng: SplitMix64,
+    /// TimeCache-style timed-access normalization: a process's first
+    /// access to a line another process loaded is levelled to miss
+    /// latency (ownership transfers; the line itself stays resident).
+    normalize: bool,
     stats: CacheStats,
 }
 
@@ -390,6 +409,9 @@ impl Cache {
             rng: SplitMix64::new(rng_seed ^ 0x6361_6368_6521),
             rng_seed,
             part_rngs: Vec::new(),
+            ttl: None,
+            ttl_rng: SplitMix64::new(mix64(rng_seed ^ 0x0074_746c)),
+            normalize: false,
             stats: CacheStats::new(),
         }
     }
@@ -447,6 +469,42 @@ impl Cache {
     pub fn set_seed(&mut self, pid: ProcessId, seed: Seed) {
         self.seeds.set(pid, seed);
         self.hot = HotContext::EMPTY;
+    }
+
+    /// Arms (or disarms) ClepsydraCache-style TTL evictions: every
+    /// fill draws a lifetime of `base + uniform(0..=jitter)` accesses
+    /// to its set; each set access decrements resident lifetimes and
+    /// drains expired lines before lookup. Dirty expiries count a
+    /// writeback (drained straight to memory, like
+    /// [`invalidate_line`](Self::invalidate_line)); every expiry
+    /// counts [`ttl_expiries`](CacheStats::ttl_expiries).
+    ///
+    /// An *infinite* config (`base == 0`) is normalized to `None`, so
+    /// a TTL=∞ cache is bit-identical to an undefended one — the
+    /// jitter stream is never drawn from. Lines already resident keep
+    /// the lifetime they were filled with (0 = never expires).
+    pub fn set_ttl(&mut self, ttl: Option<TtlConfig>) {
+        self.ttl = ttl.filter(TtlConfig::is_finite);
+    }
+
+    /// The armed TTL defense, if any.
+    pub fn ttl(&self) -> Option<TtlConfig> {
+        self.ttl
+    }
+
+    /// Arms (or disarms) TimeCache-style timed-access normalization:
+    /// the first access a process makes to a line another process
+    /// loaded reports a *miss* (full latency) while transferring the
+    /// line's ownership — so reload/probe timing cannot distinguish a
+    /// victim-touched line from a cold one. [`probe`](Self::probe)
+    /// likewise only reports lines the probing process owns.
+    pub fn set_normalize(&mut self, on: bool) {
+        self.normalize = on;
+    }
+
+    /// Whether timed-access normalization is armed.
+    pub fn normalize_enabled(&self) -> bool {
+        self.normalize
     }
 
     /// Sets the write policy. Switching an already-populated cache to
@@ -669,6 +727,7 @@ impl Cache {
         self.meta.fill(LineMeta::EMPTY);
         self.replacement.reset();
         self.part_rngs.clear();
+        self.ttl_rng = SplitMix64::new(mix64(self.rng_seed ^ 0x0074_746c));
         self.stats.record_flush();
         drained
     }
@@ -721,7 +780,17 @@ impl Cache {
         assert_ne!(line.as_u64(), INVALID_TAG, "line address collides with sentinel");
         let (seed, _, _) = self.context(pid);
         let set = self.place(line, seed);
-        self.find_way(set, line).is_some()
+        match self.find_way(set, line) {
+            // Under timed-access normalization another process's line
+            // is indistinguishable from an absent one — a real access
+            // would be levelled to miss latency, so a probe must not
+            // see it either.
+            Some(way) if self.normalize => {
+                self.meta[(set * self.ways + way) as usize].owner == pid.as_u16()
+            }
+            Some(_) => true,
+            None => false,
+        }
     }
 
     /// Resolves `place(line, seed)` through the direct-mapped memo for
@@ -982,7 +1051,11 @@ impl Cache {
         out
     }
 
-    /// The shared access path: everything except statistics.
+    /// The shared access path: everything except hit/miss statistics.
+    /// (TTL expiry drains account their writebacks and expiries
+    /// directly — the drains happen here so scalar and batch walks
+    /// stay bit-identical, and they are not per-access outcomes the
+    /// callers could aggregate.)
     #[inline]
     fn access_inner(
         &mut self,
@@ -994,12 +1067,32 @@ impl Cache {
         write: bool,
     ) -> InnerOutcome {
         let mut set = self.place(line, seed);
+        if self.ttl.is_some() {
+            self.ttl_tick(set);
+        }
         let dirty_fill = write && self.write_policy == WritePolicy::WriteBack;
 
         if let Some(way) = self.find_way(set, line) {
+            let slot = (set * self.ways + way) as usize;
+            if self.normalize && self.meta[slot].owner != pid.as_u16() {
+                // TimeCache levelling: the line stays resident (no
+                // refill, no eviction) but ownership transfers and the
+                // access reports a miss, so its timing is
+                // indistinguishable from a cold one.
+                self.meta[slot].owner = pid.as_u16();
+                if dirty_fill {
+                    self.meta[slot].flags |= LineMeta::DIRTY;
+                }
+                self.replacement.on_hit(set, way);
+                return InnerOutcome::Miss {
+                    evicted: None,
+                    redirected: false,
+                    cross_process: false,
+                };
+            }
             self.replacement.on_hit(set, way);
             if dirty_fill {
-                self.meta[(set * self.ways + way) as usize].flags |= LineMeta::DIRTY;
+                self.meta[slot].flags |= LineMeta::DIRTY;
             }
             return InnerOutcome::Hit;
         }
@@ -1066,9 +1159,54 @@ impl Cache {
         if dirty_fill {
             flags |= LineMeta::DIRTY;
         }
-        self.meta[slot] = LineMeta { owner: pid.as_u16(), flags };
+        self.meta[slot] = LineMeta { owner: pid.as_u16(), flags, ttl: self.fill_ttl() };
         self.replacement.on_fill(set, way);
         InnerOutcome::Miss { evicted, redirected, cross_process }
+    }
+
+    /// The lifetime a fill arms: `base + uniform(0..=jitter)` when the
+    /// TTL defense is on, 0 (infinite) otherwise. The jitter stream is
+    /// only drawn from when `jitter > 0`, so a jitter-free config
+    /// leaves [`ttl_rng`](Cache::ttl_rng) untouched.
+    #[inline]
+    fn fill_ttl(&mut self) -> u8 {
+        match self.ttl {
+            Some(cfg) => {
+                let jitter = if cfg.jitter == 0 {
+                    0
+                } else {
+                    self.ttl_rng.below(cfg.jitter as u32 + 1) as u8
+                };
+                cfg.base.saturating_add(jitter)
+            }
+            None => 0,
+        }
+    }
+
+    /// Decrements resident lifetimes in `set` and drains expired lines
+    /// (dirty drains count a writeback; all drains count a TTL
+    /// expiry). Runs before lookup, so a line expiring on the access
+    /// that would have hit it misses instead — the ClepsydraCache
+    /// decay an attacker's primed lines suffer.
+    fn ttl_tick(&mut self, set: u32) {
+        let base = (set * self.ways) as usize;
+        for slot in base..base + self.ways as usize {
+            if self.tags[slot] == INVALID_TAG {
+                continue;
+            }
+            match self.meta[slot].ttl {
+                0 => {} // infinite: filled while the defense was off
+                1 => {
+                    if self.meta[slot].dirty() {
+                        self.stats.record_writeback();
+                    }
+                    self.stats.record_ttl_expiry();
+                    self.tags[slot] = INVALID_TAG;
+                    self.meta[slot] = LineMeta::EMPTY;
+                }
+                t => self.meta[slot].ttl = t - 1,
+            }
+        }
     }
 
     /// After an RPCache remap of `line`'s index, lines of `pid` with the

@@ -22,6 +22,7 @@ use crate::addr::{Addr, LineAddr};
 use crate::cache::{
     AccessOutcome, BatchIo, BatchOutcome, Cache, InvalidatedCopy, WritePolicy, Writeback,
 };
+use crate::defense::{DefenseKind, RotationPolicy};
 use crate::geometry::CacheGeometry;
 use crate::placement::PlacementKind;
 use crate::replacement::ReplacementKind;
@@ -287,6 +288,23 @@ pub struct SharedLlc {
     /// private copies. Only lines inside a declared coherent range
     /// ever enter; empty on platforms without coherence.
     directory: std::collections::HashMap<u64, u32>,
+    /// Armed seed-rotation policy (defense zoo): re-derives placement
+    /// seeds on a deterministic fill-count cadence.
+    rotation: RotationPolicy,
+    /// Fill requests resolved since construction (the rotation clock;
+    /// only ticked while a rotation policy is armed).
+    rotation_ops: u64,
+    /// Completed rotations (drives both round-robin group selection
+    /// and the per-epoch seed derivation).
+    rotation_epoch: u64,
+    /// Pre-derivation base seed per process, recorded by
+    /// [`set_process_seed`](Self::set_process_seed), sorted by pid —
+    /// what each rotation epoch re-derives from.
+    rotation_base: Vec<(u16, Seed)>,
+    /// Partition-group membership `(pid, group)`, sorted by pid, for
+    /// [`RotationPolicy::PerPartition`]. Processes without an entry
+    /// form implicit singleton groups.
+    rotation_groups: Vec<(u16, u8)>,
 }
 
 /// Outcome of one fill request against a [`SharedLlc`].
@@ -303,7 +321,17 @@ impl SharedLlc {
     /// Wraps `cache` as a shared last level with the given additional
     /// hit cycles and memory penalty.
     pub fn new(cache: Cache, hit_cycles: u32, memory: u32) -> Self {
-        SharedLlc { cache, hit_cycles, memory, directory: std::collections::HashMap::new() }
+        SharedLlc {
+            cache,
+            hit_cycles,
+            memory,
+            directory: std::collections::HashMap::new(),
+            rotation: RotationPolicy::Off,
+            rotation_ops: 0,
+            rotation_epoch: 0,
+            rotation_base: Vec::new(),
+            rotation_groups: Vec::new(),
+        }
     }
 
     /// The underlying cache (statistics, contents, policy inspection).
@@ -331,7 +359,107 @@ impl SharedLlc {
     /// distinct from every private level's
     /// (cf. [`Hierarchy::set_process_seed`]).
     pub fn set_process_seed(&mut self, pid: ProcessId, seed: Seed) {
+        let raw = pid.as_u16();
+        match self.rotation_base.binary_search_by_key(&raw, |&(p, _)| p) {
+            Ok(i) => self.rotation_base[i] = (raw, seed),
+            Err(i) => self.rotation_base.insert(i, (raw, seed)),
+        }
         self.cache.set_seed(pid, seed.derive(0x11c));
+    }
+
+    /// Arms (or disarms) a seed-rotation policy. The rotation clock
+    /// counts fill requests; every `period` fills one rotation group
+    /// (round-robin over partition groups for
+    /// [`RotationPolicy::PerPartition`], over processes for
+    /// [`RotationPolicy::PerCore`]) gets its seeds re-derived from the
+    /// bases recorded by [`set_process_seed`](Self::set_process_seed),
+    /// and its lines flushed (the §5 seed-change consistency flush).
+    pub fn set_rotation(&mut self, policy: RotationPolicy) {
+        self.rotation = policy;
+    }
+
+    /// The armed rotation policy.
+    pub fn rotation(&self) -> RotationPolicy {
+        self.rotation
+    }
+
+    /// Completed rotation epochs (0 until the first rotation fires).
+    pub fn rotation_epoch(&self) -> u64 {
+        self.rotation_epoch
+    }
+
+    /// Declares `pid` a member of partition `group` for
+    /// [`RotationPolicy::PerPartition`] (typically the core index that
+    /// owns the pid's way partition). Processes never declared form
+    /// implicit singleton groups.
+    pub fn set_rotation_group(&mut self, pid: ProcessId, group: u8) {
+        let raw = pid.as_u16();
+        match self.rotation_groups.binary_search_by_key(&raw, |&(p, _)| p) {
+            Ok(i) => self.rotation_groups[i] = (raw, group),
+            Err(i) => self.rotation_groups.insert(i, (raw, group)),
+        }
+    }
+
+    /// Arms the TTL / normalization knobs of `defense` on the shared
+    /// cache and its rotation policy on this level.
+    /// ([`DefenseKind::RandomSafe`] is a *configuration*: build the
+    /// platform with [`DefenseKind::effective_setup`] instead.)
+    pub fn apply_defense(&mut self, defense: DefenseKind) {
+        self.cache.set_ttl(defense.ttl());
+        self.cache.set_normalize(defense.normalize());
+        self.set_rotation(defense.rotation());
+    }
+
+    /// Advances the rotation clock by one fill request and fires a
+    /// rotation when the cadence comes due. Ticks only on fill
+    /// requests — never on writeback-only resolutions — so the
+    /// schedule is a pure function of the fill stream and scalar/batch
+    /// executions cannot diverge.
+    fn rotation_tick(&mut self) {
+        let Some(period) = self.rotation.period() else { return };
+        self.rotation_ops += 1;
+        if !self.rotation_ops.is_multiple_of(period) || self.rotation_base.is_empty() {
+            return;
+        }
+        self.rotation_epoch += 1;
+        let epoch = self.rotation_epoch;
+        let members: Vec<(u16, Seed)> = match self.rotation {
+            RotationPolicy::PerCore { .. } => {
+                let idx = ((epoch - 1) % self.rotation_base.len() as u64) as usize;
+                vec![self.rotation_base[idx]]
+            }
+            RotationPolicy::PerPartition { .. } => {
+                // Distinct declared groups, round-robin; processes
+                // without a group rotate together as the implicit
+                // remainder group when no group is declared at all.
+                let mut groups: Vec<u8> = self.rotation_groups.iter().map(|&(_, g)| g).collect();
+                groups.sort_unstable();
+                groups.dedup();
+                if groups.is_empty() {
+                    self.rotation_base.clone()
+                } else {
+                    let g = groups[((epoch - 1) % groups.len() as u64) as usize];
+                    self.rotation_base
+                        .iter()
+                        .copied()
+                        .filter(|&(p, _)| {
+                            self.rotation_groups
+                                .binary_search_by_key(&p, |&(q, _)| q)
+                                .map(|i| self.rotation_groups[i].1)
+                                == Ok(g)
+                        })
+                        .collect()
+                }
+            }
+            RotationPolicy::Off => unreachable!("period() returned Some"),
+        };
+        for (raw, base) in members {
+            let pid = ProcessId::new(raw);
+            // Chain past the construction-time derivation so every
+            // epoch lands on a fresh, reproducible seed.
+            self.cache.set_seed(pid, base.derive(0x11c).derive(0x520 + epoch));
+            self.cache.flush_process(pid);
+        }
     }
 
     /// Confines `pid` to fill ways `lo..hi` of the shared level — the
@@ -498,6 +626,9 @@ impl SharedLlc {
     ) -> (LlcResolution, Option<LineAddr>) {
         let mut r = LlcResolution { cycles: 0, miss: false, mem_writebacks: 0 };
         let mut evicted_line = None;
+        if fill.is_some() {
+            self.rotation_tick();
+        }
         for wb in writebacks {
             if !self.receive_writeback(wb.owner, wb.line) {
                 r.mem_writebacks += 1;
@@ -1392,6 +1523,22 @@ impl Hierarchy {
         self.l1d.set_seed(pid, seed.derive(2));
         for (k, level) in self.levels.iter_mut().enumerate() {
             level.cache.set_seed(pid, seed.derive(3 + k as u64));
+        }
+    }
+
+    /// Arms the TTL / normalization knobs of `defense` on every level
+    /// (both L1s and the unified levels). Seed rotation acts on the
+    /// shared level — apply it via [`SharedLlc::apply_defense`] — and
+    /// [`DefenseKind::RandomSafe`] is a *configuration*: build the
+    /// platform with [`DefenseKind::effective_setup`] instead of
+    /// toggling a knob here.
+    pub fn apply_defense(&mut self, defense: DefenseKind) {
+        for cache in [&mut self.l1i, &mut self.l1d]
+            .into_iter()
+            .chain(self.levels.iter_mut().map(|l| &mut l.cache))
+        {
+            cache.set_ttl(defense.ttl());
+            cache.set_normalize(defense.normalize());
         }
     }
 

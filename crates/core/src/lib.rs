@@ -37,6 +37,7 @@
 pub mod addr;
 pub mod boxed_ref;
 pub mod cache;
+pub mod defense;
 pub mod error;
 pub mod geometry;
 pub mod hierarchy;
@@ -52,6 +53,7 @@ pub mod stats;
 
 pub use addr::{Addr, LineAddr, PageAddr};
 pub use cache::{AccessOutcome, BatchOutcome, Cache, EvictedLine, WritePolicy, Writeback};
+pub use defense::{DefenseKind, RotationPolicy, TtlConfig};
 pub use error::ConfigError;
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessKind, Hierarchy, HierarchyBatchOutcome, Latencies, OpTiming, TraceOp};

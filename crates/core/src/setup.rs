@@ -84,9 +84,13 @@ impl fmt::Display for SeedSharing {
 /// | `RpCache` | RPCache + LRU | modulo + LRU | per-process permutations |
 /// | `Mbpta` | Random Modulo + random | HashRP + random | shared |
 /// | `TsCache` | Random Modulo + random | HashRP + random | per-process |
+/// | `RandomSafe` | HashRP + random | HashRP + random | per-process |
 ///
 /// MBPTACache and TSCache are the *same hardware*; only the OS seed
-/// policy differs — the paper's central observation.
+/// policy differs — the paper's central observation. `RandomSafe` is
+/// the defense zoo's Random-and-Safe composite (randomized placement
+/// paired with safe random replacement at *every* level, per-process
+/// seeds throughout).
 ///
 /// # Examples
 ///
@@ -109,12 +113,22 @@ pub enum SetupKind {
     Mbpta,
     /// The paper's proposal: MBPTA hardware + per-process seeds.
     TsCache,
+    /// Random-and-Safe composite (defense zoo): parametric randomized
+    /// placement with safe random replacement at every level and
+    /// per-process seeds.
+    RandomSafe,
 }
 
 impl SetupKind {
-    /// All setups in the paper's presentation order.
-    pub const ALL: [SetupKind; 4] =
-        [SetupKind::Deterministic, SetupKind::RpCache, SetupKind::Mbpta, SetupKind::TsCache];
+    /// All setups: the paper's four in presentation order, then the
+    /// defense zoo's Random-and-Safe composite.
+    pub const ALL: [SetupKind; 5] = [
+        SetupKind::Deterministic,
+        SetupKind::RpCache,
+        SetupKind::Mbpta,
+        SetupKind::TsCache,
+        SetupKind::RandomSafe,
+    ];
 
     /// Builds the paper's two-level hierarchy for this setup.
     pub fn build(self, rng_seed: u64) -> Hierarchy {
@@ -129,6 +143,7 @@ impl SetupKind {
             SetupKind::Mbpta | SetupKind::TsCache => {
                 (PlacementKind::RandomModulo, ReplacementKind::Random)
             }
+            SetupKind::RandomSafe => (PlacementKind::HashRp, ReplacementKind::Random),
         }
     }
 
@@ -139,7 +154,7 @@ impl SetupKind {
             SetupKind::Deterministic | SetupKind::RpCache => {
                 (PlacementKind::Modulo, ReplacementKind::Lru)
             }
-            SetupKind::Mbpta | SetupKind::TsCache => {
+            SetupKind::Mbpta | SetupKind::TsCache | SetupKind::RandomSafe => {
                 (PlacementKind::HashRp, ReplacementKind::Random)
             }
         }
@@ -227,6 +242,7 @@ impl SetupKind {
             SetupKind::RpCache => SeedSharing::PerProcess,
             SetupKind::Mbpta => SeedSharing::Shared,
             SetupKind::TsCache => SeedSharing::PerProcess,
+            SetupKind::RandomSafe => SeedSharing::PerProcess,
         }
     }
 
@@ -263,6 +279,7 @@ impl SetupKind {
             SetupKind::RpCache => "rpcache",
             SetupKind::Mbpta => "mbptacache",
             SetupKind::TsCache => "tscache",
+            SetupKind::RandomSafe => "random-safe",
         }
     }
 }
@@ -302,6 +319,11 @@ mod tests {
         assert_eq!(mb.l1d().placement_name(), "random-modulo");
         assert_eq!(mb.l1d().replacement_name(), "random");
         assert_eq!(mb.l2().placement_name(), "hash-rp");
+        let rs = SetupKind::RandomSafe.build(1);
+        assert_eq!(rs.l1d().placement_name(), "hash-rp");
+        assert_eq!(rs.l1d().replacement_name(), "random");
+        assert_eq!(rs.l2().placement_name(), "hash-rp");
+        assert_eq!(SetupKind::RandomSafe.seed_sharing(), SeedSharing::PerProcess);
     }
 
     #[test]
@@ -346,7 +368,8 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(SetupKind::Mbpta.to_string(), "mbptacache");
-        assert_eq!(SetupKind::ALL.len(), 4);
+        assert_eq!(SetupKind::RandomSafe.to_string(), "random-safe");
+        assert_eq!(SetupKind::ALL.len(), 5);
         assert_eq!(HierarchyDepth::TwoLevel.to_string(), "l2");
         assert_eq!(HierarchyDepth::ThreeLevel.to_string(), "l3");
         assert_eq!(HierarchyDepth::ThreeLevel.levels(), 3);

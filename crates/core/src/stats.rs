@@ -25,6 +25,7 @@ pub struct CacheStats {
     writebacks: u64,
     flushes: u64,
     coh_invalidations: u64,
+    ttl_expiries: u64,
 }
 
 impl CacheStats {
@@ -75,6 +76,14 @@ impl CacheStats {
     #[inline]
     pub fn record_coh_invalidation(&mut self) {
         self.coh_invalidations += 1;
+    }
+
+    /// Records one line drained by a TTL expiry (ClepsydraCache-style
+    /// time-based eviction); dirty expiries additionally record a
+    /// writeback via [`record_writeback`](Self::record_writeback).
+    #[inline]
+    pub fn record_ttl_expiry(&mut self) {
+        self.ttl_expiries += 1;
     }
 
     /// Records an aggregated batch of accesses in one update (the
@@ -143,6 +152,12 @@ impl CacheStats {
         self.coh_invalidations
     }
 
+    /// Lines drained by TTL expiry (zero unless a TTL defense is
+    /// armed on this cache).
+    pub fn ttl_expiries(&self) -> u64 {
+        self.ttl_expiries
+    }
+
     /// Miss rate in `[0, 1]`; 0 when no accesses were recorded.
     pub fn miss_rate(&self) -> f64 {
         let total = self.accesses();
@@ -181,6 +196,7 @@ impl Add for CacheStats {
             writebacks: self.writebacks + rhs.writebacks,
             flushes: self.flushes + rhs.flushes,
             coh_invalidations: self.coh_invalidations + rhs.coh_invalidations,
+            ttl_expiries: self.ttl_expiries + rhs.ttl_expiries,
         }
     }
 }
@@ -226,12 +242,14 @@ mod tests {
         s.record_writeback();
         s.record_writebacks(2);
         s.record_flush();
+        s.record_ttl_expiry();
         assert_eq!(s.hits(), 2);
         assert_eq!(s.misses(), 2);
         assert_eq!(s.evictions(), 1);
         assert_eq!(s.cross_process_evictions(), 1);
         assert_eq!(s.writebacks(), 3);
         assert_eq!(s.flushes(), 1);
+        assert_eq!(s.ttl_expiries(), 1);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -241,9 +259,11 @@ mod tests {
         a.record_hit();
         let mut b = CacheStats::new();
         b.record_miss(true);
+        b.record_ttl_expiry();
         let c = a + b;
         assert_eq!(c.accesses(), 2);
         assert_eq!(c.evictions(), 1);
+        assert_eq!(c.ttl_expiries(), 1);
         let mut d = a;
         d += b;
         assert_eq!(d, c);

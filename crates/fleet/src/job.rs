@@ -12,6 +12,7 @@
 
 use crate::digest::Fnv64;
 use crate::spec::{AttackKind, DetectionMode, PlatformKind, ShardJob};
+use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
 use tscache_core::pmu::PmuDelta;
 use tscache_interference::ContentionConfig;
@@ -21,7 +22,7 @@ use tscache_sca::detect::{
     try_run_detection_campaign, DetectTarget, DetectionCampaignConfig, EvasionMode,
 };
 use tscache_sca::flush_reload::{run_flush_reload, FlushReloadConfig, FlushReloadIsolation};
-use tscache_sca::prime_probe::run_prime_probe;
+use tscache_sca::prime_probe::run_prime_probe_defended;
 use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
 use tscache_sim::layout::Layout;
 use tscache_sim::synthetic::ArraySweep;
@@ -148,6 +149,7 @@ fn run_bernstein(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
     let scenario = &job.scenario;
     let mut cfg = SamplingConfig::standard(scenario.setup, job.samples, job.seed);
     cfg.depth = scenario.depth;
+    cfg.defense = scenario.defense;
     if scenario.contended {
         cfg.contention = Some(ContentionConfig::default());
     }
@@ -190,6 +192,7 @@ fn run_pwcet(
         depth: scenario.depth,
         contention: scenario.contended.then(ContentionConfig::default),
         shared_llc: scenario.platform == PlatformKind::Shared,
+        defense: scenario.defense,
         ..MeasurementProtocol::default()
     };
     protocol.validate()?;
@@ -202,7 +205,8 @@ fn run_prime_probe_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
     if job.samples == 0 {
         return Err(ConfigError::incompatible("prime+probe needs trials > 0"));
     }
-    let outcome = run_prime_probe(job.scenario.setup, job.samples, job.seed);
+    let outcome =
+        run_prime_probe_defended(job.scenario.setup, job.scenario.defense, job.samples, job.seed);
     let mut h = Fnv64::new();
     h.write_u64(outcome.trials as u64);
     h.write_f64(outcome.accuracy);
@@ -220,6 +224,7 @@ fn run_prime_probe_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
 fn run_flush_reload_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
     let mut cfg = FlushReloadConfig::standard(job.scenario.setup, job.seed);
     cfg.samples = job.samples;
+    cfg.defense = job.scenario.defense;
     cfg.isolation = match job.scenario.platform {
         PlatformKind::Coherent => FlushReloadIsolation::SharedOpen,
         PlatformKind::SharedPartitioned => FlushReloadIsolation::PartitionedReplicated,
@@ -256,6 +261,14 @@ fn run_rtos(
     recorder: Option<&RecorderHandle>,
 ) -> Result<ShardOutput, ConfigError> {
     let scenario = &job.scenario;
+    if scenario.defense != DefenseKind::Off {
+        // `SweepSpec::expand` never emits a defended RTOS scenario
+        // (the OS owns its flush/seed-swap schedule); a hand-built job
+        // that asks anyway is a config error, not a silent no-op.
+        return Err(ConfigError::incompatible(
+            "the RTOS campaign manages its own defenses; the defense axis does not apply",
+        ));
+    }
     let (shared_llc, coherent_image) = match scenario.platform {
         PlatformKind::Private => (false, false),
         PlatformKind::Shared => (true, false),
@@ -357,6 +370,7 @@ fn run_detect(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
     cfg.rounds = job.samples;
     cfg.window_rounds = cfg.window_rounds.min(job.samples.max(1));
     cfg.evasion = evasion;
+    cfg.defense = scenario.defense;
     let out = try_run_detection_campaign(&cfg)?;
     let mut h = Fnv64::new();
     h.write_u64(out.windows);
@@ -476,6 +490,7 @@ mod tests {
             platform,
             contended: false,
             detection,
+            defense: DefenseKind::Off,
         };
         ShardJob { shard: 0, scenario_index: 0, scenario, seed: mix64(42), samples }
     }

@@ -160,6 +160,7 @@ mod tests {
             contention: vec![false],
             attacks: vec![AttackKind::Pwcet, AttackKind::PrimeProbe, AttackKind::Rtos],
             detection: vec![DetectionMode::Off, DetectionMode::Monitor],
+            defenses: vec![tscache_core::defense::DefenseKind::Off],
         }
     }
 

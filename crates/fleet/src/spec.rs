@@ -30,6 +30,7 @@
 
 use crate::digest::Fnv64;
 use std::fmt;
+use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
 use tscache_core::prng::mix64;
 use tscache_core::setup::{HierarchyDepth, SetupKind};
@@ -163,6 +164,10 @@ pub struct Scenario {
     pub contended: bool,
     /// Online-detection variant.
     pub detection: DetectionMode,
+    /// Defense-zoo policy armed on the platform under test. Non-`Off`
+    /// values append a trailing key segment (the defense label), so
+    /// historical keys and digests are unchanged.
+    pub defense: DefenseKind,
 }
 
 /// One unit of work: a scenario shard with its derived seed.
@@ -203,6 +208,8 @@ pub struct SweepSpec {
     pub attacks: Vec<AttackKind>,
     /// Online-detection axis.
     pub detection: Vec<DetectionMode>,
+    /// Defense-zoo axis ([`DefenseKind::Off`] = undefended baseline).
+    pub defenses: Vec<DefenseKind>,
 }
 
 /// Everything that can go wrong running a fleet campaign. The variants
@@ -285,6 +292,10 @@ fn parse_detection(s: &str) -> Option<DetectionMode> {
     DetectionMode::ALL.into_iter().find(|d| d.label() == s)
 }
 
+fn parse_defense(s: &str) -> Option<DefenseKind> {
+    DefenseKind::parse(s)
+}
+
 fn parse_u64(v: &str) -> Option<u64> {
     if let Some(hex) = v.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).ok()
@@ -307,13 +318,15 @@ impl SweepSpec {
             contention: vec![false, true],
             attacks: AttackKind::ALL.to_vec(),
             detection: DetectionMode::ALL.to_vec(),
+            defenses: DefenseKind::ALL.to_vec(),
         }
     }
 
     /// The CI smoke sweep: small but crossing every subsystem —
     /// two setups, both depths, all platforms, both contention values,
-    /// every attack family, detection off and monitoring; tiny shards
-    /// so a kill+resume round trip stays in seconds.
+    /// every attack family, detection off and monitoring, the
+    /// undefended baseline plus one TTL and one rotation defense; tiny
+    /// shards so a kill+resume round trip stays in seconds.
     pub fn smoke() -> Self {
         SweepSpec {
             campaign_seed: 0xf1ee7,
@@ -325,6 +338,7 @@ impl SweepSpec {
             contention: vec![false, true],
             attacks: AttackKind::ALL.to_vec(),
             detection: vec![DetectionMode::Off, DetectionMode::Monitor],
+            defenses: vec![DefenseKind::Off, DefenseKind::Ttl, DefenseKind::RotateCore],
         }
     }
 
@@ -340,6 +354,7 @@ impl SweepSpec {
             contention: vec![false],
             attacks: Vec::new(),
             detection: vec![DetectionMode::Off],
+            defenses: vec![DefenseKind::Off],
         };
         let err = |line: usize, msg: String| FleetError::SpecParse { line, msg };
         for (i, raw) in text.lines().enumerate() {
@@ -418,6 +433,14 @@ impl SweepSpec {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                "defenses" | "defense" => {
+                    spec.defenses = items()
+                        .map(|s| {
+                            parse_defense(s)
+                                .ok_or_else(|| err(line_no, format!("unknown defense `{s}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(err(line_no, format!("unknown key `{other}`"))),
             }
         }
@@ -432,7 +455,7 @@ impl SweepSpec {
         format!(
             "campaign_seed = {:#x}\nsamples_per_shard = {}\nshards_per_scenario = {}\n\
              setups = {}\ndepths = {}\nplatforms = {}\ncontention = {}\nattacks = {}\n\
-             detection = {}\n",
+             detection = {}\ndefenses = {}\n",
             self.campaign_seed,
             self.samples_per_shard,
             self.shards_per_scenario,
@@ -442,6 +465,7 @@ impl SweepSpec {
             join(self.contention.iter().map(|c| if *c { "on" } else { "off" }).collect()),
             join(self.attacks.iter().map(|a| a.label()).collect()),
             join(self.detection.iter().map(|d| d.label()).collect()),
+            join(self.defenses.iter().map(|d| d.label()).collect()),
         )
     }
 
@@ -474,7 +498,25 @@ impl SweepSpec {
         if self.detection.is_empty() {
             return bad("detection axis must name at least one value (use `off`)");
         }
+        if self.defenses.is_empty() {
+            return bad("defenses axis must name at least one value (use `off`)");
+        }
         Ok(())
+    }
+
+    /// Whether `defense` applies at a canonical lattice point: the
+    /// seed-rotation defenses act on the shared level, so they are
+    /// vacuous (a guaranteed duplicate of the undefended scenario) on
+    /// platforms without one; the RTOS campaign has no defense knob
+    /// yet, so its lattice stays defense-off.
+    fn defense_applies(attack: AttackKind, platform: PlatformKind, defense: DefenseKind) -> bool {
+        if defense == DefenseKind::Off {
+            return true;
+        }
+        if attack == AttackKind::Rtos {
+            return false;
+        }
+        !(defense.needs_shared_level() && platform == PlatformKind::Private)
     }
 
     /// Whether a lattice point applies to `attack`, and the canonical
@@ -567,38 +609,49 @@ impl SweepSpec {
                     for &platform in &self.platforms {
                         for &contended in &self.contention {
                             for &detection in &self.detection {
-                                let Some((depth, platform, contended)) = Self::canonicalize(
-                                    attack, setup, depth, platform, contended, detection,
-                                ) else {
-                                    continue;
-                                };
-                                // Detection-off keys keep the historical
-                                // five-segment form, so pre-axis campaign
-                                // checkpoints and digests stay valid.
-                                let mut key = format!(
-                                    "{}/{}/{}/{}/{}",
-                                    attack.label(),
-                                    setup.label(),
-                                    depth.label(),
-                                    platform.label(),
-                                    if contended { "contended" } else { "solo" }
-                                );
-                                if detection != DetectionMode::Off {
-                                    key.push('/');
-                                    key.push_str(detection.label());
+                                for &defense in &self.defenses {
+                                    let Some((depth, platform, contended)) = Self::canonicalize(
+                                        attack, setup, depth, platform, contended, detection,
+                                    ) else {
+                                        continue;
+                                    };
+                                    if !Self::defense_applies(attack, platform, defense) {
+                                        continue;
+                                    }
+                                    // Detection-off, defense-off keys keep
+                                    // the historical five-segment form, so
+                                    // pre-axis campaign checkpoints and
+                                    // digests stay valid.
+                                    let mut key = format!(
+                                        "{}/{}/{}/{}/{}",
+                                        attack.label(),
+                                        setup.label(),
+                                        depth.label(),
+                                        platform.label(),
+                                        if contended { "contended" } else { "solo" }
+                                    );
+                                    if detection != DetectionMode::Off {
+                                        key.push('/');
+                                        key.push_str(detection.label());
+                                    }
+                                    if defense != DefenseKind::Off {
+                                        key.push('/');
+                                        key.push_str(defense.label());
+                                    }
+                                    if !seen.insert(key.clone()) {
+                                        continue;
+                                    }
+                                    out.push(Scenario {
+                                        key,
+                                        attack,
+                                        setup,
+                                        depth,
+                                        platform,
+                                        contended,
+                                        detection,
+                                        defense,
+                                    });
                                 }
-                                if !seen.insert(key.clone()) {
-                                    continue;
-                                }
-                                out.push(Scenario {
-                                    key,
-                                    attack,
-                                    setup,
-                                    depth,
-                                    platform,
-                                    contended,
-                                    detection,
-                                });
                             }
                         }
                     }
@@ -685,10 +738,11 @@ mod tests {
     #[test]
     fn expansion_dedupes_inapplicable_axes() {
         // Prime+Probe collapses depth/platform/contention: one scenario
-        // per setup no matter how wide those axes are. (Detection
-        // pinned off: the axis multiplies scenarios by design.)
+        // per setup no matter how wide those axes are. (Detection and
+        // defense pinned off: those axes multiply scenarios by design.)
         let mut spec = SweepSpec::full(1, 10, 1);
         spec.detection = vec![DetectionMode::Off];
+        spec.defenses = vec![DefenseKind::Off];
         spec.attacks = vec![AttackKind::PrimeProbe];
         let scenarios = spec.expand().unwrap();
         assert_eq!(scenarios.len(), SetupKind::ALL.len());
@@ -739,9 +793,11 @@ mod tests {
     fn detection_off_keys_match_the_historical_format() {
         let mut spec = SweepSpec::full(7, 10, 1);
         spec.detection = vec![DetectionMode::Off];
+        spec.defenses = vec![DefenseKind::Off];
         let with_axis = spec.expand().unwrap();
         assert!(with_axis.iter().all(|s| s.key.split('/').count() == 5));
         assert!(with_axis.iter().all(|s| s.detection == DetectionMode::Off));
+        assert!(with_axis.iter().all(|s| s.defense == DefenseKind::Off));
     }
 
     #[test]
@@ -749,6 +805,7 @@ mod tests {
         let mut spec = SweepSpec::full(7, 10, 1);
         spec.attacks = vec![AttackKind::PrimeProbe, AttackKind::FlushReload, AttackKind::Pwcet];
         spec.detection = vec![DetectionMode::Monitor, DetectionMode::Jitter];
+        spec.defenses = vec![DefenseKind::Off];
         let scenarios = spec.expand().unwrap();
         // pWCET has no detection campaign; the others get one scenario
         // per (setup, mode) with a six-segment key.
@@ -791,5 +848,72 @@ mod tests {
         let legacy = SweepSpec::parse("attacks = prime-probe\nsetups = tscache\n").unwrap();
         assert_eq!(legacy.detection, vec![DetectionMode::Off]);
         assert!(SweepSpec::parse("attacks = rtos\nsetups = tscache\ndetection = bogus\n").is_err());
+    }
+
+    #[test]
+    fn defense_axis_roundtrips_and_defaults_off() {
+        let spec = SweepSpec::smoke();
+        assert_eq!(
+            spec.defenses,
+            vec![DefenseKind::Off, DefenseKind::Ttl, DefenseKind::RotateCore]
+        );
+        let reparsed = SweepSpec::parse(&spec.canonical()).unwrap();
+        assert_eq!(spec, reparsed);
+        // A spec without the key parses to the defense-off default, so
+        // pre-axis spec files keep their exact scenario lists.
+        let legacy = SweepSpec::parse("attacks = bernstein\nsetups = tscache\n").unwrap();
+        assert_eq!(legacy.defenses, vec![DefenseKind::Off]);
+        assert!(SweepSpec::parse("attacks = rtos\nsetups = tscache\ndefenses = bogus\n").is_err());
+        // An explicitly empty axis is a refusal, not a default.
+        assert!(matches!(
+            SweepSpec::parse("attacks = rtos\nsetups = tscache\ndefenses =\n").unwrap_err(),
+            FleetError::BadSpec(_)
+        ));
+    }
+
+    #[test]
+    fn defense_expansion_skips_inapplicable_points_and_tags_keys() {
+        let mut spec = SweepSpec::full(7, 10, 1);
+        spec.attacks = vec![AttackKind::Bernstein, AttackKind::Rtos];
+        spec.detection = vec![DetectionMode::Off];
+        spec.defenses = DefenseKind::ALL.to_vec();
+        let scenarios = spec.expand().unwrap();
+        for s in &scenarios {
+            // The RTOS campaign owns its defenses; the axis never
+            // reaches it.
+            if s.attack == AttackKind::Rtos {
+                assert_eq!(s.defense, DefenseKind::Off, "{}", s.key);
+            }
+            // Seed rotation needs a shared level to rotate.
+            if s.defense.needs_shared_level() {
+                assert_ne!(s.platform, PlatformKind::Private, "{}", s.key);
+            }
+            // Defense-off keys keep the historical form; defended keys
+            // append exactly one trailing segment.
+            let segments = s.key.split('/').count();
+            if s.defense == DefenseKind::Off {
+                assert_eq!(segments, 5, "{}", s.key);
+            } else {
+                assert_eq!(segments, 6, "{}", s.key);
+                assert!(s.key.ends_with(s.defense.label()), "{}", s.key);
+            }
+        }
+        // Private bernstein points carry the non-rotation defenses.
+        let private_defenses: std::collections::HashSet<_> = scenarios
+            .iter()
+            .filter(|s| s.attack == AttackKind::Bernstein && s.platform == PlatformKind::Private)
+            .map(|s| s.defense)
+            .collect();
+        assert!(private_defenses.contains(&DefenseKind::Ttl));
+        assert!(private_defenses.contains(&DefenseKind::Normalize));
+        assert!(private_defenses.contains(&DefenseKind::RandomSafe));
+        assert!(!private_defenses.contains(&DefenseKind::RotateCore));
+        // Shared points carry all six.
+        let shared_defenses: std::collections::HashSet<_> = scenarios
+            .iter()
+            .filter(|s| s.attack == AttackKind::Bernstein && s.platform == PlatformKind::Shared)
+            .map(|s| s.defense)
+            .collect();
+        assert_eq!(shared_defenses.len(), DefenseKind::ALL.len());
     }
 }

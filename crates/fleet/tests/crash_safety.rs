@@ -11,6 +11,7 @@ use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use tscache_core::defense::DefenseKind;
 use tscache_core::setup::{HierarchyDepth, SetupKind};
 use tscache_fleet::executor::{launch, resume, ExecutorConfig, QuarantineReason, RunOutcome};
 use tscache_fleet::fault::FaultPlan;
@@ -32,10 +33,11 @@ fn tiny_spec() -> SweepSpec {
         contention: vec![false],
         attacks: vec![AttackKind::PrimeProbe],
         detection: vec![DetectionMode::Off],
+        defenses: vec![DefenseKind::Off],
     }
 }
 
-const TINY_SHARDS: u64 = 8; // 4 setups × 2 shards
+const TINY_SHARDS: u64 = 10; // 5 setups × 2 shards
 
 fn fresh_dir(tag: &str) -> PathBuf {
     static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -310,6 +312,7 @@ fn detection_axis_is_deterministic_and_survives_kill_and_resume() {
         contention: vec![false],
         attacks: vec![AttackKind::PrimeProbe, AttackKind::FlushReload],
         detection: vec![DetectionMode::Off, DetectionMode::Monitor, DetectionMode::Jitter],
+        defenses: vec![DefenseKind::Off],
     };
     // Flush+Reload on a private platform only exists once the
     // detection axis re-canonicalizes it onto the coherent machine:
@@ -338,6 +341,63 @@ fn detection_axis_is_deterministic_and_survives_kill_and_resume() {
     let resumed = finish(resume(&spec, &dir, &cfg(8), &FaultPlan::none()).unwrap());
     assert!(resumed.is_complete());
     assert_eq!(resumed.campaign_digest, clean.campaign_digest);
+    std::fs::remove_dir_all(&clean_dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The defense axis end to end: a sweep mixing undefended, TTL and
+/// seed-rotation scenarios is worker-count invariant, and a
+/// kill-and-resume lands on the same campaign digest bit for bit.
+/// Rotation only applies on the shared platform, so the axis also
+/// exercises the applicability pruning inside a real campaign.
+#[test]
+fn defense_axis_is_deterministic_and_survives_kill_and_resume() {
+    let spec = SweepSpec {
+        campaign_seed: 0xdefe2e,
+        samples_per_shard: 24,
+        shards_per_scenario: 2,
+        setups: vec![SetupKind::TsCache],
+        depths: vec![HierarchyDepth::TwoLevel],
+        platforms: vec![PlatformKind::Private, PlatformKind::Shared],
+        contention: vec![false],
+        attacks: vec![AttackKind::Bernstein],
+        detection: vec![DetectionMode::Off],
+        defenses: vec![DefenseKind::Off, DefenseKind::Ttl, DefenseKind::RotateCore],
+    };
+    // Private: {off, ttl} (rotation needs a shared level); shared:
+    // {off, ttl, rotate-core} — 5 scenarios × 2 shards.
+    assert_eq!(spec.jobs().unwrap().len(), 10);
+
+    let clean_dir = fresh_dir("defense-clean");
+    let clean = finish(launch(&spec, &clean_dir, &cfg(1), &FaultPlan::none()).unwrap());
+    assert!(clean.is_complete());
+    for workers in &WORKERS[1..] {
+        let dir = fresh_dir("defense-workers");
+        let result = finish(launch(&spec, &dir, &cfg(*workers), &FaultPlan::none()).unwrap());
+        assert_eq!(
+            result.campaign_digest, clean.campaign_digest,
+            "defense digest diverged under {workers} workers"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    let dir = fresh_dir("defense-kill");
+    let faults = FaultPlan { kill_after_records: Some(4), ..FaultPlan::default() };
+    match launch(&spec, &dir, &cfg(3), &faults).unwrap() {
+        RunOutcome::Killed { records_durable } => assert!(records_durable >= 4),
+        RunOutcome::Finished(_) => panic!("kill fault did not fire"),
+    }
+    let resumed = finish(resume(&spec, &dir, &cfg(8), &FaultPlan::none()).unwrap());
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.campaign_digest, clean.campaign_digest);
+
+    // The defended scenarios genuinely differ from the undefended
+    // baseline: same attack, same seeds, different digests.
+    let by_key: std::collections::HashMap<&str, u64> =
+        resumed.scenarios.iter().map(|s| (s.key.as_str(), s.digest)).collect();
+    let base = by_key["bernstein/tscache/l2/private/solo"];
+    let ttl = by_key["bernstein/tscache/l2/private/solo/ttl"];
+    assert_ne!(base, ttl, "TTL defense left the campaign untouched");
     std::fs::remove_dir_all(&clean_dir).unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -377,6 +437,7 @@ fn pwcet_merge_survives_kill_and_resume() {
         contention: vec![false],
         attacks: vec![AttackKind::Pwcet],
         detection: vec![DetectionMode::Off],
+        defenses: vec![DefenseKind::Off],
     };
     let clean_dir = fresh_dir("pwcet-clean");
     let clean = finish(launch(&spec, &clean_dir, &cfg(1), &FaultPlan::none()).unwrap());

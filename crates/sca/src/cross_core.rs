@@ -32,6 +32,7 @@
 
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::LineAddr;
+use tscache_core::defense::DefenseKind;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SeedSharing, SetupKind};
@@ -66,6 +67,11 @@ pub struct CrossCoreConfig {
     pub victim_key: [u8; 16],
     /// Shared-level partitioning.
     pub partition: LlcPartition,
+    /// Defense-zoo policy armed on the whole platform. The rotation
+    /// defenses act here: the shared level re-keys a core's placement
+    /// seed on a fill-count schedule and flushes its lines, so primes
+    /// laid under the old seed stop predicting the victim's sets.
+    pub defense: DefenseKind,
 }
 
 impl CrossCoreConfig {
@@ -80,6 +86,7 @@ impl CrossCoreConfig {
                 0x4f, 0x3c,
             ],
             partition: LlcPartition::None,
+            defense: DefenseKind::Off,
         }
     }
 }
@@ -118,19 +125,21 @@ const PRIME_WAYS: u64 = 4;
 /// Runs the campaign; everything derives from `cfg.master_seed`, so
 /// outcomes are bit-reproducible.
 pub fn run_cross_core_prime_probe(cfg: &CrossCoreConfig) -> CrossCoreOutcome {
+    let setup = cfg.defense.effective_setup(cfg.setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
 
     // The victim node: private hierarchy + shared LLC.
     let mut machine = Machine::from_setup_shared(
-        cfg.setup,
+        setup,
         HierarchyDepth::TwoLevel,
         SystemConfig::default(),
         cfg.master_seed,
     );
+    machine.apply_defense(cfg.defense);
     machine.set_process(victim);
     let mut seed_rng = SplitMix64::new(mix64(cfg.master_seed ^ 0x5eedcc));
-    match cfg.setup.seed_sharing() {
+    match setup.seed_sharing() {
         SeedSharing::Irrelevant => {
             machine.set_process_seed(victim, Seed::ZERO);
             machine.set_process_seed(attacker, Seed::ZERO);

@@ -32,6 +32,7 @@ use crate::prime_probe::{assign_seeds, l1_policy};
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::{Addr, LineAddr};
 use tscache_core::cache::Cache;
+use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
 use tscache_core::geometry::CacheGeometry;
 use tscache_core::parallel;
@@ -136,6 +137,14 @@ pub struct DetectionCampaignConfig {
     /// and only the attack loop executes — the unsampled baseline the
     /// bench suite compares against to price the sampling overhead.
     pub sample: bool,
+    /// Defense-zoo policy armed on the platform under test
+    /// ([`DefenseKind::Off`] = the undefended baseline).
+    pub defense: DefenseKind,
+    /// Run the Flush+Reload campaign on a private (per-core) platform
+    /// with no shared LLC. That scenario has no coherent shared level
+    /// for the attacker to flush or reload through, so the campaign
+    /// reports a typed [`ConfigError`] instead of tracing.
+    pub private_platform: bool,
 }
 
 /// Margin added to the benign maximum score to form the operating
@@ -173,6 +182,8 @@ impl DetectionCampaignConfig {
             evasion: EvasionMode::None,
             detector,
             sample: true,
+            defense: DefenseKind::Off,
+            private_platform: false,
         }
     }
 
@@ -216,9 +227,13 @@ impl RocCurve {
         if attack.is_empty() || benign.is_empty() {
             return RocCurve::default();
         }
+        // Total order, descending: a NaN score (e.g. a degenerate
+        // 0/0 window rate) must not abort the campaign — under
+        // `total_cmp` NaNs sort to the strict end of the sweep and
+        // the curve stays well-formed.
         let mut thresholds: Vec<f64> = attack.iter().chain(benign.iter()).copied().collect();
-        thresholds.sort_by(|a, b| b.partial_cmp(a).expect("detector scores are finite"));
-        thresholds.dedup();
+        thresholds.sort_by(|a, b| b.total_cmp(a));
+        thresholds.dedup_by(|a, b| a == b || (a.is_nan() && b.is_nan()));
         let frac_at_least =
             |xs: &[f64], t: f64| xs.iter().filter(|&&x| x >= t).count() as f64 / xs.len() as f64;
         let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
@@ -249,6 +264,8 @@ pub struct DetectionOutcome {
     pub target: DetectTarget,
     /// Cache setup of the platform.
     pub setup: SetupKind,
+    /// Defense-zoo policy that was armed on the platform.
+    pub defense: DefenseKind,
     /// Attacker stealth strategy.
     pub evasion: EvasionMode,
     /// Rounds run per scenario.
@@ -382,12 +399,15 @@ fn seed_machine(machine: &mut Machine, setup: SetupKind, a: ProcessId, b: Proces
 /// cache before the secret access and probes after it; the benign
 /// co-task touches a modest 48-line working set instead.
 fn prime_probe_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrace {
+    let setup = cfg.defense.effective_setup(cfg.setup);
     let geom = CacheGeometry::paper_l1();
-    let (placement, replacement) = l1_policy(cfg.setup);
+    let (placement, replacement) = l1_policy(setup);
     let victim = ProcessId::new(1);
     let other = ProcessId::new(2);
     let mut cache = Cache::new("L1D", geom, placement, replacement, cfg.master_seed);
-    assign_seeds(&mut cache, cfg.setup, victim, other, cfg.master_seed, 0);
+    cache.set_ttl(cfg.defense.ttl());
+    cache.set_normalize(cfg.defense.normalize());
+    assign_seeds(&mut cache, setup, victim, other, cfg.master_seed, 0);
 
     let prime_lines: Vec<LineAddr> = (0..512u64).map(LineAddr::new).collect();
     let co_lines: Vec<LineAddr> = (0..48u64).map(|i| LineAddr::new(0x20_000 + i)).collect();
@@ -445,17 +465,37 @@ fn rank_progress(votes: &[u32], true_byte: u8) -> f64 {
 /// [`crate::flush_reload`], but with per-window PMU instrumentation.
 /// The benign co-runner warms its own disjoint LLC working set and
 /// never flushes.
-fn flush_reload_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrace {
+///
+/// On a `private_platform` campaign the machine has no shared LLC, so
+/// both the benign co-runner's warm loop and the attacker's reload
+/// probe have no level to act on: each borrows the shared level
+/// fallibly and surfaces a typed [`ConfigError`] (these sites used to
+/// panic via `expect("shared platform")`).
+fn flush_reload_trace(
+    cfg: &DetectionCampaignConfig,
+    attack: bool,
+) -> Result<WindowTrace, ConfigError> {
+    let setup = cfg.defense.effective_setup(cfg.setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
-    let mut machine = Machine::from_setup_shared(
-        cfg.setup,
-        HierarchyDepth::TwoLevel,
-        SystemConfig::default(),
-        cfg.master_seed,
-    );
+    let mut machine = if cfg.private_platform {
+        Machine::from_setup_depth(setup, HierarchyDepth::TwoLevel, cfg.master_seed)
+    } else {
+        Machine::from_setup_shared(
+            setup,
+            HierarchyDepth::TwoLevel,
+            SystemConfig::default(),
+            cfg.master_seed,
+        )
+    };
+    machine.apply_defense(cfg.defense);
     machine.set_process(victim);
-    seed_machine(&mut machine, cfg.setup, victim, attacker, cfg.master_seed ^ 0x000f_1a54);
+    seed_machine(&mut machine, setup, victim, attacker, cfg.master_seed ^ 0x000f_1a54);
+    let no_shared_level = || {
+        ConfigError::incompatible(
+            "flush+reload detection campaign needs a shared-LLC platform (private_platform set)",
+        )
+    };
 
     let mut layout = Layout::new(0x10_0000);
     let aes_layout = AesLayout::install(&mut layout, "victim");
@@ -488,7 +528,7 @@ fn flush_reload_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrac
                 }
             }
         } else if !attack {
-            let llc = machine.shared_llc_mut().expect("shared platform");
+            let llc = machine.shared_llc_mut().ok_or_else(no_shared_level)?;
             for &line in &co_lines {
                 llc.cache_mut().access(attacker, line);
             }
@@ -501,7 +541,7 @@ fn flush_reload_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrac
         aes.encrypt_with(&mut machine, &mut ops, &pt);
 
         if active {
-            let llc = machine.shared_llc_mut().expect("shared platform");
+            let llc = machine.shared_llc_mut().ok_or_else(no_shared_level)?;
             let mut reloaded = [false; TE0_LINES];
             for (l, &(_, line)) in monitored.iter().enumerate() {
                 if flushed[l] {
@@ -518,7 +558,7 @@ fn flush_reload_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrac
         let progress = rank_progress(&votes, VICTIM_KEY[0]);
         rec.tick(progress, || machine_snapshot(&machine));
     }
-    rec.finish()
+    Ok(rec.finish())
 }
 
 /// Bernstein-style co-located thrashing: between the victim's AES
@@ -527,12 +567,13 @@ fn flush_reload_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrac
 /// on. The benign co-task touches eight private lines instead.
 /// Progress is sample-linear: profile quality grows with samples.
 fn bernstein_trace(cfg: &DetectionCampaignConfig, attack: bool) -> WindowTrace {
+    let setup = cfg.defense.effective_setup(cfg.setup);
     let task = ProcessId::new(1);
     let spy = ProcessId::new(2);
-    let mut machine =
-        Machine::from_setup_depth(cfg.setup, HierarchyDepth::TwoLevel, cfg.master_seed);
+    let mut machine = Machine::from_setup_depth(setup, HierarchyDepth::TwoLevel, cfg.master_seed);
+    machine.apply_defense(cfg.defense);
     machine.set_process(task);
-    seed_machine(&mut machine, cfg.setup, task, spy, cfg.master_seed ^ 0xbe57e1);
+    seed_machine(&mut machine, setup, task, spy, cfg.master_seed ^ 0xbe57e1);
 
     let mut layout = Layout::new(0x10_0000);
     let aes_layout = AesLayout::install(&mut layout, "victim");
@@ -590,17 +631,20 @@ pub fn try_run_detection_campaign(
     cfg: &DetectionCampaignConfig,
 ) -> Result<DetectionOutcome, ConfigError> {
     cfg.validate()?;
-    let trace = |attack: bool| match cfg.target {
-        DetectTarget::PrimeProbe => prime_probe_trace(cfg, attack),
-        DetectTarget::FlushReload => flush_reload_trace(cfg, attack),
-        DetectTarget::Bernstein => bernstein_trace(cfg, attack),
+    let trace = |attack: bool| -> Result<WindowTrace, ConfigError> {
+        match cfg.target {
+            DetectTarget::PrimeProbe => Ok(prime_probe_trace(cfg, attack)),
+            DetectTarget::FlushReload => flush_reload_trace(cfg, attack),
+            DetectTarget::Bernstein => Ok(bernstein_trace(cfg, attack)),
+        }
     };
     // The two scenarios are independent pure functions of the config:
     // run them concurrently, deterministically for any thread count.
     let (benign, attack) = if cfg.sample {
-        parallel::join(|| trace(false), || trace(true))
+        let (benign, attack) = parallel::join(|| trace(false), || trace(true));
+        (benign?, attack?)
     } else {
-        (WindowTrace::default(), trace(true))
+        (WindowTrace::default(), trace(true)?)
     };
 
     let score = |d: &PmuDelta| SlidingWindowDetector::score(&cfg.detector, d);
@@ -626,6 +670,7 @@ pub fn try_run_detection_campaign(
     Ok(DetectionOutcome {
         target: cfg.target,
         setup: cfg.setup,
+        defense: cfg.defense,
         evasion: cfg.evasion,
         rounds: cfg.rounds,
         windows: attack.deltas.len() as u64,
@@ -806,5 +851,91 @@ mod tests {
         let bad_detector = DetectorConfig { inval_weight: f64::NAN, ..DetectorConfig::default() };
         assert!(DetectionCampaignConfig { detector: bad_detector, ..good }.validate().is_err());
         assert!(try_run_detection_campaign(&DetectionCampaignConfig { rounds: 0, ..good }).is_err());
+    }
+
+    #[test]
+    fn roc_sweep_tolerates_nan_scores() {
+        // A degenerate window (0/0 rate) can score NaN. The old
+        // descending sort used `partial_cmp(..).expect(..)` and
+        // panicked on the first NaN comparison; under `total_cmp` the
+        // sweep completes: NaN scores compare above every finite
+        // threshold yet never satisfy `score >= t`, so they read as
+        // windows the detector never fires on and the finite part of
+        // the curve stays well-formed.
+        let roc = RocCurve::from_scores(&[f64::NAN, 1.0, 0.8], &[0.2, f64::NAN]);
+        assert!(roc.points.len() >= 3);
+        let auc = roc.auc();
+        assert!(auc.is_finite() && (0.0..=1.0).contains(&auc), "auc {auc}");
+        // The same scores without the NaNs separate fully — the NaN
+        // windows only dilute, they cannot reorder the sweep.
+        let clean = RocCurve::from_scores(&[1.0, 0.8], &[0.2]);
+        assert!((clean.auc() - 1.0).abs() < 1e-12);
+        assert!(auc < clean.auc());
+        // All-NaN inputs also survive and read as an uninformative curve.
+        let degenerate = RocCurve::from_scores(&[f64::NAN], &[f64::NAN]);
+        assert!(degenerate.auc().is_finite());
+    }
+
+    #[test]
+    fn private_platform_flush_reload_is_a_typed_error_not_a_panic() {
+        // Both former `expect("shared platform")` sites: the sampled
+        // campaign dies first in the benign co-runner warm loop, the
+        // unsampled baseline only ever reaches the attacker's reload
+        // branch. Each must surface as a ConfigError.
+        let base = DetectionCampaignConfig::standard(
+            DetectTarget::FlushReload,
+            SetupKind::Deterministic,
+            7,
+        );
+        let private = DetectionCampaignConfig { private_platform: true, ..base };
+        let err = try_run_detection_campaign(&private).expect_err("no shared level to reload from");
+        assert!(err.to_string().contains("shared-LLC"), "{err}");
+        let unsampled = DetectionCampaignConfig { sample: false, ..private };
+        assert!(try_run_detection_campaign(&unsampled).is_err());
+    }
+
+    #[test]
+    fn private_platform_leaves_other_targets_untouched() {
+        // The knob only constrains Flush+Reload — the L1 and private
+        // hierarchy campaigns never had a shared level to lose.
+        for target in [DetectTarget::PrimeProbe, DetectTarget::Bernstein] {
+            let base = DetectionCampaignConfig::standard(target, SetupKind::Deterministic, 7);
+            let private = DetectionCampaignConfig { private_platform: true, ..base };
+            let out = try_run_detection_campaign(&private).expect("private platforms are fine");
+            assert_eq!(out, run_detection_campaign(&base), "{target:?}");
+        }
+    }
+
+    #[test]
+    fn defended_campaigns_reproduce_and_blunt_the_attack() {
+        let base = DetectionCampaignConfig::standard(
+            DetectTarget::PrimeProbe,
+            SetupKind::Deterministic,
+            7,
+        );
+        let undefended = run_detection_campaign(&base);
+        let baseline = *undefended.attack_progress.last().expect("windows");
+        for defense in [DefenseKind::Ttl, DefenseKind::Normalize, DefenseKind::RandomSafe] {
+            let cfg = DetectionCampaignConfig { defense, ..base };
+            let a = run_detection_campaign(&cfg);
+            assert_eq!(a, run_detection_campaign(&cfg), "{defense} must reproduce");
+            assert_eq!(a.defense, defense);
+            let progress = *a.attack_progress.last().expect("windows");
+            // TTL scrambles the probe (random expiries masquerade as
+            // victim evictions) and Random-and-Safe randomizes the
+            // set mapping outright; normalization is orthogonal to
+            // presence probing (it levels *reuse timing*, and this
+            // attacker never touches victim-owned lines), so it
+            // leaves the guess accuracy exactly where it was.
+            match defense {
+                DefenseKind::Normalize => {
+                    assert_eq!(progress, baseline, "{defense} is orthogonal here")
+                }
+                _ => assert!(
+                    progress < baseline,
+                    "{defense}: progress {progress} not blunted vs {baseline}"
+                ),
+            }
+        }
     }
 }

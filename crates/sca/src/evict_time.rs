@@ -10,6 +10,7 @@
 use crate::prime_probe::{assign_seeds, l1_policy};
 use tscache_core::addr::LineAddr;
 use tscache_core::cache::Cache;
+use tscache_core::defense::DefenseKind;
 use tscache_core::geometry::CacheGeometry;
 use tscache_core::parallel::par_map_indexed;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
@@ -45,6 +46,21 @@ impl EvictTimeOutcome {
 /// purely from `(master_seed, trial)`, so the outcome is bit-identical
 /// for any thread count.
 pub fn run_evict_time(setup: SetupKind, trials: u32, master_seed: u64) -> EvictTimeOutcome {
+    run_evict_time_defended(setup, DefenseKind::Off, trials, master_seed)
+}
+
+/// [`run_evict_time`] with a defense-zoo policy armed on the L1 under
+/// attack. TTL expiries inject slowdowns uncorrelated with the
+/// attacker's target choice; [`DefenseKind::RandomSafe`] swaps in the
+/// Random-and-Safe platform; the rotation defenses are no-ops here
+/// (single private L1, no shared level).
+pub fn run_evict_time_defended(
+    setup: SetupKind,
+    defense: DefenseKind,
+    trials: u32,
+    master_seed: u64,
+) -> EvictTimeOutcome {
+    let setup = defense.effective_setup(setup);
     let geom = CacheGeometry::paper_l1();
     let (placement, replacement) = l1_policy(setup);
     let victim = ProcessId::new(1);
@@ -56,6 +72,8 @@ pub fn run_evict_time(setup: SetupKind, trials: u32, master_seed: u64) -> EvictT
             master_seed ^ 0xe71c7 ^ (trial as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
         ));
         let mut cache = Cache::new("L1D", geom, placement, replacement, master_seed ^ trial as u64);
+        cache.set_ttl(defense.ttl());
+        cache.set_normalize(defense.normalize());
         assign_seeds(&mut cache, setup, victim, attacker, master_seed, trial);
 
         let secret_index = trial_rng.below(128) as u64;

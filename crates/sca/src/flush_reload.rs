@@ -37,6 +37,7 @@
 
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::{Addr, LineAddr};
+use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
@@ -74,6 +75,11 @@ pub struct FlushReloadConfig {
     pub victim_key: [u8; 16],
     /// Sharing/partitioning configuration.
     pub isolation: FlushReloadIsolation,
+    /// Defense-zoo policy armed on the whole platform (private levels
+    /// and the shared LLC). Normalization closes this channel directly
+    /// — the attacker's reload probe reports victim-refilled lines as
+    /// absent; the rotation defenses re-key the LLC mid-campaign.
+    pub defense: DefenseKind,
 }
 
 impl FlushReloadConfig {
@@ -97,6 +103,7 @@ impl FlushReloadConfig {
                 0x4f, 0x3c,
             ],
             isolation: FlushReloadIsolation::SharedOpen,
+            defense: DefenseKind::Off,
         }
     }
 }
@@ -137,20 +144,22 @@ const TE0_LINES: usize = 32;
 /// Runs the campaign; everything derives from `cfg.master_seed`, so
 /// outcomes are bit-reproducible.
 pub fn run_flush_reload(cfg: &FlushReloadConfig) -> FlushReloadOutcome {
+    let setup = cfg.defense.effective_setup(cfg.setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
 
     // The victim node: private hierarchy + shared LLC, coherence to be
     // armed below.
     let mut machine = Machine::from_setup_shared(
-        cfg.setup,
+        setup,
         HierarchyDepth::TwoLevel,
         SystemConfig::default(),
         cfg.master_seed,
     );
+    machine.apply_defense(cfg.defense);
     machine.set_process(victim);
     let mut seed_rng = SplitMix64::new(mix64(cfg.master_seed ^ 0x000f_1a54));
-    match cfg.setup.seed_sharing() {
+    match setup.seed_sharing() {
         SeedSharing::Irrelevant => {
             machine.set_process_seed(victim, Seed::ZERO);
             machine.set_process_seed(attacker, Seed::ZERO);

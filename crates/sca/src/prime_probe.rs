@@ -9,6 +9,7 @@
 
 use tscache_core::addr::LineAddr;
 use tscache_core::cache::Cache;
+use tscache_core::defense::DefenseKind;
 use tscache_core::geometry::CacheGeometry;
 use tscache_core::parallel::par_map_indexed;
 use tscache_core::placement::PlacementKind;
@@ -48,6 +49,21 @@ impl PrimeProbeOutcome {
 /// purely from `(master_seed, trial)`, so the outcome is bit-identical
 /// for any thread count (including `RAYON_NUM_THREADS=1`).
 pub fn run_prime_probe(setup: SetupKind, trials: u32, master_seed: u64) -> PrimeProbeOutcome {
+    run_prime_probe_defended(setup, DefenseKind::Off, trials, master_seed)
+}
+
+/// [`run_prime_probe`] with a [`DefenseKind`] from the zoo layered on
+/// top of `setup`: [`DefenseKind::RandomSafe`] swaps the platform for
+/// the Random-and-Safe configuration, TTL/normalization arm the cache
+/// knobs, and the rotation defenses are no-ops here (this primitive
+/// attacks a single private L1 — no shared level to rotate).
+pub fn run_prime_probe_defended(
+    setup: SetupKind,
+    defense: DefenseKind,
+    trials: u32,
+    master_seed: u64,
+) -> PrimeProbeOutcome {
+    let setup = defense.effective_setup(setup);
     let geom = CacheGeometry::paper_l1();
     let (placement, replacement) = l1_policy(setup);
     let victim = ProcessId::new(1);
@@ -63,6 +79,8 @@ pub fn run_prime_probe(setup: SetupKind, trials: u32, master_seed: u64) -> Prime
             master_seed ^ 0x9199e ^ (trial as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
         ));
         let mut cache = Cache::new("L1D", geom, placement, replacement, master_seed ^ trial as u64);
+        cache.set_ttl(defense.ttl());
+        cache.set_normalize(defense.normalize());
         assign_seeds(&mut cache, setup, victim, attacker, master_seed, trial);
 
         cache.access_batch(attacker, &prime_lines);
@@ -99,6 +117,7 @@ pub(crate) fn l1_policy(setup: SetupKind) -> (PlacementKind, ReplacementKind) {
         SetupKind::Mbpta | SetupKind::TsCache => {
             (PlacementKind::RandomModulo, ReplacementKind::Random)
         }
+        SetupKind::RandomSafe => (PlacementKind::HashRp, ReplacementKind::Random),
     }
 }
 

@@ -22,6 +22,7 @@
 
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::Addr;
+use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
 use tscache_core::parallel;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
@@ -101,6 +102,10 @@ pub struct SamplingConfig {
     /// ways `0..k`, enemy cores ways `k..assoc` — the §7 partitioning
     /// ablation applied at the shared level. 0 = unpartitioned.
     pub partition_llc_ways: u32,
+    /// Defense-zoo policy armed on the node's platform. The rotation
+    /// defenses need `shared_llc` (validated); the others apply to any
+    /// node.
+    pub defense: DefenseKind,
 }
 
 impl SamplingConfig {
@@ -140,6 +145,11 @@ impl SamplingConfig {
                 "partition_llc_ways needs shared_llc: there is no shared level to partition",
             ));
         }
+        if self.defense.needs_shared_level() && !self.shared_llc {
+            return Err(ConfigError::incompatible(
+                "seed-rotation defenses need shared_llc: there is no shared level to rotate",
+            ));
+        }
         Ok(())
     }
 
@@ -161,6 +171,7 @@ impl SamplingConfig {
             contention: None,
             shared_llc: false,
             partition_llc_ways: 0,
+            defense: DefenseKind::Off,
         }
     }
 }
@@ -213,6 +224,10 @@ impl CryptoNode {
     }
 
     fn build(cfg: SamplingConfig, role: Role, key: &[u8; 16]) -> Self {
+        // Random-and-Safe is a platform swap: resolve it up front so
+        // the stored config (and its seed-sharing policy) reflect the
+        // platform actually built.
+        let cfg = SamplingConfig { setup: cfg.defense.effective_setup(cfg.setup), ..cfg };
         let mut layout = Layout::new(0x10_0000);
         let aes_layout = AesLayout::install(&mut layout, "aes");
         let app = layout.alloc("app", 4 * 4096, 4096);
@@ -229,6 +244,7 @@ impl CryptoNode {
         } else {
             Machine::from_setup_depth(cfg.setup, cfg.depth, cfg.master_seed ^ role.stream())
         };
+        machine.apply_defense(cfg.defense);
         // Multicore deployment: enemy co-runners on the shared bus
         // (and, on shared-LLC nodes, inside the shared cache).
         if let Some(con) = &cfg.contention {

@@ -10,6 +10,7 @@
 use crate::pipeline::PipelineModel;
 use tscache_core::addr::{Addr, LineAddr};
 use tscache_core::cache::{WritePolicy, Writeback};
+use tscache_core::defense::DefenseKind;
 use tscache_core::hierarchy::{AccessKind, Hierarchy, LlcRequests, OpTiming, SharedLlc};
 use tscache_core::prng::mix64;
 use tscache_core::seed::{ProcessId, Seed};
@@ -200,6 +201,19 @@ impl Machine {
         self.hierarchy.set_process_seed(pid, seed);
         if let Some(llc) = self.shared_llc.as_mut() {
             llc.set_process_seed(pid, seed);
+        }
+    }
+
+    /// Arms a defense-zoo policy across this machine: TTL/normalize
+    /// knobs on every private level and — when the machine runs on a
+    /// shared LLC — the seed-rotation schedule there. Attached enemy
+    /// co-runners keep their undefended private hierarchies (the
+    /// defense protects the platform under test, not the adversary's
+    /// core), matching how the paper evaluates per-core mitigations.
+    pub fn apply_defense(&mut self, defense: DefenseKind) {
+        self.hierarchy.apply_defense(defense);
+        if let Some(llc) = self.shared_llc.as_mut() {
+            llc.apply_defense(defense);
         }
     }
 

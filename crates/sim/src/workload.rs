@@ -1,6 +1,7 @@
 //! Workload abstraction and the measurement protocol used by MBPTA.
 
 use crate::machine::Machine;
+use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
 use tscache_core::parallel::par_map_indexed;
 use tscache_core::prng::{mix64, SplitMix64};
@@ -45,6 +46,11 @@ pub struct MeasurementProtocol {
     /// the measured core's shared-level contents, not just its bus
     /// timing — the shared-vs-private pWCET experiment's knob.
     pub shared_llc: bool,
+    /// Defense-zoo policy armed on the measured platform — the knob
+    /// behind the MBPTA-compliance half of each defense's dual verdict
+    /// (does the defense keep execution times i.i.d.-analyzable?).
+    /// Rotation defenses need `shared_llc` (validated).
+    pub defense: DefenseKind,
 }
 
 impl MeasurementProtocol {
@@ -71,6 +77,11 @@ impl MeasurementProtocol {
                  cache image (the paper's §5 protocol flushes at every seed change)",
             ));
         }
+        if self.defense.needs_shared_level() && !self.shared_llc {
+            return Err(ConfigError::incompatible(
+                "seed-rotation defenses need shared_llc: there is no shared level to rotate",
+            ));
+        }
         Ok(())
     }
 }
@@ -85,6 +96,7 @@ impl Default for MeasurementProtocol {
             depth: HierarchyDepth::TwoLevel,
             contention: None,
             shared_llc: false,
+            defense: DefenseKind::Off,
         }
     }
 }
@@ -99,6 +111,7 @@ fn protocol_machine(
     protocol: &MeasurementProtocol,
     machine_seed: u64,
 ) -> Machine {
+    let setup = protocol.defense.effective_setup(setup);
     let mut machine = if protocol.shared_llc {
         Machine::from_setup_shared(
             setup,
@@ -109,6 +122,7 @@ fn protocol_machine(
     } else {
         Machine::from_setup_depth(setup, protocol.depth, machine_seed)
     };
+    machine.apply_defense(protocol.defense);
     if let Some(con) = &protocol.contention {
         machine.attach_standard_enemies(setup, protocol.depth, con, mix64(machine_seed ^ 0xe8e));
     }
