@@ -30,6 +30,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for setup in SetupKind::ALL {
+        // Operator-facing progress timing only; never enters results.
+        #[allow(clippy::disallowed_methods)]
         let start = std::time::Instant::now();
         let cfg = SamplingConfig::standard(setup, samples, seed);
         let result = run_attack(cfg);

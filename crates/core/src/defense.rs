@@ -127,7 +127,7 @@ impl RotationPolicy {
 ///     SetupKind::Deterministic,
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DefenseKind {
     /// Undefended baseline.
     Off,

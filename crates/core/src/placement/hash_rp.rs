@@ -119,7 +119,7 @@ impl Placement for HashRp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn address_relocates_across_seeds() {
@@ -128,7 +128,7 @@ mod tests {
         let mut p = HashRp::new(&CacheGeometry::paper_l1());
         let a = LineAddr::new(0xbeef);
         let placements: Vec<u32> = (0..200).map(|s| p.place(a, Seed::new(s))).collect();
-        let distinct: HashSet<u32> = placements.iter().copied().collect();
+        let distinct: BTreeSet<u32> = placements.iter().copied().collect();
         assert!(distinct.len() > 32, "too static: {} distinct sets", distinct.len());
         // With 200 draws over 128 sets, some pair of seeds must agree.
         assert!(distinct.len() < 200);
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn zero_address_still_moves_with_seed() {
         let mut p = HashRp::new(&CacheGeometry::paper_l1());
-        let distinct: HashSet<u32> =
+        let distinct: BTreeSet<u32> =
             (0..50).map(|s| p.place(LineAddr::new(0), Seed::new(s))).collect();
         assert!(distinct.len() > 8);
     }

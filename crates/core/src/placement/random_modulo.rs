@@ -83,7 +83,7 @@ impl Placement for RandomModulo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn same_page_lines_never_collide() {
@@ -131,7 +131,7 @@ mod tests {
     fn address_relocates_across_seeds() {
         let mut p = RandomModulo::new(&CacheGeometry::paper_l1());
         let line = LineAddr::new(0x1234);
-        let distinct: HashSet<u32> = (0..300).map(|s| p.place(line, Seed::new(s))).collect();
+        let distinct: BTreeSet<u32> = (0..300).map(|s| p.place(line, Seed::new(s))).collect();
         assert!(distinct.len() > 64, "{} distinct sets", distinct.len());
     }
 

@@ -5,7 +5,7 @@ use crate::geometry::CacheGeometry;
 use crate::placement::{MbptaClass, Placement};
 use crate::prng::{Prng, SplitMix64};
 use crate::seed::Seed;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// RPCache: a per-process permutation table maps the modulo index to a
 /// set; on cross-process contention the interference is randomized by
@@ -27,7 +27,7 @@ pub struct RpCachePerm {
     sets: u32,
     /// seed → (perm, inverse perm); both maintained so contention
     /// remaps can swap entries in O(1).
-    tables: HashMap<u64, PermTable>,
+    tables: BTreeMap<u64, PermTable>,
 }
 
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ impl PermTable {
 impl RpCachePerm {
     /// Creates RPCache placement for `geom`.
     pub fn new(geom: &CacheGeometry) -> Self {
-        RpCachePerm { index_bits: geom.index_bits(), sets: geom.sets(), tables: HashMap::new() }
+        RpCachePerm { index_bits: geom.index_bits(), sets: geom.sets(), tables: BTreeMap::new() }
     }
 
     fn table(&mut self, seed: Seed) -> &mut PermTable {

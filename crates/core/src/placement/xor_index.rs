@@ -77,7 +77,7 @@ mod tests {
         // Individual addresses do relocate with the seed…
         let mut p = XorIndex::new(&CacheGeometry::paper_l1());
         let line = LineAddr::new(0x42);
-        let sets: std::collections::HashSet<u32> =
+        let sets: std::collections::BTreeSet<u32> =
             (0..64).map(|s| p.place(line, Seed::new(s))).collect();
         assert!(sets.len() > 16, "address barely moves: {} sets", sets.len());
     }

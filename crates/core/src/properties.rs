@@ -168,7 +168,7 @@ fn check_relocation(policy: &mut dyn Placement, cfg: &CheckConfig, rng: &mut Spl
     // mbpta-p2(1): sampled addresses must occupy >1 set across seeds.
     (0..16).all(|_| {
         let line = LineAddr::new(rng.next_u64() >> 16);
-        let mut sets = std::collections::HashSet::new();
+        let mut sets = std::collections::BTreeSet::new();
         for seed in sample_seeds(cfg) {
             sets.insert(policy.place(line, seed));
         }

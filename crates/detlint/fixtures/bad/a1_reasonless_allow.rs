@@ -1,0 +1,5 @@
+// detlint fixture: suppressions without reasons are themselves findings.
+// detlint: allow(D2)
+pub fn suppressed() -> std::collections::HashSet<u8> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,16 @@
+// detlint fixture: every D1 nondeterminism source, one per line.
+use std::time::Instant;
+
+pub fn wall_clock() -> u64 {
+    let t = Instant::now(); // line 5: Instant::now
+    let s = std::time::SystemTime::now(); // line 6: SystemTime::now
+    let _ = std::thread::current().id(); // line 7: thread::current
+    let _ = (t, s);
+    0
+}
+
+pub fn ambient_entropy() {
+    let mut rng = rand::thread_rng(); // line 13: thread_rng
+    let _state = std::collections::hash_map::RandomState::new(); // line 14: RandomState
+    let _ = rng;
+}

@@ -1,0 +1,11 @@
+// detlint fixture: unordered hash collections in a deterministic crate.
+use std::collections::HashMap; // line 2: HashMap
+
+pub struct Index {
+    by_line: HashMap<u64, u32>, // line 5: HashMap
+}
+
+pub fn distinct(xs: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect(); // line 9: HashSet
+    set.len()
+}

@@ -1,0 +1,5 @@
+// detlint fixture: NaN-unsafe float ordering (the PR 9 ROC-sort bug).
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 3: partial_cmp -> unwrap
+    v.sort_by(|a, b| b.partial_cmp(a).expect("no NaNs")); // line 4: partial_cmp -> expect
+}

@@ -1,0 +1,15 @@
+// detlint fixture: abort paths in panic-isolated library code.
+pub fn aborts(x: Option<u32>, v: &[u32]) -> u32 {
+    let a = x.unwrap(); // line 3: .unwrap()
+    let b = x.expect("present"); // line 4: .expect()
+    if v.is_empty() {
+        panic!("empty input"); // line 6: panic!
+    }
+    match a {
+        0 => unreachable!(), // line 9: unreachable!
+        1 => todo!(), // line 10: todo!
+        2 => unimplemented!(), // line 11: unimplemented!
+        _ => {}
+    }
+    a + b + v[0] // line 14: indexing by literal
+}

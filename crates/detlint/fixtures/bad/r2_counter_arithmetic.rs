@@ -1,0 +1,14 @@
+// detlint fixture: unchecked arithmetic / narrowing casts on counters.
+pub struct Stats {
+    pub retry_count: u64,
+    pub backoff_units: u64,
+    pub cache_hits: u64,
+}
+
+pub fn account(s: &mut Stats, total: u64) -> u64 {
+    s.retry_count += 1; // line 9: +=
+    let doubled = s.backoff_units * 2; // line 10: *
+    let remaining = total - s.retry_count; // line 11: - (right operand)
+    let narrow = s.cache_hits as u32; // line 12: narrowing cast
+    doubled + remaining + narrow as u64
+}

@@ -1,0 +1,34 @@
+// detlint fixture: reasoned suppressions and test exemptions — zero
+// unallowed findings (the allowed ones carry reasons).
+
+pub fn probe(xs: &[u32]) -> bool {
+    // detlint: allow(D2, membership probe only; never iterated)
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    set.contains(&7)
+}
+
+pub fn probe_trailing(xs: &[u32]) -> bool {
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect(); // detlint: allow(D2, membership probe; trailing form)
+    set.contains(&9)
+}
+
+pub fn convenience(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        // detlint: allow(R1, documented panicking convenience path; callers use try_)
+        None => panic!("missing"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = vec![1.0f64];
+        let mut w = v.clone();
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v[0], w[0]);
+        let t = std::time::Instant::now();
+        let _ = t;
+    }
+}

@@ -1,0 +1,29 @@
+// detlint fixture: the approved counterparts of every rule — zero findings.
+use std::collections::BTreeMap;
+
+pub struct Stats {
+    pub retry_count: u64,
+    by_line: BTreeMap<u64, u32>,
+}
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+    // NaN-handled partial_cmp is fine: no abort on the comparator.
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn account(s: &mut Stats, total: u64) -> Option<u64> {
+    s.retry_count = s.retry_count.saturating_add(1);
+    let wide = s.retry_count as u64; // widening: allowed
+    total.checked_sub(wide)
+}
+
+pub fn lookups(s: &Stats, v: &[u32]) -> u32 {
+    // get() instead of literal indexing; unwrap_or is panic-free.
+    s.by_line.get(&0).copied().unwrap_or(0) + v.first().copied().unwrap_or_default()
+}
+
+pub fn seeded_entropy(seed: u64) -> u64 {
+    // Entropy flows from explicit seeds, never ambient sources.
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,173 @@
+//! Suppression with mandatory written reasons.
+//!
+//! Two escape hatches exist, both auditable:
+//!
+//! 1. **Inline annotation** — a comment on the finding's line, or on
+//!    the comment block immediately above it:
+//!
+//!    ```text
+//!    // detlint: allow(D2, membership-only set, never iterated)
+//!    let done: HashSet<usize> = ...;
+//!    ```
+//!
+//! 2. **Allowlist file** (`detlint.allow` at the workspace root) —
+//!    one entry per line, `RULE <path> <reason...>`, `#` comments and
+//!    blank lines ignored. An entry covers every finding of RULE in
+//!    that file; use it for whole-file decisions (e.g. a module whose
+//!    wall-clock use is deliberate), inline annotations for point
+//!    decisions.
+//!
+//! A reason is mandatory in both forms: an annotation without one is
+//! itself a finding (**A1**), and an allow that matches nothing is a
+//! stale-suppression finding (**A2**) so the suppression surface can
+//! only shrink when code gets fixed.
+
+use crate::lexer::Comment;
+use crate::rules::{Finding, Rule};
+
+/// One parsed inline `detlint: allow(RULE, reason)` annotation.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    pub rule: Rule,
+    pub reason: String,
+    /// Last source line of the comment carrying the annotation.
+    pub end_line: u32,
+    pub used: bool,
+}
+
+/// Extracts annotations from a file's comments. Malformed annotations
+/// (unknown rule, missing reason) become A1 findings — they must not
+/// silently fail to suppress.
+pub fn parse_annotations(path: &str, comments: &[Comment]) -> (Vec<Annotation>, Vec<Finding>) {
+    let mut anns = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("detlint:") else { continue };
+        let rest = &c.text[at + "detlint:".len()..];
+        let mut a1 = |msg: String| {
+            bad.push(Finding {
+                rule: Rule::A1,
+                path: path.to_string(),
+                line: c.line,
+                col: 1,
+                lexeme: "detlint:".to_string(),
+                message: msg,
+                allowed: None,
+            })
+        };
+        let Some(open) = rest.find("allow(") else {
+            a1("malformed detlint annotation: expected `allow(RULE, reason)`".to_string());
+            continue;
+        };
+        let body = &rest[open + "allow(".len()..];
+        // The reason may itself contain parentheses; take everything
+        // up to the comment's final `)`.
+        let Some(close) = body.rfind(')') else {
+            a1("malformed detlint annotation: missing `)`".to_string());
+            continue;
+        };
+        let body = &body[..close];
+        let (rule_id, reason) = match body.split_once(',') {
+            Some((r, reason)) => (r.trim(), reason.trim()),
+            None => (body.trim(), ""),
+        };
+        let Some(rule) = Rule::from_id(rule_id) else {
+            a1(format!("detlint annotation names unknown rule `{rule_id}`"));
+            continue;
+        };
+        if reason.is_empty() {
+            a1(format!("detlint allow({rule_id}) has no reason; a written reason is mandatory"));
+            continue;
+        }
+        anns.push(Annotation {
+            rule,
+            reason: reason.to_string(),
+            end_line: c.end_line,
+            used: false,
+        });
+    }
+    (anns, bad)
+}
+
+/// One `detlint.allow` entry: suppresses all findings of `rule` in
+/// the file at `path` (workspace-relative, forward slashes).
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    pub path: String,
+    pub reason: String,
+    /// 1-based line in the allowlist file (for A2 diagnostics).
+    pub line: u32,
+    pub used: bool,
+}
+
+/// Parses allowlist text. Returns `Err` with a line-numbered message
+/// on the first malformed entry: a broken allowlist must fail the run
+/// rather than silently allow nothing (or everything).
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.splitn(3, char::is_whitespace);
+        let rule_id = parts.next().unwrap_or_default();
+        let path = parts.next().unwrap_or_default();
+        let reason = parts.next().unwrap_or_default().trim();
+        let Some(rule) = Rule::from_id(rule_id) else {
+            return Err(format!("detlint.allow:{line}: unknown rule `{rule_id}`"));
+        };
+        if path.is_empty() {
+            return Err(format!("detlint.allow:{line}: missing path"));
+        }
+        if reason.is_empty() {
+            return Err(format!(
+                "detlint.allow:{line}: entry `{rule_id} {path}` has no reason; reasons are mandatory"
+            ));
+        }
+        entries.push(AllowEntry {
+            rule,
+            path: path.to_string(),
+            reason: reason.to_string(),
+            line,
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn annotation_with_reason_parses() {
+        let l = lex("// detlint: allow(D2, membership-only (never iterated))\nlet x = 1;");
+        let (anns, bad) = parse_annotations("x.rs", &l.comments);
+        assert!(bad.is_empty());
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].rule, Rule::D2);
+        assert_eq!(anns[0].reason, "membership-only (never iterated)");
+    }
+
+    #[test]
+    fn reasonless_annotation_is_a1() {
+        let l = lex("// detlint: allow(R1)\nx.unwrap();");
+        let (anns, bad) = parse_annotations("x.rs", &l.comments);
+        assert!(anns.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::A1);
+    }
+
+    #[test]
+    fn allowlist_requires_reasons() {
+        assert!(parse_allowlist("D1 crates/fleet/src/executor.rs progress display only")
+            .is_ok_and(|e| e.len() == 1));
+        assert!(parse_allowlist("D1 crates/fleet/src/executor.rs").is_err());
+        assert!(parse_allowlist("XX crates/x.rs because").is_err());
+        assert!(parse_allowlist("# comment\n\n").is_ok_and(|e| e.is_empty()));
+    }
+}

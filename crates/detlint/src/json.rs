@@ -1,0 +1,90 @@
+//! `detlint.json`: the machine-readable findings report.
+//!
+//! Hand-rolled JSON, same as the fleet's JSONL layer: no dependencies,
+//! deterministic key order, output a pure function of the findings.
+
+use crate::rules::Finding;
+
+/// Renders the full report. `files` is the scanned-file count,
+/// `clean` whether the run passes (no unallowed findings).
+pub fn render_json(findings: &[Finding], files: usize, clean: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"version\": 1,\n");
+    s.push_str(&format!("  \"files_scanned\": {files},\n"));
+    s.push_str(&format!("  \"clean\": {clean},\n"));
+    let unallowed = findings.iter().filter(|f| f.allowed.is_none()).count();
+    s.push_str(&format!("  \"unallowed\": {unallowed},\n"));
+    s.push_str(&format!("  \"allowed\": {},\n", findings.len() - unallowed));
+    s.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": \"{}\", ", f.rule));
+        s.push_str(&format!("\"path\": {}, ", esc(&f.path)));
+        s.push_str(&format!("\"line\": {}, ", f.line));
+        s.push_str(&format!("\"col\": {}, ", f.col));
+        s.push_str(&format!("\"lexeme\": {}, ", esc(&f.lexeme)));
+        s.push_str(&format!("\"message\": {}, ", esc(&f.message)));
+        match &f.allowed {
+            Some(reason) => s.push_str(&format!("\"allowed\": {}}}", esc(reason))),
+            None => s.push_str("\"allowed\": null}"),
+        }
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Escapes a string for JSON.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    #[test]
+    fn report_is_valid_shape_and_escaped() {
+        let f = Finding {
+            rule: Rule::D2,
+            path: "crates/core/src/a.rs".to_string(),
+            line: 3,
+            col: 7,
+            lexeme: "HashMap".to_string(),
+            message: "quote \" and \\ backslash".to_string(),
+            allowed: None,
+        };
+        let s = render_json(&[f], 10, false);
+        assert!(s.contains("\"rule\": \"D2\""));
+        assert!(s.contains("\\\""));
+        assert!(s.contains("\"allowed\": null"));
+        assert!(s.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let s = render_json(&[], 0, true);
+        assert!(s.contains("\"findings\": []"));
+    }
+}

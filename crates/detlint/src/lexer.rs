@@ -1,0 +1,431 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! `detlint` needs exactly enough syntax awareness to (a) never report
+//! a "violation" that lives inside a string literal or a comment, (b)
+//! attach findings to precise `line:col` spans, and (c) recover the
+//! comments themselves so `// detlint: allow(..)` annotations can
+//! suppress findings. A full parse (`syn`) would be overkill — and the
+//! workspace is deliberately dependency-free — so this module lexes
+//! Rust source into a flat token stream with source positions, and
+//! collects comments on the side.
+//!
+//! The lexer understands: line and (nested) block comments, string /
+//! raw-string / byte-string literals with arbitrary `#` guards, char
+//! literals vs. lifetimes, numeric literals (including `_` separators,
+//! type suffixes, and `0x` forms, without eating `..` ranges), and the
+//! multi-character operators the rule engine cares about (`::`, `+=`,
+//! `..`, etc.). Everything else is a single-character punct.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, `as`, ...).
+    Ident,
+    /// Integer literal (`0`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.5`, `2e9`).
+    Float,
+    /// String, raw-string, or byte-string literal (text excluded).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators are joined (`::`, `+=`).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// The lexeme as written (empty for string literals — their
+    /// content must never be mistaken for code).
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is punctuation equal to `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment with the line it starts on. Block comments spanning
+/// multiple lines are attributed to their first line; annotation
+/// lookup only ever needs the line a comment *occupies*, which
+/// [`Comment::lines`] reports.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// Last line the comment touches (== `line` for `//` comments).
+    pub end_line: u32,
+}
+
+impl Comment {
+    /// Every source line this comment occupies.
+    pub fn lines(&self) -> impl Iterator<Item = u32> {
+        self.line..=self.end_line
+    }
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal-munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Invalid UTF-8 or unterminated
+/// literals never panic: the lexer degrades to single-byte puncts,
+/// which at worst produces a spurious finding (surfaced, not hidden).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while !c.eof() {
+        let (line, col) = (c.line, c.col);
+        let b = c.peek(0);
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        // Line comment (also doc `///` and `//!`).
+        if c.starts_with("//") {
+            let start = c.pos;
+            while !c.eof() && c.peek(0) != b'\n' {
+                c.bump();
+            }
+            let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+            out.comments.push(Comment { text, line, end_line: line });
+            continue;
+        }
+
+        // Block comment, nested per Rust rules.
+        if c.starts_with("/*") {
+            let start = c.pos;
+            let mut depth = 0usize;
+            while !c.eof() {
+                if c.starts_with("/*") {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.starts_with("*/") {
+                    depth -= 1;
+                    c.bump();
+                    c.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    c.bump();
+                }
+            }
+            let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+            out.comments.push(Comment { text, line, end_line: c.line });
+            continue;
+        }
+
+        // Raw / byte string heads: r"", r#""#, b"", br#""#.
+        if let Some(guards) = raw_string_head(&c) {
+            skip_raw_string(&mut c, guards);
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            continue;
+        }
+        if b == b'"' || (b == b'b' && c.peek(1) == b'"') {
+            if b == b'b' {
+                c.bump();
+            }
+            skip_quoted(&mut c, b'"');
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line, col });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            // `'x'` or `'\..'` is a char literal; `'ident` not
+            // followed by a closing quote is a lifetime.
+            if c.peek(1) == b'\\' {
+                skip_quoted_from_quote(&mut c);
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+            } else if is_ident_start(c.peek(1)) {
+                let mut k = 2;
+                while is_ident_cont(c.peek(k)) {
+                    k += 1;
+                }
+                if c.peek(k) == b'\'' {
+                    skip_quoted_from_quote(&mut c);
+                    out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+                } else {
+                    let start = c.pos;
+                    c.bump(); // '
+                    while !c.eof() && is_ident_cont(c.peek(0)) {
+                        c.bump();
+                    }
+                    let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                    out.toks.push(Tok { kind: TokKind::Lifetime, text, line, col });
+                }
+            } else {
+                // `'('`-style char literal (or stray quote).
+                skip_quoted_from_quote(&mut c);
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line, col });
+            }
+            continue;
+        }
+
+        // Identifier / keyword (incl. `r#ident` raw identifiers).
+        if is_ident_start(b) || (b == b'r' && c.peek(1) == b'#' && is_ident_start(c.peek(2))) {
+            let start = c.pos;
+            if b == b'r' && c.peek(1) == b'#' {
+                c.bump();
+                c.bump();
+            }
+            while !c.eof() && is_ident_cont(c.peek(0)) {
+                c.bump();
+            }
+            let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+            let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+            out.toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            continue;
+        }
+
+        // Numeric literal.
+        if b.is_ascii_digit() {
+            let start = c.pos;
+            let mut saw_dot = false;
+            let mut saw_exp = false;
+            let hex = c.starts_with("0x") || c.starts_with("0X");
+            c.bump();
+            loop {
+                let n = c.peek(0);
+                if n.is_ascii_alphanumeric() || n == b'_' {
+                    // `1e9` / `1E9` exponents (not in hex literals).
+                    if !hex && (n == b'e' || n == b'E') && c.peek(1).is_ascii_digit() {
+                        saw_exp = true;
+                    }
+                    c.bump();
+                } else if n == b'.' && !saw_dot && !hex && c.peek(1).is_ascii_digit() {
+                    // `1.5` but never `1..5` (range) or `1.method()`.
+                    saw_dot = true;
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+            let kind = if saw_dot || (saw_exp && !text.contains('x')) {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            };
+            out.toks.push(Tok { kind, text, line, col });
+            continue;
+        }
+
+        // Punctuation: try multi-char operators first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            if c.starts_with(op) {
+                for _ in 0..op.len() {
+                    c.bump();
+                }
+                out.toks.push(Tok { kind: TokKind::Punct, text: (*op).to_string(), line, col });
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            c.bump();
+            out.toks.push(Tok { kind: TokKind::Punct, text: (b as char).to_string(), line, col });
+        }
+    }
+
+    out
+}
+
+/// If the cursor sits on a raw-string head (`r"`, `r#"`, `br##"`, ...)
+/// returns the number of `#` guards.
+fn raw_string_head(c: &Cursor<'_>) -> Option<usize> {
+    let mut k = 0;
+    if c.peek(k) == b'b' {
+        k += 1;
+    }
+    if c.peek(k) != b'r' {
+        return None;
+    }
+    k += 1;
+    let mut guards = 0;
+    while c.peek(k) == b'#' {
+        guards += 1;
+        k += 1;
+    }
+    if c.peek(k) == b'"' {
+        Some(guards)
+    } else {
+        None
+    }
+}
+
+fn skip_raw_string(c: &mut Cursor<'_>, guards: usize) {
+    // Consume head up to and including the opening quote.
+    while c.peek(0) != b'"' {
+        c.bump();
+    }
+    c.bump();
+    // Scan for `"` followed by `guards` hashes.
+    while !c.eof() {
+        if c.peek(0) == b'"' {
+            let mut ok = true;
+            for g in 0..guards {
+                if c.peek(1 + g) != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=guards {
+                    c.bump();
+                }
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+/// Consumes a quoted literal starting at the opening quote, honoring
+/// backslash escapes. `quote` is `"` (strings) — char literals use
+/// [`skip_quoted_from_quote`].
+fn skip_quoted(c: &mut Cursor<'_>, quote: u8) {
+    c.bump(); // opening quote
+    while !c.eof() {
+        let b = c.bump();
+        if b == b'\\' && !c.eof() {
+            c.bump();
+        } else if b == quote {
+            return;
+        }
+    }
+}
+
+fn skip_quoted_from_quote(c: &mut Cursor<'_>) {
+    skip_quoted(c, b'\'');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* unwrap() in a block /* nested */ comment */
+            let s = "HashMap::new() .unwrap()";
+            let r = r#"thread_rng"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "unwrap" || i == "thread_rng"));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let l = lex("for i in 0..10 { (1.5f64).floor(); x[0]; }");
+        let texts: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&".."));
+        assert!(texts.contains(&"10"));
+        assert!(texts.contains(&"1.5f64"));
+    }
+
+    #[test]
+    fn multichar_puncts_joined() {
+        let l = lex("a::b += c; d => e; f <<= 2;");
+        let puncts: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text.len() > 1)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, ["::", "+=", "=>", "<<="]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+}

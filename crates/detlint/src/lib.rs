@@ -1,0 +1,41 @@
+//! # detlint — the workspace's determinism & robustness analyzer
+//!
+//! Every load-bearing claim in this reproduction — MBPTA i.i.d.
+//! validity, scalar-vs-batch bit-identity, kill/resume-stable campaign
+//! digests — rests on source-level invariants: no ambient entropy, no
+//! unordered iteration, no NaN-poisoned comparators, no panics in
+//! panic-isolated shard paths, no silently-overflowing counters. PRs
+//! 7–9 each hand-fixed fresh instances of the same violation classes
+//! after they shipped. `detlint` turns those classes into named,
+//! machine-checked rules (see [`rules`]) enforced over the whole
+//! workspace on every CI run and in `cargo test` (the self-check).
+//!
+//! The analyzer is deliberately lexical: a dependency-free tokenizer
+//! ([`lexer`]) plus structural test-region masking is enough to check
+//! every rule precisely, keeps the tool's own trusted computing base
+//! tiny, and honors the workspace's zero-external-dependency rule
+//! (`syn` would be the conventional choice; it is not available
+//! offline, and nothing here needs a full AST). What lexing cannot
+//! see — actual data races — is covered by the ThreadSanitizer and
+//! Miri CI jobs, the dynamic half of the same contract.
+//!
+//! Run it:
+//!
+//! ```text
+//! cargo run -p detlint -- --workspace
+//! ```
+//!
+//! Suppress a finding (reason mandatory, audited, stale-checked):
+//!
+//! ```text
+//! // detlint: allow(D2, membership-only set; never iterated)
+//! ```
+
+pub mod allow;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{Finding, Rule};
+pub use workspace::{analyze_source, analyze_workspace, render, Analysis};

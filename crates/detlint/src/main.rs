@@ -1,0 +1,127 @@
+//! `detlint` CLI: analyze the workspace, print rustc-style
+//! diagnostics, write `detlint.json`, exit nonzero on any unallowed
+//! finding.
+//!
+//! ```text
+//! detlint [--workspace] [--root DIR] [--json PATH | --no-json] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean (modulo allows), `1` findings, `2` usage or
+//! I/O error.
+
+use detlint::workspace::{analyze_workspace, render};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut no_json = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // The default and only analysis mode; accepted for
+            // self-documenting CI invocations.
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--no-json" => no_json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "detlint: determinism & robustness analyzer\n\
+                     usage: detlint [--workspace] [--root DIR] [--json PATH | --no-json] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            match find_workspace_root() {
+                Some(r) => r,
+                None => {
+                    eprintln!("detlint: no workspace root found (no Cargo.toml with [workspace] above cwd)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let unallowed: Vec<_> = analysis.unallowed().collect();
+    if !quiet {
+        for f in &unallowed {
+            eprint!("{}", render(f));
+        }
+    }
+
+    if !no_json {
+        let path = json_path.unwrap_or_else(|| root.join("detlint.json"));
+        let json = detlint::json::render_json(
+            &analysis.findings,
+            analysis.files.len(),
+            unallowed.is_empty(),
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("detlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let allowed = analysis.findings.len() - unallowed.len();
+    eprintln!(
+        "detlint: {} files, {} finding(s) ({} allowed with reasons, {} violations)",
+        analysis.files.len(),
+        analysis.findings.len(),
+        allowed,
+        unallowed.len()
+    );
+    if unallowed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}; try --help");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The determinism & robustness rule set.
+//!
+//! Every rule is named, grounded in a bug this repository actually
+//! shipped (see README "Determinism contract"), and suppressible only
+//! through an annotation or allowlist entry carrying a written reason:
+//!
+//! * **D1** — no ambient nondeterminism sources (`Instant::now`,
+//!   `SystemTime::now`, `thread_rng`, `RandomState`,
+//!   `thread::current`) in simulation crates. All entropy must flow
+//!   from `core::prng` seeds, or worker-count bit-identity dies.
+//! * **D2** — no `HashMap`/`HashSet` in the deterministic crates
+//!   (`core`, `interference`, `sca`, `fleet`, `telemetry`): unordered
+//!   iteration silently breaks merge/report bit-identity. Use
+//!   `BTreeMap`/`BTreeSet` or annotate why iteration order cannot
+//!   leak.
+//! * **D3** — no NaN-unsafe float ordering
+//!   (`.partial_cmp(..).unwrap()` / `.expect(..)`): one NaN poisons
+//!   the comparator and aborts mid-sort (the PR 9 ROC bug). Use
+//!   `total_cmp`.
+//! * **R1** — no `.unwrap()` / `.expect(..)` / `panic!` family /
+//!   indexing by integer literal in library code of the
+//!   panic-isolated crates (`fleet`, `rtos`, `sca`): a panic there is
+//!   a campaign abort or a quarantined shard (the PR 7/9 incidents).
+//!   Surface errors through `core::error` types instead.
+//! * **R2** — no bare `as` narrowing casts and no unchecked
+//!   `+`/`-`/`*` on counter-taxonomy fields (`*_count`, `*_hits`,
+//!   `*_misses`, `retries`, `backoff*`): the PR 7 backoff-accounting
+//!   overflow class. Use `saturating_*`/`checked_*`/`wrapping_*`.
+//!
+//! Rules run on the token stream from [`crate::lexer`]; regions under
+//! `#[test]` / `#[cfg(test)]` are structurally excluded first.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use std::fmt;
+
+/// A named rule (or meta-rule) this analyzer can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    D1,
+    D2,
+    D3,
+    R1,
+    R2,
+    /// Meta: a `detlint: allow(..)` annotation without a reason.
+    A1,
+    /// Meta: an allow (inline or allowlist entry) that matched nothing.
+    A2,
+}
+
+impl Rule {
+    pub const ALL_CHECKS: &'static [Rule] = &[Rule::D1, Rule::D2, Rule::D3, Rule::R1, Rule::R2];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::A1 => "A1",
+            Rule::A2 => "A2",
+        }
+    }
+
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "A1" => Some(Rule::A1),
+            "A2" => Some(Rule::A2),
+            _ => None,
+        }
+    }
+
+    /// One-line guidance appended to each diagnostic.
+    pub fn help(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "route all entropy/time through core::prng and explicit seeds, \
+                         or annotate: // detlint: allow(D1, <reason>)"
+            }
+            Rule::D2 => {
+                "use BTreeMap/BTreeSet (ordered iteration), \
+                         or annotate: // detlint: allow(D2, <reason>)"
+            }
+            Rule::D3 => "use total_cmp for float ordering; one NaN aborts this comparator",
+            Rule::R1 => {
+                "surface the error through core::error / the crate's error type, \
+                         or annotate: // detlint: allow(R1, <reason>)"
+            }
+            Rule::R2 => {
+                "use saturating_*/checked_*/wrapping_* or a widening From cast, \
+                         or annotate: // detlint: allow(R2, <reason>)"
+            }
+            Rule::A1 => "write the annotation as: // detlint: allow(<RULE>, <reason>)",
+            Rule::A2 => "delete the stale allow, or fix the rule/path it names",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One diagnostic: a rule violation (or meta finding) at a source span.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    /// The offending lexeme (for humans; spans are authoritative).
+    pub lexeme: String,
+    pub message: String,
+    /// `Some(reason)` once an annotation or allowlist entry with a
+    /// written reason covered this finding.
+    pub allowed: Option<String>,
+}
+
+/// Narrowable integer target types for the R2 cast check. Casts to
+/// `u64`/`usize`/`i64`/`u128` from counter fields are widening on
+/// every platform this simulator targets and stay legal.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// True for identifiers in the counter/stat taxonomy R2 protects.
+pub fn is_counter_ident(name: &str) -> bool {
+    name == "retries"
+        || name.starts_with("backoff")
+        || name.ends_with("_count")
+        || name.ends_with("_counts")
+        || name.ends_with("_hits")
+        || name.ends_with("_misses")
+}
+
+/// Runs `rules` over one lexed file, returning findings in source
+/// order. `path` is only recorded into findings, never inspected:
+/// crate scoping happens in [`crate::workspace`].
+pub fn scan(path: &str, lexed: &Lexed, rules: &[Rule]) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let in_test = test_mask(toks);
+    let mut out = Vec::new();
+
+    let enabled = |r: Rule| rules.contains(&r);
+    let finding = |rule: Rule, tok: &Tok, lexeme: &str, message: String| Finding {
+        rule,
+        path: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        lexeme: lexeme.to_string(),
+        message,
+        allowed: None,
+    };
+
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident && !(t.kind == TokKind::Punct && t.text == "[") {
+            continue;
+        }
+
+        // ---- D1: ambient nondeterminism sources -------------------
+        if enabled(Rule::D1) && t.kind == TokKind::Ident {
+            let qualified_now = (t.text == "Instant" || t.text == "SystemTime")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("now"));
+            let thread_current = t.text == "thread"
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("current"));
+            if qualified_now || thread_current {
+                let what = if thread_current {
+                    "thread::current".to_string()
+                } else {
+                    format!("{}::now", t.text)
+                };
+                out.push(finding(
+                    Rule::D1,
+                    t,
+                    &what,
+                    format!("nondeterminism source `{what}` in a simulation crate"),
+                ));
+            } else if t.text == "thread_rng" || t.text == "RandomState" {
+                out.push(finding(
+                    Rule::D1,
+                    t,
+                    &t.text,
+                    format!("nondeterminism source `{}` in a simulation crate", t.text),
+                ));
+            }
+        }
+
+        // ---- D2: unordered hash collections -----------------------
+        if enabled(Rule::D2)
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            out.push(finding(
+                Rule::D2,
+                t,
+                &t.text,
+                format!(
+                    "`{}` in a deterministic crate: unordered iteration breaks bit-identity",
+                    t.text
+                ),
+            ));
+        }
+
+        // ---- D3: NaN-unsafe float ordering ------------------------
+        if enabled(Rule::D3) && t.is_ident("partial_cmp") {
+            if let Some(close) = matching_paren(toks, i + 1) {
+                let chained_abort = toks.get(close + 1).is_some_and(|n| n.is_punct("."))
+                    && toks
+                        .get(close + 2)
+                        .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"));
+                if chained_abort {
+                    out.push(finding(
+                        Rule::D3,
+                        t,
+                        "partial_cmp",
+                        "NaN-unsafe float ordering: `partial_cmp(..)` chained into an abort"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+
+        // ---- R1: panic paths in panic-isolated crates -------------
+        if enabled(Rule::R1) {
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+            {
+                // `.partial_cmp(..).unwrap()` is D3's finding; do not
+                // double-report it under R1.
+                let is_d3 = enabled(Rule::D3)
+                    && i >= 2
+                    && toks[i - 2].is_punct(")")
+                    && opening_paren(toks, i - 2)
+                        .and_then(|open| open.checked_sub(1))
+                        .is_some_and(|k| toks[k].is_ident("partial_cmp"));
+                if !is_d3 {
+                    out.push(finding(
+                        Rule::R1,
+                        t,
+                        &format!(".{}()", t.text),
+                        format!("`.{}()` can abort a panic-isolated library path", t.text),
+                    ));
+                }
+            }
+            if t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                out.push(finding(
+                    Rule::R1,
+                    t,
+                    &format!("{}!", t.text),
+                    format!("`{}!` can abort a panic-isolated library path", t.text),
+                ));
+            }
+            // Indexing by integer literal: `expr[3]`.
+            if t.is_punct("[")
+                && i > 0
+                && (toks[i - 1].kind == TokKind::Ident
+                    || toks[i - 1].is_punct(")")
+                    || toks[i - 1].is_punct("]"))
+                && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Int)
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("]"))
+            {
+                let idx = &toks[i + 1].text;
+                out.push(finding(
+                    Rule::R1,
+                    t,
+                    &format!("[{idx}]"),
+                    format!(
+                        "indexing by literal `[{idx}]` can panic; use get({idx}) or a destructure"
+                    ),
+                ));
+            }
+        }
+
+        // ---- R2: counter-taxonomy arithmetic ----------------------
+        if enabled(Rule::R2) && t.kind == TokKind::Ident && is_counter_ident(&t.text) {
+            let next = toks.get(i + 1);
+            // Bare narrowing cast: `retries as u32`.
+            if next.is_some_and(|n| n.is_ident("as")) {
+                if let Some(ty) = toks.get(i + 2) {
+                    if NARROW_INTS.contains(&ty.text.as_str()) {
+                        out.push(finding(
+                            Rule::R2,
+                            t,
+                            &format!("{} as {}", t.text, ty.text),
+                            format!(
+                                "bare narrowing cast `{} as {}` on a counter field",
+                                t.text, ty.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Unchecked arithmetic where the counter is the left
+            // operand: `retries + 1`, `backoff_units *= 2`.
+            if next.is_some_and(|n| {
+                n.kind == TokKind::Punct
+                    && matches!(n.text.as_str(), "+" | "-" | "*" | "+=" | "-=" | "*=")
+            }) {
+                let op = &next.unwrap_or(t).text;
+                out.push(finding(
+                    Rule::R2,
+                    t,
+                    &format!("{} {}", t.text, op),
+                    format!("unchecked `{op}` on counter field `{}`", t.text),
+                ));
+            }
+            // ... or the right operand of a binary op: `1 + retries`,
+            // `total - s.miss_count` (walk back over the field chain
+            // to find the operator, then require a left operand so
+            // unary `-`/deref `*` never trip the rule).
+            let mut base = i;
+            while base >= 2 && toks[base - 1].is_punct(".") && toks[base - 2].kind == TokKind::Ident
+            {
+                base -= 2;
+            }
+            if base >= 2
+                && toks[base - 1].kind == TokKind::Punct
+                && matches!(toks[base - 1].text.as_str(), "+" | "-" | "*")
+                && (toks[base - 2].kind == TokKind::Ident
+                    || toks[base - 2].kind == TokKind::Int
+                    || toks[base - 2].kind == TokKind::Float
+                    || toks[base - 2].is_punct(")")
+                    || toks[base - 2].is_punct("]"))
+            {
+                out.push(finding(
+                    Rule::R2,
+                    t,
+                    &format!("{} {}", toks[base - 1].text, t.text),
+                    format!("unchecked `{}` on counter field `{}`", toks[base - 1].text, t.text),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// If `toks[open_at]` is `(`, returns the index of its matching `)`.
+fn matching_paren(toks: &[Tok], open_at: usize) -> Option<usize> {
+    if !toks.get(open_at)?.is_punct("(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_at) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// If `toks[close_at]` is `)`, returns the index of its matching `(`.
+fn opening_paren(toks: &[Tok], close_at: usize) -> Option<usize> {
+    if !toks.get(close_at)?.is_punct(")") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for k in (0..=close_at).rev() {
+        if toks[k].is_punct(")") {
+            depth += 1;
+        } else if toks[k].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Marks every token under a `#[test]` fn or `#[cfg(test)]` item
+/// (including whole `mod tests { .. }` bodies). Rules never fire
+/// inside test code: tests legitimately unwrap, index, and build
+/// HashSets to check distributions.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // Inner attribute `#![cfg(test)]`: whole file is test-only.
+        if toks[i].is_punct("#")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("["))
+        {
+            if let Some(end) = matching_bracket(toks, i + 2) {
+                if attr_is_test(&toks[i + 3..end]) {
+                    for m in mask.iter_mut() {
+                        *m = true;
+                    }
+                    return mask;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            if let Some(end) = matching_bracket(toks, i + 1) {
+                if attr_is_test(&toks[i + 2..end]) {
+                    // Skip any further attributes on the same item.
+                    let mut j = end + 1;
+                    while j < toks.len()
+                        && toks[j].is_punct("#")
+                        && toks.get(j + 1).is_some_and(|t| t.is_punct("["))
+                    {
+                        match matching_bracket(toks, j + 1) {
+                            Some(e) => j = e + 1,
+                            None => break,
+                        }
+                    }
+                    // Find the item's extent: first `{ .. }` block or
+                    // trailing `;` at bracket depth 0.
+                    let mut depth = 0i32;
+                    let mut k = j;
+                    while k < toks.len() {
+                        let t = &toks[k];
+                        if t.is_punct("(") || t.is_punct("[") {
+                            depth += 1;
+                        } else if t.is_punct(")") || t.is_punct("]") {
+                            depth -= 1;
+                        } else if depth == 0 && t.is_punct(";") {
+                            break;
+                        } else if depth == 0 && t.is_punct("{") {
+                            k = matching_brace(toks, k).unwrap_or(toks.len() - 1);
+                            break;
+                        }
+                        k += 1;
+                    }
+                    let hi = k.min(toks.len() - 1);
+                    for m in &mut mask[i..=hi] {
+                        *m = true;
+                    }
+                    i = hi + 1;
+                    continue;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// True if attribute tokens (between `[` and `]`) mark test-only code:
+/// `test`, `cfg(test)`, `cfg(all(test, ..))`, ...
+fn attr_is_test(attr: &[Tok]) -> bool {
+    let first_is = |s: &str| attr.first().is_some_and(|t| t.is_ident(s));
+    if first_is("test") {
+        return true;
+    }
+    first_is("cfg") && attr.iter().any(|t| t.is_ident("test"))
+}
+
+fn matching_bracket(toks: &[Tok], open_at: usize) -> Option<usize> {
+    matching_delim(toks, open_at, "[", "]")
+}
+
+fn matching_brace(toks: &[Tok], open_at: usize) -> Option<usize> {
+    matching_delim(toks, open_at, "{", "}")
+}
+
+fn matching_delim(toks: &[Tok], open_at: usize, open: &str, close: &str) -> Option<usize> {
+    if !toks.get(open_at)?.is_punct(open) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open_at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, rules: &[Rule]) -> Vec<(Rule, u32)> {
+        scan("x.rs", &lex(src), rules).into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn lib() { a.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { b.unwrap(); c[0]; }\n\
+                   }\n";
+        assert_eq!(run(src, &[Rule::R1]), [(Rule::R1, 1)]);
+    }
+
+    #[test]
+    fn d3_only_flags_aborting_chains() {
+        let good = "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));";
+        assert!(run(good, Rule::ALL_CHECKS).is_empty());
+        let bad = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        assert_eq!(run(bad, &[Rule::D3, Rule::R1]), [(Rule::D3, 1)]);
+    }
+
+    #[test]
+    fn r1_skips_unwrap_or_family() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(g); z.unwrap_or_default(); }";
+        assert!(run(src, &[Rule::R1]).is_empty());
+    }
+
+    #[test]
+    fn r1_literal_indexing_but_not_array_types_or_macros() {
+        let src =
+            "fn f(a: [u8; 4], v: &[u8]) -> u8 { let _ = vec![0]; let _x: [u8; 2] = [0, 1]; v[0] }";
+        assert_eq!(run(src, &[Rule::R1]), [(Rule::R1, 1)]);
+    }
+
+    #[test]
+    fn r2_counter_arith_and_casts() {
+        let src = "fn f(s: &mut St) {\n\
+                       s.retry_count += 1;\n\
+                       let b = s.backoff_units * 2;\n\
+                       let c = total - s.miss_count;\n\
+                       let d = s.retries as u32;\n\
+                       let ok = s.hit_count.saturating_add(1);\n\
+                       let ok2 = s.retries as u64;\n\
+                   }";
+        let got = run(src, &[Rule::R2]);
+        assert_eq!(got, [(Rule::R2, 2), (Rule::R2, 3), (Rule::R2, 4), (Rule::R2, 5)]);
+    }
+
+    #[test]
+    fn d1_sources() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); \
+                   let id = std::thread::current().id(); }";
+        let got = run(src, &[Rule::D1]);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn deref_and_unary_do_not_trip_r2() {
+        let src = "fn f(p: &mut u64, retries: u64) { *p = retries; let x = (retries, 1); }";
+        assert!(run(src, &[Rule::R2]).is_empty());
+    }
+}

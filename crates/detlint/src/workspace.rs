@@ -1,0 +1,241 @@
+//! Workspace walking, crate scoping, and suppression application.
+//!
+//! Which rules run where is part of the contract, not configuration:
+//!
+//! | crate                | D1 | D2 | D3 | R1 | R2 | why                                        |
+//! |----------------------|----|----|----|----|----|--------------------------------------------|
+//! | core                 | ✓  | ✓  | ✓  |    | ✓  | deterministic simulation kernel            |
+//! | interference         | ✓  | ✓  | ✓  |    | ✓  | deterministic bus/MSHR models              |
+//! | aes, sim, mbpta      | ✓  |    | ✓  |    | ✓  | deterministic workloads & statistics       |
+//! | sca                  | ✓  | ✓  | ✓  | ✓  | ✓  | runs inside panic-isolated shards          |
+//! | rtos                 | ✓  |    | ✓  | ✓  | ✓  | runs inside panic-isolated shards          |
+//! | fleet                | ✓  | ✓  | ✓  | ✓  | ✓  | the panic-isolating executor itself        |
+//! | telemetry            | ✓  | ✓  | ✓  |    | ✓  | observer must not perturb digests          |
+//! | tscache (root src/)  | ✓  |    | ✓  |    | ✓  | facade re-exports                          |
+//!
+//! Excluded entirely: `bench` (a wall-clock timing harness — its
+//! whole job is `Instant::now`), `proptest-shim` (vendored
+//! compatibility subset), and `detlint` itself (its fixtures are
+//! deliberate violations). Only `src/` trees are scanned: `tests/`,
+//! `examples/`, and benches are exercised code, not shipped library
+//! paths, and they legitimately unwrap.
+
+use crate::allow::{parse_allowlist, parse_annotations, AllowEntry, Annotation};
+use crate::lexer::lex;
+use crate::rules::{scan, Finding, Rule};
+use std::path::{Path, PathBuf};
+
+/// Scanned source trees and the rules active in each. Paths are
+/// workspace-relative.
+pub const SCOPES: &[(&str, &[Rule])] = &[
+    ("crates/core/src", &[Rule::D1, Rule::D2, Rule::D3, Rule::R2]),
+    ("crates/interference/src", &[Rule::D1, Rule::D2, Rule::D3, Rule::R2]),
+    ("crates/aes/src", &[Rule::D1, Rule::D3, Rule::R2]),
+    ("crates/sim/src", &[Rule::D1, Rule::D3, Rule::R2]),
+    ("crates/mbpta/src", &[Rule::D1, Rule::D3, Rule::R2]),
+    ("crates/sca/src", &[Rule::D1, Rule::D2, Rule::D3, Rule::R1, Rule::R2]),
+    ("crates/rtos/src", &[Rule::D1, Rule::D3, Rule::R1, Rule::R2]),
+    ("crates/fleet/src", &[Rule::D1, Rule::D2, Rule::D3, Rule::R1, Rule::R2]),
+    ("crates/telemetry/src", &[Rule::D1, Rule::D2, Rule::D3, Rule::R2]),
+    ("src", &[Rule::D1, Rule::D3, Rule::R2]),
+];
+
+/// Result of analyzing a workspace (or a single source string).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every finding, allowed or not, in (path, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Files scanned (workspace-relative).
+    pub files: Vec<String>,
+}
+
+impl Analysis {
+    /// Findings not covered by an annotation or allowlist entry —
+    /// what the exit code and CI gate count.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+}
+
+/// Analyzes a single source text as-if at `path` with `rules` active.
+/// Inline annotations apply; no allowlist. This is the fixture-test
+/// entry point and the per-file worker for [`analyze_workspace`].
+pub fn analyze_source(path: &str, src: &str, rules: &[Rule]) -> (Vec<Finding>, Vec<Annotation>) {
+    let lexed = lex(src);
+    let (mut anns, mut findings) = {
+        let (anns, bad) = parse_annotations(path, &lexed.comments);
+        (anns, bad)
+    };
+    findings.extend(scan(path, &lexed, rules));
+
+    // Lines bearing code tokens, sorted: an annotation above a finding
+    // covers the *next code line* after the comment block.
+    let mut code_lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+
+    for f in &mut findings {
+        if f.rule == Rule::A1 {
+            continue;
+        }
+        for a in anns.iter_mut() {
+            if a.rule != f.rule {
+                continue;
+            }
+            let next_code =
+                code_lines.iter().copied().find(|&l| l > a.end_line).unwrap_or(u32::MAX);
+            if f.line == a.end_line || f.line == next_code {
+                a.used = true;
+                f.allowed = Some(a.reason.clone());
+                break;
+            }
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    (findings, anns)
+}
+
+/// Analyzes every scoped source tree under `root`, applying the
+/// allowlist at `root/detlint.allow` (if present). Returns `Err` on
+/// I/O problems or a malformed allowlist.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let allow_path = root.join("detlint.allow");
+    let mut entries: Vec<AllowEntry> = if allow_path.exists() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        parse_allowlist(&text)?
+    } else {
+        Vec::new()
+    };
+
+    let mut analysis = Analysis::default();
+    for (tree, rules) in SCOPES {
+        let dir = root.join(tree);
+        if !dir.is_dir() {
+            continue;
+        }
+        for file in rust_files(&dir) {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let (mut findings, anns) = analyze_source(&rel, &src, rules);
+
+            // Stale inline annotations are findings too (A2).
+            for a in anns.iter().filter(|a| !a.used) {
+                findings.push(Finding {
+                    rule: Rule::A2,
+                    path: rel.clone(),
+                    line: a.end_line,
+                    col: 1,
+                    lexeme: format!("allow({})", a.rule),
+                    message: format!(
+                        "stale inline allow({}) matches no finding on the next code line",
+                        a.rule
+                    ),
+                    allowed: None,
+                });
+            }
+
+            // Allowlist file: covers whole (rule, path) pairs.
+            for f in findings.iter_mut().filter(|f| f.allowed.is_none()) {
+                if matches!(f.rule, Rule::A1 | Rule::A2) {
+                    continue;
+                }
+                if let Some(e) = entries.iter_mut().find(|e| e.rule == f.rule && e.path == f.path) {
+                    e.used = true;
+                    f.allowed = Some(e.reason.clone());
+                }
+            }
+
+            analysis.findings.extend(findings);
+            analysis.files.push(rel);
+        }
+    }
+
+    // Stale allowlist entries: the suppression surface only shrinks.
+    for e in entries.iter().filter(|e| !e.used) {
+        analysis.findings.push(Finding {
+            rule: Rule::A2,
+            path: "detlint.allow".to_string(),
+            line: e.line,
+            col: 1,
+            lexeme: format!("{} {}", e.rule, e.path),
+            message: format!(
+                "stale allowlist entry: no {} finding in {} — delete it",
+                e.rule, e.path
+            ),
+            allowed: None,
+        });
+    }
+
+    analysis.findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    analysis.files.sort();
+    Ok(analysis)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order (the
+/// report and JSON output must not depend on readdir order).
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Renders one finding as a rustc-style diagnostic.
+pub fn render(f: &Finding) -> String {
+    let sev = if f.allowed.is_some() { "allowed" } else { "error" };
+    let mut s =
+        format!("{sev}[{}]: {}\n  --> {}:{}:{}\n", f.rule, f.message, f.path, f.line, f.col);
+    match &f.allowed {
+        Some(reason) => s.push_str(&format!("   = allowed: {reason}\n")),
+        None => s.push_str(&format!("   = help: {}\n", f.rule.help())),
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_above_and_trailing_both_cover() {
+        let src = "\
+// detlint: allow(D2, membership probe only; never iterated)
+use std::collections::HashSet;
+fn f() {
+    let s: HashSet<u8> = HashSet::new(); // detlint: allow(D2, same probe)
+    let _ = s;
+}
+";
+        let (findings, _) = analyze_source("x.rs", src, &[Rule::D2]);
+        // Three HashSet mentions: the use (covered by the block
+        // above), and two on the trailing-comment line.
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.allowed.is_some()));
+    }
+
+    #[test]
+    fn annotation_does_not_leak_past_next_code_line() {
+        let src = "\
+// detlint: allow(D2, covers only the next line)
+let a: HashSet<u8> = HashSet::new();
+let b: HashSet<u8> = HashSet::new();
+";
+        let (findings, _) = analyze_source("x.rs", src, &[Rule::D2]);
+        let allowed = findings.iter().filter(|f| f.allowed.is_some()).count();
+        assert_eq!((allowed, findings.len()), (2, 4));
+    }
+}

@@ -1,0 +1,119 @@
+//! Fixture corpus: known-bad snippets must produce exactly the
+//! expected rule IDs at the expected lines; known-good snippets must
+//! produce zero unallowed findings. These pin the analyzer's precision
+//! in both directions — a rule that stops firing and a rule that
+//! starts over-firing both break this suite.
+
+use detlint::rules::Rule;
+use detlint::workspace::analyze_source;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// (rule, line) pairs of unallowed findings, sorted.
+fn unallowed(name: &str, rules: &[Rule]) -> Vec<(Rule, u32)> {
+    let (findings, _) = analyze_source(name, &fixture(name), rules);
+    findings.iter().filter(|f| f.allowed.is_none()).map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d1_flags_every_nondeterminism_source() {
+    assert_eq!(
+        unallowed("bad/d1_nondeterminism.rs", &[Rule::D1]),
+        [
+            (Rule::D1, 5),  // Instant::now
+            (Rule::D1, 6),  // SystemTime::now
+            (Rule::D1, 7),  // thread::current
+            (Rule::D1, 13), // thread_rng
+            (Rule::D1, 14), // RandomState
+        ]
+    );
+}
+
+#[test]
+fn d2_flags_hash_collections_including_imports() {
+    assert_eq!(
+        unallowed("bad/d2_hash_collections.rs", &[Rule::D2]),
+        [(Rule::D2, 2), (Rule::D2, 5), (Rule::D2, 9)]
+    );
+}
+
+#[test]
+fn d3_flags_both_abort_chains() {
+    assert_eq!(unallowed("bad/d3_nan_unsafe_sort.rs", &[Rule::D3]), [(Rule::D3, 3), (Rule::D3, 4)]);
+}
+
+#[test]
+fn d3_owns_the_partial_cmp_abort_even_with_r1_active() {
+    // The `.expect` on line 4 is the D3 finding, not a second R1 one.
+    assert_eq!(
+        unallowed("bad/d3_nan_unsafe_sort.rs", &[Rule::D3, Rule::R1]),
+        [(Rule::D3, 3), (Rule::D3, 4)]
+    );
+}
+
+#[test]
+fn r1_flags_every_abort_path() {
+    assert_eq!(
+        unallowed("bad/r1_panic_paths.rs", &[Rule::R1]),
+        [
+            (Rule::R1, 3),  // .unwrap()
+            (Rule::R1, 4),  // .expect()
+            (Rule::R1, 6),  // panic!
+            (Rule::R1, 9),  // unreachable!
+            (Rule::R1, 10), // todo!
+            (Rule::R1, 11), // unimplemented!
+            (Rule::R1, 14), // v[0]
+        ]
+    );
+}
+
+#[test]
+fn r2_flags_counter_arithmetic_and_narrowing() {
+    assert_eq!(
+        unallowed("bad/r2_counter_arithmetic.rs", &[Rule::R2]),
+        [
+            (Rule::R2, 9),  // +=
+            (Rule::R2, 10), // *
+            (Rule::R2, 11), // right operand of -
+            (Rule::R2, 12), // as u32
+        ]
+    );
+}
+
+#[test]
+fn reasonless_allow_is_a1_and_suppresses_nothing() {
+    assert_eq!(
+        unallowed("bad/a1_reasonless_allow.rs", &[Rule::D2]),
+        [(Rule::A1, 2), (Rule::D2, 3), (Rule::D2, 4)]
+    );
+}
+
+#[test]
+fn clean_patterns_produce_no_findings_at_all() {
+    let (findings, _) = analyze_source(
+        "good/clean_patterns.rs",
+        &fixture("good/clean_patterns.rs"),
+        Rule::ALL_CHECKS,
+    );
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn reasoned_allows_and_test_modules_are_clean() {
+    let (findings, anns) = analyze_source(
+        "good/allowed_and_tests.rs",
+        &fixture("good/allowed_and_tests.rs"),
+        Rule::ALL_CHECKS,
+    );
+    let unallowed: Vec<_> = findings.iter().filter(|f| f.allowed.is_none()).collect();
+    assert!(unallowed.is_empty(), "unallowed: {unallowed:?}");
+    // Every suppression carries its reason through to the finding.
+    assert!(findings.iter().all(|f| f.allowed.as_deref().is_some_and(|r| !r.is_empty())));
+    // And no annotation is stale.
+    assert!(anns.iter().all(|a| a.used), "stale annotations: {anns:?}");
+}

@@ -1,0 +1,67 @@
+//! The self-check: this workspace must be clean under its own
+//! analyzer, modulo suppressions that each carry a written reason.
+//! Running inside `cargo test` puts the determinism contract on the
+//! tier-1 path — a PR that reintroduces a banned pattern fails here
+//! before CI's dedicated static-analysis job even starts.
+
+use detlint::workspace::analyze_workspace;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/detlint -> crates -> workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+#[test]
+fn workspace_is_clean_modulo_reasoned_allows() {
+    let analysis = analyze_workspace(&workspace_root()).expect("analysis runs");
+    // A meaningful corpus was actually scanned (guards against a
+    // path-scoping bug silently analyzing nothing).
+    assert!(
+        analysis.files.len() >= 50,
+        "suspiciously few files scanned: {:?}",
+        analysis.files.len()
+    );
+    let unallowed: Vec<String> = analysis
+        .unallowed()
+        .map(|f| format!("{}[{}:{}] {}", f.rule, f.path, f.line, f.message))
+        .collect();
+    assert!(unallowed.is_empty(), "determinism contract violations:\n{}", unallowed.join("\n"));
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let analysis = analyze_workspace(&workspace_root()).expect("analysis runs");
+    for f in analysis.findings.iter().filter(|f| f.allowed.is_some()) {
+        let reason = f.allowed.as_deref().unwrap_or_default();
+        assert!(
+            reason.len() >= 10,
+            "{}:{} allow({}) reason too thin to audit: {reason:?}",
+            f.path,
+            f.line,
+            f.rule
+        );
+    }
+}
+
+#[test]
+fn known_incident_classes_stay_fixed() {
+    // The three shipped-bug classes this PR closed at the source
+    // level must remain absent: any regression reappears here as an
+    // unallowed finding, but pin the specific files too so a scoping
+    // change cannot silently drop them from the scan.
+    let analysis = analyze_workspace(&workspace_root()).expect("analysis runs");
+    for path in [
+        "crates/mbpta/src/stats.rs",    // PR 9: NaN-poisoned ROC sort class
+        "crates/sca/src/cross_core.rs", // PR 7/9: .expect("shared platform") aborts
+        "crates/fleet/src/executor.rs", // PR 7: backoff counter overflow
+    ] {
+        assert!(
+            analysis.files.iter().any(|f| f == path),
+            "{path} fell out of detlint's scan scope"
+        );
+    }
+}

@@ -235,7 +235,10 @@ impl CampaignDir {
             self.results =
                 Some(OpenOptions::new().create(true).append(true).open(self.results_path())?);
         }
-        let f = self.results.as_mut().expect("results handle just opened");
+        let Some(f) = self.results.as_mut() else {
+            // Unreachable: assigned two lines up; stay panic-free anyway.
+            return Err(FleetError::Io(std::io::Error::other("results handle vanished")));
+        };
         if faults.should_tear(ordinal) {
             let half = line.len() / 2;
             f.write_all(&line.as_bytes()[..half])?;
@@ -312,7 +315,7 @@ impl CampaignDir {
         let spec_text = fs::read_to_string(self.spec_path())
             .map_err(|e| FleetError::Corrupt(format!("missing spec.txt: {e}")))?;
         let mut records: Vec<ShardRecord> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         match File::open(self.results_path()) {
             Err(e) if e.kind() == ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),

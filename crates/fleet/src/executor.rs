@@ -35,7 +35,7 @@ use crate::fault::FaultPlan;
 use crate::job::{run_shard_with, ShardOptions, TRACE_RING_CAPACITY};
 use crate::jsonl::ShardRecord;
 use crate::spec::{AttackKind, FleetError, ShardJob, SweepSpec};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -387,7 +387,7 @@ impl Progress<'_> {
             AttemptResult::Crashed { message } => {
                 if attempt <= self.cfg.max_retries {
                     self.lifecycle_event(Event::ShardRetry { shard: job.shard as u32, attempt });
-                    self.accounting.retries += 1;
+                    self.accounting.retries = self.accounting.retries.saturating_add(1);
                     self.accounting.backoff_units =
                         self.accounting.backoff_units.saturating_add(backoff_units_for(attempt));
                     self.progress_line();
@@ -417,6 +417,7 @@ fn run_attempt(
 ) -> AttemptResult {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if faults.should_panic(job.shard, attempt) {
+            // detlint: allow(R1, deliberate injected fault; lands in catch_unwind, exercising the crash-retry taxonomy)
             panic!("injected fault: shard {} attempt {attempt}", job.shard);
         }
         if faults.should_bad_spec(job.shard) {
@@ -495,7 +496,7 @@ fn drive_parallel(
                     if dispatch.stop.load(Ordering::Acquire) {
                         return;
                     }
-                    let next = dispatch.queue.lock().unwrap().pop_front();
+                    let next = dispatch.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
                     let Some((job, attempt)) = next else {
                         // Queue may refill with retries; idle briefly.
                         std::thread::sleep(Duration::from_micros(200));
@@ -517,7 +518,11 @@ fn drive_parallel(
             match progress.absorb(job, attempt, result) {
                 Step::Continue => {}
                 Step::Retry(job, next_attempt) => {
-                    dispatch.queue.lock().unwrap().push_back((job, next_attempt));
+                    dispatch
+                        .queue
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push_back((job, next_attempt));
                 }
                 step @ Step::Halt(_) => {
                     dispatch.stop.store(true, Ordering::Release);
@@ -539,7 +544,7 @@ fn drive(
     prior_records: Vec<ShardRecord>,
 ) -> Result<RunOutcome, FleetError> {
     let jobs = spec.jobs()?;
-    let done_shards: HashSet<usize> = prior_records.iter().map(|r| r.shard).collect();
+    let done_shards: BTreeSet<usize> = prior_records.iter().map(|r| r.shard).collect();
     let mut pending: Vec<ShardJob> =
         jobs.iter().filter(|j| !done_shards.contains(&j.shard)).cloned().collect();
     if let Some(seed) = cfg.scramble_seed {
@@ -564,6 +569,8 @@ fn drive(
         last_manifest: None,
         lifecycle: cfg.trace.then(|| TraceRecorder::new(TRACE_RING_CAPACITY)),
         seq: 0,
+        #[allow(clippy::disallowed_methods)]
+        // detlint: allow(D1, wall-clock feeds the operator progress line only; never enters records, reports, or digests)
         started: Instant::now(),
     };
 

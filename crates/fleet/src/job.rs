@@ -21,7 +21,7 @@ use tscache_rtos::{Application, OsConfig, TscacheOs};
 use tscache_sca::detect::{
     try_run_detection_campaign, DetectTarget, DetectionCampaignConfig, EvasionMode,
 };
-use tscache_sca::flush_reload::{run_flush_reload, FlushReloadConfig, FlushReloadIsolation};
+use tscache_sca::flush_reload::{try_run_flush_reload, FlushReloadConfig, FlushReloadIsolation};
 use tscache_sca::prime_probe::run_prime_probe_defended;
 use tscache_sca::sampling::{CryptoNode, Role, SamplingConfig};
 use tscache_sim::layout::Layout;
@@ -122,8 +122,8 @@ fn moments(times: &[u64]) -> (u64, f64, f64, f64, f64) {
     let mean = times.iter().map(|&t| t as f64).sum::<f64>() / n;
     let m2 = times.iter().map(|&t| (t as f64 - mean).powi(2)).sum::<f64>();
     let variance = if times.len() > 1 { m2 / (n - 1.0) } else { 0.0 };
-    let min = *times.iter().min().unwrap() as f64;
-    let max = *times.iter().max().unwrap() as f64;
+    let min = times.iter().min().copied().unwrap_or(0) as f64;
+    let max = times.iter().max().copied().unwrap_or(0) as f64;
     (times.len() as u64, mean, variance, min, max)
 }
 
@@ -236,7 +236,7 @@ fn run_flush_reload_shard(job: &ShardJob) -> Result<ShardOutput, ConfigError> {
         }
     };
     cfg.validate()?;
-    let outcome = run_flush_reload(&cfg);
+    let outcome = try_run_flush_reload(&cfg)?;
     let mut h = Fnv64::new();
     h.write_u64(outcome.samples as u64);
     for &s in &outcome.scores {

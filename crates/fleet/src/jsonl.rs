@@ -170,7 +170,7 @@ impl ShardRecord {
     /// write and drops it.
     pub fn decode(line: &str) -> Option<ShardRecord> {
         let mut p = Parser { bytes: line.trim().as_bytes(), pos: 0 };
-        p.expect(b'{')?;
+        p.eat(b'{')?;
         let mut shard = None;
         let mut scenario = None;
         let mut seed = None;
@@ -188,7 +188,7 @@ impl ShardRecord {
         let mut trace_digest = None;
         loop {
             let key = p.string()?;
-            p.expect(b':')?;
+            p.eat(b':')?;
             match key.as_str() {
                 "shard" => shard = Some(p.number()?.parse::<usize>().ok()?),
                 "scenario" => scenario = Some(p.string()?),
@@ -201,7 +201,7 @@ impl ShardRecord {
                 "min" => min = Some(p.f64_value()?),
                 "max" => max = Some(p.f64_value()?),
                 "times" => {
-                    p.expect(b'[')?;
+                    p.eat(b'[')?;
                     let mut v = Vec::new();
                     if p.peek()? == b']' {
                         p.pos += 1;
@@ -218,17 +218,17 @@ impl ShardRecord {
                     times = Some(v);
                 }
                 "hist" => {
-                    p.expect(b'[')?;
+                    p.eat(b'[')?;
                     let mut v = Vec::new();
                     if p.peek()? == b']' {
                         p.pos += 1;
                     } else {
                         loop {
-                            p.expect(b'[')?;
+                            p.eat(b'[')?;
                             let idx = p.number()?.parse::<u32>().ok()?;
-                            p.expect(b',')?;
+                            p.eat(b',')?;
                             let count = parse_hex_u64(&p.string()?)?;
-                            p.expect(b']')?;
+                            p.eat(b']')?;
                             v.push((idx, count));
                             match p.next_byte()? {
                                 b',' => continue,
@@ -240,13 +240,13 @@ impl ShardRecord {
                     hist = Some(v);
                 }
                 "pmu" => {
-                    p.expect(b'[')?;
+                    p.eat(b'[')?;
                     let mut rows = Vec::new();
                     if p.peek()? == b']' {
                         p.pos += 1;
                     } else {
                         loop {
-                            p.expect(b'[')?;
+                            p.eat(b'[')?;
                             let mut row = Vec::new();
                             if p.peek()? == b']' {
                                 p.pos += 1;
@@ -271,19 +271,19 @@ impl ShardRecord {
                     pmu = Some(rows);
                 }
                 "roc" => {
-                    p.expect(b'[')?;
+                    p.eat(b'[')?;
                     let mut v = Vec::new();
                     if p.peek()? == b']' {
                         p.pos += 1;
                     } else {
                         loop {
-                            p.expect(b'[')?;
+                            p.eat(b'[')?;
                             let thr = p.f64_value()?;
-                            p.expect(b',')?;
+                            p.eat(b',')?;
                             let fpr = p.f64_value()?;
-                            p.expect(b',')?;
+                            p.eat(b',')?;
                             let tpr = p.f64_value()?;
-                            p.expect(b']')?;
+                            p.eat(b']')?;
                             v.push((thr, fpr, tpr));
                             match p.next_byte()? {
                                 b',' => continue,
@@ -391,12 +391,12 @@ impl Parser<'_> {
         Some(b)
     }
 
-    fn expect(&mut self, want: u8) -> Option<()> {
+    fn eat(&mut self, want: u8) -> Option<()> {
         (self.next_byte()? == want).then_some(())
     }
 
     fn string(&mut self) -> Option<String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.next_byte()? {

@@ -602,7 +602,7 @@ impl SweepSpec {
     pub fn expand(&self) -> Result<Vec<Scenario>, FleetError> {
         self.validate()?;
         let mut out: Vec<Scenario> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &attack in &self.attacks {
             for &setup in &self.setups {
                 for &depth in &self.depths {
@@ -785,7 +785,7 @@ mod tests {
     fn scenario_keys_are_unique() {
         let spec = SweepSpec::full(7, 10, 2);
         let scenarios = spec.expand().unwrap();
-        let keys: std::collections::HashSet<_> = scenarios.iter().map(|s| &s.key).collect();
+        let keys: std::collections::BTreeSet<_> = scenarios.iter().map(|s| &s.key).collect();
         assert_eq!(keys.len(), scenarios.len());
     }
 
@@ -899,7 +899,7 @@ mod tests {
             }
         }
         // Private bernstein points carry the non-rotation defenses.
-        let private_defenses: std::collections::HashSet<_> = scenarios
+        let private_defenses: std::collections::BTreeSet<_> = scenarios
             .iter()
             .filter(|s| s.attack == AttackKind::Bernstein && s.platform == PlatformKind::Private)
             .map(|s| s.defense)
@@ -909,7 +909,7 @@ mod tests {
         assert!(private_defenses.contains(&DefenseKind::RandomSafe));
         assert!(!private_defenses.contains(&DefenseKind::RotateCore));
         // Shared points carry all six.
-        let shared_defenses: std::collections::HashSet<_> = scenarios
+        let shared_defenses: std::collections::BTreeSet<_> = scenarios
             .iter()
             .filter(|s| s.attack == AttackKind::Bernstein && s.platform == PlatformKind::Shared)
             .map(|s| s.defense)

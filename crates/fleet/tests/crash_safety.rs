@@ -393,7 +393,7 @@ fn defense_axis_is_deterministic_and_survives_kill_and_resume() {
 
     // The defended scenarios genuinely differ from the undefended
     // baseline: same attack, same seeds, different digests.
-    let by_key: std::collections::HashMap<&str, u64> =
+    let by_key: std::collections::BTreeMap<&str, u64> =
         resumed.scenarios.iter().map(|s| (s.key.as_str(), s.digest)).collect();
     let base = by_key["bernstein/tscache/l2/private/solo"];
     let ttl = by_key["bernstein/tscache/l2/private/solo/ttl"];

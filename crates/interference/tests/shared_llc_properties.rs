@@ -123,7 +123,7 @@ proptest! {
         for &l in &line_seq(salt ^ 0x5707, 3000, 1 << 20, 4099) {
             llc.access(enemy, l);
         }
-        let after: std::collections::HashSet<(u32, u32, u64)> = llc
+        let after: std::collections::BTreeSet<(u32, u32, u64)> = llc
             .cache()
             .contents()
             .map(|(set, way, line, _)| (set, way, line.as_u64()))

@@ -76,8 +76,8 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
     assert!(!a.is_empty() && !b.is_empty(), "empty sample");
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();
-    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaNs"));
-    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaNs"));
+    xs.sort_by(|p, q| p.total_cmp(q));
+    ys.sort_by(|p, q| p.total_cmp(q));
 
     let (n1, n2) = (xs.len(), ys.len());
     let (mut i, mut j) = (0usize, 0usize);

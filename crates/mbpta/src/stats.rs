@@ -82,7 +82,7 @@ pub fn quantile(sample: &[f64], p: f64) -> f64 {
     assert!(!sample.is_empty(), "empty sample");
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let h = p * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

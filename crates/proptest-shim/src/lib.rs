@@ -237,8 +237,18 @@ pub mod prelude {
     };
 }
 
-/// Number of cases generated per property test.
+/// Default number of cases generated per property test.
 pub const CASES: u32 = 64;
+
+/// Cases per property test: `PROPTEST_CASES` override or [`CASES`].
+///
+/// Mirrors real proptest's env knob so slow interpreters (miri in CI)
+/// can dial the count down without patching test code. Test-only
+/// configuration: case *generation* stays seeded by test name, so any
+/// given (name, index) case is identical across runs and hosts.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(CASES)
+}
 
 #[macro_export]
 macro_rules! proptest {
@@ -248,12 +258,13 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let mut rng = $crate::test_runner::Rng::for_test(stringify!($name));
+                let cases = $crate::cases();
                 let mut accepted = 0u32;
                 let mut attempts = 0u32;
-                while accepted < $crate::CASES {
+                while accepted < cases {
                     attempts += 1;
                     assert!(
-                        attempts < $crate::CASES * 20,
+                        attempts < cases.saturating_mul(20),
                         "prop_assume! rejected too many cases"
                     );
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+

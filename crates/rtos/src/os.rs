@@ -193,6 +193,7 @@ impl TscacheOs {
     /// afford an abort should use [`try_new`](Self::try_new).
     pub fn new(app: Application, setup: SetupKind, config: OsConfig) -> Self {
         Self::try_new(app, setup, config)
+            // detlint: allow(R1, documented panicking convenience constructor; campaign code uses try_new)
             .unwrap_or_else(|e| panic!("invalid TscacheOs configuration: {e}"))
     }
 
@@ -664,7 +665,7 @@ mod tests {
         let Some(llc) = sim.shared_llc_cache() else {
             panic!("shared_llc config must build a shared platform")
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (_, _, line, _) in llc.contents() {
             assert!(seen.insert(line.as_u64()), "line {line:?} resident twice in the shared LLC");
         }
@@ -782,7 +783,7 @@ mod tests {
     fn randomized_setup_times_vary_across_hyperperiods() {
         let mut sim = os(SetupKind::TsCache, SeedPolicy::PerSwc);
         let report = sim.run(30);
-        let r2: std::collections::HashSet<u64> = report.times[1].iter().copied().collect();
+        let r2: std::collections::BTreeSet<u64> = report.times[1].iter().copied().collect();
         assert!(r2.len() > 5, "R2 times too uniform: {} distinct", r2.len());
     }
 

@@ -74,7 +74,8 @@ impl Schedule {
         let runnables = app.runnables();
         let mut switches = 0;
         for pair in self.jobs.windows(2) {
-            if runnables[pair[0].runnable].swc() != runnables[pair[1].runnable].swc() {
+            let [a, b] = pair else { continue };
+            if runnables[a.runnable].swc() != runnables[b.runnable].swc() {
                 switches += 1;
             }
         }

@@ -33,6 +33,8 @@
 use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::LineAddr;
 use tscache_core::defense::DefenseKind;
+use tscache_core::error::ConfigError;
+use tscache_core::hierarchy::SharedLlc;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SeedSharing, SetupKind};
@@ -124,7 +126,40 @@ const PRIME_WAYS: u64 = 4;
 
 /// Runs the campaign; everything derives from `cfg.master_seed`, so
 /// outcomes are bit-reproducible.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration; campaign code that cannot
+/// afford an abort uses [`try_run_cross_core_prime_probe`].
 pub fn run_cross_core_prime_probe(cfg: &CrossCoreConfig) -> CrossCoreOutcome {
+    match try_run_cross_core_prime_probe(cfg) {
+        Ok(out) => out,
+        // detlint: allow(R1, documented panicking wrapper; fallible callers use try_run_cross_core_prime_probe)
+        Err(e) => panic!("invalid cross-core prime+probe config: {e}"),
+    }
+}
+
+/// The shared level, or the [`ConfigError`] a campaign executor can
+/// quarantine — in place of the `.expect("shared platform")` abort
+/// this path used to ship (the PR 7/9 incident class).
+fn shared_llc_mut(machine: &mut Machine) -> Result<&mut SharedLlc, ConfigError> {
+    machine.shared_llc_mut().ok_or_else(|| {
+        ConfigError::incompatible("cross-core prime+probe requires a shared-LLC platform")
+    })
+}
+
+/// Immutable [`shared_llc_mut`].
+fn shared_llc(machine: &Machine) -> Result<&SharedLlc, ConfigError> {
+    machine.shared_llc().ok_or_else(|| {
+        ConfigError::incompatible("cross-core prime+probe requires a shared-LLC platform")
+    })
+}
+
+/// Fallible campaign runner: every configuration problem surfaces as
+/// a [`ConfigError`] instead of an abort.
+pub fn try_run_cross_core_prime_probe(
+    cfg: &CrossCoreConfig,
+) -> Result<CrossCoreOutcome, ConfigError> {
     let setup = cfg.defense.effective_setup(cfg.setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
@@ -155,7 +190,7 @@ pub fn run_cross_core_prime_probe(cfg: &CrossCoreConfig) -> CrossCoreOutcome {
         }
     }
     if cfg.partition == LlcPartition::PerCore {
-        let llc = machine.shared_llc_mut().expect("shared platform");
+        let llc = shared_llc_mut(&mut machine)?;
         llc.set_way_partition(victim, 0, 2);
         llc.set_way_partition(attacker, 2, 4);
     }
@@ -164,7 +199,7 @@ pub fn run_cross_core_prime_probe(cfg: &CrossCoreConfig) -> CrossCoreOutcome {
     let aes_layout = AesLayout::install(&mut layout, "victim");
     let aes = SimAes128::new(&cfg.victim_key, aes_layout);
     let te0_base_line = aes_layout.table(0).base().as_u64() >> 5;
-    let llc_sets = machine.shared_llc().expect("shared platform").cache().geometry().sets() as u64;
+    let llc_sets = shared_llc(&machine)?.cache().geometry().sets() as u64;
 
     // The attacker's prime lines, per monitored TE0 line: PRIME_WAYS
     // own lines that alias the victim line's modulo set, from a
@@ -186,7 +221,7 @@ pub fn run_cross_core_prime_probe(cfg: &CrossCoreConfig) -> CrossCoreOutcome {
     for _ in 0..cfg.samples {
         // Prime: fill every monitored set with attacker lines.
         {
-            let llc = machine.shared_llc_mut().expect("shared platform");
+            let llc = shared_llc_mut(&mut machine)?;
             for lines in &prime_lines {
                 for &line in lines {
                     llc.access(attacker, line);
@@ -207,35 +242,33 @@ pub fn run_cross_core_prime_probe(cfg: &CrossCoreConfig) -> CrossCoreOutcome {
 
         // Probe (non-destructive): a monitored set missing a prime
         // line was refilled by the victim.
-        let llc = machine.shared_llc_mut().expect("shared platform");
+        let llc = shared_llc_mut(&mut machine)?;
         let mut evicted = [false; TE0_LINES];
         for (l, lines) in prime_lines.iter().enumerate() {
             evicted[l] = lines.iter().any(|&line| !llc.cache_mut().probe(attacker, line));
             evictions_observed += evicted[l] as u64;
         }
         // Vote: candidate k predicts TE0 line (pt[0] ^ k) / 8.
+        let [pt0, ..] = pt;
         for (k, score) in scores.iter_mut().enumerate() {
-            let line = ((pt[0] ^ k as u8) >> 3) as usize;
+            let line = ((pt0 ^ k as u8) >> 3) as usize;
             *score += evicted[line] as u32;
         }
     }
 
-    let true_score = scores[cfg.victim_key[0] as usize];
+    let [key0, ..] = cfg.victim_key;
+    let true_score = scores[key0 as usize];
     let stronger = scores.iter().filter(|&&s| s > true_score).count();
     let ties = scores.iter().filter(|&&s| s == true_score).count();
     let correct_rank = stronger as f64 + (ties - 1) as f64 / 2.0;
-    CrossCoreOutcome {
+    let cross_core_evictions = shared_llc(&machine)?.cache().stats().cross_process_evictions();
+    Ok(CrossCoreOutcome {
         samples: cfg.samples,
         scores,
         correct_rank,
         evictions_observed,
-        cross_core_evictions: machine
-            .shared_llc()
-            .expect("shared platform")
-            .cache()
-            .stats()
-            .cross_process_evictions(),
-    }
+        cross_core_evictions,
+    })
 }
 
 #[cfg(test)]

@@ -253,7 +253,13 @@ impl RocCurve {
         if self.points.len() < 2 {
             return 0.5;
         }
-        self.points.windows(2).map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0).sum()
+        self.points
+            .windows(2)
+            .map(|w| match w {
+                [a, b] => (b.fpr - a.fpr) * (b.tpr + a.tpr) / 2.0,
+                _ => 0.0,
+            })
+            .sum()
     }
 }
 
@@ -548,14 +554,16 @@ fn flush_reload_trace(
                     reloaded[l] = llc.cache_mut().probe(attacker, line);
                 }
             }
+            let [pt0, ..] = pt;
             for (k, vote) in votes.iter_mut().enumerate() {
-                let line = ((pt[0] ^ k as u8) >> 3) as usize;
+                let line = ((pt0 ^ k as u8) >> 3) as usize;
                 if flushed[line] {
                     *vote += reloaded[line] as u32;
                 }
             }
         }
-        let progress = rank_progress(&votes, VICTIM_KEY[0]);
+        let [victim_key0, ..] = VICTIM_KEY;
+        let progress = rank_progress(&votes, victim_key0);
         rec.tick(progress, || machine_snapshot(&machine));
     }
     Ok(rec.finish())
@@ -692,6 +700,7 @@ pub fn try_run_detection_campaign(
 pub fn run_detection_campaign(cfg: &DetectionCampaignConfig) -> DetectionOutcome {
     match try_run_detection_campaign(cfg) {
         Ok(outcome) => outcome,
+        // detlint: allow(R1, documented panicking wrapper; fleet shards call try_run_detection_campaign)
         Err(e) => panic!("invalid detection campaign config: {e}"),
     }
 }

@@ -39,6 +39,7 @@ use tscache_aes::sim_cipher::{AesLayout, SimAes128};
 use tscache_core::addr::{Addr, LineAddr};
 use tscache_core::defense::DefenseKind;
 use tscache_core::error::ConfigError;
+use tscache_core::hierarchy::SharedLlc;
 use tscache_core::prng::{mix64, Prng, SplitMix64};
 use tscache_core::seed::{ProcessId, Seed};
 use tscache_core::setup::{HierarchyDepth, SeedSharing, SetupKind};
@@ -143,7 +144,31 @@ const TE0_LINES: usize = 32;
 
 /// Runs the campaign; everything derives from `cfg.master_seed`, so
 /// outcomes are bit-reproducible.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration; campaign code that cannot
+/// afford an abort uses [`try_run_flush_reload`].
 pub fn run_flush_reload(cfg: &FlushReloadConfig) -> FlushReloadOutcome {
+    match try_run_flush_reload(cfg) {
+        Ok(out) => out,
+        // detlint: allow(R1, documented panicking wrapper; fleet shards call try_run_flush_reload)
+        Err(e) => panic!("invalid flush+reload config: {e}"),
+    }
+}
+
+/// The shared level, or the [`ConfigError`] a campaign executor can
+/// quarantine — in place of the `.expect("shared platform")` abort
+/// this path used to ship (the PR 7/9 incident class).
+fn shared_llc_mut(machine: &mut Machine) -> Result<&mut SharedLlc, ConfigError> {
+    machine
+        .shared_llc_mut()
+        .ok_or_else(|| ConfigError::incompatible("flush+reload requires a shared-LLC platform"))
+}
+
+/// Fallible campaign runner: every configuration problem surfaces as
+/// a [`ConfigError`] instead of an abort.
+pub fn try_run_flush_reload(cfg: &FlushReloadConfig) -> Result<FlushReloadOutcome, ConfigError> {
     let setup = cfg.defense.effective_setup(cfg.setup);
     let victim = ProcessId::new(1);
     let attacker = ProcessId::new(2);
@@ -193,7 +218,7 @@ pub fn run_flush_reload(cfg: &FlushReloadConfig) -> FlushReloadOutcome {
         FlushReloadIsolation::PartitionedReplicated => {
             let replica = AesLayout::install(&mut layout, "attacker-replica");
             machine.add_coherent_range(replica.table(0).base(), replica.table_bytes());
-            let llc = machine.shared_llc_mut().expect("shared platform");
+            let llc = shared_llc_mut(&mut machine)?;
             llc.set_way_partition(victim, 0, 2);
             llc.set_way_partition(attacker, 2, 4);
             replica.table(0).base()
@@ -232,31 +257,33 @@ pub fn run_flush_reload(cfg: &FlushReloadConfig) -> FlushReloadOutcome {
 
         // Reload (non-destructive): a monitored line present in the
         // shared level was refetched by the victim after the flush.
-        let llc = machine.shared_llc_mut().expect("shared platform");
+        let llc = shared_llc_mut(&mut machine)?;
         let mut reloaded = [false; TE0_LINES];
         for (l, &(_, line)) in monitored.iter().enumerate() {
             reloaded[l] = llc.cache_mut().probe(attacker, line);
-            reload_hits += reloaded[l] as u64;
+            reload_hits = reload_hits.saturating_add(reloaded[l] as u64);
         }
         // Vote: candidate k predicts TE0 line (pt[0] ^ k) / 8.
+        let [pt0, ..] = pt;
         for (k, score) in scores.iter_mut().enumerate() {
-            let line = ((pt[0] ^ k as u8) >> 3) as usize;
+            let line = ((pt0 ^ k as u8) >> 3) as usize;
             *score += reloaded[line] as u32;
         }
     }
 
-    let true_score = scores[cfg.victim_key[0] as usize];
+    let [key0, ..] = cfg.victim_key;
+    let true_score = scores[key0 as usize];
     let stronger = scores.iter().filter(|&&s| s > true_score).count();
     let ties = scores.iter().filter(|&&s| s == true_score).count();
     let correct_rank = stronger as f64 + (ties - 1) as f64 / 2.0;
     let victim_invalidations = machine.hierarchy().total_stats().coh_invalidations();
-    FlushReloadOutcome {
+    Ok(FlushReloadOutcome {
         samples: cfg.samples,
         scores,
         correct_rank,
         reload_hits,
         victim_invalidations,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -49,10 +49,10 @@ impl TimingProfile {
         for (i, &b) in plaintext.iter().enumerate() {
             let idx = i * 256 + b as usize;
             self.sums[idx] += t;
-            self.counts[idx] += 1;
+            self.counts[idx] = self.counts[idx].saturating_add(1);
         }
         self.total_sum += t;
-        self.total_count += 1;
+        self.total_count = self.total_count.saturating_add(1);
     }
 
     /// Number of samples aggregated.

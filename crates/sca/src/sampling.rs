@@ -219,6 +219,7 @@ impl CryptoNode {
     pub fn new(cfg: SamplingConfig, role: Role, key: &[u8; 16]) -> Self {
         match CryptoNode::try_new(cfg, role, key) {
             Ok(node) => node,
+            // detlint: allow(R1, documented panicking convenience constructor; campaign code uses try_new)
             Err(e) => panic!("invalid sampling config: {e}"),
         }
     }
@@ -257,15 +258,18 @@ impl CryptoNode {
         }
         // §7 at the shared level: per-core way partitions.
         if cfg.shared_llc && cfg.partition_llc_ways > 0 {
-            let ways = machine.shared_llc().expect("shared-LLC node").cache().geometry().ways();
-            let k = cfg.partition_llc_ways.min(ways - 1);
             let enemy_pids: Vec<ProcessId> =
                 machine.co_runners().iter().map(|co| co.pid()).collect();
-            let llc = machine.shared_llc_mut().expect("shared-LLC node");
-            llc.set_way_partition(ProcessId::new(1), 0, k);
-            llc.set_way_partition(ProcessId::OS, 0, k);
-            for pid in enemy_pids {
-                llc.set_way_partition(pid, k, ways);
+            // `validate()` guarantees a shared level when
+            // `cfg.shared_llc` is set; stay panic-free regardless.
+            if let Some(llc) = machine.shared_llc_mut() {
+                let ways = llc.cache().geometry().ways();
+                let k = cfg.partition_llc_ways.min(ways - 1);
+                llc.set_way_partition(ProcessId::new(1), 0, k);
+                llc.set_way_partition(ProcessId::OS, 0, k);
+                for pid in enemy_pids {
+                    llc.set_way_partition(pid, k, ways);
+                }
             }
         }
         // RPCache protects the crypto tables (P-bit pages) — on the
@@ -485,7 +489,7 @@ mod tests {
         // on which table lines each plaintext touches.
         let mut node = CryptoNode::new(cfg(SetupKind::Deterministic, 300), Role::Victim, &[7; 16]);
         let samples = node.collect();
-        let distinct: std::collections::HashSet<u64> =
+        let distinct: std::collections::BTreeSet<u64> =
             samples.iter().skip(10).map(|s| s.cycles).collect();
         assert!(distinct.len() > 3, "only {} distinct timings", distinct.len());
     }

@@ -439,7 +439,7 @@ mod tests {
         m.enable_trace();
         w.run(&mut m);
         let trace = m.take_trace();
-        let reads: std::collections::HashSet<u64> = trace
+        let reads: std::collections::BTreeSet<u64> = trace
             .iter()
             .filter(|e| e.kind == tscache_core::hierarchy::AccessKind::Read)
             .map(|e| e.addr.as_u64())
@@ -464,7 +464,7 @@ mod tests {
         let mut w = MultipathTask::standard(&mut l);
         let protocol = MeasurementProtocol { runs: 40, ..Default::default() };
         let times = collect_execution_times(SetupKind::Mbpta, &mut w, &protocol);
-        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u64> = times.iter().copied().collect();
         assert!(distinct.len() > 10, "only {} distinct times", distinct.len());
     }
 

@@ -293,7 +293,7 @@ mod tests {
         let mut w = Touch { addrs: (0..256).map(|i| 0x1000 + i * 4096 / 8 * 3).collect() };
         let protocol = MeasurementProtocol { runs: 30, ..Default::default() };
         let times = collect_execution_times(SetupKind::Mbpta, &mut w, &protocol);
-        let distinct: std::collections::HashSet<u64> = times.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u64> = times.iter().copied().collect();
         assert!(distinct.len() > 1, "randomized times constant: {times:?}");
     }
 
@@ -309,7 +309,7 @@ mod tests {
         let b = collect_execution_times_par(SetupKind::Mbpta, &protocol, make);
         assert_eq!(a, b);
         assert_eq!(a.len(), 16);
-        let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u64> = a.iter().copied().collect();
         assert!(distinct.len() > 1, "randomized times constant: {a:?}");
     }
 
